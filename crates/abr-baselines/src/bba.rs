@@ -1,0 +1,193 @@
+//! BBA-1 — buffer-based adaptation [Huang et al., SIGCOMM '14], in the form
+//! the paper evaluates (§4): "BBA-1 selects the highest track based on a
+//! chunk map, which defines the allowed chunk sizes as a range from the
+//! average chunk size of the lowest track to that of the highest track."
+//!
+//! The *chunk map* is a linear function of the buffer level: below the
+//! reservoir it allows only the smallest chunks; above the cushion it allows
+//! the largest; in between it interpolates. BBA-1 (as opposed to BBA-0)
+//! compares the map against the *actual* size of the upcoming chunk in each
+//! track, which is what makes it applicable to VBR — and also what makes it
+//! myopic: a small upcoming chunk maps to a high track regardless of what
+//! follows.
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// BBA-1 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bba1Config {
+    /// Buffer level (seconds) below which only the lowest track is chosen.
+    pub reservoir_s: f64,
+    /// Buffer level (seconds) at which the highest track is allowed.
+    pub cushion_s: f64,
+}
+
+impl Default for Bba1Config {
+    fn default() -> Bba1Config {
+        Bba1Config {
+            reservoir_s: 10.0,
+            cushion_s: 90.0,
+        }
+    }
+}
+
+/// The buffer-based scheme.
+#[derive(Debug, Clone)]
+pub struct Bba1 {
+    config: Bba1Config,
+}
+
+impl Bba1 {
+    /// # Panics
+    /// Panics unless `0 < reservoir < cushion`.
+    pub fn new(config: Bba1Config) -> Bba1 {
+        assert!(config.reservoir_s > 0.0);
+        assert!(config.cushion_s > config.reservoir_s);
+        Bba1 { config }
+    }
+
+    /// Default configuration scaled to the paper's 100 s max buffer.
+    pub fn paper_default() -> Bba1 {
+        Bba1::new(Bba1Config::default())
+    }
+
+    /// The chunk map: allowed chunk size (bytes) for a buffer level.
+    fn allowed_bytes(&self, ctx: &DecisionContext) -> f64 {
+        let min_size = ctx.manifest.track(0).avg_chunk_bytes();
+        let max_size = ctx
+            .manifest
+            .track(ctx.manifest.top_level())
+            .avg_chunk_bytes();
+        let x = ctx.buffer_s;
+        if x <= self.config.reservoir_s {
+            min_size
+        } else if x >= self.config.cushion_s {
+            max_size
+        } else {
+            let f = (x - self.config.reservoir_s) / (self.config.cushion_s - self.config.reservoir_s);
+            min_size + f * (max_size - min_size)
+        }
+    }
+}
+
+impl AbrAlgorithm for Bba1 {
+    fn name(&self) -> &str {
+        "BBA-1"
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let allowed = self.allowed_bytes(ctx);
+        let i = ctx.chunk_index;
+        // Highest track whose upcoming chunk fits the map.
+        for level in (0..ctx.manifest.n_tracks()).rev() {
+            if ctx.manifest.chunk_bytes(level, i) as f64 <= allowed {
+                return level;
+            }
+        }
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(manifest: &'a Manifest, buffer_s: f64, i: usize) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(3.0e6),
+            last_level: Some(0),
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn reservoir_forces_lowest() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut bba = Bba1::paper_default();
+        for i in [0, 10, 50] {
+            assert_eq!(bba.choose_level(&ctx_with(&m, 5.0, i)), 0);
+        }
+    }
+
+    #[test]
+    fn cushion_allows_highest_for_typical_chunks() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut bba = Bba1::paper_default();
+        // At full cushion the map equals the top track's *average* size, so
+        // a below-average top-track chunk maps to the top.
+        let top = m.top_level();
+        let avg = m.track(top).avg_chunk_bytes();
+        let i = (0..m.n_chunks())
+            .find(|&i| (m.chunk_bytes(top, i) as f64) < avg)
+            .expect("some below-average chunk exists");
+        assert_eq!(bba.choose_level(&ctx_with(&m, 95.0, i)), top);
+    }
+
+    #[test]
+    fn level_monotone_in_buffer() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut bba = Bba1::paper_default();
+        let mut prev = 0;
+        for buf in [5.0, 20.0, 35.0, 50.0, 65.0, 80.0, 95.0] {
+            let level = bba.choose_level(&ctx_with(&m, buf, 30));
+            assert!(level >= prev, "buffer {buf}: {level} < {prev}");
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn myopia_small_chunk_gets_higher_level() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let top = m.top_level();
+        let mut smallest = 0;
+        let mut largest = 0;
+        for i in 0..m.n_chunks() {
+            if m.chunk_bytes(top, i) < m.chunk_bytes(top, smallest) {
+                smallest = i;
+            }
+            if m.chunk_bytes(top, i) > m.chunk_bytes(top, largest) {
+                largest = i;
+            }
+        }
+        let mut bba = Bba1::paper_default();
+        let l_small = bba.choose_level(&ctx_with(&m, 50.0, smallest));
+        let l_large = bba.choose_level(&ctx_with(&m, 50.0, largest));
+        assert!(
+            l_small > l_large,
+            "small chunk {l_small} should beat large chunk {l_large}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_config_rejected() {
+        let _ = Bba1::new(Bba1Config {
+            reservoir_s: 50.0,
+            cushion_s: 10.0,
+        });
+    }
+
+    #[test]
+    fn ignores_bandwidth_estimate() {
+        // Pure buffer-based: the estimate must not matter.
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut bba = Bba1::paper_default();
+        let mut ctx = ctx_with(&m, 55.0, 12);
+        let a = bba.choose_level(&ctx);
+        ctx.estimated_bandwidth_bps = Some(100.0e6);
+        let b = bba.choose_level(&ctx);
+        ctx.estimated_bandwidth_bps = None;
+        let c = bba.choose_level(&ctx);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,370 @@
+//! BOLA [Spiteri et al., INFOCOM '16] and BOLA-E [Spiteri et al.,
+//! MMSys '18], following the dash.js v2.7 implementation the paper
+//! benchmarks against in §6.8.
+//!
+//! BOLA is Lyapunov drift-plus-penalty: for buffer level `Q` (seconds),
+//! choose the track maximizing
+//!
+//! ```text
+//!   score(m) = (Vp · (u_m + gp) − Q) / bits_m
+//! ```
+//!
+//! where `u_m = 1 + ln(r_m / r_0)` are declared-bitrate utilities and
+//! `Vp`, `gp` are derived from the buffer target exactly as in dash.js
+//! (`MINIMUM_BUFFER_S = 10`, `MINIMUM_BUFFER_PER_BITRATE_LEVEL_S = 2`).
+//!
+//! The `bits_m` denominator is the **bitrate view** of §6.8's three
+//! variants: the declared *peak* of the track, the declared *average*, or
+//! the *actual segment size* of the upcoming chunk ("BOLA-E (seg)", the
+//! modification the BOLA paper suggests for VBR). The paper's §6.8 point is
+//! that plugging actual sizes into a scheme not designed for VBR produces
+//! heavy oscillation — which this implementation reproduces.
+//!
+//! BOLA-E adds the MMSys '18 practical rules, approximated as in dash.js:
+//! a throughput-based startup phase with a placeholder buffer, an
+//! insufficient-buffer guard, and a throughput cap when switching upward
+//! (oscillation damping).
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// Which per-chunk bit count feeds the score denominator (§6.8 variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BolaBitrateView {
+    /// Track's declared peak bitrate × chunk duration.
+    Peak,
+    /// Track's declared average bitrate × chunk duration.
+    Average,
+    /// Actual bytes of the upcoming chunk.
+    Segment,
+}
+
+impl BolaBitrateView {
+    fn label(self) -> &'static str {
+        match self {
+            BolaBitrateView::Peak => "peak",
+            BolaBitrateView::Average => "avg",
+            BolaBitrateView::Segment => "seg",
+        }
+    }
+}
+
+/// BOLA configuration (dash.js constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BolaConfig {
+    /// dash.js `MINIMUM_BUFFER_S`.
+    pub minimum_buffer_s: f64,
+    /// dash.js `MINIMUM_BUFFER_PER_BITRATE_LEVEL_S`.
+    pub buffer_per_level_s: f64,
+    /// Enable the BOLA-E practical rules.
+    pub enhanced: bool,
+    /// Bit-count view.
+    pub view: BolaBitrateView,
+    /// Safety factor for throughput-derived levels (dash.js uses 0.9).
+    pub throughput_safety: f64,
+}
+
+impl BolaConfig {
+    /// Plain BOLA over declared average bitrates.
+    pub fn bola() -> BolaConfig {
+        BolaConfig {
+            minimum_buffer_s: 10.0,
+            buffer_per_level_s: 2.0,
+            enhanced: false,
+            view: BolaBitrateView::Average,
+            throughput_safety: 0.9,
+        }
+    }
+
+    /// BOLA-E with the given bitrate view (the §6.8 variants).
+    pub fn bola_e(view: BolaBitrateView) -> BolaConfig {
+        BolaConfig {
+            enhanced: true,
+            view,
+            ..BolaConfig::bola()
+        }
+    }
+}
+
+/// The BOLA/BOLA-E scheme.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    config: BolaConfig,
+    name: String,
+    /// BOLA-E placeholder buffer (virtual seconds added to `Q`).
+    placeholder_s: f64,
+}
+
+impl Bola {
+    pub fn new(config: BolaConfig) -> Bola {
+        assert!(config.minimum_buffer_s > 0.0);
+        assert!(config.buffer_per_level_s >= 0.0);
+        assert!(config.throughput_safety > 0.0 && config.throughput_safety <= 1.0);
+        let name = if config.enhanced {
+            format!("BOLA-E ({})", config.view.label())
+        } else {
+            "BOLA".to_string()
+        };
+        Bola {
+            config,
+            name,
+            placeholder_s: 0.0,
+        }
+    }
+
+    /// Plain BOLA.
+    #[allow(clippy::self_named_constructors)]
+    pub fn bola() -> Bola {
+        Bola::new(BolaConfig::bola())
+    }
+
+    /// BOLA-E with a bitrate view.
+    pub fn bola_e(view: BolaBitrateView) -> Bola {
+        Bola::new(BolaConfig::bola_e(view))
+    }
+
+    /// `(Vp, gp)` from the dash.js derivation for this manifest.
+    fn control_params(&self, ctx: &DecisionContext) -> (f64, f64) {
+        let m = ctx.manifest;
+        let n = m.n_tracks();
+        let u_max = self.utility(ctx, n - 1);
+        let buffer_target =
+            self.config.minimum_buffer_s + self.config.buffer_per_level_s * n as f64;
+        let gp = (u_max - 1.0) / (buffer_target / self.config.minimum_buffer_s - 1.0);
+        let vp = self.config.minimum_buffer_s / gp;
+        (vp, gp)
+    }
+
+    /// Declared-bitrate utility `u_m = 1 + ln(r_m / r_0)`.
+    fn utility(&self, ctx: &DecisionContext, level: usize) -> f64 {
+        1.0 + (ctx.manifest.declared_bitrate(level) / ctx.manifest.declared_bitrate(0)).ln()
+    }
+
+    /// Bits of the upcoming chunk under the configured view.
+    fn chunk_bits(&self, ctx: &DecisionContext, level: usize) -> f64 {
+        let m = ctx.manifest;
+        let delta = m.chunk_duration();
+        match self.config.view {
+            BolaBitrateView::Peak => m.track(level).peak_bps() * delta,
+            BolaBitrateView::Average => m.declared_bitrate(level) * delta,
+            BolaBitrateView::Segment => m.chunk_bits(level, ctx.chunk_index),
+        }
+    }
+
+    /// Highest level whose declared bitrate fits the safe throughput.
+    fn throughput_level(&self, ctx: &DecisionContext) -> usize {
+        let bw = ctx.bandwidth_or_conservative() * self.config.throughput_safety;
+        (0..ctx.manifest.n_tracks())
+            .rev()
+            .find(|&l| ctx.manifest.declared_bitrate(l) <= bw)
+            .unwrap_or(0)
+    }
+}
+
+impl AbrAlgorithm for Bola {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let m = ctx.manifest;
+        let delta = m.chunk_duration();
+        let (vp, gp) = self.control_params(ctx);
+
+        // BOLA-E startup: before playback begins the buffer alone is too
+        // small for BOLA's objective to pick anything but the bottom track;
+        // dash.js uses a throughput rule and a placeholder buffer instead.
+        if self.config.enhanced && !ctx.startup_complete {
+            let level = self.throughput_level(ctx);
+            // Set the placeholder so that the BOLA objective would sustain
+            // this level: Vp·(u_level + gp) − Q_effective = 0 at switch-down.
+            let sustain_q = vp * (self.utility(ctx, level) + gp - 1.0);
+            self.placeholder_s = (sustain_q - ctx.buffer_s).max(0.0);
+            return level;
+        }
+
+        let q_effective = ctx.buffer_s + if self.config.enhanced { self.placeholder_s } else { 0.0 };
+        // Placeholder drains as the real buffer grows (dash.js keeps the sum
+        // from exceeding the buffer target).
+        if self.config.enhanced {
+            let buffer_target =
+                self.config.minimum_buffer_s + self.config.buffer_per_level_s * m.n_tracks() as f64;
+            if q_effective > buffer_target {
+                self.placeholder_s = (buffer_target - ctx.buffer_s).max(0.0);
+            }
+        }
+        let q = ctx.buffer_s + if self.config.enhanced { self.placeholder_s } else { 0.0 };
+
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for level in 0..m.n_tracks() {
+            let score = (vp * (self.utility(ctx, level) + gp) - q) / self.chunk_bits(ctx, level);
+            if score > best_score {
+                best_score = score;
+                best = level;
+            }
+        }
+
+        if self.config.enhanced {
+            // Insufficient-buffer rule: with under two chunks buffered, only
+            // levels whose chunk downloads faster than real time are safe.
+            if ctx.buffer_s < 2.0 * delta {
+                let bw = ctx.bandwidth_or_conservative();
+                while best > 0 && self.chunk_bits(ctx, best) / bw > delta {
+                    best -= 1;
+                }
+            }
+            // Oscillation damping: cap upward switches at the throughput
+            // level (dash.js BOLA-O style).
+            if let Some(last) = ctx.last_level {
+                if best > last {
+                    best = best.min(self.throughput_level(ctx).max(last));
+                }
+            }
+        }
+        best
+    }
+
+    fn reset(&mut self) {
+        self.placeholder_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        buffer_s: f64,
+        bw: f64,
+        i: usize,
+        last: Option<usize>,
+        started: bool,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: last,
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: started,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn level_monotone_in_buffer() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola = Bola::bola();
+        let mut prev = 0;
+        for buf in [2.0, 8.0, 12.0, 16.0, 20.0, 24.0] {
+            let l = bola.choose_level(&ctx_with(&m, buf, 3.0e6, 10, Some(prev), true));
+            assert!(l >= prev, "buffer {buf}: {l} < {prev}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn empty_buffer_picks_lowest() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola = Bola::bola();
+        assert_eq!(bola.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, true)), 0);
+    }
+
+    #[test]
+    fn peak_view_most_conservative() {
+        // §6.8: BOLA-E (peak) overestimates bandwidth requirements, so at a
+        // given buffer it should never pick a higher level than the average
+        // view, which in turn ≥ ... (segment view varies per chunk).
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut peak = Bola::bola_e(BolaBitrateView::Peak);
+        let mut avg = Bola::bola_e(BolaBitrateView::Average);
+        for buf in [10.0, 14.0, 18.0, 22.0] {
+            let lp = peak.choose_level(&ctx_with(&m, buf, 3.0e6, 10, Some(5), true));
+            let la = avg.choose_level(&ctx_with(&m, buf, 3.0e6, 10, Some(5), true));
+            assert!(lp <= la, "buffer {buf}: peak {lp} > avg {la}");
+        }
+    }
+
+    #[test]
+    fn seg_view_depends_on_chunk_size() {
+        // For a small chunk, the segment view should allow a level at least
+        // as high as for a large chunk at the same buffer.
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let top = m.top_level();
+        let mut smallest = 0;
+        let mut largest = 0;
+        for i in 0..m.n_chunks() {
+            if m.chunk_bytes(top, i) < m.chunk_bytes(top, smallest) {
+                smallest = i;
+            }
+            if m.chunk_bytes(top, i) > m.chunk_bytes(top, largest) {
+                largest = i;
+            }
+        }
+        let mut seg = Bola::bola_e(BolaBitrateView::Segment);
+        let l_small = seg.choose_level(&ctx_with(&m, 16.0, 3.0e6, smallest, Some(3), true));
+        let mut seg2 = Bola::bola_e(BolaBitrateView::Segment);
+        let l_large = seg2.choose_level(&ctx_with(&m, 16.0, 3.0e6, largest, Some(3), true));
+        assert!(l_small >= l_large);
+    }
+
+    #[test]
+    fn startup_uses_throughput_rule() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola_e = Bola::bola_e(BolaBitrateView::Segment);
+        // 3 Mbps with 0.9 safety → highest declared ≤ 2.7 Mbps = level 4
+        // (2.0 Mbps) on the YouTube ladder.
+        let l = bola_e.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, false));
+        assert_eq!(l, 4);
+        // Plain BOLA in the same state is stuck at the bottom.
+        let mut plain = Bola::bola();
+        assert_eq!(plain.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, false)), 0);
+    }
+
+    #[test]
+    fn insufficient_buffer_guard() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola_e = Bola::bola_e(BolaBitrateView::Segment);
+        // Thin buffer, weak bandwidth: the guard must keep downloads faster
+        // than real time.
+        let bw = 0.5e6;
+        let l = bola_e.choose_level(&ctx_with(&m, 4.0, bw, 10, Some(4), true));
+        let dl = m.chunk_bits(l, 10) / bw;
+        assert!(
+            l == 0 || dl <= m.chunk_duration() + 1e-9,
+            "level {l} downloads in {dl}s"
+        );
+    }
+
+    #[test]
+    fn upward_switch_capped_by_throughput() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola_e = Bola::bola_e(BolaBitrateView::Average);
+        // Huge buffer wants the top, but throughput only supports level 2.
+        let bw = m.declared_bitrate(2) / 0.9 + 1.0;
+        let l = bola_e.choose_level(&ctx_with(&m, 90.0, bw, 10, Some(1), true));
+        assert!(l <= 2, "upward switch should be capped at 2, got {l}");
+    }
+
+    #[test]
+    fn reset_clears_placeholder() {
+        let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
+        let mut bola_e = Bola::bola_e(BolaBitrateView::Segment);
+        let _ = bola_e.choose_level(&ctx_with(&m, 0.0, 5.0e6, 0, None, false));
+        assert!(bola_e.placeholder_s > 0.0);
+        bola_e.reset();
+        assert_eq!(bola_e.placeholder_s, 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Bola::bola().name(), "BOLA");
+        assert_eq!(Bola::bola_e(BolaBitrateView::Peak).name(), "BOLA-E (peak)");
+        assert_eq!(Bola::bola_e(BolaBitrateView::Average).name(), "BOLA-E (avg)");
+        assert_eq!(Bola::bola_e(BolaBitrateView::Segment).name(), "BOLA-E (seg)");
+    }
+}

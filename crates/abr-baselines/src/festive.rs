@@ -1,0 +1,212 @@
+//! FESTIVE [Jiang et al., CoNEXT '12 — the paper's reference 20].
+//!
+//! A classic rate-based scheme the paper cites among "rate-based (e.g.,
+//! [20, 21, 49])" ABR algorithms. The parts relevant to a single-player
+//! setting (FESTIVE's fairness machinery targets multi-player contention):
+//!
+//! * **Efficiency**: pick the highest track whose declared bitrate is at
+//!   most `γ · Ĉ` (γ = 0.85, FESTIVE's bandwidth margin).
+//! * **Stability — gradual switching**: step at most one level at a time,
+//!   and only switch *up* after the target has persisted for `k`
+//!   consecutive decisions, where `k` equals the current level (higher
+//!   levels switch up more reluctantly — FESTIVE's signature rule).
+//!   Switch-downs are immediate.
+//!
+//! Like PIA, FESTIVE reasons about *declared* bitrates only — per-chunk VBR
+//! sizes play no role, which is exactly the blind spot the paper's §4
+//! principles address.
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// FESTIVE configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FestiveConfig {
+    /// Bandwidth margin γ (reference value 0.85).
+    pub bandwidth_margin: f64,
+    /// Extra persistence decisions added to the level-proportional delay
+    /// (0 = the classic "wait `level` decisions" rule).
+    pub extra_persistence: usize,
+}
+
+impl Default for FestiveConfig {
+    fn default() -> FestiveConfig {
+        FestiveConfig {
+            bandwidth_margin: 0.85,
+            extra_persistence: 0,
+        }
+    }
+}
+
+/// The FESTIVE scheme.
+#[derive(Debug, Clone)]
+pub struct Festive {
+    config: FestiveConfig,
+    /// Consecutive decisions for which the efficiency target exceeded the
+    /// current level.
+    up_streak: usize,
+}
+
+impl Festive {
+    /// # Panics
+    /// Panics unless `0 < bandwidth_margin <= 1`.
+    pub fn new(config: FestiveConfig) -> Festive {
+        assert!(
+            config.bandwidth_margin > 0.0 && config.bandwidth_margin <= 1.0,
+            "margin must be in (0,1]"
+        );
+        Festive {
+            config,
+            up_streak: 0,
+        }
+    }
+
+    /// Reference configuration.
+    pub fn paper_default() -> Festive {
+        Festive::new(FestiveConfig::default())
+    }
+
+    /// Efficiency target: highest track with declared bitrate ≤ γ·Ĉ.
+    fn target_level(&self, ctx: &DecisionContext) -> usize {
+        let budget = ctx.bandwidth_or_conservative() * self.config.bandwidth_margin;
+        (0..ctx.manifest.n_tracks())
+            .rev()
+            .find(|&l| ctx.manifest.declared_bitrate(l) <= budget)
+            .unwrap_or(0)
+    }
+}
+
+impl AbrAlgorithm for Festive {
+    fn name(&self) -> &str {
+        "FESTIVE"
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let target = self.target_level(ctx);
+        let current = match ctx.last_level {
+            Some(l) => l,
+            None => {
+                self.up_streak = 0;
+                return target.min(ctx.manifest.n_tracks() / 2);
+            }
+        };
+        if target > current {
+            self.up_streak += 1;
+            let needed = current + self.config.extra_persistence;
+            if self.up_streak > needed {
+                self.up_streak = 0;
+                current + 1 // gradual: one level at a time
+            } else {
+                current
+            }
+        } else if target < current {
+            self.up_streak = 0;
+            current - 1 // step down gradually but immediately
+        } else {
+            self.up_streak = 0;
+            current
+        }
+    }
+
+    fn reset(&mut self) {
+        self.up_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        bw: f64,
+        i: usize,
+        last: Option<usize>,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s: 30.0,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: last,
+            past_throughputs_bps: &[],
+            wall_time_s: i as f64 * 2.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn efficiency_target_uses_margin() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let f = Festive::paper_default();
+        // 2.5 Mbps track needs bw ≥ 2.5/0.85 ≈ 2.94 Mbps.
+        assert_eq!(f.target_level(&ctx_with(&m, 3.0e6, 0, Some(0))), 4);
+        assert_eq!(f.target_level(&ctx_with(&m, 2.8e6, 0, Some(0))), 3);
+    }
+
+    #[test]
+    fn up_switch_requires_persistence_proportional_to_level() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut f = Festive::paper_default();
+        // At level 3 with plenty of bandwidth: needs 4 consecutive
+        // target>current decisions before stepping to 4.
+        for i in 0..3 {
+            assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, i, Some(3))), 3, "step {i}");
+        }
+        assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, 3, Some(3))), 4);
+    }
+
+    #[test]
+    fn low_levels_climb_faster() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut f = Festive::paper_default();
+        // At level 0 the persistence requirement is zero: the first
+        // persistent decision already climbs.
+        assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, 0, Some(0))), 1);
+        // At level 1 it takes two.
+        let mut g = Festive::paper_default();
+        assert_eq!(g.choose_level(&ctx_with(&m, 50.0e6, 0, Some(1))), 1);
+        assert_eq!(g.choose_level(&ctx_with(&m, 50.0e6, 1, Some(1))), 2);
+    }
+
+    #[test]
+    fn down_switch_is_immediate_but_gradual() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut f = Festive::paper_default();
+        assert_eq!(f.choose_level(&ctx_with(&m, 0.1e6, 0, Some(4))), 3);
+        assert_eq!(f.choose_level(&ctx_with(&m, 0.1e6, 1, Some(3))), 2);
+    }
+
+    #[test]
+    fn interruption_resets_streak() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut f = Festive::paper_default();
+        let _ = f.choose_level(&ctx_with(&m, 50.0e6, 0, Some(3)));
+        let _ = f.choose_level(&ctx_with(&m, 50.0e6, 1, Some(3)));
+        // Bandwidth dips: target falls to current → streak resets.
+        let _ = f.choose_level(&ctx_with(&m, 2.8e6, 2, Some(3)));
+        // Needs the full persistence again.
+        for i in 3..6 {
+            assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, i, Some(3))), 3);
+        }
+        assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, 6, Some(3))), 4);
+    }
+
+    #[test]
+    fn first_decision_is_moderate() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut f = Festive::paper_default();
+        let l = f.choose_level(&ctx_with(&m, 50.0e6, 0, None));
+        assert!(l <= m.n_tracks() / 2, "start at or below the middle: {l}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_margin_rejected() {
+        let _ = Festive::new(FestiveConfig {
+            bandwidth_margin: 1.5,
+            extra_persistence: 0,
+        });
+    }
+}

@@ -1,0 +1,325 @@
+//! MPC and RobustMPC [Yin et al., SIGCOMM '15].
+//!
+//! Model predictive control: at each decision, enumerate every level
+//! assignment for the next `N` chunks (the paper and ours use N = 5),
+//! simulate the buffer with *actual chunk sizes* (the VBR-aware adaptation
+//! §6.1 applies to every baseline), and maximize the canonical QoE
+//! objective
+//!
+//! ```text
+//!   Σ q(R_k)  −  λ Σ |q(R_k) − q(R_{k−1})|  −  μ · rebuffer_seconds
+//! ```
+//!
+//! with `q` the track's declared bitrate in Mbps (the reference MPC's
+//! quality proxy; actual chunk sizes drive the buffer model only). **RobustMPC** divides the
+//! bandwidth prediction by `1 + max recent relative prediction error` — the
+//! lower-bound trick that §6.3/§6.7 show trades a little quality for far
+//! fewer stalls under bad predictions.
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+use net_trace::PredictionErrorTracker;
+
+use crate::util::for_each_sequence;
+
+/// MPC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcConfig {
+    /// Look-ahead horizon in chunks (paper: 5).
+    pub horizon: usize,
+    /// λ — weight of the smoothness penalty.
+    pub smoothness_weight: f64,
+    /// μ — rebuffer penalty in QoE units per second. `None` derives it from
+    /// the manifest (the top track's declared bitrate in Mbps), the scaling
+    /// used in the reference implementation.
+    pub rebuffer_penalty: Option<f64>,
+    /// Use the RobustMPC prediction discount.
+    pub robust: bool,
+    /// Window of the prediction-error tracker (RobustMPC; paper: 5).
+    pub error_window: usize,
+}
+
+impl MpcConfig {
+    /// Plain MPC with the reference parameters.
+    pub fn mpc() -> MpcConfig {
+        MpcConfig {
+            horizon: 5,
+            smoothness_weight: 1.0,
+            rebuffer_penalty: None,
+            robust: false,
+            error_window: 5,
+        }
+    }
+
+    /// RobustMPC with the reference parameters.
+    pub fn robust_mpc() -> MpcConfig {
+        MpcConfig {
+            robust: true,
+            ..MpcConfig::mpc()
+        }
+    }
+}
+
+/// The (Robust)MPC scheme.
+#[derive(Debug, Clone)]
+pub struct Mpc {
+    config: MpcConfig,
+    name: &'static str,
+    errors: PredictionErrorTracker,
+    /// Prediction used for the previous decision, to be scored against the
+    /// realized throughput that arrives in the next context.
+    last_prediction: Option<f64>,
+    n_observed: usize,
+}
+
+impl Mpc {
+    /// # Panics
+    /// Panics on a zero horizon or error window.
+    pub fn new(config: MpcConfig) -> Mpc {
+        assert!(config.horizon > 0, "horizon must be positive");
+        assert!(config.error_window > 0);
+        Mpc {
+            config,
+            name: if config.robust { "RobustMPC" } else { "MPC" },
+            errors: PredictionErrorTracker::new(config.error_window),
+            last_prediction: None,
+            n_observed: 0,
+        }
+    }
+
+    /// Plain MPC, reference parameters.
+    #[allow(clippy::self_named_constructors)]
+    pub fn mpc() -> Mpc {
+        Mpc::new(MpcConfig::mpc())
+    }
+
+    /// RobustMPC, reference parameters.
+    pub fn robust() -> Mpc {
+        Mpc::new(MpcConfig::robust_mpc())
+    }
+
+    fn rebuffer_penalty(&self, ctx: &DecisionContext) -> f64 {
+        self.config
+            .rebuffer_penalty
+            .unwrap_or_else(|| ctx.manifest.declared_bitrate(ctx.manifest.top_level()) / 1.0e6)
+    }
+}
+
+impl AbrAlgorithm for Mpc {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        // Feed the error tracker with (previous prediction, realized
+        // throughput of the chunk it predicted).
+        if let (Some(pred), true) = (
+            self.last_prediction,
+            ctx.past_throughputs_bps.len() > self.n_observed,
+        ) {
+            let actual = *ctx
+                .past_throughputs_bps
+                .last()
+                .expect("length checked above");
+            self.errors.record(pred, actual);
+        }
+        self.n_observed = ctx.past_throughputs_bps.len();
+
+        let raw_bw = ctx.bandwidth_or_conservative();
+        self.last_prediction = Some(raw_bw);
+        let bw = if self.config.robust {
+            raw_bw / (1.0 + self.errors.max_error())
+        } else {
+            raw_bw
+        };
+
+        let m = ctx.manifest;
+        let delta = m.chunk_duration();
+        let n_chunks = m.n_chunks();
+        let start = ctx.chunk_index;
+        // Live streaming: plan only over published chunks.
+        let visible = ctx.visible_chunks.min(n_chunks).max(start + 1);
+        let horizon = self.config.horizon.min(visible - start);
+        let mu = self.rebuffer_penalty(ctx);
+        let lambda = self.config.smoothness_weight;
+        // Quality term: the track's *declared* bitrate (the reference MPC's
+        // quality proxy). Actual chunk sizes drive only the download-time
+        // model, per §6.1's "use the actual size … in making rate adaptation
+        // decisions".
+        let prev_quality = ctx.last_level.map(|l| m.declared_bitrate(l) / 1.0e6);
+
+        let mut best_seq0 = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for_each_sequence(m.n_tracks(), horizon, |seq| {
+            let mut buf = ctx.buffer_s;
+            let mut rebuffer = 0.0;
+            let mut quality_sum = 0.0;
+            let mut smooth = 0.0;
+            let mut prev_q = prev_quality;
+            for (k, &level) in seq.iter().enumerate() {
+                let idx = start + k;
+                let q = m.declared_bitrate(level) / 1.0e6;
+                quality_sum += q;
+                if let Some(pq) = prev_q {
+                    smooth += (q - pq).abs();
+                }
+                prev_q = Some(q);
+                let dl = m.chunk_bits(level, idx) / bw;
+                if dl > buf {
+                    rebuffer += dl - buf;
+                    buf = 0.0;
+                } else {
+                    buf -= dl;
+                }
+                buf += delta;
+            }
+            let score = quality_sum - lambda * smooth - mu * rebuffer;
+            if score > best_score {
+                best_score = score;
+                best_seq0 = seq[0];
+            }
+        });
+        best_seq0
+    }
+
+    fn reset(&mut self) {
+        self.errors.reset();
+        self.last_prediction = None;
+        self.n_observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sim::abr::FixedLevel;
+    use abr_sim::{QoeConfig, Simulator};
+    use net_trace::Trace;
+    use vbr_video::classify::Classification;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        buffer_s: f64,
+        bw: f64,
+        i: usize,
+        past: &'a [f64],
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: Some(2),
+            past_throughputs_bps: past,
+            wall_time_s: 0.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn rich_bandwidth_gets_top_track() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut mpc = Mpc::mpc();
+        // Coming from level 2, the smoothness term may spread the climb over
+        // a chunk, but MPC must reach (or nearly reach) the top immediately.
+        let level = mpc.choose_level(&ctx_with(&m, 60.0, 1.0e9, 0, &[]));
+        assert!(level >= m.top_level() - 1, "level {level}");
+        // Already at the top, it stays there.
+        let ctx = DecisionContext {
+            last_level: Some(m.top_level()),
+            ..ctx_with(&m, 60.0, 1.0e9, 10, &[])
+        };
+        assert_eq!(mpc.choose_level(&ctx), m.top_level());
+    }
+
+    #[test]
+    fn starved_bandwidth_gets_bottom_track() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut mpc = Mpc::mpc();
+        let level = mpc.choose_level(&ctx_with(&m, 2.0, 50.0e3, 0, &[]));
+        assert_eq!(level, 0);
+    }
+
+    #[test]
+    fn robust_is_more_conservative_after_errors() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut plain = Mpc::mpc();
+        let mut robust = Mpc::robust();
+        // Build an error history: each decision predicted 4 Mbps (harmonic
+        // mean input), but the realized throughput came in far lower.
+        let past = [4.0e6, 1.0e6, 4.0e6, 1.0e6];
+        // Feed contexts one at a time so the tracker accumulates.
+        for k in 1..past.len() {
+            let _ = plain.choose_level(&ctx_with(&m, 12.0, 4.0e6, k, &past[..k]));
+            let _ = robust.choose_level(&ctx_with(&m, 12.0, 4.0e6, k, &past[..k]));
+        }
+        let l_plain = plain.choose_level(&ctx_with(&m, 12.0, 4.0e6, past.len(), &past));
+        let l_robust = robust.choose_level(&ctx_with(&m, 12.0, 4.0e6, past.len(), &past));
+        assert!(
+            l_robust <= l_plain,
+            "robust {l_robust} must not exceed plain {l_plain}"
+        );
+        assert!(l_robust < l_plain, "with 300% errors robust must back off");
+    }
+
+    #[test]
+    fn horizon_truncates_at_video_end() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut mpc = Mpc::mpc();
+        let last = m.n_chunks() - 1;
+        // Must not panic and must return a valid level.
+        let level = mpc.choose_level(&ctx_with(&m, 30.0, 3.0e6, last, &[]));
+        assert!(level < m.n_tracks());
+    }
+
+    #[test]
+    fn end_to_end_beats_fixed_top_on_variable_trace() {
+        // MPC should stall far less than naively streaming the top track.
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let c = Classification::from_video(&video);
+        let mut samples = Vec::new();
+        for i in 0..1500 {
+            samples.push(if (i / 60) % 2 == 0 { 4.0e6 } else { 1.0e6 });
+        }
+        let trace = Trace::new("sq", 1.0, samples);
+        let sim = Simulator::paper_default();
+        let mpc_m = abr_sim::metrics::evaluate(
+            &sim.run(&mut Mpc::robust(), &m, &trace),
+            &video,
+            &c,
+            &QoeConfig::lte(),
+        );
+        let top_m = abr_sim::metrics::evaluate(
+            &sim.run(&mut FixedLevel::new(5), &m, &trace),
+            &video,
+            &c,
+            &QoeConfig::lte(),
+        );
+        assert!(mpc_m.rebuffer_s < top_m.rebuffer_s * 0.2);
+        assert!(mpc_m.all_quality_mean > 40.0);
+    }
+
+    #[test]
+    fn reset_clears_error_history() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut robust = Mpc::robust();
+        let past = [0.2e6; 6];
+        for k in 1..=5 {
+            let _ = robust.choose_level(&ctx_with(&m, 12.0, 4.0e6, k, &past[..k]));
+        }
+        robust.reset();
+        // After reset, behaves like a fresh instance.
+        let mut fresh = Mpc::robust();
+        let a = robust.choose_level(&ctx_with(&m, 30.0, 3.0e6, 0, &[]));
+        let b = fresh.choose_level(&ctx_with(&m, 30.0, 3.0e6, 0, &[]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Mpc::mpc().name(), "MPC");
+        assert_eq!(Mpc::robust().name(), "RobustMPC");
+    }
+}

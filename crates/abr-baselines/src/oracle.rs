@@ -1,0 +1,373 @@
+//! Offline optimal planner — an evaluation *upper bound*, not a deployable
+//! scheme.
+//!
+//! Given full knowledge of the bandwidth trace and the per-chunk quality
+//! table, plan the whole session by dynamic programming, maximizing
+//! `Σ quality − λ·Σ|Δquality|` over stall-free trajectories. No online
+//! scheme can beat it on that objective (up to buffer quantization), which
+//! makes it the yardstick for "how much headroom is left" above CAVA and
+//! the baselines.
+//!
+//! ## Why the DP is exact (up to quantization)
+//!
+//! Along any stall-free trajectory the player's wall clock satisfies
+//! `t + buffer = T₀ + b₀ + (i − i₀)·Δ`: downloading moves time forward
+//! exactly as much as it fills the buffer minus the Δ appended per chunk,
+//! and buffer-cap pauses trade time for buffer one-for-one. So `(chunk,
+//! buffer)` determines the wall time, download times are computable from
+//! the trace, and the Markov state `(chunk, buffer bucket, previous level)`
+//! captures everything — including the smoothness term.
+//!
+//! Stalls break the invariant; the planner treats them as terminal for a
+//! branch (heavily penalized fallback to the lowest track), so the plan is
+//! an upper bound for the no-stall regime the objective rewards anyway.
+//!
+//! ## Startup
+//!
+//! The startup phase (buffer below the play threshold) downloads back-to-
+//! back at the lowest track — the common production strategy — which fixes
+//! `T₀` and `b₀` for the DP.
+
+use abr_sim::{AbrAlgorithm, DecisionContext, PlayerConfig};
+use net_trace::Trace;
+use vbr_video::quality::VmafModel;
+use vbr_video::{Manifest, Video};
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineOptConfig {
+    /// Buffer quantization in seconds (smaller = more exact, more states).
+    pub buffer_quantum_s: f64,
+    /// λ — smoothness weight on |Δquality| between adjacent chunks.
+    pub smoothness_weight: f64,
+    /// Quality model to optimize.
+    pub model: VmafModel,
+}
+
+impl Default for OfflineOptConfig {
+    fn default() -> OfflineOptConfig {
+        OfflineOptConfig {
+            buffer_quantum_s: 0.25,
+            smoothness_weight: 1.0,
+            model: VmafModel::Phone,
+        }
+    }
+}
+
+/// A planned session: replays a precomputed per-chunk level sequence.
+#[derive(Debug, Clone)]
+pub struct OfflineOptimal {
+    plan: Vec<usize>,
+}
+
+impl OfflineOptimal {
+    /// Plan the optimal stall-free session for `video` over `trace` under
+    /// the player's startup threshold and buffer cap.
+    ///
+    /// # Panics
+    /// Panics on a non-positive buffer quantum.
+    pub fn plan(
+        video: &Video,
+        trace: &Trace,
+        player: &PlayerConfig,
+        config: &OfflineOptConfig,
+    ) -> OfflineOptimal {
+        assert!(config.buffer_quantum_s > 0.0);
+        let manifest = Manifest::from_video(video);
+        let n = manifest.n_chunks();
+        let levels = manifest.n_tracks();
+        assert!(levels <= 8, "download-time cache is sized for ladders of up to 8 tracks");
+        let delta = manifest.chunk_duration();
+        let quantum = config.buffer_quantum_s;
+        let max_buffer = player.max_buffer_s;
+        let n_buckets = (max_buffer / quantum).ceil() as usize + 1;
+        // Floor-bucketing: the DP's belief about the buffer is always a
+        // lower bound on reality, so quantization can never manufacture a
+        // stall-free plan that stalls when replayed.
+        let bucket_of = |b: f64| -> usize { ((b / quantum).floor() as usize).min(n_buckets - 1) };
+        let buffer_of = |bucket: usize| -> f64 { bucket as f64 * quantum };
+
+        // Quality table under the chosen model.
+        let quality: Vec<Vec<f64>> = (0..levels)
+            .map(|l| (0..n).map(|i| video.quality(l, i).vmaf(config.model)).collect())
+            .collect();
+
+        // ---- Startup: lowest track, back-to-back, until playable. ----
+        let startup_chunks = ((player.startup_threshold_s / delta).ceil() as usize)
+            .clamp(1, n);
+        let mut t0 = 0.0;
+        for i in 0..startup_chunks {
+            t0 += trace.download_time(manifest.chunk_bytes(0, i), t0);
+        }
+        let b0 = startup_chunks as f64 * delta;
+        // Invariant constant: t + b = t0 + b0 + (i - startup_chunks)·Δ.
+        let invariant = t0 + b0;
+
+        if startup_chunks >= n {
+            return OfflineOptimal { plan: vec![0; n] };
+        }
+
+        // ---- Forward DP over (chunk, buffer bucket, prev level),
+        // with parent tracking for backtracking. ----
+        const NEG: f64 = f64::NEG_INFINITY;
+        let idx = |bucket: usize, prev: usize| bucket * levels + prev;
+        let start_state = idx(bucket_of(b0), 0);
+        let mut choice = vec![vec![u8::MAX; n_buckets * levels]; n - startup_chunks];
+        // Second pass with parent tracking (memory: (n−k) × states × u32).
+        let mut value = vec![NEG; n_buckets * levels];
+        let mut value_next = vec![NEG; n_buckets * levels];
+        let mut parent = vec![vec![u32::MAX; n_buckets * levels]; n - startup_chunks];
+        value[start_state] = 0.0;
+        for i in startup_chunks..n {
+            for v in value_next.iter_mut() {
+                *v = NEG;
+            }
+            let step = (i - startup_chunks) as f64 * delta;
+            for bucket in 0..n_buckets {
+                let b = buffer_of(bucket);
+                let t = invariant + step - b;
+                if t < 0.0 {
+                    continue;
+                }
+                let mut dl_cache: [f64; 8] = [f64::NAN; 8];
+                for prev in 0..levels {
+                    let from = idx(bucket, prev);
+                    let v = value[from];
+                    if v == NEG {
+                        continue;
+                    }
+                    for level in 0..levels {
+                        let dl = {
+                            let c = &mut dl_cache[level.min(7)];
+                            if c.is_nan() {
+                                *c = trace.download_time(manifest.chunk_bytes(level, i), t);
+                            }
+                            *c
+                        };
+                        // Conservative stall guard: one quantum of margin
+                        // absorbs the floor-bucketing error.
+                        if dl + quantum > b {
+                            continue;
+                        }
+                        let b_next = (b - dl + delta).min(max_buffer);
+                        let q = quality[level][i];
+                        let q_prev = if i == startup_chunks {
+                            quality[0][i - 1]
+                        } else {
+                            quality[prev][i - 1]
+                        };
+                        let gain = q - config.smoothness_weight * (q - q_prev).abs();
+                        let state = idx(bucket_of(b_next), level);
+                        if v + gain > value_next[state] {
+                            value_next[state] = v + gain;
+                            parent[i - startup_chunks][state] = from as u32;
+                            choice[i - startup_chunks][state] = level as u8;
+                        }
+                    }
+                }
+            }
+            // Dead end: no stall-free continuation exists (e.g. an outage
+            // longer than any buffer). Accept a stall on the lowest track,
+            // chaining to the best state reached so far so the prefix of the
+            // plan stays optimal; post-stall wall times are approximate.
+            if value_next.iter().all(|&v| v == NEG) {
+                let (best_prev, best_v) = value
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite or NEG"))
+                    .expect("non-empty");
+                let state = idx(bucket_of(delta), 0);
+                value_next[state] = best_v - 1.0e4;
+                parent[i - startup_chunks][state] = best_prev as u32;
+                choice[i - startup_chunks][state] = 0;
+            }
+            std::mem::swap(&mut value, &mut value_next);
+        }
+        // ---- Backtrack. ----
+        let mut plan = vec![0u8; n];
+        let (mut state, _) = value
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite or NEG"))
+            .expect("non-empty");
+        for i in (startup_chunks..n).rev() {
+            let k = i - startup_chunks;
+            let level = choice[k][state];
+            plan[i] = if level == u8::MAX { 0 } else { level };
+            let p = parent[k][state];
+            state = if p == u32::MAX { start_state } else { p as usize };
+        }
+        // Startup chunks at the lowest track.
+        for p in plan.iter_mut().take(startup_chunks) {
+            *p = 0;
+        }
+        OfflineOptimal {
+            plan: plan.into_iter().map(|l| l as usize).collect(),
+        }
+    }
+
+    /// The planned level sequence.
+    pub fn plan_levels(&self) -> &[usize] {
+        &self.plan
+    }
+}
+
+impl AbrAlgorithm for OfflineOptimal {
+    fn name(&self) -> &str {
+        "OPT (offline)"
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        self.plan[ctx.chunk_index].min(ctx.manifest.top_level())
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sim::metrics::{evaluate, QoeConfig};
+    use abr_sim::Simulator;
+    use cava_core::Cava;
+    use vbr_video::{Classification, Dataset};
+
+    fn setup() -> (Video, Manifest, Trace) {
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let trace = net_trace::lte::lte_trace(3, &net_trace::lte::LteConfig::default());
+        (video, manifest, trace)
+    }
+
+    #[test]
+    fn plan_covers_every_chunk_with_valid_levels() {
+        let (video, manifest, trace) = setup();
+        let opt = OfflineOptimal::plan(
+            &video,
+            &trace,
+            &PlayerConfig::default(),
+            &OfflineOptConfig::default(),
+        );
+        assert_eq!(opt.plan_levels().len(), manifest.n_chunks());
+        assert!(opt.plan_levels().iter().all(|&l| l < manifest.n_tracks()));
+    }
+
+    #[test]
+    fn plan_stalls_no_more_than_online_schemes() {
+        // Some traces make stalls unavoidable (outages longer than any
+        // buffer); the plan must still not stall more than CAVA does, plus
+        // quantization slack.
+        let (video, manifest, trace) = setup();
+        let player = PlayerConfig::default();
+        let sim = Simulator::new(player);
+        let mut opt = OfflineOptimal::plan(&video, &trace, &player, &OfflineOptConfig::default());
+        let opt_session = sim.run(&mut opt, &manifest, &trace);
+        let cava_session = sim.run(&mut Cava::paper_default(), &manifest, &trace);
+        assert!(
+            opt_session.total_stall_s <= cava_session.total_stall_s + 5.0,
+            "OPT stalled {}s vs CAVA {}s",
+            opt_session.total_stall_s,
+            cava_session.total_stall_s
+        );
+    }
+
+    #[test]
+    fn plan_is_stall_free_on_flat_adequate_link() {
+        // On a constant link with headroom, a stall-free plan exists and the
+        // DP must find one (exactly — no quantization excuse).
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![3.0e6; 1500]);
+        let player = PlayerConfig::default();
+        let mut opt = OfflineOptimal::plan(&video, &trace, &player, &OfflineOptConfig::default());
+        let session = Simulator::new(player).run(&mut opt, &manifest, &trace);
+        assert_eq!(session.total_stall_s, 0.0, "flat link must be stall-free");
+        // And it should stream well above the bottom track.
+        assert!(session.mean_level() > 2.0, "mean level {}", session.mean_level());
+    }
+
+    #[test]
+    fn beats_cava_on_its_own_objective() {
+        // OPT maximizes Σq − λΣ|Δq| with perfect knowledge; CAVA must not
+        // exceed it on that objective (up to quantization slack).
+        let (video, manifest, trace) = setup();
+        let player = PlayerConfig::default();
+        let cfg = OfflineOptConfig::default();
+        let classification = Classification::from_video(&video);
+        let sim = Simulator::new(player);
+        let objective = |session: &abr_sim::SessionResult| {
+            let qoe = evaluate(session, &video, &classification, &QoeConfig::lte());
+            let n = session.n_chunks() as f64;
+            n * (qoe.all_quality_mean - cfg.smoothness_weight * qoe.avg_quality_change)
+        };
+        let mut opt = OfflineOptimal::plan(&video, &trace, &player, &cfg);
+        let opt_score = objective(&sim.run(&mut opt, &manifest, &trace));
+        let cava_score = objective(&sim.run(&mut Cava::paper_default(), &manifest, &trace));
+        assert!(
+            opt_score >= cava_score - 30.0,
+            "OPT {opt_score} should be at least CAVA {cava_score} (minus slack)"
+        );
+    }
+
+    #[test]
+    fn rich_flat_link_plans_top_track() {
+        let video = Dataset::ed_youtube_h264();
+        let trace = Trace::new("flat", 1.0, vec![50.0e6; 1500]);
+        let opt = OfflineOptimal::plan(
+            &video,
+            &trace,
+            &PlayerConfig::default(),
+            &OfflineOptConfig::default(),
+        );
+        let top = video.n_tracks() - 1;
+        let at_top = opt
+            .plan_levels()
+            .iter()
+            .skip(2) // startup at lowest
+            .filter(|&&l| l == top)
+            .count();
+        assert!(
+            at_top > video.n_chunks() * 8 / 10,
+            "rich link should mostly plan the top track: {at_top}"
+        );
+    }
+
+    #[test]
+    fn starved_link_plans_bottom_track() {
+        let video = Dataset::ed_youtube_h264();
+        let trace = Trace::new("thin", 1.0, vec![0.12e6; 3000]);
+        let opt = OfflineOptimal::plan(
+            &video,
+            &trace,
+            &PlayerConfig::default(),
+            &OfflineOptConfig::default(),
+        );
+        // 120 kbps against a 90 kbps lowest track: the plan must sit at the
+        // bottom almost everywhere (occasional buffer-funded upswitches for
+        // small chunks are legitimate).
+        let at_bottom = opt.plan_levels().iter().filter(|&&l| l == 0).count();
+        assert!(
+            at_bottom * 10 >= opt.plan_levels().len() * 8,
+            "only {at_bottom}/{} at the bottom track",
+            opt.plan_levels().len()
+        );
+    }
+
+    #[test]
+    fn smoothness_weight_reduces_switching() {
+        let (video, _manifest, trace) = setup();
+        let player = PlayerConfig::default();
+        let switches = |lambda: f64| {
+            let cfg = OfflineOptConfig {
+                smoothness_weight: lambda,
+                ..OfflineOptConfig::default()
+            };
+            let opt = OfflineOptimal::plan(&video, &trace, &player, &cfg);
+            opt.plan_levels().windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert!(
+            switches(4.0) <= switches(0.0),
+            "higher smoothness weight should not switch more"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! PANDA/CQ — consistent-quality streaming [Li et al., MMSys '14].
+//!
+//! The only baseline that consumes *per-chunk quality information*: it picks
+//! level assignments for a window of `N` future chunks to optimize delivered
+//! quality directly, subject to the buffer staying above a safety margin.
+//! The paper evaluates two objectives (§6.1):
+//!
+//! * **max-sum** — maximize the total quality of the next `N` chunks, and
+//! * **max-min** — maximize the minimum quality of the next `N` chunks
+//!   (the "consistent quality" objective proper).
+//!
+//! Deployability caveat (paper §6.1): per-chunk quality tables are *not*
+//! carried by DASH or HLS manifests, so this scheme cannot be built from a
+//! [`vbr_video::Manifest`] alone. It is constructed from the evaluation-side
+//! [`vbr_video::Video`] quality table — exactly the extra information the
+//! paper grants it — and still loses to CAVA, which is the paper's point.
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+use vbr_video::quality::VmafModel;
+use vbr_video::Video;
+
+use crate::util::for_each_sequence;
+
+/// Which window objective to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PandaCqObjective {
+    /// Maximize the sum of the window's quality.
+    MaxSum,
+    /// Maximize the minimum quality in the window.
+    MaxMin,
+}
+
+/// PANDA/CQ configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PandaCqConfig {
+    /// Window length in chunks (paper: 5, like the other horizon schemes).
+    pub horizon: usize,
+    /// Buffer level (seconds) the plan must not drop below — the scheme's
+    /// stall guard.
+    pub safety_buffer_s: f64,
+}
+
+impl Default for PandaCqConfig {
+    fn default() -> PandaCqConfig {
+        PandaCqConfig {
+            horizon: 5,
+            safety_buffer_s: 4.0,
+        }
+    }
+}
+
+/// The PANDA/CQ scheme.
+#[derive(Debug, Clone)]
+pub struct PandaCq {
+    /// `quality[level][chunk]` — granted side information (see module docs).
+    quality: Vec<Vec<f64>>,
+    objective: PandaCqObjective,
+    config: PandaCqConfig,
+    name: &'static str,
+}
+
+impl PandaCq {
+    /// Build from a video's quality table under the given VMAF model.
+    ///
+    /// # Panics
+    /// Panics on a zero horizon.
+    pub fn from_video(
+        video: &Video,
+        model: VmafModel,
+        objective: PandaCqObjective,
+        config: PandaCqConfig,
+    ) -> PandaCq {
+        assert!(config.horizon > 0);
+        let quality = (0..video.n_tracks())
+            .map(|l| {
+                (0..video.n_chunks())
+                    .map(|i| video.quality(l, i).vmaf(model))
+                    .collect()
+            })
+            .collect();
+        PandaCq {
+            quality,
+            objective,
+            config,
+            name: match objective {
+                PandaCqObjective::MaxSum => "PANDA/CQ max-sum",
+                PandaCqObjective::MaxMin => "PANDA/CQ max-min",
+            },
+        }
+    }
+
+    /// Paper-default max-sum variant.
+    pub fn max_sum(video: &Video, model: VmafModel) -> PandaCq {
+        PandaCq::from_video(video, model, PandaCqObjective::MaxSum, PandaCqConfig::default())
+    }
+
+    /// Paper-default max-min variant.
+    pub fn max_min(video: &Video, model: VmafModel) -> PandaCq {
+        PandaCq::from_video(video, model, PandaCqObjective::MaxMin, PandaCqConfig::default())
+    }
+}
+
+impl AbrAlgorithm for PandaCq {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let m = ctx.manifest;
+        assert_eq!(
+            self.quality[0].len(),
+            m.n_chunks(),
+            "PANDA/CQ quality table does not match this manifest"
+        );
+        let bw = ctx.bandwidth_or_conservative();
+        let delta = m.chunk_duration();
+        let start = ctx.chunk_index;
+        // Live streaming: plan only over published chunks.
+        let visible = ctx.visible_chunks.min(m.n_chunks()).max(start + 1);
+        let horizon = self.config.horizon.min(visible - start);
+        let safety = self.config.safety_buffer_s;
+
+        // Among plans that keep the buffer above the safety margin, optimize
+        // the quality objective; if no plan is safe, fall back to the plan
+        // minimizing the buffer violation (which enumeration order makes the
+        // all-lowest plan in practice).
+        let mut best_seq0 = 0usize;
+        let mut best_key = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut fallback_seq0 = 0usize;
+        let mut fallback_violation = f64::INFINITY;
+        let mut any_safe = false;
+        for_each_sequence(m.n_tracks(), horizon, |seq| {
+            let mut buf = ctx.buffer_s;
+            let mut min_buf = f64::INFINITY;
+            let mut q_sum = 0.0;
+            let mut q_min = f64::INFINITY;
+            for (k, &level) in seq.iter().enumerate() {
+                let idx = start + k;
+                buf -= m.chunk_bits(level, idx) / bw;
+                min_buf = min_buf.min(buf);
+                buf = buf.max(0.0) + delta;
+                let q = self.quality[level][idx];
+                q_sum += q;
+                q_min = q_min.min(q);
+            }
+            if min_buf >= safety {
+                any_safe = true;
+                let key = match self.objective {
+                    PandaCqObjective::MaxSum => (q_sum, q_min),
+                    PandaCqObjective::MaxMin => (q_min, q_sum),
+                };
+                if key > best_key {
+                    best_key = key;
+                    best_seq0 = seq[0];
+                }
+            } else {
+                let violation = safety - min_buf;
+                if violation < fallback_violation {
+                    fallback_violation = violation;
+                    fallback_seq0 = seq[0];
+                }
+            }
+        });
+        if any_safe {
+            best_seq0
+        } else {
+            fallback_seq0
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(manifest: &'a Manifest, buffer_s: f64, bw: f64, i: usize) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: Some(2),
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn rich_bandwidth_gets_top_track() {
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let mut cq = PandaCq::max_sum(&video, VmafModel::Phone);
+        assert_eq!(cq.choose_level(&ctx_with(&m, 60.0, 1.0e9, 0)), m.top_level());
+    }
+
+    #[test]
+    fn starved_bandwidth_gets_bottom_track() {
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let mut cq = PandaCq::max_min(&video, VmafModel::Phone);
+        assert_eq!(cq.choose_level(&ctx_with(&m, 2.0, 50.0e3, 0)), 0);
+    }
+
+    #[test]
+    fn max_min_lifts_worst_chunk_harder_than_max_sum() {
+        // On a window containing a Q4 chunk, max-min should never give the
+        // Q4 chunk a *lower* level than max-sum does, for the same budget.
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let classification = vbr_video::Classification::from_video(&video);
+        // Find a window starting at a Q4 chunk.
+        let q4_start = (0..m.n_chunks() - 5)
+            .find(|&i| classification.is_q4(i))
+            .expect("some Q4 chunk");
+        let bw = 2.5e6;
+        let mut sum = PandaCq::max_sum(&video, VmafModel::Phone);
+        let mut min = PandaCq::max_min(&video, VmafModel::Phone);
+        let l_sum = sum.choose_level(&ctx_with(&m, 30.0, bw, q4_start));
+        let l_min = min.choose_level(&ctx_with(&m, 30.0, bw, q4_start));
+        assert!(
+            l_min >= l_sum,
+            "max-min gave Q4 chunk level {l_min} < max-sum's {l_sum}"
+        );
+    }
+
+    #[test]
+    fn respects_safety_margin_when_feasible() {
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let mut cq = PandaCq::max_sum(&video, VmafModel::Phone);
+        let bw = 1.5e6;
+        let level = cq.choose_level(&ctx_with(&m, 25.0, bw, 3));
+        // The chosen first step must itself keep the buffer above safety
+        // given at least the lowest-track continuation exists.
+        let after = 25.0 - m.chunk_bits(level, 3) / bw;
+        assert!(after >= 0.0, "level {level} immediately underflows");
+    }
+
+    #[test]
+    fn table_mismatch_panics() {
+        let video = Dataset::ed_youtube_h264();
+        let other = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut cq = PandaCq::max_sum(&video, VmafModel::Phone);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cq.choose_level(&ctx_with(&other, 30.0, 3.0e6, 0))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn names() {
+        let video = Dataset::ed_youtube_h264();
+        assert_eq!(
+            PandaCq::max_sum(&video, VmafModel::Phone).name(),
+            "PANDA/CQ max-sum"
+        );
+        assert_eq!(
+            PandaCq::max_min(&video, VmafModel::Phone).name(),
+            "PANDA/CQ max-min"
+        );
+    }
+
+    #[test]
+    fn end_of_video_window_shrinks() {
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let mut cq = PandaCq::max_min(&video, VmafModel::Phone);
+        let level = cq.choose_level(&ctx_with(&m, 30.0, 3.0e6, m.n_chunks() - 1));
+        assert!(level < m.n_tracks());
+    }
+}

@@ -1,0 +1,213 @@
+//! PIA — PID-control ABR for CBR videos [Qin et al., INFOCOM '17; the
+//! paper's reference 33].
+//!
+//! PIA is the direct ancestor of CAVA: the same PID feedback structure
+//! (`u = K_p(x_r − x) + K_i ∫(x_r − x) + 1(x ≥ Δ)`, `u = C/R`), but built
+//! for **CBR**: a *fixed* target buffer level and each track represented by
+//! its *declared average* bitrate — per-chunk sizes play no role. §5.1/§5.2
+//! describe CAVA as "generalizing the control framework from plain CBR to
+//! VBR"; implementing PIA lets the evaluation isolate exactly what that
+//! generalization buys (see the `exp_pia_vs_cava` experiment).
+//!
+//! This implementation keeps PIA's published structure: PID signal, then
+//! pick the highest track whose declared bitrate is at most `Ĉ/u`, with
+//! PIA's rate-smoothing guard (don't climb more than one level per
+//! decision, a simplified stand-in for its smoothing term).
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// PIA configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiaConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Fixed target buffer level in seconds.
+    pub target_buffer_s: f64,
+    /// Output clamp.
+    pub u_min: f64,
+    pub u_max: f64,
+    /// Anti-windup clamp on the integral.
+    pub integral_limit: f64,
+    /// Allow climbing at most this many levels per decision (smoothing).
+    pub max_up_switch: usize,
+}
+
+impl Default for PiaConfig {
+    fn default() -> PiaConfig {
+        PiaConfig {
+            kp: 0.04,
+            ki: 0.0015,
+            target_buffer_s: 60.0,
+            u_min: 0.25,
+            u_max: 2.5,
+            integral_limit: 60.0,
+            max_up_switch: 1,
+        }
+    }
+}
+
+/// The PIA scheme.
+#[derive(Debug, Clone)]
+pub struct Pia {
+    config: PiaConfig,
+    integral: f64,
+    last_wall_time_s: f64,
+}
+
+impl Pia {
+    /// # Panics
+    /// Panics on non-positive gains/targets or inverted clamps.
+    pub fn new(config: PiaConfig) -> Pia {
+        assert!(config.kp >= 0.0 && config.ki >= 0.0);
+        assert!(config.target_buffer_s > 0.0);
+        assert!(config.u_min > 0.0 && config.u_max > config.u_min);
+        Pia {
+            config,
+            integral: 0.0,
+            last_wall_time_s: 0.0,
+        }
+    }
+
+    /// Reference configuration (gains matched to CAVA's for a clean
+    /// ablation).
+    pub fn paper_default() -> Pia {
+        Pia::new(PiaConfig::default())
+    }
+}
+
+impl AbrAlgorithm for Pia {
+    fn name(&self) -> &str {
+        "PIA"
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let cfg = &self.config;
+        let dt = (ctx.wall_time_s - self.last_wall_time_s).clamp(0.0, 30.0);
+        self.last_wall_time_s = ctx.wall_time_s;
+        let error = cfg.target_buffer_s - ctx.buffer_s;
+        self.integral =
+            (self.integral + error * dt).clamp(-cfg.integral_limit, cfg.integral_limit);
+        let indicator = if ctx.buffer_s >= ctx.manifest.chunk_duration() {
+            1.0
+        } else {
+            0.0
+        };
+        let u = (cfg.kp * error + cfg.ki * self.integral + indicator)
+            .clamp(cfg.u_min, cfg.u_max);
+
+        // CBR assumption: the track *is* its declared average bitrate.
+        let target_rate = ctx.bandwidth_or_conservative() / u;
+        let mut level = 0;
+        for l in (0..ctx.manifest.n_tracks()).rev() {
+            if ctx.manifest.declared_bitrate(l) <= target_rate {
+                level = l;
+                break;
+            }
+        }
+        if let Some(last) = ctx.last_level {
+            level = level.min(last + cfg.max_up_switch);
+        }
+        level
+    }
+
+    fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_wall_time_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        buffer_s: f64,
+        bw: f64,
+        i: usize,
+        last: Option<usize>,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: last,
+            past_throughputs_bps: &[],
+            wall_time_s: i as f64 * 2.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn at_target_tracks_bandwidth() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut pia = Pia::paper_default();
+        // At target buffer, u = 1: pick the highest declared ≤ bandwidth.
+        let level = pia.choose_level(&ctx_with(&m, 60.0, 2.6e6, 0, None));
+        assert_eq!(level, 4); // ffmpeg ladder: 2.5 Mbps track
+    }
+
+    #[test]
+    fn below_target_backs_off() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut at_target = Pia::paper_default();
+        let mut starving = Pia::paper_default();
+        let l_target = at_target.choose_level(&ctx_with(&m, 60.0, 2.6e6, 0, None));
+        let l_starving = starving.choose_level(&ctx_with(&m, 10.0, 2.6e6, 0, None));
+        assert!(l_starving < l_target);
+    }
+
+    #[test]
+    fn up_switches_limited() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut pia = Pia::paper_default();
+        let level = pia.choose_level(&ctx_with(&m, 90.0, 100.0e6, 5, Some(1)));
+        assert_eq!(level, 2, "one level per decision");
+    }
+
+    #[test]
+    fn ignores_chunk_sizes() {
+        // The CBR blind spot: identical decisions regardless of the actual
+        // upcoming chunk size (contrast with RBA/BBA-1 tests).
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let top = m.top_level();
+        let mut smallest = 0;
+        let mut largest = 0;
+        for i in 0..m.n_chunks() {
+            if m.chunk_bytes(top, i) < m.chunk_bytes(top, smallest) {
+                smallest = i;
+            }
+            if m.chunk_bytes(top, i) > m.chunk_bytes(top, largest) {
+                largest = i;
+            }
+        }
+        let mut a = Pia::paper_default();
+        let mut b = Pia::paper_default();
+        // Same wall time so the integral state matches.
+        let mut ctx_a = ctx_with(&m, 40.0, 2.0e6, smallest, Some(3));
+        let mut ctx_b = ctx_with(&m, 40.0, 2.0e6, largest, Some(3));
+        ctx_a.wall_time_s = 100.0;
+        ctx_b.wall_time_s = 100.0;
+        assert_eq!(a.choose_level(&ctx_a), b.choose_level(&ctx_b));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let m = Manifest::from_video(&Dataset::ed_ffmpeg_h264());
+        let mut pia = Pia::paper_default();
+        for i in 0..20 {
+            let _ = pia.choose_level(&ctx_with(&m, 10.0, 1.0e6, i, Some(0)));
+        }
+        pia.reset();
+        let mut fresh = Pia::paper_default();
+        assert_eq!(
+            pia.choose_level(&ctx_with(&m, 30.0, 2.0e6, 0, None)),
+            fresh.choose_level(&ctx_with(&m, 30.0, 2.0e6, 0, None))
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! RBA — rate-based adaptation [Zhang et al., INFOCOM '17], as described in
+//! the paper's §4: "RBA selects the highest track so that after downloading
+//! the corresponding chunk, the player buffer will still contain at least
+//! four chunks, where the downloading time of a chunk is obtained as its
+//! size divided by the estimated network bandwidth."
+//!
+//! RBA is *myopic*: it looks only at the immediate next chunk's actual size,
+//! which makes it pick very high tracks for small (simple) chunks and very
+//! low tracks for large (complex) chunks — the inversion Fig. 4 illustrates.
+
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// RBA configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbaConfig {
+    /// Minimum number of chunks that must remain buffered after the
+    /// download (paper: 4).
+    pub min_buffer_chunks: f64,
+}
+
+impl Default for RbaConfig {
+    fn default() -> RbaConfig {
+        RbaConfig {
+            min_buffer_chunks: 4.0,
+        }
+    }
+}
+
+/// The rate-based scheme.
+#[derive(Debug, Clone)]
+pub struct Rba {
+    config: RbaConfig,
+}
+
+impl Rba {
+    pub fn new(config: RbaConfig) -> Rba {
+        assert!(config.min_buffer_chunks >= 0.0);
+        Rba { config }
+    }
+
+    /// Paper configuration (keep ≥ 4 chunks buffered).
+    pub fn paper_default() -> Rba {
+        Rba::new(RbaConfig::default())
+    }
+}
+
+impl AbrAlgorithm for Rba {
+    fn name(&self) -> &str {
+        "RBA"
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let bw = ctx.bandwidth_or_conservative();
+        let delta = ctx.manifest.chunk_duration();
+        let reserve = self.config.min_buffer_chunks * delta;
+        let i = ctx.chunk_index;
+        // Highest level whose download leaves at least `reserve` buffered.
+        for level in (0..ctx.manifest.n_tracks()).rev() {
+            let dl = ctx.manifest.chunk_bits(level, i) / bw;
+            if ctx.buffer_s - dl >= reserve {
+                return level;
+            }
+        }
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        buffer_s: f64,
+        bw: f64,
+        i: usize,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: i,
+            buffer_s,
+            estimated_bandwidth_bps: Some(bw),
+            last_level: Some(0),
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: true,
+            visible_chunks: manifest.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn picks_lowest_when_buffer_thin() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut rba = Rba::paper_default();
+        // Buffer exactly at the reserve: no headroom for any download.
+        let ctx = ctx_with(&m, 20.0, 1.0e6, 0);
+        assert_eq!(rba.choose_level(&ctx), 0);
+    }
+
+    #[test]
+    fn picks_highest_with_huge_bandwidth() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut rba = Rba::paper_default();
+        let ctx = ctx_with(&m, 60.0, 1.0e9, 0);
+        assert_eq!(rba.choose_level(&ctx), m.top_level());
+    }
+
+    #[test]
+    fn level_monotone_in_bandwidth() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut rba = Rba::paper_default();
+        let mut prev = 0;
+        for bw in [0.5e6, 1.0e6, 2.0e6, 4.0e6, 8.0e6, 30.0e6] {
+            let level = rba.choose_level(&ctx_with(&m, 40.0, bw, 10));
+            assert!(level >= prev, "level must not drop as bandwidth grows");
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn myopia_small_chunk_gets_higher_level() {
+        // Find a small and a large chunk at the top track; with mid buffer,
+        // RBA gives the small chunk a higher level — the §4 inversion.
+        let video = Dataset::ed_youtube_h264();
+        let m = Manifest::from_video(&video);
+        let top = m.top_level();
+        let mut smallest = 0;
+        let mut largest = 0;
+        for i in 0..m.n_chunks() {
+            if m.chunk_bytes(top, i) < m.chunk_bytes(top, smallest) {
+                smallest = i;
+            }
+            if m.chunk_bytes(top, i) > m.chunk_bytes(top, largest) {
+                largest = i;
+            }
+        }
+        let mut rba = Rba::paper_default();
+        let bw = 2.0e6;
+        let l_small = rba.choose_level(&ctx_with(&m, 30.0, bw, smallest));
+        let l_large = rba.choose_level(&ctx_with(&m, 30.0, bw, largest));
+        assert!(
+            l_small > l_large,
+            "small chunk {l_small} should beat large chunk {l_large}"
+        );
+    }
+
+    #[test]
+    fn respects_reserve_exactly() {
+        let m = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let mut rba = Rba::paper_default();
+        let bw = 2.0e6;
+        let ctx = ctx_with(&m, 45.0, bw, 7);
+        let level = rba.choose_level(&ctx);
+        let dl = m.chunk_bits(level, 7) / bw;
+        assert!(ctx.buffer_s - dl >= 4.0 * m.chunk_duration() - 1e-9);
+        if level < m.top_level() {
+            let dl_up = m.chunk_bits(level + 1, 7) / bw;
+            assert!(ctx.buffer_s - dl_up < 4.0 * m.chunk_duration());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The ABR algorithm interface.
+//!
+//! Every scheme — CAVA and all baselines — implements [`AbrAlgorithm`]: given
+//! a [`DecisionContext`] describing the player's state before downloading
+//! chunk `i`, return the track level to fetch. The context exposes exactly
+//! what a production DASH/HLS client knows (§3.2): the manifest (with
+//! per-chunk sizes), the buffer level, and application-level throughput
+//! history. Quality tables and the underlying complexity process are *not*
+//! reachable from here.
+
+use vbr_video::Manifest;
+
+/// Player state snapshot offered to the ABR logic before each download.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// The video manifest (tracks, declared bitrates, per-chunk sizes).
+    pub manifest: &'a Manifest,
+    /// Index of the chunk about to be downloaded.
+    pub chunk_index: usize,
+    /// Current playback buffer in seconds of content.
+    pub buffer_s: f64,
+    /// Bandwidth estimate in bps (harmonic mean of past 5 chunks by
+    /// default); `None` before the first chunk completes.
+    pub estimated_bandwidth_bps: Option<f64>,
+    /// Track level of the previously downloaded chunk; `None` for the first.
+    pub last_level: Option<usize>,
+    /// Realized throughput (bps) of every downloaded chunk, oldest first.
+    pub past_throughputs_bps: &'a [f64],
+    /// Wall-clock seconds since the session began.
+    pub wall_time_s: f64,
+    /// Whether playback has started (startup threshold reached).
+    pub startup_complete: bool,
+    /// Number of chunks whose metadata (sizes) has been published. Equals
+    /// `manifest.n_chunks()` for VoD; in live streaming only chunks the
+    /// encoder has produced are visible, so look-ahead logic must clamp its
+    /// windows to `chunk_index..visible_chunks`.
+    pub visible_chunks: usize,
+}
+
+impl DecisionContext<'_> {
+    /// Convenience: the estimate, or a conservative fallback for the very
+    /// first chunk (the declared bitrate of the lowest track — every real
+    /// player starts near the bottom).
+    pub fn bandwidth_or_conservative(&self) -> f64 {
+        self.estimated_bandwidth_bps
+            .unwrap_or_else(|| self.manifest.declared_bitrate(0))
+    }
+
+    /// Number of chunks remaining including the one being decided.
+    pub fn chunks_remaining(&self) -> usize {
+        self.manifest.n_chunks() - self.chunk_index
+    }
+
+    /// Number of *visible* future chunks including the one being decided —
+    /// what look-ahead windows may legitimately cover.
+    pub fn visible_remaining(&self) -> usize {
+        self.visible_chunks.saturating_sub(self.chunk_index)
+    }
+}
+
+/// A rate-adaptation algorithm.
+pub trait AbrAlgorithm {
+    /// Human-readable scheme name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Choose the track level for `ctx.chunk_index`.
+    ///
+    /// Must return a level in `0..ctx.manifest.n_tracks()`; the simulator
+    /// asserts this.
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize;
+
+    /// Clear all per-session state. Called by the simulator before each
+    /// session so one algorithm instance can be reused across traces.
+    fn reset(&mut self);
+}
+
+/// A trivial fixed-level scheme — sanity baseline and test helper.
+#[derive(Debug, Clone)]
+pub struct FixedLevel {
+    level: usize,
+    name: String,
+}
+
+impl FixedLevel {
+    pub fn new(level: usize) -> FixedLevel {
+        FixedLevel {
+            level,
+            name: format!("fixed-{level}"),
+        }
+    }
+}
+
+impl AbrAlgorithm for FixedLevel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        self.level.min(ctx.manifest.top_level())
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    #[test]
+    fn context_helpers() {
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let ctx = DecisionContext {
+            manifest: &manifest,
+            chunk_index: 10,
+            buffer_s: 20.0,
+            estimated_bandwidth_bps: None,
+            last_level: None,
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: false,
+            visible_chunks: manifest.n_chunks(),
+        };
+        assert_eq!(ctx.bandwidth_or_conservative(), manifest.declared_bitrate(0));
+        assert_eq!(ctx.chunks_remaining(), manifest.n_chunks() - 10);
+        let ctx2 = DecisionContext {
+            estimated_bandwidth_bps: Some(5.0e6),
+            ..ctx
+        };
+        assert_eq!(ctx2.bandwidth_or_conservative(), 5.0e6);
+    }
+
+    #[test]
+    fn fixed_level_clamps() {
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let ctx = DecisionContext {
+            manifest: &manifest,
+            chunk_index: 0,
+            buffer_s: 0.0,
+            estimated_bandwidth_bps: None,
+            last_level: None,
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: false,
+            visible_chunks: manifest.n_chunks(),
+        };
+        let mut f = FixedLevel::new(99);
+        assert_eq!(f.choose_level(&ctx), manifest.top_level());
+        assert_eq!(FixedLevel::new(2).choose_level(&ctx), 2);
+        assert_eq!(FixedLevel::new(2).name(), "fixed-2");
+    }
+}

@@ -1,0 +1,30 @@
+//! # abr-sim — trace-driven ABR player simulator
+//!
+//! The evaluation vehicle of the reproduction: a deterministic discrete-event
+//! simulation of an ABR client streaming a VBR video over a bandwidth trace,
+//! mirroring the paper's §6.1 methodology ("real-world network trace-driven
+//! replay experiments").
+//!
+//! * [`abr`] — the [`AbrAlgorithm`] trait and the [`DecisionContext`] handed
+//!   to it before each chunk: manifest, buffer level, bandwidth estimate,
+//!   past throughputs. The context carries *only* information a real DASH
+//!   client has — the paper's deployability boundary.
+//! * [`player`] — the [`Simulator`]: startup threshold (10 s default), max
+//!   buffer (100 s default), exact buffer drain/stall accounting, optional
+//!   per-request RTT, harmonic-mean bandwidth estimation (window 5), and the
+//!   §6.7 uniform prediction-error injector.
+//! * [`session`] — per-chunk [`session::ChunkRecord`]s and the
+//!   [`SessionResult`].
+//! * [`metrics`] — the paper's five evaluation metrics (§6.1): Q4 chunk
+//!   quality, low-quality chunk percentage, rebuffering duration, average
+//!   quality change per chunk, and data usage — plus supporting aggregates.
+
+pub mod abr;
+pub mod metrics;
+pub mod player;
+pub mod session;
+
+pub use abr::{AbrAlgorithm, DecisionContext};
+pub use metrics::{QoeConfig, QoeMetrics};
+pub use player::{LiveConfig, PlayerConfig, Simulator, TcpConfig};
+pub use session::SessionResult;

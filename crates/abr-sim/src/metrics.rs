@@ -1,0 +1,349 @@
+//! QoE metrics (§6.1).
+//!
+//! The paper evaluates five metrics, all computed over the *delivered* video
+//! (the chunks actually downloaded and played back):
+//!
+//! 1. **Quality of Q4 chunks** — perceptual quality (VMAF) of the most
+//!    complex scenes; higher is better.
+//! 2. **Low-quality chunk percentage** — share of chunks with VMAF < 40
+//!    ("poor or unacceptable" per Netflix's calibration); lower is better.
+//! 3. **Rebuffering duration** — total mid-playback stall time.
+//! 4. **Average quality change per chunk** — `Σ|q_{i+1} − q_i| / n`.
+//! 5. **Data usage** — total bytes downloaded.
+//!
+//! Quality is read with the VMAF *phone* model for cellular evaluations and
+//! the *TV* model for broadband (§6.1). The quality table lives on the
+//! [`Video`] — evaluation-side only; ABR logic never sees it.
+
+use crate::session::SessionResult;
+use vbr_video::classify::{ChunkClass, Classification};
+use vbr_video::quality::VmafModel;
+use vbr_video::Video;
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QoeConfig {
+    /// Which VMAF viewing model scores the session.
+    pub vmaf_model: VmafModel,
+    /// VMAF below this is a "low-quality" chunk (paper: 40).
+    pub low_quality_threshold: f64,
+    /// VMAF at or above this is "good" (paper: 60).
+    pub good_quality_threshold: f64,
+}
+
+impl QoeConfig {
+    /// Paper defaults for cellular (LTE) evaluations: phone model.
+    pub fn lte() -> QoeConfig {
+        QoeConfig {
+            vmaf_model: VmafModel::Phone,
+            low_quality_threshold: 40.0,
+            good_quality_threshold: 60.0,
+        }
+    }
+
+    /// Paper defaults for broadband (FCC) evaluations: TV model.
+    pub fn fcc() -> QoeConfig {
+        QoeConfig {
+            vmaf_model: VmafModel::Tv,
+            ..QoeConfig::lte()
+        }
+    }
+}
+
+/// The paper's metric set for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoeMetrics {
+    /// Mean VMAF over delivered Q4 chunks.
+    pub q4_quality_mean: f64,
+    /// Median VMAF over delivered Q4 chunks.
+    pub q4_quality_median: f64,
+    /// Mean VMAF over delivered Q1–Q3 chunks.
+    pub q13_quality_mean: f64,
+    /// Mean VMAF over all delivered chunks.
+    pub all_quality_mean: f64,
+    /// Percentage (0–100) of delivered chunks below the low-quality bar.
+    pub low_quality_pct: f64,
+    /// Percentage (0–100) of delivered **Q4** chunks at or above the good bar.
+    pub q4_good_pct: f64,
+    /// Total rebuffering in seconds.
+    pub rebuffer_s: f64,
+    /// Number of stall events.
+    pub n_stalls: usize,
+    /// Startup delay in seconds.
+    pub startup_delay_s: f64,
+    /// Mean |quality change| between adjacent chunks.
+    pub avg_quality_change: f64,
+    /// Total bytes downloaded.
+    pub data_usage_bytes: u64,
+    /// Average delivered bitrate, bps.
+    pub avg_bitrate_bps: f64,
+    /// Mean chosen track level.
+    pub mean_level: f64,
+    /// Number of track switches between adjacent chunks.
+    pub level_switches: usize,
+}
+
+/// Weights of the linear QoE objective used across the ABR literature
+/// (MPC, Pensieve, Oboe): `Σ quality − λ·Σ|Δquality| − μ·rebuffer −
+/// σ·startup`, normalized per chunk here so sessions of different lengths
+/// compare.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearQoeWeights {
+    /// λ — smoothness penalty per unit of quality change.
+    pub smoothness: f64,
+    /// μ — rebuffer penalty in quality points per stalled second.
+    pub rebuffer_per_s: f64,
+    /// σ — startup penalty in quality points per second of startup delay.
+    pub startup_per_s: f64,
+}
+
+impl Default for LinearQoeWeights {
+    /// MPC-style defaults adapted to the VMAF scale: 1 point of smoothness
+    /// per point of change, ~a top-quality chunk's worth of value lost per
+    /// stalled second, a light startup penalty.
+    fn default() -> LinearQoeWeights {
+        LinearQoeWeights {
+            smoothness: 1.0,
+            rebuffer_per_s: 100.0,
+            startup_per_s: 5.0,
+        }
+    }
+}
+
+impl QoeMetrics {
+    /// Composite linear QoE score (per chunk): mean quality minus weighted
+    /// smoothness, rebuffering, and startup penalties. A single ranking
+    /// number for studies that need one; the paper itself argues for the
+    /// multi-dimensional view (§6.1), so treat this as supplementary.
+    pub fn linear_score(&self, weights: &LinearQoeWeights, n_chunks: usize) -> f64 {
+        assert!(n_chunks > 0);
+        self.all_quality_mean
+            - weights.smoothness * self.avg_quality_change
+            - weights.rebuffer_per_s * self.rebuffer_s / n_chunks as f64
+            - weights.startup_per_s * self.startup_delay_s / n_chunks as f64
+    }
+}
+
+/// Per-chunk VMAF of the delivered session under the chosen model.
+///
+/// # Panics
+/// Panics if the session's chunk count or video name disagree with `video`.
+pub fn chunk_qualities(session: &SessionResult, video: &Video, model: VmafModel) -> Vec<f64> {
+    assert_eq!(
+        session.video_name,
+        video.name(),
+        "session was not produced from this video"
+    );
+    session
+        .records
+        .iter()
+        .map(|r| video.quality(r.level, r.index).vmaf(model))
+        .collect()
+}
+
+/// Evaluate a session against the paper's metric set.
+///
+/// `classification` must come from the same video (its length is checked).
+pub fn evaluate(
+    session: &SessionResult,
+    video: &Video,
+    classification: &Classification,
+    config: &QoeConfig,
+) -> QoeMetrics {
+    assert_eq!(
+        classification.classes().len(),
+        video.n_chunks(),
+        "classification does not match video"
+    );
+    let qualities = chunk_qualities(session, video, config.vmaf_model);
+    let n = qualities.len();
+    assert!(n > 0, "cannot evaluate an empty session");
+
+    let mut q4 = Vec::new();
+    let mut q13 = Vec::new();
+    for (rec, &q) in session.records.iter().zip(&qualities) {
+        if classification.class(rec.index) == ChunkClass::Q4 {
+            q4.push(q);
+        } else {
+            q13.push(q);
+        }
+    }
+
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let median = |xs: &[f64]| {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in qualities"));
+        s[s.len() / 2]
+    };
+
+    let low = qualities
+        .iter()
+        .filter(|&&q| q < config.low_quality_threshold)
+        .count();
+    let q4_good = q4
+        .iter()
+        .filter(|&&q| q >= config.good_quality_threshold)
+        .count();
+    let quality_change = if n > 1 {
+        qualities.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+
+    QoeMetrics {
+        q4_quality_mean: mean(&q4),
+        q4_quality_median: median(&q4),
+        q13_quality_mean: mean(&q13),
+        all_quality_mean: mean(&qualities),
+        low_quality_pct: 100.0 * low as f64 / n as f64,
+        q4_good_pct: if q4.is_empty() {
+            0.0
+        } else {
+            100.0 * q4_good as f64 / q4.len() as f64
+        },
+        rebuffer_s: session.total_stall_s,
+        n_stalls: session.n_stall_events,
+        startup_delay_s: session.startup_delay_s,
+        avg_quality_change: quality_change,
+        data_usage_bytes: session.total_bytes(),
+        avg_bitrate_bps: session.avg_bitrate_bps(),
+        mean_level: session.mean_level(),
+        level_switches: session.level_switches(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::FixedLevel;
+    use crate::player::Simulator;
+    use net_trace::Trace;
+    use vbr_video::{Dataset, Manifest};
+
+    fn setup() -> (Video, Classification, SessionResult) {
+        let video = Dataset::ed_youtube_h264();
+        let classification = Classification::from_video(&video);
+        let manifest = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![6.0e6; 1500]);
+        let sim = Simulator::paper_default();
+        let mut algo = FixedLevel::new(3);
+        let session = sim.run(&mut algo, &manifest, &trace);
+        (video, classification, session)
+    }
+
+    #[test]
+    fn chunk_qualities_match_video_table() {
+        let (video, _c, session) = setup();
+        let qs = chunk_qualities(&session, &video, VmafModel::Phone);
+        assert_eq!(qs.len(), video.n_chunks());
+        for (rec, q) in session.records.iter().zip(&qs) {
+            assert_eq!(*q, video.quality(rec.level, rec.index).vmaf_phone);
+        }
+    }
+
+    #[test]
+    fn metrics_internally_consistent() {
+        let (video, c, session) = setup();
+        let m = evaluate(&session, &video, &c, &QoeConfig::lte());
+        // Weighted mean of Q4 and Q1-Q3 must equal the overall mean.
+        let n4 = c.counts()[3] as f64;
+        let n13 = video.n_chunks() as f64 - n4;
+        let combined = (m.q4_quality_mean * n4 + m.q13_quality_mean * n13)
+            / (n4 + n13);
+        assert!((combined - m.all_quality_mean).abs() < 1e-9);
+        assert!((0.0..=100.0).contains(&m.low_quality_pct));
+        assert!((0.0..=100.0).contains(&m.q4_good_pct));
+        assert_eq!(m.rebuffer_s, session.total_stall_s);
+        assert_eq!(m.data_usage_bytes, session.total_bytes());
+    }
+
+    #[test]
+    fn q4_inversion_visible_in_session() {
+        // Streaming a fixed track: Q4 chunks score lower than Q1-Q3 —
+        // the §3.1.2 phenomenon as seen through a session.
+        let (video, c, session) = setup();
+        let m = evaluate(&session, &video, &c, &QoeConfig::lte());
+        assert!(
+            m.q4_quality_mean < m.q13_quality_mean - 3.0,
+            "Q4 {} vs Q1-Q3 {}",
+            m.q4_quality_mean,
+            m.q13_quality_mean
+        );
+    }
+
+    #[test]
+    fn phone_vs_tv_model_differ() {
+        let (video, c, session) = setup();
+        let lte = evaluate(&session, &video, &c, &QoeConfig::lte());
+        let fcc = evaluate(&session, &video, &c, &QoeConfig::fcc());
+        // Track 3 of 6 (480p): phone model scores strictly higher.
+        assert!(lte.all_quality_mean > fcc.all_quality_mean);
+    }
+
+    #[test]
+    fn fixed_level_has_no_level_switches() {
+        let (video, c, session) = setup();
+        let m = evaluate(&session, &video, &c, &QoeConfig::lte());
+        assert_eq!(m.level_switches, 0);
+        assert_eq!(m.mean_level, 3.0);
+        // Quality still changes chunk-to-chunk because VBR quality varies
+        // within a track.
+        assert!(m.avg_quality_change > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_video_rejected() {
+        let (_video, _c, session) = setup();
+        let other = Dataset::bbb_youtube_h264();
+        let _ = chunk_qualities(&session, &other, VmafModel::Phone);
+    }
+
+    #[test]
+    fn linear_score_penalizes_stalls_and_oscillation() {
+        let (video, c, session) = setup();
+        let m = evaluate(&session, &video, &c, &QoeConfig::lte());
+        let w = LinearQoeWeights::default();
+        let base = m.linear_score(&w, video.n_chunks());
+        // Adding a stall must lower the score.
+        let mut stalled = m.clone();
+        stalled.rebuffer_s += 10.0;
+        assert!(stalled.linear_score(&w, video.n_chunks()) < base);
+        // More oscillation must lower the score.
+        let mut wobbly = m.clone();
+        wobbly.avg_quality_change += 3.0;
+        assert!(wobbly.linear_score(&w, video.n_chunks()) < base);
+        // Zero weights reduce to mean quality.
+        let free = LinearQoeWeights {
+            smoothness: 0.0,
+            rebuffer_per_s: 0.0,
+            startup_per_s: 0.0,
+        };
+        assert!((m.linear_score(&free, video.n_chunks()) - m.all_quality_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_track_more_data_higher_quality() {
+        let video = Dataset::ed_youtube_h264();
+        let c = Classification::from_video(&video);
+        let manifest = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![20.0e6; 1500]);
+        let sim = Simulator::paper_default();
+        let mut lo = FixedLevel::new(1);
+        let mut hi = FixedLevel::new(4);
+        let m_lo = evaluate(&sim.run(&mut lo, &manifest, &trace), &video, &c, &QoeConfig::lte());
+        let m_hi = evaluate(&sim.run(&mut hi, &manifest, &trace), &video, &c, &QoeConfig::lte());
+        assert!(m_hi.all_quality_mean > m_lo.all_quality_mean);
+        assert!(m_hi.data_usage_bytes > m_lo.data_usage_bytes);
+        assert!(m_hi.avg_bitrate_bps > m_lo.avg_bitrate_bps);
+    }
+}

@@ -1,0 +1,283 @@
+//! Session results: per-chunk download records and session-level summary.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened while fetching one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Chunk index (playback order).
+    pub index: usize,
+    /// Track level the ABR logic chose.
+    pub level: usize,
+    /// Bytes downloaded.
+    pub bytes: u64,
+    /// Wall-clock time the request was issued, seconds from session start.
+    pub request_time_s: f64,
+    /// Seconds the download took (including request RTT).
+    pub download_secs: f64,
+    /// Realized application-level throughput in bps.
+    pub throughput_bps: f64,
+    /// Stall time incurred while this chunk downloaded (0 during startup).
+    pub stall_s: f64,
+    /// Buffer level just after the chunk was appended, seconds.
+    pub buffer_after_s: f64,
+    /// Seconds spent waiting for buffer headroom before issuing the request.
+    pub pause_before_s: f64,
+}
+
+/// The outcome of one streaming session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Video streamed.
+    pub video_name: String,
+    /// Trace replayed.
+    pub trace_name: String,
+    /// ABR scheme used.
+    pub algorithm: String,
+    /// Chunk playback duration, seconds.
+    pub chunk_duration_s: f64,
+    /// Per-chunk records, in playback order.
+    pub records: Vec<ChunkRecord>,
+    /// Seconds from session start until playback began.
+    pub startup_delay_s: f64,
+    /// Total mid-playback stall time in seconds (startup excluded).
+    pub total_stall_s: f64,
+    /// Number of distinct stall events.
+    pub n_stall_events: usize,
+    /// Wall-clock length of the whole session (download + drain of the final
+    /// buffer), seconds.
+    pub wall_time_s: f64,
+}
+
+impl SessionResult {
+    /// Total bytes downloaded — the paper's *data usage* metric.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Chosen level per chunk, playback order.
+    pub fn levels(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.level).collect()
+    }
+
+    /// Mean chosen level.
+    pub fn mean_level(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.level as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Number of adjacent chunk pairs whose level differs.
+    pub fn level_switches(&self) -> usize {
+        self.records
+            .windows(2)
+            .filter(|w| w[0].level != w[1].level)
+            .count()
+    }
+
+    /// Average delivered bitrate (total bits over playback duration), bps.
+    pub fn avg_bitrate_bps(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / (self.records.len() as f64 * self.chunk_duration_s)
+    }
+
+    /// Number of chunks delivered.
+    pub fn n_chunks(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Reconstruct the continuous buffer-level curve from the per-chunk
+    /// records: one `(wall_time_s, buffer_s)` point at each request start
+    /// and each download completion, with the linear drain between them
+    /// implied. Suitable for plotting buffer dynamics (e.g. against the
+    /// Fig. 6(b) target curve).
+    pub fn buffer_timeline(&self) -> Vec<(f64, f64)> {
+        let mut points = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            let completion = r.request_time_s + r.download_secs;
+            // Buffer right after append is recorded; before the append it
+            // was Δ lower.
+            points.push((completion, (r.buffer_after_s - self.chunk_duration_s).max(0.0)));
+            points.push((completion, r.buffer_after_s));
+        }
+        points
+    }
+
+    /// Estimated per-chunk live watching latency for a session run in live
+    /// mode with the given head start: how far behind the live edge the
+    /// viewer is while watching each chunk.
+    ///
+    /// Chunk `i` is estimated to start playing at
+    /// `request + download + (buffer_after − Δ)`; at that wall time the
+    /// encoder has produced `head_start·Δ + t` seconds of content, so the
+    /// latency is `head_start·Δ + play_start − i·Δ`. Exact when no stall
+    /// occurs between a chunk's download and its playback (true in steady
+    /// state); a lower bound otherwise.
+    pub fn estimated_live_latencies(&self, head_start_chunks: usize) -> Vec<f64> {
+        let delta = self.chunk_duration_s;
+        self.records
+            .iter()
+            .map(|r| {
+                let play_start = r.request_time_s + r.download_secs
+                    + (r.buffer_after_s - delta).max(0.0);
+                head_start_chunks as f64 * delta + play_start - r.index as f64 * delta
+            })
+            .collect()
+    }
+
+    /// Internal consistency checks (used by tests and debug assertions):
+    /// records are in order, stalls are non-negative, buffer levels are
+    /// non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if r.index != i {
+                return Err(format!("record {i} has index {}", r.index));
+            }
+            if r.stall_s < 0.0 || r.buffer_after_s < 0.0 || r.download_secs < 0.0 {
+                return Err(format!("record {i} has negative time field: {r:?}"));
+            }
+            if !r.throughput_bps.is_finite() || r.throughput_bps <= 0.0 {
+                return Err(format!("record {i} has bad throughput {}", r.throughput_bps));
+            }
+        }
+        let stall_sum: f64 = self.records.iter().map(|r| r.stall_s).sum();
+        if (stall_sum - self.total_stall_s).abs() > 1e-6 {
+            return Err(format!(
+                "stall sum {stall_sum} != total {}",
+                self.total_stall_s
+            ));
+        }
+        if self.wall_time_s < self.startup_delay_s {
+            return Err("wall time before startup".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, level: usize, bytes: u64, stall: f64) -> ChunkRecord {
+        ChunkRecord {
+            index,
+            level,
+            bytes,
+            request_time_s: index as f64,
+            download_secs: 1.0,
+            throughput_bps: bytes as f64 * 8.0,
+            stall_s: stall,
+            buffer_after_s: 10.0,
+            pause_before_s: 0.0,
+        }
+    }
+
+    fn session() -> SessionResult {
+        SessionResult {
+            video_name: "v".into(),
+            trace_name: "t".into(),
+            algorithm: "a".into(),
+            chunk_duration_s: 2.0,
+            records: vec![
+                record(0, 2, 1000, 0.0),
+                record(1, 3, 2000, 1.5),
+                record(2, 3, 1500, 0.0),
+            ],
+            startup_delay_s: 5.0,
+            total_stall_s: 1.5,
+            n_stall_events: 1,
+            wall_time_s: 20.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = session();
+        assert_eq!(s.total_bytes(), 4500);
+        assert_eq!(s.levels(), vec![2, 3, 3]);
+        assert_eq!(s.level_switches(), 1);
+        assert_eq!(s.n_chunks(), 3);
+        assert!((s.mean_level() - 8.0 / 3.0).abs() < 1e-12);
+        // 4500 bytes * 8 bits over 6 s of content.
+        assert!((s.avg_bitrate_bps() - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(session().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_misordered_records() {
+        let mut s = session();
+        s.records[1].index = 5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_stall_mismatch() {
+        let mut s = session();
+        s.total_stall_s = 99.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_throughput() {
+        let mut s = session();
+        s.records[0].throughput_bps = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn empty_session_aggregates() {
+        let s = SessionResult {
+            video_name: "v".into(),
+            trace_name: "t".into(),
+            algorithm: "a".into(),
+            chunk_duration_s: 2.0,
+            records: vec![],
+            startup_delay_s: 0.0,
+            total_stall_s: 0.0,
+            n_stall_events: 0,
+            wall_time_s: 0.0,
+        };
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.mean_level(), 0.0);
+        assert_eq!(s.avg_bitrate_bps(), 0.0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = session();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SessionResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn buffer_timeline_is_time_ordered_and_non_negative() {
+        let s = session();
+        let timeline = s.buffer_timeline();
+        assert_eq!(timeline.len(), s.records.len() * 2);
+        for w in timeline.windows(2) {
+            assert!(w[1].0 >= w[0].0, "time must be non-decreasing");
+        }
+        for (_, b) in timeline {
+            assert!(b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn live_latency_estimation_matches_definition() {
+        let s = session();
+        let lats = s.estimated_live_latencies(3);
+        assert_eq!(lats.len(), 3);
+        // Chunk 0: play start = request 0 + 1s download + (10 − 2)s ahead;
+        // latency = 3·2 + 9 − 0 = 15.
+        assert!((lats[0] - 15.0).abs() < 1e-9, "{}", lats[0]);
+    }
+}

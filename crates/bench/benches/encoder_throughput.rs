@@ -1,0 +1,72 @@
+//! Video-substrate throughput: complexity-process generation, per-track
+//! encoding, full-video synthesis (tracks + quality tables), and chunk
+//! classification. The 16-video dataset is rebuilt from scratch by every
+//! experiment binary, so synthesis speed directly bounds harness startup.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vbr_video::complexity::{Genre, SceneComplexity};
+use vbr_video::encoder::{encode_track, EncoderConfig, EncoderSource};
+use vbr_video::{Classification, Dataset, Ladder, Video};
+
+fn bench_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity_process");
+    group.throughput(Throughput::Elements(300));
+    group.bench_function("generate_300_chunks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(SceneComplexity::generate(300, 2.0, Genre::SciFi, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let sc = SceneComplexity::generate(300, 2.0, Genre::SciFi, 7);
+    let ladder = Ladder::ffmpeg_h264();
+    let cfg = EncoderConfig::capped_2x(EncoderSource::FFmpeg, 7);
+    let mut group = c.benchmark_group("encoder");
+    group.throughput(Throughput::Elements(300));
+    group.bench_function("encode_track_300_chunks", |b| {
+        b.iter(|| black_box(encode_track(&sc, &ladder, 3, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_video_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("video_synthesis");
+    group.sample_size(20);
+    group.bench_function("full_video_6_tracks_with_quality", |b| {
+        let ladder = Ladder::ffmpeg_h264();
+        let cfg = EncoderConfig::capped_2x(EncoderSource::FFmpeg, 7);
+        b.iter(|| {
+            black_box(Video::synthesize(
+                "bench", Genre::SciFi, 300, 2.0, &ladder, &cfg, 7,
+            ))
+        })
+    });
+    group.bench_function("conext18_dataset_16_videos", |b| {
+        b.iter(|| black_box(Dataset::conext18()))
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let video = Dataset::ed_ffmpeg_h264();
+    let mut group = c.benchmark_group("classification");
+    group.throughput(Throughput::Elements(video.n_chunks() as u64));
+    group.bench_function("quartiles_from_video", |b| {
+        b.iter(|| black_box(Classification::from_video(&video)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_complexity,
+    bench_encoder,
+    bench_video_synthesis,
+    bench_classification
+);
+criterion_main!(benches);

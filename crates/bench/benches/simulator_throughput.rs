@@ -1,0 +1,60 @@
+//! Simulator throughput: how many full streaming sessions per second the
+//! substrate sustains. The 200-trace × multi-scheme × 16-video evaluation
+//! grid only stays interactive because a session is microseconds of work;
+//! this bench guards that property.
+
+use abr_sim::abr::FixedLevel;
+use abr_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use net_trace::fcc::{fcc_trace, FccConfig};
+use net_trace::lte::{lte_trace, LteConfig};
+use std::hint::black_box;
+use vbr_video::{Dataset, Manifest};
+
+fn bench_session_throughput(c: &mut Criterion) {
+    let sim = Simulator::paper_default();
+    let mut group = c.benchmark_group("simulator_throughput");
+    let cases = [
+        ("ffmpeg_2s_chunks_lte", Dataset::ed_ffmpeg_h264(), true),
+        ("youtube_5s_chunks_lte", Dataset::ed_youtube_h264(), true),
+        ("ffmpeg_2s_chunks_fcc", Dataset::ed_ffmpeg_h264(), false),
+    ];
+    for (name, video, lte) in cases {
+        let manifest = Manifest::from_video(&video);
+        let trace = if lte {
+            lte_trace(3, &LteConfig::default())
+        } else {
+            fcc_trace(3, &FccConfig::default())
+        };
+        group.throughput(Throughput::Elements(manifest.n_chunks() as u64));
+        group.bench_function(name, |b| {
+            let mut algo = FixedLevel::new(3);
+            b.iter(|| black_box(sim.run(&mut algo, &manifest, &trace)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.bench_function("lte_20min", |b| {
+        let cfg = LteConfig::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(lte_trace(seed, &cfg))
+        })
+    });
+    group.bench_function("fcc_20min", |b| {
+        let cfg = FccConfig::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(fcc_trace(seed, &cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_throughput, bench_trace_generation);
+criterion_main!(benches);

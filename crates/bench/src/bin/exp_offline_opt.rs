@@ -1,0 +1,5 @@
+//! Thin wrapper around [`abr_bench::experiments::exp_offline_opt`].
+
+fn main() -> std::io::Result<()> {
+    abr_bench::experiments::exp_offline_opt::run()
+}

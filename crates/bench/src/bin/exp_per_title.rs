@@ -1,0 +1,5 @@
+//! Thin wrapper around [`abr_bench::experiments::exp_per_title`].
+
+fn main() -> std::io::Result<()> {
+    abr_bench::experiments::exp_per_title::run()
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper around [`abr_bench::experiments::exp_switch_penalty`]. See DESIGN.md §4.
+
+fn main() -> std::io::Result<()> {
+    abr_bench::experiments::exp_switch_penalty::run()
+}

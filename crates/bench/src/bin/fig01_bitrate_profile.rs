@@ -1,0 +1,5 @@
+//! Thin wrapper around [`abr_bench::experiments::fig01_bitrate_profile`]. See DESIGN.md §4.
+
+fn main() -> std::io::Result<()> {
+    abr_bench::experiments::fig01_bitrate_profile::run()
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper around [`abr_bench::experiments::fig06_target_preview`].
+
+fn main() -> std::io::Result<()> {
+    abr_bench::experiments::fig06_target_preview::run()
+}

@@ -1,0 +1,83 @@
+//! Classification-granularity ablation (extension) — §3.1.1's remark that
+//! the size-based classification "is based on quartiles. Other methods can
+//! also be used (e.g., using five classes instead of four); our design
+//! principles and rate adaptation scheme are independent of this specific
+//! classification method."
+//!
+//! CAVA runs with K ∈ {2..6} equal-frequency size classes (the top class
+//! gets differential treatment); evaluation always measures the standard
+//! quartile-Q4 metrics so the rows are comparable. The expectation: CAVA's
+//! advantage is robust to K, with the top-class *width* (1/K of chunks)
+//! trading Q4 coverage against the bandwidth saved on the rest.
+
+use crate::experiments::banner;
+use crate::harness::{run_with_factory, Metric, TraceSet};
+use crate::results_dir;
+use abr_sim::PlayerConfig;
+use cava_core::{Cava, CavaConfig};
+use sim_report::{CsvWriter, TextTable};
+use std::io;
+use vbr_video::Dataset;
+
+/// The class-count grid.
+pub const K_SWEEP: [usize; 5] = [2, 3, 4, 5, 6];
+
+pub fn run() -> io::Result<()> {
+    banner(
+        "ext: class granularity",
+        "CAVA with K size classes instead of quartiles (§3.1.1)",
+    );
+    let video = Dataset::ed_ffmpeg_h264();
+    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let qoe = TraceSet::Lte.qoe_config();
+    let player = PlayerConfig::default();
+
+    let path = results_dir().join("exp_class_granularity.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &["k", "q4", "q13", "low_pct", "rebuf_s", "qchange"],
+    )?;
+    let mut table = TextTable::new(vec![
+        "K (top class = complex)",
+        "Q4 qual",
+        "Q1-3 qual",
+        "low-q %",
+        "rebuf (s)",
+        "qual chg",
+    ]);
+    for k in K_SWEEP {
+        let config = CavaConfig {
+            n_classes: k,
+            ..CavaConfig::paper_default()
+        };
+        let sessions = run_with_factory(
+            &move || Box::new(Cava::new(config)),
+            &video,
+            &traces,
+            &qoe,
+            &player,
+        );
+        table.add_row(vec![
+            format!("{k}{}", if k == 4 { " (paper)" } else { "" }),
+            format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
+            format!("{:.1}", crate::mean_of(Metric::Q13Quality, &sessions)),
+            format!("{:.1}", crate::mean_of(Metric::LowQualityPct, &sessions)),
+            format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),
+            format!("{:.2}", crate::mean_of(Metric::QualityChange, &sessions)),
+        ]);
+        csv.write_str_row(&[
+            &k.to_string(),
+            &format!("{:.2}", crate::mean_of(Metric::Q4Quality, &sessions)),
+            &format!("{:.2}", crate::mean_of(Metric::Q13Quality, &sessions)),
+            &format!("{:.2}", crate::mean_of(Metric::LowQualityPct, &sessions)),
+            &format!("{:.2}", crate::mean_of(Metric::RebufferS, &sessions)),
+            &format!("{:.3}", crate::mean_of(Metric::QualityChange, &sessions)),
+        ])?;
+    }
+    csv.flush()?;
+    print!("{table}");
+    println!("paper §3.1.1: the scheme is independent of the specific classification method —");
+    println!("metrics should vary smoothly and modestly across K");
+    println!("wrote {}", path.display());
+    Ok(())
+}

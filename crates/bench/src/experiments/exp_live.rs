@@ -1,0 +1,123 @@
+//! Live streaming (extension) — the paper's §8 future-work direction:
+//! "extending CAVA and its concepts to ABR streaming of live VBR encoded
+//! videos."
+//!
+//! In live mode the encoder publishes one chunk per chunk-duration of wall
+//! time; only `head_start` chunks exist at join time, the look-ahead windows
+//! (CAVA's W/W′, MPC's and PANDA's horizons) are clamped to published
+//! chunks, and the buffer can never outgrow the live edge. The experiment
+//! sweeps the head start (the latency/robustness dial) and compares CAVA
+//! against RobustMPC and BOLA-E (seg) — buffer-light regimes are where VBR
+//! variability hurts most, which is exactly where CAVA's proactive principle
+//! has the least room and its non-myopic/differential principles have to
+//! carry the weight.
+
+use crate::experiments::banner;
+use crate::harness::{SchemeKind, TraceSet};
+use crate::results_dir;
+use abr_sim::metrics::evaluate;
+use abr_sim::{LiveConfig, PlayerConfig, Simulator};
+use sim_report::{CsvWriter, TextTable};
+use std::io;
+use vbr_video::{Classification, Dataset, Manifest};
+
+/// Head-start grid in chunks (ED YouTube: 5 s chunks → 10–60 s of DVR).
+pub const HEAD_START_SWEEP: [usize; 4] = [2, 4, 8, 12];
+
+pub fn run() -> io::Result<()> {
+    banner("ext: live", "Live VBR streaming (paper §8 future work)");
+    let video = Dataset::ed_youtube_h264();
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let qoe = TraceSet::Lte.qoe_config();
+    let delta = manifest.chunk_duration();
+
+    let path = results_dir().join("exp_live.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &[
+            "scheme",
+            "head_start_chunks",
+            "q4",
+            "all_quality",
+            "low_pct",
+            "rebuf_s",
+            "qchange",
+            "latency_s",
+        ],
+    )?;
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "head start",
+        "Q4 qual",
+        "all qual",
+        "low-q %",
+        "rebuf (s)",
+        "qual chg",
+        "latency (s)",
+    ]);
+    for scheme in [
+        SchemeKind::Cava,
+        SchemeKind::RobustMpc,
+        SchemeKind::BolaESeg,
+    ] {
+        for head_start in HEAD_START_SWEEP {
+            let live = LiveConfig {
+                head_start_chunks: head_start,
+            };
+            // Startup threshold must fit inside the initially available
+            // content or playback never starts promptly.
+            let player = PlayerConfig {
+                live: Some(live),
+                startup_threshold_s: (head_start as f64 * delta).min(10.0),
+                ..PlayerConfig::default()
+            };
+            let sim = Simulator::new(player);
+            let mut acc = [0.0f64; 6];
+            for trace in &traces {
+                let mut algo = scheme.build(&video, qoe.vmaf_model);
+                let session = sim.run(algo.as_mut(), &manifest, trace);
+                let m = evaluate(&session, &video, &classification, &qoe);
+                let lat = session.estimated_live_latencies(head_start);
+                let lat_mean = lat.iter().sum::<f64>() / lat.len() as f64;
+                acc[0] += m.q4_quality_mean;
+                acc[1] += m.all_quality_mean;
+                acc[2] += m.low_quality_pct;
+                acc[3] += m.rebuffer_s;
+                acc[4] += m.avg_quality_change;
+                acc[5] += lat_mean;
+            }
+            let n = traces.len() as f64;
+            table.add_row(vec![
+                scheme.name().to_string(),
+                format!("{head_start} ({:.0}s)", head_start as f64 * delta),
+                format!("{:.1}", acc[0] / n),
+                format!("{:.1}", acc[1] / n),
+                format!("{:.1}", acc[2] / n),
+                format!("{:.1}", acc[3] / n),
+                format!("{:.2}", acc[4] / n),
+                format!("{:.1}", acc[5] / n),
+            ]);
+            csv.write_str_row(&[
+                scheme.name(),
+                &head_start.to_string(),
+                &format!("{:.2}", acc[0] / n),
+                &format!("{:.2}", acc[1] / n),
+                &format!("{:.2}", acc[2] / n),
+                &format!("{:.2}", acc[3] / n),
+                &format!("{:.3}", acc[4] / n),
+                &format!("{:.2}", acc[5] / n),
+            ])?;
+        }
+        table.add_separator();
+    }
+    csv.flush()?;
+    print!("{table}");
+    println!("larger head starts trade live latency for quality and stall resistance;");
+    println!("with the reachability clamp CAVA holds its quality lead and, from moderate head");
+    println!("starts up, roughly halves rebuffering at lower latency; at the tightest head");
+    println!("starts every scheme degrades — the regime the paper leaves as future work");
+    println!("wrote {}", path.display());
+    Ok(())
+}

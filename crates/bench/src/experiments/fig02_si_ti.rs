@@ -1,0 +1,92 @@
+//! Fig. 2 — SI/TI of chunks coloured by size-quartile class (Elephant
+//! Dream, track 3), for the H.264 and H.265 encodings.
+//!
+//! Validates the paper's Property 1: size quartiles track content
+//! complexity. The paper reports that 78 % (H.264) / 75 % (H.265) of Q4
+//! chunks have SI > 25 and TI > 7, against ≈ 11 % / 5 % of Q1 chunks; it
+//! also verifies Property 2 (cross-track consistency, correlations ≈ 1).
+
+use crate::experiments::banner;
+use crate::results_dir;
+use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
+use std::io;
+use vbr_video::classify::{cross_track_consistency, ChunkClass, Classification};
+use vbr_video::{Dataset, Video};
+
+const SI_THRESHOLD: f64 = 25.0;
+const TI_THRESHOLD: f64 = 7.0;
+
+pub fn run() -> io::Result<()> {
+    banner("Fig. 2", "Chunk SI & TI by size-quartile class (ED, track 3)");
+    for name in ["ED-ffmpeg-h264", "ED-ffmpeg-h265"] {
+        let video = Dataset::by_name(name).expect("dataset video");
+        report_one(&video)?;
+    }
+    Ok(())
+}
+
+fn report_one(video: &Video) -> io::Result<()> {
+    println!("--- {}", video.name());
+    let classification = Classification::from_video(video);
+    let sc = video.complexity();
+
+    let mut table = TextTable::new(vec![
+        "class",
+        "n",
+        "mean SI",
+        "mean TI",
+        &format!("% with SI>{SI_THRESHOLD:.0} & TI>{TI_THRESHOLD:.0}"),
+    ]);
+    for class in ChunkClass::ALL {
+        let pos = classification.positions_of(class);
+        let n = pos.len() as f64;
+        let mean_si = pos.iter().map(|&i| sc.si(i)).sum::<f64>() / n;
+        let mean_ti = pos.iter().map(|&i| sc.ti(i)).sum::<f64>() / n;
+        let above = pos
+            .iter()
+            .filter(|&&i| sc.si(i) > SI_THRESHOLD && sc.ti(i) > TI_THRESHOLD)
+            .count() as f64;
+        table.add_row(vec![
+            class.label().to_string(),
+            format!("{}", pos.len()),
+            format!("{mean_si:.1}"),
+            format!("{mean_ti:.1}"),
+            format!("{:.0}%", 100.0 * above / n),
+        ]);
+    }
+    print!("{table}");
+    println!("paper: Q4 ≈ 78% (H.264) / 75% (H.265) above thresholds; Q1 ≈ 11% / 5%");
+
+    // Property 2: cross-track size consistency.
+    let min_corr = cross_track_consistency(video);
+    println!("min cross-track size correlation (paper: 'close to 1'): {min_corr:.3}");
+
+    // ASCII scatter: Q1 dots vs Q4 hashes.
+    let mut chart = AsciiChart::new("SI/TI scatter (Q1 = '.', Q4 = '#')", 80, 20)
+        .x_label("SI")
+        .y_label("TI");
+    for (class, glyph) in [(ChunkClass::Q1, '.'), (ChunkClass::Q4, '#')] {
+        let points: Vec<(f64, f64)> = classification
+            .positions_of(class)
+            .iter()
+            .map(|&i| (sc.si(i), sc.ti(i)))
+            .collect();
+        chart.add_series(Series::new(class.label(), glyph, points));
+    }
+    print!("{chart}");
+
+    // CSV: chunk, si, ti, class.
+    let path = results_dir().join(format!("fig02_si_ti_{}.csv", video.name()));
+    let mut csv = CsvWriter::create(&path, &["chunk", "si", "ti", "class"])?;
+    for i in 0..video.n_chunks() {
+        csv.write_str_row(&[
+            &i.to_string(),
+            &format!("{:.2}", sc.si(i)),
+            &format!("{:.2}", sc.ti(i)),
+            classification.class(i).label(),
+        ])?;
+    }
+    csv.flush()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Fig. 3 — CDFs of chunk quality (PSNR, SSIM, VMAF-TV, VMAF-Phone) by
+//! size-quartile class, for the 480p track of the YouTube-encoded Elephant
+//! Dream.
+//!
+//! The paper's central characterization finding: Q1→Q4 chunks have
+//! *increasing* sizes but *decreasing* quality, with a particularly large
+//! gap between Q4 and the rest (§3.1.2).
+
+use crate::experiments::banner;
+use crate::results_dir;
+use sim_report::{AsciiChart, Cdf, CsvWriter, Series, TextTable};
+use std::io;
+use vbr_video::classify::{ChunkClass, Classification};
+use vbr_video::quality::ChunkQuality;
+use vbr_video::Dataset;
+
+pub fn run() -> io::Result<()> {
+    banner(
+        "Fig. 3",
+        "Quality of chunks by class (ED, YouTube, H.264, 480p track)",
+    );
+    let video = Dataset::ed_youtube_h264();
+    let classification = Classification::from_video(&video);
+    let track = video.n_tracks() / 2; // 480p
+    println!(
+        "track {track} ({}), {} chunks",
+        video.track(track).resolution().label(),
+        video.n_chunks()
+    );
+
+    #[allow(clippy::type_complexity)]
+    let metrics: [(&str, fn(&ChunkQuality) -> f64); 4] = [
+        ("psnr", |q| q.psnr),
+        ("ssim", |q| q.ssim),
+        ("vmaf_tv", |q| q.vmaf_tv),
+        ("vmaf_phone", |q| q.vmaf_phone),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "metric", "Q1 median", "Q2 median", "Q3 median", "Q4 median",
+    ]);
+    for (name, f) in metrics {
+        let mut row = vec![name.to_string()];
+        let mut per_class: Vec<Vec<f64>> = Vec::new();
+        for class in ChunkClass::ALL {
+            let values: Vec<f64> = classification
+                .positions_of(class)
+                .iter()
+                .map(|&i| f(&video.quality(track, i)))
+                .collect();
+            let cdf = Cdf::new(&values).expect("non-empty class");
+            row.push(format!("{:.2}", cdf.quantile(0.5)));
+            per_class.push(values);
+        }
+        table.add_row(row);
+
+        // CSV: sorted values per class (one column per class, padded rows).
+        let path = results_dir().join(format!("fig03_quality_cdf_{name}.csv"));
+        let mut csv = CsvWriter::create(&path, &["class", "value", "cdf"])?;
+        for (ci, values) in per_class.iter().enumerate() {
+            let cdf = Cdf::new(values).expect("non-empty");
+            for (x, fx) in cdf.points() {
+                csv.write_str_row(&[
+                    ChunkClass::from_index(ci).label(),
+                    &format!("{x:.4}"),
+                    &format!("{fx:.4}"),
+                ])?;
+            }
+        }
+        csv.flush()?;
+    }
+    print!("{table}");
+    println!("paper: quality decreases Q1→Q4; the Q4 gap is the largest");
+
+    // ASCII CDF for the VMAF-TV panel.
+    let mut chart = AsciiChart::new("VMAF-TV CDF by class", 80, 18)
+        .x_label("VMAF (TV model)")
+        .y_label("CDF");
+    for (class, glyph) in [
+        (ChunkClass::Q1, '1'),
+        (ChunkClass::Q2, '2'),
+        (ChunkClass::Q3, '3'),
+        (ChunkClass::Q4, '4'),
+    ] {
+        let values: Vec<f64> = classification
+            .positions_of(class)
+            .iter()
+            .map(|&i| video.quality(track, i).vmaf_tv)
+            .collect();
+        let cdf = Cdf::new(&values).expect("non-empty");
+        chart.add_series(Series::new(class.label(), glyph, cdf.points()));
+    }
+    print!("{chart}");
+    println!("wrote {}", results_dir().join("fig03_quality_cdf_*.csv").display());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Fig. 9 — quality of Q1–Q3 chunks and of all chunks for the Fig. 8 runs.
+//!
+//! The paper's takeaway: CAVA's Q1–Q3 quality is *not* the highest (it
+//! deliberately saves bandwidth on simple scenes) but it avoids low quality
+//! for them too — the balance the differential-treatment principle aims at.
+
+use crate::experiments::banner;
+use crate::harness::{metric_cdf, Metric, SchemeKind};
+use crate::results_dir;
+use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
+use std::io;
+use vbr_video::Dataset;
+
+pub fn run() -> io::Result<()> {
+    banner("Fig. 9", "Quality of Q1-Q3 chunks and all chunks (same runs as Fig. 8)");
+    let video = Dataset::ed_ffmpeg_h264();
+    let grid = super::fig08_scheme_comparison::run_grid(&video);
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "Q1-Q3 quality (mean)",
+        "Q1-Q3 p10",
+        "all chunks (mean)",
+        "all p10",
+    ]);
+    for (metric, fname) in [
+        (Metric::Q13Quality, "fig09a_q13_quality"),
+        (Metric::AllQuality, "fig09b_all_quality"),
+    ] {
+        let path = results_dir().join(format!("{fname}.csv"));
+        let mut csv = CsvWriter::create(&path, &["scheme", "value", "cdf"])?;
+        for scheme in SchemeKind::FIG8 {
+            let cdf = metric_cdf(metric, &grid[&scheme]);
+            for (x, fx) in cdf.points_downsampled(100) {
+                csv.write_str_row(&[scheme.name(), &format!("{x:.4}"), &format!("{fx:.4}")])?;
+            }
+        }
+        csv.flush()?;
+    }
+    for scheme in SchemeKind::FIG8 {
+        let q13 = metric_cdf(Metric::Q13Quality, &grid[&scheme]);
+        let all = metric_cdf(Metric::AllQuality, &grid[&scheme]);
+        table.add_row(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", q13.mean()),
+            format!("{:.1}", q13.quantile(0.10)),
+            format!("{:.1}", all.mean()),
+            format!("{:.1}", all.quantile(0.10)),
+        ]);
+    }
+    print!("{table}");
+    println!("paper: CAVA's Q1-Q3 quality is moderate — neither the highest nor low");
+
+    let mut chart = AsciiChart::new("CDF of Q1-Q3 chunk quality", 80, 16)
+        .x_label("Q1-Q3 quality (VMAF, phone)")
+        .y_label("CDF");
+    for (scheme, glyph) in [
+        (SchemeKind::Cava, 'c'),
+        (SchemeKind::RobustMpc, 'R'),
+        (SchemeKind::PandaMaxMin, 'p'),
+    ] {
+        let cdf = metric_cdf(Metric::Q13Quality, &grid[&scheme]);
+        chart.add_series(Series::new(scheme.name(), glyph, cdf.points()));
+    }
+    print!("{chart}");
+    println!("wrote {}", results_dir().join("fig09*.csv").display());
+    Ok(())
+}

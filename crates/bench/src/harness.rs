@@ -1,0 +1,396 @@
+//! Scheme registry, trace sets, and the parallel session runner.
+
+use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
+use abr_sim::metrics::{evaluate, QoeConfig, QoeMetrics};
+use abr_sim::{AbrAlgorithm, PlayerConfig, SessionResult, Simulator};
+use cava_core::{Cava, CavaConfig};
+use net_trace::fcc::{fcc_traces, FccConfig};
+use net_trace::lte::{lte_traces, LteConfig};
+use net_trace::Trace;
+use sim_report::Cdf;
+use vbr_video::quality::VmafModel;
+use vbr_video::{Classification, Manifest, Video};
+
+/// Number of traces per set: the paper uses 200; override with `TRACES` for
+/// quick iteration.
+pub fn trace_count() -> usize {
+    std::env::var("TRACES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Every scheme the evaluation runs. `build` instantiates a fresh algorithm
+/// (one per worker thread — algorithms are stateful within a session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    Cava,
+    CavaP1,
+    CavaP12,
+    Mpc,
+    RobustMpc,
+    PandaMaxSum,
+    PandaMaxMin,
+    Rba,
+    Bba1,
+    Pia,
+    Festive,
+    Bola,
+    BolaEPeak,
+    BolaEAvg,
+    BolaESeg,
+}
+
+impl SchemeKind {
+    /// The paper's §6.3 comparison set (Fig. 8).
+    pub const FIG8: [SchemeKind; 5] = [
+        SchemeKind::Cava,
+        SchemeKind::Mpc,
+        SchemeKind::RobustMpc,
+        SchemeKind::PandaMaxSum,
+        SchemeKind::PandaMaxMin,
+    ];
+
+    /// The §6.4 ablation set (Fig. 10).
+    pub const ABLATION: [SchemeKind; 3] =
+        [SchemeKind::CavaP1, SchemeKind::CavaP12, SchemeKind::Cava];
+
+    /// The §6.8 dash.js set (Fig. 11).
+    pub const FIG11: [SchemeKind; 4] = [
+        SchemeKind::Cava,
+        SchemeKind::BolaEAvg,
+        SchemeKind::BolaEPeak,
+        SchemeKind::BolaESeg,
+    ];
+
+    /// Display name matching the paper's.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Cava => "CAVA",
+            SchemeKind::CavaP1 => "CAVA-p1",
+            SchemeKind::CavaP12 => "CAVA-p12",
+            SchemeKind::Mpc => "MPC",
+            SchemeKind::RobustMpc => "RobustMPC",
+            SchemeKind::PandaMaxSum => "PANDA/CQ max-sum",
+            SchemeKind::PandaMaxMin => "PANDA/CQ max-min",
+            SchemeKind::Rba => "RBA",
+            SchemeKind::Bba1 => "BBA-1",
+            SchemeKind::Pia => "PIA",
+            SchemeKind::Festive => "FESTIVE",
+            SchemeKind::Bola => "BOLA",
+            SchemeKind::BolaEPeak => "BOLA-E (peak)",
+            SchemeKind::BolaEAvg => "BOLA-E (avg)",
+            SchemeKind::BolaESeg => "BOLA-E (seg)",
+        }
+    }
+
+    /// Instantiate the scheme. PANDA/CQ receives the video's quality table
+    /// under `model` (its granted side information, §6.1); every other
+    /// scheme sees only the manifest.
+    pub fn build(self, video: &Video, model: VmafModel) -> Box<dyn AbrAlgorithm> {
+        match self {
+            SchemeKind::Cava => Box::new(Cava::paper_default()),
+            SchemeKind::CavaP1 => Box::new(Cava::p1()),
+            SchemeKind::CavaP12 => Box::new(Cava::p12()),
+            SchemeKind::Mpc => Box::new(Mpc::mpc()),
+            SchemeKind::RobustMpc => Box::new(Mpc::robust()),
+            SchemeKind::PandaMaxSum => Box::new(PandaCq::max_sum(video, model)),
+            SchemeKind::PandaMaxMin => Box::new(PandaCq::max_min(video, model)),
+            SchemeKind::Rba => Box::new(Rba::paper_default()),
+            SchemeKind::Bba1 => Box::new(Bba1::paper_default()),
+            SchemeKind::Pia => Box::new(Pia::paper_default()),
+            SchemeKind::Festive => Box::new(Festive::paper_default()),
+            SchemeKind::Bola => Box::new(Bola::bola()),
+            SchemeKind::BolaEPeak => Box::new(Bola::bola_e(BolaBitrateView::Peak)),
+            SchemeKind::BolaEAvg => Box::new(Bola::bola_e(BolaBitrateView::Average)),
+            SchemeKind::BolaESeg => Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+        }
+    }
+
+    /// Build with a custom CAVA configuration (parameter sweeps). Only valid
+    /// for the CAVA kinds.
+    pub fn build_cava(config: CavaConfig) -> Box<dyn AbrAlgorithm> {
+        Box::new(Cava::new(config))
+    }
+}
+
+/// The two trace corpora of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSet {
+    Lte,
+    Fcc,
+}
+
+impl TraceSet {
+    /// Generate the corpus (fixed base seeds → fully reproducible).
+    pub fn generate(self, count: usize) -> Vec<Trace> {
+        match self {
+            TraceSet::Lte => lte_traces(count, 42, &LteConfig::default()),
+            TraceSet::Fcc => fcc_traces(count, 4242, &FccConfig::default()),
+        }
+    }
+
+    /// The VMAF viewing model the paper pairs with this corpus (§6.1).
+    pub fn qoe_config(self) -> QoeConfig {
+        match self {
+            TraceSet::Lte => QoeConfig::lte(),
+            TraceSet::Fcc => QoeConfig::fcc(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceSet::Lte => "LTE",
+            TraceSet::Fcc => "FCC",
+        }
+    }
+}
+
+/// Run one scheme over every trace, in parallel, and evaluate each session.
+/// Returns per-trace metrics in trace order.
+pub fn run_scheme(
+    scheme: SchemeKind,
+    video: &Video,
+    traces: &[Trace],
+    qoe: &QoeConfig,
+    player: &PlayerConfig,
+) -> Vec<QoeMetrics> {
+    run_with_factory(
+        &|| scheme.build(video, qoe.vmaf_model),
+        video,
+        traces,
+        qoe,
+        player,
+    )
+}
+
+/// Run with a custom algorithm factory (parameter sweeps). The factory is
+/// invoked once per worker thread.
+pub fn run_with_factory(
+    factory: &(dyn Fn() -> Box<dyn AbrAlgorithm> + Sync),
+    video: &Video,
+    traces: &[Trace],
+    qoe: &QoeConfig,
+    player: &PlayerConfig,
+) -> Vec<QoeMetrics> {
+    let manifest = Manifest::from_video(video);
+    let classification = Classification::from_video(video);
+    let sim = Simulator::new(*player);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(traces.len().max(1));
+    let chunk = traces.len().div_ceil(n_threads);
+    let mut results: Vec<Option<QoeMetrics>> = vec![None; traces.len()];
+    std::thread::scope(|scope| {
+        for (slab_idx, (trace_slab, result_slab)) in traces
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let manifest = &manifest;
+            let classification = &classification;
+            let sim = &sim;
+            let _ = slab_idx;
+            scope.spawn(move || {
+                let mut algo = factory();
+                for (trace, slot) in trace_slab.iter().zip(result_slab.iter_mut()) {
+                    let session = sim.run(algo.as_mut(), manifest, trace);
+                    *slot = Some(evaluate(&session, video, classification, qoe));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
+}
+
+/// Run one scheme and keep the raw sessions (for per-chunk analyses).
+pub fn run_sessions(
+    scheme: SchemeKind,
+    video: &Video,
+    traces: &[Trace],
+    qoe: &QoeConfig,
+    player: &PlayerConfig,
+) -> Vec<SessionResult> {
+    let manifest = Manifest::from_video(video);
+    let sim = Simulator::new(*player);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(traces.len().max(1));
+    let chunk = traces.len().div_ceil(n_threads);
+    let mut results: Vec<Option<SessionResult>> = vec![None; traces.len()];
+    std::thread::scope(|scope| {
+        for (trace_slab, result_slab) in traces.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let manifest = &manifest;
+            let sim = &sim;
+            scope.spawn(move || {
+                let mut algo = scheme.build(video, qoe.vmaf_model);
+                for (trace, slot) in trace_slab.iter().zip(result_slab.iter_mut()) {
+                    *slot = Some(sim.run(algo.as_mut(), manifest, trace));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// The paper's five evaluation metrics plus supporting ones, as selectors
+/// over [`QoeMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Q4Quality,
+    Q13Quality,
+    AllQuality,
+    LowQualityPct,
+    RebufferS,
+    QualityChange,
+    DataUsageMb,
+    MeanLevel,
+}
+
+impl Metric {
+    /// Extract the metric value from one session's metrics.
+    pub fn of(self, m: &QoeMetrics) -> f64 {
+        match self {
+            Metric::Q4Quality => m.q4_quality_mean,
+            Metric::Q13Quality => m.q13_quality_mean,
+            Metric::AllQuality => m.all_quality_mean,
+            Metric::LowQualityPct => m.low_quality_pct,
+            Metric::RebufferS => m.rebuffer_s,
+            Metric::QualityChange => m.avg_quality_change,
+            Metric::DataUsageMb => m.data_usage_bytes as f64 / 1.0e6,
+            Metric::MeanLevel => m.mean_level,
+        }
+    }
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Q4Quality => "Quality of Q4 chunks",
+            Metric::Q13Quality => "Quality of Q1-Q3 chunks",
+            Metric::AllQuality => "Quality of all chunks",
+            Metric::LowQualityPct => "Low-quality chunks (%)",
+            Metric::RebufferS => "Total rebuffering (s)",
+            Metric::QualityChange => "Avg quality change (/chunk)",
+            Metric::DataUsageMb => "Data usage (MB)",
+            Metric::MeanLevel => "Mean track level",
+        }
+    }
+
+    /// Whether lower values are better (true for all but the quality
+    /// metrics).
+    pub fn lower_is_better(self) -> bool {
+        !matches!(
+            self,
+            Metric::Q4Quality | Metric::Q13Quality | Metric::AllQuality | Metric::MeanLevel
+        )
+    }
+}
+
+/// Mean of a metric across sessions.
+pub fn mean_of(metric: Metric, sessions: &[QoeMetrics]) -> f64 {
+    assert!(!sessions.is_empty());
+    sessions.iter().map(|m| metric.of(m)).sum::<f64>() / sessions.len() as f64
+}
+
+/// CDF of a metric across sessions.
+pub fn metric_cdf(metric: Metric, sessions: &[QoeMetrics]) -> Cdf {
+    let values: Vec<f64> = sessions.iter().map(|m| metric.of(m)).collect();
+    Cdf::new(&values).expect("non-empty, non-NaN metrics")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::Dataset;
+
+    #[test]
+    fn scheme_names_unique() {
+        let all = [
+            SchemeKind::Cava,
+            SchemeKind::CavaP1,
+            SchemeKind::CavaP12,
+            SchemeKind::Mpc,
+            SchemeKind::RobustMpc,
+            SchemeKind::PandaMaxSum,
+            SchemeKind::PandaMaxMin,
+            SchemeKind::Rba,
+            SchemeKind::Bba1,
+            SchemeKind::Pia,
+            SchemeKind::Festive,
+            SchemeKind::Bola,
+            SchemeKind::BolaEPeak,
+            SchemeKind::BolaEAvg,
+            SchemeKind::BolaESeg,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let video = Dataset::ed_youtube_h264();
+        let traces = TraceSet::Lte.generate(6);
+        let qoe = TraceSet::Lte.qoe_config();
+        let player = PlayerConfig::default();
+        let parallel = run_scheme(SchemeKind::Rba, &video, &traces, &qoe, &player);
+        // Serial reference.
+        let manifest = Manifest::from_video(&video);
+        let classification = Classification::from_video(&video);
+        let sim = Simulator::new(player);
+        for (i, trace) in traces.iter().enumerate() {
+            let mut algo = SchemeKind::Rba.build(&video, qoe.vmaf_model);
+            let session = sim.run(algo.as_mut(), &manifest, trace);
+            let serial = evaluate(&session, &video, &classification, &qoe);
+            assert_eq!(parallel[i], serial, "trace {i}");
+        }
+    }
+
+    #[test]
+    fn trace_sets_generate_requested_count() {
+        assert_eq!(TraceSet::Lte.generate(7).len(), 7);
+        assert_eq!(TraceSet::Fcc.generate(3).len(), 3);
+    }
+
+    #[test]
+    fn metric_selectors_cover_qoe() {
+        let video = Dataset::ed_youtube_h264();
+        let traces = TraceSet::Lte.generate(2);
+        let qoe = TraceSet::Lte.qoe_config();
+        let sessions = run_scheme(
+            SchemeKind::Bba1,
+            &video,
+            &traces,
+            &qoe,
+            &PlayerConfig::default(),
+        );
+        for metric in [
+            Metric::Q4Quality,
+            Metric::Q13Quality,
+            Metric::AllQuality,
+            Metric::LowQualityPct,
+            Metric::RebufferS,
+            Metric::QualityChange,
+            Metric::DataUsageMb,
+            Metric::MeanLevel,
+        ] {
+            let v = mean_of(metric, &sessions);
+            assert!(v.is_finite(), "{metric:?}");
+            let cdf = metric_cdf(metric, &sessions);
+            assert_eq!(cdf.len(), 2);
+            assert!(!metric.label().is_empty());
+        }
+        assert!(Metric::RebufferS.lower_is_better());
+        assert!(!Metric::Q4Quality.lower_is_better());
+    }
+}

@@ -1,0 +1,31 @@
+//! # abr-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §4
+//! for the full index). Every binary:
+//!
+//! 1. builds the dataset videos and the trace sets deterministically,
+//! 2. runs the relevant schemes across the traces in parallel,
+//! 3. prints the paper's rows/series (with an ASCII rendition of the
+//!    figure's shape), and
+//! 4. writes the full series as CSV under `results/`.
+//!
+//! Run everything: `cargo run -p abr-bench --release --bin all_experiments`.
+//!
+//! Environment knobs (for quick iteration): `TRACES` (trace count per set,
+//! default 200), `RESULTS_DIR` (default `results`).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{
+    mean_of, metric_cdf, run_scheme, run_sessions, trace_count, Metric, SchemeKind, TraceSet,
+};
+
+use std::path::PathBuf;
+
+/// Directory experiment binaries write CSV artifacts to.
+pub fn results_dir() -> PathBuf {
+    std::env::var("RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}

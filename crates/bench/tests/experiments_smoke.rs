@@ -1,0 +1,69 @@
+//! Smoke test of the experiment plumbing: run the cheap experiments from
+//! the registry end-to-end with a tiny trace budget, and verify their CSV
+//! artifacts exist and are well-formed (header + consistent column counts).
+
+use std::path::Path;
+
+fn assert_wellformed_csv(path: &Path) {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut lines = content.lines();
+    let header = lines.next().unwrap_or_else(|| panic!("{}: empty", path.display()));
+    let ncols = header.split(',').count();
+    assert!(ncols >= 2, "{}: header {header:?}", path.display());
+    let mut rows = 0;
+    for line in lines {
+        // Quoted fields never contain commas in our outputs’ numeric files,
+        // so a plain split suffices for the column-count check.
+        assert_eq!(
+            line.split(',').count(),
+            ncols,
+            "{}: ragged row {line:?}",
+            path.display()
+        );
+        rows += 1;
+    }
+    assert!(rows > 0, "{}: no data rows", path.display());
+}
+
+#[test]
+fn cheap_experiments_produce_wellformed_csvs() {
+    let dir = std::env::temp_dir().join("abr_bench_smoke_results");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // Env is process-global: this is the only test in this file (and the
+    // experiments read the vars at call time).
+    std::env::set_var("TRACES", "2");
+    std::env::set_var("RESULTS_DIR", &dir);
+
+    let cheap = [
+        "fig01",
+        "fig02",
+        "fig03",
+        "fig06",
+        "switch_penalty",
+        "class_granularity",
+        "vbr_vs_cbr",
+        "pia_vs_cava",
+    ];
+    let registry = abr_bench::experiments::registry();
+    for id in cheap {
+        let (_, _, run) = registry
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .unwrap_or_else(|| panic!("experiment {id} not in registry"));
+        run().unwrap_or_else(|e| panic!("{id}: {e}"));
+    }
+
+    // Every produced CSV must be structurally sound.
+    let mut n_csv = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "csv") {
+            assert_wellformed_csv(&path);
+            n_csv += 1;
+        }
+    }
+    assert!(n_csv >= 10, "expected a stack of CSVs, got {n_csv}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,466 @@
+//! Command implementations.
+
+use crate::args::Args;
+use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
+use abr_sim::metrics::{evaluate, QoeConfig};
+use abr_sim::{AbrAlgorithm, LiveConfig, PlayerConfig, Simulator};
+use cava_core::Cava;
+use net_trace::fcc::{fcc_traces, FccConfig};
+use net_trace::lte::{lte_traces, LteConfig};
+use net_trace::Trace;
+use sim_report::TextTable;
+use vbr_video::classify::cross_track_consistency;
+use vbr_video::quality::VmafModel;
+use vbr_video::{ChunkClass, Classification, Dataset, Manifest, Video};
+
+/// Scheme names accepted by `run`.
+pub const SCHEME_NAMES: [&str; 15] = [
+    "cava",
+    "cava-p1",
+    "cava-p12",
+    "mpc",
+    "robustmpc",
+    "panda-max-sum",
+    "panda-max-min",
+    "rba",
+    "bba1",
+    "pia",
+    "festive",
+    "bola",
+    "bola-e-peak",
+    "bola-e-avg",
+    "bola-e-seg",
+];
+
+fn build_scheme(name: &str, video: &Video, model: VmafModel) -> Result<Box<dyn AbrAlgorithm>, String> {
+    Ok(match name {
+        "cava" => Box::new(Cava::paper_default()),
+        "cava-p1" => Box::new(Cava::p1()),
+        "cava-p12" => Box::new(Cava::p12()),
+        "mpc" => Box::new(Mpc::mpc()),
+        "robustmpc" => Box::new(Mpc::robust()),
+        "panda-max-sum" => Box::new(PandaCq::max_sum(video, model)),
+        "panda-max-min" => Box::new(PandaCq::max_min(video, model)),
+        "rba" => Box::new(Rba::paper_default()),
+        "bba1" => Box::new(Bba1::paper_default()),
+        "pia" => Box::new(Pia::paper_default()),
+        "festive" => Box::new(Festive::paper_default()),
+        "bola" => Box::new(Bola::bola()),
+        "bola-e-peak" => Box::new(Bola::bola_e(BolaBitrateView::Peak)),
+        "bola-e-avg" => Box::new(Bola::bola_e(BolaBitrateView::Average)),
+        "bola-e-seg" => Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+        other => {
+            return Err(format!(
+                "unknown scheme {other:?} (known: {})",
+                SCHEME_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+fn load_video(name: &str) -> Result<Video, String> {
+    if name == "ED-ffmpeg-h264-cap4x" {
+        return Ok(Dataset::ed_ffmpeg_h264_cap4());
+    }
+    if name == "ED-ffmpeg-h264-cbr" {
+        return Ok(Dataset::ed_ffmpeg_h264_cbr());
+    }
+    Dataset::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = Dataset::specs().iter().map(|s| s.name.clone()).collect();
+        format!("unknown video {name:?}; run `cava list-videos` (known: {})", known.join(", "))
+    })
+}
+
+fn trace_set(args: &Args) -> Result<(Vec<Trace>, QoeConfig), String> {
+    let count: usize = args.flag_parsed("traces", 50)?;
+    let seed: u64 = args.flag_parsed("seed", 42)?;
+    if count == 0 {
+        return Err("--traces must be at least 1".to_string());
+    }
+    match args.flag("set").unwrap_or("lte") {
+        "lte" => Ok((
+            lte_traces(count, seed, &LteConfig::default()),
+            QoeConfig::lte(),
+        )),
+        "fcc" => Ok((
+            fcc_traces(count, seed, &FccConfig::default()),
+            QoeConfig::fcc(),
+        )),
+        other => Err(format!("unknown trace set {other:?} (lte or fcc)")),
+    }
+}
+
+/// `cava list-videos`
+pub fn list_videos() -> Result<(), String> {
+    let mut table = TextTable::new(vec![
+        "name", "genre", "codec", "chunks", "chunk (s)", "top track", "avg Mbps (top)",
+    ]);
+    for spec in Dataset::specs() {
+        let video = spec.build();
+        let top = video.track(video.n_tracks() - 1);
+        table.add_row(vec![
+            spec.name.clone(),
+            spec.genre.name().to_string(),
+            video.codec().name().to_string(),
+            video.n_chunks().to_string(),
+            format!("{}", video.chunk_duration()),
+            top.resolution().label(),
+            format!("{:.2}", top.declared_avg_bps() / 1e6),
+        ]);
+    }
+    print!("{table}");
+    println!("variants: ED-ffmpeg-h264-cap4x (§3.3), ED-ffmpeg-h264-cbr (CBR comparison)");
+    Ok(())
+}
+
+/// `cava characterize <video>`
+pub fn characterize(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&[])?;
+    let video = load_video(args.positional(0, "video")?)?;
+    println!(
+        "{}: genre {}, codec {}, {} chunks x {}s, {} tracks",
+        video.name(),
+        video.genre().name(),
+        video.codec().name(),
+        video.n_chunks(),
+        video.chunk_duration(),
+        video.n_tracks()
+    );
+    let mut tracks = TextTable::new(vec!["track", "res", "avg Mbps", "CoV", "peak/avg"]);
+    for t in video.tracks() {
+        tracks.add_row(vec![
+            t.level().to_string(),
+            t.resolution().label(),
+            format!("{:.2}", t.realized_avg_bps() / 1e6),
+            format!("{:.2}", t.bitrate_cov()),
+            format!("{:.2}", t.peak_to_avg()),
+        ]);
+    }
+    print!("{tracks}");
+    let classification = Classification::from_video(&video);
+    println!(
+        "cross-track size consistency (min Spearman): {:.3}",
+        cross_track_consistency(&video)
+    );
+    let track = video.n_tracks() / 2;
+    let mut classes = TextTable::new(vec!["class", "mean size (KB)", "median VMAF-TV", "median VMAF-phone"]);
+    for class in ChunkClass::ALL {
+        let pos = classification.positions_of(class);
+        let mean_kb = pos
+            .iter()
+            .map(|&i| video.track(track).chunk_bytes(i) as f64 / 1e3)
+            .sum::<f64>()
+            / pos.len() as f64;
+        let median = |f: &dyn Fn(usize) -> f64| {
+            let mut v: Vec<f64> = pos.iter().map(|&i| f(i)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        };
+        classes.add_row(vec![
+            class.label().to_string(),
+            format!("{mean_kb:.0}"),
+            format!("{:.1}", median(&|i| video.quality(track, i).vmaf_tv)),
+            format!("{:.1}", median(&|i| video.quality(track, i).vmaf_phone)),
+        ]);
+    }
+    print!("{classes}");
+    println!("note the §3.1.2 inversion: Q4 has the most bytes and the worst quality");
+    Ok(())
+}
+
+/// `cava run <video> <scheme> [--traces N] [--set lte|fcc] [--seed S] [--live H] [--err F]`
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["traces", "set", "seed", "live", "err"])?;
+    if args.n_positionals() > 2 {
+        return Err("run takes exactly <video> <scheme>".to_string());
+    }
+    let video = load_video(args.positional(0, "video")?)?;
+    let scheme_name = args.positional(1, "scheme")?.to_string();
+    let (traces, qoe) = trace_set(&args)?;
+    let live_head: usize = args.flag_parsed("live", 0)?;
+    let err: f64 = args.flag_parsed("err", 0.0)?;
+    if !(0.0..1.0).contains(&err) {
+        return Err("--err must be in [0, 1)".to_string());
+    }
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let player = PlayerConfig {
+        live: (live_head > 0).then_some(LiveConfig {
+            head_start_chunks: live_head,
+        }),
+        startup_threshold_s: if live_head > 0 {
+            (live_head as f64 * manifest.chunk_duration()).min(10.0)
+        } else {
+            10.0
+        },
+        bandwidth_error: (err > 0.0).then_some((err, 1234)),
+        ..PlayerConfig::default()
+    };
+    let sim = Simulator::new(player);
+    let mut algo = build_scheme(&scheme_name, &video, qoe.vmaf_model)?;
+    let mut acc = [0.0f64; 7];
+    for trace in &traces {
+        let session = sim.run(algo.as_mut(), &manifest, trace);
+        let m = evaluate(&session, &video, &classification, &qoe);
+        acc[0] += m.q4_quality_mean;
+        acc[1] += m.q13_quality_mean;
+        acc[2] += m.all_quality_mean;
+        acc[3] += m.low_quality_pct;
+        acc[4] += m.rebuffer_s;
+        acc[5] += m.avg_quality_change;
+        acc[6] += m.data_usage_bytes as f64 / 1e6;
+    }
+    let n = traces.len() as f64;
+    println!(
+        "{} on {} over {} traces{}{}",
+        algo.name(),
+        video.name(),
+        traces.len(),
+        if live_head > 0 {
+            format!(", live (head start {live_head})")
+        } else {
+            String::new()
+        },
+        if err > 0.0 {
+            format!(", prediction error ±{:.0}%", err * 100.0)
+        } else {
+            String::new()
+        }
+    );
+    let mut table = TextTable::new(vec!["metric", "mean"]);
+    table.add_row(vec!["Q4 quality (VMAF)", &format!("{:.1}", acc[0] / n)]);
+    table.add_row(vec!["Q1-Q3 quality", &format!("{:.1}", acc[1] / n)]);
+    table.add_row(vec!["all-chunk quality", &format!("{:.1}", acc[2] / n)]);
+    table.add_row(vec!["low-quality chunks (%)", &format!("{:.1}", acc[3] / n)]);
+    table.add_row(vec!["rebuffering (s)", &format!("{:.1}", acc[4] / n)]);
+    table.add_row(vec!["quality change (/chunk)", &format!("{:.2}", acc[5] / n)]);
+    table.add_row(vec!["data usage (MB)", &format!("{:.1}", acc[6] / n)]);
+    print!("{table}");
+    Ok(())
+}
+
+/// `cava compare <video> [--traces N] [--set lte|fcc]`
+pub fn compare(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["traces", "set", "seed"])?;
+    let video = load_video(args.positional(0, "video")?)?;
+    let (traces, qoe) = trace_set(&args)?;
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let sim = Simulator::paper_default();
+    println!("{} over {} traces", video.name(), traces.len());
+    let mut table = TextTable::new(vec![
+        "scheme", "Q4", "Q1-3", "low-q %", "rebuf (s)", "qual chg", "MB",
+    ]);
+    for name in SCHEME_NAMES {
+        let mut algo = build_scheme(name, &video, qoe.vmaf_model)?;
+        let mut acc = [0.0f64; 6];
+        for trace in &traces {
+            let session = sim.run(algo.as_mut(), &manifest, trace);
+            let m = evaluate(&session, &video, &classification, &qoe);
+            acc[0] += m.q4_quality_mean;
+            acc[1] += m.q13_quality_mean;
+            acc[2] += m.low_quality_pct;
+            acc[3] += m.rebuffer_s;
+            acc[4] += m.avg_quality_change;
+            acc[5] += m.data_usage_bytes as f64 / 1e6;
+        }
+        let n = traces.len() as f64;
+        table.add_row(vec![
+            algo.name().to_string(),
+            format!("{:.1}", acc[0] / n),
+            format!("{:.1}", acc[1] / n),
+            format!("{:.1}", acc[2] / n),
+            format!("{:.1}", acc[3] / n),
+            format!("{:.2}", acc[4] / n),
+            format!("{:.0}", acc[5] / n),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// `cava export-mpd <video> [--out FILE]`
+pub fn export_mpd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["out"])?;
+    let video = load_video(args.positional(0, "video")?)?;
+    let xml = vbr_video::mpd::to_mpd_xml(&Manifest::from_video(&video));
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &xml).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path} ({} bytes)", xml.len());
+        }
+        None => print!("{xml}"),
+    }
+    Ok(())
+}
+
+/// `cava gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]`
+pub fn gen_traces(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["format", "seed"])?;
+    let kind = args.positional(0, "lte|fcc")?.to_string();
+    let count: usize = args
+        .positional(1, "count")?
+        .parse()
+        .map_err(|_| "count must be a number".to_string())?;
+    let dir = std::path::PathBuf::from(args.positional(2, "dir")?);
+    let seed: u64 = args.flag_parsed("seed", 42)?;
+    let traces = match kind.as_str() {
+        "lte" => lte_traces(count, seed, &LteConfig::default()),
+        "fcc" => fcc_traces(count, seed, &FccConfig::default()),
+        other => return Err(format!("unknown trace kind {other:?} (lte or fcc)")),
+    };
+    let format = args.flag("format").unwrap_or("csv");
+    match format {
+        "csv" => {
+            for t in &traces {
+                net_trace::io::save_csv(t, dir.join(format!("{}.csv", t.name())))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        "mahimahi" => {
+            for t in &traces {
+                net_trace::io::save_mahimahi(t, dir.join(format!("{}.trace", t.name())))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        "json" => {
+            net_trace::io::save_json(&traces, dir.join(format!("{kind}-traces.json")))
+                .map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown format {other:?} (csv, json, mahimahi)")),
+    }
+    println!("wrote {count} {kind} traces to {} ({format})", dir.display());
+    Ok(())
+}
+
+/// `cava inspect <video> <scheme> [--seed S] [--set lte|fcc] [--json FILE]`
+pub fn inspect(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["seed", "set", "json"])?;
+    let video = load_video(args.positional(0, "video")?)?;
+    let scheme_name = args.positional(1, "scheme")?.to_string();
+    let seed: u64 = args.flag_parsed("seed", 42)?;
+    let (trace, qoe) = match args.flag("set").unwrap_or("lte") {
+        "lte" => (
+            net_trace::lte::lte_trace(seed, &LteConfig::default()),
+            QoeConfig::lte(),
+        ),
+        "fcc" => (
+            net_trace::fcc::fcc_trace(seed, &FccConfig::default()),
+            QoeConfig::fcc(),
+        ),
+        other => return Err(format!("unknown trace set {other:?}")),
+    };
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let mut algo = build_scheme(&scheme_name, &video, qoe.vmaf_model)?;
+    let session = Simulator::paper_default().run(algo.as_mut(), &manifest, &trace);
+    let metrics = evaluate(&session, &video, &classification, &qoe);
+
+    println!(
+        "{} on {} over {} (mean {:.2} Mbps)",
+        algo.name(),
+        video.name(),
+        trace.name(),
+        trace.mean_bps() / 1e6
+    );
+    println!(
+        "startup {:.1}s, rebuffering {:.1}s ({} events), mean level {:.2}, data {:.1} MB",
+        session.startup_delay_s,
+        session.total_stall_s,
+        session.n_stall_events,
+        session.mean_level(),
+        session.total_bytes() as f64 / 1e6
+    );
+    println!(
+        "Q4 quality {:.1}, all-chunk quality {:.1}, quality change {:.2}",
+        metrics.q4_quality_mean, metrics.all_quality_mean, metrics.avg_quality_change
+    );
+
+    // Per-chunk table, decimated to keep the terminal readable.
+    let step = (session.n_chunks() / 30).max(1);
+    let mut table = TextTable::new(vec![
+        "chunk", "class", "level", "KB", "dl (s)", "Mbps", "stall (s)", "buffer (s)",
+    ]);
+    for r in session.records.iter().step_by(step) {
+        table.add_row(vec![
+            r.index.to_string(),
+            classification.class(r.index).label().to_string(),
+            r.level.to_string(),
+            format!("{:.0}", r.bytes as f64 / 1e3),
+            format!("{:.2}", r.download_secs),
+            format!("{:.2}", r.throughput_bps / 1e6),
+            format!("{:.1}", r.stall_s),
+            format!("{:.1}", r.buffer_after_s),
+        ]);
+    }
+    print!("{table}");
+    if step > 1 {
+        println!("(every {step}th chunk shown; --json for the full record)");
+    }
+
+    if let Some(path) = args.flag("json") {
+        let json = serde_json::to_string_pretty(&session)
+            .map_err(|e| format!("serializing session: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `cava trace-stats <lte|fcc> [--traces N] [--seed S]`
+pub fn trace_stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["traces", "seed"])?;
+    let kind = args.positional(0, "lte|fcc")?.to_string();
+    let count: usize = args.flag_parsed("traces", 50)?;
+    let seed: u64 = args.flag_parsed("seed", 42)?;
+    let traces = match kind.as_str() {
+        "lte" => lte_traces(count, seed, &LteConfig::default()),
+        "fcc" => fcc_traces(count, seed, &FccConfig::default()),
+        other => return Err(format!("unknown trace kind {other:?} (lte or fcc)")),
+    };
+    let means: Vec<f64> = traces.iter().map(|t| t.mean_bps() / 1e6).collect();
+    let covs: Vec<f64> = traces
+        .iter()
+        .map(|t| {
+            let mean = t.mean_bps();
+            let var = t
+                .samples()
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
+                / t.n_samples() as f64;
+            var.sqrt() / mean
+        })
+        .collect();
+    let outage: Vec<f64> = traces
+        .iter()
+        .map(|t| {
+            100.0 * t.samples().iter().filter(|&&s| s == 0.0).count() as f64
+                / t.n_samples() as f64
+        })
+        .collect();
+    println!(
+        "{count} {kind} traces, {:.0} min each, interval {}s",
+        traces[0].duration_s() / 60.0,
+        traces[0].interval_s()
+    );
+    let mut table = TextTable::new(vec!["statistic", "mean Mbps", "CoV", "outage %"]);
+    for (label, p) in [("p10", 10.0), ("median", 50.0), ("p90", 90.0)] {
+        let pick = |xs: &[f64]| sim_report::stats::percentile(xs, p).unwrap_or(0.0);
+        table.add_row(vec![
+            label.to_string(),
+            format!("{:.2}", pick(&means)),
+            format!("{:.2}", pick(&covs)),
+            format!("{:.2}", pick(&outage)),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! `cava` — command-line front end for the CAVA reproduction.
+//!
+//! ```text
+//! cava list-videos
+//! cava characterize <video>
+//! cava run <video> <scheme> [--traces N] [--set lte|fcc] [--seed S]
+//!                           [--live HEAD_CHUNKS] [--err FRACTION]
+//! cava compare <video> [--traces N] [--set lte|fcc]
+//! cava export-mpd <video> [--out FILE]
+//! cava gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi]
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): positional
+//! arguments first, then `--key value` flags in any order.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cava — ABR streaming of VBR-encoded videos (CoNEXT '18 reproduction)
+
+USAGE:
+    cava <COMMAND> [ARGS]
+
+COMMANDS:
+    list-videos                      list the 16-video dataset with stats
+    characterize <video>             §2/§3 characterization of one encoding
+    run <video> <scheme>             stream one video across traces
+        [--traces N] [--set lte|fcc] [--seed S] [--live HEAD] [--err FRAC]
+    inspect <video> <scheme>         one session in detail (per-chunk table,
+        [--seed S] [--set lte|fcc]    buffer timeline, optional --json FILE)
+    trace-stats <lte|fcc> [--traces N] [--seed S]   corpus statistics
+    compare <video>                  all schemes side by side
+        [--traces N] [--set lte|fcc]
+    export-mpd <video> [--out FILE]  write the DASH MPD (stdout by default)
+    gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]
+
+SCHEMES:
+    cava, cava-p1, cava-p12, mpc, robustmpc, panda-max-sum, panda-max-min,
+    rba, bba1, pia, festive, bola, bola-e-peak, bola-e-avg, bola-e-seg
+
+Video names come from `cava list-videos` (e.g. ED-ffmpeg-h264).
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list-videos" => commands::list_videos(),
+        "characterize" => commands::characterize(&argv[1..]),
+        "run" => commands::run(&argv[1..]),
+        "inspect" => commands::inspect(&argv[1..]),
+        "trace-stats" => commands::trace_stats(&argv[1..]),
+        "compare" => commands::compare(&argv[1..]),
+        "export-mpd" => commands::export_mpd(&argv[1..]),
+        "gen-traces" => commands::gen_traces(&argv[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! CAVA configuration: every constant from §5 and §6.1/§6.2, plus the
+//! principle toggles used by the §6.4 ablation.
+
+/// Form of the track-change penalty in Eq. 3's second term. §5.3 argues for
+/// declared-average bitrates: level indices have the wrong units, and
+/// per-chunk bitrates are "not meaningful for VBR videos since even chunks
+/// in the same track can have highly dynamic bitrate". The alternatives are
+/// implemented for the ablation experiment that demonstrates the argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchPenaltyMode {
+    /// `(r(ℓ_t) − r(ℓ_{t−1}))²` — the paper's choice.
+    #[default]
+    DeclaredBitrate,
+    /// `(ℓ_t − ℓ_{t−1})²` — unit-mismatched with the first term.
+    LevelIndex,
+    /// `(R_t(ℓ_t) − R_{t−1}(ℓ_{t−1}))²` — per-chunk bitrates, noisy under VBR.
+    PerChunkBitrate,
+    /// No switch penalty at all.
+    None,
+}
+
+/// Full parameter set of CAVA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CavaConfig {
+    // ---- PID feedback block (Eq. 2) ----
+    /// Proportional gain `K_p`.
+    pub kp: f64,
+    /// Integral gain `K_i`.
+    pub ki: f64,
+    /// Lower clamp on the controller output `u` (keeps `C/u` finite).
+    pub u_min: f64,
+    /// Upper clamp on the controller output `u`.
+    pub u_max: f64,
+    /// Anti-windup clamp on the integral term (seconds·seconds of error).
+    pub integral_limit: f64,
+    /// Cap on the integration step, so long stalls do not wind the
+    /// integrator up (seconds).
+    pub max_integration_step_s: f64,
+
+    // ---- Target buffer (outer controller, Eq. 5) ----
+    /// Base target buffer level `x̄_r` (paper: 60 s; 40 s behaves similarly).
+    pub base_target_buffer_s: f64,
+    /// `x_r(t)` is clamped to this multiple of the base (paper: 2×).
+    pub target_cap_factor: f64,
+    /// Outer controller look-ahead `W′` in seconds (paper: 200 s).
+    pub outer_window_s: f64,
+
+    // ---- Inner controller (Eq. 3) ----
+    /// Optimization horizon `N` in chunks (paper: 5).
+    pub horizon_n: usize,
+    /// Short-term statistical filter window `W` in seconds (paper: 40 s).
+    pub inner_window_s: f64,
+    /// Bandwidth inflation for Q4 (complex-scene) chunks. The paper explored
+    /// 1.1–1.5 and settled on 1.1 for its encodings; our synthetic ladder's
+    /// wider track spacing calibrates to 1.4 (see DESIGN.md).
+    pub alpha_q4: f64,
+    /// Bandwidth deflation for Q1–Q3 chunks. Paper explored 0.6–0.9, chose
+    /// 0.8; we calibrate to 0.7.
+    pub alpha_q13: f64,
+    /// "Very low" levels for the no-deflate heuristic: levels `0..=this`
+    /// (paper: level 1 or 2, i.e. the two lowest).
+    pub low_level_threshold: usize,
+    /// Buffer above which the no-deflate heuristic applies (paper: 10 s).
+    pub no_deflate_buffer_s: f64,
+    /// Optional Q4 heuristic: below this buffer, do not inflate for Q4
+    /// chunks. The paper describes it but reports results with it
+    /// **disabled** (§5.3), so the default is `None`.
+    pub q4_no_inflate_buffer_s: Option<f64>,
+    /// Form of Eq. 3's track-change penalty (§5.3 discussion).
+    pub switch_penalty: SwitchPenaltyMode,
+    /// Number of equal-frequency size classes; the top class is treated as
+    /// "complex". The paper uses quartiles (4) but notes the method is not
+    /// tied to that choice (§3.1.1: "e.g., using five classes instead of
+    /// four").
+    pub n_classes: usize,
+
+    // ---- Principle toggles (§6.4 ablation) ----
+    /// P2: differential treatment (α inflate/deflate). Off in CAVA-p1.
+    pub enable_differential: bool,
+    /// P3: proactive target-buffer adjustment. Off in CAVA-p1/p12.
+    pub enable_proactive: bool,
+}
+
+impl CavaConfig {
+    /// The paper's full configuration — all three principles (CAVA-p123,
+    /// a.k.a. "CAVA" in the evaluation).
+    pub fn paper_default() -> CavaConfig {
+        CavaConfig {
+            kp: 0.04,
+            ki: 0.0015,
+            u_min: 0.25,
+            u_max: 2.5,
+            integral_limit: 60.0,
+            max_integration_step_s: 30.0,
+            base_target_buffer_s: 60.0,
+            target_cap_factor: 2.0,
+            outer_window_s: 200.0,
+            horizon_n: 5,
+            inner_window_s: 40.0,
+            alpha_q4: 1.4,
+            alpha_q13: 0.7,
+            low_level_threshold: 1,
+            no_deflate_buffer_s: 10.0,
+            q4_no_inflate_buffer_s: None,
+            switch_penalty: SwitchPenaltyMode::DeclaredBitrate,
+            n_classes: 4,
+            enable_differential: true,
+            enable_proactive: true,
+        }
+    }
+
+    /// CAVA-p1: non-myopic only (no differential treatment, no proactive
+    /// target adjustment).
+    pub fn p1() -> CavaConfig {
+        CavaConfig {
+            enable_differential: false,
+            enable_proactive: false,
+            ..CavaConfig::paper_default()
+        }
+    }
+
+    /// CAVA-p12: non-myopic + differential treatment.
+    pub fn p12() -> CavaConfig {
+        CavaConfig {
+            enable_proactive: false,
+            ..CavaConfig::paper_default()
+        }
+    }
+
+    /// CAVA-p123 — identical to [`CavaConfig::paper_default`], named for the
+    /// ablation's symmetry.
+    pub fn p123() -> CavaConfig {
+        CavaConfig::paper_default()
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(self.kp >= 0.0 && self.ki >= 0.0, "gains must be non-negative");
+        assert!(self.u_min > 0.0, "u_min must be positive");
+        assert!(self.u_max > self.u_min, "u_max must exceed u_min");
+        assert!(self.integral_limit >= 0.0);
+        assert!(self.max_integration_step_s > 0.0);
+        assert!(self.base_target_buffer_s > 0.0);
+        assert!(self.target_cap_factor >= 1.0);
+        assert!(self.outer_window_s >= 0.0);
+        assert!(self.horizon_n > 0, "horizon must be positive");
+        assert!(self.inner_window_s > 0.0);
+        assert!(self.alpha_q4 >= 1.0, "Q4 bandwidth must be inflated");
+        assert!(
+            self.alpha_q13 > 0.0 && self.alpha_q13 <= 1.0,
+            "Q1-Q3 bandwidth must be deflated"
+        );
+        assert!(self.no_deflate_buffer_s >= 0.0);
+        if let Some(b) = self.q4_no_inflate_buffer_s {
+            assert!(b >= 0.0);
+        }
+        assert!(self.n_classes >= 2, "need at least simple/complex classes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = CavaConfig::paper_default();
+        c.validate();
+        assert_eq!(c.base_target_buffer_s, 60.0);
+        assert_eq!(c.inner_window_s, 40.0);
+        assert_eq!(c.outer_window_s, 200.0);
+        assert_eq!(c.horizon_n, 5);
+        assert!((1.1..=1.5).contains(&c.alpha_q4), "paper's explored range");
+        assert!((0.6..=0.9).contains(&c.alpha_q13), "paper's explored range");
+        assert_eq!(c.target_cap_factor, 2.0);
+        assert!(c.q4_no_inflate_buffer_s.is_none(), "paper disables it");
+        assert_eq!(c.switch_penalty, SwitchPenaltyMode::DeclaredBitrate);
+        assert_eq!(c.n_classes, 4, "paper uses quartiles");
+        assert!(c.enable_differential && c.enable_proactive);
+    }
+
+    #[test]
+    fn ablation_variants() {
+        let p1 = CavaConfig::p1();
+        assert!(!p1.enable_differential && !p1.enable_proactive);
+        let p12 = CavaConfig::p12();
+        assert!(p12.enable_differential && !p12.enable_proactive);
+        let p123 = CavaConfig::p123();
+        assert_eq!(p123, CavaConfig::paper_default());
+        p1.validate();
+        p12.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_u_bounds_rejected() {
+        let mut c = CavaConfig::paper_default();
+        c.u_max = c.u_min / 2.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn deflation_above_one_rejected() {
+        let mut c = CavaConfig::paper_default();
+        c.alpha_q13 = 1.2;
+        c.validate();
+    }
+}

@@ -1,0 +1,481 @@
+//! The inner controller (§5.3): VBR-aware track selection.
+//!
+//! Given the PID output `u` and the bandwidth estimate `Ĉ`, pick the track
+//! minimizing
+//!
+//! ```text
+//!   Q(ℓ) = Σ_{k=t}^{t+N−1} ( u·R̄_t(ℓ) − α_t·Ĉ )²  +  η_t ( r(ℓ) − r(ℓ_{t−1}) )²   (Eq. 3)
+//! ```
+//!
+//! * `R̄_t(ℓ)` — the **short-term statistical filter** (P1, non-myopic): the
+//!   mean bitrate of the next `W` seconds of chunks on track `ℓ`, so a
+//!   single small/large chunk cannot whipsaw the level.
+//! * `α_t` — **differential treatment** (P2): 1.1 for Q4 chunks (inflate the
+//!   assumed bandwidth, allowing a higher track), 0.8 for Q1–Q3 (save
+//!   bandwidth for the complex scenes). A heuristic avoids pointless
+//!   deflation: if deflation would select one of the two lowest tracks while
+//!   the buffer is comfortably above 10 s, run with α = 1 instead. The
+//!   symmetric Q4 heuristic (don't inflate when the buffer is thin) is
+//!   implemented but disabled by default, as in the paper's evaluation.
+//! * `η_t` — the track-change penalty, using *declared average* bitrates
+//!   (`r(ℓ) − r(ℓ_{t−1})`): per-chunk bitrates would be meaningless for VBR
+//!   (§5.3). `η = 0` when the current and previous positions fall in
+//!   different complexity categories (a quality change across a scene
+//!   boundary is not perceptually objectionable), else 1.
+//!
+//! Cost: `O(N·|L|)` per decision (Eq. 4's exhaustive minimization).
+
+use crate::config::{CavaConfig, SwitchPenaltyMode};
+use vbr_video::Manifest;
+
+/// Inputs of one inner-controller decision.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerInputs<'a> {
+    /// The manifest.
+    pub manifest: &'a Manifest,
+    /// Chunk position being decided.
+    pub chunk_index: usize,
+    /// PID control output `u_t`.
+    pub u: f64,
+    /// Bandwidth estimate `Ĉ_t` in bps.
+    pub estimated_bandwidth_bps: f64,
+    /// Previous chunk's track, if any.
+    pub last_level: Option<usize>,
+    /// Current buffer level (drives the α heuristics).
+    pub buffer_s: f64,
+    /// Number of published chunks (live streaming clamps look-ahead here;
+    /// equals `manifest.n_chunks()` for VoD).
+    pub visible_chunks: usize,
+}
+
+/// The inner controller. Stateless; classification is shared with the outer
+/// CAVA wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerController {
+    config: CavaConfig,
+}
+
+impl InnerController {
+    pub fn new(config: &CavaConfig) -> InnerController {
+        config.validate();
+        InnerController { config: *config }
+    }
+
+    /// Select the track for `inputs.chunk_index` (Eq. 3/4).
+    ///
+    /// `is_complex[i]` says whether position `i` belongs to the top size
+    /// class (Q4 under the paper's quartiles; the top of `n_classes`
+    /// generally).
+    pub fn select_level(&self, inputs: &InnerInputs, is_complex: &[bool]) -> usize {
+        let cfg = &self.config;
+        let is_q4 = is_complex[inputs.chunk_index];
+        let alpha = if !cfg.enable_differential {
+            1.0
+        } else if is_q4 {
+            match cfg.q4_no_inflate_buffer_s {
+                Some(threshold) if inputs.buffer_s < threshold => 1.0,
+                _ => cfg.alpha_q4,
+            }
+        } else {
+            cfg.alpha_q13
+        };
+
+        let level = self.argmin_q(inputs, is_complex, alpha);
+
+        // No-deflate heuristic (§5.3): deflating Q1–Q3 bandwidth should save
+        // bits for complex scenes, not push simple scenes into the gutter.
+        // If deflation chose a very low level while the buffer shows no
+        // stall risk, redo the selection without deflation.
+        if cfg.enable_differential
+            && !is_q4
+            && alpha < 1.0
+            && level <= cfg.low_level_threshold
+            && inputs.buffer_s > cfg.no_deflate_buffer_s
+        {
+            return self.argmin_q(inputs, is_complex, 1.0);
+        }
+        level
+    }
+
+    /// Exhaustive minimization of Eq. 3 for a fixed `α`.
+    fn argmin_q(&self, inputs: &InnerInputs, is_complex: &[bool], alpha: f64) -> usize {
+        let cfg = &self.config;
+        let m = inputs.manifest;
+        let i = inputs.chunk_index;
+        let delta = m.chunk_duration();
+        let visible_remaining = inputs.visible_chunks.min(m.n_chunks()).saturating_sub(i).max(1);
+        let w_chunks = ((cfg.inner_window_s / delta).round() as usize)
+            .clamp(1, visible_remaining);
+        let horizon = cfg.horizon_n.min(visible_remaining) as f64;
+
+        // η: zero across complexity-category boundaries.
+        // "Equal weight to the two terms in Eq. (3)": the deviation term is a
+        // sum of N squares, so the switch penalty carries weight N when the
+        // adjacent positions share a complexity category, 0 across category
+        // boundaries.
+        let eta = match (i.checked_sub(1), inputs.last_level) {
+            (Some(prev), Some(_)) => {
+                if is_complex[prev] != is_complex[i] {
+                    0.0
+                } else {
+                    horizon
+                }
+            }
+            _ => 0.0, // first chunk: nothing to switch from
+        };
+
+        // Scale both penalty terms to Mbps² so the numbers stay readable in
+        // diagnostics; scaling affects nothing else (common factor).
+        const MBPS: f64 = 1.0e6;
+        let mut best_level = 0usize;
+        let mut best_q = f64::INFINITY;
+        for level in 0..m.n_tracks() {
+            let r_bar = m.window_avg_bitrate(level, i, w_chunks) / MBPS;
+            let deviation = inputs.u * r_bar - alpha * inputs.estimated_bandwidth_bps / MBPS;
+            let mut q = horizon * deviation * deviation;
+            if let Some(prev_level) = inputs.last_level {
+                let dr = match cfg.switch_penalty {
+                    SwitchPenaltyMode::DeclaredBitrate => {
+                        (m.declared_bitrate(level) - m.declared_bitrate(prev_level)) / MBPS
+                    }
+                    SwitchPenaltyMode::LevelIndex => level as f64 - prev_level as f64,
+                    SwitchPenaltyMode::PerChunkBitrate => {
+                        let prev_chunk = i.saturating_sub(1);
+                        (m.chunk_bitrate_bps(level, i)
+                            - m.chunk_bitrate_bps(prev_level, prev_chunk))
+                            / MBPS
+                    }
+                    SwitchPenaltyMode::None => 0.0,
+                };
+                q += eta * dr * dr;
+            }
+            if q < best_q {
+                best_q = q;
+                best_level = level;
+            }
+        }
+        best_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Classification, Dataset, Manifest};
+
+    fn setup() -> (Manifest, Vec<bool>) {
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let classification = Classification::from_video(&video);
+        let is_complex: Vec<bool> = (0..m.n_chunks())
+            .map(|i| classification.is_q4(i))
+            .collect();
+        (m, is_complex)
+    }
+
+    fn inputs<'a>(
+        m: &'a Manifest,
+        i: usize,
+        u: f64,
+        bw: f64,
+        last: Option<usize>,
+        buffer: f64,
+    ) -> InnerInputs<'a> {
+        InnerInputs {
+            manifest: m,
+            chunk_index: i,
+            u,
+            estimated_bandwidth_bps: bw,
+            last_level: last,
+            buffer_s: buffer,
+            visible_chunks: m.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn tracks_bandwidth_at_steady_state() {
+        // u = 1 at steady state: selected track's windowed bitrate should be
+        // the closest to α·Ĉ.
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::p1());
+        for &bw in &[0.3e6, 0.8e6, 1.5e6, 3.0e6, 6.0e6] {
+            let level = inner.select_level(&inputs(&m, 50, 1.0, bw, None, 30.0), &c);
+            // The chosen windowed bitrate must be within one track of the
+            // best possible match.
+            let w = 20;
+            let err = |l: usize| (m.window_avg_bitrate(l, 50, w) - bw).abs();
+            let best = (0..m.n_tracks()).min_by(|&a, &b| err(a).partial_cmp(&err(b)).unwrap());
+            assert_eq!(level, best.unwrap(), "bw {bw}");
+        }
+    }
+
+    #[test]
+    fn higher_u_selects_lower_track() {
+        // u > 1 means the controller wants to fill the buffer: target rate
+        // Ĉ/u drops.
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::p1());
+        let bw = 3.0e6;
+        let mut prev_level = m.n_tracks();
+        for &u in &[0.5, 1.0, 1.5, 2.5] {
+            let level = inner.select_level(&inputs(&m, 50, u, bw, None, 30.0), &c);
+            assert!(level <= prev_level, "u {u}: level {level} > {prev_level}");
+            prev_level = level;
+        }
+    }
+
+    #[test]
+    fn q4_chunks_get_inflated_bandwidth() {
+        let (m, c) = setup();
+        let cfg = crate::config::CavaConfig::paper_default();
+        let inner = InnerController::new(&cfg);
+        let inner_p1 = InnerController::new(&crate::config::CavaConfig::p1());
+        // Across all Q4 positions, differential treatment must never select
+        // a *lower* level than P1-only, and must select higher somewhere.
+        let mut some_higher = false;
+        for i in 0..m.n_chunks() {
+            if !c[i] {
+                continue;
+            }
+            for &bw in &[1.0e6, 2.0e6, 4.0e6] {
+                let l_diff = inner.select_level(&inputs(&m, i, 1.0, bw, Some(2), 30.0), &c);
+                let l_p1 = inner_p1.select_level(&inputs(&m, i, 1.0, bw, Some(2), 30.0), &c);
+                assert!(l_diff >= l_p1, "chunk {i} bw {bw}: {l_diff} < {l_p1}");
+                if l_diff > l_p1 {
+                    some_higher = true;
+                }
+            }
+        }
+        assert!(some_higher, "inflation should lift some Q4 chunk");
+    }
+
+    #[test]
+    fn q13_chunks_get_deflated_bandwidth() {
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::paper_default());
+        let inner_p1 = InnerController::new(&crate::config::CavaConfig::p1());
+        let mut some_lower = false;
+        for i in (0..m.n_chunks()).step_by(7) {
+            if c[i] {
+                continue;
+            }
+            for &bw in &[1.0e6, 2.0e6, 4.0e6] {
+                let l_diff = inner.select_level(&inputs(&m, i, 1.0, bw, Some(3), 30.0), &c);
+                let l_p1 = inner_p1.select_level(&inputs(&m, i, 1.0, bw, Some(3), 30.0), &c);
+                assert!(l_diff <= l_p1, "chunk {i} bw {bw}: {l_diff} > {l_p1}");
+                if l_diff < l_p1 {
+                    some_lower = true;
+                }
+            }
+        }
+        assert!(some_lower, "deflation should lower some Q1-Q3 chunk");
+    }
+
+    #[test]
+    fn no_deflate_heuristic_rescues_low_levels() {
+        let (m, c) = setup();
+        let cfg = crate::config::CavaConfig::paper_default();
+        let inner = InnerController::new(&cfg);
+        // Find a Q1-Q3 chunk where plain deflation picks a very low level at
+        // low bandwidth.
+        let bw = 0.45e6;
+        let mut found = false;
+        for i in 0..m.n_chunks() {
+            if c[i] {
+                continue;
+            }
+            // With a rich buffer, the heuristic must kick in whenever the
+            // deflated choice would be a bottom-two level — so the final
+            // answer must equal the α=1 answer in those cases.
+            let l = inner.select_level(&inputs(&m, i, 1.0, bw, Some(1), 40.0), &c);
+            let l_neutral = inner.argmin_q(&inputs(&m, i, 1.0, bw, Some(1), 40.0), &c, 1.0);
+            let l_deflated = inner.argmin_q(
+                &inputs(&m, i, 1.0, bw, Some(1), 40.0),
+                &c,
+                cfg.alpha_q13,
+            );
+            if l_deflated <= cfg.low_level_threshold {
+                assert_eq!(l, l_neutral, "chunk {i}");
+                if l_neutral > l_deflated {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "heuristic should matter for some chunk at {bw} bps");
+    }
+
+    #[test]
+    fn no_deflate_heuristic_requires_buffer_headroom() {
+        let (m, c) = setup();
+        let cfg = crate::config::CavaConfig::paper_default();
+        let inner = InnerController::new(&cfg);
+        let bw = 0.45e6;
+        for i in 0..60 {
+            if c[i] {
+                continue;
+            }
+            // Thin buffer: deflation stands even at low levels.
+            let l = inner.select_level(&inputs(&m, i, 1.0, bw, Some(1), 5.0), &c);
+            let l_deflated = inner.argmin_q(
+                &inputs(&m, i, 1.0, bw, Some(1), 5.0),
+                &c,
+                cfg.alpha_q13,
+            );
+            assert_eq!(l, l_deflated, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn q4_no_inflate_heuristic_when_enabled() {
+        let (m, c) = setup();
+        let mut cfg = crate::config::CavaConfig::paper_default();
+        cfg.q4_no_inflate_buffer_s = Some(15.0);
+        let inner = InnerController::new(&cfg);
+        let plain = InnerController::new(&crate::config::CavaConfig::p1());
+        let q4 = (0..m.n_chunks()).find(|&i| c[i]).unwrap();
+        // Thin buffer: inflation suppressed → same as α=1 for this Q4 chunk.
+        let a = inner.select_level(&inputs(&m, q4, 1.0, 2.0e6, Some(2), 8.0), &c);
+        let b = plain.select_level(&inputs(&m, q4, 1.0, 2.0e6, Some(2), 8.0), &c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smoothness_penalty_damps_switches() {
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::p1());
+        // Count how often the chosen level differs from last_level when the
+        // bandwidth sits exactly between two tracks; with η = 1 the previous
+        // level should often win.
+        let bw = (m.declared_bitrate(2) + m.declared_bitrate(3)) / 2.0;
+        let mut stays = 0;
+        let mut total = 0;
+        for i in 10..100 {
+            let l = inner.select_level(&inputs(&m, i, 1.0, bw, Some(2), 30.0), &c);
+            total += 1;
+            if l == 2 {
+                stays += 1;
+            }
+        }
+        assert!(
+            stays * 2 > total,
+            "previous level should usually be kept: {stays}/{total}"
+        );
+    }
+
+    #[test]
+    fn first_chunk_has_no_switch_penalty() {
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::p1());
+        let level = inner.select_level(&inputs(&m, 0, 1.0, 3.0e6, None, 0.0), &c);
+        assert!(level < m.n_tracks());
+    }
+
+    #[test]
+    fn window_truncates_at_video_end() {
+        let (m, c) = setup();
+        let inner = InnerController::new(&crate::config::CavaConfig::paper_default());
+        let level = inner.select_level(
+            &inputs(&m, m.n_chunks() - 1, 1.0, 3.0e6, Some(3), 50.0),
+            &c,
+        );
+        assert!(level < m.n_tracks());
+    }
+}
+
+#[cfg(test)]
+mod penalty_mode_tests {
+    use super::*;
+    use crate::config::{CavaConfig, SwitchPenaltyMode};
+    use vbr_video::{Classification, Dataset, Manifest};
+
+    fn setup() -> (Manifest, Vec<bool>) {
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let classification = Classification::from_video(&video);
+        let is_complex: Vec<bool> = (0..m.n_chunks())
+            .map(|i| classification.is_q4(i))
+            .collect();
+        (m, is_complex)
+    }
+
+    fn inputs<'a>(m: &'a Manifest, i: usize, bw: f64, last: Option<usize>) -> InnerInputs<'a> {
+        InnerInputs {
+            manifest: m,
+            chunk_index: i,
+            u: 1.0,
+            estimated_bandwidth_bps: bw,
+            last_level: last,
+            buffer_s: 30.0,
+            visible_chunks: m.n_chunks(),
+        }
+    }
+
+    #[test]
+    fn no_penalty_mode_switches_most() {
+        // Without the switch penalty the chosen level follows α·Ĉ/u
+        // blindly; with the declared-bitrate penalty it sticks. Count
+        // decisions agreeing with the previous level across a bandwidth
+        // ramp.
+        let (m, c) = setup();
+        let with = InnerController::new(&CavaConfig::paper_default());
+        let without = InnerController::new(&CavaConfig {
+            switch_penalty: SwitchPenaltyMode::None,
+            ..CavaConfig::paper_default()
+        });
+        let mut sticks_with = 0;
+        let mut sticks_without = 0;
+        for i in 10..110 {
+            let bw = 1.4e6 + 0.6e6 * ((i as f64) * 0.7).sin();
+            if with.select_level(&inputs(&m, i, bw, Some(3)), &c) == 3 {
+                sticks_with += 1;
+            }
+            if without.select_level(&inputs(&m, i, bw, Some(3)), &c) == 3 {
+                sticks_without += 1;
+            }
+        }
+        assert!(
+            sticks_with > sticks_without,
+            "penalty should stabilize: {sticks_with} vs {sticks_without}"
+        );
+    }
+
+    #[test]
+    fn all_modes_return_valid_levels() {
+        let (m, c) = setup();
+        for mode in [
+            SwitchPenaltyMode::DeclaredBitrate,
+            SwitchPenaltyMode::LevelIndex,
+            SwitchPenaltyMode::PerChunkBitrate,
+            SwitchPenaltyMode::None,
+        ] {
+            let inner = InnerController::new(&CavaConfig {
+                switch_penalty: mode,
+                ..CavaConfig::paper_default()
+            });
+            for i in [0, 7, 150, m.n_chunks() - 1] {
+                let l = inner.select_level(&inputs(&m, i, 2.0e6, Some(2)), &c);
+                assert!(l < m.n_tracks(), "{mode:?} chunk {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_class_flags_affect_alpha_scope() {
+        // With 2 classes, half the chunks are "complex" and get inflation;
+        // verify via the Cava wrapper that decisions differ from quartiles.
+        use abr_sim::Simulator;
+        use net_trace::Trace;
+        let video = Dataset::ed_ffmpeg_h264();
+        let manifest = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![2.0e6; 1500]);
+        let mut quartiles = crate::Cava::paper_default();
+        let mut halves = crate::Cava::new(CavaConfig {
+            n_classes: 2,
+            ..CavaConfig::paper_default()
+        });
+        let sim = Simulator::paper_default();
+        let a = sim.run(&mut quartiles, &manifest, &trace);
+        let b = sim.run(&mut halves, &manifest, &trace);
+        assert_ne!(a.levels(), b.levels(), "class granularity must matter");
+    }
+}

@@ -1,0 +1,174 @@
+//! The outer controller (§5.4): proactive target-buffer adjustment via
+//! preview control.
+//!
+//! When a cluster of large chunks (complex scenes) lies ahead, downloads
+//! will be slow and the buffer will drain faster than it fills; reacting
+//! only when it happens is too late (the failure mode the inner controller
+//! alone exhibits). The outer controller *previews* the next `W′` seconds of
+//! the reference track and raises the target buffer level by the excess of
+//! those chunks over the track average:
+//!
+//! ```text
+//!   x_r(t) = x̄_r + max( (Σ_{k=t}^{t+W′} R_k(ℓ̃)·Δ − r(ℓ̃)·W′·Δ) / r(ℓ̃), 0 )   (Eq. 5)
+//! ```
+//!
+//! clamped at `2·x̄_r` to avoid pathological targets. The second term is the
+//! *extra seconds of download time* the upcoming window costs relative to an
+//! average window — exactly the headroom the buffer needs.
+
+use crate::config::CavaConfig;
+use vbr_video::Manifest;
+
+/// The outer (preview) controller. Stateless; all inputs come per call.
+#[derive(Debug, Clone, Copy)]
+pub struct OuterController {
+    base_target_s: f64,
+    cap_factor: f64,
+    window_s: f64,
+    enabled: bool,
+}
+
+impl OuterController {
+    /// Build from a CAVA configuration.
+    pub fn new(config: &CavaConfig) -> OuterController {
+        OuterController {
+            base_target_s: config.base_target_buffer_s,
+            cap_factor: config.target_cap_factor,
+            window_s: config.outer_window_s,
+            enabled: config.enable_proactive,
+        }
+    }
+
+    /// Reference track `ℓ̃`: the middle track, as in the paper and in the
+    /// chunk classification.
+    pub fn reference_track(manifest: &Manifest) -> usize {
+        manifest.n_tracks() / 2
+    }
+
+    /// Dynamic target buffer level `x_r(t)` for the decision at
+    /// `chunk_index`. `visible_chunks` clamps the preview window in live
+    /// streaming (pass `manifest.n_chunks()` for VoD).
+    pub fn target_buffer_s(
+        &self,
+        manifest: &Manifest,
+        chunk_index: usize,
+        visible_chunks: usize,
+    ) -> f64 {
+        if !self.enabled {
+            return self.base_target_s;
+        }
+        let reference = Self::reference_track(manifest);
+        let delta = manifest.chunk_duration();
+        let w_chunks = ((self.window_s / delta).round() as usize).max(1);
+        let start = chunk_index.min(manifest.n_chunks());
+        let end = (start + w_chunks)
+            .min(manifest.n_chunks())
+            .min(visible_chunks.max(start));
+        if start >= end {
+            return self.base_target_s;
+        }
+        let r_ref = manifest.declared_bitrate(reference);
+        // Σ R_k·Δ  =  Σ chunk bits over the window.
+        let window_bits: f64 = (start..end).map(|i| manifest.chunk_bits(reference, i)).sum();
+        let avg_bits = r_ref * (end - start) as f64 * delta;
+        let extra_s = ((window_bits - avg_bits) / r_ref).max(0.0);
+        (self.base_target_s + extra_s).min(self.base_target_s * self.cap_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn manifest() -> Manifest {
+        Manifest::from_video(&Dataset::ed_ffmpeg_h264())
+    }
+
+    #[test]
+    fn disabled_returns_base() {
+        let cfg = crate::config::CavaConfig::p12(); // proactive off
+        let outer = OuterController::new(&cfg);
+        let m = manifest();
+        for i in [0, 50, 200] {
+            assert_eq!(outer.target_buffer_s(&m, i, m.n_chunks()), cfg.base_target_buffer_s);
+        }
+    }
+
+    #[test]
+    fn target_at_least_base_and_capped() {
+        let cfg = crate::config::CavaConfig::paper_default();
+        let outer = OuterController::new(&cfg);
+        let m = manifest();
+        for i in 0..m.n_chunks() {
+            let t = outer.target_buffer_s(&m, i, m.n_chunks());
+            assert!(t >= cfg.base_target_buffer_s - 1e-9, "chunk {i}: {t}");
+            assert!(
+                t <= cfg.base_target_buffer_s * cfg.target_cap_factor + 1e-9,
+                "chunk {i}: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_rises_before_large_chunk_clusters() {
+        let cfg = crate::config::CavaConfig::paper_default();
+        let outer = OuterController::new(&cfg);
+        let m = manifest();
+        let reference = OuterController::reference_track(&m);
+        let delta = m.chunk_duration();
+        let w = (cfg.outer_window_s / delta).round() as usize;
+        // Find the window with the largest and the smallest total size.
+        let window_bits = |start: usize| -> f64 {
+            (start..(start + w).min(m.n_chunks()))
+                .map(|i| m.chunk_bits(reference, i))
+                .sum()
+        };
+        let mut heaviest = 0;
+        let mut lightest = 0;
+        for i in 0..m.n_chunks() - w {
+            if window_bits(i) > window_bits(heaviest) {
+                heaviest = i;
+            }
+            if window_bits(i) < window_bits(lightest) {
+                lightest = i;
+            }
+        }
+        let t_heavy = outer.target_buffer_s(&m, heaviest, m.n_chunks());
+        let t_light = outer.target_buffer_s(&m, lightest, m.n_chunks());
+        assert!(
+            t_heavy > t_light,
+            "heavy window target {t_heavy} should exceed light window target {t_light}"
+        );
+        assert!(t_heavy > cfg.base_target_buffer_s);
+    }
+
+    #[test]
+    fn light_windows_do_not_lower_target() {
+        // Eq. 5's max(…, 0): an upcoming stretch of small chunks must not
+        // *reduce* the target below the base.
+        let cfg = crate::config::CavaConfig::paper_default();
+        let outer = OuterController::new(&cfg);
+        let m = manifest();
+        for i in 0..m.n_chunks() {
+            assert!(outer.target_buffer_s(&m, i, m.n_chunks()) >= cfg.base_target_buffer_s - 1e-9);
+        }
+    }
+
+    #[test]
+    fn end_of_video_window_truncates() {
+        let cfg = crate::config::CavaConfig::paper_default();
+        let outer = OuterController::new(&cfg);
+        let m = manifest();
+        let t = outer.target_buffer_s(&m, m.n_chunks() - 1, m.n_chunks());
+        assert!(t.is_finite());
+        let t_past = outer.target_buffer_s(&m, m.n_chunks(), m.n_chunks());
+        assert_eq!(t_past, cfg.base_target_buffer_s);
+    }
+
+    #[test]
+    fn reference_track_is_middle() {
+        let m = manifest();
+        assert_eq!(OuterController::reference_track(&m), 3);
+    }
+}

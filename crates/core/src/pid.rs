@@ -1,0 +1,176 @@
+//! The PID feedback control block (§5.2).
+//!
+//! The controller monitors the error between the (dynamic) target buffer
+//! level and the current buffer level and emits the control signal
+//!
+//! ```text
+//!   u_t = K_p (x_r(t) − x_t) + K_i ∫ (x_r − x_τ) dτ + 1(x_t ≥ Δ)     (Eq. 2)
+//! ```
+//!
+//! `u_t = C_t / R_t(ℓ_t)` (Eq. 1) is the relative buffer-filling rate: the
+//! inner controller then targets a bitrate of `≈ Ĉ/u`. `u > 1` drains
+//! bandwidth into the buffer (the buffer is below target), `u < 1` spends
+//! buffer on quality. The indicator term linearizes the system around the
+//! operating point (it is 1 whenever at least one chunk is buffered).
+//!
+//! Practical control hygiene beyond the paper's equation: the integral is
+//! clamped (anti-windup), the integration step is capped so multi-minute
+//! stalls don't wind the integrator, and the output is clamped to
+//! `[u_min, u_max]` so the downstream division `Ĉ/u` stays sane.
+
+use crate::config::CavaConfig;
+
+/// The PID feedback block. One instance per streaming session.
+#[derive(Debug, Clone)]
+pub struct PidController {
+    kp: f64,
+    ki: f64,
+    u_min: f64,
+    u_max: f64,
+    integral_limit: f64,
+    max_step_s: f64,
+    integral: f64,
+}
+
+impl PidController {
+    /// Build from a CAVA configuration.
+    pub fn new(config: &CavaConfig) -> PidController {
+        config.validate();
+        PidController {
+            kp: config.kp,
+            ki: config.ki,
+            u_min: config.u_min,
+            u_max: config.u_max,
+            integral_limit: config.integral_limit,
+            max_step_s: config.max_integration_step_s,
+            integral: 0.0,
+        }
+    }
+
+    /// Compute the control signal.
+    ///
+    /// * `target_s` — dynamic target buffer level `x_r(t)` (from the outer
+    ///   controller).
+    /// * `current_s` — current buffer level `x_t`.
+    /// * `chunk_duration_s` — `Δ`, for the indicator term.
+    /// * `dt_s` — seconds since the previous decision (integration step).
+    ///
+    /// # Panics
+    /// Panics on negative inputs.
+    pub fn control(&mut self, target_s: f64, current_s: f64, chunk_duration_s: f64, dt_s: f64) -> f64 {
+        assert!(target_s >= 0.0 && current_s >= 0.0 && chunk_duration_s > 0.0 && dt_s >= 0.0);
+        let error = target_s - current_s;
+        let step = dt_s.min(self.max_step_s);
+        self.integral = (self.integral + error * step)
+            .clamp(-self.integral_limit, self.integral_limit);
+        let indicator = if current_s >= chunk_duration_s { 1.0 } else { 0.0 };
+        let u = self.kp * error + self.ki * self.integral + indicator;
+        u.clamp(self.u_min, self.u_max)
+    }
+
+    /// Accumulated integral term (for diagnostics).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Reset session state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid() -> PidController {
+        PidController::new(&CavaConfig::paper_default())
+    }
+
+    #[test]
+    fn at_target_output_is_one() {
+        let mut p = pid();
+        // Buffer exactly at target, one chunk buffered: u = indicator = 1.
+        let u = p.control(60.0, 60.0, 2.0, 0.0);
+        assert!((u - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_target_fills() {
+        let mut p = pid();
+        let u = p.control(60.0, 20.0, 2.0, 2.0);
+        assert!(u > 1.0, "buffer below target must fill: u = {u}");
+    }
+
+    #[test]
+    fn above_target_spends() {
+        let mut p = pid();
+        let u = p.control(60.0, 95.0, 2.0, 2.0);
+        assert!(u < 1.0, "buffer above target must spend: u = {u}");
+    }
+
+    #[test]
+    fn output_clamped() {
+        let cfg = CavaConfig::paper_default();
+        let mut p = pid();
+        let hi = p.control(200.0, 0.0, 2.0, 1.0);
+        assert!(hi <= cfg.u_max + 1e-12);
+        p.reset();
+        let lo = p.control(0.0, 100.0, 2.0, 1.0);
+        assert!(lo >= cfg.u_min - 1e-12);
+    }
+
+    #[test]
+    fn indicator_zero_below_one_chunk() {
+        // Zero error isolates the indicator term exactly.
+        let mut a = pid();
+        let with = a.control(2.0, 2.0, 2.0, 0.0);
+        assert!((with - 1.0).abs() < 1e-12, "indicator on: {with}");
+        let mut b = pid();
+        let without = b.control(1.9, 1.9, 2.0, 0.0);
+        let cfg = CavaConfig::paper_default();
+        assert!(
+            (without - cfg.u_min).abs() < 1e-12,
+            "indicator off clamps to u_min: {without}"
+        );
+    }
+
+    #[test]
+    fn integral_accumulates_and_saturates() {
+        let cfg = CavaConfig::paper_default();
+        let mut p = pid();
+        for _ in 0..1000 {
+            let _ = p.control(60.0, 0.0, 2.0, 10.0);
+        }
+        assert!((p.integral() - cfg.integral_limit).abs() < 1e-9, "windup clamp");
+        // A long stretch above target unwinds it.
+        for _ in 0..1000 {
+            let _ = p.control(60.0, 100.0, 2.0, 10.0);
+        }
+        assert!((p.integral() + cfg.integral_limit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_step_capped() {
+        let mut a = pid();
+        let mut b = pid();
+        let _ = a.control(60.0, 20.0, 2.0, 30.0);
+        let _ = b.control(60.0, 20.0, 2.0, 3_000.0); // absurd stall
+        assert_eq!(a.integral(), b.integral(), "step cap must bound windup");
+    }
+
+    #[test]
+    fn reset_clears_integral() {
+        let mut p = pid();
+        let _ = p.control(60.0, 0.0, 2.0, 5.0);
+        assert!(p.integral() != 0.0);
+        p.reset();
+        assert_eq!(p.integral(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_dt_rejected() {
+        let _ = pid().control(60.0, 20.0, 2.0, -1.0);
+    }
+}

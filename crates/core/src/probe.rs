@@ -1,0 +1,139 @@
+//! Instrumented CAVA: records every internal decision quantity for
+//! analysis — the dynamic target buffer level (Fig. 6(b)), the PID control
+//! signal, and the chosen level. Wraps a [`Cava`] instance and delegates.
+
+use crate::Cava;
+use abr_sim::{AbrAlgorithm, DecisionContext};
+
+/// One decision's internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTrace {
+    /// Chunk index decided.
+    pub chunk_index: usize,
+    /// Buffer level at decision time (seconds).
+    pub buffer_s: f64,
+    /// Dynamic target buffer level `x_r(t)` used (after the reachability
+    /// clamp).
+    pub target_buffer_s: f64,
+    /// PID control signal `u_t`.
+    pub control_signal: f64,
+    /// Track level chosen.
+    pub level: usize,
+}
+
+/// CAVA plus a per-decision trace.
+#[derive(Debug, Clone)]
+pub struct InstrumentedCava {
+    cava: Cava,
+    decisions: Vec<DecisionTrace>,
+}
+
+impl InstrumentedCava {
+    /// Wrap a CAVA instance.
+    pub fn new(cava: Cava) -> InstrumentedCava {
+        InstrumentedCava {
+            cava,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The recorded decisions of the last session (cleared on `reset`).
+    pub fn decisions(&self) -> &[DecisionTrace] {
+        &self.decisions
+    }
+
+    /// The wrapped instance.
+    pub fn inner(&self) -> &Cava {
+        &self.cava
+    }
+}
+
+impl AbrAlgorithm for InstrumentedCava {
+    fn name(&self) -> &str {
+        self.cava.name()
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        let level = self.cava.choose_level(ctx);
+        self.decisions.push(DecisionTrace {
+            chunk_index: ctx.chunk_index,
+            buffer_s: ctx.buffer_s,
+            target_buffer_s: self.cava.last_target_buffer_s(),
+            control_signal: self.cava.last_control_signal(),
+            level,
+        });
+        level
+    }
+
+    fn reset(&mut self) {
+        self.cava.reset();
+        self.decisions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sim::Simulator;
+    use net_trace::Trace;
+    use vbr_video::{Dataset, Manifest};
+
+    #[test]
+    fn records_one_decision_per_chunk() {
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![3.0e6; 1500]);
+        let mut probe = InstrumentedCava::new(Cava::paper_default());
+        let session = Simulator::paper_default().run(&mut probe, &m, &trace);
+        assert_eq!(probe.decisions().len(), m.n_chunks());
+        for (d, r) in probe.decisions().iter().zip(&session.records) {
+            assert_eq!(d.chunk_index, r.index);
+            assert_eq!(d.level, r.level);
+            assert!(d.target_buffer_s > 0.0);
+            assert!(d.control_signal > 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_does_not_change_decisions() {
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![2.0e6; 1500]);
+        let sim = Simulator::paper_default();
+        let plain = sim.run(&mut Cava::paper_default(), &m, &trace);
+        let mut probe = InstrumentedCava::new(Cava::paper_default());
+        let probed = sim.run(&mut probe, &m, &trace);
+        assert_eq!(plain.levels(), probed.levels());
+    }
+
+    #[test]
+    fn reset_clears_recordings() {
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![2.0e6; 1500]);
+        let sim = Simulator::paper_default();
+        let mut probe = InstrumentedCava::new(Cava::paper_default());
+        let _ = sim.run(&mut probe, &m, &trace);
+        let first = probe.decisions().to_vec();
+        let _ = sim.run(&mut probe, &m, &trace);
+        assert_eq!(probe.decisions(), first.as_slice(), "reset + identical run");
+    }
+
+    #[test]
+    fn targets_track_the_outer_controller() {
+        // The recorded targets must rise above the base before heavy windows
+        // (the Fig. 6(b) behaviour).
+        let video = Dataset::ed_ffmpeg_h264();
+        let m = Manifest::from_video(&video);
+        let trace = Trace::new("flat", 1.0, vec![3.0e6; 1500]);
+        let mut probe = InstrumentedCava::new(Cava::paper_default());
+        let _ = Simulator::paper_default().run(&mut probe, &m, &trace);
+        let base = probe.inner().config().base_target_buffer_s;
+        let above = probe
+            .decisions()
+            .iter()
+            .filter(|d| d.target_buffer_s > base + 1.0)
+            .count();
+        assert!(above > 0, "some decision should see a raised target");
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic FCC fixed-broadband trace generator.
+//!
+//! The paper's second trace set is 200 traces randomly chosen from the FCC's
+//! Measuring Broadband America corpus, represented as per-5-second
+//! throughput (§6.1). Fixed broadband is qualitatively different from
+//! cellular: each line has a *plan rate* it usually delivers, with
+//! utilization dips during congestion episodes and mild measurement noise.
+//! §6.3 observes that "the rebuffering for all the schemes becomes lower due
+//! to smoother network bandwidth profiles" on this set — the property this
+//! generator is built to reproduce.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the FCC broadband generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FccConfig {
+    /// Trace length in seconds (paper: ≥ 18 min; default 20 min).
+    pub duration_s: f64,
+    /// Probability per sample that a congestion episode begins.
+    pub congestion_prob: f64,
+    /// Mean congestion episode length in samples.
+    pub congestion_len: f64,
+    /// σ of the log-normal per-sample noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for FccConfig {
+    fn default() -> FccConfig {
+        FccConfig {
+            duration_s: 1200.0,
+            congestion_prob: 0.02,
+            congestion_len: 6.0,
+            noise_sigma: 0.06,
+        }
+    }
+}
+
+/// Typical US broadband plan rates in bps (DSL through cable tiers). The mix
+/// skews toward mid tiers, mirroring the FCC panel composition.
+const PLAN_RATES: [f64; 8] = [
+    1.5e6, 3.0e6, 5.0e6, 8.0e6, 12.0e6, 18.0e6, 25.0e6, 50.0e6,
+];
+const PLAN_WEIGHTS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+
+/// Generate one FCC-style broadband trace (per-5-second samples).
+pub fn fcc_trace(seed: u64, config: &FccConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+    let interval = 5.0;
+    let n = (config.duration_s / interval).round() as usize;
+    assert!(n > 0, "duration too short");
+
+    let plan = pick_weighted(&mut rng, &PLAN_RATES, &PLAN_WEIGHTS);
+    // Lines deliver 80–100% of plan when uncongested.
+    let delivery = 0.8 + 0.2 * rng.gen::<f64>();
+
+    let mut samples = Vec::with_capacity(n);
+    let mut congested_left = 0usize;
+    let mut congestion_depth = 1.0;
+    for _ in 0..n {
+        if congested_left == 0 && rng.gen::<f64>() < config.congestion_prob {
+            congested_left =
+                (1.0 + rng.gen::<f64>() * 2.0 * config.congestion_len).round() as usize;
+            // Congestion cuts throughput to 25–70% of normal.
+            congestion_depth = 0.25 + 0.45 * rng.gen::<f64>();
+        }
+        let congestion = if congested_left > 0 {
+            congested_left -= 1;
+            congestion_depth
+        } else {
+            1.0
+        };
+        let noise = (gaussian(&mut rng) * config.noise_sigma
+            - config.noise_sigma * config.noise_sigma / 2.0)
+            .exp();
+        samples.push(plan * delivery * congestion * noise);
+    }
+    Trace::new(format!("fcc-{seed}"), interval, samples)
+}
+
+/// Generate the paper's 200-trace FCC set (or any other count).
+pub fn fcc_traces(count: usize, base_seed: u64, config: &FccConfig) -> Vec<Trace> {
+    (0..count)
+        .map(|i| fcc_trace(base_seed.wrapping_add(i as u64), config))
+        .collect()
+}
+
+fn pick_weighted(rng: &mut StdRng, values: &[f64], weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (v, &w) in values.iter().zip(weights) {
+        if x < w {
+            return *v;
+        }
+        x -= w;
+    }
+    *values.last().expect("non-empty")
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = FccConfig::default();
+        assert_eq!(fcc_trace(5, &cfg), fcc_trace(5, &cfg));
+        assert_ne!(fcc_trace(5, &cfg), fcc_trace(6, &cfg));
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = fcc_trace(1, &FccConfig::default());
+        assert_eq!(t.interval_s(), 5.0, "FCC traces are per-5-second");
+        assert!(t.duration_s() >= 18.0 * 60.0);
+    }
+
+    #[test]
+    fn smoother_than_lte() {
+        // §6.3: FCC profiles are smoother. Compare median per-trace CoV.
+        let fcc = fcc_traces(50, 1, &FccConfig::default());
+        let lte = crate::lte::lte_traces(50, 1, &crate::lte::LteConfig::default());
+        let cov = |t: &Trace| {
+            let mean = t.mean_bps();
+            let var = t
+                .samples()
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
+                / t.n_samples() as f64;
+            var.sqrt() / mean
+        };
+        let median = |mut xs: Vec<f64>| {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        let fcc_cov = median(fcc.iter().map(cov).collect());
+        let lte_cov = median(lte.iter().map(cov).collect());
+        assert!(
+            fcc_cov < lte_cov * 0.6,
+            "FCC CoV {fcc_cov} should be well below LTE CoV {lte_cov}"
+        );
+    }
+
+    #[test]
+    fn plans_span_tiers() {
+        let traces = fcc_traces(200, 77, &FccConfig::default());
+        let means: Vec<f64> = traces.iter().map(|t| t.mean_bps()).collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(lo < 3.0e6, "some DSL-class lines: {lo}");
+        assert!(hi > 15.0e6, "some cable-class lines: {hi}");
+    }
+
+    #[test]
+    fn congestion_dips_exist() {
+        let traces = fcc_traces(50, 3, &FccConfig::default());
+        let mut dips = 0;
+        for t in &traces {
+            let mean = t.mean_bps();
+            if t.samples().iter().any(|&s| s < 0.5 * mean) {
+                dips += 1;
+            }
+        }
+        assert!(dips > 10, "congestion episodes should appear: {dips}/50");
+    }
+
+    #[test]
+    fn no_total_outages() {
+        // Broadband lines don't go fully dark in the FCC panel data.
+        for t in fcc_traces(50, 8, &FccConfig::default()) {
+            assert!(t.min_bps() > 0.0, "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Trace persistence: CSV (one `time,bps` row per sample) and JSON.
+//!
+//! CSV is the interchange format used by public ABR testbeds; writing our
+//! generated sets to disk lets them be inspected, plotted, or replaced by
+//! real captures with the same loader.
+
+use crate::trace::Trace;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Save a trace as CSV: a header comment carrying name/interval, then one
+/// `time_s,throughput_bps` row per sample.
+pub fn save_csv<P: AsRef<Path>>(trace: &Trace, path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# name={} interval_s={}\n",
+        trace.name(),
+        trace.interval_s()
+    ));
+    out.push_str("time_s,throughput_bps\n");
+    for (i, &bps) in trace.samples().iter().enumerate() {
+        out.push_str(&format!("{},{}\n", i as f64 * trace.interval_s(), bps));
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+/// Load a trace from the CSV format written by [`save_csv`].
+///
+/// Returns `io::ErrorKind::InvalidData` for malformed files.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+    let content = fs::read_to_string(&path)?;
+    let mut name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let mut interval = None;
+    let mut samples = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            for field in meta.split_whitespace() {
+                if let Some(v) = field.strip_prefix("name=") {
+                    name = v.to_string();
+                } else if let Some(v) = field.strip_prefix("interval_s=") {
+                    interval = Some(v.parse::<f64>().map_err(invalid_data)?);
+                }
+            }
+            continue;
+        }
+        if line.starts_with("time_s") {
+            continue; // column header
+        }
+        let mut parts = line.split(',');
+        let t: f64 = parts
+            .next()
+            .ok_or_else(|| invalid_data("missing time column"))?
+            .parse()
+            .map_err(invalid_data)?;
+        let bps: f64 = parts
+            .next()
+            .ok_or_else(|| invalid_data("missing throughput column"))?
+            .parse()
+            .map_err(invalid_data)?;
+        // Infer the interval from the second row if not in the header.
+        if interval.is_none() && samples.len() == 1 && t > 0.0 {
+            interval = Some(t);
+        }
+        samples.push(bps);
+    }
+    let interval = interval.ok_or_else(|| invalid_data("could not determine interval"))?;
+    if samples.is_empty() {
+        return Err(invalid_data("no samples"));
+    }
+    Ok(Trace::new(name, interval, samples))
+}
+
+/// Save a set of traces as one JSON file.
+pub fn save_json<P: AsRef<Path>>(traces: &[Trace], path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string(traces).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load a set of traces from JSON.
+pub fn load_json<P: AsRef<Path>>(path: P) -> io::Result<Vec<Trace>> {
+    let content = fs::read_to_string(path)?;
+    serde_json::from_str(&content).map_err(invalid_data)
+}
+
+/// Bytes per packet-delivery opportunity in the Mahimahi format.
+const MAHIMAHI_MTU_BYTES: f64 = 1500.0;
+
+/// Save a trace in Mahimahi's packet-delivery-trace format: one integer
+/// millisecond timestamp per line, each granting delivery of one 1500-byte
+/// packet. This is the interchange format of the Mahimahi link emulator and
+/// of public ABR testbeds (e.g. Pensieve's trace corpus), so generated sets
+/// can drive real emulators and their traces can be replayed here.
+///
+/// Throughput is quantized to whole packets per sample interval; a
+/// round-trip via [`load_mahimahi`] reproduces each interval's rate within
+/// one packet (≤ 12 kbps error at 1 s intervals).
+pub fn save_mahimahi<P: AsRef<Path>>(trace: &Trace, path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    for (i, &bps) in trace.samples().iter().enumerate() {
+        let start_ms = (i as f64 * trace.interval_s() * 1000.0).round() as u64;
+        let packets = (bps * trace.interval_s() / (8.0 * MAHIMAHI_MTU_BYTES)).round() as u64;
+        if packets == 0 {
+            continue;
+        }
+        let span_ms = trace.interval_s() * 1000.0;
+        for p in 0..packets {
+            // Spread opportunities evenly across the interval.
+            let ts = start_ms + (p as f64 * span_ms / packets as f64).floor() as u64;
+            out.push_str(&ts.to_string());
+            out.push('\n');
+        }
+    }
+    fs::write(path, out)
+}
+
+/// Load a Mahimahi packet-delivery trace, bucketing opportunities into
+/// `interval_s` throughput samples. The trace length is rounded up to whole
+/// intervals; trailing silent intervals are preserved as zero bandwidth.
+pub fn load_mahimahi<P: AsRef<Path>>(path: P, interval_s: f64) -> io::Result<Trace> {
+    if interval_s <= 0.0 {
+        return Err(invalid_data("interval must be positive"));
+    }
+    let content = fs::read_to_string(&path)?;
+    let mut timestamps = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ts: u64 = line.parse().map_err(invalid_data)?;
+        timestamps.push(ts);
+    }
+    if timestamps.is_empty() {
+        return Err(invalid_data("no packet timestamps"));
+    }
+    let last_ms = *timestamps.iter().max().expect("non-empty");
+    let n_samples = ((last_ms as f64 / 1000.0) / interval_s).floor() as usize + 1;
+    let mut samples = vec![0.0f64; n_samples];
+    for ts in timestamps {
+        let idx = ((ts as f64 / 1000.0) / interval_s) as usize;
+        samples[idx.min(n_samples - 1)] += MAHIMAHI_MTU_BYTES * 8.0 / interval_s;
+    }
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "mahimahi".to_string());
+    Ok(Trace::new(name, interval_s, samples))
+}
+
+fn invalid_data<E: ToString>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("net_trace_io_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::new("rt", 1.0, vec![1.0e6, 2.0e6, 0.0, 3.5e6]);
+        let path = tmp("rt.csv");
+        save_csv(&t, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_loads_without_header_meta() {
+        let path = tmp("bare.csv");
+        fs::write(&path, "0,1000000\n5,2000000\n10,1500000\n").unwrap();
+        let t = load_csv(&path).unwrap();
+        assert_eq!(t.interval_s(), 5.0, "interval inferred from rows");
+        assert_eq!(t.n_samples(), 3);
+        assert_eq!(t.name(), "bare");
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let path = tmp("garbage.csv");
+        fs::write(&path, "hello,world\n").unwrap();
+        assert!(load_csv(&path).is_err());
+        let path2 = tmp("empty.csv");
+        fs::write(&path2, "").unwrap();
+        assert!(load_csv(&path2).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_set() {
+        let traces = vec![
+            Trace::new("a", 1.0, vec![1.0e6, 2.0e6]),
+            Trace::new("b", 5.0, vec![3.0e6]),
+        ];
+        let path = tmp("set.json");
+        save_json(&traces, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(traces, back);
+    }
+
+    #[test]
+    fn json_missing_file_errors() {
+        assert!(load_json(tmp("missing.json")).is_err());
+    }
+
+    #[test]
+    fn mahimahi_round_trip_within_one_packet() {
+        let t = Trace::new("mm", 1.0, vec![1.0e6, 3.0e6, 0.0, 12.0e6, 0.5e6]);
+        let path = tmp("mm.trace");
+        save_mahimahi(&t, &path).unwrap();
+        let back = load_mahimahi(&path, 1.0).unwrap();
+        assert_eq!(back.n_samples(), t.n_samples());
+        let quantum = 1500.0 * 8.0; // one packet per 1 s interval
+        for (a, b) in t.samples().iter().zip(back.samples()) {
+            assert!(
+                (a - b).abs() <= quantum,
+                "sample {a} vs {b} differs by more than one packet"
+            );
+        }
+    }
+
+    #[test]
+    fn mahimahi_format_is_monotone_millisecond_lines() {
+        let t = Trace::new("mm2", 1.0, vec![2.0e6; 3]);
+        let path = tmp("mm2.trace");
+        save_mahimahi(&t, &path).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let mut prev = 0u64;
+        let mut count = 0;
+        for line in content.lines() {
+            let ts: u64 = line.parse().expect("integer milliseconds");
+            assert!(ts >= prev, "timestamps must be non-decreasing");
+            prev = ts;
+            count += 1;
+        }
+        // 2 Mbps per 1 s interval = 166.67 → 167 packets (rounded) × 3.
+        assert_eq!(count, 501);
+    }
+
+    #[test]
+    fn mahimahi_loads_lte_style_trace() {
+        // Round-trip a generated LTE trace: means must agree closely.
+        let t = crate::lte::lte_trace(5, &crate::lte::LteConfig::default());
+        let path = tmp("mm_lte.trace");
+        save_mahimahi(&t, &path).unwrap();
+        let back = load_mahimahi(&path, 1.0).unwrap();
+        let rel = (back.mean_bps() - t.mean_bps()).abs() / t.mean_bps();
+        assert!(rel < 0.02, "mean drifted {rel}");
+    }
+
+    #[test]
+    fn mahimahi_rejects_garbage() {
+        let path = tmp("mm_bad.trace");
+        fs::write(&path, "12\nnot-a-number\n").unwrap();
+        assert!(load_mahimahi(&path, 1.0).is_err());
+        let empty = tmp("mm_empty.trace");
+        fs::write(&empty, "").unwrap();
+        assert!(load_mahimahi(&empty, 1.0).is_err());
+        let ok = tmp("mm_ok.trace");
+        fs::write(&ok, "5\n10\n").unwrap();
+        assert!(load_mahimahi(&ok, 0.0).is_err(), "zero interval rejected");
+    }
+}

@@ -1,0 +1,33 @@
+//! # net-trace — network-trace substrate
+//!
+//! The paper's evaluation replays two sets of real-world bandwidth traces
+//! (§6.1): 200 LTE traces captured on a coast-to-coast drive (per-second
+//! throughput) and 200 FCC fixed-broadband traces (per-5-second throughput),
+//! each at least 18 minutes long. Those traces are proprietary; this crate
+//! provides seeded generators that reproduce their *role* in the evaluation:
+//!
+//! * [`trace`] — the [`Trace`] type: a piecewise-constant application-level
+//!   throughput signal with exact download-time integration (the only thing
+//!   ABR logic ever observes about the network, as the paper argues in §6.1).
+//! * [`lte`] — a Markov regime-switching generator for cellular drive
+//!   traces: deep fades, handover outages, heavy short-term variability.
+//! * [`fcc`] — a generator for fixed-broadband traces: stable plan-limited
+//!   rates with congestion dips — much smoother than LTE, which is exactly
+//!   the contrast §6.3 observes between the two trace sets.
+//! * [`predictor`] — bandwidth predictors: the harmonic mean of the past 5
+//!   chunks (the paper's default for every scheme), EWMA and last-sample
+//!   alternatives, a controlled uniform error injector (§6.7), and the
+//!   max-error tracker RobustMPC uses to discount its predictions.
+//! * [`io`] — CSV/JSON persistence so generated trace sets can be inspected
+//!   or swapped for real captures.
+
+pub mod fcc;
+pub mod io;
+pub mod lte;
+pub mod predictor;
+pub mod trace;
+
+pub use predictor::{
+    BandwidthPredictor, ErrorInjected, Ewma, HarmonicMean, LastSample, PredictionErrorTracker,
+};
+pub use trace::Trace;

@@ -1,0 +1,198 @@
+//! Synthetic LTE drive-trace generator.
+//!
+//! The paper's LTE set was captured "with a collaborator driving
+//! coast-to-coast across the US" while downloading from a well-provisioned
+//! server — per-second throughput, at least 18 minutes per trace (§6.1).
+//! Cellular throughput on a drive is dominated by slowly varying radio
+//! conditions (distance to tower, terrain), punctuated by handover gaps and
+//! deep fades, with heavy short-term variation on top. We model this as:
+//!
+//! * a five-state Markov **regime chain** (deep fade → excellent) stepped
+//!   once per second with sticky self-transitions (regimes persist for tens
+//!   of seconds),
+//! * a per-trace **route bias** (some stretches of the country are simply
+//!   better served — this is what makes the 200 traces span a wide range of
+//!   mean bandwidths, which in turn spreads the evaluation CDFs),
+//! * log-normal **fast fading** within a regime, and
+//! * occasional 1–3 s **outages** (handover, overpass).
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the LTE generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LteConfig {
+    /// Trace length in seconds (paper: ≥ 18 min; default 20 min).
+    pub duration_s: f64,
+    /// Probability per second of leaving the current regime.
+    pub regime_switch_prob: f64,
+    /// Probability per second of a short outage beginning.
+    pub outage_prob: f64,
+    /// σ of the log-normal fast fading.
+    pub fading_sigma: f64,
+}
+
+impl Default for LteConfig {
+    fn default() -> LteConfig {
+        LteConfig {
+            duration_s: 1200.0,
+            regime_switch_prob: 0.03,
+            outage_prob: 0.006,
+            fading_sigma: 0.25,
+        }
+    }
+}
+
+/// Regime mean throughputs in bps (deep fade → excellent).
+const REGIME_MEANS: [f64; 5] = [0.15e6, 0.7e6, 2.0e6, 5.0e6, 12.0e6];
+
+/// Regime transition preferences: from state `i`, relative weights of moving
+/// to each state when a switch happens (neighbouring states preferred —
+/// radio conditions change gradually on a drive).
+const REGIME_WEIGHTS: [[f64; 5]; 5] = [
+    [0.0, 6.0, 2.5, 1.0, 0.3],
+    [3.0, 0.0, 5.0, 1.5, 0.5],
+    [1.0, 3.5, 0.0, 4.0, 1.0],
+    [0.5, 1.5, 4.0, 0.0, 3.5],
+    [0.3, 0.8, 2.0, 5.0, 0.0],
+];
+
+/// Generate one LTE trace with the given seed.
+pub fn lte_trace(seed: u64, config: &LteConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let n = (config.duration_s / 1.0).round() as usize;
+    assert!(n > 0, "duration too short");
+
+    // Route bias: per-trace multiplicative scale, log-uniform in [0.2, 1.2].
+    let bias = 0.2 * (1.2f64 / 0.2).powf(rng.gen::<f64>());
+    // Starting regime: weighted toward the middle.
+    let mut regime: usize = *[1usize, 2, 2, 3, 3, 4]
+        .get(rng.gen_range(0..6))
+        .expect("index in range");
+
+    let mut samples = Vec::with_capacity(n);
+    let mut outage_left = 0u32;
+    for _ in 0..n {
+        if outage_left > 0 {
+            outage_left -= 1;
+            samples.push(0.0);
+            continue;
+        }
+        if rng.gen::<f64>() < config.outage_prob {
+            outage_left = rng.gen_range(1..=3);
+            samples.push(0.0);
+            continue;
+        }
+        if rng.gen::<f64>() < config.regime_switch_prob {
+            regime = pick_weighted(&mut rng, &REGIME_WEIGHTS[regime]);
+        }
+        let fading = (gaussian(&mut rng) * config.fading_sigma
+            - config.fading_sigma * config.fading_sigma / 2.0)
+            .exp();
+        samples.push(REGIME_MEANS[regime] * bias * fading);
+    }
+    // Guarantee the trace is usable even in the pathological all-outage case.
+    if samples.iter().all(|&s| s == 0.0) {
+        samples[0] = REGIME_MEANS[1] * bias;
+    }
+    Trace::new(format!("lte-{seed}"), 1.0, samples)
+}
+
+/// Generate the paper's 200-trace LTE set (or any other count).
+pub fn lte_traces(count: usize, base_seed: u64, config: &LteConfig) -> Vec<Trace> {
+    (0..count)
+        .map(|i| lte_trace(base_seed.wrapping_add(i as u64), config))
+        .collect()
+}
+
+fn pick_weighted(rng: &mut StdRng, weights: &[f64; 5]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = LteConfig::default();
+        assert_eq!(lte_trace(7, &cfg), lte_trace(7, &cfg));
+        assert_ne!(lte_trace(7, &cfg), lte_trace(8, &cfg));
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let cfg = LteConfig::default();
+        let t = lte_trace(1, &cfg);
+        assert_eq!(t.interval_s(), 1.0);
+        assert!(t.duration_s() >= 18.0 * 60.0, "paper: at least 18 minutes");
+    }
+
+    #[test]
+    fn set_spans_wide_mean_range() {
+        let cfg = LteConfig::default();
+        let traces = lte_traces(200, 42, &cfg);
+        assert_eq!(traces.len(), 200);
+        let means: Vec<f64> = traces.iter().map(|t| t.mean_bps()).collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(lo < 1.5e6, "some traces should be poor: min mean {lo}");
+        assert!(hi > 6.0e6, "some traces should be good: max mean {hi}");
+    }
+
+    #[test]
+    fn traces_have_outages_and_variability() {
+        let cfg = LteConfig::default();
+        let traces = lte_traces(50, 9, &cfg);
+        let any_outage = traces.iter().any(|t| t.samples().contains(&0.0));
+        assert!(any_outage, "LTE set should contain outages");
+        // Per-trace CoV should be substantial (cellular is bursty).
+        let mut high_cov = 0;
+        for t in &traces {
+            let mean = t.mean_bps();
+            let var = t
+                .samples()
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
+                / t.n_samples() as f64;
+            if var.sqrt() / mean > 0.4 {
+                high_cov += 1;
+            }
+        }
+        assert!(high_cov > 25, "most LTE traces should be bursty: {high_cov}/50");
+    }
+
+    #[test]
+    fn regimes_are_sticky() {
+        // Autocorrelation at lag 5s should be clearly positive: radio
+        // conditions persist.
+        let t = lte_trace(3, &LteConfig::default());
+        let s = t.samples();
+        let mean = t.mean_bps();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..s.len() - 5 {
+            num += (s[i] - mean) * (s[i + 5] - mean);
+        }
+        for v in s {
+            den += (v - mean) * (v - mean);
+        }
+        assert!(num / den > 0.3, "lag-5 autocorrelation {}", num / den);
+    }
+}

@@ -1,0 +1,365 @@
+//! Bandwidth predictors.
+//!
+//! ABR logic predicts near-future bandwidth from the throughput of recently
+//! downloaded chunks. The paper standardizes on the **harmonic mean of the
+//! past 5 chunks** for every scheme that needs an estimate (§6.1), citing its
+//! robustness to outliers; §6.7 then studies sensitivity to prediction error
+//! by replacing the estimate with `C_t · U(1 − err, 1 + err)`. RobustMPC
+//! additionally discounts its prediction by the maximum recent error
+//! ([`PredictionErrorTracker`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A causal bandwidth predictor: observe per-chunk throughputs, predict the
+/// next chunk's throughput.
+pub trait BandwidthPredictor {
+    /// Record the realized throughput (bps) of a completed chunk download.
+    ///
+    /// # Panics
+    /// Implementations panic on non-finite or non-positive throughput —
+    /// a completed download always has positive realized throughput.
+    fn observe(&mut self, throughput_bps: f64);
+
+    /// Predict the next chunk's throughput in bps. `None` until at least one
+    /// observation has been made.
+    fn predict(&self) -> Option<f64>;
+
+    /// Forget all history (start of a new session).
+    fn reset(&mut self);
+}
+
+/// Harmonic mean of the last `window` observations — the paper's default
+/// (window 5).
+///
+/// ```
+/// use net_trace::{BandwidthPredictor, HarmonicMean};
+/// let mut predictor = HarmonicMean::paper_default();
+/// assert_eq!(predictor.predict(), None);
+/// predictor.observe(1.0e6);
+/// predictor.observe(4.0e6);
+/// // Harmonic mean of 1 and 4 Mbps = 1.6 Mbps — robust to the outlier.
+/// assert!((predictor.predict().unwrap() - 1.6e6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarmonicMean {
+    window: usize,
+    samples: VecDeque<f64>,
+}
+
+impl HarmonicMean {
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> HarmonicMean {
+        assert!(window > 0, "window must be positive");
+        HarmonicMean {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The paper's configuration: harmonic mean of the past 5 chunks.
+    pub fn paper_default() -> HarmonicMean {
+        HarmonicMean::new(5)
+    }
+}
+
+impl BandwidthPredictor for HarmonicMean {
+    fn observe(&mut self, throughput_bps: f64) {
+        assert!(
+            throughput_bps.is_finite() && throughput_bps > 0.0,
+            "throughput must be positive, got {throughput_bps}"
+        );
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(throughput_bps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = self.samples.iter().map(|s| 1.0 / s).sum();
+        Some(self.samples.len() as f64 / inv_sum)
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` is the weight of the newest sample, in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+}
+
+impl BandwidthPredictor for Ewma {
+    fn observe(&mut self, throughput_bps: f64) {
+        assert!(throughput_bps.is_finite() && throughput_bps > 0.0);
+        self.value = Some(match self.value {
+            None => throughput_bps,
+            Some(v) => self.alpha * throughput_bps + (1.0 - self.alpha) * v,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.value
+    }
+
+    fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Predicts whatever the last chunk achieved (the naive baseline).
+#[derive(Debug, Clone, Default)]
+pub struct LastSample {
+    value: Option<f64>,
+}
+
+impl LastSample {
+    pub fn new() -> LastSample {
+        LastSample::default()
+    }
+}
+
+impl BandwidthPredictor for LastSample {
+    fn observe(&mut self, throughput_bps: f64) {
+        assert!(throughput_bps.is_finite() && throughput_bps > 0.0);
+        self.value = Some(throughput_bps);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.value
+    }
+
+    fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// §6.7's controlled error model: wraps a predictor and multiplies each
+/// prediction by an independent `U(1 − err, 1 + err)` draw.
+///
+/// The draw happens per *observation* (one decision per downloaded chunk),
+/// keeping `predict` side-effect free and deterministic between downloads.
+#[derive(Debug, Clone)]
+pub struct ErrorInjected<P: BandwidthPredictor> {
+    inner: P,
+    err: f64,
+    rng: StdRng,
+    current_factor: f64,
+}
+
+impl<P: BandwidthPredictor> ErrorInjected<P> {
+    /// # Panics
+    /// Panics if `err` is not in `[0, 1)` (an error of 1 allows a zero
+    /// prediction, which no scheme can sensibly consume).
+    pub fn new(inner: P, err: f64, seed: u64) -> ErrorInjected<P> {
+        assert!((0.0..1.0).contains(&err), "err must be in [0,1)");
+        ErrorInjected {
+            inner,
+            err,
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0xd6e8_feb8_6659_fd93)),
+            current_factor: 1.0,
+        }
+    }
+}
+
+impl<P: BandwidthPredictor> BandwidthPredictor for ErrorInjected<P> {
+    fn observe(&mut self, throughput_bps: f64) {
+        self.inner.observe(throughput_bps);
+        self.current_factor = 1.0 + self.err * (2.0 * self.rng.gen::<f64>() - 1.0);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.inner.predict().map(|p| p * self.current_factor)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.current_factor = 1.0;
+    }
+}
+
+/// Tracks the maximum relative prediction error over the last `window`
+/// chunks — RobustMPC's discount: it divides its prediction by
+/// `1 + max_error` to obtain a lower bound.
+#[derive(Debug, Clone)]
+pub struct PredictionErrorTracker {
+    window: usize,
+    errors: VecDeque<f64>,
+}
+
+impl PredictionErrorTracker {
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> PredictionErrorTracker {
+        assert!(window > 0);
+        PredictionErrorTracker {
+            window,
+            errors: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Record one (prediction, actual) pair.
+    ///
+    /// # Panics
+    /// Panics if `actual <= 0`.
+    pub fn record(&mut self, predicted_bps: f64, actual_bps: f64) {
+        assert!(actual_bps > 0.0);
+        let rel = ((predicted_bps - actual_bps) / actual_bps).abs();
+        if self.errors.len() == self.window {
+            self.errors.pop_front();
+        }
+        self.errors.push_back(rel);
+    }
+
+    /// Maximum relative error over the window (0.0 with no history — an
+    /// optimistic start, matching the RobustMPC reference behaviour).
+    pub fn max_error(&self) -> f64 {
+        self.errors.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Clear history.
+    pub fn reset(&mut self) {
+        self.errors.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_matches_formula() {
+        let mut p = HarmonicMean::new(5);
+        assert_eq!(p.predict(), None);
+        p.observe(1.0e6);
+        p.observe(4.0e6);
+        // Harmonic mean of 1 and 4 = 2/(1 + 0.25) = 1.6.
+        assert!((p.predict().unwrap() - 1.6e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_window_slides() {
+        let mut p = HarmonicMean::new(2);
+        p.observe(1.0e6);
+        p.observe(1.0e6);
+        p.observe(9.0e6);
+        // Window now holds [1e6, 9e6]: hm = 2/(1e-6+1/9e-6)… = 1.8e6.
+        assert!((p.predict().unwrap() - 1.8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_resists_outliers() {
+        let mut hm = HarmonicMean::new(5);
+        let mut last = LastSample::new();
+        for v in [5.0e6, 5.0e6, 5.0e6, 5.0e6, 100.0e6] {
+            hm.observe(v);
+            last.observe(v);
+        }
+        assert!(hm.predict().unwrap() < 7.0e6, "harmonic mean stays low");
+        assert_eq!(last.predict().unwrap(), 100.0e6);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut p = HarmonicMean::paper_default();
+        p.observe(3.0e6);
+        p.reset();
+        assert_eq!(p.predict(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_throughput_rejected() {
+        HarmonicMean::new(3).observe(0.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut p = Ewma::new(0.5);
+        assert_eq!(p.predict(), None);
+        p.observe(2.0e6);
+        assert_eq!(p.predict(), Some(2.0e6));
+        p.observe(4.0e6);
+        assert_eq!(p.predict(), Some(3.0e6));
+    }
+
+    #[test]
+    fn error_injection_bounds() {
+        let mut p = ErrorInjected::new(HarmonicMean::new(5), 0.5, 1);
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for _ in 0..500 {
+            p.observe(10.0e6);
+            let pred = p.predict().unwrap();
+            lo = lo.min(pred);
+            hi = hi.max(pred);
+        }
+        assert!(lo >= 5.0e6 - 1.0, "lower bound {lo}");
+        assert!(hi <= 15.0e6 + 1.0, "upper bound {hi}");
+        assert!(hi - lo > 2.0e6, "errors should actually vary: {lo}..{hi}");
+    }
+
+    #[test]
+    fn error_zero_is_identity() {
+        let mut p = ErrorInjected::new(HarmonicMean::new(5), 0.0, 1);
+        p.observe(8.0e6);
+        assert!((p.predict().unwrap() - 8.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_injection_stable_between_observations() {
+        let mut p = ErrorInjected::new(LastSample::new(), 0.5, 3);
+        p.observe(10.0e6);
+        let a = p.predict().unwrap();
+        let b = p.predict().unwrap();
+        assert_eq!(a, b, "predict must be pure");
+    }
+
+    #[test]
+    fn error_tracker_max_over_window() {
+        let mut t = PredictionErrorTracker::new(3);
+        assert_eq!(t.max_error(), 0.0);
+        t.record(12.0e6, 10.0e6); // 0.2
+        t.record(8.0e6, 10.0e6); // 0.2
+        t.record(15.0e6, 10.0e6); // 0.5
+        assert!((t.max_error() - 0.5).abs() < 1e-12);
+        t.record(10.0e6, 10.0e6); // 0.0
+        t.record(10.0e6, 10.0e6);
+        t.record(10.0e6, 10.0e6);
+        assert_eq!(t.max_error(), 0.0, "0.5 slid out of the window");
+        t.reset();
+        assert_eq!(t.max_error(), 0.0);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut predictors: Vec<Box<dyn BandwidthPredictor>> = vec![
+            Box::new(HarmonicMean::paper_default()),
+            Box::new(Ewma::new(0.3)),
+            Box::new(LastSample::new()),
+        ];
+        for p in &mut predictors {
+            p.observe(5.0e6);
+            assert!(p.predict().is_some());
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The [`Trace`] type: piecewise-constant application-level throughput.
+//!
+//! A trace is a sequence of throughput samples, each valid for a fixed
+//! interval (1 s for the LTE set, 5 s for the FCC set, matching §6.1). The
+//! player simulator integrates over this signal to compute exact chunk
+//! download times. Traces *wrap around* when a session outlives them — the
+//! paper's traces are ≥ 18 min for 10-min videos, so wrapping is rare, but a
+//! slow session under heavy stalls can exceed even that.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant bandwidth trace.
+///
+/// ```
+/// use net_trace::Trace;
+/// // 3 seconds at 8 Mbps, then an outage, then 16 Mbps.
+/// let trace = Trace::new("demo", 1.0, vec![8.0e6, 8.0e6, 8.0e6, 0.0, 16.0e6]);
+/// assert_eq!(trace.bandwidth_at(1.5), 8.0e6);
+/// // 2 MB starting at t=2: 1 s at 8 Mbps (1 MB), 1 s outage, 0.5 s at 16 Mbps.
+/// assert!((trace.download_time(2_000_000, 2.0) - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    /// Duration each sample is valid for, in seconds.
+    interval_s: f64,
+    /// Throughput in bits per second for each interval.
+    throughput_bps: Vec<f64>,
+}
+
+impl Trace {
+    /// Build a trace.
+    ///
+    /// # Panics
+    /// Panics if `interval_s <= 0`, the sample list is empty, any sample is
+    /// negative or non-finite, or *all* samples are zero (a dead link can
+    /// never finish a download; model outages as zero samples *within* an
+    /// otherwise live trace).
+    pub fn new(name: impl Into<String>, interval_s: f64, throughput_bps: Vec<f64>) -> Trace {
+        assert!(interval_s > 0.0, "interval must be positive");
+        assert!(!throughput_bps.is_empty(), "trace must have samples");
+        assert!(
+            throughput_bps.iter().all(|&b| b.is_finite() && b >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        assert!(
+            throughput_bps.iter().any(|&b| b > 0.0),
+            "trace must have some positive bandwidth"
+        );
+        Trace {
+            name: name.into(),
+            interval_s,
+            throughput_bps,
+        }
+    }
+
+    /// Trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sample interval in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.throughput_bps.len()
+    }
+
+    /// Trace duration before wrapping, in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.interval_s * self.throughput_bps.len() as f64
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.throughput_bps
+    }
+
+    /// Instantaneous bandwidth at absolute time `t` (wraps beyond the end).
+    ///
+    /// # Panics
+    /// Panics if `t` is negative or non-finite.
+    pub fn bandwidth_at(&self, t: f64) -> f64 {
+        assert!(t.is_finite() && t >= 0.0, "time must be finite and non-negative");
+        let wrapped = t % self.duration_s();
+        let idx = (wrapped / self.interval_s) as usize;
+        // Float edge: wrapped/interval can round up to len at the boundary.
+        self.throughput_bps[idx.min(self.throughput_bps.len() - 1)]
+    }
+
+    /// Mean throughput over one period of the trace.
+    pub fn mean_bps(&self) -> f64 {
+        self.throughput_bps.iter().sum::<f64>() / self.throughput_bps.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min_bps(&self) -> f64 {
+        self.throughput_bps.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max_bps(&self) -> f64 {
+        self.throughput_bps.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Time to download `bytes` starting at absolute time `start_t`,
+    /// integrating the piecewise-constant signal exactly (zero-bandwidth
+    /// intervals are waited out).
+    ///
+    /// Returns the elapsed seconds. `bytes == 0` returns `0.0`.
+    pub fn download_time(&self, bytes: u64, start_t: f64) -> f64 {
+        assert!(start_t.is_finite() && start_t >= 0.0);
+        if bytes == 0 {
+            return 0.0;
+        }
+        let mut remaining_bits = bytes as f64 * 8.0;
+        let mut t = start_t;
+        // Guard against infinite loops on (impossible, by construction)
+        // all-zero traces: bound by the bits deliverable per period.
+        let bits_per_period: f64 = self.throughput_bps.iter().sum::<f64>() * self.interval_s;
+        debug_assert!(bits_per_period > 0.0);
+        loop {
+            let wrapped = t % self.duration_s();
+            let idx = ((wrapped / self.interval_s) as usize).min(self.throughput_bps.len() - 1);
+            let interval_end = (idx as f64 + 1.0) * self.interval_s;
+            let span = interval_end - wrapped;
+            // Numeric edge: at an exact boundary `span` can be ~0; step over.
+            let span = if span <= 1e-12 { self.interval_s } else { span };
+            let rate = self.throughput_bps[idx];
+            let deliverable = rate * span;
+            if deliverable >= remaining_bits {
+                return t + remaining_bits / rate - start_t;
+            }
+            remaining_bits -= deliverable;
+            t += span;
+        }
+    }
+
+    /// Bits deliverable in `[start_t, start_t + duration)`.
+    pub fn bits_in_window(&self, start_t: f64, duration: f64) -> f64 {
+        assert!(duration >= 0.0);
+        let mut t = start_t;
+        let end = start_t + duration;
+        let mut bits = 0.0;
+        while t < end - 1e-12 {
+            let wrapped = t % self.duration_s();
+            let idx = ((wrapped / self.interval_s) as usize).min(self.throughput_bps.len() - 1);
+            let interval_end = (idx as f64 + 1.0) * self.interval_s;
+            let span = (interval_end - wrapped).max(1e-12).min(end - t);
+            bits += self.throughput_bps[idx] * span;
+            t += span;
+        }
+        bits
+    }
+
+    /// A copy with every sample multiplied by `factor` (for sensitivity
+    /// sweeps).
+    ///
+    /// # Panics
+    /// Panics if `factor <= 0`.
+    pub fn scaled(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0);
+        Trace::new(
+            format!("{}-x{factor}", self.name),
+            self.interval_s,
+            self.throughput_bps.iter().map(|b| b * factor).collect(),
+        )
+    }
+
+    /// A rotation of the trace: start replaying from `offset_s` into the
+    /// period, wrapping around — useful for decorrelating repeated runs of
+    /// the same trace.
+    ///
+    /// # Panics
+    /// Panics if `offset_s` is negative or non-finite.
+    pub fn rotated(&self, offset_s: f64) -> Trace {
+        assert!(offset_s.is_finite() && offset_s >= 0.0);
+        let n = self.throughput_bps.len();
+        let shift = ((offset_s / self.interval_s).round() as usize) % n;
+        let mut samples = Vec::with_capacity(n);
+        samples.extend_from_slice(&self.throughput_bps[shift..]);
+        samples.extend_from_slice(&self.throughput_bps[..shift]);
+        Trace::new(
+            format!("{}-rot{offset_s}", self.name),
+            self.interval_s,
+            samples,
+        )
+    }
+
+    /// The sub-trace covering `[start_s, start_s + duration_s)`, rounded to
+    /// whole samples (at least one).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or extends beyond the trace.
+    pub fn slice(&self, start_s: f64, duration_s: f64) -> Trace {
+        assert!(start_s >= 0.0 && duration_s > 0.0);
+        let first = (start_s / self.interval_s).floor() as usize;
+        let count = ((duration_s / self.interval_s).round() as usize).max(1);
+        assert!(
+            first + count <= self.throughput_bps.len(),
+            "slice [{start_s}, {start_s}+{duration_s}) beyond trace of {}s",
+            self.duration_s()
+        );
+        Trace::new(
+            format!("{}-slice", self.name),
+            self.interval_s,
+            self.throughput_bps[first..first + count].to_vec(),
+        )
+    }
+
+    /// Concatenate another trace after this one.
+    ///
+    /// # Panics
+    /// Panics if the sample intervals differ.
+    pub fn concat(&self, other: &Trace) -> Trace {
+        assert_eq!(
+            self.interval_s, other.interval_s,
+            "cannot concatenate traces with different intervals"
+        );
+        let mut samples = self.throughput_bps.clone();
+        samples.extend_from_slice(&other.throughput_bps);
+        Trace::new(
+            format!("{}+{}", self.name, other.name),
+            self.interval_s,
+            samples,
+        )
+    }
+
+    /// Resample to a new interval, conserving bits: each new sample carries
+    /// the mean rate of the window it covers (exact integration, so total
+    /// deliverable bits over the common duration are preserved).
+    ///
+    /// # Panics
+    /// Panics if `new_interval_s <= 0`.
+    pub fn resampled(&self, new_interval_s: f64) -> Trace {
+        assert!(new_interval_s > 0.0);
+        let n_new = (self.duration_s() / new_interval_s).floor().max(1.0) as usize;
+        let samples: Vec<f64> = (0..n_new)
+            .map(|i| {
+                let start = i as f64 * new_interval_s;
+                self.bits_in_window(start, new_interval_s) / new_interval_s
+            })
+            .collect();
+        Trace::new(
+            format!("{}-r{new_interval_s}", self.name),
+            new_interval_s,
+            samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        // 4 intervals of 1s: 8, 16, 0, 8 Mbps.
+        Trace::new("t", 1.0, vec![8.0e6, 16.0e6, 0.0, 8.0e6])
+    }
+
+    #[test]
+    fn accessors() {
+        let t = trace();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.n_samples(), 4);
+        assert_eq!(t.duration_s(), 4.0);
+        assert_eq!(t.mean_bps(), 8.0e6);
+        assert_eq!(t.min_bps(), 0.0);
+        assert_eq!(t.max_bps(), 16.0e6);
+    }
+
+    #[test]
+    fn bandwidth_at_wraps() {
+        let t = trace();
+        assert_eq!(t.bandwidth_at(0.0), 8.0e6);
+        assert_eq!(t.bandwidth_at(1.5), 16.0e6);
+        assert_eq!(t.bandwidth_at(2.1), 0.0);
+        assert_eq!(t.bandwidth_at(4.0), 8.0e6); // wrapped
+        assert_eq!(t.bandwidth_at(5.5), 16.0e6);
+    }
+
+    #[test]
+    fn download_time_single_interval() {
+        let t = trace();
+        // 1 MB = 8e6 bits at 8 Mbps = 1.0s but interval 0 is only 1s long and
+        // delivers exactly 8e6 bits.
+        assert!((t.download_time(1_000_000, 0.0) - 1.0).abs() < 1e-9);
+        // Half that much takes half the time.
+        assert!((t.download_time(500_000, 0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_time_spans_intervals_and_outage() {
+        let t = trace();
+        // Start at t=1 (16 Mbps for 1s = 16e6 bits), then outage 1s, then 8 Mbps.
+        // 20e6 bits: 16e6 in [1,2), wait [2,3), remaining 4e6 at 8 Mbps = 0.5s.
+        let secs = t.download_time(2_500_000, 1.0);
+        assert!((secs - 2.5).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn download_time_wraps_trace() {
+        let t = trace();
+        // One full period delivers 32e6 bits = 4 MB in 4s. 8 MB takes 8s.
+        let secs = t.download_time(8_000_000, 0.0);
+        assert!((secs - 8.0).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn download_time_zero_bytes() {
+        assert_eq!(trace().download_time(0, 1.7), 0.0);
+    }
+
+    #[test]
+    fn download_time_mid_interval_start() {
+        let t = trace();
+        // Start at t=0.75: 0.25s left at 8 Mbps = 2e6 bits; need 4e6 bits,
+        // remaining 2e6 at 16 Mbps = 0.125s. Total 0.375s.
+        let secs = t.download_time(500_000, 0.75);
+        assert!((secs - 0.375).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn bits_in_window_consistent_with_download_time() {
+        let t = trace();
+        let bytes = 2_500_000u64;
+        let secs = t.download_time(bytes, 1.0);
+        let bits = t.bits_in_window(1.0, secs);
+        assert!((bits - bytes as f64 * 8.0).abs() < 1.0, "bits {bits}");
+    }
+
+    #[test]
+    fn bits_in_window_zero_duration() {
+        assert_eq!(trace().bits_in_window(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_trace() {
+        let t = trace().scaled(2.0);
+        assert_eq!(t.mean_bps(), 16.0e6);
+        assert!(t.name().contains("x2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_trace_rejected() {
+        let _ = Trace::new("dead", 1.0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sample_rejected() {
+        let _ = Trace::new("neg", 1.0, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_rejected() {
+        let _ = Trace::new("empty", 1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        let _ = Trace::new("zi", 0.0, vec![1.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rotation_wraps_and_preserves_mean() {
+        let t = trace();
+        let r = t.rotated(1.0);
+        assert_eq!(r.samples(), &[16.0e6, 0.0, 8.0e6, 8.0e6]);
+        assert_eq!(r.mean_bps(), t.mean_bps());
+        // Rotation by a full period is identity on samples.
+        assert_eq!(t.rotated(4.0).samples(), t.samples());
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let t = trace();
+        let s = t.slice(1.0, 2.0);
+        assert_eq!(s.samples(), &[16.0e6, 0.0]);
+        assert_eq!(s.duration_s(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_beyond_end_panics() {
+        let _ = trace().slice(3.0, 5.0);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = trace();
+        let b = Trace::new("b", 1.0, vec![1.0e6]);
+        let c = a.concat(&b);
+        assert_eq!(c.n_samples(), 5);
+        assert_eq!(c.samples()[4], 1.0e6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn concat_mismatched_interval_panics() {
+        let a = trace();
+        let b = Trace::new("b", 5.0, vec![1.0e6]);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn resample_conserves_bits() {
+        let t = trace(); // 4 s at 1 s intervals
+        let r = t.resampled(2.0);
+        assert_eq!(r.n_samples(), 2);
+        // First 2 s: 8+16 Mbit = mean 12 Mbps; last 2 s: 0+8 = 4 Mbps.
+        assert!((r.samples()[0] - 12.0e6).abs() < 1.0);
+        assert!((r.samples()[1] - 4.0e6).abs() < 1.0);
+        let total_before = t.bits_in_window(0.0, 4.0);
+        let total_after = r.bits_in_window(0.0, 4.0);
+        assert!((total_before - total_after).abs() < 1.0);
+    }
+
+    #[test]
+    fn resample_finer_preserves_rates() {
+        let t = trace();
+        let r = t.resampled(0.5);
+        assert_eq!(r.n_samples(), 8);
+        assert_eq!(r.samples()[0], 8.0e6);
+        assert_eq!(r.samples()[1], 8.0e6);
+        assert_eq!(r.samples()[2], 16.0e6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper presents almost every evaluation result as a CDF across the 200
+//! network traces (Figs. 3, 8, 9, 10, 11). [`Cdf`] stores the sorted sample
+//! and answers both directions: `F(x)` (fraction ≤ x) and the quantile
+//! function `F⁻¹(p)`.
+
+/// An empirical CDF over a non-empty sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from samples. Returns `None` if `xs` is empty or contains
+    /// NaN.
+    pub fn new(xs: &[f64]) -> Option<Cdf> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        Some(Cdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty (never true for a constructed `Cdf`; kept for
+    /// API completeness alongside `len`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of samples `<= x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile function `F⁻¹(p)`, `p` in `[0, 1]`, with linear interpolation.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile {p} outside [0,1]");
+        crate::stats::percentile_of_sorted(&self.sorted, p * 100.0)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Emit `(x, F(x))` points suitable for plotting: one point per sample
+    /// (the step midpoints `i+1 / n`).
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Emit `(x, F(x))` points downsampled to at most `max_points`, always
+    /// keeping the first and last point. Used when persisting 200-trace CDFs.
+    pub fn points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least first and last point");
+        let pts = self.points();
+        if pts.len() <= max_points {
+            return pts;
+        }
+        let mut out = Vec::with_capacity(max_points);
+        let step = (pts.len() - 1) as f64 / (max_points - 1) as f64;
+        for i in 0..max_points {
+            let idx = (i as f64 * step).round() as usize;
+            out.push(pts[idx.min(pts.len() - 1)]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Cdf::new(&[]).is_none());
+        assert!(Cdf::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn fraction_at_steps() {
+        let c = Cdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(1.0), 0.25);
+        assert_eq!(c.fraction_at(2.5), 0.5);
+        assert_eq!(c.fraction_at(4.0), 1.0);
+        assert_eq!(c.fraction_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_at_handles_duplicates() {
+        let c = Cdf::new(&[1.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(c.fraction_at(1.0), 0.75);
+        assert_eq!(c.fraction_at(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let c = Cdf::new(&xs).unwrap();
+        assert_eq!(c.quantile(0.0), 0.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.quantile(0.5) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = Cdf::new(&[5.0, 1.0, 3.0, 3.0, 9.0]).unwrap();
+        let pts = c.points();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0, "x must be non-decreasing");
+            assert!(w[0].1 < w[1].1, "F must be strictly increasing per point");
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let c = Cdf::new(&xs).unwrap();
+        let pts = c.points_downsampled(10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let c = Cdf::new(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(c.min(), 2.0);
+        assert_eq!(c.max(), 6.0);
+        assert_eq!(c.mean(), 4.0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

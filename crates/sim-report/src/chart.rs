@@ -1,0 +1,202 @@
+//! ASCII charts so experiment binaries can show a figure's *shape* inline.
+//!
+//! Supports multiple overlaid series on a shared axis grid. Each series is
+//! drawn with its own glyph; where series collide the later one wins. This is
+//! intentionally simple — the CSV output (see [`crate::csvout`]) is the
+//! high-fidelity artifact; the ASCII chart is the at-a-glance view.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub glyph: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new<S: Into<String>>(name: S, glyph: char, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            name: name.into(),
+            glyph,
+            points,
+        }
+    }
+}
+
+/// An ASCII chart canvas with labelled axes.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// Create a chart of `width × height` character cells for the plot area.
+    ///
+    /// # Panics
+    /// Panics if `width < 10` or `height < 4` (nothing useful fits).
+    pub fn new<S: Into<String>>(title: S, width: usize, height: usize) -> AsciiChart {
+        assert!(width >= 10 && height >= 4, "chart too small: {width}x{height}");
+        AsciiChart {
+            width,
+            height,
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn x_label<S: Into<String>>(mut self, label: S) -> Self {
+        self.x_label = label.into();
+        self
+    }
+
+    pub fn y_label<S: Into<String>>(mut self, label: S) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    pub fn add_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Render the chart. Returns a message string if every series is empty.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return format!("{} — (no data)\n", self.title);
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        if xmax == xmin {
+            xmax = xmin + 1.0;
+        }
+        if ymax == ymin {
+            ymax = ymin + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let cx = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - ymin) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                // Row 0 is the top of the canvas.
+                grid[self.height - 1 - cy][cx] = s.glyph;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("  y: {}\n", self.y_label));
+        }
+        let ylab_top = format!("{ymax:>10.2} ");
+        let ylab_bot = format!("{ymin:>10.2} ");
+        for (i, row) in grid.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&ylab_top);
+            } else if i == self.height - 1 {
+                out.push_str(&ylab_bot);
+            } else {
+                out.push_str(&" ".repeat(11));
+            }
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(11));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<12.2}{:>width$.2}\n",
+            " ".repeat(11),
+            xmin,
+            xmax,
+            width = self.width.saturating_sub(12)
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("  x: {}\n", self.x_label));
+        }
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{}={}", s.glyph, s.name))
+            .collect();
+        out.push_str(&format!("  legend: {}\n", legend.join("  ")));
+        out
+    }
+}
+
+impl std::fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chart_reports_no_data() {
+        let c = AsciiChart::new("t", 20, 5);
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn plots_extremes_at_corners() {
+        let mut c = AsciiChart::new("line", 21, 7);
+        c.add_series(Series::new("s", '*', vec![(0.0, 0.0), (1.0, 1.0)]));
+        let s = c.render();
+        let plot_lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('|') && !l.contains('+'))
+            .collect();
+        assert_eq!(plot_lines.len(), 7);
+        // Top row contains the max point glyph at the right edge.
+        assert!(plot_lines[0].ends_with('*'), "top row: {:?}", plot_lines[0]);
+        // Bottom row contains the min point at the left edge (just after '|').
+        let bottom = plot_lines[6];
+        let bar = bottom.find('|').unwrap();
+        assert_eq!(&bottom[bar + 1..bar + 2], "*");
+    }
+
+    #[test]
+    fn legend_lists_all_series() {
+        let mut c = AsciiChart::new("t", 20, 5);
+        c.add_series(Series::new("a", 'a', vec![(0.0, 0.0)]));
+        c.add_series(Series::new("b", 'b', vec![(1.0, 1.0)]));
+        let s = c.render();
+        assert!(s.contains("a=a"));
+        assert!(s.contains("b=b"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut c = AsciiChart::new("flat", 20, 5);
+        c.add_series(Series::new("s", '*', vec![(1.0, 2.0), (1.0, 2.0)]));
+        let _ = c.render();
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiChart::new("t", 5, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal CSV writer for persisting experiment series under `results/`.
+//!
+//! We deliberately avoid a CSV dependency: the experiment outputs are plain
+//! numeric/identifier tables where the only escaping concern is a comma or
+//! quote inside a label, which we handle with RFC-4180 quoting.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Quote a field per RFC 4180 if it contains a comma, quote, or newline.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// A CSV file writer with a fixed column count established by the header.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Create the file (and any missing parent directories) and write the
+    /// header row.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<CsvWriter> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut w = CsvWriter {
+            out: BufWriter::new(File::create(path)?),
+            columns: header.len(),
+        };
+        w.write_str_row(header)?;
+        Ok(w)
+    }
+
+    /// Write a row of string fields.
+    ///
+    /// # Panics
+    /// Panics if the field count differs from the header's.
+    pub fn write_str_row(&mut self, fields: &[&str]) -> io::Result<()> {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "row has {} fields, header has {}",
+            fields.len(),
+            self.columns
+        );
+        let line: Vec<String> = fields.iter().map(|f| escape_field(f)).collect();
+        writeln!(self.out, "{}", line.join(","))
+    }
+
+    /// Write a row whose first field is a label and the rest numbers.
+    pub fn write_row(&mut self, label: &str, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len() + 1, self.columns);
+        let mut line = escape_field(label);
+        for v in values {
+            line.push(',');
+            line.push_str(&format_number(*v));
+        }
+        writeln!(self.out, "{line}")
+    }
+
+    /// Write a purely numeric row.
+    pub fn write_numeric_row(&mut self, values: &[f64]) -> io::Result<()> {
+        assert_eq!(values.len(), self.columns);
+        let line: Vec<String> = values.iter().map(|v| format_number(*v)).collect();
+        writeln!(self.out, "{}", line.join(","))
+    }
+
+    /// Flush buffered output to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Format a number compactly: integers without a decimal point, otherwise up
+/// to 6 significant decimals with trailing zeros trimmed.
+pub fn format_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0');
+        s.trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_passthrough_and_quoting() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn format_number_compact() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-2.0), "-2");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(1.25), "1.25");
+        assert_eq!(format_number(1.0 / 3.0), "0.333333");
+    }
+
+    #[test]
+    fn writes_rows_to_file() {
+        let dir = std::env::temp_dir().join("sim_report_csv_test");
+        let path = dir.join("out.csv");
+        {
+            let mut w = CsvWriter::create(&path, &["name", "x", "y"]).unwrap();
+            w.write_row("a", &[1.0, 2.5]).unwrap();
+            w.write_str_row(&["b,c", "3", "4"]).unwrap();
+            w.flush().unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,x,y\na,1,2.5\n\"b,c\",3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let dir = std::env::temp_dir().join("sim_report_csv_test2");
+        let path = dir.join("out.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        let _ = w.write_row("x", &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sim-report — reporting substrate
+//!
+//! Small, dependency-light utilities shared by the evaluation harness and the
+//! examples:
+//!
+//! * [`stats`] — descriptive statistics (means, percentiles, coefficient of
+//!   variation, Pearson/Spearman correlation) over `f64` samples.
+//! * [`cdf`] — empirical cumulative distribution functions, the primary
+//!   presentation device of the paper's evaluation (Figs. 3, 8, 9, 10, 11).
+//! * [`table`] — plain-text table rendering for paper-style tables
+//!   (Tables 1 and 2).
+//! * [`chart`] — ASCII line / scatter / CDF plots so every experiment binary
+//!   can show the *shape* of a figure directly in the terminal.
+//! * [`csvout`] — tiny CSV writer used to persist every figure/table series
+//!   under `results/` for external plotting.
+//!
+//! Everything here is deterministic and panics only on programmer error
+//! (documented per function); statistics of empty slices return `None` or a
+//! documented sentinel rather than panicking, because experiment sweeps
+//! legitimately produce empty strata (e.g. "traces with rebuffering" can be
+//! empty for a good ABR scheme).
+
+pub mod cdf;
+pub mod chart;
+pub mod csvout;
+pub mod stats;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use chart::{AsciiChart, Series};
+pub use csvout::CsvWriter;
+pub use stats::{mean, percentile, std_dev, Summary};
+pub use table::TextTable;

@@ -1,0 +1,404 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! All functions ignore NaN handling concerns by contract: callers must not
+//! pass NaN (the simulator never produces NaN; debug assertions verify this).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Coefficient of variation (`std_dev / mean`).
+///
+/// Returns `None` for an empty slice or a zero mean. The paper reports the
+/// per-track bitrate CoV of its dataset as 0.3–0.6 (§2); the dataset tests in
+/// `vbr-video` assert that range through this function.
+pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(xs)? / m)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Returns `None` for an empty slice. Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0,100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile over an already-sorted slice (ascending). `O(1)`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Pearson linear correlation coefficient.
+///
+/// Returns `None` if the slices differ in length, are shorter than 2, or
+/// either has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors.
+///
+/// Ties receive the mean of the ranks they span (fractional ranking), which
+/// matters here because quartile class sequences contain heavy ties.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = fractional_ranks(xs);
+    let ry = fractional_ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional (tie-averaged) ranks of a sample, 1-based.
+pub fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 share this value; assign their mean.
+        let r = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = r;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Paired sign test: for paired observations `(a_i, b_i)`, the two-sided
+/// p-value of the null hypothesis "medians are equal", from the binomial
+/// distribution over the signs of non-zero differences.
+///
+/// Returns `None` if the slices differ in length or every difference is
+/// zero. Exact for any sample size (no normal approximation) — the trace
+/// counts here (≤ a few hundred) keep the binomial sum cheap.
+pub fn paired_sign_test(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut positive = 0u64;
+    let mut n = 0u64;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        if d > 0.0 {
+            positive += 1;
+            n += 1;
+        } else if d < 0.0 {
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    // Two-sided: 2 * P(X <= min(k, n-k)) under Binomial(n, 1/2), capped at 1.
+    let k = positive.min(n - positive);
+    let mut cdf = 0.0f64;
+    for i in 0..=k {
+        cdf += binomial_pmf_half(n, i);
+    }
+    Some((2.0 * cdf).min(1.0))
+}
+
+/// `C(n, k) / 2^n` computed in log space for stability.
+fn binomial_pmf_half(n: u64, k: u64) -> f64 {
+    let mut log_p = -(n as f64) * std::f64::consts::LN_2;
+    for i in 0..k {
+        log_p += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    log_p.exp()
+}
+
+/// Bootstrap confidence interval for the mean of paired differences
+/// `a_i − b_i`, at the given confidence level, using `resamples` draws from
+/// a deterministic (seeded) resampler.
+///
+/// Returns `None` on length mismatch or empty input.
+pub fn bootstrap_mean_diff_ci(
+    a: &[f64],
+    b: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    if a.len() != b.len() || a.is_empty() || !(0.0..1.0).contains(&confidence) {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    // xorshift64* — deterministic, dependency-free resampling.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        state
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += diffs[(next() % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let alpha = (1.0 - confidence) / 2.0;
+    Some((
+        percentile_of_sorted(&means, alpha * 100.0),
+        percentile_of_sorted(&means, (1.0 - alpha) * 100.0),
+    ))
+}
+
+/// A compact five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub p10: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub p90: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` if the sample is empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs)?,
+            std_dev: std_dev(xs)?,
+            min: sorted[0],
+            p10: percentile_of_sorted(&sorted, 10.0),
+            p25: percentile_of_sorted(&sorted, 25.0),
+            median: percentile_of_sorted(&sorted, 50.0),
+            p75: percentile_of_sorted(&sorted, 75.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p10={:.3} p50={:.3} p90={:.3} max={:.3}",
+            self.n, self.mean, self.std_dev, self.min, self.p10, self.median, self.p90, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_and_std_dev_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_basic() {
+        let xs = [1.0, 1.0, 1.0];
+        assert_eq!(coefficient_of_variation(&xs), Some(0.0));
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        // 10th percentile: rank 0.3 -> 10 + 0.3*10 = 13
+        assert!((percentile(&xs, 10.0).unwrap() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile(&[42.0], 10.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 90.0), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None); // zero variance
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        let ys = [10.0, 50.0, 20.0, 80.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Nonlinear but monotone: Spearman still 1, Pearson < 1.
+        let ys2: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys2).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys2).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn fractional_ranks_handle_ties() {
+        let xs = [3.0, 1.0, 3.0, 2.0];
+        // sorted: 1(rank1), 2(rank2), 3,3 (ranks 3,4 -> 3.5 each)
+        assert_eq!(fractional_ranks(&xs), vec![3.5, 1.0, 3.5, 2.0]);
+    }
+
+    #[test]
+    fn sign_test_detects_consistent_difference() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64 + 1.0).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let p = paired_sign_test(&a, &b).unwrap();
+        assert!(p < 1e-9, "uniformly larger: p = {p}");
+    }
+
+    #[test]
+    fn sign_test_neutral_on_balanced_signs() {
+        // Alternate +1/−1 differences: p should be ~1.
+        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b = vec![0.0; 40];
+        let p = paired_sign_test(&a, &b).unwrap();
+        assert!(p > 0.8, "balanced: p = {p}");
+    }
+
+    #[test]
+    fn sign_test_degenerate_cases() {
+        assert_eq!(paired_sign_test(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(paired_sign_test(&[1.0, 2.0], &[1.0, 2.0]), None); // all ties
+        // Small n, exact: one pair, one sign → p = 2 * 0.5 = 1.
+        assert_eq!(paired_sign_test(&[2.0], &[1.0]), Some(1.0));
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 20;
+        let total: f64 = (0..=n).map(|k| binomial_pmf_half(n, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_true_difference() {
+        // a = b + 5 with small noise: CI must contain ~5 and not 0.
+        let b: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let a: Vec<f64> = b.iter().enumerate().map(|(i, x)| x + 5.0 + ((i % 3) as f64 - 1.0) * 0.1).collect();
+        let (lo, hi) = bootstrap_mean_diff_ci(&a, &b, 0.95, 2000, 42).unwrap();
+        assert!(lo < 5.0 && 5.0 < hi, "CI [{lo}, {hi}]");
+        assert!(lo > 0.0, "CI should exclude zero: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_and_validated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, 2.5, 2.0, 4.5];
+        let x = bootstrap_mean_diff_ci(&a, &b, 0.9, 500, 7);
+        let y = bootstrap_mean_diff_ci(&a, &b, 0.9, 500, 7);
+        assert_eq!(x, y, "same seed, same CI");
+        assert_eq!(bootstrap_mean_diff_ci(&a, &b[..3], 0.9, 100, 1), None);
+        assert_eq!(bootstrap_mean_diff_ci(&[], &[], 0.9, 100, 1), None);
+        assert_eq!(bootstrap_mean_diff_ci(&a, &b, 1.5, 100, 1), None);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p10 < s.p25 && s.p25 < s.median);
+        assert!(s.median < s.p75 && s.p75 < s.p90);
+    }
+}

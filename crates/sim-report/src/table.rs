@@ -1,0 +1,171 @@
+//! Plain-text table rendering.
+//!
+//! The experiment binaries print paper-style tables (Tables 1 and 2) to the
+//! terminal. [`TextTable`] is a minimal column-aligned renderer: headers,
+//! rows of strings, optional separator rows.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone)]
+enum Row {
+    Cells(Vec<String>),
+    Separator,
+}
+
+impl TextTable {
+    /// Create a table with the given header cells.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row. Rows may have fewer cells than the header (the
+    /// remainder renders empty) but not more.
+    ///
+    /// # Panics
+    /// Panics if the row has more cells than the header.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(Row::Cells(cells));
+        self
+    }
+
+    /// Append a horizontal separator row.
+    pub fn add_separator(&mut self) -> &mut Self {
+        self.rows.push(Row::Separator);
+        self
+    }
+
+    /// Number of data rows (separators excluded).
+    pub fn data_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r, Row::Cells(_)))
+            .count()
+    }
+
+    /// Render the table to a `String` (with trailing newline).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            if let Row::Cells(cells) = row {
+                for (i, c) in cells.iter().enumerate() {
+                    widths[i] = widths[i].max(c.chars().count());
+                }
+            }
+        }
+        let sep_line = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        let mut out = String::new();
+        sep_line(&mut out);
+        for (h, w) in self.header.iter().zip(&widths) {
+            out.push_str("| ");
+            out.push_str(h);
+            out.push_str(&" ".repeat(w - h.chars().count() + 1));
+        }
+        out.push_str("|\n");
+        sep_line(&mut out);
+        for row in &self.rows {
+            match row {
+                Row::Separator => sep_line(&mut out),
+                Row::Cells(cells) => {
+                    for (i, w) in widths.iter().enumerate().take(ncols) {
+                        let c = cells.get(i).map(String::as_str).unwrap_or("");
+                        out.push_str("| ");
+                        out.push_str(c);
+                        out.push_str(&" ".repeat(w - c.chars().count() + 1));
+                    }
+                    out.push_str("|\n");
+                }
+            }
+        }
+        sep_line(&mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a signed delta as the paper renders it: `↑` for increases and `↓`
+/// for decreases, e.g. `↑13` or `↓61%`.
+pub fn arrow_delta(value: f64, unit: &str, decimals: usize) -> String {
+    let arrow = if value >= 0.0 { "↑" } else { "↓" };
+    format!("{arrow}{:.*}{unit}", decimals, value.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.add_row(vec!["alpha", "1"]);
+        t.add_row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // border, header, border, 2 rows, border
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{s}");
+        assert!(s.contains("alpha"));
+        assert!(s.contains("12345"));
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x"]);
+        let s = t.render();
+        assert!(s.contains("| x "));
+        assert_eq!(t.data_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn long_rows_rejected() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.add_row(vec!["x", "y"]);
+    }
+
+    #[test]
+    fn separator_rows_render() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.add_row(vec!["1"]);
+        t.add_separator();
+        t.add_row(vec!["2"]);
+        let s = t.render();
+        assert_eq!(s.lines().filter(|l| l.starts_with('+')).count(), 4);
+        assert_eq!(t.data_rows(), 2);
+    }
+
+    #[test]
+    fn arrow_delta_formats() {
+        assert_eq!(arrow_delta(13.0, "", 0), "↑13");
+        assert_eq!(arrow_delta(-61.4, "%", 0), "↓61%");
+        assert_eq!(arrow_delta(-0.5, "", 1), "↓0.5");
+    }
+}

@@ -1,0 +1,442 @@
+//! Size-based chunk classification (§3.1.1).
+//!
+//! The paper's lightweight scene-complexity proxy: pick a *reference track*
+//! (a middle track), compute the quartiles of its chunk-size distribution,
+//! and classify every playback position as Q1 (smallest 25 %) … Q4 (largest
+//! 25 %). Because relative chunk sizes are consistent across tracks
+//! (Property 2, verified by [`cross_track_consistency`]), the classification
+//! at the reference track is valid for all tracks at the same position.
+//!
+//! The classification uses only manifest-visible information (chunk sizes),
+//! so a real DASH/HLS client can compute it — the deployability property the
+//! paper emphasizes. A generic `K`-class variant is provided as well, since
+//! the paper notes the method is not tied to quartiles.
+
+use crate::manifest::Manifest;
+use crate::video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Size-quartile class of a chunk position. `Q4` = largest 25 % = (by the
+/// paper's Property 1) the most complex scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChunkClass {
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+}
+
+impl ChunkClass {
+    /// 0-based index (Q1 → 0 … Q4 → 3).
+    pub fn index(self) -> usize {
+        match self {
+            ChunkClass::Q1 => 0,
+            ChunkClass::Q2 => 1,
+            ChunkClass::Q3 => 2,
+            ChunkClass::Q4 => 3,
+        }
+    }
+
+    /// Inverse of [`ChunkClass::index`].
+    ///
+    /// # Panics
+    /// Panics if `i > 3`.
+    pub fn from_index(i: usize) -> ChunkClass {
+        match i {
+            0 => ChunkClass::Q1,
+            1 => ChunkClass::Q2,
+            2 => ChunkClass::Q3,
+            3 => ChunkClass::Q4,
+            _ => panic!("chunk class index {i} out of range"),
+        }
+    }
+
+    /// Whether this is the complex-scene class the paper treats
+    /// differentially.
+    pub fn is_q4(self) -> bool {
+        self == ChunkClass::Q4
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChunkClass::Q1 => "Q1",
+            ChunkClass::Q2 => "Q2",
+            ChunkClass::Q3 => "Q3",
+            ChunkClass::Q4 => "Q4",
+        }
+    }
+
+    /// All classes in order.
+    pub const ALL: [ChunkClass; 4] = [
+        ChunkClass::Q1,
+        ChunkClass::Q2,
+        ChunkClass::Q3,
+        ChunkClass::Q4,
+    ];
+}
+
+/// Per-position chunk classification derived from a reference track.
+///
+/// ```
+/// use vbr_video::{Classification, Dataset};
+/// let video = Dataset::ed_youtube_h264();
+/// let classes = Classification::from_video(&video);
+/// // Quartiles: a quarter of the positions are Q4 (complex scenes).
+/// let q4 = classes.counts()[3];
+/// assert!((q4 as i64 - (video.n_chunks() / 4) as i64).abs() <= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    reference_track: usize,
+    classes: Vec<ChunkClass>,
+}
+
+impl Classification {
+    /// Classify positions by the size quartiles of one track's chunk sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty.
+    pub fn from_sizes(reference_track: usize, sizes: &[u64]) -> Classification {
+        let indices = classify_k(sizes, 4);
+        Classification {
+            reference_track,
+            classes: indices.into_iter().map(ChunkClass::from_index).collect(),
+        }
+    }
+
+    /// Classify using the paper's default reference: the middle track of a
+    /// manifest.
+    pub fn from_manifest(manifest: &Manifest) -> Classification {
+        let reference = manifest.n_tracks() / 2;
+        Classification::from_sizes(reference, manifest.track(reference).chunk_bytes())
+    }
+
+    /// Classify a [`Video`] using its middle track.
+    pub fn from_video(video: &Video) -> Classification {
+        let reference = video.n_tracks() / 2;
+        Classification::from_sizes(reference, video.track(reference).chunk_sizes())
+    }
+
+    /// The reference track level used.
+    pub fn reference_track(&self) -> usize {
+        self.reference_track
+    }
+
+    /// Class of chunk position `i`.
+    pub fn class(&self, i: usize) -> ChunkClass {
+        self.classes[i]
+    }
+
+    /// All classes by position.
+    pub fn classes(&self) -> &[ChunkClass] {
+        &self.classes
+    }
+
+    /// Whether position `i` is a Q4 (complex-scene) chunk.
+    pub fn is_q4(&self, i: usize) -> bool {
+        self.classes[i].is_q4()
+    }
+
+    /// Positions belonging to `class`.
+    pub fn positions_of(&self, class: ChunkClass) -> Vec<usize> {
+        (0..self.classes.len())
+            .filter(|&i| self.classes[i] == class)
+            .collect()
+    }
+
+    /// Count per class, indexed by `ChunkClass::index()`.
+    pub fn counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for c in &self.classes {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+}
+
+/// Generic `k`-class equal-frequency classification of chunk sizes.
+///
+/// Returns for each position the 0-based class index (`0` = smallest sizes).
+/// Classes are as balanced as ties allow.
+///
+/// # Panics
+/// Panics if `sizes` is empty or `k == 0`.
+pub fn classify_k(sizes: &[u64], k: usize) -> Vec<usize> {
+    assert!(!sizes.is_empty(), "cannot classify zero chunks");
+    assert!(k > 0, "need at least one class");
+    let n = sizes.len();
+    // Rank positions by size (stable: ties broken by position, which keeps
+    // the classification deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| sizes[a].cmp(&sizes[b]).then(a.cmp(&b)));
+    let mut classes = vec![0usize; n];
+    for (rank, &pos) in order.iter().enumerate() {
+        // Equal-frequency binning of ranks into k classes.
+        classes[pos] = (rank * k / n).min(k - 1);
+    }
+    classes
+}
+
+/// Content-based classification from SI/TI (§3.1.1's "one way of determining
+/// scene complexity"): positions are ranked by a combined complexity score
+/// (the normalized SI·TI product, the same spirit as the paper's thresholds)
+/// and split into equal-frequency quartiles.
+///
+/// This is the *expensive, undeployable* alternative the paper contrasts
+/// with the size-based method: it needs the raw content. We provide it so
+/// the proxy claim — "relative chunk size can be used as a proxy for
+/// relative scene complexity" — can be validated directly (see the
+/// `exp_classification_proxy` experiment).
+pub fn classification_from_si_ti(video: &Video) -> Classification {
+    let sc = video.complexity();
+    let scores: Vec<f64> = (0..video.n_chunks())
+        .map(|i| {
+            // Both scales normalized to [0,1]; the product rewards scenes
+            // that are both spatially detailed and high-motion, matching the
+            // multiplicative bit-demand model.
+            (sc.si(i) / 100.0) * (sc.ti(i) / 60.0)
+        })
+        .collect();
+    // Reuse the generic equal-frequency binning by converting scores to a
+    // synthetic "size" ranking (scaled to preserve order in u64).
+    let sizes: Vec<u64> = scores
+        .iter()
+        .map(|s| (s * 1e12) as u64)
+        .collect();
+    let indices = classify_k(&sizes, 4);
+    Classification {
+        reference_track: usize::MAX, // content-based: no reference track
+        classes: indices.into_iter().map(ChunkClass::from_index).collect(),
+    }
+}
+
+/// Agreement rate between two classifications: the fraction of positions
+/// assigned the same class.
+///
+/// # Panics
+/// Panics if the classifications cover different chunk counts.
+pub fn agreement(a: &Classification, b: &Classification) -> f64 {
+    assert_eq!(a.classes().len(), b.classes().len());
+    let same = a
+        .classes()
+        .iter()
+        .zip(b.classes())
+        .filter(|(x, y)| x == y)
+        .count();
+    same as f64 / a.classes().len() as f64
+}
+
+/// §3.1.1 Property 2 check: Spearman rank correlation of chunk sizes between
+/// every pair of tracks of a video; returns the minimum over pairs.
+///
+/// The paper reports values "close to 1" for its dataset.
+pub fn cross_track_consistency(video: &Video) -> f64 {
+    let mut min_corr = 1.0f64;
+    for a in 0..video.n_tracks() {
+        for b in (a + 1)..video.n_tracks() {
+            let xs: Vec<f64> = video.track(a).chunk_sizes().iter().map(|&v| v as f64).collect();
+            let ys: Vec<f64> = video.track(b).chunk_sizes().iter().map(|&v| v as f64).collect();
+            if let Some(r) = spearman(&xs, &ys) {
+                min_corr = min_corr.min(r);
+            }
+        }
+    }
+    min_corr
+}
+
+fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let r = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            out[k] = r;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity::Genre;
+    use crate::encoder::{EncoderConfig, EncoderSource};
+    use crate::ladder::Ladder;
+    use crate::video::Video;
+
+    fn video() -> Video {
+        Video::synthesize(
+            "t",
+            Genre::Animation,
+            300,
+            2.0,
+            &Ladder::ffmpeg_h264(),
+            &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 1),
+            1,
+        )
+    }
+
+    #[test]
+    fn quartiles_are_balanced() {
+        let v = video();
+        let c = Classification::from_video(&v);
+        let counts = c.counts();
+        for count in counts {
+            assert!((74..=76).contains(&count), "counts {counts:?}");
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn q4_positions_have_largest_sizes() {
+        let v = video();
+        let c = Classification::from_video(&v);
+        let reference = c.reference_track();
+        let t = v.track(reference);
+        let q4_min = c
+            .positions_of(ChunkClass::Q4)
+            .iter()
+            .map(|&i| t.chunk_bytes(i))
+            .min()
+            .unwrap();
+        let q1_max = c
+            .positions_of(ChunkClass::Q1)
+            .iter()
+            .map(|&i| t.chunk_bytes(i))
+            .max()
+            .unwrap();
+        assert!(q4_min >= q1_max, "Q4 min {q4_min} < Q1 max {q1_max}");
+    }
+
+    #[test]
+    fn class_index_round_trip() {
+        for c in ChunkClass::ALL {
+            assert_eq!(ChunkClass::from_index(c.index()), c);
+        }
+        assert!(ChunkClass::Q4.is_q4());
+        assert!(!ChunkClass::Q3.is_q4());
+        assert_eq!(ChunkClass::Q2.label(), "Q2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_class_index_panics() {
+        let _ = ChunkClass::from_index(4);
+    }
+
+    #[test]
+    fn classify_k_generic() {
+        let sizes: Vec<u64> = (1..=10).collect();
+        let c5 = classify_k(&sizes, 5);
+        assert_eq!(c5, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        let c1 = classify_k(&sizes, 1);
+        assert!(c1.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn classify_k_handles_ties_deterministically() {
+        let sizes = vec![5u64, 5, 5, 5];
+        let c = classify_k(&sizes, 4);
+        assert_eq!(c, vec![0, 1, 2, 3]); // position-stable tie-breaking
+        let c2 = classify_k(&sizes, 4);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn classify_empty_panics() {
+        let _ = classify_k(&[], 4);
+    }
+
+    #[test]
+    fn cross_track_consistency_near_one() {
+        // §3.1.1 Property 2: "all the correlation values are close to 1".
+        let v = video();
+        let min_corr = cross_track_consistency(&v);
+        assert!(min_corr > 0.85, "min cross-track correlation {min_corr}");
+    }
+
+    #[test]
+    fn classification_same_from_video_and_manifest() {
+        let v = video();
+        let m = crate::manifest::Manifest::from_video(&v);
+        assert_eq!(
+            Classification::from_video(&v),
+            Classification::from_manifest(&m)
+        );
+    }
+
+    #[test]
+    fn si_ti_classification_agrees_with_size_based() {
+        // The paper's proxy claim: size quartiles ≈ content-complexity
+        // quartiles. Exact agreement won't be 100% (encoder noise), but the
+        // Q4 class — the one that matters for differential treatment —
+        // should agree on a clear majority of positions.
+        let v = video();
+        let by_size = Classification::from_video(&v);
+        let by_content = classification_from_si_ti(&v);
+        let overall = agreement(&by_size, &by_content);
+        assert!(overall > 0.5, "overall agreement {overall}");
+        let q4_size: std::collections::HashSet<usize> =
+            by_size.positions_of(ChunkClass::Q4).into_iter().collect();
+        let q4_content: std::collections::HashSet<usize> =
+            by_content.positions_of(ChunkClass::Q4).into_iter().collect();
+        let overlap = q4_size.intersection(&q4_content).count() as f64 / q4_size.len() as f64;
+        assert!(overlap > 0.55, "Q4 overlap {overlap}");
+    }
+
+    #[test]
+    fn agreement_bounds() {
+        let v = video();
+        let c = Classification::from_video(&v);
+        assert_eq!(agreement(&c, &c), 1.0);
+    }
+
+    #[test]
+    fn q4_marks_complex_scenes() {
+        // Property 1: Q4 chunks should have higher average complexity.
+        let v = video();
+        let c = Classification::from_video(&v);
+        let mean_cx = |class: ChunkClass| {
+            let pos = c.positions_of(class);
+            pos.iter().map(|&i| v.complexity().complexity(i)).sum::<f64>() / pos.len() as f64
+        };
+        assert!(mean_cx(ChunkClass::Q4) > mean_cx(ChunkClass::Q1) * 1.5);
+        assert!(mean_cx(ChunkClass::Q4) > mean_cx(ChunkClass::Q3));
+    }
+}

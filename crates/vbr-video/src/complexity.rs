@@ -1,0 +1,418 @@
+//! Scene-complexity process.
+//!
+//! The paper grounds its chunk classification in two content properties
+//! (§3.1.1): scene complexity drives VBR bit allocation, and the complexity
+//! at a playback position is a property of the *content*, hence consistent
+//! across tracks. We model content as a sequence of *scenes*, each with a
+//! spatial complexity (detail, texture) and a temporal complexity (motion),
+//! from which we derive:
+//!
+//! * a per-chunk **complexity factor** `c_i` (mean-normalized to 1.0) that
+//!   the [`crate::encoder`] turns into bits, and
+//! * per-chunk **SI/TI** values (ITU-T P.910 Spatial/Temporal Information),
+//!   the content-level metrics the paper uses to validate its size-based
+//!   classification in Fig. 2.
+//!
+//! Scene lengths are geometric; per-scene complexities are Beta-distributed
+//! with genre-specific shapes (sports/action are motion-heavy, nature is
+//! detail-heavy and slow, animation is moderate). Within a scene, chunks get
+//! small Gaussian jitter — content varies a little even inside a scene.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Content genre. The paper's dataset spans animation, science fiction,
+/// sports, animal, nature, and action movies (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    Animation,
+    SciFi,
+    Sports,
+    Animal,
+    Nature,
+    Action,
+}
+
+impl Genre {
+    /// `(spatial Beta(a,b), temporal Beta(a,b), mean scene length seconds)`.
+    fn params(self) -> (f64, f64, f64, f64, f64) {
+        match self {
+            Genre::Animation => (2.0, 2.5, 1.6, 2.4, 10.0),
+            Genre::SciFi => (2.2, 2.0, 2.0, 2.0, 8.0),
+            Genre::Sports => (2.0, 2.2, 3.0, 1.5, 6.0),
+            Genre::Animal => (2.0, 2.0, 1.8, 2.6, 12.0),
+            Genre::Nature => (3.0, 1.8, 1.4, 3.0, 14.0),
+            Genre::Action => (2.5, 1.8, 2.8, 1.6, 5.0),
+        }
+    }
+
+    /// All genres, for sweeps and tests.
+    pub const ALL: [Genre; 6] = [
+        Genre::Animation,
+        Genre::SciFi,
+        Genre::Sports,
+        Genre::Animal,
+        Genre::Nature,
+        Genre::Action,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Genre::Animation => "animation",
+            Genre::SciFi => "sci-fi",
+            Genre::Sports => "sports",
+            Genre::Animal => "animal",
+            Genre::Nature => "nature",
+            Genre::Action => "action",
+        }
+    }
+}
+
+/// A contiguous run of chunks sharing one scene's complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// First chunk index of the scene.
+    pub start: usize,
+    /// Number of chunks in the scene (≥ 1).
+    pub len: usize,
+    /// Spatial complexity in `[0, 1]`.
+    pub spatial: f64,
+    /// Temporal complexity in `[0, 1]`.
+    pub temporal: f64,
+}
+
+/// The complexity description of one video's content: scenes plus derived
+/// per-chunk spatial/temporal components, complexity factors, and SI/TI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneComplexity {
+    chunk_duration: f64,
+    scenes: Vec<Scene>,
+    spatial: Vec<f64>,
+    temporal: Vec<f64>,
+    complexity: Vec<f64>,
+    si: Vec<f64>,
+    ti: Vec<f64>,
+}
+
+impl SceneComplexity {
+    /// Generate the complexity process for `n_chunks` chunks of
+    /// `chunk_duration` seconds each.
+    ///
+    /// The per-chunk complexity factors are normalized to mean 1.0, so the
+    /// encoder's per-track average bitrate equals the ladder's declared
+    /// average.
+    ///
+    /// # Panics
+    /// Panics if `n_chunks == 0` or `chunk_duration <= 0`.
+    pub fn generate(n_chunks: usize, chunk_duration: f64, genre: Genre, seed: u64) -> SceneComplexity {
+        assert!(n_chunks > 0, "need at least one chunk");
+        assert!(chunk_duration > 0.0, "chunk duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ COMPLEXITY_SEED_SALT);
+        let (sa, sb, ta, tb, scene_secs) = genre.params();
+        let mean_scene_chunks = (scene_secs / chunk_duration).max(1.0);
+
+        // Cut the video into geometric-length scenes.
+        let mut scenes = Vec::new();
+        let mut start = 0usize;
+        while start < n_chunks {
+            let len = geometric(&mut rng, mean_scene_chunks).min(n_chunks - start);
+            let spatial = beta_like(&mut rng, sa, sb);
+            let temporal = beta_like(&mut rng, ta, tb);
+            scenes.push(Scene {
+                start,
+                len,
+                spatial,
+                temporal,
+            });
+            start += len;
+        }
+
+        // Per-chunk components with small within-scene jitter.
+        let mut spatial = Vec::with_capacity(n_chunks);
+        let mut temporal = Vec::with_capacity(n_chunks);
+        for scene in &scenes {
+            for _ in 0..scene.len {
+                spatial.push((scene.spatial + gaussian(&mut rng) * 0.04).clamp(0.0, 1.0));
+                temporal.push((scene.temporal + gaussian(&mut rng) * 0.05).clamp(0.0, 1.0));
+            }
+        }
+
+        // Complexity factor: multiplicative in both components so that
+        // high-motion high-detail scenes need disproportionately many bits
+        // (the 2.0 exponent widens the dynamic range enough that the encoder
+        // cap binds on the hardest scenes, as in real capped-VBR encodes),
+        // then mean-normalized to 1.0.
+        let mut complexity: Vec<f64> = spatial
+            .iter()
+            .zip(&temporal)
+            .map(|(&s, &t)| ((0.30 + 0.70 * s) * (0.35 + 1.55 * t)).powf(2.0))
+            .collect();
+        let mean = complexity.iter().sum::<f64>() / n_chunks as f64;
+        for c in &mut complexity {
+            *c /= mean;
+        }
+
+        // SI/TI (ITU-T P.910-style scales): derived from the *raw* content
+        // components with measurement noise, exactly as the paper computes
+        // them on the raw (pre-encoding) footage.
+        let si: Vec<f64> = spatial
+            .iter()
+            .map(|&s| (6.0 + 74.0 * s + gaussian(&mut rng) * 4.0).clamp(0.0, 100.0))
+            .collect();
+        let ti: Vec<f64> = temporal
+            .iter()
+            .map(|&t| (45.0 * t - 3.5 + gaussian(&mut rng) * 1.5).clamp(0.0, 60.0))
+            .collect();
+
+        SceneComplexity {
+            chunk_duration,
+            scenes,
+            spatial,
+            temporal,
+            complexity,
+            si,
+            ti,
+        }
+    }
+
+    /// Number of chunks covered.
+    pub fn n_chunks(&self) -> usize {
+        self.complexity.len()
+    }
+
+    /// Chunk playback duration in seconds.
+    pub fn chunk_duration(&self) -> f64 {
+        self.chunk_duration
+    }
+
+    /// Complexity factor of chunk `i` (mean over the video ≈ 1.0).
+    pub fn complexity(&self, i: usize) -> f64 {
+        self.complexity[i]
+    }
+
+    /// All complexity factors.
+    pub fn complexities(&self) -> &[f64] {
+        &self.complexity
+    }
+
+    /// Content *difficulty*: the mean bit-need multiplier of the title,
+    /// `E[c^θ]` with θ matching the quality model's super-linearity. A title
+    /// of difficulty 1.3 needs ≈ 30 % more bits than average content for
+    /// the same quality — the quantity per-title encoding ladders scale by.
+    pub fn difficulty(&self) -> f64 {
+        const THETA: f64 = 1.25; // keep in sync with QualityModel
+        self.complexity.iter().map(|c| c.powf(THETA)).sum::<f64>() / self.n_chunks() as f64
+    }
+
+    /// Spatial Information of chunk `i` (0–100 scale).
+    pub fn si(&self, i: usize) -> f64 {
+        self.si[i]
+    }
+
+    /// Temporal Information of chunk `i` (0–60 scale).
+    pub fn ti(&self, i: usize) -> f64 {
+        self.ti[i]
+    }
+
+    /// All SI values.
+    pub fn si_values(&self) -> &[f64] {
+        &self.si
+    }
+
+    /// All TI values.
+    pub fn ti_values(&self) -> &[f64] {
+        &self.ti
+    }
+
+    /// The scene list.
+    pub fn scenes(&self) -> &[Scene] {
+        &self.scenes
+    }
+
+    /// Index of the scene containing chunk `i`.
+    pub fn scene_of_chunk(&self, i: usize) -> usize {
+        assert!(i < self.n_chunks());
+        // Scenes are sorted by start; find the last scene with start <= i.
+        match self.scenes.binary_search_by(|s| s.start.cmp(&i)) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        }
+    }
+}
+
+/// Geometric scene length with the given mean (in chunks), minimum 1.
+fn geometric(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let len = (u.ln() / (1.0 - p).ln()).ceil();
+    (len as usize).max(1)
+}
+
+/// Beta(a, b)-like sample via Jöhnk's algorithm with a rejection cap.
+///
+/// For the shape parameters we use (all ≤ 3) the acceptance rate is high;
+/// after 64 rejected rounds we fall back to the distribution mean, keeping
+/// the generator total and deterministic.
+fn beta_like(rng: &mut StdRng, a: f64, b: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0);
+    for _ in 0..64 {
+        let x = rng.gen::<f64>().powf(1.0 / a);
+        let y = rng.gen::<f64>().powf(1.0 / b);
+        if x + y <= 1.0 && x + y > 0.0 {
+            return x / (x + y);
+        }
+    }
+    a / (a + b)
+}
+
+/// Standard Gaussian via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Constant salt so the complexity RNG stream differs from other per-seed
+/// streams (encoder noise, trace generators) that share the video seed.
+const COMPLEXITY_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(genre: Genre, seed: u64) -> SceneComplexity {
+        SceneComplexity::generate(300, 2.0, genre, seed)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = gen(Genre::Animation, 7);
+        let b = gen(Genre::Animation, 7);
+        assert_eq!(a, b);
+        let c = gen(Genre::Animation, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn complexity_mean_is_one() {
+        for genre in Genre::ALL {
+            let sc = gen(genre, 42);
+            let mean = sc.complexities().iter().sum::<f64>() / sc.n_chunks() as f64;
+            assert!((mean - 1.0).abs() < 1e-9, "{genre:?} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn complexity_has_meaningful_variability() {
+        // The encoder turns complexity CoV into bitrate CoV; the paper's
+        // dataset shows per-track bitrate CoV 0.3–0.6, which needs complexity
+        // CoV roughly in 0.35–0.9.
+        for genre in Genre::ALL {
+            for seed in [1, 2, 3] {
+                let sc = gen(genre, seed);
+                let m = 1.0;
+                let var = sc
+                    .complexities()
+                    .iter()
+                    .map(|c| (c - m) * (c - m))
+                    .sum::<f64>()
+                    / sc.n_chunks() as f64;
+                let cov = var.sqrt();
+                assert!(
+                    (0.25..1.1).contains(&cov),
+                    "{genre:?} seed {seed}: complexity CoV {cov}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_tile_the_video() {
+        let sc = gen(Genre::Action, 3);
+        let mut expected_start = 0;
+        for s in sc.scenes() {
+            assert_eq!(s.start, expected_start);
+            assert!(s.len >= 1);
+            expected_start += s.len;
+        }
+        assert_eq!(expected_start, sc.n_chunks());
+    }
+
+    #[test]
+    fn scene_of_chunk_is_consistent() {
+        let sc = gen(Genre::Sports, 11);
+        for i in 0..sc.n_chunks() {
+            let s = &sc.scenes()[sc.scene_of_chunk(i)];
+            assert!(i >= s.start && i < s.start + s.len);
+        }
+    }
+
+    #[test]
+    fn si_ti_within_scales() {
+        let sc = gen(Genre::Nature, 5);
+        for i in 0..sc.n_chunks() {
+            assert!((0.0..=100.0).contains(&sc.si(i)));
+            assert!((0.0..=60.0).contains(&sc.ti(i)));
+        }
+        assert_eq!(sc.si_values().len(), 300);
+        assert_eq!(sc.ti_values().len(), 300);
+    }
+
+    #[test]
+    fn si_ti_track_complexity() {
+        // Chunks in the top complexity quartile should have clearly larger
+        // SI and TI than the bottom quartile — the basis of the paper's
+        // Fig. 2 validation.
+        let sc = gen(Genre::SciFi, 9);
+        let mut idx: Vec<usize> = (0..sc.n_chunks()).collect();
+        idx.sort_by(|&a, &b| sc.complexity(a).partial_cmp(&sc.complexity(b)).unwrap());
+        let q = sc.n_chunks() / 4;
+        let low = &idx[..q];
+        let high = &idx[idx.len() - q..];
+        let mean_of = |ix: &[usize], f: &dyn Fn(usize) -> f64| {
+            ix.iter().map(|&i| f(i)).sum::<f64>() / ix.len() as f64
+        };
+        let si_low = mean_of(low, &|i| sc.si(i));
+        let si_high = mean_of(high, &|i| sc.si(i));
+        let ti_low = mean_of(low, &|i| sc.ti(i));
+        let ti_high = mean_of(high, &|i| sc.ti(i));
+        assert!(si_high > si_low + 5.0, "SI: high {si_high} vs low {si_low}");
+        assert!(ti_high > ti_low + 3.0, "TI: high {ti_high} vs low {ti_low}");
+    }
+
+    #[test]
+    fn genre_shapes_differ() {
+        // Action should be more temporally complex than nature on average.
+        let action = gen(Genre::Action, 21);
+        let nature = gen(Genre::Nature, 21);
+        let mean_ti = |sc: &SceneComplexity| {
+            sc.ti_values().iter().sum::<f64>() / sc.n_chunks() as f64
+        };
+        assert!(mean_ti(&action) > mean_ti(&nature));
+    }
+
+    #[test]
+    fn chunk_duration_is_stored() {
+        let sc = SceneComplexity::generate(10, 5.0, Genre::Animal, 1);
+        assert_eq!(sc.chunk_duration(), 5.0);
+        assert_eq!(sc.n_chunks(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunks_rejected() {
+        let _ = SceneComplexity::generate(0, 2.0, Genre::Animation, 1);
+    }
+
+    #[test]
+    fn single_chunk_video_works() {
+        let sc = SceneComplexity::generate(1, 2.0, Genre::Animation, 1);
+        assert_eq!(sc.n_chunks(), 1);
+        assert!((sc.complexity(0) - 1.0).abs() < 1e-9);
+    }
+}

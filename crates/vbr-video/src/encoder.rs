@@ -1,0 +1,437 @@
+//! Capped two-pass VBR encoder model.
+//!
+//! The paper's own encodings follow Netflix's per-title "three-pass"
+//! procedure (§2): a CRF pass discovers how many bits each scene *wants*,
+//! then a two-pass VBR encode distributes the track's bit budget accordingly,
+//! under a bitrate cap (2× the track average per current HLS guidance; a 4×
+//! variant is studied in §3.3/§6.6).
+//!
+//! This module reproduces that pipeline's *observable output*: per-chunk
+//! sizes whose statistics match the paper's measurements —
+//!
+//! * per-track bitrate CoV between 0.3 and 0.6 (§2),
+//! * peak/average ratio 1.1–2.4× across tracks, with the two lowest tracks
+//!   least variable ("the low bitrate limits the amount of variability"),
+//! * FFmpeg encodings may *slightly exceed* the configured cap ("the
+//!   resulting videos can exceed the cap slightly to achieve the specified
+//!   quality"), while YouTube encodings stay within it,
+//! * chunk sizes strongly correlated across tracks (§3.1.1 Property 2).
+//!
+//! The allocation is deliberately **sub-linear in complexity**
+//! (`bits ∝ c^γ`, γ < 1): real rate-control under a cap cannot give complex
+//! scenes all the bits they need, which is exactly why the paper finds Q4
+//! chunks have the worst quality despite the most bits (§3.1.2).
+
+use crate::complexity::SceneComplexity;
+use crate::ladder::Ladder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which encoding pipeline produced a video. Affects chunk duration defaults
+/// (2 s FFmpeg vs 5 s YouTube in the paper) and cap-overshoot behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EncoderSource {
+    /// Netflix-recommendation three-pass FFmpeg pipeline (§2).
+    FFmpeg,
+    /// YouTube's production pipeline (§2).
+    YouTube,
+}
+
+impl EncoderSource {
+    /// Chunk duration the paper uses for this pipeline, in seconds.
+    pub fn default_chunk_duration(self) -> f64 {
+        match self {
+            EncoderSource::FFmpeg => 2.0,
+            EncoderSource::YouTube => 5.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EncoderSource::FFmpeg => "ffmpeg",
+            EncoderSource::YouTube => "youtube",
+        }
+    }
+}
+
+/// Tunable parameters of the VBR encoder model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Peak-to-average bitrate cap `κ` (`-maxrate` relative to target).
+    /// The paper's default dataset is 2×-capped; §3.3 studies 4×.
+    pub cap_ratio: f64,
+    /// Minimum chunk bitrate relative to the track average. Even an empty
+    /// scene carries container/keyframe overhead.
+    pub floor_ratio: f64,
+    /// Allocation exponent `γ`: the CRF pass requests bits ∝ complexity^γ
+    /// (γ slightly below 1 — rate–distortion curves flatten).
+    pub allocation_exponent: f64,
+    /// Sharpness `p` of the soft cap: requested bits are squashed through
+    /// `x ↦ x / (1 + (x/κ)^p)^(1/p)`, the smooth approach to `-maxrate`
+    /// a real rate controller exhibits. Larger `p` = harder knee. This is
+    /// what starves complex scenes under a tight cap — the §3.1.2 quality
+    /// inversion — while a loose (4×) cap barely binds (§3.3).
+    pub cap_softness: f64,
+    /// Damping of the allocation exponent for the two lowest tracks, which
+    /// the paper observes to be the least variable.
+    pub low_track_damping: [f64; 2],
+    /// Log-normal σ of per-chunk rate-control noise.
+    pub rate_noise_sigma: f64,
+    /// FFmpeg only: scale of the slight cap overshoot the paper observes.
+    pub cap_overshoot: f64,
+    /// Which pipeline to emulate.
+    pub source: EncoderSource,
+    /// RNG seed for rate-control noise (combined with the track level).
+    pub seed: u64,
+}
+
+impl EncoderConfig {
+    /// The paper's default 2×-capped configuration for the given pipeline.
+    pub fn capped_2x(source: EncoderSource, seed: u64) -> EncoderConfig {
+        EncoderConfig {
+            cap_ratio: 2.0,
+            floor_ratio: 0.25,
+            allocation_exponent: 0.95,
+            cap_softness: 6.0,
+            low_track_damping: [0.40, 0.65],
+            rate_noise_sigma: 0.08,
+            cap_overshoot: match source {
+                EncoderSource::FFmpeg => 0.06,
+                EncoderSource::YouTube => 0.0,
+            },
+            source,
+            seed,
+        }
+    }
+
+    /// The §3.3/§6.6 4×-capped variant.
+    pub fn capped_4x(source: EncoderSource, seed: u64) -> EncoderConfig {
+        EncoderConfig {
+            cap_ratio: 4.0,
+            ..EncoderConfig::capped_2x(source, seed)
+        }
+    }
+
+    /// Constant-bitrate encoding — what streaming services traditionally
+    /// deployed (§1). Every chunk gets (nearly) the same bit budget, so
+    /// simple scenes waste bits while complex scenes are starved far worse
+    /// than under capped VBR. Used by the VBR-vs-CBR motivation experiment.
+    pub fn cbr(source: EncoderSource, seed: u64) -> EncoderConfig {
+        EncoderConfig {
+            cap_ratio: 1.15,
+            floor_ratio: 0.7,
+            allocation_exponent: 0.12,
+            cap_softness: 2.0,
+            low_track_damping: [1.0, 1.0],
+            rate_noise_sigma: 0.05,
+            cap_overshoot: 0.0,
+            source,
+            seed,
+        }
+    }
+
+    /// Effective allocation exponent for a track level.
+    fn exponent_for_level(&self, level: usize) -> f64 {
+        let damp = match level {
+            0 => self.low_track_damping[0],
+            1 => self.low_track_damping[1],
+            _ => 1.0,
+        };
+        self.allocation_exponent * damp
+    }
+}
+
+/// Encode one track: produce per-chunk sizes in **bytes**.
+///
+/// The mean realized bitrate converges to the ladder's declared average for
+/// the track (two-pass budget enforcement), chunk bitrates honor the cap and
+/// floor (modulo FFmpeg's slight overshoot), and sizes follow the
+/// complexity process.
+pub fn encode_track(
+    complexity: &SceneComplexity,
+    ladder: &Ladder,
+    level: usize,
+    config: &EncoderConfig,
+) -> Vec<u64> {
+    let n = complexity.n_chunks();
+    let delta = complexity.chunk_duration();
+    let target_bps = ladder.avg_bitrate(level);
+    let gamma = config.exponent_for_level(level);
+
+    // Rate-control noise has two components: a *content-driven* part shared
+    // by all tracks (the same scene trips up the rate controller at every
+    // resolution — this keeps cross-track size correlation near 1, §3.1.1
+    // Property 2) and a small per-track residual.
+    let mut shared_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x100_0000_01b3));
+    let mut level_rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(1 + level as u64),
+    );
+    let sigma_shared = config.rate_noise_sigma * 0.8;
+    let sigma_level = config.rate_noise_sigma * 0.45;
+
+    // Pass 1 (CRF discovery) + pass 2 (allocation): relative weights, plus
+    // the per-chunk cap (with FFmpeg's slight content-driven overshoot).
+    // The CRF pass *requests* bits ∝ c^γ; the rate controller squashes the
+    // request through the soft cap, starving the hardest scenes.
+    let p = config.cap_softness;
+    let kappa = config.cap_ratio;
+    let soft_cap = |x: f64| x / (1.0 + (x / kappa).powf(p)).powf(1.0 / p);
+    let mut weights = Vec::with_capacity(n);
+    let mut cap = Vec::with_capacity(n);
+    for i in 0..n {
+        let g_shared = gaussian(&mut shared_rng) * sigma_shared;
+        let g_over = gaussian(&mut shared_rng).abs();
+        let g_level = gaussian(&mut level_rng) * sigma_level;
+        let noise = (g_shared + g_level
+            - (sigma_shared * sigma_shared + sigma_level * sigma_level) / 2.0)
+            .exp();
+        let requested = complexity.complexity(i).powf(gamma);
+        weights.push(soft_cap(requested) * noise);
+        let overshoot = if config.cap_overshoot > 0.0 {
+            1.0 + g_over * config.cap_overshoot
+        } else {
+            1.0
+        };
+        cap.push(config.cap_ratio * overshoot);
+    }
+    let floor = config.floor_ratio;
+
+    // Pass 3 (budget enforcement): iteratively rescale so the mean weight is
+    // 1.0 while respecting per-chunk caps/floors — a discrete water-filling.
+    for _ in 0..12 {
+        let mean: f64 = weights.iter().sum::<f64>() / n as f64;
+        if (mean - 1.0).abs() < 1e-6 {
+            break;
+        }
+        let scale = 1.0 / mean;
+        for (w, &c) in weights.iter_mut().zip(&cap) {
+            *w = (*w * scale).clamp(floor, c);
+        }
+    }
+
+    weights
+        .iter()
+        .map(|w| {
+            let bits = w * target_bps * delta;
+            (bits / 8.0).round().max(1.0) as u64
+        })
+        .collect()
+}
+
+/// Encode every track of a ladder. Returns per-track chunk byte vectors,
+/// lowest track first.
+pub fn encode_video(
+    complexity: &SceneComplexity,
+    ladder: &Ladder,
+    config: &EncoderConfig,
+) -> Vec<Vec<u64>> {
+    (0..ladder.len())
+        .map(|level| encode_track(complexity, ladder, level, config))
+        .collect()
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity::Genre;
+    use crate::ladder::Ladder;
+
+    fn setup() -> (SceneComplexity, Ladder, EncoderConfig) {
+        let sc = SceneComplexity::generate(300, 2.0, Genre::SciFi, 42);
+        let ladder = Ladder::ffmpeg_h264();
+        let cfg = EncoderConfig::capped_2x(EncoderSource::FFmpeg, 42);
+        (sc, ladder, cfg)
+    }
+
+    fn bitrates(bytes: &[u64], delta: f64) -> Vec<f64> {
+        bytes.iter().map(|&b| b as f64 * 8.0 / delta).collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let (sc, ladder, cfg) = setup();
+        assert_eq!(
+            encode_track(&sc, &ladder, 3, &cfg),
+            encode_track(&sc, &ladder, 3, &cfg)
+        );
+    }
+
+    #[test]
+    fn track_mean_matches_declared_average() {
+        let (sc, ladder, cfg) = setup();
+        for level in 0..ladder.len() {
+            let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 2.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            let declared = ladder.avg_bitrate(level);
+            assert!(
+                (mean / declared - 1.0).abs() < 0.05,
+                "level {level}: mean {mean} vs declared {declared}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitrate_cov_in_paper_range() {
+        // §2: CoV of the bitrate in a track varies from 0.3 to 0.6 (the two
+        // lowest tracks are allowed to fall below).
+        let (sc, ladder, cfg) = setup();
+        let cov_of = |level: usize| {
+            let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 2.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            let var =
+                rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rates.len() as f64;
+            var.sqrt() / mean
+        };
+        for level in 2..ladder.len() {
+            let cov = cov_of(level);
+            assert!(
+                (0.25..=0.65).contains(&cov),
+                "level {level}: CoV {cov} outside paper range"
+            );
+        }
+        // §2: the two lowest tracks are the least variable.
+        assert!(cov_of(0) < cov_of(1), "track 0 least variable");
+        assert!(cov_of(1) < cov_of(3), "track 1 below mid-track variability");
+    }
+
+    #[test]
+    fn peak_to_average_in_paper_range() {
+        // §2: FFmpeg videos 1.4–2.4× (slight cap overshoot allowed);
+        // two lowest tracks lower.
+        let (sc, ladder, cfg) = setup();
+        for level in 2..ladder.len() {
+            let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 2.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            let peak = rates.iter().cloned().fold(0.0, f64::max);
+            let ratio = peak / mean;
+            assert!(
+                (1.3..=2.6).contains(&ratio),
+                "level {level}: peak/avg {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn youtube_respects_cap_strictly() {
+        let sc = SceneComplexity::generate(120, 5.0, Genre::Sports, 9);
+        let ladder = Ladder::youtube_h264();
+        let cfg = EncoderConfig::capped_2x(EncoderSource::YouTube, 9);
+        for level in 0..ladder.len() {
+            let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 5.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            let peak = rates.iter().cloned().fold(0.0, f64::max);
+            // Strict 2x cap relative to realized mean, small numeric slack.
+            assert!(peak / mean <= 2.0 * 1.05, "level {level}: {}", peak / mean);
+        }
+    }
+
+    #[test]
+    fn ffmpeg_may_slightly_exceed_cap() {
+        // Aggregate over several seeds: at least one chunk should exceed the
+        // nominal 2x cap but none should exceed it grossly.
+        let ladder = Ladder::ffmpeg_h264();
+        let mut exceeded = false;
+        for seed in 0..5u64 {
+            let sc = SceneComplexity::generate(300, 2.0, Genre::Action, seed);
+            let cfg = EncoderConfig::capped_2x(EncoderSource::FFmpeg, seed);
+            let rates = bitrates(&encode_track(&sc, &ladder, 4, &cfg), 2.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            let peak = rates.iter().cloned().fold(0.0, f64::max);
+            if peak > 2.0 * mean {
+                exceeded = true;
+            }
+            assert!(peak < 2.6 * mean, "gross cap violation: {}", peak / mean);
+        }
+        assert!(exceeded, "FFmpeg encodings should exceed the cap slightly sometimes");
+    }
+
+    #[test]
+    fn sizes_track_complexity() {
+        // More complex chunks must get more bytes (rank correlation high).
+        let (sc, ladder, cfg) = setup();
+        let bytes = encode_track(&sc, &ladder, 3, &cfg);
+        let xs: Vec<f64> = sc.complexities().to_vec();
+        let ys: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
+        let mut rank_pairs: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+        rank_pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Cheap monotonicity check: mean of top third > 1.5x mean of bottom third.
+        let third = rank_pairs.len() / 3;
+        let bottom: f64 =
+            rank_pairs[..third].iter().map(|p| p.1).sum::<f64>() / third as f64;
+        let top: f64 = rank_pairs[rank_pairs.len() - third..]
+            .iter()
+            .map(|p| p.1)
+            .sum::<f64>()
+            / third as f64;
+        assert!(top > bottom * 1.5, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn cross_track_sizes_strongly_correlated() {
+        // §3.1.1 Property 2: a chunk that is relatively large in one track is
+        // relatively large in all tracks.
+        let (sc, ladder, cfg) = setup();
+        let tracks = encode_video(&sc, &ladder, &cfg);
+        assert_eq!(tracks.len(), 6);
+        for a in 0..tracks.len() {
+            for b in (a + 1)..tracks.len() {
+                let xs: Vec<f64> = tracks[a].iter().map(|&v| v as f64).collect();
+                let ys: Vec<f64> = tracks[b].iter().map(|&v| v as f64).collect();
+                let r = pearson(&xs, &ys);
+                assert!(r > 0.85, "tracks {a}/{b}: correlation {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cap4x_has_higher_peaks() {
+        let sc = SceneComplexity::generate(300, 2.0, Genre::Action, 7);
+        let ladder = Ladder::ffmpeg_h264();
+        let c2 = EncoderConfig::capped_2x(EncoderSource::FFmpeg, 7);
+        let c4 = EncoderConfig::capped_4x(EncoderSource::FFmpeg, 7);
+        let peak = |cfg: &EncoderConfig| {
+            let rates = bitrates(&encode_track(&sc, &ladder, 4, cfg), 2.0);
+            let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+            rates.iter().cloned().fold(0.0, f64::max) / mean
+        };
+        assert!(peak(&c4) > peak(&c2), "4x cap should allow higher peaks");
+    }
+
+    #[test]
+    fn floor_respected() {
+        let (sc, ladder, cfg) = setup();
+        for level in 0..ladder.len() {
+            let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 2.0);
+            let declared = ladder.avg_bitrate(level);
+            for r in rates {
+                assert!(r >= declared * cfg.floor_ratio * 0.9, "rate {r} below floor");
+            }
+        }
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

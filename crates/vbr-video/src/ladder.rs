@@ -1,0 +1,297 @@
+//! Encoding ladders: resolutions, codecs, and per-track average bitrates.
+//!
+//! The paper's dataset (§2) uses six tracks — 144p, 240p, 360p, 480p, 720p,
+//! 1080p — for every video, under two encoding pipelines (YouTube's and a
+//! Netflix-recommendation FFmpeg pipeline) and two codecs (H.264, H.265).
+//! H.265 achieves the same quality at a substantially lower bitrate (§6.5
+//! observes uniformly better streaming performance for H.265 because of its
+//! "significantly lower bitrate requirement"); we model that as a constant
+//! codec efficiency factor on the ladder bitrates.
+
+use serde::{Deserialize, Serialize};
+
+/// Video codec. The paper evaluates H.264 and H.265/HEVC (§2, §6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Codec {
+    H264,
+    H265,
+}
+
+impl Codec {
+    /// Bitrate multiplier relative to H.264 for equal perceptual quality.
+    ///
+    /// H.265 is commonly measured at 35–50 % bitrate savings for equal
+    /// quality; we use 0.62, within that range.
+    pub fn efficiency(self) -> f64 {
+        match self {
+            Codec::H264 => 1.0,
+            Codec::H265 => 0.62,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::H264 => "H.264",
+            Codec::H265 => "H.265",
+        }
+    }
+}
+
+/// Display resolution of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resolution {
+    P144,
+    P240,
+    P360,
+    P480,
+    P720,
+    P1080,
+    P2160,
+}
+
+impl Resolution {
+    /// The six ABR resolutions of the paper's dataset, lowest first.
+    pub const LADDER: [Resolution; 6] = [
+        Resolution::P144,
+        Resolution::P240,
+        Resolution::P360,
+        Resolution::P480,
+        Resolution::P720,
+        Resolution::P1080,
+    ];
+
+    /// Vertical line count (the conventional name).
+    pub fn height(self) -> u32 {
+        match self {
+            Resolution::P144 => 144,
+            Resolution::P240 => 240,
+            Resolution::P360 => 360,
+            Resolution::P480 => 480,
+            Resolution::P720 => 720,
+            Resolution::P1080 => 1080,
+            Resolution::P2160 => 2160,
+        }
+    }
+
+    /// Approximate pixel count (16:9 frames).
+    pub fn pixels(self) -> u64 {
+        let h = self.height() as u64;
+        h * (h * 16 / 9)
+    }
+
+    /// Display label, e.g. `"480p"`.
+    pub fn label(self) -> String {
+        format!("{}p", self.height())
+    }
+}
+
+/// An encoding ladder: an ordered list of `(resolution, average bitrate)`
+/// pairs, lowest track first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ladder {
+    tracks: Vec<(Resolution, f64)>,
+    codec: Codec,
+}
+
+impl Ladder {
+    /// Build a ladder from explicit `(resolution, avg bitrate bps)` pairs.
+    ///
+    /// # Panics
+    /// Panics if empty, if bitrates are not strictly increasing, or if any
+    /// bitrate is non-positive.
+    pub fn new(codec: Codec, tracks: Vec<(Resolution, f64)>) -> Ladder {
+        assert!(!tracks.is_empty(), "ladder must have at least one track");
+        for pair in tracks.windows(2) {
+            assert!(
+                pair[0].1 < pair[1].1,
+                "ladder bitrates must be strictly increasing: {} !< {}",
+                pair[0].1,
+                pair[1].1
+            );
+        }
+        assert!(tracks.iter().all(|&(_, r)| r > 0.0), "bitrates must be positive");
+        Ladder { tracks, codec }
+    }
+
+    /// The FFmpeg/Netflix-style H.264 ladder used for the paper's own
+    /// encodings (per-title three-pass, §2). Bitrates in bps.
+    pub fn ffmpeg_h264() -> Ladder {
+        Ladder::new(
+            Codec::H264,
+            vec![
+                (Resolution::P144, 120_000.0),
+                (Resolution::P240, 280_000.0),
+                (Resolution::P360, 620_000.0),
+                (Resolution::P480, 1_100_000.0),
+                (Resolution::P720, 2_500_000.0),
+                (Resolution::P1080, 4_600_000.0),
+            ],
+        )
+    }
+
+    /// The YouTube-style H.264 ladder (the paper's 8 YouTube encodings, §2).
+    /// YouTube ladders sit a little below the FFmpeg/Netflix ladder.
+    pub fn youtube_h264() -> Ladder {
+        Ladder::new(
+            Codec::H264,
+            vec![
+                (Resolution::P144, 90_000.0),
+                (Resolution::P240, 220_000.0),
+                (Resolution::P360, 480_000.0),
+                (Resolution::P480, 900_000.0),
+                (Resolution::P720, 2_000_000.0),
+                (Resolution::P1080, 3_800_000.0),
+            ],
+        )
+    }
+
+    /// Derive a per-title ladder: scale every track's bitrate by the
+    /// content's difficulty (Netflix's per-title optimization, the §2
+    /// references [11]/[29]): hard titles get more bits per track, easy
+    /// titles fewer, so every title lands at similar quality for its
+    /// ladder position. The scale is clamped to a practical range.
+    ///
+    /// # Panics
+    /// Panics if `difficulty` is not positive.
+    pub fn per_title(&self, difficulty: f64) -> Ladder {
+        assert!(difficulty > 0.0, "difficulty must be positive");
+        let scale = difficulty.clamp(0.5, 2.0);
+        Ladder::new(
+            self.codec,
+            self.tracks
+                .iter()
+                .map(|&(res, r)| (res, r * scale))
+                .collect(),
+        )
+    }
+
+    /// Derive the H.265 ladder from an H.264 ladder by the codec efficiency
+    /// factor (same resolutions, ~0.62× bitrates — §6.5).
+    pub fn to_h265(&self) -> Ladder {
+        assert_eq!(self.codec, Codec::H264, "to_h265 expects an H.264 ladder");
+        Ladder::new(
+            Codec::H265,
+            self.tracks
+                .iter()
+                .map(|&(res, r)| (res, r * Codec::H265.efficiency()))
+                .collect(),
+        )
+    }
+
+    /// Codec of this ladder.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Number of tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// True if the ladder has no tracks (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// `(resolution, avg bitrate)` of track `level` (0 = lowest).
+    pub fn track(&self, level: usize) -> (Resolution, f64) {
+        self.tracks[level]
+    }
+
+    /// Average bitrate (bps) of track `level`.
+    pub fn avg_bitrate(&self, level: usize) -> f64 {
+        self.tracks[level].1
+    }
+
+    /// Resolution of track `level`.
+    pub fn resolution(&self, level: usize) -> Resolution {
+        self.tracks[level].0
+    }
+
+    /// Iterate `(resolution, avg bitrate)` pairs, lowest first.
+    pub fn iter(&self) -> impl Iterator<Item = (Resolution, f64)> + '_ {
+        self.tracks.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_have_six_increasing_tracks() {
+        for ladder in [Ladder::ffmpeg_h264(), Ladder::youtube_h264()] {
+            assert_eq!(ladder.len(), 6);
+            for i in 1..ladder.len() {
+                assert!(ladder.avg_bitrate(i) > ladder.avg_bitrate(i - 1));
+                assert!(ladder.resolution(i) > ladder.resolution(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn resolutions_match_paper() {
+        let l = Ladder::ffmpeg_h264();
+        let heights: Vec<u32> = (0..6).map(|i| l.resolution(i).height()).collect();
+        assert_eq!(heights, vec![144, 240, 360, 480, 720, 1080]);
+    }
+
+    #[test]
+    fn h265_ladder_scales_by_efficiency() {
+        let h264 = Ladder::ffmpeg_h264();
+        let h265 = h264.to_h265();
+        assert_eq!(h265.codec(), Codec::H265);
+        for i in 0..6 {
+            assert!((h265.avg_bitrate(i) - h264.avg_bitrate(i) * 0.62).abs() < 1e-6);
+            assert_eq!(h265.resolution(i), h264.resolution(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_monotone_ladder_rejected() {
+        let _ = Ladder::new(
+            Codec::H264,
+            vec![(Resolution::P240, 2.0e5), (Resolution::P360, 1.0e5)],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ladder_rejected() {
+        let _ = Ladder::new(Codec::H264, vec![]);
+    }
+
+    #[test]
+    fn pixels_are_16_9() {
+        assert_eq!(Resolution::P1080.pixels(), 1080 * 1920);
+        assert_eq!(Resolution::P144.pixels(), 144 * 256);
+        assert_eq!(Resolution::P480.label(), "480p");
+    }
+
+    #[test]
+    fn per_title_scales_and_clamps() {
+        let base = Ladder::ffmpeg_h264();
+        let hard = base.per_title(1.3);
+        for i in 0..base.len() {
+            assert!((hard.avg_bitrate(i) - base.avg_bitrate(i) * 1.3).abs() < 1e-6);
+            assert_eq!(hard.resolution(i), base.resolution(i));
+        }
+        let extreme = base.per_title(10.0);
+        assert!((extreme.avg_bitrate(0) - base.avg_bitrate(0) * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn per_title_rejects_nonpositive() {
+        let _ = Ladder::ffmpeg_h264().per_title(0.0);
+    }
+
+    #[test]
+    fn codec_efficiency_ordering() {
+        assert!(Codec::H265.efficiency() < Codec::H264.efficiency());
+        assert_eq!(Codec::H264.name(), "H.264");
+        assert_eq!(Codec::H265.name(), "H.265");
+    }
+}

@@ -1,0 +1,54 @@
+//! # vbr-video — VBR video substrate
+//!
+//! A from-scratch model of everything the CoNEXT '18 CAVA paper needs from
+//! its video dataset (§2, §3), built so that the *statistics the ABR layer
+//! observes* match the paper's measurements:
+//!
+//! * [`complexity`] — a seeded scene-complexity process: videos are divided
+//!   into scenes with spatial/temporal complexity; per-chunk SI/TI values are
+//!   derived from it (ITU-T P.910 style, used by the paper's Fig. 2).
+//! * [`ladder`] — encoding ladders: 6 tracks (144p–1080p), H.264 and H.265,
+//!   YouTube-style and Netflix/FFmpeg-style average bitrates.
+//! * [`encoder`] — a capped two-pass VBR encoder model ("three-pass" per-title
+//!   procedure of §2): allocates per-chunk bits as a sub-linear function of
+//!   scene complexity, applies the bitrate cap (2× default, 4× variant), and
+//!   reproduces the paper's observed per-track bitrate CoV of 0.3–0.6 and
+//!   peak/average ratios of 1.1–2.4×.
+//! * [`quality`] — closed-form perceptual quality model (PSNR, SSIM, VMAF TV
+//!   and phone): monotone in allocated bits, saturating, resolution-capped,
+//!   and *harder to satisfy for complex scenes* — reproducing §3.1.2's key
+//!   finding that Q4 (largest) chunks have the *worst* quality in a track.
+//! * [`video`] — the [`Video`]/[`Track`] data model with per-track statistics.
+//! * [`classify`] — size-quartile chunk classification against a reference
+//!   track (§3.1.1), the paper's lightweight scene-complexity proxy.
+//! * [`dataset`] — the 16-video CoNEXT '18 dataset (8 "YouTube" encodings
+//!   with 5 s chunks, 8 "FFmpeg" encodings with 2 s chunks) plus the 4×-cap
+//!   variant of §3.3.
+//! * [`mpd`] — DASH MPD XML serialization of the manifest (with per-chunk
+//!   sizes as a documented extension), plus a parser for the same format.
+//! * [`manifest`] — the DASH-like manifest: exactly the information a client
+//!   player legitimately has (declared track bitrates, per-chunk sizes) and
+//!   nothing more. ABR algorithms consume [`manifest::Manifest`]; quality
+//!   tables stay evaluation-only, mirroring the paper's deployability rule.
+//!
+//! Everything is deterministic given a seed; the dataset builders use fixed
+//! per-video seeds so experiments are exactly reproducible.
+
+pub mod classify;
+pub mod complexity;
+pub mod dataset;
+pub mod encoder;
+pub mod ladder;
+pub mod manifest;
+pub mod mpd;
+pub mod quality;
+pub mod video;
+
+pub use classify::{ChunkClass, Classification};
+pub use complexity::{Genre, SceneComplexity};
+pub use dataset::{Dataset, VideoSpec};
+pub use encoder::{EncoderConfig, EncoderSource};
+pub use ladder::{Codec, Ladder, Resolution};
+pub use manifest::Manifest;
+pub use quality::{ChunkQuality, QualityModel};
+pub use video::{Track, Video};

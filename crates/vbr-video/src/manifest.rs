@@ -1,0 +1,313 @@
+//! The client-visible manifest — the ABR algorithm's entire world.
+//!
+//! DASH manifests carry per-chunk size information, and HLS recently added
+//! it (§3.2, footnote 1). The paper's deployability argument is that a good
+//! VBR-aware ABR scheme must work from *exactly* this information: declared
+//! track bitrates, resolutions, and per-chunk sizes — no quality metrics, no
+//! content analysis. [`Manifest`] enforces that boundary in the type system:
+//! ABR implementations receive a `&Manifest` and nothing else about the
+//! video.
+
+use crate::ladder::{Codec, Resolution};
+use crate::video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Per-track information in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackInfo {
+    level: usize,
+    resolution: Resolution,
+    /// Declared average bitrate `r(ℓ)` in bps.
+    declared_avg_bps: f64,
+    /// Declared peak bitrate in bps (the attribute simplistic players use as
+    /// the track's bandwidth requirement — §1, §7).
+    peak_bps: f64,
+    chunk_bytes: Vec<u64>,
+}
+
+impl TrackInfo {
+    /// Construct track info directly (used by importers such as
+    /// [`crate::mpd`]).
+    ///
+    /// # Panics
+    /// Panics if `chunk_bytes` is empty or bitrates are non-positive.
+    pub fn new(
+        level: usize,
+        resolution: Resolution,
+        declared_avg_bps: f64,
+        peak_bps: f64,
+        chunk_bytes: Vec<u64>,
+    ) -> TrackInfo {
+        assert!(!chunk_bytes.is_empty(), "track must have chunks");
+        assert!(declared_avg_bps > 0.0 && peak_bps > 0.0);
+        TrackInfo {
+            level,
+            resolution,
+            declared_avg_bps,
+            peak_bps,
+            chunk_bytes,
+        }
+    }
+
+    /// Track level (0 = lowest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Display resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Declared average bitrate in bps.
+    pub fn declared_avg_bps(&self) -> f64 {
+        self.declared_avg_bps
+    }
+
+    /// Declared peak bitrate in bps.
+    pub fn peak_bps(&self) -> f64 {
+        self.peak_bps
+    }
+
+    /// Per-chunk sizes in bytes.
+    pub fn chunk_bytes(&self) -> &[u64] {
+        &self.chunk_bytes
+    }
+
+    /// Mean chunk size in bytes.
+    pub fn avg_chunk_bytes(&self) -> f64 {
+        self.chunk_bytes.iter().sum::<u64>() as f64 / self.chunk_bytes.len() as f64
+    }
+}
+
+/// A DASH-like manifest: everything a client knows about a video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    video_name: String,
+    codec: Codec,
+    chunk_duration: f64,
+    tracks: Vec<TrackInfo>,
+}
+
+impl Manifest {
+    /// Extract the client-visible view of a [`Video`].
+    pub fn from_video(video: &Video) -> Manifest {
+        Manifest {
+            video_name: video.name().to_string(),
+            codec: video.codec(),
+            chunk_duration: video.chunk_duration(),
+            tracks: video
+                .tracks()
+                .iter()
+                .map(|t| TrackInfo {
+                    level: t.level(),
+                    resolution: t.resolution(),
+                    declared_avg_bps: t.declared_avg_bps(),
+                    peak_bps: t.peak_bps(),
+                    chunk_bytes: t.chunk_sizes().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Assemble a manifest from parts (used by importers such as
+    /// [`crate::mpd`]).
+    ///
+    /// # Panics
+    /// Panics if `tracks` is empty, chunk counts disagree, levels are not
+    /// `0..n` in order, or `chunk_duration` is non-positive.
+    pub fn from_parts(
+        video_name: impl Into<String>,
+        codec: Codec,
+        chunk_duration: f64,
+        tracks: Vec<TrackInfo>,
+    ) -> Manifest {
+        assert!(!tracks.is_empty(), "manifest must have tracks");
+        assert!(chunk_duration > 0.0);
+        let n = tracks[0].chunk_bytes.len();
+        for (i, t) in tracks.iter().enumerate() {
+            assert_eq!(t.level, i, "levels must be 0..n in order");
+            assert_eq!(t.chunk_bytes.len(), n, "chunk counts must agree");
+        }
+        Manifest {
+            video_name: video_name.into(),
+            codec,
+            chunk_duration,
+            tracks,
+        }
+    }
+
+    /// Video name.
+    pub fn video_name(&self) -> &str {
+        &self.video_name
+    }
+
+    /// Codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Chunk playback duration in seconds (`Δ`).
+    pub fn chunk_duration(&self) -> f64 {
+        self.chunk_duration
+    }
+
+    /// Number of tracks.
+    pub fn n_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.tracks[0].chunk_bytes.len()
+    }
+
+    /// Total playback duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.n_chunks() as f64 * self.chunk_duration
+    }
+
+    /// Track info for `level`.
+    pub fn track(&self, level: usize) -> &TrackInfo {
+        &self.tracks[level]
+    }
+
+    /// All tracks, lowest first.
+    pub fn tracks(&self) -> &[TrackInfo] {
+        &self.tracks
+    }
+
+    /// Highest track level index.
+    pub fn top_level(&self) -> usize {
+        self.tracks.len() - 1
+    }
+
+    /// Size of chunk `i` at track `level`, bytes.
+    pub fn chunk_bytes(&self, level: usize, i: usize) -> u64 {
+        self.tracks[level].chunk_bytes[i]
+    }
+
+    /// Size of chunk `i` at track `level`, bits.
+    pub fn chunk_bits(&self, level: usize, i: usize) -> f64 {
+        self.chunk_bytes(level, i) as f64 * 8.0
+    }
+
+    /// Realized bitrate of chunk `i` at track `level`, bps — `R_i(ℓ)`.
+    pub fn chunk_bitrate_bps(&self, level: usize, i: usize) -> f64 {
+        self.chunk_bits(level, i) / self.chunk_duration
+    }
+
+    /// Declared average bitrate of a track, bps — `r(ℓ)`.
+    pub fn declared_bitrate(&self, level: usize) -> f64 {
+        self.tracks[level].declared_avg_bps
+    }
+
+    /// Mean bitrate of the window of up to `w_chunks` chunks starting at
+    /// `start` on track `level` — the paper's short-term statistical filter
+    /// `R̄_t(ℓ)` (§5.3). The window is truncated at the end of the video;
+    /// an empty window (start past the end) returns the declared bitrate.
+    pub fn window_avg_bitrate(&self, level: usize, start: usize, w_chunks: usize) -> f64 {
+        let n = self.n_chunks();
+        if start >= n || w_chunks == 0 {
+            return self.declared_bitrate(level);
+        }
+        let end = (start + w_chunks).min(n);
+        let bits: f64 = (start..end).map(|i| self.chunk_bits(level, i)).sum();
+        bits / ((end - start) as f64 * self.chunk_duration)
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Manifest, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity::Genre;
+    use crate::encoder::{EncoderConfig, EncoderSource};
+    use crate::ladder::Ladder;
+
+    fn manifest() -> Manifest {
+        let v = Video::synthesize(
+            "m",
+            Genre::Animal,
+            120,
+            5.0,
+            &Ladder::youtube_h264(),
+            &EncoderConfig::capped_2x(EncoderSource::YouTube, 3),
+            3,
+        );
+        Manifest::from_video(&v)
+    }
+
+    #[test]
+    fn mirrors_video_dimensions() {
+        let m = manifest();
+        assert_eq!(m.n_tracks(), 6);
+        assert_eq!(m.n_chunks(), 120);
+        assert_eq!(m.chunk_duration(), 5.0);
+        assert_eq!(m.duration_secs(), 600.0);
+        assert_eq!(m.top_level(), 5);
+        assert_eq!(m.codec(), Codec::H264);
+        assert_eq!(m.video_name(), "m");
+    }
+
+    #[test]
+    fn bitrate_accessors_consistent() {
+        let m = manifest();
+        let (l, i) = (3, 11);
+        assert_eq!(m.chunk_bits(l, i), m.chunk_bytes(l, i) as f64 * 8.0);
+        assert!((m.chunk_bitrate_bps(l, i) - m.chunk_bits(l, i) / 5.0).abs() < 1e-9);
+        assert_eq!(m.track(l).level(), l);
+        assert!(m.track(l).peak_bps() >= m.track(l).declared_avg_bps());
+    }
+
+    #[test]
+    fn window_avg_smooths() {
+        let m = manifest();
+        // Window of the whole track equals the realized average.
+        let full = m.window_avg_bitrate(3, 0, m.n_chunks());
+        let total_bits: f64 = (0..m.n_chunks()).map(|i| m.chunk_bits(3, i)).sum();
+        let avg = total_bits / (m.n_chunks() as f64 * 5.0);
+        assert!((full - avg).abs() < 1e-6);
+        // Window of one chunk equals that chunk's bitrate.
+        assert!((m.window_avg_bitrate(3, 7, 1) - m.chunk_bitrate_bps(3, 7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_avg_truncates_at_video_end() {
+        let m = manifest();
+        let last = m.n_chunks() - 1;
+        let w = m.window_avg_bitrate(2, last, 50);
+        assert!((w - m.chunk_bitrate_bps(2, last)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_avg_degenerate_cases() {
+        let m = manifest();
+        assert_eq!(m.window_avg_bitrate(2, 10_000, 5), m.declared_bitrate(2));
+        assert_eq!(m.window_avg_bitrate(2, 0, 0), m.declared_bitrate(2));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = manifest();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn avg_chunk_bytes_matches_mean() {
+        let m = manifest();
+        let t = m.track(0);
+        let mean = t.chunk_bytes().iter().sum::<u64>() as f64 / 120.0;
+        assert!((t.avg_chunk_bytes() - mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,514 @@
+//! DASH MPD interop: serialize a [`Manifest`] as a Media Presentation
+//! Description and parse it back.
+//!
+//! The paper's deployability argument (§3.2, footnote 1) rests on the fact
+//! that "chunk size information is included in the manifest file sent from
+//! server to client in DASH". Real MPDs expose sizes via segment indexes;
+//! for a self-contained textual interchange we emit them inline in a
+//! `SegmentSizeList` element (documented extension, one `<S size=…/>` per
+//! chunk), alongside standard MPD structure: `MPD → Period → AdaptationSet
+//! → Representation` with `bandwidth`, `width`/`height`, `codecs`, and a
+//! `SegmentTemplate` carrying the chunk duration.
+//!
+//! The parser is a minimal, dependency-free XML reader sufficient for MPDs
+//! written by [`to_mpd_xml`] and tolerant of whitespace, attribute order,
+//! and XML comments. It is **not** a general DASH client parser.
+
+use crate::ladder::{Codec, Resolution};
+use crate::manifest::Manifest;
+use std::fmt;
+
+/// Errors from [`from_mpd_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpdError {
+    /// Malformed XML structure (context message).
+    Malformed(String),
+    /// A required element or attribute is missing.
+    Missing(String),
+    /// A value failed to parse (attribute, value).
+    BadValue(String, String),
+}
+
+impl fmt::Display for MpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpdError::Malformed(m) => write!(f, "malformed MPD: {m}"),
+            MpdError::Missing(m) => write!(f, "missing in MPD: {m}"),
+            MpdError::BadValue(a, v) => write!(f, "bad MPD value for {a}: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MpdError {}
+
+fn codec_string(codec: Codec, resolution: Resolution) -> String {
+    // Representative RFC6381 strings by codec/resolution tier.
+    match codec {
+        Codec::H264 => {
+            let level = match resolution.height() {
+                0..=360 => "1e",
+                361..=720 => "1f",
+                _ => "28",
+            };
+            format!("avc1.6400{level}")
+        }
+        Codec::H265 => "hvc1.1.6.L120.90".to_string(),
+    }
+}
+
+fn resolution_from_height(height: u32) -> Option<Resolution> {
+    Some(match height {
+        144 => Resolution::P144,
+        240 => Resolution::P240,
+        360 => Resolution::P360,
+        480 => Resolution::P480,
+        720 => Resolution::P720,
+        1080 => Resolution::P1080,
+        2160 => Resolution::P2160,
+        _ => return None,
+    })
+}
+
+/// Serialize a manifest as an MPD document.
+pub fn to_mpd_xml(manifest: &Manifest) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    let duration = manifest.duration_secs();
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(&format!(
+        "<MPD xmlns=\"urn:mpeg:dash:schema:mpd:2011\" type=\"static\" \
+         mediaPresentationDuration=\"PT{duration}S\" minBufferTime=\"PT10S\" \
+         profiles=\"urn:mpeg:dash:profile:isoff-on-demand:2011\">\n"
+    ));
+    out.push_str(&format!(
+        "  <!-- generated from video {:?}; SegmentSizeList is a documented extension -->\n",
+        manifest.video_name()
+    ));
+    out.push_str(&format!(
+        "  <Period id=\"0\" duration=\"PT{duration}S\">\n"
+    ));
+    out.push_str(
+        "    <AdaptationSet contentType=\"video\" segmentAlignment=\"true\" bitstreamSwitching=\"true\">\n",
+    );
+    let timescale = 1000u64;
+    let chunk_ms = (manifest.chunk_duration() * timescale as f64).round() as u64;
+    for track in manifest.tracks() {
+        let res = track.resolution();
+        let width = res.height() as u64 * 16 / 9;
+        out.push_str(&format!(
+            "      <Representation id=\"{}\" codecs=\"{}\" width=\"{}\" height=\"{}\" \
+             bandwidth=\"{}\" peakBandwidth=\"{}\" frameRate=\"24\">\n",
+            track.level(),
+            codec_string(manifest.codec(), res),
+            width,
+            res.height(),
+            track.declared_avg_bps().round() as u64,
+            track.peak_bps().round() as u64,
+        ));
+        out.push_str(&format!(
+            "        <SegmentTemplate timescale=\"{timescale}\" duration=\"{chunk_ms}\" \
+             media=\"video_$RepresentationID$_$Number$.m4s\" \
+             initialization=\"video_$RepresentationID$_init.mp4\" startNumber=\"1\"/>\n"
+        ));
+        out.push_str("        <SegmentSizeList>\n");
+        for &bytes in track.chunk_bytes() {
+            out.push_str(&format!("          <S size=\"{bytes}\"/>\n"));
+        }
+        out.push_str("        </SegmentSizeList>\n");
+        out.push_str("      </Representation>\n");
+    }
+    out.push_str("    </AdaptationSet>\n  </Period>\n</MPD>\n");
+    out
+}
+
+/// Parse an MPD written by [`to_mpd_xml`] back into a [`Manifest`].
+pub fn from_mpd_xml(xml: &str) -> Result<Manifest, MpdError> {
+    let mpd = Element::parse_document(xml)?;
+    if mpd.name != "MPD" {
+        return Err(MpdError::Malformed(format!("root is <{}>", mpd.name)));
+    }
+    let video_name = mpd
+        .comment
+        .as_deref()
+        .and_then(extract_video_name)
+        .unwrap_or_else(|| "mpd-import".to_string());
+    let period = mpd.child("Period")?;
+    let aset = period.child("AdaptationSet")?;
+
+    let mut chunk_duration = None;
+    let mut tracks: Vec<crate::manifest::TrackInfo> = Vec::new();
+    let mut reps: Vec<&Element> = aset.children.iter().filter(|c| c.name == "Representation").collect();
+    if reps.is_empty() {
+        return Err(MpdError::Missing("Representation".to_string()));
+    }
+    reps.sort_by_key(|r| {
+        r.attr("bandwidth")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    });
+    let mut codec = Codec::H264;
+    for (level, rep) in reps.iter().enumerate() {
+        let height: u32 = rep.parse_attr("height")?;
+        let resolution = resolution_from_height(height)
+            .ok_or_else(|| MpdError::BadValue("height".to_string(), height.to_string()))?;
+        let bandwidth: f64 = rep.parse_attr("bandwidth")?;
+        let peak: f64 = rep
+            .attr("peakBandwidth")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| MpdError::BadValue("peakBandwidth".to_string(), v.to_string()))
+            })
+            .transpose()?
+            .unwrap_or(bandwidth);
+        if rep.attr("codecs").is_some_and(|c| c.starts_with("hvc1")) {
+            codec = Codec::H265;
+        }
+        let template = rep.child("SegmentTemplate")?;
+        let timescale: f64 = template.parse_attr("timescale")?;
+        let dur: f64 = template.parse_attr("duration")?;
+        let this_duration = dur / timescale;
+        match chunk_duration {
+            None => chunk_duration = Some(this_duration),
+            Some(d) if (d - this_duration).abs() > 1e-9 => {
+                return Err(MpdError::Malformed(
+                    "representations disagree on chunk duration".to_string(),
+                ))
+            }
+            _ => {}
+        }
+        let sizes_el = rep.child("SegmentSizeList")?;
+        let mut sizes = Vec::new();
+        for s in sizes_el.children.iter().filter(|c| c.name == "S") {
+            sizes.push(s.parse_attr::<u64>("size")?);
+        }
+        if sizes.is_empty() {
+            return Err(MpdError::Missing("SegmentSizeList/S".to_string()));
+        }
+        tracks.push(crate::manifest::TrackInfo::new(
+            level, resolution, bandwidth, peak, sizes,
+        ));
+    }
+    let n = tracks[0].chunk_bytes().len();
+    if tracks.iter().any(|t| t.chunk_bytes().len() != n) {
+        return Err(MpdError::Malformed(
+            "representations disagree on chunk count".to_string(),
+        ));
+    }
+    Ok(Manifest::from_parts(
+        video_name,
+        codec,
+        chunk_duration.expect("at least one representation parsed"),
+        tracks,
+    ))
+}
+
+fn extract_video_name(comment: &str) -> Option<String> {
+    let start = comment.find("video \"")? + 7;
+    let end = comment[start..].find('"')? + start;
+    Some(comment[start..end].to_string())
+}
+
+/// A minimal XML element tree: name, attributes, children, plus the first
+/// comment encountered at its level (used for the video-name annotation).
+#[derive(Debug, Clone)]
+struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Element>,
+    comment: Option<String>,
+}
+
+impl Element {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_attr<T: std::str::FromStr>(&self, name: &str) -> Result<T, MpdError> {
+        let raw = self
+            .attr(name)
+            .ok_or_else(|| MpdError::Missing(format!("@{name} on <{}>", self.name)))?;
+        raw.parse::<T>()
+            .map_err(|_| MpdError::BadValue(name.to_string(), raw.to_string()))
+    }
+
+    fn child(&self, name: &str) -> Result<&Element, MpdError> {
+        self.children
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| MpdError::Missing(format!("<{name}> under <{}>", self.name)))
+    }
+
+    /// Parse a document: skip the declaration and comments, return the root.
+    fn parse_document(xml: &str) -> Result<Element, MpdError> {
+        let mut pos = 0usize;
+        skip_misc(xml, &mut pos);
+        let root = Element::parse_element(xml, &mut pos)?;
+        Ok(root)
+    }
+
+    fn parse_element(xml: &str, pos: &mut usize) -> Result<Element, MpdError> {
+        skip_ws(xml, pos);
+        if !xml[*pos..].starts_with('<') {
+            return Err(MpdError::Malformed(format!(
+                "expected '<' at offset {pos}",
+                pos = *pos
+            )));
+        }
+        *pos += 1;
+        let name_start = *pos;
+        while *pos < xml.len() && !xml.as_bytes()[*pos].is_ascii_whitespace()
+            && xml.as_bytes()[*pos] != b'>'
+            && xml.as_bytes()[*pos] != b'/'
+        {
+            *pos += 1;
+        }
+        let name = xml[name_start..*pos].to_string();
+        if name.is_empty() {
+            return Err(MpdError::Malformed("empty tag name".to_string()));
+        }
+        let mut element = Element {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+            comment: None,
+        };
+        // Attributes.
+        loop {
+            skip_ws(xml, pos);
+            match xml.as_bytes().get(*pos) {
+                Some(b'/') => {
+                    // Self-closing.
+                    *pos += 1;
+                    expect_byte(xml, pos, b'>')?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    *pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let (k, v) = parse_attribute(xml, pos)?;
+                    element.attrs.push((k, v));
+                }
+                None => return Err(MpdError::Malformed("unexpected end in tag".to_string())),
+            }
+        }
+        // Children / text (text is ignored — our format carries no text nodes).
+        loop {
+            skip_ws(xml, pos);
+            if xml[*pos..].starts_with("<!--") {
+                let end = xml[*pos..]
+                    .find("-->")
+                    .ok_or_else(|| MpdError::Malformed("unterminated comment".to_string()))?;
+                let comment = xml[*pos + 4..*pos + end].trim().to_string();
+                if element.comment.is_none() {
+                    element.comment = Some(comment);
+                }
+                *pos += end + 3;
+                continue;
+            }
+            if xml[*pos..].starts_with("</") {
+                *pos += 2;
+                let close_start = *pos;
+                while *pos < xml.len() && xml.as_bytes()[*pos] != b'>' {
+                    *pos += 1;
+                }
+                let close = xml[close_start..*pos].trim();
+                expect_byte(xml, pos, b'>')?;
+                if close != element.name {
+                    return Err(MpdError::Malformed(format!(
+                        "mismatched close tag </{close}> for <{}>",
+                        element.name
+                    )));
+                }
+                return Ok(element);
+            }
+            if xml[*pos..].starts_with('<') {
+                let child = Element::parse_element(xml, pos)?;
+                element.children.push(child);
+                continue;
+            }
+            // Skip text content.
+            if *pos >= xml.len() {
+                return Err(MpdError::Malformed(format!(
+                    "unterminated element <{}>",
+                    element.name
+                )));
+            }
+            while *pos < xml.len() && xml.as_bytes()[*pos] != b'<' {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn skip_ws(xml: &str, pos: &mut usize) {
+    while *pos < xml.len() && xml.as_bytes()[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn skip_misc(xml: &str, pos: &mut usize) {
+    loop {
+        skip_ws(xml, pos);
+        if xml[*pos..].starts_with("<?") {
+            if let Some(end) = xml[*pos..].find("?>") {
+                *pos += end + 2;
+                continue;
+            }
+        }
+        if xml[*pos..].starts_with("<!--") {
+            if let Some(end) = xml[*pos..].find("-->") {
+                *pos += end + 3;
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+fn expect_byte(xml: &str, pos: &mut usize, byte: u8) -> Result<(), MpdError> {
+    if xml.as_bytes().get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(MpdError::Malformed(format!(
+            "expected {:?} at offset {}",
+            byte as char, *pos
+        )))
+    }
+}
+
+fn parse_attribute(xml: &str, pos: &mut usize) -> Result<(String, String), MpdError> {
+    let key_start = *pos;
+    while *pos < xml.len() && xml.as_bytes()[*pos] != b'=' && !xml.as_bytes()[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    let key = xml[key_start..*pos].to_string();
+    skip_ws(xml, pos);
+    expect_byte(xml, pos, b'=')?;
+    skip_ws(xml, pos);
+    expect_byte(xml, pos, b'"')?;
+    let val_start = *pos;
+    while *pos < xml.len() && xml.as_bytes()[*pos] != b'"' {
+        *pos += 1;
+    }
+    let value = xml[val_start..*pos].to_string();
+    expect_byte(xml, pos, b'"')?;
+    Ok((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    #[test]
+    fn round_trip_preserves_everything_abr_needs() {
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let xml = to_mpd_xml(&manifest);
+        let parsed = from_mpd_xml(&xml).expect("round trip");
+        assert_eq!(parsed.video_name(), manifest.video_name());
+        assert_eq!(parsed.codec(), manifest.codec());
+        assert_eq!(parsed.n_tracks(), manifest.n_tracks());
+        assert_eq!(parsed.n_chunks(), manifest.n_chunks());
+        assert!((parsed.chunk_duration() - manifest.chunk_duration()).abs() < 1e-9);
+        for l in 0..manifest.n_tracks() {
+            assert_eq!(
+                parsed.track(l).resolution(),
+                manifest.track(l).resolution()
+            );
+            assert!(
+                (parsed.declared_bitrate(l) - manifest.declared_bitrate(l).round()).abs() < 1.0
+            );
+            assert_eq!(parsed.track(l).chunk_bytes(), manifest.track(l).chunk_bytes());
+        }
+    }
+
+    #[test]
+    fn h265_codec_round_trips() {
+        let video = Dataset::by_name("ED-ffmpeg-h265").expect("dataset");
+        let manifest = Manifest::from_video(&video);
+        let parsed = from_mpd_xml(&to_mpd_xml(&manifest)).expect("round trip");
+        assert_eq!(parsed.codec(), Codec::H265);
+    }
+
+    #[test]
+    fn output_is_valid_mpd_shape() {
+        let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let xml = to_mpd_xml(&manifest);
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("urn:mpeg:dash:schema:mpd:2011"));
+        assert!(xml.contains("<AdaptationSet"));
+        assert_eq!(xml.matches("<Representation").count(), 6);
+        assert_eq!(
+            xml.matches("<S size=").count(),
+            manifest.n_chunks() * manifest.n_tracks()
+        );
+        assert!(xml.contains("mediaPresentationDuration=\"PT600S\""));
+    }
+
+    #[test]
+    fn representations_sorted_by_bandwidth_regardless_of_order() {
+        // Shuffle representation order in the XML; the parser must sort by
+        // bandwidth so level 0 is the lowest track.
+        let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let xml = to_mpd_xml(&manifest);
+        // Move the first Representation block to the end.
+        let start = xml.find("<Representation").unwrap();
+        let end = xml.find("</Representation>").unwrap() + "</Representation>".len();
+        let block = xml[start..end].to_string();
+        let mut shuffled = xml.clone();
+        shuffled.replace_range(start..end, "");
+        let insert_at = shuffled.rfind("</AdaptationSet>").unwrap();
+        shuffled.insert_str(insert_at, &block);
+        let parsed = from_mpd_xml(&shuffled).expect("shuffled parse");
+        for l in 1..parsed.n_tracks() {
+            assert!(parsed.declared_bitrate(l) > parsed.declared_bitrate(l - 1));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_mpd_xml("not xml").is_err());
+        assert!(from_mpd_xml("<MPD></MPD>").is_err()); // no Period
+        assert!(from_mpd_xml("<Other/>").is_err()); // wrong root
+        let unclosed = "<MPD><Period><AdaptationSet>";
+        assert!(from_mpd_xml(unclosed).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_representations() {
+        let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+        let xml = to_mpd_xml(&manifest);
+        // Tamper: change one representation's segment duration.
+        let tampered = xml.replacen("duration=\"5000\"", "duration=\"2000\"", 1);
+        assert!(matches!(
+            from_mpd_xml(&tampered),
+            Err(MpdError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MpdError::Missing("Period".to_string());
+        assert!(e.to_string().contains("Period"));
+        let e = MpdError::BadValue("bandwidth".to_string(), "x".to_string());
+        assert!(e.to_string().contains("bandwidth"));
+    }
+
+    #[test]
+    fn abr_decisions_identical_on_parsed_manifest() {
+        // The ultimate interop check: CAVA-relevant information survives.
+        let video = Dataset::ed_youtube_h264();
+        let manifest = Manifest::from_video(&video);
+        let parsed = from_mpd_xml(&to_mpd_xml(&manifest)).expect("round trip");
+        // Chunk classification (what CAVA derives client-side) must match.
+        let a = crate::classify::Classification::from_manifest(&manifest);
+        let b = crate::classify::Classification::from_manifest(&parsed);
+        assert_eq!(a, b);
+    }
+}

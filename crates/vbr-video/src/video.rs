@@ -1,0 +1,410 @@
+//! The encoded-video data model: [`Video`] and [`Track`].
+//!
+//! A [`Video`] bundles the content's [`SceneComplexity`], the encoded tracks
+//! (per-chunk sizes), and the evaluation-only quality table. ABR algorithms
+//! never receive a `Video` — they get a [`crate::manifest::Manifest`], which
+//! carries only client-visible information.
+
+use crate::complexity::{Genre, SceneComplexity};
+use crate::encoder::{encode_video, EncoderConfig, EncoderSource};
+use crate::ladder::{Codec, Ladder, Resolution};
+use crate::quality::{ChunkQuality, QualityModel};
+use serde::{Deserialize, Serialize};
+
+/// One encoded track (rendition): a resolution plus per-chunk sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    level: usize,
+    resolution: Resolution,
+    declared_avg_bps: f64,
+    chunk_duration: f64,
+    chunk_bytes: Vec<u64>,
+}
+
+impl Track {
+    /// Construct a track.
+    ///
+    /// # Panics
+    /// Panics if `chunk_bytes` is empty or `chunk_duration <= 0`.
+    pub fn new(
+        level: usize,
+        resolution: Resolution,
+        declared_avg_bps: f64,
+        chunk_duration: f64,
+        chunk_bytes: Vec<u64>,
+    ) -> Track {
+        assert!(!chunk_bytes.is_empty(), "track must have chunks");
+        assert!(chunk_duration > 0.0);
+        Track {
+            level,
+            resolution,
+            declared_avg_bps,
+            chunk_duration,
+            chunk_bytes,
+        }
+    }
+
+    /// Track level (0 = lowest quality).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Display resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Declared (manifest) average bitrate in bps — `r(ℓ)` in the paper.
+    pub fn declared_avg_bps(&self) -> f64 {
+        self.declared_avg_bps
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunk_bytes.len()
+    }
+
+    /// Chunk playback duration in seconds (`Δ` in the paper).
+    pub fn chunk_duration(&self) -> f64 {
+        self.chunk_duration
+    }
+
+    /// Size of chunk `i` in bytes.
+    pub fn chunk_bytes(&self, i: usize) -> u64 {
+        self.chunk_bytes[i]
+    }
+
+    /// All chunk sizes in bytes.
+    pub fn chunk_sizes(&self) -> &[u64] {
+        &self.chunk_bytes
+    }
+
+    /// Size of chunk `i` in bits.
+    pub fn chunk_bits(&self, i: usize) -> f64 {
+        self.chunk_bytes[i] as f64 * 8.0
+    }
+
+    /// Realized bitrate of chunk `i` in bps — `R_t(ℓ)` in the paper.
+    pub fn chunk_bitrate_bps(&self, i: usize) -> f64 {
+        self.chunk_bits(i) / self.chunk_duration
+    }
+
+    /// Realized average bitrate across all chunks.
+    pub fn realized_avg_bps(&self) -> f64 {
+        let total_bits: f64 = self.chunk_bytes.iter().map(|&b| b as f64 * 8.0).sum();
+        total_bits / (self.chunk_duration * self.n_chunks() as f64)
+    }
+
+    /// Peak chunk bitrate.
+    pub fn peak_bps(&self) -> f64 {
+        (0..self.n_chunks())
+            .map(|i| self.chunk_bitrate_bps(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak-to-(realized-)average bitrate ratio.
+    pub fn peak_to_avg(&self) -> f64 {
+        self.peak_bps() / self.realized_avg_bps()
+    }
+
+    /// Coefficient of variation of the per-chunk bitrate.
+    pub fn bitrate_cov(&self) -> f64 {
+        let n = self.n_chunks() as f64;
+        let mean = self.realized_avg_bps();
+        let var = (0..self.n_chunks())
+            .map(|i| {
+                let d = self.chunk_bitrate_bps(i) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Total bytes of the track.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunk_bytes.iter().sum()
+    }
+}
+
+/// A fully synthesized VBR-encoded video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    name: String,
+    genre: Genre,
+    source: EncoderSource,
+    codec: Codec,
+    chunk_duration: f64,
+    complexity: SceneComplexity,
+    tracks: Vec<Track>,
+    /// `quality[level][chunk]` — evaluation-only; never exposed to ABR logic.
+    quality: Vec<Vec<ChunkQuality>>,
+}
+
+impl Video {
+    /// Synthesize a video: generate the complexity process, run the encoder
+    /// for every ladder track, and score every chunk.
+    ///
+    /// `content_seed` drives the complexity process, so two encodings of the
+    /// same `content_seed` (e.g. the FFmpeg and YouTube variants of Elephant
+    /// Dream) share scene structure, as in the paper's dataset.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize(
+        name: impl Into<String>,
+        genre: Genre,
+        n_chunks: usize,
+        chunk_duration: f64,
+        ladder: &Ladder,
+        encoder_config: &EncoderConfig,
+        content_seed: u64,
+    ) -> Video {
+        Video::synthesize_with_hardness(
+            name,
+            genre,
+            n_chunks,
+            chunk_duration,
+            ladder,
+            encoder_config,
+            content_seed,
+            1.0,
+        )
+    }
+
+    /// Like [`Video::synthesize`], with an explicit absolute *hardness*
+    /// multiplier: a title of hardness 1.3 needs 1.3× the bits of an
+    /// average title for the same quality at every chunk. The complexity
+    /// process is mean-normalized per title (it shapes *relative* chunk
+    /// sizes), so hardness is where cross-title difficulty lives — the
+    /// quantity per-title encoding ladders compensate for
+    /// ([`Ladder::per_title`]). The dataset's 16 paper videos use 1.0.
+    ///
+    /// # Panics
+    /// Panics if `hardness` is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize_with_hardness(
+        name: impl Into<String>,
+        genre: Genre,
+        n_chunks: usize,
+        chunk_duration: f64,
+        ladder: &Ladder,
+        encoder_config: &EncoderConfig,
+        content_seed: u64,
+        hardness: f64,
+    ) -> Video {
+        assert!(hardness > 0.0, "hardness must be positive");
+        let complexity = SceneComplexity::generate(n_chunks, chunk_duration, genre, content_seed);
+        let per_track_bytes = encode_video(&complexity, ladder, encoder_config);
+        let model = QualityModel::new(ladder.codec());
+        let tracks: Vec<Track> = per_track_bytes
+            .into_iter()
+            .enumerate()
+            .map(|(level, bytes)| {
+                Track::new(
+                    level,
+                    ladder.resolution(level),
+                    ladder.avg_bitrate(level),
+                    chunk_duration,
+                    bytes,
+                )
+            })
+            .collect();
+        let quality: Vec<Vec<ChunkQuality>> = tracks
+            .iter()
+            .map(|t| {
+                (0..t.n_chunks())
+                    .map(|i| {
+                        model.chunk_quality(
+                            t.resolution(),
+                            t.chunk_bitrate_bps(i),
+                            complexity.complexity(i) * hardness,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Video {
+            name: name.into(),
+            genre,
+            source: encoder_config.source,
+            codec: ladder.codec(),
+            chunk_duration,
+            complexity,
+            tracks,
+            quality,
+        }
+    }
+
+    /// Video name, e.g. `"ED-ffmpeg-h264"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Content genre.
+    pub fn genre(&self) -> Genre {
+        self.genre
+    }
+
+    /// Encoding pipeline.
+    pub fn source(&self) -> EncoderSource {
+        self.source
+    }
+
+    /// Codec.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Chunk playback duration in seconds.
+    pub fn chunk_duration(&self) -> f64 {
+        self.chunk_duration
+    }
+
+    /// Number of tracks.
+    pub fn n_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Number of chunks per track.
+    pub fn n_chunks(&self) -> usize {
+        self.tracks[0].n_chunks()
+    }
+
+    /// Total playback duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.n_chunks() as f64 * self.chunk_duration
+    }
+
+    /// Track accessor (0 = lowest).
+    pub fn track(&self, level: usize) -> &Track {
+        &self.tracks[level]
+    }
+
+    /// All tracks, lowest first.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Evaluation-only quality of chunk `chunk` at track `level`.
+    pub fn quality(&self, level: usize, chunk: usize) -> ChunkQuality {
+        self.quality[level][chunk]
+    }
+
+    /// The underlying scene-complexity process (evaluation-only).
+    pub fn complexity(&self) -> &SceneComplexity {
+        &self.complexity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderSource;
+
+    fn video() -> Video {
+        Video::synthesize(
+            "test",
+            Genre::SciFi,
+            300,
+            2.0,
+            &Ladder::ffmpeg_h264(),
+            &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 42),
+            42,
+        )
+    }
+
+    #[test]
+    fn dimensions_consistent() {
+        let v = video();
+        assert_eq!(v.n_tracks(), 6);
+        assert_eq!(v.n_chunks(), 300);
+        assert_eq!(v.duration_secs(), 600.0);
+        for t in v.tracks() {
+            assert_eq!(t.n_chunks(), 300);
+            assert_eq!(t.chunk_duration(), 2.0);
+        }
+    }
+
+    #[test]
+    fn track_bitrate_accessors_consistent() {
+        let v = video();
+        let t = v.track(3);
+        let i = 17;
+        assert_eq!(t.chunk_bits(i), t.chunk_bytes(i) as f64 * 8.0);
+        assert!((t.chunk_bitrate_bps(i) - t.chunk_bits(i) / 2.0).abs() < 1e-9);
+        assert_eq!(t.total_bytes(), t.chunk_sizes().iter().sum::<u64>());
+        assert_eq!(t.level(), 3);
+    }
+
+    #[test]
+    fn higher_tracks_are_bigger() {
+        let v = video();
+        for l in 1..v.n_tracks() {
+            assert!(v.track(l).total_bytes() > v.track(l - 1).total_bytes());
+            assert!(v.track(l).realized_avg_bps() > v.track(l - 1).realized_avg_bps());
+        }
+    }
+
+    #[test]
+    fn quality_increases_with_track_level() {
+        let v = video();
+        // For a typical chunk, each higher track should not lower quality.
+        for i in [0, 50, 150, 299] {
+            for l in 1..v.n_tracks() {
+                assert!(
+                    v.quality(l, i).vmaf_tv >= v.quality(l - 1, i).vmaf_tv - 1e-9,
+                    "chunk {i}, level {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q4_inversion_holds_per_track() {
+        // §3.1.2: within a track, the biggest (most complex) chunks have the
+        // lowest quality. Compare mean VMAF of top vs bottom size quartile.
+        let v = video();
+        for l in 2..v.n_tracks() {
+            let t = v.track(l);
+            let mut idx: Vec<usize> = (0..t.n_chunks()).collect();
+            idx.sort_by_key(|&i| t.chunk_bytes(i));
+            let q = t.n_chunks() / 4;
+            let small_mean: f64 = idx[..q]
+                .iter()
+                .map(|&i| v.quality(l, i).vmaf_tv)
+                .sum::<f64>()
+                / q as f64;
+            let big_mean: f64 = idx[idx.len() - q..]
+                .iter()
+                .map(|&i| v.quality(l, i).vmaf_tv)
+                .sum::<f64>()
+                / q as f64;
+            assert!(
+                small_mean > big_mean + 3.0,
+                "level {l}: small {small_mean} vs big {big_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_methods_sane() {
+        let v = video();
+        let t = v.track(4);
+        assert!(t.peak_bps() > t.realized_avg_bps());
+        assert!(t.peak_to_avg() > 1.0 && t.peak_to_avg() < 3.0);
+        assert!(t.bitrate_cov() > 0.1 && t.bitrate_cov() < 0.8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = video();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Video = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_track_rejected() {
+        let _ = Track::new(0, Resolution::P144, 1.0e5, 2.0, vec![]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Live VBR streaming — the paper's §8 future-work direction, runnable.
+//!
+//! Streams a VBR "broadcast" where chunks are produced in real time: the
+//! player joins with a small DVR window, can never buffer past the live
+//! edge, and CAVA's look-ahead only sees published chunks.
+//!
+//! ```sh
+//! cargo run --release --example live_streaming [head-start-chunks]
+//! ```
+
+use cava_suite::net::lte::{lte_trace, LteConfig};
+use cava_suite::prelude::*;
+
+fn main() {
+    let head_start: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let video = Dataset::ed_youtube_h264();
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let delta = manifest.chunk_duration();
+    let trace = lte_trace(21, &LteConfig::default());
+    println!(
+        "live broadcast: {} ({}s chunks), head start {head_start} chunks = {:.0}s DVR window",
+        video.name(),
+        delta,
+        head_start as f64 * delta
+    );
+    println!("trace {} (mean {:.2} Mbps)", trace.name(), trace.mean_bps() / 1e6);
+
+    let live = LiveConfig {
+        head_start_chunks: head_start,
+    };
+    let sim = Simulator::new(PlayerConfig {
+        live: Some(live),
+        startup_threshold_s: (head_start as f64 * delta).min(10.0),
+        ..PlayerConfig::default()
+    });
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "Q4 qual",
+        "all qual",
+        "rebuf (s)",
+        "qual chg",
+        "mean latency (s)",
+    ]);
+    let mut schemes: Vec<Box<dyn AbrAlgorithm>> = vec![
+        Box::new(Cava::paper_default()),
+        Box::new(Mpc::robust()),
+        Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+    ];
+    for algo in &mut schemes {
+        let session = sim.run(algo.as_mut(), &manifest, &trace);
+        let m = evaluate(&session, &video, &classification, &QoeConfig::lte());
+        let lat = session.estimated_live_latencies(head_start);
+        let lat_mean = lat.iter().sum::<f64>() / lat.len() as f64;
+        table.add_row(vec![
+            algo.name().to_string(),
+            format!("{:.1}", m.q4_quality_mean),
+            format!("{:.1}", m.all_quality_mean),
+            format!("{:.1}", m.rebuffer_s),
+            format!("{:.2}", m.avg_quality_change),
+            format!("{:.1}", lat_mean),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "the buffer can never exceed the live edge (~{:.0}s here), so the deep-buffer\n\
+         strategies of VoD have no room — CAVA clamps its target buffer to what is reachable",
+        head_start as f64 * delta
+    );
+}

@@ -1,0 +1,108 @@
+//! Sweep CAVA's key parameters and show the tradeoff frontier — the paper's
+//! §6.2 parameter study in miniature, plus an α (differential-treatment
+//! strength) sweep the paper describes in §5.3.
+//!
+//! ```sh
+//! cargo run --release --example live_tuning [n-traces]
+//! ```
+
+use cava_suite::net::lte::{lte_traces, LteConfig};
+use cava_suite::prelude::*;
+
+fn run_config(
+    config: CavaConfig,
+    video: &Video,
+    manifest: &Manifest,
+    classification: &Classification,
+    traces: &[Trace],
+) -> (f64, f64, f64) {
+    let sim = Simulator::paper_default();
+    let qoe = QoeConfig::lte();
+    let mut cava = Cava::new(config);
+    let mut q4 = 0.0;
+    let mut rebuf = 0.0;
+    let mut q13 = 0.0;
+    for trace in traces {
+        let session = sim.run(&mut cava, manifest, trace);
+        let m = evaluate(&session, video, classification, &qoe);
+        q4 += m.q4_quality_mean;
+        q13 += m.q13_quality_mean;
+        rebuf += m.rebuffer_s;
+    }
+    let n = traces.len() as f64;
+    (q4 / n, q13 / n, rebuf / n)
+}
+
+fn main() {
+    let n_traces: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let video = Dataset::ed_ffmpeg_h264();
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let traces = lte_traces(n_traces, 42, &LteConfig::default());
+    println!("{} over {} LTE traces", video.name(), traces.len());
+
+    // §6.2: inner window W.
+    let mut t1 = TextTable::new(vec!["W (s)", "Q4 quality", "Q1-3 quality", "rebuffer (s)"]);
+    for w in [2.0, 10.0, 40.0, 120.0] {
+        let cfg = CavaConfig {
+            inner_window_s: w,
+            ..CavaConfig::paper_default()
+        };
+        let (q4, q13, rebuf) = run_config(cfg, &video, &manifest, &classification, &traces);
+        t1.add_row(vec![
+            format!("{w:.0}"),
+            format!("{q4:.1}"),
+            format!("{q13:.1}"),
+            format!("{rebuf:.1}"),
+        ]);
+    }
+    println!("inner-controller window sweep (paper picks 40 s):");
+    print!("{t1}");
+
+    // §6.2: outer window W'.
+    let mut t2 = TextTable::new(vec!["W' (s)", "Q4 quality", "Q1-3 quality", "rebuffer (s)"]);
+    for w in [0.0, 100.0, 200.0, 400.0] {
+        let cfg = CavaConfig {
+            outer_window_s: w,
+            enable_proactive: w > 0.0,
+            ..CavaConfig::paper_default()
+        };
+        let (q4, q13, rebuf) = run_config(cfg, &video, &manifest, &classification, &traces);
+        t2.add_row(vec![
+            format!("{w:.0}"),
+            format!("{q4:.1}"),
+            format!("{q13:.1}"),
+            format!("{rebuf:.1}"),
+        ]);
+    }
+    println!("outer-controller window sweep (paper picks 200 s):");
+    print!("{t2}");
+
+    // §5.3: α contrast — the differential-treatment strength.
+    let mut t3 = TextTable::new(vec![
+        "alpha Q4 / Q1-3",
+        "Q4 quality",
+        "Q1-3 quality",
+        "rebuffer (s)",
+    ]);
+    for (a4, a13) in [(1.0, 1.0), (1.1, 0.9), (1.2, 0.8), (1.4, 0.7), (1.5, 0.6)] {
+        let cfg = CavaConfig {
+            alpha_q4: a4,
+            alpha_q13: a13,
+            ..CavaConfig::paper_default()
+        };
+        let (q4, q13, rebuf) = run_config(cfg, &video, &manifest, &classification, &traces);
+        t3.add_row(vec![
+            format!("{a4:.1} / {a13:.1}"),
+            format!("{q4:.1}"),
+            format!("{q13:.1}"),
+            format!("{rebuf:.1}"),
+        ]);
+    }
+    println!("differential-treatment strength sweep (§5.3 tradeoff):");
+    print!("{t3}");
+    println!("more inflation lifts Q4 quality at some cost to Q1-Q3 and stall risk");
+}

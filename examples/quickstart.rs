@@ -1,0 +1,56 @@
+//! Quickstart: stream one VBR video over one cellular trace with CAVA and
+//! print the paper's five QoE metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cava_suite::net::lte::{lte_trace, LteConfig};
+use cava_suite::prelude::*;
+
+fn main() {
+    // 1. A VBR video — Elephant Dream, FFmpeg pipeline, H.264, 2 s chunks,
+    //    six tracks from 144p to 1080p, 2x-capped (the paper's §2 recipe).
+    let video = Dataset::ed_ffmpeg_h264();
+    println!(
+        "video: {} — {} chunks x {}s, {} tracks",
+        video.name(),
+        video.n_chunks(),
+        video.chunk_duration(),
+        video.n_tracks()
+    );
+
+    // 2. A synthetic LTE drive trace (the paper replays 200 of these).
+    let trace = lte_trace(7, &LteConfig::default());
+    println!(
+        "trace: {} — {:.1} min, mean {:.2} Mbps",
+        trace.name(),
+        trace.duration_s() / 60.0,
+        trace.mean_bps() / 1e6
+    );
+
+    // 3. Stream it with CAVA. The algorithm only ever sees the manifest —
+    //    track metadata and chunk sizes — like a real DASH client.
+    let manifest = Manifest::from_video(&video);
+    let mut cava = Cava::paper_default();
+    let session = Simulator::paper_default().run(&mut cava, &manifest, &trace);
+
+    // 4. Evaluate with the paper's §6.1 metric set (VMAF phone model for
+    //    cellular viewing).
+    let classification = Classification::from_video(&video);
+    let m = evaluate(&session, &video, &classification, &QoeConfig::lte());
+
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    table.add_row(vec!["quality of Q4 chunks (VMAF)", &format!("{:.1}", m.q4_quality_mean)]);
+    table.add_row(vec!["quality of Q1-Q3 chunks", &format!("{:.1}", m.q13_quality_mean)]);
+    table.add_row(vec!["low-quality chunks", &format!("{:.1}%", m.low_quality_pct)]);
+    table.add_row(vec!["rebuffering", &format!("{:.1}s ({} events)", m.rebuffer_s, m.n_stalls)]);
+    table.add_row(vec!["startup delay", &format!("{:.1}s", m.startup_delay_s)]);
+    table.add_row(vec!["avg quality change/chunk", &format!("{:.2}", m.avg_quality_change)]);
+    table.add_row(vec![
+        "data usage",
+        &format!("{:.1} MB", m.data_usage_bytes as f64 / 1e6),
+    ]);
+    table.add_row(vec!["mean track level", &format!("{:.2}", m.mean_level)]);
+    print!("{table}");
+}

@@ -1,0 +1,91 @@
+//! Characterize a VBR encoding the way the paper's §2–§3 does: per-track
+//! bitrate statistics, size-quartile classification, SI/TI separation, and
+//! the quality-inversion finding (Q4 chunks have the most bits and the worst
+//! quality).
+//!
+//! ```sh
+//! cargo run --release --example vbr_inspector [video-name]
+//! ```
+
+use cava_suite::prelude::*;
+use cava_suite::report::stats;
+use cava_suite::video::classify::{cross_track_consistency, ChunkClass};
+
+fn main() {
+    let video_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ED-youtube-h264".to_string());
+    let video = Dataset::by_name(&video_name).unwrap_or_else(|| {
+        eprintln!("unknown video {video_name:?} — try e.g. ED-youtube-h264");
+        std::process::exit(1);
+    });
+    println!(
+        "{} — genre {}, codec {}, {} chunks x {}s",
+        video.name(),
+        video.genre().name(),
+        video.codec().name(),
+        video.n_chunks(),
+        video.chunk_duration()
+    );
+
+    // §2: per-track bitrate statistics.
+    let mut tracks = TextTable::new(vec![
+        "track", "res", "avg Mbps", "CoV", "peak/avg", "total MB",
+    ]);
+    for t in video.tracks() {
+        tracks.add_row(vec![
+            t.level().to_string(),
+            t.resolution().label(),
+            format!("{:.2}", t.realized_avg_bps() / 1e6),
+            format!("{:.2}", t.bitrate_cov()),
+            format!("{:.2}", t.peak_to_avg()),
+            format!("{:.1}", t.total_bytes() as f64 / 1e6),
+        ]);
+    }
+    print!("{tracks}");
+
+    // §3.1.1: classification and its content validity.
+    let classification = Classification::from_video(&video);
+    println!(
+        "classification from reference track {} — cross-track size consistency {:.3}",
+        classification.reference_track(),
+        cross_track_consistency(&video)
+    );
+
+    // §3.1.2: the quality inversion, per class, at the middle track.
+    let track = video.n_tracks() / 2;
+    let mut classes = TextTable::new(vec![
+        "class",
+        "n",
+        "mean size (KB)",
+        "mean SI",
+        "mean TI",
+        "median VMAF-TV",
+        "median VMAF-phone",
+    ]);
+    for class in ChunkClass::ALL {
+        let pos = classification.positions_of(class);
+        let sizes: Vec<f64> = pos
+            .iter()
+            .map(|&i| video.track(track).chunk_bytes(i) as f64 / 1e3)
+            .collect();
+        let si: Vec<f64> = pos.iter().map(|&i| video.complexity().si(i)).collect();
+        let ti: Vec<f64> = pos.iter().map(|&i| video.complexity().ti(i)).collect();
+        let tv: Vec<f64> = pos.iter().map(|&i| video.quality(track, i).vmaf_tv).collect();
+        let phone: Vec<f64> = pos
+            .iter()
+            .map(|&i| video.quality(track, i).vmaf_phone)
+            .collect();
+        classes.add_row(vec![
+            class.label().to_string(),
+            pos.len().to_string(),
+            format!("{:.0}", stats::mean(&sizes).unwrap_or(0.0)),
+            format!("{:.1}", stats::mean(&si).unwrap_or(0.0)),
+            format!("{:.1}", stats::mean(&ti).unwrap_or(0.0)),
+            format!("{:.1}", stats::median(&tv).unwrap_or(0.0)),
+            format!("{:.1}", stats::median(&phone).unwrap_or(0.0)),
+        ]);
+    }
+    print!("{classes}");
+    println!("note the inversion: Q4 chunks have the most bytes and the lowest quality (§3.1.2)");
+}

@@ -1,0 +1,60 @@
+//! # cava-suite — CAVA and its full evaluation substrate
+//!
+//! Umbrella crate re-exporting the whole workspace, a reproduction of
+//! *"ABR Streaming of VBR-encoded Videos: Characterization, Challenges, and
+//! Solutions"* (CoNEXT '18):
+//!
+//! * [`video`] ([`vbr_video`]) — VBR video substrate: scene complexity,
+//!   capped two-pass encoder model, perceptual quality model, chunk
+//!   classification, the paper's 16-video dataset.
+//! * [`net`] ([`net_trace`]) — bandwidth traces (LTE + FCC generators) and
+//!   predictors.
+//! * [`sim`] ([`abr_sim`]) — the trace-driven player simulator and QoE
+//!   metrics.
+//! * [`cava`] ([`cava_core`]) — the paper's contribution: the CAVA
+//!   control-theoretic rate-adaptation scheme.
+//! * [`baselines`] ([`abr_baselines`]) — RBA, BBA-1, MPC, RobustMPC,
+//!   PANDA/CQ, BOLA, BOLA-E.
+//! * [`report`] ([`sim_report`]) — statistics, CDFs, tables, charts, CSV.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cava_suite::prelude::*;
+//!
+//! // A VBR video, a cellular trace, the CAVA player.
+//! let video = Dataset::ed_ffmpeg_h264();
+//! let manifest = Manifest::from_video(&video);
+//! let trace = cava_suite::net::lte::lte_trace(7, &Default::default());
+//! let mut cava = Cava::paper_default();
+//! let session = Simulator::paper_default().run(&mut cava, &manifest, &trace);
+//!
+//! // Evaluate with the paper's §6.1 metrics.
+//! let classification = Classification::from_video(&video);
+//! let metrics = evaluate(&session, &video, &classification, &QoeConfig::lte());
+//! assert!(metrics.all_quality_mean > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `abr-bench`
+//! crate for the binaries regenerating every table and figure of the paper.
+
+pub use abr_baselines as baselines;
+pub use abr_sim as sim;
+pub use cava_core as cava;
+pub use net_trace as net;
+pub use sim_report as report;
+pub use vbr_video as video;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
+    pub use abr_sim::metrics::evaluate;
+    pub use abr_sim::{
+        AbrAlgorithm, DecisionContext, LiveConfig, PlayerConfig, QoeConfig, SessionResult,
+        Simulator, TcpConfig,
+    };
+    pub use cava_core::{Cava, CavaConfig};
+    pub use net_trace::{BandwidthPredictor, HarmonicMean, Trace};
+    pub use sim_report::{Cdf, Summary, TextTable};
+    pub use vbr_video::{Classification, Dataset, Genre, Ladder, Manifest, Video};
+}

@@ -1,0 +1,138 @@
+//! §2/§3 characterization claims, verified across the *entire* 16-video
+//! dataset (the per-module unit tests check single videos; this is the
+//! corpus-level statement the paper makes).
+
+use cava_suite::prelude::*;
+use cava_suite::video::classify::{cross_track_consistency, ChunkClass};
+use cava_suite::video::quality::VmafModel;
+
+#[test]
+fn section_2_bitrate_statistics_across_dataset() {
+    for video in Dataset::conext18() {
+        for track in video.tracks() {
+            let cov = track.bitrate_cov();
+            let ratio = track.peak_to_avg();
+            if track.level() >= 2 {
+                assert!(
+                    (0.2..=0.7).contains(&cov),
+                    "{} track {}: CoV {cov}",
+                    video.name(),
+                    track.level()
+                );
+                assert!(
+                    (1.1..=2.6).contains(&ratio),
+                    "{} track {}: peak/avg {ratio}",
+                    video.name(),
+                    track.level()
+                );
+            } else {
+                // The two lowest tracks have the lowest variability.
+                assert!(
+                    cov <= video.track(3).bitrate_cov() + 1e-9,
+                    "{} track {}: CoV {cov} above mid-track",
+                    video.name(),
+                    track.level()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn section_3_1_1_classification_consistency_across_dataset() {
+    // Property 2: chunk sizes are consistent across tracks for every video.
+    for video in Dataset::conext18() {
+        let min_corr = cross_track_consistency(&video);
+        assert!(
+            min_corr > 0.8,
+            "{}: min cross-track correlation {min_corr}",
+            video.name()
+        );
+    }
+}
+
+#[test]
+fn section_3_1_1_q4_marks_high_si_ti() {
+    // Property 1: Q4 chunks have clearly higher SI/TI than Q1, everywhere.
+    for video in Dataset::conext18() {
+        let c = Classification::from_video(&video);
+        let sc = video.complexity();
+        let mean_of = |class: ChunkClass, f: &dyn Fn(usize) -> f64| {
+            let pos = c.positions_of(class);
+            pos.iter().map(|&i| f(i)).sum::<f64>() / pos.len() as f64
+        };
+        let si_q1 = mean_of(ChunkClass::Q1, &|i| sc.si(i));
+        let si_q4 = mean_of(ChunkClass::Q4, &|i| sc.si(i));
+        let ti_q1 = mean_of(ChunkClass::Q1, &|i| sc.ti(i));
+        let ti_q4 = mean_of(ChunkClass::Q4, &|i| sc.ti(i));
+        assert!(si_q4 > si_q1 + 5.0, "{}: SI {si_q1} vs {si_q4}", video.name());
+        assert!(ti_q4 > ti_q1 + 2.0, "{}: TI {ti_q1} vs {ti_q4}", video.name());
+    }
+}
+
+#[test]
+fn section_3_1_2_quality_inversion_across_dataset() {
+    // Q4 chunks have the worst quality in the track, despite the most bits —
+    // for every video and every mid/high track, under both VMAF models.
+    for video in Dataset::conext18() {
+        let c = Classification::from_video(&video);
+        for level in 2..video.n_tracks() {
+            for model in [VmafModel::Tv, VmafModel::Phone] {
+                let mean_of = |class: ChunkClass| {
+                    let pos = c.positions_of(class);
+                    pos.iter()
+                        .map(|&i| video.quality(level, i).vmaf(model))
+                        .sum::<f64>()
+                        / pos.len() as f64
+                };
+                let q1 = mean_of(ChunkClass::Q1);
+                let q4 = mean_of(ChunkClass::Q4);
+                assert!(
+                    q4 < q1 - 2.0,
+                    "{} track {level} {model:?}: Q4 {q4} !< Q1 {q1}",
+                    video.name()
+                );
+                // And sizes go the other way.
+                let size_of = |class: ChunkClass| {
+                    let pos = c.positions_of(class);
+                    pos.iter()
+                        .map(|&i| video.track(level).chunk_bytes(i) as f64)
+                        .sum::<f64>()
+                        / pos.len() as f64
+                };
+                assert!(size_of(ChunkClass::Q4) > size_of(ChunkClass::Q1) * 1.5);
+            }
+        }
+    }
+}
+
+#[test]
+fn section_3_3_cap4x_narrows_but_keeps_the_gap() {
+    // The 4x cap improves Q4 quality relative to 2x, but Q4 stays below
+    // Q1-Q3 ("inherently very difficult to encode complex scenes").
+    let cap2 = Dataset::ed_ffmpeg_h264();
+    let cap4 = Dataset::ed_ffmpeg_h264_cap4();
+    let track = cap2.n_tracks() / 2;
+    let gap = |video: &Video| {
+        let c = Classification::from_video(video);
+        let mean_of = |class: ChunkClass| {
+            let pos = c.positions_of(class);
+            pos.iter()
+                .map(|&i| video.quality(track, i).vmaf_phone)
+                .sum::<f64>()
+                / pos.len() as f64
+        };
+        mean_of(ChunkClass::Q1) - mean_of(ChunkClass::Q4)
+    };
+    let gap2 = gap(&cap2);
+    let gap4 = gap(&cap4);
+    assert!(gap4 > 2.0, "4x cap gap must persist: {gap4}");
+    assert!(gap4 < gap2 + 1.0, "4x gap {gap4} should not exceed 2x gap {gap2}");
+}
+
+#[test]
+fn dataset_builds_are_reproducible() {
+    let a = Dataset::conext18();
+    let b = Dataset::conext18();
+    assert_eq!(a, b);
+}

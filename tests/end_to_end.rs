@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: full streaming sessions with every scheme
+//! on both chunk durations and both trace families, exercising the complete
+//! pipeline (dataset → manifest → simulator → metrics).
+
+use cava_suite::net::fcc::{fcc_trace, FccConfig};
+use cava_suite::net::lte::{lte_trace, LteConfig};
+use cava_suite::prelude::*;
+use cava_suite::video::quality::VmafModel;
+
+fn all_schemes(video: &Video) -> Vec<Box<dyn AbrAlgorithm>> {
+    vec![
+        Box::new(Cava::paper_default()),
+        Box::new(Cava::p1()),
+        Box::new(Cava::p12()),
+        Box::new(Mpc::mpc()),
+        Box::new(Mpc::robust()),
+        Box::new(PandaCq::max_sum(video, VmafModel::Phone)),
+        Box::new(PandaCq::max_min(video, VmafModel::Phone)),
+        Box::new(Rba::paper_default()),
+        Box::new(Bba1::paper_default()),
+        Box::new(Bola::bola()),
+        Box::new(Bola::bola_e(BolaBitrateView::Peak)),
+        Box::new(Bola::bola_e(BolaBitrateView::Average)),
+        Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+    ]
+}
+
+#[test]
+fn every_scheme_completes_every_video_kind() {
+    let sim = Simulator::paper_default();
+    let lte = lte_trace(5, &LteConfig::default());
+    let fcc = fcc_trace(5, &FccConfig::default());
+    for video in [
+        Dataset::ed_ffmpeg_h264(),           // 2 s chunks
+        Dataset::ed_youtube_h264(),          // 5 s chunks
+        Dataset::by_name("ED-ffmpeg-h265").expect("dataset"), // H.265
+    ] {
+        let manifest = Manifest::from_video(&video);
+        let classification = Classification::from_video(&video);
+        for mut algo in all_schemes(&video) {
+            for (trace, qoe) in [(&lte, QoeConfig::lte()), (&fcc, QoeConfig::fcc())] {
+                let session = sim.run(algo.as_mut(), &manifest, trace);
+                assert_eq!(
+                    session.n_chunks(),
+                    manifest.n_chunks(),
+                    "{} on {}",
+                    algo.name(),
+                    video.name()
+                );
+                session.validate().unwrap_or_else(|e| {
+                    panic!("{} on {}: {e}", algo.name(), video.name())
+                });
+                let m = evaluate(&session, &video, &classification, &qoe);
+                assert!(m.all_quality_mean > 0.0 && m.all_quality_mean <= 100.0);
+                assert!(m.rebuffer_s >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn sessions_are_deterministic_across_instances() {
+    let video = Dataset::ed_youtube_h264();
+    let manifest = Manifest::from_video(&video);
+    let trace = lte_trace(11, &LteConfig::default());
+    let sim = Simulator::paper_default();
+    for (a, b) in [
+        (
+            Box::new(Cava::paper_default()) as Box<dyn AbrAlgorithm>,
+            Box::new(Cava::paper_default()) as Box<dyn AbrAlgorithm>,
+        ),
+        (Box::new(Mpc::robust()), Box::new(Mpc::robust())),
+        (
+            Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+            Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+        ),
+    ] {
+        let mut a = a;
+        let mut b = b;
+        let ra = sim.run(a.as_mut(), &manifest, &trace);
+        let rb = sim.run(b.as_mut(), &manifest, &trace);
+        assert_eq!(ra, rb, "{}", a.name());
+    }
+}
+
+#[test]
+fn wall_time_identity_holds_for_every_scheme() {
+    // wall time == playback duration + startup + stalls, exactly.
+    let video = Dataset::ed_ffmpeg_h264();
+    let manifest = Manifest::from_video(&video);
+    let trace = lte_trace(3, &LteConfig::default());
+    let sim = Simulator::paper_default();
+    for mut algo in all_schemes(&video) {
+        let s = sim.run(algo.as_mut(), &manifest, &trace);
+        let expected = manifest.duration_secs() + s.startup_delay_s + s.total_stall_s;
+        assert!(
+            (s.wall_time_s - expected).abs() < 1e-6,
+            "{}: wall {} expected {expected}",
+            algo.name(),
+            s.wall_time_s
+        );
+    }
+}
+
+#[test]
+fn manifest_round_trip_preserves_decisions() {
+    // Serializing the manifest to JSON and back must not change what any
+    // manifest-driven scheme decides.
+    let video = Dataset::ed_youtube_h264();
+    let manifest = Manifest::from_video(&video);
+    let restored = Manifest::from_json(&manifest.to_json()).expect("round trip");
+    assert_eq!(manifest, restored);
+    let trace = lte_trace(9, &LteConfig::default());
+    let sim = Simulator::paper_default();
+    let mut cava1 = Cava::paper_default();
+    let mut cava2 = Cava::paper_default();
+    let a = sim.run(&mut cava1, &manifest, &trace);
+    let b = sim.run(&mut cava2, &restored, &trace);
+    assert_eq!(a.levels(), b.levels());
+}
+
+#[test]
+fn tiny_video_and_tiny_buffer_edge_cases() {
+    // A 4-chunk video with a buffer barely above one chunk must still
+    // complete under every scheme.
+    use cava_suite::video::encoder::{EncoderConfig, EncoderSource};
+    let video = Video::synthesize(
+        "tiny",
+        Genre::Animation,
+        4,
+        2.0,
+        &Ladder::ffmpeg_h264(),
+        &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 1),
+        1,
+    );
+    let manifest = Manifest::from_video(&video);
+    let sim = Simulator::new(PlayerConfig {
+        startup_threshold_s: 2.0,
+        max_buffer_s: 5.0,
+        ..PlayerConfig::default()
+    });
+    let trace = lte_trace(1, &LteConfig::default());
+    for mut algo in all_schemes(&video) {
+        let s = sim.run(algo.as_mut(), &manifest, &trace);
+        assert_eq!(s.n_chunks(), 4, "{}", algo.name());
+        assert!(s.validate().is_ok());
+    }
+}
+
+#[test]
+fn zero_bandwidth_outage_recovers() {
+    // A 3-minute total outage mid-stream: sessions stall but finish.
+    let video = Dataset::ed_youtube_h264();
+    let manifest = Manifest::from_video(&video);
+    let mut samples = vec![5.0e6; 120];
+    samples.extend(vec![0.0; 180]);
+    samples.extend(vec![5.0e6; 1200]);
+    let trace = Trace::new("blackout", 1.0, samples);
+    let sim = Simulator::paper_default();
+    for mut algo in all_schemes(&video) {
+        let s = sim.run(algo.as_mut(), &manifest, &trace);
+        assert_eq!(s.n_chunks(), manifest.n_chunks(), "{}", algo.name());
+        assert!(s.validate().is_ok(), "{}", algo.name());
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's headline empirical claims as (tolerant) regression tests.
+//! Each test cites the section it reproduces. These use a modest trace count
+//! for runtime; the full 200-trace numbers come from the `abr-bench`
+//! binaries.
+
+use cava_suite::net::lte::{lte_traces, LteConfig};
+use cava_suite::prelude::*;
+use cava_suite::sim::metrics::QoeMetrics;
+use cava_suite::video::quality::VmafModel;
+
+const N_TRACES: usize = 40;
+
+fn run_all(
+    algo: &mut dyn AbrAlgorithm,
+    video: &Video,
+    traces: &[Trace],
+) -> Vec<QoeMetrics> {
+    let manifest = Manifest::from_video(video);
+    let classification = Classification::from_video(video);
+    let sim = Simulator::paper_default();
+    let qoe = QoeConfig::lte();
+    traces
+        .iter()
+        .map(|t| evaluate(&sim.run(algo, &manifest, t), video, &classification, &qoe))
+        .collect()
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn section_6_3_cava_beats_robustmpc() {
+    // Table 1 / Fig. 8 shape: higher Q4 quality, (much) less rebuffering,
+    // lower quality change, data usage not higher.
+    let video = Dataset::ed_ffmpeg_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let cava = run_all(&mut Cava::paper_default(), &video, &traces);
+    let mpc = run_all(&mut Mpc::robust(), &video, &traces);
+    let q4_cava = mean(cava.iter().map(|m| m.q4_quality_mean));
+    let q4_mpc = mean(mpc.iter().map(|m| m.q4_quality_mean));
+    assert!(q4_cava > q4_mpc + 2.0, "Q4: CAVA {q4_cava} vs RobustMPC {q4_mpc}");
+    let reb_cava = mean(cava.iter().map(|m| m.rebuffer_s));
+    let reb_mpc = mean(mpc.iter().map(|m| m.rebuffer_s));
+    assert!(
+        reb_cava < reb_mpc * 0.5,
+        "rebuffer: CAVA {reb_cava} vs RobustMPC {reb_mpc}"
+    );
+    let chg_cava = mean(cava.iter().map(|m| m.avg_quality_change));
+    let chg_mpc = mean(mpc.iter().map(|m| m.avg_quality_change));
+    assert!(chg_cava < chg_mpc, "quality change: {chg_cava} vs {chg_mpc}");
+    let data_cava = mean(cava.iter().map(|m| m.data_usage_bytes as f64));
+    let data_mpc = mean(mpc.iter().map(|m| m.data_usage_bytes as f64));
+    assert!(data_cava < data_mpc * 1.05, "data: {data_cava} vs {data_mpc}");
+}
+
+#[test]
+fn section_6_3_cava_vs_panda_max_min() {
+    // PANDA/CQ max-min gets quality information CAVA doesn't, yet CAVA
+    // matches its Q4 quality (within noise) with far less rebuffering.
+    let video = Dataset::ed_ffmpeg_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let cava = run_all(&mut Cava::paper_default(), &video, &traces);
+    let panda = run_all(
+        &mut PandaCq::max_min(&video, VmafModel::Phone),
+        &video,
+        &traces,
+    );
+    let q4_cava = mean(cava.iter().map(|m| m.q4_quality_mean));
+    let q4_panda = mean(panda.iter().map(|m| m.q4_quality_mean));
+    assert!(q4_cava > q4_panda - 1.0, "Q4: {q4_cava} vs {q4_panda}");
+    let reb_cava = mean(cava.iter().map(|m| m.rebuffer_s));
+    let reb_panda = mean(panda.iter().map(|m| m.rebuffer_s));
+    assert!(reb_cava < reb_panda * 0.5, "rebuffer: {reb_cava} vs {reb_panda}");
+}
+
+#[test]
+fn section_4_myopic_schemes_invert_q4_quality() {
+    // §4/Fig. 4: under myopic schemes the gap between Q1-Q3 and Q4 quality
+    // is larger than under CAVA.
+    let video = Dataset::ed_youtube_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let cava = run_all(&mut Cava::paper_default(), &video, &traces);
+    for (name, sessions) in [
+        ("RBA", run_all(&mut Rba::paper_default(), &video, &traces)),
+        ("BBA-1", run_all(&mut Bba1::paper_default(), &video, &traces)),
+    ] {
+        let gap_myopic = mean(
+            sessions
+                .iter()
+                .map(|m| m.q13_quality_mean - m.q4_quality_mean),
+        );
+        let gap_cava = mean(cava.iter().map(|m| m.q13_quality_mean - m.q4_quality_mean));
+        assert!(
+            gap_myopic > gap_cava + 3.0,
+            "{name}: myopic gap {gap_myopic} vs CAVA gap {gap_cava}"
+        );
+    }
+}
+
+#[test]
+fn section_6_4_ablation_ordering() {
+    // Fig. 10: P2 lifts Q4 quality over P1; P3 does not hurt it.
+    let video = Dataset::ed_ffmpeg_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let p1 = run_all(&mut Cava::p1(), &video, &traces);
+    let p12 = run_all(&mut Cava::p12(), &video, &traces);
+    let p123 = run_all(&mut Cava::p123(), &video, &traces);
+    let q4 = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.q4_quality_mean));
+    assert!(q4(&p12) > q4(&p1) + 1.0, "p12 {} vs p1 {}", q4(&p12), q4(&p1));
+    assert!(q4(&p123) > q4(&p1) + 1.0, "p123 {} vs p1 {}", q4(&p123), q4(&p1));
+}
+
+#[test]
+fn section_6_7_cava_insensitive_to_prediction_error() {
+    // §6.7: CAVA's metrics at err = 50% stay close to err = 0; MPC degrades.
+    let video = Dataset::ed_ffmpeg_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let manifest = Manifest::from_video(&video);
+    let classification = Classification::from_video(&video);
+    let qoe = QoeConfig::lte();
+    let run_err = |algo: &mut dyn AbrAlgorithm, err: f64| -> (f64, f64) {
+        let sim = Simulator::new(PlayerConfig {
+            bandwidth_error: if err > 0.0 { Some((err, 99)) } else { None },
+            ..PlayerConfig::default()
+        });
+        let ms: Vec<QoeMetrics> = traces
+            .iter()
+            .map(|t| evaluate(&sim.run(algo, &manifest, t), &video, &classification, &qoe))
+            .collect();
+        (
+            mean(ms.iter().map(|m| m.q4_quality_mean)),
+            mean(ms.iter().map(|m| m.rebuffer_s)),
+        )
+    };
+    let (q4_0, reb_0) = run_err(&mut Cava::paper_default(), 0.0);
+    let (q4_50, reb_50) = run_err(&mut Cava::paper_default(), 0.5);
+    assert!(
+        (q4_0 - q4_50).abs() < 2.0,
+        "CAVA Q4 shifted too much: {q4_0} vs {q4_50}"
+    );
+    assert!(
+        reb_50 < reb_0 + 5.0,
+        "CAVA rebuffering blew up: {reb_0} vs {reb_50}"
+    );
+    // MPC loses more quality under noise than CAVA does (the reproducible
+    // part of the paper's MPC-degrades claim — see EXPERIMENTS.md for why
+    // the rebuffering blow-up does not appear in this substrate).
+    let (mpc_q4_0, _) = run_err(&mut Mpc::mpc(), 0.0);
+    let (mpc_q4_50, _) = run_err(&mut Mpc::mpc(), 0.5);
+    assert!(
+        (mpc_q4_0 - mpc_q4_50) > (q4_0 - q4_50) - 0.5,
+        "MPC should degrade at least as much as CAVA: MPC {mpc_q4_0}->{mpc_q4_50}, CAVA {q4_0}->{q4_50}"
+    );
+}
+
+#[test]
+fn section_6_8_bola_variant_ordering() {
+    // Fig. 11: peak view is the most conservative (lowest mean level), avg
+    // the most aggressive; seg oscillates the most among BOLA variants.
+    let video = Dataset::bbb_youtube_h264();
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let peak = run_all(&mut Bola::bola_e(BolaBitrateView::Peak), &video, &traces);
+    let avg = run_all(&mut Bola::bola_e(BolaBitrateView::Average), &video, &traces);
+    let seg = run_all(&mut Bola::bola_e(BolaBitrateView::Segment), &video, &traces);
+    let lvl = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.mean_level));
+    assert!(lvl(&peak) < lvl(&avg), "peak {} vs avg {}", lvl(&peak), lvl(&avg));
+    // CAVA beats BOLA-E (seg) on Q4 quality (Table 2 shape).
+    let cava = run_all(&mut Cava::paper_default(), &video, &traces);
+    let q4 = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.q4_quality_mean));
+    assert!(q4(&cava) > q4(&seg), "CAVA {} vs BOLA-E seg {}", q4(&cava), q4(&seg));
+}
+
+#[test]
+fn section_6_5_h265_outperforms_h264() {
+    // §6.5: for each video, performance under H.265 beats H.264 (lower
+    // bitrate requirement) — check CAVA's overall quality and rebuffering.
+    let traces = lte_traces(N_TRACES, 42, &LteConfig::default());
+    let v264 = Dataset::by_name("BBB-ffmpeg-h264").expect("dataset");
+    let v265 = Dataset::by_name("BBB-ffmpeg-h265").expect("dataset");
+    let r264 = run_all(&mut Cava::paper_default(), &v264, &traces);
+    let r265 = run_all(&mut Cava::paper_default(), &v265, &traces);
+    let q = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.all_quality_mean));
+    assert!(q(&r265) > q(&r264), "H.265 {} vs H.264 {}", q(&r265), q(&r264));
+}

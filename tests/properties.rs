@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! substrates and of CAVA.
+
+use cava_suite::prelude::*;
+use cava_suite::video::encoder::{EncoderConfig, EncoderSource};
+use cava_suite::video::quality::QualityModel;
+use cava_suite::video::{Codec, Resolution};
+use proptest::prelude::*;
+
+/// A random but valid bandwidth trace: 60–400 per-second samples in
+/// 0–20 Mbps with at least one positive sample.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(0.0f64..20.0e6, 60..400),
+        1.0e5f64..20.0e6,
+    )
+        .prop_map(|(mut samples, guarantee)| {
+            // Ensure the trace is alive.
+            samples[0] = guarantee;
+            Trace::new("prop", 1.0, samples)
+        })
+}
+
+fn arb_video() -> impl Strategy<Value = Video> {
+    (
+        10usize..80,
+        prop_oneof![Just(2.0f64), Just(5.0)],
+        0u64..1000,
+        prop_oneof![
+            Just(Genre::Animation),
+            Just(Genre::SciFi),
+            Just(Genre::Sports),
+            Just(Genre::Action)
+        ],
+    )
+        .prop_map(|(n_chunks, delta, seed, genre)| {
+            Video::synthesize(
+                format!("prop-{seed}"),
+                genre,
+                n_chunks,
+                delta,
+                &Ladder::ffmpeg_h264(),
+                &EncoderConfig::capped_2x(EncoderSource::FFmpeg, seed),
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_invariants_hold_for_cava(video in arb_video(), trace in arb_trace()) {
+        let manifest = Manifest::from_video(&video);
+        let mut cava = Cava::paper_default();
+        let session = Simulator::paper_default().run(&mut cava, &manifest, &trace);
+        // Structural validity.
+        prop_assert!(session.validate().is_ok());
+        prop_assert_eq!(session.n_chunks(), manifest.n_chunks());
+        // Buffer never above the cap.
+        for r in &session.records {
+            prop_assert!(r.buffer_after_s <= 100.0 + 1e-9);
+        }
+        // Bytes conservation: the session's bytes are exactly the manifest's
+        // bytes for the chosen levels.
+        let expected: u64 = session
+            .records
+            .iter()
+            .map(|r| manifest.chunk_bytes(r.level, r.index))
+            .sum();
+        prop_assert_eq!(session.total_bytes(), expected);
+        // Wall-time identity.
+        let identity = manifest.duration_secs() + session.startup_delay_s + session.total_stall_s;
+        prop_assert!((session.wall_time_s - identity).abs() < 1e-6);
+    }
+
+    #[test]
+    fn download_time_is_additive(trace in arb_trace(), bytes in 1u64..50_000_000, start in 0.0f64..500.0) {
+        // Downloading a+b bytes takes exactly as long as a then b.
+        let a = bytes / 3;
+        let b = bytes - a;
+        let t_whole = trace.download_time(bytes, start);
+        let t_a = trace.download_time(a, start);
+        let t_b = trace.download_time(b, start + t_a);
+        prop_assert!((t_whole - (t_a + t_b)).abs() < 1e-6,
+            "whole {t_whole} vs split {}", t_a + t_b);
+    }
+
+    #[test]
+    fn download_time_monotone_in_bytes(trace in arb_trace(), bytes in 1u64..20_000_000) {
+        let t1 = trace.download_time(bytes, 0.0);
+        let t2 = trace.download_time(bytes + 1_000_000, 0.0);
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn classification_balanced_and_stable(video in arb_video()) {
+        let c = Classification::from_video(&video);
+        let counts = c.counts();
+        let n = video.n_chunks();
+        // Equal-frequency classes, as balanced as ties allow.
+        for count in counts {
+            prop_assert!(count >= n / 4 - 1 && count <= n / 4 + 2, "{counts:?} for n={n}");
+        }
+        // Recomputing from the manifest gives the same classes.
+        let m = Manifest::from_video(&video);
+        prop_assert_eq!(c, Classification::from_manifest(&m));
+    }
+
+    #[test]
+    fn quality_model_monotone(
+        kbps_lo in 100.0f64..2_000.0,
+        extra in 1.0f64..4_000.0,
+        complexity in 0.2f64..4.0,
+    ) {
+        let model = QualityModel::new(Codec::H264);
+        let q_lo = model.chunk_quality(Resolution::P480, kbps_lo * 1e3, complexity);
+        let q_hi = model.chunk_quality(Resolution::P480, (kbps_lo + extra) * 1e3, complexity);
+        prop_assert!(q_hi.vmaf_tv >= q_lo.vmaf_tv);
+        prop_assert!(q_hi.vmaf_phone >= q_lo.vmaf_phone);
+        prop_assert!(q_hi.psnr >= q_lo.psnr);
+        prop_assert!(q_hi.ssim >= q_lo.ssim);
+    }
+
+    #[test]
+    fn quality_model_anti_monotone_in_complexity(
+        kbps in 200.0f64..5_000.0,
+        c_lo in 0.2f64..1.5,
+        c_extra in 0.1f64..2.0,
+    ) {
+        let model = QualityModel::new(Codec::H264);
+        let q_simple = model.chunk_quality(Resolution::P480, kbps * 1e3, c_lo);
+        let q_complex = model.chunk_quality(Resolution::P480, kbps * 1e3, c_lo + c_extra);
+        prop_assert!(q_complex.vmaf_tv <= q_simple.vmaf_tv);
+        prop_assert!(q_complex.vmaf_phone <= q_simple.vmaf_phone);
+    }
+
+    #[test]
+    fn encoder_respects_budget_and_bounds(video in arb_video()) {
+        for t in video.tracks() {
+            let declared = t.declared_avg_bps();
+            let realized = t.realized_avg_bps();
+            prop_assert!((realized / declared - 1.0).abs() < 0.10,
+                "track {}: realized {realized} declared {declared}", t.level());
+            // Floor and (generous) cap bounds per chunk.
+            for i in 0..t.n_chunks() {
+                let r = t.chunk_bitrate_bps(i);
+                prop_assert!(r >= declared * 0.2, "chunk {i} under floor");
+                prop_assert!(r <= declared * 2.6, "chunk {i} over cap");
+            }
+        }
+    }
+
+    #[test]
+    fn cava_returns_valid_levels_under_any_config(
+        video in arb_video(),
+        trace in arb_trace(),
+        w in 4.0f64..200.0,
+        w_outer in 0.0f64..400.0,
+        a4 in 1.0f64..1.5,
+        a13 in 0.6f64..1.0,
+    ) {
+        let config = CavaConfig {
+            inner_window_s: w,
+            outer_window_s: w_outer,
+            enable_proactive: w_outer > 0.0,
+            alpha_q4: a4,
+            alpha_q13: a13,
+            ..CavaConfig::paper_default()
+        };
+        let manifest = Manifest::from_video(&video);
+        let mut cava = Cava::new(config);
+        let session = Simulator::paper_default().run(&mut cava, &manifest, &trace);
+        prop_assert!(session.validate().is_ok());
+        for r in &session.records {
+            prop_assert!(r.level < manifest.n_tracks());
+        }
+    }
+
+    #[test]
+    fn cdf_quantiles_bounded_by_extremes(values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
+        let cdf = Cdf::new(&values).expect("non-NaN");
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let q = cdf.quantile(p);
+            prop_assert!(q >= cdf.min() - 1e-9 && q <= cdf.max() + 1e-9);
+        }
+        prop_assert_eq!(cdf.fraction_at(cdf.max()), 1.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mpd_round_trip_for_random_videos(video in arb_video()) {
+        use cava_suite::video::mpd::{from_mpd_xml, to_mpd_xml};
+        let manifest = Manifest::from_video(&video);
+        let parsed = from_mpd_xml(&to_mpd_xml(&manifest)).expect("round trip");
+        prop_assert_eq!(parsed.n_tracks(), manifest.n_tracks());
+        prop_assert_eq!(parsed.n_chunks(), manifest.n_chunks());
+        prop_assert!((parsed.chunk_duration() - manifest.chunk_duration()).abs() < 1e-9);
+        for l in 0..manifest.n_tracks() {
+            prop_assert_eq!(parsed.track(l).chunk_bytes(), manifest.track(l).chunk_bytes());
+        }
+        // The client-side classification — CAVA's input — survives exactly.
+        prop_assert_eq!(
+            Classification::from_manifest(&parsed),
+            Classification::from_manifest(&manifest)
+        );
+    }
+
+    #[test]
+    fn live_sessions_respect_the_edge(
+        video in arb_video(),
+        trace in arb_trace(),
+        head_start in 1usize..8,
+    ) {
+        let manifest = Manifest::from_video(&video);
+        let delta = manifest.chunk_duration();
+        let live = LiveConfig { head_start_chunks: head_start };
+        let sim = Simulator::new(PlayerConfig {
+            live: Some(live),
+            startup_threshold_s: (head_start as f64 * delta).min(10.0),
+            ..PlayerConfig::default()
+        });
+        let mut cava = Cava::paper_default();
+        let session = sim.run(&mut cava, &manifest, &trace);
+        prop_assert!(session.validate().is_ok());
+        for r in &session.records {
+            // Never requested before production.
+            let avail = live.available_at(r.index, delta);
+            prop_assert!(r.request_time_s >= avail - 1e-9,
+                "chunk {} at {} before {avail}", r.index, r.request_time_s);
+        }
+        // Latencies are finite and non-negative.
+        for lat in session.estimated_live_latencies(head_start) {
+            prop_assert!(lat.is_finite() && lat >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn tcp_never_speeds_up_a_single_download(
+        trace in arb_trace(),
+        bytes in 1u64..20_000_000,
+        start in 0.0f64..200.0,
+    ) {
+        // For the *same* start instant, the slow-start ramp can only delay
+        // completion: each RTT round delivers at most the link capacity of
+        // that window. (Whole sessions are not comparable chunk-by-chunk —
+        // TCP shifts later chunks into different trace regions.)
+        let tcp = TcpConfig::default();
+        let (ss_bytes, ss_secs) = tcp.slow_start_over_trace(bytes, &trace, start);
+        prop_assert!(ss_bytes <= bytes);
+        let t_tcp = ss_secs + trace.download_time(bytes - ss_bytes, start + ss_secs);
+        let t_plain = trace.download_time(bytes, start);
+        prop_assert!(t_tcp >= t_plain - 1e-6,
+            "tcp {t_tcp} < plain {t_plain} for {bytes} bytes at {start}");
+    }
+
+    #[test]
+    fn trace_transforms_preserve_invariants(trace in arb_trace(), factor in 0.1f64..5.0) {
+        let scaled = trace.scaled(factor);
+        prop_assert!((scaled.mean_bps() - trace.mean_bps() * factor).abs() < 1.0);
+        let rotated = trace.rotated(trace.duration_s() / 3.0);
+        prop_assert!((rotated.mean_bps() - trace.mean_bps()).abs() < 1e-6);
+        let resampled = trace.resampled(trace.interval_s() * 2.0);
+        // Bit conservation over the resampled duration.
+        let d = resampled.duration_s();
+        prop_assert!((resampled.bits_in_window(0.0, d) - trace.bits_in_window(0.0, d)).abs() < 10.0);
+    }
+}
