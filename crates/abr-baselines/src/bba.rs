@@ -64,7 +64,8 @@ impl Bba1 {
         } else if x >= self.config.cushion_s {
             max_size
         } else {
-            let f = (x - self.config.reservoir_s) / (self.config.cushion_s - self.config.reservoir_s);
+            let f =
+                (x - self.config.reservoir_s) / (self.config.cushion_s - self.config.reservoir_s);
             min_size + f * (max_size - min_size)
         }
     }

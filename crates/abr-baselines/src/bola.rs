@@ -182,7 +182,12 @@ impl AbrAlgorithm for Bola {
             return level;
         }
 
-        let q_effective = ctx.buffer_s + if self.config.enhanced { self.placeholder_s } else { 0.0 };
+        let q_effective = ctx.buffer_s
+            + if self.config.enhanced {
+                self.placeholder_s
+            } else {
+                0.0
+            };
         // Placeholder drains as the real buffer grows (dash.js keeps the sum
         // from exceeding the buffer target).
         if self.config.enhanced {
@@ -192,7 +197,12 @@ impl AbrAlgorithm for Bola {
                 self.placeholder_s = (buffer_target - ctx.buffer_s).max(0.0);
             }
         }
-        let q = ctx.buffer_s + if self.config.enhanced { self.placeholder_s } else { 0.0 };
+        let q = ctx.buffer_s
+            + if self.config.enhanced {
+                self.placeholder_s
+            } else {
+                0.0
+            };
 
         let mut best = 0usize;
         let mut best_score = f64::NEG_INFINITY;
@@ -271,7 +281,10 @@ mod tests {
     fn empty_buffer_picks_lowest() {
         let m = Manifest::from_video(&Dataset::bbb_youtube_h264());
         let mut bola = Bola::bola();
-        assert_eq!(bola.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, true)), 0);
+        assert_eq!(
+            bola.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, true)),
+            0
+        );
     }
 
     #[test]
@@ -322,7 +335,10 @@ mod tests {
         assert_eq!(l, 4);
         // Plain BOLA in the same state is stuck at the bottom.
         let mut plain = Bola::bola();
-        assert_eq!(plain.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, false)), 0);
+        assert_eq!(
+            plain.choose_level(&ctx_with(&m, 0.0, 3.0e6, 0, None, false)),
+            0
+        );
     }
 
     #[test]
@@ -364,7 +380,13 @@ mod tests {
     fn names() {
         assert_eq!(Bola::bola().name(), "BOLA");
         assert_eq!(Bola::bola_e(BolaBitrateView::Peak).name(), "BOLA-E (peak)");
-        assert_eq!(Bola::bola_e(BolaBitrateView::Average).name(), "BOLA-E (avg)");
-        assert_eq!(Bola::bola_e(BolaBitrateView::Segment).name(), "BOLA-E (seg)");
+        assert_eq!(
+            Bola::bola_e(BolaBitrateView::Average).name(),
+            "BOLA-E (avg)"
+        );
+        assert_eq!(
+            Bola::bola_e(BolaBitrateView::Segment).name(),
+            "BOLA-E (seg)"
+        );
     }
 }

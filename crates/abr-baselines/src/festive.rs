@@ -152,7 +152,11 @@ mod tests {
         // At level 3 with plenty of bandwidth: needs 4 consecutive
         // target>current decisions before stepping to 4.
         for i in 0..3 {
-            assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, i, Some(3))), 3, "step {i}");
+            assert_eq!(
+                f.choose_level(&ctx_with(&m, 50.0e6, i, Some(3))),
+                3,
+                "step {i}"
+            );
         }
         assert_eq!(f.choose_level(&ctx_with(&m, 50.0e6, 3, Some(3))), 4);
     }

@@ -40,8 +40,8 @@ pub mod bba;
 pub mod bola;
 pub mod festive;
 pub mod mpc;
-pub mod panda_cq;
 pub mod oracle;
+pub mod panda_cq;
 pub mod pia;
 pub mod rba;
 pub mod util;
@@ -50,7 +50,7 @@ pub use bba::{Bba1, Bba1Config};
 pub use bola::{Bola, BolaBitrateView, BolaConfig};
 pub use festive::{Festive, FestiveConfig};
 pub use mpc::{Mpc, MpcConfig};
-pub use panda_cq::{PandaCq, PandaCqConfig, PandaCqObjective};
 pub use oracle::{OfflineOptConfig, OfflineOptimal};
+pub use panda_cq::{PandaCq, PandaCqConfig, PandaCqObjective};
 pub use pia::{Pia, PiaConfig};
 pub use rba::{Rba, RbaConfig};

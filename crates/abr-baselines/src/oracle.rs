@@ -76,7 +76,10 @@ impl OfflineOptimal {
         let manifest = Manifest::from_video(video);
         let n = manifest.n_chunks();
         let levels = manifest.n_tracks();
-        assert!(levels <= 8, "download-time cache is sized for ladders of up to 8 tracks");
+        assert!(
+            levels <= 8,
+            "download-time cache is sized for ladders of up to 8 tracks"
+        );
         let delta = manifest.chunk_duration();
         let quantum = config.buffer_quantum_s;
         let max_buffer = player.max_buffer_s;
@@ -89,12 +92,15 @@ impl OfflineOptimal {
 
         // Quality table under the chosen model.
         let quality: Vec<Vec<f64>> = (0..levels)
-            .map(|l| (0..n).map(|i| video.quality(l, i).vmaf(config.model)).collect())
+            .map(|l| {
+                (0..n)
+                    .map(|i| video.quality(l, i).vmaf(config.model))
+                    .collect()
+            })
             .collect();
 
         // ---- Startup: lowest track, back-to-back, until playable. ----
-        let startup_chunks = ((player.startup_threshold_s / delta).ceil() as usize)
-            .clamp(1, n);
+        let startup_chunks = ((player.startup_threshold_s / delta).ceil() as usize).clamp(1, n);
         let mut t0 = 0.0;
         for i in 0..startup_chunks {
             t0 += trace.download_time(manifest.chunk_bytes(0, i), t0);
@@ -195,7 +201,11 @@ impl OfflineOptimal {
             let level = choice[k][state];
             plan[i] = if level == u8::MAX { 0 } else { level };
             let p = parent[k][state];
-            state = if p == u32::MAX { start_state } else { p as usize };
+            state = if p == u32::MAX {
+                start_state
+            } else {
+                p as usize
+            };
         }
         // Startup chunks at the lowest track.
         for p in plan.iter_mut().take(startup_chunks) {
@@ -283,7 +293,11 @@ mod tests {
         let session = Simulator::new(player).run(&mut opt, &manifest, &trace);
         assert_eq!(session.total_stall_s, 0.0, "flat link must be stall-free");
         // And it should stream well above the bottom track.
-        assert!(session.mean_level() > 2.0, "mean level {}", session.mean_level());
+        assert!(
+            session.mean_level() > 2.0,
+            "mean level {}",
+            session.mean_level()
+        );
     }
 
     #[test]
@@ -363,7 +377,10 @@ mod tests {
                 ..OfflineOptConfig::default()
             };
             let opt = OfflineOptimal::plan(&video, &trace, &player, &cfg);
-            opt.plan_levels().windows(2).filter(|w| w[0] != w[1]).count()
+            opt.plan_levels()
+                .windows(2)
+                .filter(|w| w[0] != w[1])
+                .count()
         };
         assert!(
             switches(4.0) <= switches(0.0),

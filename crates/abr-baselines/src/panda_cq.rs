@@ -91,12 +91,22 @@ impl PandaCq {
 
     /// Paper-default max-sum variant.
     pub fn max_sum(video: &Video, model: VmafModel) -> PandaCq {
-        PandaCq::from_video(video, model, PandaCqObjective::MaxSum, PandaCqConfig::default())
+        PandaCq::from_video(
+            video,
+            model,
+            PandaCqObjective::MaxSum,
+            PandaCqConfig::default(),
+        )
     }
 
     /// Paper-default max-min variant.
     pub fn max_min(video: &Video, model: VmafModel) -> PandaCq {
-        PandaCq::from_video(video, model, PandaCqObjective::MaxMin, PandaCqConfig::default())
+        PandaCq::from_video(
+            video,
+            model,
+            PandaCqObjective::MaxMin,
+            PandaCqConfig::default(),
+        )
     }
 }
 
@@ -176,7 +186,12 @@ mod tests {
     use super::*;
     use vbr_video::{Dataset, Manifest};
 
-    fn ctx_with<'a>(manifest: &'a Manifest, buffer_s: f64, bw: f64, i: usize) -> DecisionContext<'a> {
+    fn ctx_with<'a>(
+        manifest: &'a Manifest,
+        buffer_s: f64,
+        bw: f64,
+        i: usize,
+    ) -> DecisionContext<'a> {
         DecisionContext {
             manifest,
             chunk_index: i,
@@ -195,7 +210,10 @@ mod tests {
         let video = Dataset::ed_youtube_h264();
         let m = Manifest::from_video(&video);
         let mut cq = PandaCq::max_sum(&video, VmafModel::Phone);
-        assert_eq!(cq.choose_level(&ctx_with(&m, 60.0, 1.0e9, 0)), m.top_level());
+        assert_eq!(
+            cq.choose_level(&ctx_with(&m, 60.0, 1.0e9, 0)),
+            m.top_level()
+        );
     }
 
     #[test]

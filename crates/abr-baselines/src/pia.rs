@@ -87,15 +87,13 @@ impl AbrAlgorithm for Pia {
         let dt = (ctx.wall_time_s - self.last_wall_time_s).clamp(0.0, 30.0);
         self.last_wall_time_s = ctx.wall_time_s;
         let error = cfg.target_buffer_s - ctx.buffer_s;
-        self.integral =
-            (self.integral + error * dt).clamp(-cfg.integral_limit, cfg.integral_limit);
+        self.integral = (self.integral + error * dt).clamp(-cfg.integral_limit, cfg.integral_limit);
         let indicator = if ctx.buffer_s >= ctx.manifest.chunk_duration() {
             1.0
         } else {
             0.0
         };
-        let u = (cfg.kp * error + cfg.ki * self.integral + indicator)
-            .clamp(cfg.u_min, cfg.u_max);
+        let u = (cfg.kp * error + cfg.ki * self.integral + indicator).clamp(cfg.u_min, cfg.u_max);
 
         // CBR assumption: the track *is* its declared average bitrate.
         let target_rate = ctx.bandwidth_or_conservative() / u;

@@ -99,15 +99,7 @@ mod tests {
     #[test]
     fn horizon_sim_no_stall() {
         // 2 chunks of 4e6 bits at 4 Mbps = 1s each; buffer 10s, Δ=2s.
-        let (buf, reb) = simulate_horizon(
-            &[0, 0],
-            0,
-            100,
-            10.0,
-            2.0,
-            4.0e6,
-            &|_l, _i| 4.0e6,
-        );
+        let (buf, reb) = simulate_horizon(&[0, 0], 0, 100, 10.0, 2.0, 4.0e6, &|_l, _i| 4.0e6);
         assert_eq!(reb, 0.0);
         assert!((buf - 12.0).abs() < 1e-12); // 10 - 1 + 2 - 1 + 2
     }

@@ -122,7 +122,10 @@ mod tests {
             startup_complete: false,
             visible_chunks: manifest.n_chunks(),
         };
-        assert_eq!(ctx.bandwidth_or_conservative(), manifest.declared_bitrate(0));
+        assert_eq!(
+            ctx.bandwidth_or_conservative(),
+            manifest.declared_bitrate(0)
+        );
         assert_eq!(ctx.chunks_remaining(), manifest.n_chunks() - 10);
         let ctx2 = DecisionContext {
             estimated_bandwidth_bps: Some(5.0e6),

@@ -194,7 +194,11 @@ pub fn evaluate(
         .filter(|&&q| q >= config.good_quality_threshold)
         .count();
     let quality_change = if n > 1 {
-        qualities.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1) as f64
+        qualities
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (n - 1) as f64
     } else {
         0.0
     };
@@ -257,8 +261,7 @@ mod tests {
         // Weighted mean of Q4 and Q1-Q3 must equal the overall mean.
         let n4 = c.counts()[3] as f64;
         let n13 = video.n_chunks() as f64 - n4;
-        let combined = (m.q4_quality_mean * n4 + m.q13_quality_mean * n13)
-            / (n4 + n13);
+        let combined = (m.q4_quality_mean * n4 + m.q13_quality_mean * n13) / (n4 + n13);
         assert!((combined - m.all_quality_mean).abs() < 1e-9);
         assert!((0.0..=100.0).contains(&m.low_quality_pct));
         assert!((0.0..=100.0).contains(&m.q4_good_pct));
@@ -340,8 +343,18 @@ mod tests {
         let sim = Simulator::paper_default();
         let mut lo = FixedLevel::new(1);
         let mut hi = FixedLevel::new(4);
-        let m_lo = evaluate(&sim.run(&mut lo, &manifest, &trace), &video, &c, &QoeConfig::lte());
-        let m_hi = evaluate(&sim.run(&mut hi, &manifest, &trace), &video, &c, &QoeConfig::lte());
+        let m_lo = evaluate(
+            &sim.run(&mut lo, &manifest, &trace),
+            &video,
+            &c,
+            &QoeConfig::lte(),
+        );
+        let m_hi = evaluate(
+            &sim.run(&mut hi, &manifest, &trace),
+            &video,
+            &c,
+            &QoeConfig::lte(),
+        );
         assert!(m_hi.all_quality_mean > m_lo.all_quality_mean);
         assert!(m_hi.data_usage_bytes > m_lo.data_usage_bytes);
         assert!(m_hi.avg_bitrate_bps > m_lo.avg_bitrate_bps);

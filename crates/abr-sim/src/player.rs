@@ -190,13 +190,19 @@ impl PlayerConfig {
     /// Panics on non-positive thresholds, a startup threshold above the max
     /// buffer, or an error fraction outside `[0, 1)`.
     pub fn validate(&self) {
-        assert!(self.startup_threshold_s > 0.0, "startup threshold must be positive");
+        assert!(
+            self.startup_threshold_s > 0.0,
+            "startup threshold must be positive"
+        );
         assert!(self.max_buffer_s > 0.0, "max buffer must be positive");
         assert!(
             self.startup_threshold_s <= self.max_buffer_s,
             "startup threshold cannot exceed max buffer"
         );
-        assert!(self.predictor_window > 0, "predictor window must be positive");
+        assert!(
+            self.predictor_window > 0,
+            "predictor window must be positive"
+        );
         assert!(self.request_rtt_s >= 0.0, "RTT cannot be negative");
         if let Some((err, _)) = self.bandwidth_error {
             assert!((0.0..1.0).contains(&err), "error fraction must be in [0,1)");
@@ -206,7 +212,10 @@ impl PlayerConfig {
         }
         if let Some(tcp) = self.tcp {
             assert!(tcp.rtt_s > 0.0, "TCP RTT must be positive");
-            assert!(tcp.init_window_bytes > 0.0, "initial window must be positive");
+            assert!(
+                tcp.init_window_bytes > 0.0,
+                "initial window must be positive"
+            );
         }
         if let Some(h) = self.oracle_horizon_s {
             assert!(h > 0.0, "oracle horizon must be positive");
@@ -357,9 +366,7 @@ impl Simulator {
                         + ss_secs
                         + trace.download_time(bytes - ss_bytes, request_start + ss_secs)
                 }
-                None => {
-                    self.config.request_rtt_s + trace.download_time(bytes, request_start)
-                }
+                None => self.config.request_rtt_s + trace.download_time(bytes, request_start),
             };
             debug_assert!(download_secs > 0.0 || bytes == 0);
 
@@ -668,7 +675,11 @@ mod tests {
         let mut probe = Probe { seen: Vec::new() };
         let _ = sim.run(&mut probe, &m, &flat_trace(100.0));
         // Early decisions must not see the whole video.
-        assert!(probe.seen[0] < m.n_chunks() / 2, "first saw {}", probe.seen[0]);
+        assert!(
+            probe.seen[0] < m.n_chunks() / 2,
+            "first saw {}",
+            probe.seen[0]
+        );
         // Visibility is monotone non-decreasing.
         for w in probe.seen.windows(2) {
             assert!(w[1] >= w[0]);

@@ -100,7 +100,10 @@ impl SessionResult {
             let completion = r.request_time_s + r.download_secs;
             // Buffer right after append is recorded; before the append it
             // was Δ lower.
-            points.push((completion, (r.buffer_after_s - self.chunk_duration_s).max(0.0)));
+            points.push((
+                completion,
+                (r.buffer_after_s - self.chunk_duration_s).max(0.0),
+            ));
             points.push((completion, r.buffer_after_s));
         }
         points
@@ -121,8 +124,8 @@ impl SessionResult {
         self.records
             .iter()
             .map(|r| {
-                let play_start = r.request_time_s + r.download_secs
-                    + (r.buffer_after_s - delta).max(0.0);
+                let play_start =
+                    r.request_time_s + r.download_secs + (r.buffer_after_s - delta).max(0.0);
                 head_start_chunks as f64 * delta + play_start - r.index as f64 * delta
             })
             .collect()
@@ -140,7 +143,10 @@ impl SessionResult {
                 return Err(format!("record {i} has negative time field: {r:?}"));
             }
             if !r.throughput_bps.is_finite() || r.throughput_bps <= 0.0 {
-                return Err(format!("record {i} has bad throughput {}", r.throughput_bps));
+                return Err(format!(
+                    "record {i} has bad throughput {}",
+                    r.throughput_bps
+                ));
             }
         }
         let stall_sum: f64 = self.records.iter().map(|r| r.stall_s).sum();

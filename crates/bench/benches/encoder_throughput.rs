@@ -42,7 +42,13 @@ fn bench_video_synthesis(c: &mut Criterion) {
         let cfg = EncoderConfig::capped_2x(EncoderSource::FFmpeg, 7);
         b.iter(|| {
             black_box(Video::synthesize(
-                "bench", Genre::SciFi, 300, 2.0, &ladder, &cfg, 7,
+                "bench",
+                Genre::SciFi,
+                300,
+                2.0,
+                &ladder,
+                &cfg,
+                7,
             ))
         })
     });

@@ -1,18 +1,8 @@
-//! Run every experiment in the registry, regenerating all tables and
-//! figures of the paper (DESIGN.md §4). CSV artifacts land in `results/`.
-
-use std::time::Instant;
+//! Run every experiment in the registry through the engine: artifacts are
+//! prefetched in parallel and generated exactly once, each experiment gets
+//! a progress line, and the whole run is journaled under
+//! `results/journal/` (see `abr_bench::engine` and `abr_bench::journal`).
 
 fn main() -> std::io::Result<()> {
-    let start = Instant::now();
-    let registry = abr_bench::experiments::registry();
-    let total = registry.len();
-    for (i, (id, description, run)) in registry.into_iter().enumerate() {
-        eprintln!("[{}/{}] {id}: {description}", i + 1, total);
-        let t = Instant::now();
-        run()?;
-        eprintln!("[{}/{}] {id} done in {:.1}s", i + 1, total, t.elapsed().as_secs_f64());
-    }
-    eprintln!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
-    Ok(())
+    abr_bench::engine::run_all()
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_bw_error`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `bw_error` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_bw_error::run()
+    abr_bench::engine::run_ids(&["bw_error"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_class_granularity`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `class_granularity` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_class_granularity::run()
+    abr_bench::engine::run_ids(&["class_granularity"])
 }

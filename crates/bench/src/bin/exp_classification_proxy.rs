@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_classification_proxy`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `classification_proxy` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_classification_proxy::run()
+    abr_bench::engine::run_ids(&["classification_proxy"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_config_robustness`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `config_robustness` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_config_robustness::run()
+    abr_bench::engine::run_ids(&["config_robustness"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_offline_opt`].
+//! Thin wrapper: drive the `offline_opt` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_offline_opt::run()
+    abr_bench::engine::run_ids(&["offline_opt"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_oracle`].
+//! Thin wrapper: drive the `oracle` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_oracle::run()
+    abr_bench::engine::run_ids(&["oracle"])
 }

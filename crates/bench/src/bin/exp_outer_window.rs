@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_outer_window`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `outer_window` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_outer_window::run()
+    abr_bench::engine::run_ids(&["outer_window"])
 }

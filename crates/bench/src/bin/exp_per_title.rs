@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_per_title`].
+//! Thin wrapper: drive the `per_title` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_per_title::run()
+    abr_bench::engine::run_ids(&["per_title"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_pia_vs_cava`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `pia_vs_cava` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_pia_vs_cava::run()
+    abr_bench::engine::run_ids(&["pia_vs_cava"])
 }

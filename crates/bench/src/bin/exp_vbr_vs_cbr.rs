@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::exp_vbr_vs_cbr`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `vbr_vs_cbr` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::exp_vbr_vs_cbr::run()
+    abr_bench::engine::run_ids(&["vbr_vs_cbr"])
 }

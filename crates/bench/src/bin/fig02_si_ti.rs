@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::fig02_si_ti`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `fig02` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::fig02_si_ti::run()
+    abr_bench::engine::run_ids(&["fig02"])
 }

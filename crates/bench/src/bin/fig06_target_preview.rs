@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::fig06_target_preview`].
+//! Thin wrapper: drive the `fig06` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::fig06_target_preview::run()
+    abr_bench::engine::run_ids(&["fig06"])
 }

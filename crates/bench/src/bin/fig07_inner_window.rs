@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::fig07_inner_window`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `fig07` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::fig07_inner_window::run()
+    abr_bench::engine::run_ids(&["fig07"])
 }

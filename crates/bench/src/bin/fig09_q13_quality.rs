@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::fig09_q13_quality`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `fig09` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::fig09_q13_quality::run()
+    abr_bench::engine::run_ids(&["fig09"])
 }

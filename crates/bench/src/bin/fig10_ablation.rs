@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::fig10_ablation`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `fig10` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::fig10_ablation::run()
+    abr_bench::engine::run_ids(&["fig10"])
 }

@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::table1_youtube`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `table1` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::table1_youtube::run()
+    abr_bench::engine::run_ids(&["table1"])
 }

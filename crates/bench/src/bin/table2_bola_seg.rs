@@ -1,5 +1,6 @@
-//! Thin wrapper around [`abr_bench::experiments::table2_bola_seg`]. See DESIGN.md §4.
+//! Thin wrapper: drive the `table2` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
 
 fn main() -> std::io::Result<()> {
-    abr_bench::experiments::table2_bola_seg::run()
+    abr_bench::engine::run_ids(&["table2"])
 }

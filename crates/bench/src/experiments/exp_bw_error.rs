@@ -6,21 +6,22 @@
 //! claims), while MPC rebuffers and over-downloads significantly at 50 %,
 //! and PANDA/CQ max-min rebuffers noticeably more.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
 use abr_sim::PlayerConfig;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// The §6.7 error grid.
 pub const ERROR_SWEEP: [f64; 3] = [0.0, 0.25, 0.50];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("§6.7", "Impact of bandwidth prediction error");
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
 
     let schemes = [

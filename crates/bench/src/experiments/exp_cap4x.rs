@@ -9,6 +9,7 @@
 //! above RobustMPC and PANDA max-min; quality change 42 %/68 % lower;
 //! rebuffering ≈90 % lower; low-quality chunks 39 %/57 % fewer.
 
+use crate::engine;
 use crate::experiments::{banner, pct_delta};
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -17,11 +18,11 @@ use sim_report::table::arrow_delta;
 use sim_report::{Cdf, CsvWriter, TextTable};
 use std::io;
 use vbr_video::classify::{ChunkClass, Classification};
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("§3.3/§6.6", "4x-capped VBR: characterization and streaming");
-    let video = Dataset::ed_ffmpeg_h264_cap4();
+    let video = engine::video("ED-ffmpeg-h264-cap4x");
 
     // ---- §3.3 characterization: 480p quality medians per class ----
     let classification = Classification::from_video(&video);
@@ -31,8 +32,14 @@ pub fn run() -> io::Result<()> {
     let mut csv_q = CsvWriter::create(&path_q, &["class", "median_phone", "median_tv"])?;
     for class in ChunkClass::ALL {
         let pos = classification.positions_of(class);
-        let phone: Vec<f64> = pos.iter().map(|&i| video.quality(track, i).vmaf_phone).collect();
-        let tv: Vec<f64> = pos.iter().map(|&i| video.quality(track, i).vmaf_tv).collect();
+        let phone: Vec<f64> = pos
+            .iter()
+            .map(|&i| video.quality(track, i).vmaf_phone)
+            .collect();
+        let tv: Vec<f64> = pos
+            .iter()
+            .map(|&i| video.quality(track, i).vmaf_tv)
+            .collect();
         let med = |xs: &[f64]| Cdf::new(xs).expect("non-empty").quantile(0.5);
         table.add_row(vec![
             class.label().to_string(),
@@ -50,7 +57,7 @@ pub fn run() -> io::Result<()> {
     println!("paper §3.3 (phone, 480p): Q1-Q3 ≈ 88/88/85, Q4 ≈ 79 — the gap persists at 4x");
 
     // ---- §6.6 streaming comparison ----
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let schemes = [
@@ -95,7 +102,9 @@ pub fn run() -> io::Result<()> {
     }
     csv.flush()?;
     print!("{table}");
-    let d_q4 = |i: usize| mean_of(Metric::Q4Quality, &results[0]) - mean_of(Metric::Q4Quality, &results[i]);
+    let d_q4 = |i: usize| {
+        mean_of(Metric::Q4Quality, &results[0]) - mean_of(Metric::Q4Quality, &results[i])
+    };
     let d = |m: Metric, i: usize| pct_delta(mean_of(m, &results[0]), mean_of(m, &results[i]));
     println!(
         "CAVA vs RobustMPC / PANDA max-min: Q4 {}, {}; qchg {}, {}; rebuf {}, {}; low-qual {}, {}",

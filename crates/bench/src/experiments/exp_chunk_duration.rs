@@ -10,6 +10,7 @@
 //! scheduler; longer chunks smooth VBR variability into each chunk but
 //! react sluggishly.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -22,9 +23,10 @@ use vbr_video::{Genre, Ladder, Video};
 /// Chunk durations to test (seconds) — the §2 commercial range.
 pub const DURATION_SWEEP: [f64; 4] = [1.0, 2.0, 5.0, 10.0];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("ext: chunk duration", "Same content chunked at 1/2/5/10 s");
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let ladder = Ladder::ffmpeg_h264();
@@ -32,7 +34,9 @@ pub fn run() -> io::Result<()> {
     let path = results_dir().join("exp_chunk_duration.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["scheme", "chunk_s", "q4", "all", "low_pct", "rebuf_s", "qchange"],
+        &[
+            "scheme", "chunk_s", "q4", "all", "low_pct", "rebuf_s", "qchange",
+        ],
     )?;
     let mut table = TextTable::new(vec![
         "scheme",
@@ -46,15 +50,18 @@ pub fn run() -> io::Result<()> {
     for scheme in [SchemeKind::Cava, SchemeKind::RobustMpc] {
         for delta in DURATION_SWEEP {
             let n_chunks = (600.0 / delta).round() as usize;
-            let video = Video::synthesize(
-                format!("ED-chunk{delta}s"),
-                Genre::Animation,
-                n_chunks,
-                delta,
-                &ladder,
-                &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 101),
-                101,
-            );
+            let name = format!("ED-chunk{delta}s");
+            let video = engine::video_with(&name, || {
+                Video::synthesize(
+                    name.clone(),
+                    Genre::Animation,
+                    n_chunks,
+                    delta,
+                    &ladder,
+                    &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 101),
+                    101,
+                )
+            });
             let sessions = run_scheme(scheme, &video, &traces, &qoe, &player);
             table.add_row(vec![
                 scheme.name().to_string(),
@@ -101,29 +108,25 @@ pub fn run() -> io::Result<()> {
     )?;
     for delta in DURATION_SWEEP {
         let n_chunks = (600.0 / delta).round() as usize;
-        let video = Video::synthesize(
-            format!("ED-chunk{delta}s"),
-            Genre::Animation,
-            n_chunks,
-            delta,
-            &ladder,
-            &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 101),
-            101,
-        );
-        let sessions = crate::harness::run_scheme(
-            SchemeKind::Cava,
-            &video,
-            &traces,
-            &qoe,
-            &tcp_player,
-        );
+        let name = format!("ED-chunk{delta}s");
+        // Cache hit: the first pass already synthesized this video.
+        let video = engine::video_with(&name, || {
+            Video::synthesize(
+                name.clone(),
+                Genre::Animation,
+                n_chunks,
+                delta,
+                &ladder,
+                &EncoderConfig::capped_2x(EncoderSource::FFmpeg, 101),
+                101,
+            )
+        });
+        let sessions =
+            crate::harness::run_scheme(SchemeKind::Cava, &video, &traces, &qoe, &tcp_player);
         // Proxy for ramp tax: avg delivered bitrate over avg trace mean.
         let mean_trace_bw: f64 =
             traces.iter().map(|t| t.mean_bps()).sum::<f64>() / traces.len() as f64;
-        let ratio = sessions
-            .iter()
-            .map(|m| m.avg_bitrate_bps)
-            .sum::<f64>()
+        let ratio = sessions.iter().map(|m| m.avg_bitrate_bps).sum::<f64>()
             / sessions.len() as f64
             / mean_trace_bw;
         tcp_table.add_row(vec![
@@ -141,7 +144,9 @@ pub fn run() -> io::Result<()> {
     }
     csv_tcp.flush()?;
     print!("{tcp_table}");
-    println!("the slow-start ramp (50 ms RTT, IW10, cold start per request) taxes 1 s chunks hardest");
+    println!(
+        "the slow-start ramp (50 ms RTT, IW10, cold start per request) taxes 1 s chunks hardest"
+    );
     println!("wrote {} and {}", path.display(), path_tcp.display());
     Ok(())
 }

@@ -10,6 +10,7 @@
 //! advantage is robust to K, with the top-class *width* (1/K of chunks)
 //! trading Q4 coverage against the bandwidth saved on the rest.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -17,26 +18,23 @@ use abr_sim::PlayerConfig;
 use cava_core::{Cava, CavaConfig};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// The class-count grid.
 pub const K_SWEEP: [usize; 5] = [2, 3, 4, 5, 6];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner(
         "ext: class granularity",
         "CAVA with K size classes instead of quartiles (§3.1.1)",
     );
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
     let path = results_dir().join("exp_class_granularity.csv");
-    let mut csv = CsvWriter::create(
-        &path,
-        &["k", "q4", "q13", "low_pct", "rebuf_s", "qchange"],
-    )?;
+    let mut csv = CsvWriter::create(&path, &["k", "q4", "q13", "low_pct", "rebuf_s", "qchange"])?;
     let mut table = TextTable::new(vec![
         "K (top class = complex)",
         "Q4 qual",

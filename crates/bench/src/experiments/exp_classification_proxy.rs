@@ -14,6 +14,7 @@
 //!    QoE should be nearly identical — which is exactly what makes the
 //!    deployable variant sufficient.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -89,6 +90,7 @@ impl AbrAlgorithm for CavaWithOracleClasses {
     }
 }
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner(
         "ext: proxy validation",
@@ -131,8 +133,8 @@ pub fn run() -> io::Result<()> {
     );
 
     // Part 2: does the residual disagreement matter for QoE?
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let content_classes: Vec<bool> = {

@@ -6,6 +6,7 @@
 //! fewer, rebuffering 52–91 % lower, quality change 27–72 % lower, data
 //! usage comparable.
 
+use crate::engine;
 use crate::experiments::{banner, pct_delta};
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -13,18 +14,20 @@ use abr_sim::PlayerConfig;
 use sim_report::table::arrow_delta;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("§6.5", "Codec impact: H.265 encodings (LTE traces)");
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
     let path = results_dir().join("exp_codec_h265.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["video", "scheme", "q4", "low_pct", "rebuf_s", "qchange", "data_mb"],
+        &[
+            "video", "scheme", "q4", "low_pct", "rebuf_s", "qchange", "data_mb",
+        ],
     )?;
     let mut table = TextTable::new(vec![
         "video (H.265)",
@@ -34,10 +37,16 @@ pub fn run() -> io::Result<()> {
         "qual chg %",
         "data %",
     ]);
-    let mut h264_vs_h265 = TextTable::new(vec!["video", "CAVA Q4 h264", "CAVA Q4 h265", "rebuf h264", "rebuf h265"]);
+    let mut h264_vs_h265 = TextTable::new(vec![
+        "video",
+        "CAVA Q4 h264",
+        "CAVA Q4 h265",
+        "rebuf h264",
+        "rebuf h265",
+    ]);
     for base in ["ED", "BBB", "ToS", "Sintel"] {
-        let v265 = Dataset::by_name(&format!("{base}-ffmpeg-h265")).expect("dataset");
-        let v264 = Dataset::by_name(&format!("{base}-ffmpeg-h264")).expect("dataset");
+        let v265 = engine::video(&format!("{base}-ffmpeg-h265"));
+        let v264 = engine::video(&format!("{base}-ffmpeg-h264"));
         let schemes = [
             SchemeKind::Cava,
             SchemeKind::RobustMpc,

@@ -7,6 +7,7 @@
 //! 3. **PID gains** — §6.1: "we varied Kp and Ki, and confirmed that …
 //!    a wide range of Kp and Ki values lead to good performance".
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -14,24 +15,27 @@ use abr_sim::PlayerConfig;
 use cava_core::{Cava, CavaConfig};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner(
         "ext: config robustness",
         "Startup latency, base target buffer, and PID gains (§6.1/§5.4)",
     );
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let path = results_dir().join("exp_config_robustness.csv");
-    let mut csv = CsvWriter::create(
-        &path,
-        &["knob", "value", "q4", "all", "rebuf_s", "qchange"],
-    )?;
+    let mut csv = CsvWriter::create(&path, &["knob", "value", "q4", "all", "rebuf_s", "qchange"])?;
 
     // 1. Startup latency.
-    let mut t1 = TextTable::new(vec!["startup (s)", "Q4 qual", "all qual", "rebuf (s)", "qual chg"]);
+    let mut t1 = TextTable::new(vec![
+        "startup (s)",
+        "Q4 qual",
+        "all qual",
+        "rebuf (s)",
+        "qual chg",
+    ]);
     for startup in [5.0, 10.0, 20.0, 30.0] {
         let player = PlayerConfig {
             startup_threshold_s: startup,
@@ -45,7 +49,10 @@ pub fn run() -> io::Result<()> {
             &player,
         );
         t1.add_row(vec![
-            format!("{startup:.0}{}", if startup == 10.0 { " (paper)" } else { "" }),
+            format!(
+                "{startup:.0}{}",
+                if startup == 10.0 { " (paper)" } else { "" }
+            ),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::AllQuality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),
@@ -64,7 +71,13 @@ pub fn run() -> io::Result<()> {
     print!("{t1}");
 
     // 2. Base target buffer.
-    let mut t2 = TextTable::new(vec!["x̄r (s)", "Q4 qual", "all qual", "rebuf (s)", "qual chg"]);
+    let mut t2 = TextTable::new(vec![
+        "x̄r (s)",
+        "Q4 qual",
+        "all qual",
+        "rebuf (s)",
+        "qual chg",
+    ]);
     for base in [40.0, 60.0, 80.0] {
         let config = CavaConfig {
             base_target_buffer_s: base,
@@ -97,13 +110,14 @@ pub fn run() -> io::Result<()> {
     print!("{t2}");
 
     // 3. PID gain grid.
-    let mut t3 = TextTable::new(vec!["Kp / Ki", "Q4 qual", "all qual", "rebuf (s)", "qual chg"]);
-    for (kp, ki) in [
-        (0.01, 0.0005),
-        (0.04, 0.0015),
-        (0.08, 0.003),
-        (0.16, 0.006),
-    ] {
+    let mut t3 = TextTable::new(vec![
+        "Kp / Ki",
+        "Q4 qual",
+        "all qual",
+        "rebuf (s)",
+        "qual chg",
+    ]);
+    for (kp, ki) in [(0.01, 0.0005), (0.04, 0.0015), (0.08, 0.003), (0.16, 0.006)] {
         let config = CavaConfig {
             kp,
             ki,
@@ -117,10 +131,7 @@ pub fn run() -> io::Result<()> {
             &PlayerConfig::default(),
         );
         t3.add_row(vec![
-            format!(
-                "{kp} / {ki}{}",
-                if kp == 0.04 { " (default)" } else { "" }
-            ),
+            format!("{kp} / {ki}{}", if kp == 0.04 { " (default)" } else { "" }),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::AllQuality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),
@@ -135,7 +146,9 @@ pub fn run() -> io::Result<()> {
             &format!("{:.3}", crate::mean_of(Metric::QualityChange, &sessions)),
         ])?;
     }
-    println!("PID gains (paper §6.1: 'a wide range of Kp and Ki values lead to good performance'):");
+    println!(
+        "PID gains (paper §6.1: 'a wide range of Kp and Ki values lead to good performance'):"
+    );
     print!("{t3}");
     csv.flush()?;
     println!("wrote {}", path.display());

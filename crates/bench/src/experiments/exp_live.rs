@@ -12,6 +12,7 @@
 //! has the least room and its non-myopic/differential principles have to
 //! carry the weight.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{SchemeKind, TraceSet};
 use crate::results_dir;
@@ -19,19 +20,17 @@ use abr_sim::metrics::evaluate;
 use abr_sim::{LiveConfig, PlayerConfig, Simulator};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::{Classification, Dataset, Manifest};
 
 /// Head-start grid in chunks (ED YouTube: 5 s chunks → 10–60 s of DVR).
 pub const HEAD_START_SWEEP: [usize; 4] = [2, 4, 8, 12];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("ext: live", "Live VBR streaming (paper §8 future work)");
-    let video = Dataset::ed_youtube_h264();
-    let manifest = Manifest::from_video(&video);
-    let classification = Classification::from_video(&video);
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-youtube-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
-    let delta = manifest.chunk_duration();
+    let delta = video.manifest.chunk_duration();
 
     let path = results_dir().join("exp_live.csv");
     let mut csv = CsvWriter::create(
@@ -74,13 +73,19 @@ pub fn run() -> io::Result<()> {
                 ..PlayerConfig::default()
             };
             let sim = Simulator::new(player);
-            let mut acc = [0.0f64; 6];
-            for trace in &traces {
+            // One fresh algorithm per session, fanned out on the engine's
+            // scheduler (the latency column needs the raw session, so this
+            // doesn't go through `run_scheme`).
+            let per_trace = engine::run_indexed(traces.len(), |i| {
                 let mut algo = scheme.build(&video, qoe.vmaf_model);
-                let session = sim.run(algo.as_mut(), &manifest, trace);
-                let m = evaluate(&session, &video, &classification, &qoe);
+                let session = sim.run(algo.as_mut(), &video.manifest, &traces[i]);
+                let m = evaluate(&session, &video, &video.classification, &qoe);
                 let lat = session.estimated_live_latencies(head_start);
                 let lat_mean = lat.iter().sum::<f64>() / lat.len() as f64;
+                (m, lat_mean)
+            });
+            let mut acc = [0.0f64; 6];
+            for (m, lat_mean) in &per_trace {
                 acc[0] += m.q4_quality_mean;
                 acc[1] += m.all_quality_mean;
                 acc[2] += m.low_quality_pct;

@@ -7,6 +7,7 @@
 //! plans are computed in parallel, replayed through the same simulator, and
 //! evaluated with the same metrics as everything else.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -15,14 +16,18 @@ use abr_sim::metrics::{evaluate, LinearQoeWeights, QoeMetrics};
 use abr_sim::{PlayerConfig, Simulator};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::{Classification, Dataset, Manifest};
+use vbr_video::{Classification, Manifest};
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: offline optimal", "Headroom above online schemes (DP upper bound)");
-    let video = Dataset::ed_ffmpeg_h264();
+    banner(
+        "ext: offline optimal",
+        "Headroom above online schemes (DP upper bound)",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
     let manifest = Manifest::from_video(&video);
     let classification = Classification::from_video(&video);
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let opt_cfg = OfflineOptConfig::default();
@@ -35,8 +40,7 @@ pub fn run() -> io::Result<()> {
     let chunk = traces.len().div_ceil(n_threads);
     let mut opt_sessions: Vec<Option<QoeMetrics>> = vec![None; traces.len()];
     std::thread::scope(|scope| {
-        for (trace_slab, result_slab) in traces.chunks(chunk).zip(opt_sessions.chunks_mut(chunk))
-        {
+        for (trace_slab, result_slab) in traces.chunks(chunk).zip(opt_sessions.chunks_mut(chunk)) {
             let video = &video;
             let manifest = &manifest;
             let classification = &classification;
@@ -56,7 +60,11 @@ pub fn run() -> io::Result<()> {
         .map(|s| s.expect("filled"))
         .collect();
 
-    let schemes = [SchemeKind::Cava, SchemeKind::RobustMpc, SchemeKind::PandaMaxMin];
+    let schemes = [
+        SchemeKind::Cava,
+        SchemeKind::RobustMpc,
+        SchemeKind::PandaMaxMin,
+    ];
     let mut results: Vec<(String, Vec<QoeMetrics>)> =
         vec![("OPT (offline)".to_string(), opt_metrics)];
     for scheme in schemes {

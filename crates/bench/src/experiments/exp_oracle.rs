@@ -10,18 +10,22 @@
 //! its advantage is structural — the paper's §6.7 interpretation, measured
 //! from the other side.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
 use abr_sim::PlayerConfig;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: oracle", "Perfect bandwidth prediction vs harmonic mean");
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    banner(
+        "ext: oracle",
+        "Perfect bandwidth prediction vs harmonic mean",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
 
     let path = results_dir().join("exp_oracle.csv");

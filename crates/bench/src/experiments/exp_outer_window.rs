@@ -6,6 +6,7 @@
 //! windows average the variability away, Eq. 5's increment vanishes).
 //! `W′ = 200 s` is the chosen value.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -13,14 +14,14 @@ use abr_sim::PlayerConfig;
 use cava_core::{Cava, CavaConfig};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// W′ sweep grid in seconds (0 disables the proactive adjustment).
 pub const OUTER_SWEEP_S: [f64; 6] = [0.0, 40.0, 100.0, 200.0, 400.0, 600.0];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("§6.2", "Impact of outer controller window size W'");
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
@@ -29,7 +30,10 @@ pub fn run() -> io::Result<()> {
         &path,
         &["video", "w_prime_s", "rebuf_mean", "rebuf_p90", "q4_mean"],
     )?;
-    for video in [Dataset::ed_ffmpeg_h264(), Dataset::ed_youtube_h264()] {
+    for video in [
+        engine::video("ED-ffmpeg-h264"),
+        engine::video("ED-youtube-h264"),
+    ] {
         println!("--- {}", video.name());
         let mut table = TextTable::new(vec![
             "W' (s)",

@@ -1,5 +1,5 @@
 //! Per-title ladder optimization (extension) — completing §2's Netflix
-//! reference [11]/[29].
+//! reference \[11\]/\[29\].
 //!
 //! The paper's encodings follow Netflix's per-title procedure for the
 //! *allocation* pass; real per-title encoding also chooses the *ladder
@@ -15,6 +15,7 @@
 //! narrows the quality spread across titles and lifts the hardest title at
 //! roughly the same total bits.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -36,10 +37,14 @@ const CONTENTS: [(&str, Genre, u64, f64); 4] = [
 /// Quality-need super-linearity θ (matches the quality model).
 const THETA: f64 = 1.25;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: per-title", "Fixed vs per-title encoding ladders (§2 refs [11]/[29])");
+    banner(
+        "ext: per-title",
+        "Fixed vs per-title encoding ladders (§2 refs [11]/[29])",
+    );
     let base = Ladder::ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
@@ -51,7 +56,15 @@ pub fn run() -> io::Result<()> {
     let path = results_dir().join("exp_per_title.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["content", "ladder", "difficulty", "all_quality", "q4", "low_pct", "data_mb"],
+        &[
+            "content",
+            "ladder",
+            "difficulty",
+            "all_quality",
+            "q4",
+            "low_pct",
+            "data_mb",
+        ],
     )?;
     let mut table = TextTable::new(vec![
         "content",
@@ -70,16 +83,19 @@ pub fn run() -> io::Result<()> {
             ("fixed", base.clone()),
             ("per-title", base.per_title(scales[k] / mean_scale)),
         ] {
-            let video = Video::synthesize_with_hardness(
-                format!("{name}-{label}"),
-                genre,
-                300,
-                2.0,
-                &ladder,
-                &EncoderConfig::capped_2x(EncoderSource::FFmpeg, seed),
-                seed,
-                hardness,
-            );
+            let video_name = format!("{name}-{label}");
+            let video = engine::video_with(&video_name, || {
+                Video::synthesize_with_hardness(
+                    video_name.clone(),
+                    genre,
+                    300,
+                    2.0,
+                    &ladder,
+                    &EncoderConfig::capped_2x(EncoderSource::FFmpeg, seed),
+                    seed,
+                    hardness,
+                )
+            });
             let sessions = run_with_factory(
                 &|| Box::new(Cava::paper_default()),
                 &video,

@@ -8,25 +8,34 @@
 //! generalization; running CAVA's ablation chain alongside shows where each
 //! step of the lineage (PIA → p1 → p12 → p123) contributes.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
 use abr_sim::PlayerConfig;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: PIA → CAVA", "The CBR-to-VBR control lineage on VBR content");
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    banner(
+        "ext: PIA → CAVA",
+        "The CBR-to-VBR control lineage on VBR content",
+    );
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let path = results_dir().join("exp_pia_vs_cava.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["video", "scheme", "q4", "q13", "low_pct", "rebuf_s", "qchange", "data_mb"],
+        &[
+            "video", "scheme", "q4", "q13", "low_pct", "rebuf_s", "qchange", "data_mb",
+        ],
     )?;
-    for video in [Dataset::ed_ffmpeg_h264(), Dataset::ed_youtube_h264()] {
+    for video in [
+        engine::video("ED-ffmpeg-h264"),
+        engine::video("ED-youtube-h264"),
+    ] {
         println!("--- {}", video.name());
         let mut table = TextTable::new(vec![
             "scheme",

@@ -10,6 +10,7 @@
 //! bitrates inject VBR noise into the penalty and oscillate; no penalty
 //! oscillates most.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -17,17 +18,23 @@ use abr_sim::PlayerConfig;
 use cava_core::{Cava, CavaConfig, SwitchPenaltyMode};
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: switch penalty", "Eq. 3 track-change penalty forms (§5.3)");
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    banner(
+        "ext: switch penalty",
+        "Eq. 3 track-change penalty forms (§5.3)",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
     let modes = [
-        ("declared bitrate (paper)", SwitchPenaltyMode::DeclaredBitrate),
+        (
+            "declared bitrate (paper)",
+            SwitchPenaltyMode::DeclaredBitrate,
+        ),
         ("level index", SwitchPenaltyMode::LevelIndex),
         ("per-chunk bitrate", SwitchPenaltyMode::PerChunkBitrate),
         ("none", SwitchPenaltyMode::None),
@@ -35,7 +42,14 @@ pub fn run() -> io::Result<()> {
     let path = results_dir().join("exp_switch_penalty.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["mode", "q4", "qchange", "level_switches", "rebuf_s", "data_mb"],
+        &[
+            "mode",
+            "q4",
+            "qchange",
+            "level_switches",
+            "rebuf_s",
+            "data_mb",
+        ],
     )?;
     let mut table = TextTable::new(vec![
         "penalty form",
@@ -57,8 +71,11 @@ pub fn run() -> io::Result<()> {
             &qoe,
             &player,
         );
-        let switches =
-            sessions.iter().map(|m| m.level_switches as f64).sum::<f64>() / sessions.len() as f64;
+        let switches = sessions
+            .iter()
+            .map(|m| m.level_switches as f64)
+            .sum::<f64>()
+            / sessions.len() as f64;
         table.add_row(vec![
             label.to_string(),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),

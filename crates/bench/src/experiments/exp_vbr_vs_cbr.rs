@@ -7,6 +7,7 @@
 //! exactly where the paper says it does: complex scenes, which CBR starves
 //! much harder than capped VBR.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -14,12 +15,15 @@ use abr_sim::PlayerConfig;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
 use vbr_video::classify::{ChunkClass, Classification};
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("ext: VBR vs CBR", "Same content, same average bitrates, two encodings");
-    let vbr = Dataset::ed_ffmpeg_h264();
-    let cbr = Dataset::ed_ffmpeg_h264_cbr();
+    banner(
+        "ext: VBR vs CBR",
+        "Same content, same average bitrates, two encodings",
+    );
+    let vbr = engine::video("ED-ffmpeg-h264");
+    let cbr = engine::video("ED-ffmpeg-h264-cbr");
 
     // Encoding-level comparison at the middle track.
     let track = vbr.n_tracks() / 2;
@@ -54,13 +58,15 @@ pub fn run() -> io::Result<()> {
     println!("paper §1: VBR gives better quality at the same average bitrate than CBR");
 
     // Streaming-level comparison: CAVA on both encodings.
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
     let path = results_dir().join("exp_vbr_vs_cbr.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["encoding", "q4", "q13", "all", "low_pct", "rebuf_s", "data_mb"],
+        &[
+            "encoding", "q4", "q13", "all", "low_pct", "rebuf_s", "data_mb",
+        ],
     )?;
     let mut table = TextTable::new(vec![
         "encoding (CAVA)",

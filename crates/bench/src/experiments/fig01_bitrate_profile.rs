@@ -2,15 +2,19 @@
 //! Dream, YouTube-encoded, H.264), with per-track averages, CoV, and
 //! peak/average ratios (the §2 dataset statistics).
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::results_dir;
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 1", "Bitrate of the chunks of a VBR video (ED, YouTube, H.264)");
-    let video = Dataset::ed_youtube_h264();
+    banner(
+        "Fig. 1",
+        "Bitrate of the chunks of a VBR video (ED, YouTube, H.264)",
+    );
+    let video = engine::video("ED-youtube-h264");
 
     // §2 statistics table.
     let mut table = TextTable::new(vec![
@@ -32,9 +36,7 @@ pub fn run() -> io::Result<()> {
         ]);
     }
     print!("{table}");
-    println!(
-        "paper §2: CoV 0.3-0.6; YouTube peak/avg 1.1-2.3x; lowest two tracks least variable"
-    );
+    println!("paper §2: CoV 0.3-0.6; YouTube peak/avg 1.1-2.3x; lowest two tracks least variable");
 
     // ASCII rendition of the figure: the top three tracks (all six would
     // collapse in 24 rows of glyphs).

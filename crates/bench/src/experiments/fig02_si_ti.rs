@@ -6,20 +6,25 @@
 //! chunks have SI > 25 and TI > 7, against ≈ 11 % / 5 % of Q1 chunks; it
 //! also verifies Property 2 (cross-track consistency, correlations ≈ 1).
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::results_dir;
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
 use vbr_video::classify::{cross_track_consistency, ChunkClass, Classification};
-use vbr_video::{Dataset, Video};
+use vbr_video::Video;
 
 const SI_THRESHOLD: f64 = 25.0;
 const TI_THRESHOLD: f64 = 7.0;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 2", "Chunk SI & TI by size-quartile class (ED, track 3)");
+    banner(
+        "Fig. 2",
+        "Chunk SI & TI by size-quartile class (ED, track 3)",
+    );
     for name in ["ED-ffmpeg-h264", "ED-ffmpeg-h265"] {
-        let video = Dataset::by_name(name).expect("dataset video");
+        let video = engine::video(name);
         report_one(&video)?;
     }
     Ok(())

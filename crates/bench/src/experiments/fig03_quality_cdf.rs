@@ -6,20 +6,21 @@
 //! *increasing* sizes but *decreasing* quality, with a particularly large
 //! gap between Q4 and the rest (§3.1.2).
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::results_dir;
 use sim_report::{AsciiChart, Cdf, CsvWriter, Series, TextTable};
 use std::io;
 use vbr_video::classify::{ChunkClass, Classification};
 use vbr_video::quality::ChunkQuality;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner(
         "Fig. 3",
         "Quality of chunks by class (ED, YouTube, H.264, 480p track)",
     );
-    let video = Dataset::ed_youtube_h264();
+    let video = engine::video("ED-youtube-h264");
     let classification = Classification::from_video(&video);
     let track = video.n_tracks() / 2; // 480p
     println!(
@@ -37,7 +38,11 @@ pub fn run() -> io::Result<()> {
     ];
 
     let mut table = TextTable::new(vec![
-        "metric", "Q1 median", "Q2 median", "Q3 median", "Q4 median",
+        "metric",
+        "Q1 median",
+        "Q2 median",
+        "Q3 median",
+        "Q4 median",
     ]);
     for (name, f) in metrics {
         let mut row = vec![name.to_string()];
@@ -91,6 +96,9 @@ pub fn run() -> io::Result<()> {
         chart.add_series(Series::new(class.label(), glyph, cdf.points()));
     }
     print!("{chart}");
-    println!("wrote {}", results_dir().join("fig03_quality_cdf_*.csv").display());
+    println!(
+        "wrote {}",
+        results_dir().join("fig03_quality_cdf_*.csv").display()
+    );
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! example the average Q4 VMAF is 49 (BBA-1) and 52 (RBA) versus 65 for
 //! CAVA, with 6 s / 4 s / 0 s of rebuffering.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_sessions, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -14,18 +15,22 @@ use abr_sim::metrics::chunk_qualities;
 use abr_sim::PlayerConfig;
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
-use vbr_video::{Classification, Dataset};
+use vbr_video::Classification;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 4", "Two myopic schemes and CAVA (per-chunk VMAF timeline)");
-    let video = Dataset::ed_youtube_h264();
+    banner(
+        "Fig. 4",
+        "Two myopic schemes and CAVA (per-chunk VMAF timeline)",
+    );
+    let video = engine::video("ED-youtube-h264");
     let classification = Classification::from_video(&video);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
     // Pick a moderately constrained trace: mean bandwidth near the middle of
     // the ladder, so schemes must make real choices.
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let trace = traces
         .iter()
         .filter(|t| t.mean_bps() > 1.2e6 && t.mean_bps() < 2.5e6)
@@ -62,9 +67,13 @@ pub fn run() -> io::Result<()> {
     println!("paper's example: BBA-1 49 / RBA 52 / CAVA 65; rebuffering 6s / 4s / 0s");
 
     // ASCII: CAVA vs RBA timelines, Q4 positions marked on the floor.
-    let mut chart = AsciiChart::new("per-chunk VMAF ('c' = CAVA, 'r' = RBA, '^' = Q4 position)", 100, 20)
-        .x_label("chunk index")
-        .y_label("VMAF");
+    let mut chart = AsciiChart::new(
+        "per-chunk VMAF ('c' = CAVA, 'r' = RBA, '^' = Q4 position)",
+        100,
+        20,
+    )
+    .x_label("chunk index")
+    .y_label("VMAF");
     let series_points = |qs: &[f64]| -> Vec<(f64, f64)> {
         qs.iter().enumerate().map(|(i, &q)| (i as f64, q)).collect()
     };

@@ -7,6 +7,7 @@
 //! decision, the reference-track chunk size, the dynamic target `x_r(t)`,
 //! and the buffer level.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::TraceSet;
 use crate::results_dir;
@@ -15,23 +16,31 @@ use cava_core::probe::InstrumentedCava;
 use cava_core::Cava;
 use sim_report::{AsciiChart, CsvWriter, Series};
 use std::io;
-use vbr_video::{Dataset, Manifest};
+use vbr_video::Manifest;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 6(b)", "Dynamic target buffer level vs upcoming chunk sizes");
-    let video = Dataset::ed_ffmpeg_h264();
+    banner(
+        "Fig. 6(b)",
+        "Dynamic target buffer level vs upcoming chunk sizes",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
     let manifest = Manifest::from_video(&video);
     let reference = manifest.n_tracks() / 2;
 
     // A mid-grade trace so the buffer actually has dynamics.
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let trace = traces
         .iter()
         .filter(|t| t.mean_bps() > 1.5e6 && t.mean_bps() < 3.0e6)
         .max_by(|a, b| a.mean_bps().partial_cmp(&b.mean_bps()).expect("finite"))
         .unwrap_or(&traces[0])
         .clone();
-    println!("trace {} (mean {:.2} Mbps)", trace.name(), trace.mean_bps() / 1e6);
+    println!(
+        "trace {} (mean {:.2} Mbps)",
+        trace.name(),
+        trace.mean_bps() / 1e6
+    );
 
     let mut probe = InstrumentedCava::new(Cava::paper_default());
     let session = Simulator::paper_default().run(&mut probe, &manifest, &trace);
@@ -52,13 +61,9 @@ pub fn run() -> io::Result<()> {
         probe.decisions().len()
     );
 
-    let mut chart = AsciiChart::new(
-        "target buffer (T) vs actual buffer (b), seconds",
-        100,
-        18,
-    )
-    .x_label("chunk index")
-    .y_label("seconds");
+    let mut chart = AsciiChart::new("target buffer (T) vs actual buffer (b), seconds", 100, 18)
+        .x_label("chunk index")
+        .y_label("seconds");
     chart.add_series(Series::new(
         "target",
         'T',
@@ -82,7 +87,14 @@ pub fn run() -> io::Result<()> {
     let path = results_dir().join("fig06_target_preview.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["chunk", "ref_chunk_kb", "target_s", "buffer_s", "control_u", "level"],
+        &[
+            "chunk",
+            "ref_chunk_kb",
+            "target_s",
+            "buffer_s",
+            "control_u",
+            "level",
+        ],
     )?;
     for d in probe.decisions() {
         csv.write_numeric_row(&[

@@ -7,6 +7,7 @@
 //! (CAVA stops reacting to bitrate swings). `W = 40 s` is the chosen
 //! tradeoff.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_with_factory, Metric, TraceSet};
 use crate::results_dir;
@@ -14,15 +15,15 @@ use abr_sim::PlayerConfig;
 use cava_core::{Cava, CavaConfig};
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// The sweep grid (seconds), matching the figure's 2–160 s axis.
 pub const WINDOW_SWEEP_S: [f64; 7] = [2.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("Fig. 7", "Impact of inner controller window size W");
-    let video = Dataset::ed_ffmpeg_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let video = engine::video("ED-ffmpeg-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
@@ -38,7 +39,15 @@ pub fn run() -> io::Result<()> {
     let path = results_dir().join("fig07_inner_window.csv");
     let mut csv = CsvWriter::create(
         &path,
-        &["w_s", "q4_mean", "q4_p10", "q4_p90", "rebuf_mean", "rebuf_p10", "rebuf_p90"],
+        &[
+            "w_s",
+            "q4_mean",
+            "q4_p10",
+            "q4_p90",
+            "rebuf_mean",
+            "rebuf_p10",
+            "rebuf_p90",
+        ],
     )?;
     let mut q4_series = Vec::new();
     let mut rebuf_series = Vec::new();

@@ -3,39 +3,33 @@
 //! CDFs over the five §6.1 metrics (data usage is plotted relative to CAVA,
 //! as in the paper's panel (e)).
 
+use crate::engine::{self, PreparedVideo};
 use crate::experiments::banner;
-use crate::harness::{metric_cdf, run_scheme, Metric, SchemeKind, TraceSet};
+use crate::harness::{metric_cdf, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
 use abr_sim::metrics::QoeMetrics;
 use abr_sim::PlayerConfig;
 use sim_report::{AsciiChart, Cdf, CsvWriter, Series, TextTable};
 use std::collections::HashMap;
 use std::io;
-use vbr_video::{Dataset, Video};
 
-/// Run the Fig. 8 grid and return per-scheme session metrics (shared with
-/// Fig. 9, which plots different columns of the same runs).
-pub fn run_grid(video: &Video) -> HashMap<SchemeKind, Vec<QoeMetrics>> {
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+/// Run the Fig. 8 grid — all five schemes × all LTE traces as one flattened
+/// task queue on the engine — and return per-scheme session metrics (shared
+/// with Fig. 9, which plots different columns of the same runs).
+pub fn run_grid(video: &PreparedVideo) -> HashMap<SchemeKind, Vec<QoeMetrics>> {
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
-    SchemeKind::FIG8
-        .iter()
-        .map(|&scheme| {
-            (
-                scheme,
-                run_scheme(scheme, video, &traces, &qoe, &player),
-            )
-        })
-        .collect()
+    engine::run_grid(&SchemeKind::FIG8, video, &traces, &qoe, &player)
 }
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner(
         "Fig. 8",
         "Performance comparison (ED, FFmpeg, H.264) under LTE traces",
     );
-    let video = Dataset::ed_ffmpeg_h264();
+    let video = engine::video("ED-ffmpeg-h264");
     let grid = run_grid(&video);
     let cava = &grid[&SchemeKind::Cava];
 
@@ -58,8 +52,7 @@ pub fn run() -> io::Result<()> {
         let sessions = &grid[&scheme];
         let no_rebuf =
             sessions.iter().filter(|m| m.rebuffer_s == 0.0).count() as f64 / sessions.len() as f64;
-        let q4_good =
-            sessions.iter().map(|m| m.q4_good_pct).sum::<f64>() / sessions.len() as f64;
+        let q4_good = sessions.iter().map(|m| m.q4_good_pct).sum::<f64>() / sessions.len() as f64;
         let rel_data: f64 = sessions
             .iter()
             .zip(&cava_data)
@@ -79,7 +72,9 @@ pub fn run() -> io::Result<()> {
     }
     print!("{table}");
     println!("paper: CAVA leads on Q4 quality / rebuffering / quality change;");
-    println!("       85% of traces rebuffer-free under CAVA vs 20% (RobustMPC), 68% (PANDA max-min)");
+    println!(
+        "       85% of traces rebuffer-free under CAVA vs 20% (RobustMPC), 68% (PANDA max-min)"
+    );
 
     // Statistical support (beyond the paper): paired sign tests and 95%
     // bootstrap CIs for CAVA's per-trace advantage.
@@ -116,7 +111,10 @@ pub fn run() -> io::Result<()> {
                 2000,
                 7,
             )),
-            fmt_p(sim_report::stats::paired_sign_test(&cava_rebuf, &other_rebuf)),
+            fmt_p(sim_report::stats::paired_sign_test(
+                &cava_rebuf,
+                &other_rebuf,
+            )),
         ]);
     }
     print!("{sig}");

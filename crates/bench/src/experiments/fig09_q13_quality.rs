@@ -4,16 +4,20 @@
 //! deliberately saves bandwidth on simple scenes) but it avoids low quality
 //! for them too — the balance the differential-treatment principle aims at.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{metric_cdf, Metric, SchemeKind};
 use crate::results_dir;
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 9", "Quality of Q1-Q3 chunks and all chunks (same runs as Fig. 8)");
-    let video = Dataset::ed_ffmpeg_h264();
+    banner(
+        "Fig. 9",
+        "Quality of Q1-Q3 chunks and all chunks (same runs as Fig. 8)",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
     let grid = super::fig08_scheme_comparison::run_grid(&video);
 
     let mut table = TextTable::new(vec![

@@ -7,6 +7,7 @@
 //! the traces where either variant rebuffers — p123 reduces rebuffering in
 //! a majority of them (up to 20 s in the paper's example).
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{run_sessions, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -14,13 +15,17 @@ use abr_sim::metrics::chunk_qualities;
 use abr_sim::PlayerConfig;
 use sim_report::{Cdf, CsvWriter, TextTable};
 use std::io;
-use vbr_video::{Classification, Dataset};
+use vbr_video::Classification;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 10", "Impact of the design principles (CAVA-p1 / p12 / p123)");
-    let video = Dataset::ed_ffmpeg_h264();
+    banner(
+        "Fig. 10",
+        "Impact of the design principles (CAVA-p1 / p12 / p123)",
+    );
+    let video = engine::video("ED-ffmpeg-h264");
     let classification = Classification::from_video(&video);
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
@@ -63,7 +68,10 @@ pub fn run() -> io::Result<()> {
         imp_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         table.add_row(vec![
             name.to_string(),
-            format!("{:.0}%", 100.0 * improved.len() as f64 / deltas.len() as f64),
+            format!(
+                "{:.0}%",
+                100.0 * improved.len() as f64 / deltas.len() as f64
+            ),
             format!("{:.0}%", 100.0 * degraded as f64 / deltas.len() as f64),
             if imp_sorted.is_empty() {
                 "-".to_string()

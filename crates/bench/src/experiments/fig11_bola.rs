@@ -7,18 +7,22 @@
 //! heaviest quality oscillation ("simply plugging in the individual chunk
 //! sizes is insufficient"); CAVA wins every metric except raw data usage.
 
+use crate::engine;
 use crate::experiments::banner;
 use crate::harness::{metric_cdf, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
 use abr_sim::PlayerConfig;
 use sim_report::{AsciiChart, CsvWriter, Series, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Fig. 11", "CAVA vs BOLA-E variants (BBB, YouTube, H.264, LTE)");
-    let video = Dataset::bbb_youtube_h264();
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    banner(
+        "Fig. 11",
+        "CAVA vs BOLA-E variants (BBB, YouTube, H.264, LTE)",
+    );
+    let video = engine::video("BBB-youtube-h264");
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     // §6.8 runs in dash.js: same startup threshold and buffer cap as the
     // simulation study, so the default player config applies.
@@ -71,9 +75,13 @@ pub fn run() -> io::Result<()> {
         csv.flush()?;
     }
 
-    let mut chart = AsciiChart::new("CDF of Q4 quality (c = CAVA, s = BOLA-E seg, p = peak)", 80, 16)
-        .x_label("Q4 quality (VMAF, phone)")
-        .y_label("CDF");
+    let mut chart = AsciiChart::new(
+        "CDF of Q4 quality (c = CAVA, s = BOLA-E seg, p = peak)",
+        80,
+        16,
+    )
+    .x_label("Q4 quality (VMAF, phone)")
+    .y_label("CDF");
     for (scheme, glyph) in [
         (SchemeKind::Cava, 'c'),
         (SchemeKind::BolaESeg, 's'),

@@ -2,19 +2,19 @@
 //! rows/series and writes CSV under [`crate::results_dir`].
 
 pub mod exp_bw_error;
+pub mod exp_cap4x;
 pub mod exp_chunk_duration;
 pub mod exp_class_granularity;
 pub mod exp_classification_proxy;
-pub mod exp_config_robustness;
-pub mod exp_cap4x;
 pub mod exp_codec_h265;
+pub mod exp_config_robustness;
 pub mod exp_live;
 pub mod exp_offline_opt;
 pub mod exp_oracle;
 pub mod exp_outer_window;
-pub mod exp_switch_penalty;
 pub mod exp_per_title;
 pub mod exp_pia_vs_cava;
+pub mod exp_switch_penalty;
 pub mod exp_vbr_vs_cbr;
 pub mod fig01_bitrate_profile;
 pub mod fig02_si_ti;
@@ -85,7 +85,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "Design-principle ablation (Fig. 10)",
             fig10_ablation::run,
         ),
-        ("fig11", "CAVA vs BOLA-E variants (Fig. 11)", fig11_bola::run),
+        (
+            "fig11",
+            "CAVA vs BOLA-E variants (Fig. 11)",
+            fig11_bola::run,
+        ),
         (
             "table1",
             "YouTube videos, LTE+FCC deltas (Table 1)",
@@ -96,11 +100,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "CAVA vs BOLA-E (seg) (Table 2)",
             table2_bola_seg::run,
         ),
-        (
-            "codec",
-            "H.265 codec impact (§6.5)",
-            exp_codec_h265::run,
-        ),
+        ("codec", "H.265 codec impact (§6.5)", exp_codec_h265::run),
         (
             "cap4x",
             "4x-capped encoding: characterization (§3.3) + streaming (§6.6)",

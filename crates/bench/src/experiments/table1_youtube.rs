@@ -7,6 +7,7 @@
 //! absolute VMAF delta (↑ better); the other four metrics are percentage
 //! changes (↓ better).
 
+use crate::engine;
 use crate::experiments::{banner, pct_delta};
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -14,7 +15,6 @@ use abr_sim::PlayerConfig;
 use sim_report::table::arrow_delta;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// The Table 1 video grid: `(video, trace set)`.
 pub fn grid() -> Vec<(String, TraceSet)> {
@@ -42,8 +42,12 @@ pub fn grid() -> Vec<(String, TraceSet)> {
     rows
 }
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("Table 1", "Performance comparison — YouTube videos (LTE + FCC)");
+    banner(
+        "Table 1",
+        "Performance comparison — YouTube videos (LTE + FCC)",
+    );
     let mut table = TextTable::new(vec![
         "set",
         "video",
@@ -74,8 +78,8 @@ pub fn run() -> io::Result<()> {
             table.add_separator();
             prev_set = set;
         }
-        let video = Dataset::by_name(&video_name).expect("dataset video");
-        let traces = set.generate(crate::trace_count());
+        let video = engine::video(&video_name);
+        let traces = engine::traces(set);
         let qoe = set.qoe_config();
         let schemes = [
             SchemeKind::Cava,

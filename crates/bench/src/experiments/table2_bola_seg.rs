@@ -6,6 +6,7 @@
 //! while BOLA-E (seg) uses less data (the paper reports CAVA using 25–56 %
 //! more).
 
+use crate::engine;
 use crate::experiments::{banner, pct_delta};
 use crate::harness::{mean_of, run_scheme, Metric, SchemeKind, TraceSet};
 use crate::results_dir;
@@ -13,7 +14,6 @@ use abr_sim::PlayerConfig;
 use sim_report::table::arrow_delta;
 use sim_report::{CsvWriter, TextTable};
 use std::io;
-use vbr_video::Dataset;
 
 /// Table 2's four videos.
 pub const VIDEOS: [&str; 4] = [
@@ -23,9 +23,10 @@ pub const VIDEOS: [&str; 4] = [
     "ToS-youtube-h264",
 ];
 
+/// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
     banner("Table 2", "CAVA versus BOLA-E (seg) in the dash.js setting");
-    let traces = TraceSet::Lte.generate(crate::trace_count());
+    let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();
 
@@ -51,7 +52,7 @@ pub fn run() -> io::Result<()> {
         ],
     )?;
     for video_name in VIDEOS {
-        let video = Dataset::by_name(video_name).expect("dataset video");
+        let video = engine::video(video_name);
         let cava = run_scheme(SchemeKind::Cava, &video, &traces, &qoe, &player);
         let bola = run_scheme(SchemeKind::BolaESeg, &video, &traces, &qoe, &player);
         for (scheme, sessions) in [(SchemeKind::Cava, &cava), (SchemeKind::BolaESeg, &bola)] {

@@ -1,4 +1,14 @@
-//! Scheme registry, trace sets, and the parallel session runner.
+//! Scheme registry, trace sets, and the session runners.
+//!
+//! The runners ([`run_scheme`], [`run_with_factory`], [`run_sessions`])
+//! execute one algorithm over a trace corpus on the engine's shared
+//! dynamic scheduler ([`crate::engine::run_indexed`]). Every session gets a
+//! **fresh** algorithm instance — ABR algorithms are stateful within a
+//! session, and reusing one across sessions leaks estimator state from one
+//! trace into the next, making results depend on how traces were
+//! partitioned over threads. Building per session makes every run
+//! byte-identical regardless of worker count (see the
+//! `partitioning_independence` regression test).
 
 use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
 use abr_sim::metrics::{evaluate, QoeConfig, QoeMetrics};
@@ -9,7 +19,10 @@ use net_trace::lte::{lte_traces, LteConfig};
 use net_trace::Trace;
 use sim_report::Cdf;
 use vbr_video::quality::VmafModel;
-use vbr_video::{Classification, Manifest, Video};
+use vbr_video::Video;
+
+use crate::engine::{self, PreparedVideo};
+use crate::journal;
 
 /// Number of traces per set: the paper uses 200; override with `TRACES` for
 /// quick iteration.
@@ -21,23 +34,38 @@ pub fn trace_count() -> usize {
 }
 
 /// Every scheme the evaluation runs. `build` instantiates a fresh algorithm
-/// (one per worker thread — algorithms are stateful within a session).
+/// (one per session — algorithms are stateful within a session).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
+    /// Full CAVA (all three design principles, §5).
     Cava,
+    /// CAVA ablation: principle 1 only (§6.4).
     CavaP1,
+    /// CAVA ablation: principles 1+2 (§6.4).
     CavaP12,
+    /// MPC (Yin et al.), nominal predictions.
     Mpc,
+    /// RobustMPC: MPC with conservative prediction discounting.
     RobustMpc,
+    /// PANDA/CQ, max-sum objective (quality side information, §6.1).
     PandaMaxSum,
+    /// PANDA/CQ, max-min objective.
     PandaMaxMin,
+    /// Rate-based adaptation baseline.
     Rba,
+    /// Buffer-based adaptation (BBA-1).
     Bba1,
+    /// PIA: PID-control adaptation for CBR (§5.1 lineage).
     Pia,
+    /// FESTIVE.
     Festive,
+    /// Plain BOLA.
     Bola,
+    /// BOLA-E seeing peak bitrates (§6.8).
     BolaEPeak,
+    /// BOLA-E seeing average bitrates (§6.8).
     BolaEAvg,
+    /// BOLA-E seeing per-segment sizes (§6.8).
     BolaESeg,
 }
 
@@ -115,18 +143,30 @@ impl SchemeKind {
 }
 
 /// The two trace corpora of §6.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceSet {
+    /// The LTE corpus (base seed 42).
     Lte,
+    /// The FCC broadband corpus (base seed 4242).
     Fcc,
 }
 
 impl TraceSet {
-    /// Generate the corpus (fixed base seeds → fully reproducible).
+    /// The corpus' fixed base seed (journaled with every run).
+    pub fn seed(self) -> u64 {
+        match self {
+            TraceSet::Lte => 42,
+            TraceSet::Fcc => 4242,
+        }
+    }
+
+    /// Generate the corpus (fixed base seeds → fully reproducible). Most
+    /// callers should go through [`crate::engine::traces`], which memoizes
+    /// the result.
     pub fn generate(self, count: usize) -> Vec<Trace> {
         match self {
-            TraceSet::Lte => lte_traces(count, 42, &LteConfig::default()),
-            TraceSet::Fcc => fcc_traces(count, 4242, &FccConfig::default()),
+            TraceSet::Lte => lte_traces(count, self.seed(), &LteConfig::default()),
+            TraceSet::Fcc => fcc_traces(count, self.seed(), &FccConfig::default()),
         }
     }
 
@@ -147,17 +187,55 @@ impl TraceSet {
     }
 }
 
-/// Run one scheme over every trace, in parallel, and evaluate each session.
-/// Returns per-trace metrics in trace order.
+/// Push one `(scheme, video)` summary to the active journal (no-op when no
+/// journal is active).
+pub(crate) fn journal_scheme_summary(scheme: &str, video: &str, sessions: &[QoeMetrics]) {
+    if sessions.is_empty() {
+        return;
+    }
+    journal::note_scheme_run(
+        scheme,
+        video,
+        sessions.len(),
+        mean_of(Metric::AllQuality, sessions),
+        mean_of(Metric::RebufferS, sessions),
+    );
+}
+
+/// Run one scheme over every trace on the shared scheduler and evaluate
+/// each session. Returns per-trace metrics in trace order; the summary is
+/// journaled.
 pub fn run_scheme(
     scheme: SchemeKind,
-    video: &Video,
+    video: &PreparedVideo,
     traces: &[Trace],
     qoe: &QoeConfig,
     player: &PlayerConfig,
 ) -> Vec<QoeMetrics> {
-    run_with_factory(
+    let sessions = run_with_factory(
         &|| scheme.build(video, qoe.vmaf_model),
+        video,
+        traces,
+        qoe,
+        player,
+    );
+    journal_scheme_summary(scheme.name(), video.name(), &sessions);
+    sessions
+}
+
+/// Run with a custom algorithm factory (parameter sweeps). The factory is
+/// invoked once **per session**: algorithms are stateful and must not carry
+/// estimator state from one trace into the next.
+pub fn run_with_factory(
+    factory: &(dyn Fn() -> Box<dyn AbrAlgorithm> + Sync),
+    video: &PreparedVideo,
+    traces: &[Trace],
+    qoe: &QoeConfig,
+    player: &PlayerConfig,
+) -> Vec<QoeMetrics> {
+    run_with_factory_on(
+        engine::default_threads(traces.len()),
+        factory,
         video,
         traces,
         qoe,
@@ -165,94 +243,60 @@ pub fn run_scheme(
     )
 }
 
-/// Run with a custom algorithm factory (parameter sweeps). The factory is
-/// invoked once per worker thread.
-pub fn run_with_factory(
+/// [`run_with_factory`] with an explicit worker count. With fresh
+/// algorithms per session, the result is byte-identical for every
+/// `threads` value — the regression test pins `threads = 1` against many.
+pub fn run_with_factory_on(
+    threads: usize,
     factory: &(dyn Fn() -> Box<dyn AbrAlgorithm> + Sync),
-    video: &Video,
+    video: &PreparedVideo,
     traces: &[Trace],
     qoe: &QoeConfig,
     player: &PlayerConfig,
 ) -> Vec<QoeMetrics> {
-    let manifest = Manifest::from_video(video);
-    let classification = Classification::from_video(video);
     let sim = Simulator::new(*player);
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(traces.len().max(1));
-    let chunk = traces.len().div_ceil(n_threads);
-    let mut results: Vec<Option<QoeMetrics>> = vec![None; traces.len()];
-    std::thread::scope(|scope| {
-        for (slab_idx, (trace_slab, result_slab)) in traces
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
-            let manifest = &manifest;
-            let classification = &classification;
-            let sim = &sim;
-            let _ = slab_idx;
-            scope.spawn(move || {
-                let mut algo = factory();
-                for (trace, slot) in trace_slab.iter().zip(result_slab.iter_mut()) {
-                    let session = sim.run(algo.as_mut(), manifest, trace);
-                    *slot = Some(evaluate(&session, video, classification, qoe));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled by its worker"))
-        .collect()
+    engine::run_indexed_on(threads, traces.len(), |i| {
+        let mut algo = factory();
+        let session = sim.run(algo.as_mut(), &video.manifest, &traces[i]);
+        evaluate(&session, video, &video.classification, qoe)
+    })
 }
 
-/// Run one scheme and keep the raw sessions (for per-chunk analyses).
+/// Run one scheme and keep the raw sessions (for per-chunk analyses). Each
+/// session gets a fresh algorithm, like [`run_scheme`].
 pub fn run_sessions(
     scheme: SchemeKind,
-    video: &Video,
+    video: &PreparedVideo,
     traces: &[Trace],
     qoe: &QoeConfig,
     player: &PlayerConfig,
 ) -> Vec<SessionResult> {
-    let manifest = Manifest::from_video(video);
     let sim = Simulator::new(*player);
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(traces.len().max(1));
-    let chunk = traces.len().div_ceil(n_threads);
-    let mut results: Vec<Option<SessionResult>> = vec![None; traces.len()];
-    std::thread::scope(|scope| {
-        for (trace_slab, result_slab) in traces.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let manifest = &manifest;
-            let sim = &sim;
-            scope.spawn(move || {
-                let mut algo = scheme.build(video, qoe.vmaf_model);
-                for (trace, slot) in trace_slab.iter().zip(result_slab.iter_mut()) {
-                    *slot = Some(sim.run(algo.as_mut(), manifest, trace));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    engine::run_indexed(traces.len(), |i| {
+        let mut algo = scheme.build(video, qoe.vmaf_model);
+        sim.run(algo.as_mut(), &video.manifest, &traces[i])
+    })
 }
 
 /// The paper's five evaluation metrics plus supporting ones, as selectors
 /// over [`QoeMetrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
+    /// Mean quality of Q4 (hardest) chunks.
     Q4Quality,
+    /// Mean quality of Q1–Q3 chunks.
     Q13Quality,
+    /// Mean quality of all chunks.
     AllQuality,
+    /// Percentage of chunks below the low-quality threshold.
     LowQualityPct,
+    /// Total rebuffering seconds.
     RebufferS,
+    /// Average per-chunk quality change.
     QualityChange,
+    /// Total data usage in megabytes.
     DataUsageMb,
+    /// Mean track level.
     MeanLevel,
 }
 
@@ -310,7 +354,6 @@ pub fn metric_cdf(metric: Metric, sessions: &[QoeMetrics]) -> Cdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vbr_video::Dataset;
 
     #[test]
     fn scheme_names_unique() {
@@ -339,20 +382,39 @@ mod tests {
 
     #[test]
     fn parallel_runner_matches_serial() {
-        let video = Dataset::ed_youtube_h264();
+        let video = engine::video("ED-youtube-h264");
         let traces = TraceSet::Lte.generate(6);
         let qoe = TraceSet::Lte.qoe_config();
         let player = PlayerConfig::default();
         let parallel = run_scheme(SchemeKind::Rba, &video, &traces, &qoe, &player);
-        // Serial reference.
-        let manifest = Manifest::from_video(&video);
-        let classification = Classification::from_video(&video);
+        // Serial reference with a fresh algorithm per session.
         let sim = Simulator::new(player);
         for (i, trace) in traces.iter().enumerate() {
             let mut algo = SchemeKind::Rba.build(&video, qoe.vmaf_model);
-            let session = sim.run(algo.as_mut(), &manifest, trace);
-            let serial = evaluate(&session, &video, &classification, &qoe);
+            let session = sim.run(algo.as_mut(), &video.manifest, trace);
+            let serial = evaluate(&session, &video, &video.classification, &qoe);
             assert_eq!(parallel[i], serial, "trace {i}");
+        }
+    }
+
+    #[test]
+    fn partitioning_independence() {
+        // Regression test for the old slab runner, where one stateful
+        // algorithm was reused for a whole thread slab: per-session results
+        // depended on how traces were partitioned over workers. With a
+        // fresh algorithm per session, every worker count must produce
+        // byte-identical metrics. MPC's throughput estimator is the
+        // stateful part that leaked across sessions before.
+        let video = engine::video("ED-ffmpeg-h264");
+        let traces = TraceSet::Lte.generate(7);
+        let qoe = TraceSet::Lte.qoe_config();
+        let player = PlayerConfig::default();
+        let factory: &(dyn Fn() -> Box<dyn abr_sim::AbrAlgorithm> + Sync) =
+            &|| SchemeKind::Mpc.build(&video, qoe.vmaf_model);
+        let serial = run_with_factory_on(1, factory, &video, &traces, &qoe, &player);
+        for threads in [2, 3, 8] {
+            let parallel = run_with_factory_on(threads, factory, &video, &traces, &qoe, &player);
+            assert_eq!(serial, parallel, "{threads} workers");
         }
     }
 
@@ -364,7 +426,7 @@ mod tests {
 
     #[test]
     fn metric_selectors_cover_qoe() {
-        let video = Dataset::ed_youtube_h264();
+        let video = engine::video("ED-youtube-h264");
         let traces = TraceSet::Lte.generate(2);
         let qoe = TraceSet::Lte.qoe_config();
         let sessions = run_scheme(

@@ -1,0 +1,344 @@
+//! Structured run journal: one JSON document per engine run under
+//! `results/journal/<run_id>.json`.
+//!
+//! The journal answers "what exactly did this run compute, and how long did
+//! it take?" without re-reading stdout. It records, per experiment: wall
+//! time, the trace-set seeds actually consumed, the trace count, the scheme
+//! set, and one summary line per `(scheme, video)` evaluation. Run-level
+//! metadata (run id, git revision, total wall time, `TRACES` setting) frames
+//! the whole document.
+//!
+//! # Lifecycle
+//!
+//! The journal is a process-wide singleton driven by the engine
+//! ([`crate::engine::run_ids`]):
+//!
+//! 1. [`begin`] activates it (idempotent — nested engines reuse the outer
+//!    journal),
+//! 2. [`begin_experiment`]/[`end_experiment`] bracket each experiment,
+//! 3. the harness runners call [`note_scheme_run`] and the engine's trace
+//!    cache calls [`note_traces`] as work happens (both are no-ops while no
+//!    journal is active, so library users pay nothing),
+//! 4. [`finish`] serializes the document and returns its path.
+//!
+//! # Schema
+//!
+//! ```json
+//! {
+//!   "run_id": "run-1754500000-1234",
+//!   "git_rev": "76ca72f",
+//!   "trace_count": 200,
+//!   "wall_time_s": 812.4,
+//!   "experiments": [
+//!     {
+//!       "id": "fig08",
+//!       "description": "Scheme comparison, 5 metric CDFs (Fig. 8)",
+//!       "wall_time_s": 96.1,
+//!       "trace_count": 200,
+//!       "trace_sets": [ {"set": "LTE", "seed": 42, "count": 200} ],
+//!       "schemes": ["CAVA", "MPC", "..."],
+//!       "scheme_runs": [
+//!         {"scheme": "CAVA", "video": "ED-ffmpeg-h264", "sessions": 200,
+//!          "mean_quality": 78.2, "mean_rebuffer_s": 0.4}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One `(scheme, video)` evaluation inside an experiment: how many sessions
+/// ran and the headline means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeRun {
+    /// Scheme display name (e.g. `"CAVA"`, or `"custom"` for factory
+    /// sweeps).
+    pub scheme: String,
+    /// Full video name (e.g. `"ED-ffmpeg-h264"`).
+    pub video: String,
+    /// Number of sessions (= traces) evaluated.
+    pub sessions: usize,
+    /// Mean all-chunk quality across the sessions.
+    pub mean_quality: f64,
+    /// Mean total rebuffering (seconds) across the sessions.
+    pub mean_rebuffer_s: f64,
+}
+
+/// One trace corpus consumed by an experiment: which set, its base seed,
+/// and how many traces were generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSetUse {
+    /// Corpus name (`"LTE"` or `"FCC"`).
+    pub set: String,
+    /// Base seed the corpus was generated from.
+    pub seed: u64,
+    /// Number of traces generated.
+    pub count: usize,
+}
+
+/// Everything journaled about one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Registry id (e.g. `"fig08"`).
+    pub id: String,
+    /// Registry description.
+    pub description: String,
+    /// Wall time of the experiment body, in seconds.
+    pub wall_time_s: f64,
+    /// The `TRACES` setting in effect (paper default 200).
+    pub trace_count: usize,
+    /// Trace corpora consumed (deduplicated, in first-use order).
+    pub trace_sets: Vec<TraceSetUse>,
+    /// Scheme set evaluated (deduplicated, in first-run order).
+    pub schemes: Vec<String>,
+    /// Every `(scheme, video)` evaluation, in execution order.
+    pub scheme_runs: Vec<SchemeRun>,
+}
+
+/// The whole run: metadata plus one record per experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunJournal {
+    /// Unique id, also the journal's file stem: `run-<unix-secs>-<pid>`.
+    pub run_id: String,
+    /// `git rev-parse --short HEAD` at run time, or `"unknown"`.
+    pub git_rev: String,
+    /// The `TRACES` setting in effect for the run.
+    pub trace_count: usize,
+    /// Total wall time from [`begin`] to [`finish`], in seconds.
+    pub wall_time_s: f64,
+    /// One record per experiment, in execution order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+struct ActiveJournal {
+    journal: RunJournal,
+    run_started: Instant,
+    current: Option<(ExperimentRecord, Instant)>,
+    /// Nesting depth: `begin` is idempotent so a bin that calls
+    /// `engine::run_ids` from inside another engine run reuses the outer
+    /// journal; only the outermost `finish` writes the file.
+    depth: usize,
+}
+
+static ACTIVE: Mutex<Option<ActiveJournal>> = Mutex::new(None);
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn new_run_id() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!("run-{secs}-{}", std::process::id())
+}
+
+/// Activate the process-wide journal. Idempotent: if one is already active,
+/// this only increments the nesting depth so the matching [`finish`] is a
+/// no-op and the outermost caller writes the file.
+pub fn begin() {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    match guard.as_mut() {
+        Some(active) => active.depth += 1,
+        None => {
+            *guard = Some(ActiveJournal {
+                journal: RunJournal {
+                    run_id: new_run_id(),
+                    git_rev: git_rev(),
+                    trace_count: crate::harness::trace_count(),
+                    wall_time_s: 0.0,
+                    experiments: Vec::new(),
+                },
+                run_started: Instant::now(),
+                current: None,
+                depth: 1,
+            });
+        }
+    }
+}
+
+/// Open an experiment record; subsequent [`note_scheme_run`]/[`note_traces`]
+/// calls attach to it until [`end_experiment`]. No-op when no journal is
+/// active.
+pub fn begin_experiment(id: &str, description: &str) {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(active) = guard.as_mut() {
+        active.current = Some((
+            ExperimentRecord {
+                id: id.to_string(),
+                description: description.to_string(),
+                wall_time_s: 0.0,
+                trace_count: crate::harness::trace_count(),
+                trace_sets: Vec::new(),
+                schemes: Vec::new(),
+                scheme_runs: Vec::new(),
+            },
+            Instant::now(),
+        ));
+    }
+}
+
+/// Close the open experiment record, stamping its wall time and deriving
+/// the scheme set from the runs. No-op when nothing is open.
+pub fn end_experiment() {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(active) = guard.as_mut() {
+        if let Some((mut record, started)) = active.current.take() {
+            record.wall_time_s = started.elapsed().as_secs_f64();
+            for run in &record.scheme_runs {
+                if !record.schemes.contains(&run.scheme) {
+                    record.schemes.push(run.scheme.clone());
+                }
+            }
+            active.journal.experiments.push(record);
+        }
+    }
+}
+
+/// Attach one `(scheme, video)` evaluation to the open experiment. Called
+/// by the harness runners; a no-op while no journal/experiment is active.
+pub fn note_scheme_run(
+    scheme: &str,
+    video: &str,
+    sessions: usize,
+    mean_quality: f64,
+    mean_rebuffer_s: f64,
+) {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(active) = guard.as_mut() {
+        if let Some((record, _)) = active.current.as_mut() {
+            record.scheme_runs.push(SchemeRun {
+                scheme: scheme.to_string(),
+                video: video.to_string(),
+                sessions,
+                mean_quality,
+                mean_rebuffer_s,
+            });
+        }
+    }
+}
+
+/// Attach a trace-corpus use (set name, base seed, count) to the open
+/// experiment, deduplicated. Called by the engine's trace cache; a no-op
+/// while no journal/experiment is active.
+pub fn note_traces(set: &str, seed: u64, count: usize) {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(active) = guard.as_mut() {
+        if let Some((record, _)) = active.current.as_mut() {
+            let entry = TraceSetUse {
+                set: set.to_string(),
+                seed,
+                count,
+            };
+            if !record.trace_sets.contains(&entry) {
+                record.trace_sets.push(entry);
+            }
+        }
+    }
+}
+
+/// Deactivate the journal. The outermost call serializes the document to
+/// `<results_dir>/journal/<run_id>.json` and returns the path; nested calls
+/// (and calls with no active journal) return `Ok(None)`.
+pub fn finish() -> io::Result<Option<PathBuf>> {
+    let taken = {
+        let mut guard = ACTIVE.lock().expect("journal lock");
+        match guard.as_mut() {
+            None => return Ok(None),
+            Some(active) if active.depth > 1 => {
+                active.depth -= 1;
+                return Ok(None);
+            }
+            Some(_) => guard.take(),
+        }
+    };
+    let mut active = taken.expect("checked above");
+    // An experiment left open (e.g. because its body returned an error) is
+    // still recorded, so partial runs journal what they did complete.
+    if let Some((mut record, started)) = active.current.take() {
+        record.wall_time_s = started.elapsed().as_secs_f64();
+        for run in &record.scheme_runs {
+            if !record.schemes.contains(&run.scheme) {
+                record.schemes.push(run.scheme.clone());
+            }
+        }
+        active.journal.experiments.push(record);
+    }
+    active.journal.wall_time_s = active.run_started.elapsed().as_secs_f64();
+    let dir = crate::results_dir().join("journal");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", active.journal.run_id));
+    let json = serde_json::to_string_pretty(&active.journal).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunJournal {
+        RunJournal {
+            run_id: "run-0-1".to_string(),
+            git_rev: "abc1234".to_string(),
+            trace_count: 200,
+            wall_time_s: 12.5,
+            experiments: vec![ExperimentRecord {
+                id: "fig08".to_string(),
+                description: "Scheme comparison".to_string(),
+                wall_time_s: 3.25,
+                trace_count: 200,
+                trace_sets: vec![TraceSetUse {
+                    set: "LTE".to_string(),
+                    seed: 42,
+                    count: 200,
+                }],
+                schemes: vec!["CAVA".to_string(), "MPC".to_string()],
+                scheme_runs: vec![SchemeRun {
+                    scheme: "CAVA".to_string(),
+                    video: "ED-ffmpeg-h264".to_string(),
+                    sessions: 200,
+                    mean_quality: 78.25,
+                    mean_rebuffer_s: 0.5,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let journal = sample();
+        let json = serde_json::to_string_pretty(&journal).expect("serialize");
+        let back: RunJournal = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, journal);
+    }
+
+    #[test]
+    fn journal_json_has_expected_fields() {
+        let json = serde_json::to_string(&sample()).expect("serialize");
+        for key in [
+            "\"run_id\"",
+            "\"git_rev\"",
+            "\"wall_time_s\"",
+            "\"trace_sets\"",
+            "\"seed\"",
+            "\"schemes\"",
+            "\"scheme_runs\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end engine smoke test: drive two real registry experiments with
+//! a tiny trace budget and assert both land in the run journal with their
+//! wall times and seeds.
+//!
+//! Kept as its own integration-test binary because it sets process-wide
+//! environment (`TRACES`, `RESULTS_DIR`) before anything reads it.
+
+use abr_bench::journal::RunJournal;
+
+#[test]
+fn two_experiments_run_and_journal() {
+    let results = std::env::temp_dir().join(format!("abr-bench-smoke-{}", std::process::id()));
+    // This test binary runs these two experiments and nothing else, so the
+    // env is set before any trace_count()/results_dir() read.
+    std::env::set_var("TRACES", "4");
+    std::env::set_var("RESULTS_DIR", &results);
+
+    // fig01 is trace-free (pure dataset characterization); fig02 exercises
+    // the video cache across four videos. Both are cheap at TRACES=4.
+    abr_bench::engine::run_ids(&["fig01", "fig02"]).expect("experiments run");
+
+    let journal_dir = results.join("journal");
+    let mut entries: Vec<_> = std::fs::read_dir(&journal_dir)
+        .expect("journal dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 1, "exactly one journal for one run");
+    let json = std::fs::read_to_string(&entries[0]).expect("journal readable");
+    let journal: RunJournal = serde_json::from_str(&json).expect("journal parses");
+
+    assert_eq!(journal.trace_count, 4);
+    assert!(!journal.git_rev.is_empty());
+    assert!(journal.wall_time_s > 0.0);
+    let ids: Vec<&str> = journal.experiments.iter().map(|e| e.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        ["fig01", "fig02"],
+        "both experiments journaled in order"
+    );
+    for exp in &journal.experiments {
+        assert!(exp.wall_time_s > 0.0, "{} wall time recorded", exp.id);
+        assert_eq!(exp.trace_count, 4);
+    }
+
+    // The same artifacts were fetched at most once per key.
+    let before = abr_bench::engine::video_generations();
+    abr_bench::engine::run_ids(&["fig01"]).expect("re-run");
+    assert_eq!(
+        abr_bench::engine::video_generations(),
+        before,
+        "re-running an experiment must not rebuild cached videos"
+    );
+
+    std::fs::remove_dir_all(&results).ok();
+}

@@ -5,10 +5,12 @@
 use std::path::Path;
 
 fn assert_wellformed_csv(path: &Path) {
-    let content = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let content =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     let mut lines = content.lines();
-    let header = lines.next().unwrap_or_else(|| panic!("{}: empty", path.display()));
+    let header = lines
+        .next()
+        .unwrap_or_else(|| panic!("{}: empty", path.display()));
     let ncols = header.split(',').count();
     assert!(ncols >= 2, "{}: header {header:?}", path.display());
     let mut rows = 0;

@@ -32,7 +32,11 @@ pub const SCHEME_NAMES: [&str; 15] = [
     "bola-e-seg",
 ];
 
-fn build_scheme(name: &str, video: &Video, model: VmafModel) -> Result<Box<dyn AbrAlgorithm>, String> {
+fn build_scheme(
+    name: &str,
+    video: &Video,
+    model: VmafModel,
+) -> Result<Box<dyn AbrAlgorithm>, String> {
     Ok(match name {
         "cava" => Box::new(Cava::paper_default()),
         "cava-p1" => Box::new(Cava::p1()),
@@ -67,7 +71,10 @@ fn load_video(name: &str) -> Result<Video, String> {
     }
     Dataset::by_name(name).ok_or_else(|| {
         let known: Vec<String> = Dataset::specs().iter().map(|s| s.name.clone()).collect();
-        format!("unknown video {name:?}; run `cava list-videos` (known: {})", known.join(", "))
+        format!(
+            "unknown video {name:?}; run `cava list-videos` (known: {})",
+            known.join(", ")
+        )
     })
 }
 
@@ -93,7 +100,13 @@ fn trace_set(args: &Args) -> Result<(Vec<Trace>, QoeConfig), String> {
 /// `cava list-videos`
 pub fn list_videos() -> Result<(), String> {
     let mut table = TextTable::new(vec![
-        "name", "genre", "codec", "chunks", "chunk (s)", "top track", "avg Mbps (top)",
+        "name",
+        "genre",
+        "codec",
+        "chunks",
+        "chunk (s)",
+        "top track",
+        "avg Mbps (top)",
     ]);
     for spec in Dataset::specs() {
         let video = spec.build();
@@ -144,7 +157,12 @@ pub fn characterize(argv: &[String]) -> Result<(), String> {
         cross_track_consistency(&video)
     );
     let track = video.n_tracks() / 2;
-    let mut classes = TextTable::new(vec!["class", "mean size (KB)", "median VMAF-TV", "median VMAF-phone"]);
+    let mut classes = TextTable::new(vec![
+        "class",
+        "mean size (KB)",
+        "median VMAF-TV",
+        "median VMAF-phone",
+    ]);
     for class in ChunkClass::ALL {
         let pos = classification.positions_of(class);
         let mean_kb = pos
@@ -233,9 +251,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     table.add_row(vec!["Q4 quality (VMAF)", &format!("{:.1}", acc[0] / n)]);
     table.add_row(vec!["Q1-Q3 quality", &format!("{:.1}", acc[1] / n)]);
     table.add_row(vec!["all-chunk quality", &format!("{:.1}", acc[2] / n)]);
-    table.add_row(vec!["low-quality chunks (%)", &format!("{:.1}", acc[3] / n)]);
+    table.add_row(vec![
+        "low-quality chunks (%)",
+        &format!("{:.1}", acc[3] / n),
+    ]);
     table.add_row(vec!["rebuffering (s)", &format!("{:.1}", acc[4] / n)]);
-    table.add_row(vec!["quality change (/chunk)", &format!("{:.2}", acc[5] / n)]);
+    table.add_row(vec![
+        "quality change (/chunk)",
+        &format!("{:.2}", acc[5] / n),
+    ]);
     table.add_row(vec!["data usage (MB)", &format!("{:.1}", acc[6] / n)]);
     print!("{table}");
     Ok(())
@@ -252,7 +276,13 @@ pub fn compare(argv: &[String]) -> Result<(), String> {
     let sim = Simulator::paper_default();
     println!("{} over {} traces", video.name(), traces.len());
     let mut table = TextTable::new(vec![
-        "scheme", "Q4", "Q1-3", "low-q %", "rebuf (s)", "qual chg", "MB",
+        "scheme",
+        "Q4",
+        "Q1-3",
+        "low-q %",
+        "rebuf (s)",
+        "qual chg",
+        "MB",
     ]);
     for name in SCHEME_NAMES {
         let mut algo = build_scheme(name, &video, qoe.vmaf_model)?;
@@ -334,7 +364,10 @@ pub fn gen_traces(argv: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown format {other:?} (csv, json, mahimahi)")),
     }
-    println!("wrote {count} {kind} traces to {} ({format})", dir.display());
+    println!(
+        "wrote {count} {kind} traces to {} ({format})",
+        dir.display()
+    );
     Ok(())
 }
 
@@ -385,7 +418,14 @@ pub fn inspect(argv: &[String]) -> Result<(), String> {
     // Per-chunk table, decimated to keep the terminal readable.
     let step = (session.n_chunks() / 30).max(1);
     let mut table = TextTable::new(vec![
-        "chunk", "class", "level", "KB", "dl (s)", "Mbps", "stall (s)", "buffer (s)",
+        "chunk",
+        "class",
+        "level",
+        "KB",
+        "dl (s)",
+        "Mbps",
+        "stall (s)",
+        "buffer (s)",
     ]);
     for r in session.records.iter().step_by(step) {
         table.add_row(vec![
@@ -442,8 +482,7 @@ pub fn trace_stats(argv: &[String]) -> Result<(), String> {
     let outage: Vec<f64> = traces
         .iter()
         .map(|t| {
-            100.0 * t.samples().iter().filter(|&&s| s == 0.0).count() as f64
-                / t.n_samples() as f64
+            100.0 * t.samples().iter().filter(|&&s| s == 0.0).count() as f64 / t.n_samples() as f64
         })
         .collect();
     println!(

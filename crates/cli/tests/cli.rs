@@ -108,7 +108,12 @@ fn export_mpd_to_stdout_and_file() {
     let dir = std::env::temp_dir().join("cava_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("ed.mpd");
-    let out = cava(&["export-mpd", "ED-youtube-h264", "--out", path.to_str().unwrap()]);
+    let out = cava(&[
+        "export-mpd",
+        "ED-youtube-h264",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let xml = std::fs::read_to_string(&path).unwrap();
     assert!(vbr_video_round_trips(&xml));
@@ -167,7 +172,14 @@ fn compare_runs_all_schemes() {
     let out = cava(&["compare", "ED-youtube-h264", "--traces", "1"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
-    for name in ["CAVA", "RobustMPC", "PANDA/CQ max-min", "BOLA-E (seg)", "FESTIVE", "PIA"] {
+    for name in [
+        "CAVA",
+        "RobustMPC",
+        "PANDA/CQ max-min",
+        "BOLA-E (seg)",
+        "FESTIVE",
+        "PIA",
+    ] {
         assert!(text.contains(name), "missing {name}");
     }
 }

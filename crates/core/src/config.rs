@@ -138,7 +138,10 @@ impl CavaConfig {
     /// # Panics
     /// Panics on out-of-range parameters.
     pub fn validate(&self) {
-        assert!(self.kp >= 0.0 && self.ki >= 0.0, "gains must be non-negative");
+        assert!(
+            self.kp >= 0.0 && self.ki >= 0.0,
+            "gains must be non-negative"
+        );
         assert!(self.u_min > 0.0, "u_min must be positive");
         assert!(self.u_max > self.u_min, "u_max must exceed u_min");
         assert!(self.integral_limit >= 0.0);

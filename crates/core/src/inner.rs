@@ -103,9 +103,12 @@ impl InnerController {
         let m = inputs.manifest;
         let i = inputs.chunk_index;
         let delta = m.chunk_duration();
-        let visible_remaining = inputs.visible_chunks.min(m.n_chunks()).saturating_sub(i).max(1);
-        let w_chunks = ((cfg.inner_window_s / delta).round() as usize)
-            .clamp(1, visible_remaining);
+        let visible_remaining = inputs
+            .visible_chunks
+            .min(m.n_chunks())
+            .saturating_sub(i)
+            .max(1);
+        let w_chunks = ((cfg.inner_window_s / delta).round() as usize).clamp(1, visible_remaining);
         let horizon = cfg.horizon_n.min(visible_remaining) as f64;
 
         // η: zero across complexity-category boundaries.
@@ -167,9 +170,7 @@ mod tests {
         let video = Dataset::ed_ffmpeg_h264();
         let m = Manifest::from_video(&video);
         let classification = Classification::from_video(&video);
-        let is_complex: Vec<bool> = (0..m.n_chunks())
-            .map(|i| classification.is_q4(i))
-            .collect();
+        let is_complex: Vec<bool> = (0..m.n_chunks()).map(|i| classification.is_q4(i)).collect();
         (m, is_complex)
     }
 
@@ -289,11 +290,8 @@ mod tests {
             // answer must equal the α=1 answer in those cases.
             let l = inner.select_level(&inputs(&m, i, 1.0, bw, Some(1), 40.0), &c);
             let l_neutral = inner.argmin_q(&inputs(&m, i, 1.0, bw, Some(1), 40.0), &c, 1.0);
-            let l_deflated = inner.argmin_q(
-                &inputs(&m, i, 1.0, bw, Some(1), 40.0),
-                &c,
-                cfg.alpha_q13,
-            );
+            let l_deflated =
+                inner.argmin_q(&inputs(&m, i, 1.0, bw, Some(1), 40.0), &c, cfg.alpha_q13);
             if l_deflated <= cfg.low_level_threshold {
                 assert_eq!(l, l_neutral, "chunk {i}");
                 if l_neutral > l_deflated {
@@ -316,11 +314,8 @@ mod tests {
             }
             // Thin buffer: deflation stands even at low levels.
             let l = inner.select_level(&inputs(&m, i, 1.0, bw, Some(1), 5.0), &c);
-            let l_deflated = inner.argmin_q(
-                &inputs(&m, i, 1.0, bw, Some(1), 5.0),
-                &c,
-                cfg.alpha_q13,
-            );
+            let l_deflated =
+                inner.argmin_q(&inputs(&m, i, 1.0, bw, Some(1), 5.0), &c, cfg.alpha_q13);
             assert_eq!(l, l_deflated, "chunk {i}");
         }
     }
@@ -374,10 +369,8 @@ mod tests {
     fn window_truncates_at_video_end() {
         let (m, c) = setup();
         let inner = InnerController::new(&crate::config::CavaConfig::paper_default());
-        let level = inner.select_level(
-            &inputs(&m, m.n_chunks() - 1, 1.0, 3.0e6, Some(3), 50.0),
-            &c,
-        );
+        let level =
+            inner.select_level(&inputs(&m, m.n_chunks() - 1, 1.0, 3.0e6, Some(3), 50.0), &c);
         assert!(level < m.n_tracks());
     }
 }
@@ -392,9 +385,7 @@ mod penalty_mode_tests {
         let video = Dataset::ed_ffmpeg_h264();
         let m = Manifest::from_video(&video);
         let classification = Classification::from_video(&video);
-        let is_complex: Vec<bool> = (0..m.n_chunks())
-            .map(|i| classification.is_q4(i))
-            .collect();
+        let is_complex: Vec<bool> = (0..m.n_chunks()).map(|i| classification.is_q4(i)).collect();
         (m, is_complex)
     }
 

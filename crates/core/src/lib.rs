@@ -161,7 +161,9 @@ impl AbrAlgorithm for Cava {
         let is_complex = self.is_complex.as_ref().expect("set above");
 
         // Outer controller: dynamic target buffer level (P3).
-        let target = self.outer.target_buffer_s(ctx.manifest, ctx.chunk_index, ctx.visible_chunks);
+        let target = self
+            .outer
+            .target_buffer_s(ctx.manifest, ctx.chunk_index, ctx.visible_chunks);
         // Reachability clamp (our live-streaming extension of the paper's
         // concepts): the buffer can never exceed the content that exists but
         // hasn't played — `(visible − current)·Δ + buffer`. An unreachable
@@ -169,8 +171,8 @@ impl AbrAlgorithm for Cava {
         // forever, which is exactly what happens near the live edge (and,
         // milder, at the end of a VoD asset).
         let delta = ctx.manifest.chunk_duration();
-        let reachable = ctx.visible_chunks.saturating_sub(ctx.chunk_index) as f64 * delta
-            + ctx.buffer_s;
+        let reachable =
+            ctx.visible_chunks.saturating_sub(ctx.chunk_index) as f64 * delta + ctx.buffer_s;
         // Keep one chunk of margin below the ceiling so the controller
         // retains headroom to absorb a slow download, with a two-chunk
         // floor so the clamp never demands an empty buffer.
@@ -234,7 +236,11 @@ mod tests {
         assert_eq!(session.total_stall_s, 0.0);
         assert_eq!(session.n_chunks(), m.n_chunks());
         // With 8 Mbps against a 4.6 Mbps top track, quality should be high.
-        assert!(session.mean_level() > 3.0, "mean level {}", session.mean_level());
+        assert!(
+            session.mean_level() > 3.0,
+            "mean level {}",
+            session.mean_level()
+        );
     }
 
     #[test]

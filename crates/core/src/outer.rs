@@ -69,7 +69,9 @@ impl OuterController {
         }
         let r_ref = manifest.declared_bitrate(reference);
         // Σ R_k·Δ  =  Σ chunk bits over the window.
-        let window_bits: f64 = (start..end).map(|i| manifest.chunk_bits(reference, i)).sum();
+        let window_bits: f64 = (start..end)
+            .map(|i| manifest.chunk_bits(reference, i))
+            .sum();
         let avg_bits = r_ref * (end - start) as f64 * delta;
         let extra_s = ((window_bits - avg_bits) / r_ref).max(0.0);
         (self.base_target_s + extra_s).min(self.base_target_s * self.cap_factor)
@@ -91,7 +93,10 @@ mod tests {
         let outer = OuterController::new(&cfg);
         let m = manifest();
         for i in [0, 50, 200] {
-            assert_eq!(outer.target_buffer_s(&m, i, m.n_chunks()), cfg.base_target_buffer_s);
+            assert_eq!(
+                outer.target_buffer_s(&m, i, m.n_chunks()),
+                cfg.base_target_buffer_s
+            );
         }
     }
 

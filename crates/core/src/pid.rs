@@ -57,13 +57,23 @@ impl PidController {
     ///
     /// # Panics
     /// Panics on negative inputs.
-    pub fn control(&mut self, target_s: f64, current_s: f64, chunk_duration_s: f64, dt_s: f64) -> f64 {
+    pub fn control(
+        &mut self,
+        target_s: f64,
+        current_s: f64,
+        chunk_duration_s: f64,
+        dt_s: f64,
+    ) -> f64 {
         assert!(target_s >= 0.0 && current_s >= 0.0 && chunk_duration_s > 0.0 && dt_s >= 0.0);
         let error = target_s - current_s;
         let step = dt_s.min(self.max_step_s);
-        self.integral = (self.integral + error * step)
-            .clamp(-self.integral_limit, self.integral_limit);
-        let indicator = if current_s >= chunk_duration_s { 1.0 } else { 0.0 };
+        self.integral =
+            (self.integral + error * step).clamp(-self.integral_limit, self.integral_limit);
+        let indicator = if current_s >= chunk_duration_s {
+            1.0
+        } else {
+            0.0
+        };
         let u = self.kp * error + self.ki * self.integral + indicator;
         u.clamp(self.u_min, self.u_max)
     }
@@ -142,7 +152,10 @@ mod tests {
         for _ in 0..1000 {
             let _ = p.control(60.0, 0.0, 2.0, 10.0);
         }
-        assert!((p.integral() - cfg.integral_limit).abs() < 1e-9, "windup clamp");
+        assert!(
+            (p.integral() - cfg.integral_limit).abs() < 1e-9,
+            "windup clamp"
+        );
         // A long stretch above target unwinds it.
         for _ in 0..1000 {
             let _ = p.control(60.0, 100.0, 2.0, 10.0);

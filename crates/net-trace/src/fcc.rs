@@ -39,9 +39,7 @@ impl Default for FccConfig {
 
 /// Typical US broadband plan rates in bps (DSL through cable tiers). The mix
 /// skews toward mid tiers, mirroring the FCC panel composition.
-const PLAN_RATES: [f64; 8] = [
-    1.5e6, 3.0e6, 5.0e6, 8.0e6, 12.0e6, 18.0e6, 25.0e6, 50.0e6,
-];
+const PLAN_RATES: [f64; 8] = [1.5e6, 3.0e6, 5.0e6, 8.0e6, 12.0e6, 18.0e6, 25.0e6, 50.0e6];
 const PLAN_WEIGHTS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
 
 /// Generate one FCC-style broadband trace (per-5-second samples).

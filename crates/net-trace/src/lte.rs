@@ -175,7 +175,10 @@ mod tests {
                 high_cov += 1;
             }
         }
-        assert!(high_cov > 25, "most LTE traces should be bursty: {high_cov}/50");
+        assert!(
+            high_cov > 25,
+            "most LTE traces should be bursty: {high_cov}/50"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl Trace {
     /// # Panics
     /// Panics if `t` is negative or non-finite.
     pub fn bandwidth_at(&self, t: f64) -> f64 {
-        assert!(t.is_finite() && t >= 0.0, "time must be finite and non-negative");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "time must be finite and non-negative"
+        );
         let wrapped = t % self.duration_s();
         let idx = (wrapped / self.interval_s) as usize;
         // Float edge: wrapped/interval can round up to len at the boundary.
@@ -98,7 +101,10 @@ impl Trace {
 
     /// Minimum sample.
     pub fn min_bps(&self) -> f64 {
-        self.throughput_bps.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.throughput_bps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum sample.

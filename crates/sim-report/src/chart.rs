@@ -40,7 +40,10 @@ impl AsciiChart {
     /// # Panics
     /// Panics if `width < 10` or `height < 4` (nothing useful fits).
     pub fn new<S: Into<String>>(title: S, width: usize, height: usize) -> AsciiChart {
-        assert!(width >= 10 && height >= 4, "chart too small: {width}x{height}");
+        assert!(
+            width >= 10 && height >= 4,
+            "chart too small: {width}x{height}"
+        );
         AsciiChart {
             width,
             height,

@@ -346,7 +346,9 @@ mod tests {
     #[test]
     fn sign_test_neutral_on_balanced_signs() {
         // Alternate +1/−1 differences: p should be ~1.
-        let a: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let b = vec![0.0; 40];
         let p = paired_sign_test(&a, &b).unwrap();
         assert!(p > 0.8, "balanced: p = {p}");
@@ -356,7 +358,7 @@ mod tests {
     fn sign_test_degenerate_cases() {
         assert_eq!(paired_sign_test(&[1.0], &[1.0, 2.0]), None);
         assert_eq!(paired_sign_test(&[1.0, 2.0], &[1.0, 2.0]), None); // all ties
-        // Small n, exact: one pair, one sign → p = 2 * 0.5 = 1.
+                                                                      // Small n, exact: one pair, one sign → p = 2 * 0.5 = 1.
         assert_eq!(paired_sign_test(&[2.0], &[1.0]), Some(1.0));
     }
 
@@ -371,7 +373,11 @@ mod tests {
     fn bootstrap_ci_brackets_true_difference() {
         // a = b + 5 with small noise: CI must contain ~5 and not 0.
         let b: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
-        let a: Vec<f64> = b.iter().enumerate().map(|(i, x)| x + 5.0 + ((i % 3) as f64 - 1.0) * 0.1).collect();
+        let a: Vec<f64> = b
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + 5.0 + ((i % 3) as f64 - 1.0) * 0.1)
+            .collect();
         let (lo, hi) = bootstrap_mean_diff_ci(&a, &b, 0.95, 2000, 42).unwrap();
         assert!(lo < 5.0 && 5.0 < hi, "CI [{lo}, {hi}]");
         assert!(lo > 0.0, "CI should exclude zero: [{lo}, {hi}]");

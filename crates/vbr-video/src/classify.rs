@@ -200,10 +200,7 @@ pub fn classification_from_si_ti(video: &Video) -> Classification {
         .collect();
     // Reuse the generic equal-frequency binning by converting scores to a
     // synthetic "size" ranking (scaled to preserve order in u64).
-    let sizes: Vec<u64> = scores
-        .iter()
-        .map(|s| (s * 1e12) as u64)
-        .collect();
+    let sizes: Vec<u64> = scores.iter().map(|s| (s * 1e12) as u64).collect();
     let indices = classify_k(&sizes, 4);
     Classification {
         reference_track: usize::MAX, // content-based: no reference track
@@ -235,8 +232,18 @@ pub fn cross_track_consistency(video: &Video) -> f64 {
     let mut min_corr = 1.0f64;
     for a in 0..video.n_tracks() {
         for b in (a + 1)..video.n_tracks() {
-            let xs: Vec<f64> = video.track(a).chunk_sizes().iter().map(|&v| v as f64).collect();
-            let ys: Vec<f64> = video.track(b).chunk_sizes().iter().map(|&v| v as f64).collect();
+            let xs: Vec<f64> = video
+                .track(a)
+                .chunk_sizes()
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            let ys: Vec<f64> = video
+                .track(b)
+                .chunk_sizes()
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
             if let Some(r) = spearman(&xs, &ys) {
                 min_corr = min_corr.min(r);
             }
@@ -414,8 +421,10 @@ mod tests {
         assert!(overall > 0.5, "overall agreement {overall}");
         let q4_size: std::collections::HashSet<usize> =
             by_size.positions_of(ChunkClass::Q4).into_iter().collect();
-        let q4_content: std::collections::HashSet<usize> =
-            by_content.positions_of(ChunkClass::Q4).into_iter().collect();
+        let q4_content: std::collections::HashSet<usize> = by_content
+            .positions_of(ChunkClass::Q4)
+            .into_iter()
+            .collect();
         let overlap = q4_size.intersection(&q4_content).count() as f64 / q4_size.len() as f64;
         assert!(overlap > 0.55, "Q4 overlap {overlap}");
     }
@@ -434,7 +443,10 @@ mod tests {
         let c = Classification::from_video(&v);
         let mean_cx = |class: ChunkClass| {
             let pos = c.positions_of(class);
-            pos.iter().map(|&i| v.complexity().complexity(i)).sum::<f64>() / pos.len() as f64
+            pos.iter()
+                .map(|&i| v.complexity().complexity(i))
+                .sum::<f64>()
+                / pos.len() as f64
         };
         assert!(mean_cx(ChunkClass::Q4) > mean_cx(ChunkClass::Q1) * 1.5);
         assert!(mean_cx(ChunkClass::Q4) > mean_cx(ChunkClass::Q3));

@@ -106,7 +106,12 @@ impl SceneComplexity {
     ///
     /// # Panics
     /// Panics if `n_chunks == 0` or `chunk_duration <= 0`.
-    pub fn generate(n_chunks: usize, chunk_duration: f64, genre: Genre, seed: u64) -> SceneComplexity {
+    pub fn generate(
+        n_chunks: usize,
+        chunk_duration: f64,
+        genre: Genre,
+        seed: u64,
+    ) -> SceneComplexity {
         assert!(n_chunks > 0, "need at least one chunk");
         assert!(chunk_duration > 0.0, "chunk duration must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ COMPLEXITY_SEED_SALT);
@@ -390,9 +395,8 @@ mod tests {
         // Action should be more temporally complex than nature on average.
         let action = gen(Genre::Action, 21);
         let nature = gen(Genre::Nature, 21);
-        let mean_ti = |sc: &SceneComplexity| {
-            sc.ti_values().iter().sum::<f64>() / sc.n_chunks() as f64
-        };
+        let mean_ti =
+            |sc: &SceneComplexity| sc.ti_values().iter().sum::<f64>() / sc.n_chunks() as f64;
         assert!(mean_ti(&action) > mean_ti(&nature));
     }
 

@@ -353,7 +353,10 @@ mod tests {
             }
             assert!(peak < 2.6 * mean, "gross cap violation: {}", peak / mean);
         }
-        assert!(exceeded, "FFmpeg encodings should exceed the cap slightly sometimes");
+        assert!(
+            exceeded,
+            "FFmpeg encodings should exceed the cap slightly sometimes"
+        );
     }
 
     #[test]
@@ -367,8 +370,7 @@ mod tests {
         rank_pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         // Cheap monotonicity check: mean of top third > 1.5x mean of bottom third.
         let third = rank_pairs.len() / 3;
-        let bottom: f64 =
-            rank_pairs[..third].iter().map(|p| p.1).sum::<f64>() / third as f64;
+        let bottom: f64 = rank_pairs[..third].iter().map(|p| p.1).sum::<f64>() / third as f64;
         let top: f64 = rank_pairs[rank_pairs.len() - third..]
             .iter()
             .map(|p| p.1)
@@ -415,7 +417,10 @@ mod tests {
             let rates = bitrates(&encode_track(&sc, &ladder, level, &cfg), 2.0);
             let declared = ladder.avg_bitrate(level);
             for r in rates {
-                assert!(r >= declared * cfg.floor_ratio * 0.9, "rate {r} below floor");
+                assert!(
+                    r >= declared * cfg.floor_ratio * 0.9,
+                    "rate {r} below floor"
+                );
             }
         }
     }

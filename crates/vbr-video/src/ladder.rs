@@ -110,7 +110,10 @@ impl Ladder {
                 pair[1].1
             );
         }
-        assert!(tracks.iter().all(|&(_, r)| r > 0.0), "bitrates must be positive");
+        assert!(
+            tracks.iter().all(|&(_, r)| r > 0.0),
+            "bitrates must be positive"
+        );
         Ladder { tracks, codec }
     }
 

@@ -83,9 +83,7 @@ pub fn to_mpd_xml(manifest: &Manifest) -> String {
         "  <!-- generated from video {:?}; SegmentSizeList is a documented extension -->\n",
         manifest.video_name()
     ));
-    out.push_str(&format!(
-        "  <Period id=\"0\" duration=\"PT{duration}S\">\n"
-    ));
+    out.push_str(&format!("  <Period id=\"0\" duration=\"PT{duration}S\">\n"));
     out.push_str(
         "    <AdaptationSet contentType=\"video\" segmentAlignment=\"true\" bitstreamSwitching=\"true\">\n",
     );
@@ -136,7 +134,11 @@ pub fn from_mpd_xml(xml: &str) -> Result<Manifest, MpdError> {
 
     let mut chunk_duration = None;
     let mut tracks: Vec<crate::manifest::TrackInfo> = Vec::new();
-    let mut reps: Vec<&Element> = aset.children.iter().filter(|c| c.name == "Representation").collect();
+    let mut reps: Vec<&Element> = aset
+        .children
+        .iter()
+        .filter(|c| c.name == "Representation")
+        .collect();
     if reps.is_empty() {
         return Err(MpdError::Missing("Representation".to_string()));
     }
@@ -258,7 +260,8 @@ impl Element {
         }
         *pos += 1;
         let name_start = *pos;
-        while *pos < xml.len() && !xml.as_bytes()[*pos].is_ascii_whitespace()
+        while *pos < xml.len()
+            && !xml.as_bytes()[*pos].is_ascii_whitespace()
             && xml.as_bytes()[*pos] != b'>'
             && xml.as_bytes()[*pos] != b'/'
         {
@@ -383,7 +386,10 @@ fn expect_byte(xml: &str, pos: &mut usize, byte: u8) -> Result<(), MpdError> {
 
 fn parse_attribute(xml: &str, pos: &mut usize) -> Result<(String, String), MpdError> {
     let key_start = *pos;
-    while *pos < xml.len() && xml.as_bytes()[*pos] != b'=' && !xml.as_bytes()[*pos].is_ascii_whitespace() {
+    while *pos < xml.len()
+        && xml.as_bytes()[*pos] != b'='
+        && !xml.as_bytes()[*pos].is_ascii_whitespace()
+    {
         *pos += 1;
     }
     let key = xml[key_start..*pos].to_string();
@@ -417,14 +423,14 @@ mod tests {
         assert_eq!(parsed.n_chunks(), manifest.n_chunks());
         assert!((parsed.chunk_duration() - manifest.chunk_duration()).abs() < 1e-9);
         for l in 0..manifest.n_tracks() {
-            assert_eq!(
-                parsed.track(l).resolution(),
-                manifest.track(l).resolution()
-            );
+            assert_eq!(parsed.track(l).resolution(), manifest.track(l).resolution());
             assert!(
                 (parsed.declared_bitrate(l) - manifest.declared_bitrate(l).round()).abs() < 1.0
             );
-            assert_eq!(parsed.track(l).chunk_bytes(), manifest.track(l).chunk_bytes());
+            assert_eq!(
+                parsed.track(l).chunk_bytes(),
+                manifest.track(l).chunk_bytes()
+            );
         }
     }
 

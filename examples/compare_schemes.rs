@@ -15,10 +15,7 @@ use cava_suite::video::quality::VmafModel;
 fn main() {
     let mut args = std::env::args().skip(1);
     let video_name = args.next().unwrap_or_else(|| "ED-ffmpeg-h264".to_string());
-    let n_traces: usize = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50);
+    let n_traces: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(50);
     let video = Dataset::by_name(&video_name).unwrap_or_else(|| {
         eprintln!("unknown video {video_name:?}; available:");
         for spec in Dataset::specs() {

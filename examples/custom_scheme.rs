@@ -30,8 +30,7 @@ impl AbrAlgorithm for Hybrid {
         // Spend more aggressively when the buffer is comfortable.
         let share = (ctx.buffer_s / 40.0).clamp(0.5, 1.2);
         let budget = bw * share;
-        let w_chunks =
-            ((self.window_s / ctx.manifest.chunk_duration()).round() as usize).max(1);
+        let w_chunks = ((self.window_s / ctx.manifest.chunk_duration()).round() as usize).max(1);
         (0..ctx.manifest.n_tracks())
             .rev()
             .find(|&level| {
@@ -63,7 +62,12 @@ fn main() {
         Box::new(Rba::paper_default()),
     ];
     let mut table = TextTable::new(vec![
-        "scheme", "Q4 qual", "all qual", "rebuf (s)", "qual chg", "MB",
+        "scheme",
+        "Q4 qual",
+        "all qual",
+        "rebuf (s)",
+        "qual chg",
+        "MB",
     ]);
     for algo in &mut schemes {
         let mut acc = [0.0f64; 5];

@@ -27,7 +27,11 @@ fn main() {
         delta,
         head_start as f64 * delta
     );
-    println!("trace {} (mean {:.2} Mbps)", trace.name(), trace.mean_bps() / 1e6);
+    println!(
+        "trace {} (mean {:.2} Mbps)",
+        trace.name(),
+        trace.mean_bps() / 1e6
+    );
 
     let live = LiveConfig {
         head_start_chunks: head_start,

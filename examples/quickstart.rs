@@ -41,12 +41,27 @@ fn main() {
     let m = evaluate(&session, &video, &classification, &QoeConfig::lte());
 
     let mut table = TextTable::new(vec!["metric", "value"]);
-    table.add_row(vec!["quality of Q4 chunks (VMAF)", &format!("{:.1}", m.q4_quality_mean)]);
-    table.add_row(vec!["quality of Q1-Q3 chunks", &format!("{:.1}", m.q13_quality_mean)]);
-    table.add_row(vec!["low-quality chunks", &format!("{:.1}%", m.low_quality_pct)]);
-    table.add_row(vec!["rebuffering", &format!("{:.1}s ({} events)", m.rebuffer_s, m.n_stalls)]);
+    table.add_row(vec![
+        "quality of Q4 chunks (VMAF)",
+        &format!("{:.1}", m.q4_quality_mean),
+    ]);
+    table.add_row(vec![
+        "quality of Q1-Q3 chunks",
+        &format!("{:.1}", m.q13_quality_mean),
+    ]);
+    table.add_row(vec![
+        "low-quality chunks",
+        &format!("{:.1}%", m.low_quality_pct),
+    ]);
+    table.add_row(vec![
+        "rebuffering",
+        &format!("{:.1}s ({} events)", m.rebuffer_s, m.n_stalls),
+    ]);
     table.add_row(vec!["startup delay", &format!("{:.1}s", m.startup_delay_s)]);
-    table.add_row(vec!["avg quality change/chunk", &format!("{:.2}", m.avg_quality_change)]);
+    table.add_row(vec![
+        "avg quality change/chunk",
+        &format!("{:.2}", m.avg_quality_change),
+    ]);
     table.add_row(vec![
         "data usage",
         &format!("{:.1} MB", m.data_usage_bytes as f64 / 1e6),

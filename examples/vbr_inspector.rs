@@ -71,7 +71,10 @@ fn main() {
             .collect();
         let si: Vec<f64> = pos.iter().map(|&i| video.complexity().si(i)).collect();
         let ti: Vec<f64> = pos.iter().map(|&i| video.complexity().ti(i)).collect();
-        let tv: Vec<f64> = pos.iter().map(|&i| video.quality(track, i).vmaf_tv).collect();
+        let tv: Vec<f64> = pos
+            .iter()
+            .map(|&i| video.quality(track, i).vmaf_tv)
+            .collect();
         let phone: Vec<f64> = pos
             .iter()
             .map(|&i| video.quality(track, i).vmaf_phone)

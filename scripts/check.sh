@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repo-wide lint gate. Run before sending a PR; CI runs the same steps.
+#
+#   scripts/check.sh          # fmt + clippy + docs
+#
+# The doc step holds abr-bench to `#![deny(missing_docs)]` plus
+# rustdoc's own lints (broken intra-doc links, etc.).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc -p abr-bench (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abr-bench
+
+echo "all checks passed"

@@ -1,0 +1,163 @@
+//! Offline, API-compatible shim for the subset of `criterion` this
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! sizes an iteration batch to ≈ 50 ms, times `sample_size` batches, and
+//! prints the fastest batch's mean ns/iter (the minimum is the standard
+//! low-noise estimator for micro-benchmarks). No HTML reports, no
+//! statistics machinery — just honest wall-clock numbers on stderr.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up & batch sizing: grow iterations until a batch costs
+        // ≈ 50 ms (capped so very slow benchmarks still finish).
+        let mut iters: u64 = 1;
+        loop {
+            bencher.iters = iters;
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+                break;
+            }
+            let grow = (Duration::from_millis(50).as_secs_f64()
+                / bencher.elapsed.as_secs_f64().max(1e-9))
+            .clamp(1.5, 100.0);
+            iters = ((iters as f64 * grow) as u64).max(iters + 1);
+        }
+
+        // Timed samples; keep the fastest batch.
+        let mut best_ns_per_iter = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            let ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+            if ns < best_ns_per_iter {
+                best_ns_per_iter = ns;
+            }
+        }
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  ({:.2} Melem/s)",
+                    n as f64 / best_ns_per_iter * 1e9 / 1e6
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.2} MiB/s)", n as f64 / best_ns_per_iter * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "bench {:<50} {:>12.1} ns/iter{rate}",
+            format!("{}/{}", self.name, id),
+            best_ns_per_iter,
+        );
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`, recording the total wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a function running a list of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a benchmark binary from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo passes (e.g. `--bench`).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,253 @@
+//! Offline, API-compatible shim for the subset of `rand` 0.8 this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen::<f64>()`,
+//! and `Rng::gen_range` over float/integer ranges.
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — a
+//! high-quality, fully deterministic stream. It is *not* bit-compatible
+//! with the real `StdRng` (ChaCha12), so absolute values of synthetic data
+//! differ from a crates.io build, but every run in this repository is
+//! reproducible because all seeds are fixed.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator producing 64-bit output.
+pub trait RngCore {
+    /// Next raw 64 bits from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// An RNG that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion, matching
+    /// the spirit of `rand`'s `seed_from_u64`).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an RNG via [`Rng::gen`].
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]` ranges.
+///
+/// A single generic `SampleRange` impl per range shape (mirroring real
+/// `rand`) keeps integer-literal type inference working at call sites like
+/// `rng.gen_range(0..6)` used as a slice index.
+pub trait SampleUniform: Sized + Copy {
+    /// Draw uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi || (_inclusive && lo <= hi), "empty range");
+                let u = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f64, f32);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a half-open or inclusive range.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draw a boolean that is `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64. Not bit-compatible with `rand`'s
+    /// ChaCha12-based `StdRng`, but an equally solid uniform stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mean = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            mean += u;
+        }
+        mean /= 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the shapes this workspace actually derives
+//! on — structs with named fields and fieldless enums. Written directly
+//! against `proc_macro` (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Generated code targets the shimmed `serde` data model: `Serialize`
+//! lowers into `serde::Value`, `Deserialize` rebuilds from one. Structs map
+//! to objects in field order; fieldless enum variants map to their name as
+//! a string (matching real serde's externally-tagged representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a type definition parsed down to.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum whose variants all carry no data.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`: punct then bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is not supported")
+        }
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (tuple/unit types \
+             are not supported), found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_fieldless_variants(body),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+/// Extract field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extract variant names from an enum body, rejecting payload variants.
+fn parse_fieldless_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            panic!(
+                "serde_derive shim: variant `{variant}` carries data; only fieldless \
+                 enums are supported"
+            );
+        }
+        variants.push(variant);
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn generate(shape: &Shape, serialize: bool) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            if serialize {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                       }}\n\
+                     }}",
+                    entries.join(", ")
+                )
+            } else {
+                let builds: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                               ::serde::field(v, \"{f}\", \"{name}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn from_value(v: &::serde::Value) \
+                           -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                       }}\n\
+                     }}",
+                    builds.join(", ")
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            if serialize {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                       }}\n\
+                     }}",
+                    arms.join(", ")
+                )
+            } else {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "::std::option::Option::Some(\"{v}\") \
+                             => ::std::result::Result::Ok({name}::{v})"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn from_value(v: &::serde::Value) \
+                           -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str() {{\n\
+                           {},\n\
+                           other => ::std::result::Result::Err(::serde::DeError(\
+                             format!(\"invalid {name} variant: {{other:?}}\"))),\n\
+                         }}\n\
+                       }}\n\
+                     }}",
+                    arms.join(",\n")
+                )
+            }
+        }
+    }
+}
+
+/// Derive the shimmed `serde::Serialize` for a struct or fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate(&shape, true).parse().expect("generated impl parses")
+}
+
+/// Derive the shimmed `serde::Deserialize` for a struct or fieldless enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    generate(&shape, false).parse().expect("generated impl parses")
+}

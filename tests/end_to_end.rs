@@ -31,8 +31,8 @@ fn every_scheme_completes_every_video_kind() {
     let lte = lte_trace(5, &LteConfig::default());
     let fcc = fcc_trace(5, &FccConfig::default());
     for video in [
-        Dataset::ed_ffmpeg_h264(),           // 2 s chunks
-        Dataset::ed_youtube_h264(),          // 5 s chunks
+        Dataset::ed_ffmpeg_h264(),                            // 2 s chunks
+        Dataset::ed_youtube_h264(),                           // 5 s chunks
         Dataset::by_name("ED-ffmpeg-h265").expect("dataset"), // H.265
     ] {
         let manifest = Manifest::from_video(&video);
@@ -47,9 +47,9 @@ fn every_scheme_completes_every_video_kind() {
                     algo.name(),
                     video.name()
                 );
-                session.validate().unwrap_or_else(|e| {
-                    panic!("{} on {}: {e}", algo.name(), video.name())
-                });
+                session
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), video.name()));
                 let m = evaluate(&session, &video, &classification, &qoe);
                 assert!(m.all_quality_mean > 0.0 && m.all_quality_mean <= 100.0);
                 assert!(m.rebuffer_s >= 0.0);

@@ -10,11 +10,7 @@ use cava_suite::video::quality::VmafModel;
 
 const N_TRACES: usize = 40;
 
-fn run_all(
-    algo: &mut dyn AbrAlgorithm,
-    video: &Video,
-    traces: &[Trace],
-) -> Vec<QoeMetrics> {
+fn run_all(algo: &mut dyn AbrAlgorithm, video: &Video, traces: &[Trace]) -> Vec<QoeMetrics> {
     let manifest = Manifest::from_video(video);
     let classification = Classification::from_video(video);
     let sim = Simulator::paper_default();
@@ -40,7 +36,10 @@ fn section_6_3_cava_beats_robustmpc() {
     let mpc = run_all(&mut Mpc::robust(), &video, &traces);
     let q4_cava = mean(cava.iter().map(|m| m.q4_quality_mean));
     let q4_mpc = mean(mpc.iter().map(|m| m.q4_quality_mean));
-    assert!(q4_cava > q4_mpc + 2.0, "Q4: CAVA {q4_cava} vs RobustMPC {q4_mpc}");
+    assert!(
+        q4_cava > q4_mpc + 2.0,
+        "Q4: CAVA {q4_cava} vs RobustMPC {q4_mpc}"
+    );
     let reb_cava = mean(cava.iter().map(|m| m.rebuffer_s));
     let reb_mpc = mean(mpc.iter().map(|m| m.rebuffer_s));
     assert!(
@@ -49,10 +48,16 @@ fn section_6_3_cava_beats_robustmpc() {
     );
     let chg_cava = mean(cava.iter().map(|m| m.avg_quality_change));
     let chg_mpc = mean(mpc.iter().map(|m| m.avg_quality_change));
-    assert!(chg_cava < chg_mpc, "quality change: {chg_cava} vs {chg_mpc}");
+    assert!(
+        chg_cava < chg_mpc,
+        "quality change: {chg_cava} vs {chg_mpc}"
+    );
     let data_cava = mean(cava.iter().map(|m| m.data_usage_bytes as f64));
     let data_mpc = mean(mpc.iter().map(|m| m.data_usage_bytes as f64));
-    assert!(data_cava < data_mpc * 1.05, "data: {data_cava} vs {data_mpc}");
+    assert!(
+        data_cava < data_mpc * 1.05,
+        "data: {data_cava} vs {data_mpc}"
+    );
 }
 
 #[test]
@@ -72,7 +77,10 @@ fn section_6_3_cava_vs_panda_max_min() {
     assert!(q4_cava > q4_panda - 1.0, "Q4: {q4_cava} vs {q4_panda}");
     let reb_cava = mean(cava.iter().map(|m| m.rebuffer_s));
     let reb_panda = mean(panda.iter().map(|m| m.rebuffer_s));
-    assert!(reb_cava < reb_panda * 0.5, "rebuffer: {reb_cava} vs {reb_panda}");
+    assert!(
+        reb_cava < reb_panda * 0.5,
+        "rebuffer: {reb_cava} vs {reb_panda}"
+    );
 }
 
 #[test]
@@ -84,7 +92,10 @@ fn section_4_myopic_schemes_invert_q4_quality() {
     let cava = run_all(&mut Cava::paper_default(), &video, &traces);
     for (name, sessions) in [
         ("RBA", run_all(&mut Rba::paper_default(), &video, &traces)),
-        ("BBA-1", run_all(&mut Bba1::paper_default(), &video, &traces)),
+        (
+            "BBA-1",
+            run_all(&mut Bba1::paper_default(), &video, &traces),
+        ),
     ] {
         let gap_myopic = mean(
             sessions
@@ -108,8 +119,18 @@ fn section_6_4_ablation_ordering() {
     let p12 = run_all(&mut Cava::p12(), &video, &traces);
     let p123 = run_all(&mut Cava::p123(), &video, &traces);
     let q4 = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.q4_quality_mean));
-    assert!(q4(&p12) > q4(&p1) + 1.0, "p12 {} vs p1 {}", q4(&p12), q4(&p1));
-    assert!(q4(&p123) > q4(&p1) + 1.0, "p123 {} vs p1 {}", q4(&p123), q4(&p1));
+    assert!(
+        q4(&p12) > q4(&p1) + 1.0,
+        "p12 {} vs p1 {}",
+        q4(&p12),
+        q4(&p1)
+    );
+    assert!(
+        q4(&p123) > q4(&p1) + 1.0,
+        "p123 {} vs p1 {}",
+        q4(&p123),
+        q4(&p1)
+    );
 }
 
 #[test]
@@ -165,11 +186,21 @@ fn section_6_8_bola_variant_ordering() {
     let avg = run_all(&mut Bola::bola_e(BolaBitrateView::Average), &video, &traces);
     let seg = run_all(&mut Bola::bola_e(BolaBitrateView::Segment), &video, &traces);
     let lvl = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.mean_level));
-    assert!(lvl(&peak) < lvl(&avg), "peak {} vs avg {}", lvl(&peak), lvl(&avg));
+    assert!(
+        lvl(&peak) < lvl(&avg),
+        "peak {} vs avg {}",
+        lvl(&peak),
+        lvl(&avg)
+    );
     // CAVA beats BOLA-E (seg) on Q4 quality (Table 2 shape).
     let cava = run_all(&mut Cava::paper_default(), &video, &traces);
     let q4 = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.q4_quality_mean));
-    assert!(q4(&cava) > q4(&seg), "CAVA {} vs BOLA-E seg {}", q4(&cava), q4(&seg));
+    assert!(
+        q4(&cava) > q4(&seg),
+        "CAVA {} vs BOLA-E seg {}",
+        q4(&cava),
+        q4(&seg)
+    );
 }
 
 #[test]
@@ -182,5 +213,10 @@ fn section_6_5_h265_outperforms_h264() {
     let r264 = run_all(&mut Cava::paper_default(), &v264, &traces);
     let r265 = run_all(&mut Cava::paper_default(), &v265, &traces);
     let q = |xs: &Vec<QoeMetrics>| mean(xs.iter().map(|m| m.all_quality_mean));
-    assert!(q(&r265) > q(&r264), "H.265 {} vs H.264 {}", q(&r265), q(&r264));
+    assert!(
+        q(&r265) > q(&r264),
+        "H.265 {} vs H.264 {}",
+        q(&r265),
+        q(&r264)
+    );
 }
