@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # abr-baselines — every comparison scheme from the paper
 //!
 //! From-scratch implementations of the state-of-the-art ABR algorithms the

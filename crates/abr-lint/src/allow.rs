@@ -1,0 +1,142 @@
+//! The catalogued allowlist: `abr-lint.allow` at the workspace root.
+//!
+//! Every exemption from a lint rule must be written down, scoped as
+//! narrowly as possible, and justified. One entry per line:
+//!
+//! ```text
+//! R5 crates/net-trace/src/io.rs expect("non-empty") -- max() of a vec checked non-empty above
+//! ```
+//!
+//! * field 1 — the rule id (`R1`..`R6`);
+//! * field 2 — the workspace-relative path the exemption applies to;
+//! * field 3 (optional) — a snippet that must appear on the violating line,
+//!   so the exemption does not silently cover future, unrelated violations
+//!   in the same file;
+//! * after ` -- ` — the mandatory justification.
+//!
+//! Blank lines and `#` comments are ignored. Entries without a
+//! justification are themselves reported as violations of the allowlist
+//! format (rule `A0`), so exemptions can never be silent.
+
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id this entry exempts (`"R1"`..`"R6"`).
+    pub rule: String,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Line snippet the violating line must contain; empty = whole file.
+    pub snippet: String,
+    /// The human justification after ` -- `.
+    pub justification: String,
+    /// Line number in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.snippet.is_empty() {
+            write!(f, "{} {}", self.rule, self.path)
+        } else {
+            write!(f, "{} {} {}", self.rule, self.path, self.snippet)
+        }
+    }
+}
+
+/// A parse problem in the allowlist file itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowFormatError {
+    /// Line number in the allowlist file.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Parse the allowlist text. Returns the entries and any format errors
+/// (missing justification, malformed fields).
+pub fn parse(text: &str) -> (Vec<AllowEntry>, Vec<AllowFormatError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (spec, justification) = match line.split_once(" -- ") {
+            Some((spec, j)) if !j.trim().is_empty() => (spec.trim(), j.trim().to_string()),
+            _ => {
+                errors.push(AllowFormatError {
+                    line: line_no,
+                    message: "allowlist entry needs a ` -- <justification>` suffix".to_string(),
+                });
+                continue;
+            }
+        };
+        let mut fields = spec.splitn(3, char::is_whitespace);
+        let rule = fields.next().unwrap_or("").to_string();
+        let path = fields.next().unwrap_or("").trim().to_string();
+        let snippet = fields.next().unwrap_or("").trim().to_string();
+        if !rule.starts_with('R') || rule.len() != 2 || path.is_empty() {
+            errors.push(AllowFormatError {
+                line: line_no,
+                message: format!("malformed entry `{spec}`: want `R<n> <path> [snippet]`"),
+            });
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule,
+            path,
+            snippet,
+            justification,
+            line: line_no,
+        });
+    }
+    (entries, errors)
+}
+
+impl AllowEntry {
+    /// Whether this entry exempts a violation of `rule` at `path` whose raw
+    /// line text is `line`.
+    pub fn covers(&self, rule: &str, path: &str, line: &str) -> bool {
+        self.rule == rule
+            && self.path == path
+            && (self.snippet.is_empty() || line.contains(&self.snippet))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_requires_justification() {
+        let text = "\
+# comment
+R5 crates/x/src/a.rs expect(\"ok\") -- provably infallible
+
+R1 crates/bench/src/journal.rs -- wall-clock confined here
+R3 crates/y/src/b.rs
+";
+        let (entries, errors) = parse(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "R5");
+        assert_eq!(entries[0].snippet, "expect(\"ok\")");
+        assert_eq!(entries[1].snippet, "");
+        assert_eq!(errors.len(), 1, "missing justification is an error");
+        assert_eq!(errors[0].line, 5);
+    }
+
+    #[test]
+    fn covers_matches_rule_path_and_snippet() {
+        let (entries, _) = parse("R5 crates/x/src/a.rs expect(\"ok\") -- fine\n");
+        let e = &entries[0];
+        assert!(e.covers("R5", "crates/x/src/a.rs", "foo.expect(\"ok\");"));
+        assert!(!e.covers("R5", "crates/x/src/a.rs", "foo.unwrap();"));
+        assert!(!e.covers("R5", "crates/x/src/b.rs", "foo.expect(\"ok\");"));
+        assert!(!e.covers("R1", "crates/x/src/a.rs", "foo.expect(\"ok\");"));
+    }
+}

@@ -1,0 +1,51 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+//! # abr-lint — workspace determinism/correctness linter
+//!
+//! A dependency-free static-analysis pass over the CAVA workspace enforcing
+//! the repo-specific rules that keep every simulated session bit-reproducible
+//! across thread counts, seeds, and machines (the property the paper's
+//! Tables 3–5 and Figs. 8–14 rest on):
+//!
+//! * **R1** — no wall-clock (`Instant::now`/`SystemTime::now`) in
+//!   sim/algorithm crates; simulated time flows from the simulator clock.
+//! * **R2** — no `HashMap`/`HashSet` in output-producing crates (`bench`,
+//!   `sim-report`); iteration order must be byte-stable.
+//! * **R3** — no OS entropy (`thread_rng`/`from_entropy`/`OsRng`); all RNG
+//!   is seeded through the dataset/trace seed plumbing.
+//! * **R4** — no exact float comparisons in ABR decision logic.
+//! * **R5** — no `.unwrap()`/`.expect(` in library crates outside tests;
+//!   provably-infallible cases are catalogued in the allowlist.
+//! * **R6** — `#![forbid(unsafe_code)]` in every crate root.
+//!
+//! Run it with `cargo run -p abr-lint` from anywhere in the workspace; see
+//! `CONTRIBUTING.md` ("Determinism rules") for the allowlist format. The
+//! scanner is token/line-level ([`scan`]) — comments and string contents
+//! are stripped before matching, and `#[cfg(test)]` regions are exempt.
+
+pub mod allow;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{check_crate_root, check_file, lint_workspace, LintReport, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: ascend from `start` until a directory whose
+/// `Cargo.toml` contains a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,67 @@
+#![forbid(unsafe_code)]
+//! Command-line entry point: `cargo run -p abr-lint [-- <workspace-root>]`.
+//!
+//! Exit status: 0 when clean, 1 on violations or allowlist format errors,
+//! 2 on usage/I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("abr-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match abr_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("abr-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        [path] => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: abr-lint [workspace-root]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match abr_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("abr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for err in &report.allow_errors {
+        println!("abr-lint.allow:{}: {}", err.line, err.message);
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for a in &report.unused_allows {
+        eprintln!(
+            "abr-lint.allow:{}: warning: unused allowlist entry `{a}`",
+            a.line
+        );
+    }
+    println!(
+        "abr-lint: {} file(s), {} violation(s), {} allowlisted",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed
+    );
+    if report.violations.is_empty() && report.allow_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,469 @@
+//! The determinism/correctness rules (R1–R6) and the workspace walker.
+//!
+//! | rule | scope | what it forbids |
+//! |------|-------|-----------------|
+//! | R1 | sim/algorithm crates + `bench` | `Instant::now`/`SystemTime::now` — wall-clock reads; simulated time must flow from the simulator's clock |
+//! | R2 | `bench`, `sim-report` | `HashMap`/`HashSet` — iteration order nondeterminism feeding journals/reports/CSVs; use `BTreeMap`/`BTreeSet` |
+//! | R3 | all crates | `thread_rng`/`from_entropy`/`OsRng`/`rand::random` — OS entropy; all RNG must be seeded through the dataset/trace seed plumbing |
+//! | R4 | algorithm crates | `==`/`!=` against float literals in decision logic — exact float comparison is platform/ordering bait |
+//! | R5 | library crates | `.unwrap()`/`.expect(` outside tests — I/O and parse failures must propagate; provably-infallible cases go in the allowlist |
+//! | R6 | every crate root | missing `#![forbid(unsafe_code)]` |
+//!
+//! Test code (`#[cfg(test)]` regions; `tests/`, `benches/`, `examples/`
+//! trees) is exempt from the line rules. Exemptions in real code go through
+//! the catalogued allowlist (see [`crate::allow`]).
+
+use crate::allow::{self, AllowEntry, AllowFormatError};
+use crate::scan::ScannedFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose code runs inside (or feeds) the simulation: wall-clock
+/// reads here desynchronize results from the simulated clock (R1).
+/// `bench` is included because its journal/progress timing must stay
+/// confined to the one allowlisted module (`crates/bench/src/journal.rs`).
+const SIM_CRATES: &[&str] = &[
+    "core",
+    "abr-sim",
+    "abr-baselines",
+    "vbr-video",
+    "net-trace",
+    "bench",
+];
+
+/// Crates that produce journal/report/CSV output (R2): iteration order must
+/// be deterministic, so unordered hash collections are banned outright.
+const OUTPUT_CRATES: &[&str] = &["bench", "sim-report"];
+
+/// Crates holding ABR decision logic (R4).
+const ALGO_CRATES: &[&str] = &["core", "abr-sim", "abr-baselines"];
+
+/// Library crates (R5): panicking on I/O or parse results is banned; the
+/// provably-infallible cases are catalogued in the allowlist.
+const LIBRARY_CRATES: &[&str] = &[
+    "core",
+    "abr-sim",
+    "abr-baselines",
+    "vbr-video",
+    "net-trace",
+    "sim-report",
+];
+
+/// One rule violation at a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`"R1"`..`"R6"`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number (0 for file-level rules like R6).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending raw line (trimmed), for context.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: {}: {}\n    {}",
+                self.path, self.line, self.rule, self.message, self.snippet
+            )
+        }
+    }
+}
+
+/// Which crate (directory name under `crates/`, or `"cava-suite"` for the
+/// umbrella `src/`) a workspace-relative path belongs to.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        rest.split('/').next()
+    } else if rel_path.starts_with("src/") {
+        Some("cava-suite")
+    } else {
+        None
+    }
+}
+
+fn in_scope(rel_path: &str, crates: &[&str]) -> bool {
+    crate_of(rel_path).is_some_and(|c| crates.contains(&c))
+}
+
+/// Byte offsets of every word-boundary occurrence of `ident` in `code`.
+fn ident_occurrences(code: &str, ident: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(ident) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + ident.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + ident.len();
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `tok` is a floating-point literal (`0.0`, `1.5e3`, `2.`).
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    let mut chars = tok.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_digit()) && tok.contains('.')
+}
+
+/// The token (identifier/number/path chars) ending immediately before byte
+/// `at` in `code`, skipping trailing whitespace.
+fn token_before(code: &str, at: usize) -> &str {
+    let head = code[..at].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    &head[start..]
+}
+
+/// The token starting immediately after byte `at` in `code`, skipping
+/// leading whitespace (a leading `-` is kept so `-0.5` reads as a float).
+fn token_after(code: &str, at: usize) -> &str {
+    let tail = code[at..].trim_start();
+    let mut end = 0;
+    for (i, c) in tail.char_indices() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == '.' || (i == 0 && c == '-');
+        if !ok {
+            break;
+        }
+        end = i + c.len_utf8();
+    }
+    &tail[..end]
+}
+
+/// Apply the line-level rules R1–R5 to one file. `rel_path` controls which
+/// rules are in scope; test code is skipped.
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Violation> {
+    let scanned = ScannedFile::parse(source);
+    let mut out = Vec::new();
+    let r1 = in_scope(rel_path, SIM_CRATES);
+    let r2 = in_scope(rel_path, OUTPUT_CRATES);
+    let r3 = crate_of(rel_path).is_some();
+    let r4 = in_scope(rel_path, ALGO_CRATES);
+    let r5 = in_scope(rel_path, LIBRARY_CRATES);
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let n = idx + 1;
+        let code = line.code.as_str();
+        let mut push = |rule: &'static str, message: String| {
+            out.push(Violation {
+                rule,
+                path: rel_path.to_string(),
+                line: n,
+                message,
+                snippet: line.raw.trim().to_string(),
+            });
+        };
+        if r1 {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if !ident_occurrences(code, pat.split("::").next().unwrap_or(pat)).is_empty()
+                    && code.contains(pat)
+                {
+                    push(
+                        "R1",
+                        format!("wall-clock read `{pat}` — simulated time must come from the simulator clock"),
+                    );
+                }
+            }
+        }
+        if r2 {
+            for pat in ["HashMap", "HashSet"] {
+                if !ident_occurrences(code, pat).is_empty() {
+                    push(
+                        "R2",
+                        format!("unordered `{pat}` in an output-producing crate — use `BTreeMap`/`BTreeSet` so journal/report/CSV order is byte-stable"),
+                    );
+                }
+            }
+        }
+        if r3 {
+            for pat in ["thread_rng", "from_entropy", "OsRng"] {
+                if !ident_occurrences(code, pat).is_empty() {
+                    push(
+                        "R3",
+                        format!("OS entropy via `{pat}` — all randomness must be seeded through the dataset/trace seed plumbing"),
+                    );
+                }
+            }
+            if code.contains("rand::random") {
+                push(
+                    "R3",
+                    "OS entropy via `rand::random` — all randomness must be seeded through the dataset/trace seed plumbing".to_string(),
+                );
+            }
+        }
+        if r4 {
+            for op in ["==", "!="] {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(op) {
+                    let at = from + pos;
+                    from = at + op.len();
+                    // Skip `<=`, `>=`, `=>`-adjacent forms: only bare
+                    // `==`/`!=` between tokens qualify.
+                    if at > 0 && matches!(&code[at - 1..at], "<" | ">" | "=" | "!") {
+                        continue;
+                    }
+                    if code[at + op.len()..].starts_with('=') {
+                        continue;
+                    }
+                    let lhs = token_before(code, at);
+                    let rhs = token_after(code, at + op.len());
+                    if is_float_literal(lhs) || is_float_literal(rhs) {
+                        push(
+                            "R4",
+                            format!("exact float comparison `{lhs} {op} {rhs}` in ABR decision logic — compare against a tolerance instead"),
+                        );
+                    }
+                }
+            }
+        }
+        if r5 {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) {
+                    push(
+                        "R5",
+                        format!("`{pat}` in library code — propagate the error; provably-infallible cases need an allowlist entry"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R6: a crate root must carry `#![forbid(unsafe_code)]` (checked on the
+/// code view so a commented-out attribute does not count).
+pub fn check_crate_root(rel_path: &str, source: &str) -> Vec<Violation> {
+    let scanned = ScannedFile::parse(source);
+    let found = scanned.lines.iter().any(|l| {
+        let code: String = l.code.split_whitespace().collect();
+        code.contains("#![forbid(unsafe_code)]")
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Violation {
+            rule: "R6",
+            path: rel_path.to_string(),
+            line: 0,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            snippet: String::new(),
+        }]
+    }
+}
+
+/// Everything one linter run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations that survived the allowlist, sorted by path/line/rule.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched at least one would-be violation is
+    /// tracked implicitly; these matched nothing (stale catalog entries).
+    pub unused_allows: Vec<AllowEntry>,
+    /// Problems in the allowlist file itself.
+    pub allow_errors: Vec<AllowFormatError>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by the allowlist.
+    pub suppressed: usize,
+}
+
+/// Directories never descended into during the walk.
+fn skip_dir(name: &str) -> bool {
+    matches!(
+        name,
+        "target" | "shims" | "results" | "fixtures" | ".git" | "tests" | "benches" | "examples"
+    )
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint the whole workspace rooted at `root`, applying the allowlist at
+/// `root/abr-lint.allow` (if present).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let allow_text = fs::read_to_string(root.join("abr-lint.allow")).unwrap_or_default();
+    let (allows, allow_errors) = allow::parse(&allow_text);
+
+    // Collect the source trees: every member's `src/` plus the umbrella's.
+    let mut files = Vec::new();
+    let mut crate_roots = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    members.push(root.to_path_buf());
+    for member in &members {
+        let src = member.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        walk_rs(&src, &mut files)?;
+        let lib = src.join("lib.rs");
+        let main = src.join("main.rs");
+        if lib.is_file() {
+            crate_roots.push(lib);
+        } else if main.is_file() {
+            crate_roots.push(main);
+        }
+    }
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut files_scanned = 0;
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        files_scanned += 1;
+        raw.extend(check_file(&rel(root, path), &source));
+    }
+    for path in &crate_roots {
+        let source = fs::read_to_string(path)?;
+        raw.extend(check_crate_root(&rel(root, path), &source));
+    }
+
+    // Apply the allowlist.
+    let mut used = vec![false; allows.len()];
+    let mut violations = Vec::new();
+    let mut suppressed = 0;
+    for v in raw {
+        let hit = allows
+            .iter()
+            .position(|a| a.covers(v.rule, &v.path, &v.snippet));
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => violations.push(v),
+        }
+    }
+    violations
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    let unused_allows = allows
+        .into_iter()
+        .zip(used)
+        .filter_map(|(a, u)| (!u).then_some(a))
+        .collect();
+    Ok(LintReport {
+        violations,
+        unused_allows,
+        allow_errors,
+        files_scanned,
+        suppressed,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_scoping() {
+        assert_eq!(crate_of("crates/abr-sim/src/player.rs"), Some("abr-sim"));
+        assert_eq!(crate_of("src/lib.rs"), Some("cava-suite"));
+        assert_eq!(crate_of("scripts/check.sh"), None);
+    }
+
+    #[test]
+    fn float_literal_tokens() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1.5e3"));
+        assert!(is_float_literal("-2."));
+        assert!(!is_float_literal("x"));
+        assert!(!is_float_literal("self.x"));
+        assert!(!is_float_literal("10"));
+        assert!(!is_float_literal(""));
+    }
+
+    #[test]
+    fn r4_ignores_integer_and_ident_comparisons() {
+        let src = "fn f(a: usize, b: f64) -> bool { a == 3 && b >= 0.0 }\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_float_eq() {
+        let src = "fn f(b: f64) -> bool { b == 0.0 }\n";
+        let v = check_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R4");
+    }
+
+    #[test]
+    fn rules_scope_by_crate() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check_file("crates/bench/src/x.rs", src).len(), 1);
+        assert!(check_file("crates/vbr-video/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "// HashMap thread_rng Instant::now\nlet s = \"HashMap .unwrap()\";\n";
+        assert!(check_file("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); let _ = b == 0.0; }\n}\n";
+        assert!(check_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_rule() {
+        assert!(check_crate_root("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n").is_empty());
+        let v = check_crate_root("crates/x/src/lib.rs", "//! docs only\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R6");
+        // A commented-out attribute does not count.
+        let v = check_crate_root("crates/x/src/lib.rs", "// #![forbid(unsafe_code)]\n");
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Token/line-level Rust source scanning: comment and string-literal
+//! stripping plus `#[cfg(test)]` region tracking.
+//!
+//! The linter has no parser dependency (shims-only build environment), so
+//! rules operate on a *code view* of each line: the raw text with comment
+//! bodies and string/char-literal contents blanked out (replaced by spaces,
+//! delimiters kept). That is enough to make substring rules such as
+//! "`Instant::now` appears" immune to doc comments, `//` prose, and format
+//! strings, which is where most naive greps go wrong.
+//!
+//! Test code is exempt from most rules. A `#[cfg(test)]` attribute followed
+//! by a brace-delimited item marks everything up to the matching closing
+//! brace as a test region; files under `tests/`, `benches/`, or `examples/`
+//! directories are excluded wholesale by the walker (see
+//! [`crate::rules`]).
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// The raw line, exactly as read (no trailing newline).
+    pub raw: String,
+    /// The code view: comments and literal contents blanked with spaces.
+    pub code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A whole scanned file: the per-line code view plus test-region marks.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// The scanned lines, in order. Line numbers are `index + 1`.
+    pub lines: Vec<ScannedLine>,
+}
+
+impl ScannedFile {
+    /// Scan `source` into its code view.
+    pub fn parse(source: &str) -> ScannedFile {
+        let stripped = strip(source);
+        let test_mask = test_regions(&stripped);
+        let raw_lines: Vec<&str> = source.lines().collect();
+        let code_lines: Vec<&str> = stripped.lines().collect();
+        let lines = raw_lines
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| ScannedLine {
+                raw: (*raw).to_string(),
+                code: code_lines.get(i).copied().unwrap_or("").to_string(),
+                in_test: test_mask.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        ScannedFile { lines }
+    }
+}
+
+/// Lexer state for [`strip`].
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Blank comment bodies and string/char-literal contents with spaces,
+/// preserving newlines (so line numbers survive) and literal delimiters (so
+/// tokens don't merge across a blanked region).
+pub fn strip(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'b' if next == Some('"') => {
+                    // Plain byte string: treat like a normal string literal.
+                    out.push(' ');
+                    out.push('"');
+                    state = State::Str;
+                    i += 2;
+                }
+                'r' | 'b' => {
+                    // Possible raw-string start: r", r#", br#"...
+                    let (consumed, hashes) = raw_string_open(&chars, i);
+                    if consumed > 0 {
+                        for _ in 0..consumed {
+                            out.push(' ');
+                        }
+                        out.pop();
+                        out.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A char literal closes within
+                    // a few characters; a lifetime never has a closing quote.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        out.push('\'');
+                        for _ in 1..len - 1 {
+                            out.push(' ');
+                        }
+                        out.push('\'');
+                        i += len;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Preserve the newline of a `\`-continuation so line
+                    // numbering stays aligned with the source.
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// If `chars[at..]` opens a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
+/// return `(consumed chars, hash count)`; else `(0, 0)`.
+fn raw_string_open(chars: &[char], at: usize) -> (usize, u32) {
+    let mut i = at;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return (0, 0);
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        (i - at + 1, hashes)
+    } else {
+        (0, 0)
+    }
+}
+
+/// Whether the `"` at `chars[at]` is followed by `hashes` `#`s, closing a
+/// raw string.
+fn closes_raw(chars: &[char], at: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// If `chars[at]` (a `'`) starts a char literal, return its total length in
+/// chars (including both quotes); `None` for lifetimes.
+fn char_literal_len(chars: &[char], at: usize) -> Option<usize> {
+    match chars.get(at + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote (bounded; covers
+            // \n, \x7f, \u{10FFFF}).
+            for len in 3..=12 {
+                if chars.get(at + len - 1) == Some(&'\'') {
+                    return Some(len);
+                }
+            }
+            None
+        }
+        _ => {
+            if chars.get(at + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Per-line test mask: `true` for lines inside a `#[cfg(test)]` item.
+///
+/// Works on the stripped text: find each `#[cfg(test)]`, then mark from the
+/// next `{` to its matching `}` (attributes between the cfg and the item,
+/// like `#[allow(...)]`, are skipped over).
+fn test_regions(stripped: &str) -> Vec<bool> {
+    let n_lines = stripped.lines().count();
+    let mut mask = vec![false; n_lines];
+    let bytes = stripped.as_bytes();
+    let mut line_of = Vec::with_capacity(bytes.len());
+    let mut line = 0usize;
+    for &b in bytes {
+        line_of.push(line);
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+    let needle = "#[cfg(test)]";
+    let mut search_from = 0usize;
+    while let Some(pos) = stripped[search_from..].find(needle) {
+        let start = search_from + pos + needle.len();
+        // Find the opening brace of the annotated item.
+        let Some(open_rel) = stripped[start..].find('{') else {
+            break;
+        };
+        let open = start + open_rel;
+        let mut depth = 0i64;
+        let mut close = None;
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close.unwrap_or(bytes.len() - 1);
+        let first = line_of.get(start - needle.len()).copied().unwrap_or(0);
+        let last = line_of.get(close).copied().unwrap_or(n_lines - 1);
+        for m in mask.iter_mut().take(last + 1).skip(first) {
+            *m = true;
+        }
+        search_from = close;
+    }
+    mask
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let x = 1; // Instant::now\n/* HashMap */ let y = 2;\n";
+        let out = strip(src);
+        assert!(!out.contains("Instant::now"));
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("let y = 2;"));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_delimiters() {
+        let src = r#"let s = "thread_rng inside a string"; s.unwrap();"#;
+        let out = strip(src);
+        assert!(!out.contains("thread_rng"));
+        assert!(out.contains(".unwrap()"));
+        assert!(out.contains('"'));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_char_literals() {
+        let src = "let s = r#\"OsRng\"#; let c = 'x'; let l: &'static str = \"\";";
+        let out = strip(src);
+        assert!(!out.contains("OsRng"));
+        assert!(out.contains("'static"), "lifetime survives: {out}");
+    }
+
+    #[test]
+    fn backslash_continuation_keeps_line_numbering() {
+        // A `\` before the newline inside a string must not swallow the
+        // newline, or every later violation would report a shifted line.
+        let src = "let s = \"one \\\n   two\";\nx.unwrap();\n";
+        let out = strip(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert_eq!(out.lines().nth(2), Some("x.unwrap();"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// let ed = Dataset::by_name(\"x\").unwrap();\nfn f() {}\n";
+        let out = strip(src);
+        assert!(!out.contains("unwrap"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = ScannedFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;";
+        let out = strip(src);
+        assert!(out.contains("let z = 3;"));
+        assert!(!out.contains("inner"));
+    }
+}

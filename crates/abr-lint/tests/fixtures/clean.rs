@@ -1,0 +1,28 @@
+// Fixture: violation-free code. Mentions of banned constructs appear only
+// in comments ("Instant::now, HashMap, thread_rng") and strings, which the
+// scanner must ignore. Never compiled.
+
+use std::collections::BTreeMap;
+
+/// Doc example that must not trip R5:
+/// ```
+/// let x = Some(1).unwrap();
+/// ```
+pub fn summarize(rows: &[(String, f64)]) -> BTreeMap<String, f64> {
+    let note = "HashMap and SystemTime::now are fine inside string literals";
+    let _ = note;
+    let mut out = BTreeMap::new();
+    for (k, v) in rows {
+        out.insert(k.clone(), *v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<f64> = Some(0.0);
+        assert!(v.unwrap() == 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: deliberately violates R1 (wall-clock read in a sim crate).
+// Never compiled — scanned by tests/lint_rules.rs with a pretend path.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn chunk_deadline_s() -> f64 {
+    let started = Instant::now(); // R1: wall clock inside the simulator
+    let _epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64());
+    started.elapsed().as_secs_f64()
+}

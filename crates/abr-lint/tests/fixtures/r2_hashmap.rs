@@ -1,0 +1,18 @@
+// Fixture: deliberately violates R2 (unordered hash collections in an
+// output-producing crate). Never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn summarize(rows: &[(String, f64)]) -> String {
+    let mut by_scheme: HashMap<String, f64> = HashMap::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (scheme, v) in rows {
+        by_scheme.insert(scheme.clone(), *v);
+        seen.insert(scheme);
+    }
+    // Iteration order here is nondeterministic — the exact bug class R2 bans.
+    by_scheme
+        .iter()
+        .map(|(k, v)| format!("{k},{v}\n"))
+        .collect()
+}

@@ -1,0 +1,12 @@
+// Fixture: deliberately violates R3 (OS entropy). Never compiled.
+
+use rand::rngs::OsRng;
+use rand::{thread_rng, Rng, SeedableRng};
+
+pub fn jitter_ms() -> u64 {
+    let mut rng = thread_rng(); // R3: unseeded OS entropy
+    let _os = OsRng;
+    let _also = rand::rngs::StdRng::from_entropy();
+    let _r: f64 = rand::random();
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,13 @@
+// Fixture: deliberately violates R4 (exact float comparison in ABR
+// decision logic). Never compiled.
+
+pub fn should_switch_up(buffer_s: f64, target_s: f64) -> bool {
+    if buffer_s == 0.0 {
+        // R4: exact equality on a simulated-clock-derived float
+        return false;
+    }
+    if 1.5 != target_s {
+        return true;
+    }
+    buffer_s > target_s // comparison operators other than ==/!= are fine
+}

@@ -1,0 +1,22 @@
+// Fixture: deliberately violates R5 (panicking on I/O and parse results in
+// library code). Never compiled.
+
+use std::fs;
+use std::path::Path;
+
+pub fn load_trace(path: &Path) -> Vec<f64> {
+    let text = fs::read_to_string(path).unwrap(); // R5: I/O unwrap
+    text.lines()
+        .map(|l| l.parse::<f64>().expect("parse sample")) // R5: parse expect
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps in test code are exempt and must NOT be flagged.
+    #[test]
+    fn exempt() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

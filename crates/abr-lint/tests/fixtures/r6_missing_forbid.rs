@@ -1,0 +1,8 @@
+// Fixture: a crate root missing `#![forbid(unsafe_code)]` (R6). The
+// commented-out attribute below must not count. Never compiled.
+
+// #![forbid(unsafe_code)]
+
+//! A crate root with docs but no unsafe-code forbid.
+
+pub fn noop() {}

@@ -1,0 +1,132 @@
+//! Fixture-driven rule tests (one per rule R1–R6) plus the clean-tree test:
+//! the linter run over the real workspace must report zero violations.
+
+#![allow(clippy::unwrap_used)]
+
+use abr_lint::{check_crate_root, check_file, lint_workspace};
+use std::path::Path;
+
+fn rules_hit(rel_path: &str, source: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_file(rel_path, source)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn r1_detects_wall_clock_in_sim_crate() {
+    let src = include_str!("fixtures/r1_wallclock.rs");
+    let hits = check_file("crates/abr-sim/src/fixture.rs", src);
+    assert!(
+        hits.iter().filter(|v| v.rule == "R1").count() >= 2,
+        "both Instant::now and SystemTime::now must be flagged: {hits:?}"
+    );
+    // The same file is fine in a crate where wall-clock is allowed.
+    assert!(check_file("crates/cli/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r2_detects_hash_collections_in_output_crate() {
+    let src = include_str!("fixtures/r2_hashmap.rs");
+    let hits = check_file("crates/bench/src/fixture.rs", src);
+    let r2 = hits.iter().filter(|v| v.rule == "R2").count();
+    assert!(
+        r2 >= 2,
+        "HashMap and HashSet must both be flagged: {hits:?}"
+    );
+    assert_eq!(rules_hit("crates/sim-report/src/fixture.rs", src), ["R2"]);
+    // Non-output crates may use hash collections internally.
+    assert!(check_file("crates/net-trace/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r3_detects_os_entropy_everywhere() {
+    let src = include_str!("fixtures/r3_entropy.rs");
+    for path in [
+        "crates/net-trace/src/fixture.rs",
+        "crates/bench/src/fixture.rs",
+        "src/fixture.rs",
+    ] {
+        let hits = check_file(path, src);
+        let r3 = hits.iter().filter(|v| v.rule == "R3").count();
+        assert!(
+            r3 >= 4,
+            "{path}: thread_rng, OsRng, from_entropy, rand::random: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn r4_detects_exact_float_comparison_in_decision_logic() {
+    let src = include_str!("fixtures/r4_float_cmp.rs");
+    let hits = check_file("crates/core/src/fixture.rs", src);
+    let r4: Vec<_> = hits.iter().filter(|v| v.rule == "R4").collect();
+    assert_eq!(r4.len(), 2, "== 0.0 and 1.5 != both flagged: {hits:?}");
+    // Ordering comparisons (`>`) must not be flagged.
+    assert!(hits.iter().all(|v| !v.snippet.contains('>')));
+    // Outside algorithm crates the rule is off.
+    assert!(check_file("crates/sim-report/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r5_detects_unwrap_and_expect_in_library_code_only() {
+    let src = include_str!("fixtures/r5_unwrap.rs");
+    let hits = check_file("crates/net-trace/src/fixture.rs", src);
+    let r5: Vec<_> = hits.iter().filter(|v| v.rule == "R5").collect();
+    assert_eq!(r5.len(), 2, "I/O unwrap and parse expect flagged: {hits:?}");
+    // The `#[cfg(test)]` unwrap in the fixture must NOT be among them.
+    assert!(r5.iter().all(|v| !v.snippet.contains("v.unwrap()")));
+    // Harness crates (bench, cli) are out of R5's scope.
+    assert!(check_file("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r6_detects_missing_forbid_unsafe_code() {
+    let src = include_str!("fixtures/r6_missing_forbid.rs");
+    let hits = check_crate_root("crates/x/src/lib.rs", src);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, "R6");
+    assert!(check_crate_root(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n"
+    )
+    .is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = include_str!("fixtures/clean.rs");
+    // Run it under the strictest path (an output + library crate).
+    assert!(check_file("crates/sim-report/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn clean_tree_zero_violations() {
+    // CARGO_MANIFEST_DIR = crates/abr-lint → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = lint_workspace(&root).expect("lint run");
+    assert!(report.files_scanned > 50, "walker found the source tree");
+    assert!(
+        report.allow_errors.is_empty(),
+        "allowlist format errors: {:?}",
+        report.allow_errors
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allows
+    );
+}

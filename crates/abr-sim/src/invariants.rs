@@ -1,0 +1,147 @@
+//! Runtime invariant layer for the simulation hot loop.
+//!
+//! Compiled into every build so the checks are always type-checked, but only
+//! *executed* when the `strict-invariants` cargo feature is enabled — the
+//! simulator wraps each call in `if cfg!(feature = "strict-invariants")`.
+//! The checks are pure assertions over state the simulator already computed;
+//! enabling them must never change simulation results, only turn silent
+//! state corruption into an immediate panic with a labelled message.
+//!
+//! Invariants enforced at the hot points of [`crate::player::Simulator::run`]:
+//!
+//! * the playback buffer is never negative and never exceeds the configured
+//!   cap plus one chunk duration ([`buffer_in_range`]),
+//! * the playback wall clock is monotone non-decreasing ([`clock_monotone`]),
+//! * every decision's track level and chunk index lie inside the manifest
+//!   ([`indices_in_manifest`]),
+//! * the bytes recorded for a download equal the manifest's size for that
+//!   (level, chunk) pair ([`bytes_match_manifest`]),
+//! * rebuffering time is non-negative per event and additive: the session
+//!   total equals the sum of per-chunk stalls ([`stall_additive`]).
+
+use vbr_video::Manifest;
+
+/// Numeric slack for accumulated floating-point drain/append arithmetic.
+const EPS: f64 = 1e-9;
+
+/// The buffer must stay in `[0, max_buffer + chunk_duration]`.
+///
+/// The upper bound allows exactly one chunk of overshoot: the cap is
+/// enforced *before* a download starts, and appending the downloaded chunk
+/// may legitimately land the buffer at `max_buffer + delta`.
+///
+/// # Panics
+/// Panics if the buffer is outside the permitted range.
+pub fn buffer_in_range(buffer_s: f64, max_buffer_s: f64, chunk_duration_s: f64) {
+    assert!(
+        buffer_s >= -EPS,
+        "strict-invariants: buffer underflow ({buffer_s} s)"
+    );
+    assert!(
+        buffer_s <= max_buffer_s + chunk_duration_s + EPS,
+        "strict-invariants: buffer {buffer_s} s above cap {max_buffer_s} s + chunk {chunk_duration_s} s"
+    );
+}
+
+/// The wall clock must never run backwards.
+///
+/// # Panics
+/// Panics if `now < before`.
+pub fn clock_monotone(before_s: f64, now_s: f64) {
+    assert!(
+        now_s >= before_s - EPS,
+        "strict-invariants: clock moved backwards ({before_s} s -> {now_s} s)"
+    );
+}
+
+/// The chosen track level and chunk index must address a real manifest entry.
+///
+/// # Panics
+/// Panics if either index is out of the manifest's range.
+pub fn indices_in_manifest(manifest: &Manifest, level: usize, chunk_index: usize) {
+    assert!(
+        level < manifest.n_tracks(),
+        "strict-invariants: level {level} out of range (manifest has {} tracks)",
+        manifest.n_tracks()
+    );
+    assert!(
+        chunk_index < manifest.n_chunks(),
+        "strict-invariants: chunk {chunk_index} out of range (manifest has {} chunks)",
+        manifest.n_chunks()
+    );
+}
+
+/// The bytes a download claims must equal the manifest's chunk size.
+///
+/// # Panics
+/// Panics on a size mismatch.
+pub fn bytes_match_manifest(manifest: &Manifest, level: usize, chunk_index: usize, bytes: u64) {
+    let expected = manifest.chunk_bytes(level, chunk_index);
+    assert!(
+        bytes == expected,
+        "strict-invariants: downloaded {bytes} B for chunk {chunk_index} level {level}, manifest says {expected} B"
+    );
+}
+
+/// Rebuffering is non-negative per event and additive across the session.
+///
+/// # Panics
+/// Panics if any per-chunk stall is negative or the total diverges from the
+/// per-chunk sum.
+pub fn stall_additive(per_chunk_stalls_s: &[f64], total_stall_s: f64) {
+    for (i, &s) in per_chunk_stalls_s.iter().enumerate() {
+        assert!(
+            s >= 0.0,
+            "strict-invariants: negative stall {s} s at chunk {i}"
+        );
+    }
+    let sum: f64 = per_chunk_stalls_s.iter().sum();
+    assert!(
+        (sum - total_stall_s).abs() <= EPS * (1.0 + per_chunk_stalls_s.len() as f64),
+        "strict-invariants: stall total {total_stall_s} s != per-chunk sum {sum} s"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_buffer_accepted() {
+        buffer_in_range(0.0, 100.0, 5.0);
+        buffer_in_range(104.9, 100.0, 5.0);
+        clock_monotone(1.0, 1.0);
+        clock_monotone(1.0, 2.0);
+        stall_additive(&[0.0, 1.5, 0.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_caught() {
+        buffer_in_range(-0.001, 100.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above cap")]
+    fn overflow_caught() {
+        buffer_in_range(105.1, 100.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn backwards_clock_caught() {
+        clock_monotone(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative stall")]
+    fn negative_stall_caught() {
+        stall_additive(&[0.5, -0.1], 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-chunk sum")]
+    fn non_additive_stall_caught() {
+        stall_additive(&[0.5, 0.5], 2.0);
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # abr-sim — trace-driven ABR player simulator
 //!
 //! The evaluation vehicle of the reproduction: a deterministic discrete-event
@@ -18,8 +20,12 @@
 //! * [`metrics`] — the paper's five evaluation metrics (§6.1): Q4 chunk
 //!   quality, low-quality chunk percentage, rebuffering duration, average
 //!   quality change per chunk, and data usage — plus supporting aggregates.
+//! * [`invariants`] — runtime assertions over the simulation hot loop
+//!   (buffer bounds, clock monotonicity, manifest-range indices), executed
+//!   only with the `strict-invariants` cargo feature.
 
 pub mod abr;
+pub mod invariants;
 pub mod metrics;
 pub mod player;
 pub mod session;

@@ -293,6 +293,7 @@ impl Simulator {
         let mut records: Vec<ChunkRecord> = Vec::with_capacity(n);
 
         for i in 0..n {
+            let t_chunk_start = t;
             // Respect the buffer cap: wait (while playing) until another
             // chunk fits.
             let mut pause = 0.0;
@@ -355,6 +356,9 @@ impl Simulator {
                 "{} returned invalid level {level}",
                 algo.name()
             );
+            if cfg!(feature = "strict-invariants") {
+                crate::invariants::indices_in_manifest(manifest, level, i);
+            }
 
             let bytes = manifest.chunk_bytes(level, i);
             let request_start = t + self.config.request_rtt_s;
@@ -385,6 +389,11 @@ impl Simulator {
             }
             t += download_secs;
             buffer += delta;
+            if cfg!(feature = "strict-invariants") {
+                crate::invariants::buffer_in_range(buffer, self.config.max_buffer_s, delta);
+                crate::invariants::clock_monotone(t_chunk_start, t);
+                crate::invariants::bytes_match_manifest(manifest, level, i, bytes);
+            }
 
             let throughput = if download_secs > 0.0 {
                 bytes as f64 * 8.0 / download_secs
@@ -419,6 +428,10 @@ impl Simulator {
             startup_delay = t;
         }
 
+        if cfg!(feature = "strict-invariants") {
+            let stalls: Vec<f64> = records.iter().map(|r| r.stall_s).collect();
+            crate::invariants::stall_additive(&stalls, total_stall);
+        }
         let result = SessionResult {
             video_name: manifest.video_name().to_string(),
             trace_name: trace.name().to_string(),

@@ -1,0 +1,87 @@
+//! Negative and positive coverage for the `strict-invariants` runtime layer.
+//!
+//! Only compiled when the feature is on (`cargo test -p abr-sim --features
+//! strict-invariants`); without it the file is empty and the suite is
+//! unchanged.
+#![cfg(feature = "strict-invariants")]
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use abr_sim::abr::FixedLevel;
+use abr_sim::{invariants, Simulator};
+use net_trace::Trace;
+use vbr_video::{Dataset, Manifest};
+
+/// A seeded buffer underflow — the state corruption the layer exists to
+/// catch — must panic with a labelled message instead of silently producing
+/// wrong stall totals downstream.
+#[test]
+fn seeded_buffer_underflow_is_caught() {
+    let result = std::panic::catch_unwind(|| {
+        // Simulate a drain-accounting bug: a 3.2 s drain applied to a 3.0 s
+        // buffer without the `min` clamp the real loop uses.
+        let buffer_s = 3.0 - 3.2;
+        invariants::buffer_in_range(buffer_s, 100.0, 5.0);
+    });
+    let err = result.expect_err("underflow must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("buffer underflow"),
+        "panic should name the invariant: {msg}"
+    );
+}
+
+#[test]
+fn seeded_buffer_overflow_is_caught() {
+    let result = std::panic::catch_unwind(|| {
+        // Cap is enforced pre-download, so anything beyond cap + one chunk
+        // means the pause accounting is broken.
+        invariants::buffer_in_range(106.0, 100.0, 5.0);
+    });
+    assert!(result.is_err(), "overflow must panic");
+}
+
+#[test]
+fn backwards_clock_is_caught() {
+    let result = std::panic::catch_unwind(|| invariants::clock_monotone(10.0, 9.0));
+    assert!(result.is_err(), "backwards clock must panic");
+}
+
+#[test]
+fn out_of_manifest_level_is_caught() {
+    let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+    let n = manifest.n_tracks();
+    let result = std::panic::catch_unwind(|| invariants::indices_in_manifest(&manifest, n, 0));
+    assert!(result.is_err(), "level == n_tracks must panic");
+}
+
+#[test]
+fn byte_mismatch_is_caught() {
+    let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+    let truth = manifest.chunk_bytes(2, 7);
+    let result =
+        std::panic::catch_unwind(|| invariants::bytes_match_manifest(&manifest, 2, 7, truth + 1));
+    assert!(result.is_err(), "size mismatch must panic");
+}
+
+/// With the layer armed, real simulations — including ones that stall hard
+/// and ones that pause at the buffer cap — must run clean: the invariants
+/// describe what correct simulation state looks like, so a correct simulator
+/// never trips them.
+#[test]
+fn armed_invariants_pass_on_real_sessions() {
+    let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+    let sim = Simulator::paper_default();
+    // Fast link: buffer-cap pauses every chunk.
+    let fast = Trace::new("fast", 1.0, vec![50.0e6; 1500]);
+    let r = sim.run(&mut FixedLevel::new(0), &manifest, &fast);
+    assert_eq!(r.n_chunks(), manifest.n_chunks());
+    // Slow link at the top track: heavy rebuffering exercises the stall
+    // additivity check.
+    let slow = Trace::new("slow", 1.0, vec![1.0e6; 9000]);
+    let r = sim.run(&mut FixedLevel::new(5), &manifest, &slow);
+    assert!(r.total_stall_s > 0.0);
+    // Bursty seeded LTE trace: outages, regime switches, startup stalls.
+    let lte = net_trace::lte::lte_trace(7, &net_trace::lte::LteConfig::default());
+    let r = sim.run(&mut FixedLevel::new(3), &manifest, &lte);
+    assert_eq!(r.n_chunks(), manifest.n_chunks());
+}

@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Per-decision and per-session runtime of every ABR scheme.
 //!
 //! §5.5 reports CAVA's dash.js prototype costing ≈ 56 ms for a whole

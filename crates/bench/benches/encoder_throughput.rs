@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Video-substrate throughput: complexity-process generation, per-track
 //! encoding, full-video synthesis (tracks + quality tables), and chunk
 //! classification. The 16-video dataset is rebuilt from scratch by every

@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Simulator throughput: how many full streaming sessions per second the
 //! substrate sustains. The 200-trace × multi-scheme × 16-video evaluation
 //! grid only stays interactive because a session is microseconds of work;

@@ -52,12 +52,11 @@
 //! engine::run_ids(&["my_exp"]).unwrap();
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
 
 use abr_sim::metrics::{QoeConfig, QoeMetrics};
 use abr_sim::PlayerConfig;
@@ -109,8 +108,10 @@ impl Deref for PreparedVideo {
     }
 }
 
-type VideoCache = Mutex<HashMap<String, Arc<PreparedVideo>>>;
-type TraceCache = Mutex<HashMap<(TraceSet, usize), Arc<Vec<Trace>>>>;
+// Ordered maps throughout (abr-lint rule R2): nothing in this crate may
+// iterate in hash order, so that journal and report output is byte-stable.
+type VideoCache = Mutex<BTreeMap<String, Arc<PreparedVideo>>>;
+type TraceCache = Mutex<BTreeMap<(TraceSet, usize), Arc<Vec<Trace>>>>;
 
 static VIDEOS: OnceLock<VideoCache> = OnceLock::new();
 static TRACES: OnceLock<TraceCache> = OnceLock::new();
@@ -301,24 +302,47 @@ where
 /// scheme × trace task queue — schemes evaluate concurrently instead of one
 /// after another. Each session gets a **fresh** algorithm instance, so
 /// results are independent of scheduling. Per-scheme session metrics come
-/// back in trace order; each scheme's summary is journaled.
+/// back in trace order; each scheme's summary is journaled. The result is
+/// an ordered map so downstream iteration (tables, CSVs, journals) is
+/// byte-stable across runs and machines.
 pub fn run_grid(
     schemes: &[SchemeKind],
     video: &PreparedVideo,
     traces: &[Trace],
     qoe: &QoeConfig,
     player: &PlayerConfig,
-) -> HashMap<SchemeKind, Vec<QoeMetrics>> {
+) -> BTreeMap<SchemeKind, Vec<QoeMetrics>> {
+    run_grid_on(
+        default_threads(schemes.len() * traces.len()),
+        schemes,
+        video,
+        traces,
+        qoe,
+        player,
+    )
+}
+
+/// [`run_grid`] with an explicit worker count — `threads = 1` is exactly a
+/// serial loop, which the grid-determinism regression test compares against
+/// higher worker counts for byte-identical journal summaries.
+pub fn run_grid_on(
+    threads: usize,
+    schemes: &[SchemeKind],
+    video: &PreparedVideo,
+    traces: &[Trace],
+    qoe: &QoeConfig,
+    player: &PlayerConfig,
+) -> BTreeMap<SchemeKind, Vec<QoeMetrics>> {
     let sim = abr_sim::Simulator::new(*player);
     let per = traces.len();
-    let flat = run_indexed(schemes.len() * per, |i| {
+    let flat = run_indexed_on(threads, schemes.len() * per, |i| {
         let scheme = schemes[i / per];
         let trace = &traces[i % per];
         let mut algo = scheme.build(video, qoe.vmaf_model);
         let session = sim.run(algo.as_mut(), &video.manifest, trace);
         abr_sim::metrics::evaluate(&session, video, &video.classification, qoe)
     });
-    let mut out = HashMap::with_capacity(schemes.len());
+    let mut out = BTreeMap::new();
     for (k, scheme) in schemes.iter().enumerate() {
         let sessions = flat[k * per..(k + 1) * per].to_vec();
         harness::journal_scheme_summary(scheme.name(), video.name(), &sessions);
@@ -358,13 +382,13 @@ pub fn run_ids(ids: &[&str]) -> io::Result<()> {
         for (k, (id, description, entry)) in selected.iter().enumerate() {
             eprintln!("[{}/{total}] {id}: {description}", k + 1);
             journal::begin_experiment(id, description);
-            let started = Instant::now();
+            let started = journal::Stopwatch::start();
             entry()?;
             journal::end_experiment();
             eprintln!(
                 "[{}/{total}] {id}: done in {:.1}s",
                 k + 1,
-                started.elapsed().as_secs_f64()
+                started.seconds()
             );
         }
         Ok(())
@@ -379,10 +403,10 @@ pub fn run_ids(ids: &[&str]) -> io::Result<()> {
 /// Run every registry experiment: prefetch all artifacts in parallel, then
 /// drive the full list through [`run_ids`] under one journal.
 pub fn run_all() -> io::Result<()> {
-    let started = Instant::now();
+    let started = journal::Stopwatch::start();
     eprintln!("prefetching dataset videos and trace corpora...");
     prefetch();
-    eprintln!("prefetch done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("prefetch done in {:.1}s", started.seconds());
     let registry = experiments::registry();
     let ids: Vec<&str> = registry.iter().map(|(id, _, _)| *id).collect();
     run_ids(&ids)

@@ -106,9 +106,9 @@ pub fn run() -> io::Result<()> {
         let by_size = Classification::from_video(&video);
         let by_content = classification_from_si_ti(&video);
         let overall = agreement(&by_size, &by_content);
-        let q4_size: std::collections::HashSet<usize> =
+        let q4_size: std::collections::BTreeSet<usize> =
             by_size.positions_of(ChunkClass::Q4).into_iter().collect();
-        let q4_content: std::collections::HashSet<usize> = by_content
+        let q4_content: std::collections::BTreeSet<usize> = by_content
             .positions_of(ChunkClass::Q4)
             .into_iter()
             .collect();

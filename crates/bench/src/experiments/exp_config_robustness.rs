@@ -48,11 +48,12 @@ pub fn run() -> io::Result<()> {
             &qoe,
             &player,
         );
+        // Sweep values are exact literals; tagging the paper's setting with
+        // `==` is deliberate.
+        #[allow(clippy::float_cmp)]
+        let tag = if startup == 10.0 { " (paper)" } else { "" };
         t1.add_row(vec![
-            format!(
-                "{startup:.0}{}",
-                if startup == 10.0 { " (paper)" } else { "" }
-            ),
+            format!("{startup:.0}{tag}"),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::AllQuality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),
@@ -90,8 +91,11 @@ pub fn run() -> io::Result<()> {
             &qoe,
             &PlayerConfig::default(),
         );
+        // Same exact-literal tagging as the startup sweep above.
+        #[allow(clippy::float_cmp)]
+        let tag = if base == 60.0 { " (paper)" } else { "" };
         t2.add_row(vec![
-            format!("{base:.0}{}", if base == 60.0 { " (paper)" } else { "" }),
+            format!("{base:.0}{tag}"),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::AllQuality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),
@@ -130,8 +134,11 @@ pub fn run() -> io::Result<()> {
             &qoe,
             &PlayerConfig::default(),
         );
+        // Same exact-literal tagging as the startup sweep above.
+        #[allow(clippy::float_cmp)]
+        let tag = if kp == 0.04 { " (default)" } else { "" };
         t3.add_row(vec![
-            format!("{kp} / {ki}{}", if kp == 0.04 { " (default)" } else { "" }),
+            format!("{kp} / {ki}{tag}"),
             format!("{:.1}", crate::mean_of(Metric::Q4Quality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::AllQuality, &sessions)),
             format!("{:.1}", crate::mean_of(Metric::RebufferS, &sessions)),

@@ -10,13 +10,14 @@ use crate::results_dir;
 use abr_sim::metrics::QoeMetrics;
 use abr_sim::PlayerConfig;
 use sim_report::{AsciiChart, Cdf, CsvWriter, Series, TextTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 
 /// Run the Fig. 8 grid — all five schemes × all LTE traces as one flattened
 /// task queue on the engine — and return per-scheme session metrics (shared
-/// with Fig. 9, which plots different columns of the same runs).
-pub fn run_grid(video: &PreparedVideo) -> HashMap<SchemeKind, Vec<QoeMetrics>> {
+/// with Fig. 9, which plots different columns of the same runs). Ordered
+/// map: iteration order is deterministic (abr-lint rule R2).
+pub fn run_grid(video: &PreparedVideo) -> BTreeMap<SchemeKind, Vec<QoeMetrics>> {
     let traces = engine::traces(TraceSet::Lte);
     let qoe = TraceSet::Lte.qoe_config();
     let player = PlayerConfig::default();

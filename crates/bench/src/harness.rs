@@ -34,8 +34,11 @@ pub fn trace_count() -> usize {
 }
 
 /// Every scheme the evaluation runs. `build` instantiates a fresh algorithm
-/// (one per session — algorithms are stateful within a session).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// (one per session — algorithms are stateful within a session). `Ord`
+/// follows declaration order and keys the ordered grid maps
+/// ([`crate::engine::run_grid`]), so iteration over results is
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchemeKind {
     /// Full CAVA (all three design principles, §5).
     Cava,
@@ -143,7 +146,7 @@ impl SchemeKind {
 }
 
 /// The two trace corpora of §6.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TraceSet {
     /// The LTE corpus (base seed 42).
     Lte,

@@ -52,6 +52,28 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+/// Wall-clock stopwatch for run/experiment timing.
+///
+/// This module is the **only** place in the simulation workspace allowed to
+/// read the wall clock (abr-lint rule R1, allowlisted here): journals and
+/// progress lines report real elapsed time, while everything the evaluation
+/// *measures* flows from the simulated clock. Engine code times itself
+/// through this type instead of touching `std::time` directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 /// One `(scheme, video)` evaluation inside an experiment: how many sessions
 /// ran and the headline means.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

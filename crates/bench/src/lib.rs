@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # abr-bench — the experiment engine and harness
 //!
 //! One experiment per table/figure of the paper's evaluation (see

@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! End-to-end engine smoke test: drive two real registry experiments with
 //! a tiny trace budget and assert both land in the run journal with their
 //! wall times and seeds.

@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Smoke test of the experiment plumbing: run the cheap experiments from
 //! the registry end-to-end with a tiny trace budget, and verify their CSV
 //! artifacts exist and are well-formed (header + consistent column counts).

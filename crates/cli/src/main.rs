@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! `cava` — command-line front end for the CAVA reproduction.
 //!
 //! ```text

@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! End-to-end tests of the `cava` binary (spawned as a real process).
 
 use std::process::{Command, Output};

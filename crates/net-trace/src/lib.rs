@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # net-trace — network-trace substrate
 //!
 //! The paper's evaluation replays two sets of real-world bandwidth traces

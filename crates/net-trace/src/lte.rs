@@ -92,8 +92,12 @@ pub fn lte_trace(seed: u64, config: &LteConfig) -> Trace {
             .exp();
         samples.push(REGIME_MEANS[regime] * bias * fading);
     }
-    // Guarantee the trace is usable even in the pathological all-outage case.
-    if samples.iter().all(|&s| s == 0.0) {
+    // Guarantee the trace is usable even in the pathological all-outage
+    // case. Outage samples are exact 0.0 by construction, so exact equality
+    // is correct.
+    #[allow(clippy::float_cmp)]
+    let all_outage = samples.iter().all(|&s| s == 0.0);
+    if all_outage {
         samples[0] = REGIME_MEANS[1] * bias;
     }
     Trace::new(format!("lte-{seed}"), 1.0, samples)

@@ -221,6 +221,9 @@ impl Trace {
     ///
     /// # Panics
     /// Panics if the sample intervals differ.
+    // Intervals are configured constants, never computed: exact equality is
+    // the right compatibility check here.
+    #[allow(clippy::float_cmp)]
     pub fn concat(&self, other: &Trace) -> Trace {
         assert_eq!(
             self.interval_s, other.interval_s,

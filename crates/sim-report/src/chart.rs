@@ -87,10 +87,17 @@ impl AsciiChart {
             ymin = ymin.min(y);
             ymax = ymax.max(y);
         }
-        if xmax == xmin {
+        // Degenerate-range guard: widening is only needed when the min and
+        // max are the *same* value (a flat series), so exact equality is
+        // deliberate.
+        #[allow(clippy::float_cmp)]
+        let flat_x = xmax == xmin;
+        if flat_x {
             xmax = xmin + 1.0;
         }
-        if ymax == ymin {
+        #[allow(clippy::float_cmp)]
+        let flat_y = ymax == ymin;
+        if flat_y {
             ymax = ymin + 1.0;
         }
         let mut grid = vec![vec![' '; self.width]; self.height];

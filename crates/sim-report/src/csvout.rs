@@ -81,7 +81,10 @@ impl CsvWriter {
 /// Format a number compactly: integers without a decimal point, otherwise up
 /// to 6 significant decimals with trailing zeros trimmed.
 pub fn format_number(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 1e15 {
+    // `fract() == 0.0` is the exact is-integer test; no tolerance wanted.
+    #[allow(clippy::float_cmp)]
+    let is_integer = v.fract() == 0.0 && v.abs() < 1e15;
+    if is_integer {
         format!("{}", v as i64)
     } else {
         let s = format!("{v:.6}");

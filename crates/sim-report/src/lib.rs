@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # sim-report — reporting substrate
 //!
 //! Small, dependency-light utilities shared by the evaluation harness and the

@@ -25,7 +25,10 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
 /// `vbr-video` assert that range through this function.
 pub fn coefficient_of_variation(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
-    if m == 0.0 {
+    // Division guard: only an exact zero mean is undefined.
+    #[allow(clippy::float_cmp)]
+    let zero_mean = m == 0.0;
+    if zero_mean {
         return None;
     }
     Some(std_dev(xs)? / m)
@@ -80,7 +83,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
-    if vx == 0.0 || vy == 0.0 {
+    // Exact-zero variance (a constant input) is the one degenerate case.
+    #[allow(clippy::float_cmp)]
+    let degenerate = vx == 0.0 || vy == 0.0;
+    if degenerate {
         return None;
     }
     Some(cov / (vx.sqrt() * vy.sqrt()))
@@ -100,6 +106,9 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
 }
 
 /// Fractional (tie-averaged) ranks of a sample, 1-based.
+// Tie detection needs exact equality: samples share a rank only when they are
+// the same value, not merely close.
+#[allow(clippy::float_cmp)]
 pub fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));

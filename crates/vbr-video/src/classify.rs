@@ -261,6 +261,9 @@ fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
     pearson(&rx, &ry)
 }
 
+// Tie detection for rank assignment needs exact equality: two samples share a
+// rank only when they are the same value, not merely close.
+#[allow(clippy::float_cmp)]
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN"));
@@ -292,7 +295,11 @@ fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         vx += (x - mx) * (x - mx);
         vy += (y - my) * (y - my);
     }
-    if vx == 0.0 || vy == 0.0 {
+    // Exact-zero variance (a constant input) is the one degenerate case;
+    // comparing against 0.0 exactly is intended.
+    #[allow(clippy::float_cmp)]
+    let degenerate = vx == 0.0 || vy == 0.0;
+    if degenerate {
         return None;
     }
     Some(cov / (vx.sqrt() * vy.sqrt()))

@@ -50,6 +50,9 @@ impl VideoSpec {
     ) -> VideoSpec {
         let chunk_duration = source.default_chunk_duration();
         let n_chunks = (600.0 / chunk_duration).round() as usize;
+        // 2.0 is an exact configuration sentinel (the default cap), never a
+        // computed value.
+        #[allow(clippy::float_cmp)]
         let cap_tag = if cap_ratio == 2.0 {
             String::new()
         } else {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # vbr-video — VBR video substrate
 //!
 //! A from-scratch model of everything the CoNEXT '18 CAVA paper needs from

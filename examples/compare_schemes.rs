@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Compare every ABR scheme on one video across a set of LTE traces — the
 //! paper's §6.3 evaluation in miniature.
 //!

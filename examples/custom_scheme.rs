@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Bring your own ABR: implement [`AbrAlgorithm`] and benchmark it against
 //! CAVA on the same traces.
 //!

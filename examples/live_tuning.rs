@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Sweep CAVA's key parameters and show the tradeoff frontier — the paper's
 //! §6.2 parameter study in miniature, plus an α (differential-treatment
 //! strength) sweep the paper describes in §5.3.

@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Quickstart: stream one VBR video over one cellular trace with CAVA and
 //! print the paper's five QoE metrics.
 //!

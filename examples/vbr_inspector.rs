@@ -1,3 +1,7 @@
+// This target sits outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Characterize a VBR encoding the way the paper's §2–§3 does: per-track
 //! bitrate statistics, size-quartile classification, SI/TI separation, and
 //! the quality-inversion finding (Q4 chunks have the most bits and the worst

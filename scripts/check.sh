@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Repo-wide lint gate. Run before sending a PR; CI runs the same steps.
 #
-#   scripts/check.sh          # fmt + clippy + docs
+#   scripts/check.sh          # fmt + clippy + docs + abr-lint + invariants
 #
 # The doc step holds abr-bench to `#![deny(missing_docs)]` plus
-# rustdoc's own lints (broken intra-doc links, etc.).
+# rustdoc's own lints (broken intra-doc links, etc.). The abr-lint step
+# enforces the determinism rules R1-R6 (see CONTRIBUTING.md); the final
+# steps re-run the simulator and controller suites with the runtime
+# invariant layer armed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,5 +20,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc -p abr-bench (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abr-bench
+
+echo "==> abr-lint (determinism rules R1-R6)"
+cargo run -q -p abr-lint --
+
+echo "==> cargo test -p abr-sim --features strict-invariants"
+cargo test -q -p abr-sim --features strict-invariants
+
+echo "==> cargo test -p cava-core --features strict-invariants"
+cargo test -q -p cava-core --features strict-invariants
 
 echo "all checks passed"

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 //! # cava-suite — CAVA and its full evaluation substrate
 //!
 //! Umbrella crate re-exporting the whole workspace, a reproduction of

@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! §2/§3 characterization claims, verified across the *entire* 16-video
 //! dataset (the per-module unit tests check single videos; this is the
 //! corpus-level statement the paper makes).

@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Cross-crate integration tests: full streaming sessions with every scheme
 //! on both chunk durations and both trace families, exercising the complete
 //! pipeline (dataset → manifest → simulator → metrics).

@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! The paper's headline empirical claims as (tolerant) regression tests.
 //! Each test cites the section it reproduces. These use a modest trace count
 //! for runtime; the full 200-trace numbers come from the `abr-bench`

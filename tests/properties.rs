@@ -1,3 +1,7 @@
+// Integration tests sit outside cfg(test), so opt out of the library-only
+// workspace lints here explicitly.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 //! Property-based tests (proptest) over the core invariants of the
 //! substrates and of CAVA.
 
