@@ -27,6 +27,7 @@ const SIM_CRATES: &[&str] = &[
     "core",
     "abr-sim",
     "abr-baselines",
+    "abr-serve",
     "vbr-video",
     "net-trace",
     "bench",
@@ -34,10 +35,10 @@ const SIM_CRATES: &[&str] = &[
 
 /// Crates that produce journal/report/CSV output (R2): iteration order must
 /// be deterministic, so unordered hash collections are banned outright.
-const OUTPUT_CRATES: &[&str] = &["bench", "sim-report"];
+const OUTPUT_CRATES: &[&str] = &["bench", "sim-report", "abr-serve"];
 
 /// Crates holding ABR decision logic (R4).
-const ALGO_CRATES: &[&str] = &["core", "abr-sim", "abr-baselines"];
+const ALGO_CRATES: &[&str] = &["core", "abr-sim", "abr-baselines", "abr-serve"];
 
 /// Library crates (R5): panicking on I/O or parse results is banned; the
 /// provably-infallible cases are catalogued in the allowlist.
@@ -45,6 +46,7 @@ const LIBRARY_CRATES: &[&str] = &[
     "core",
     "abr-sim",
     "abr-baselines",
+    "abr-serve",
     "vbr-video",
     "net-trace",
     "sim-report",

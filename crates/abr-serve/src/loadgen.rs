@@ -1,0 +1,692 @@
+//! The deterministic fleet load generator.
+//!
+//! Drives N simulated players from `abr-sim` against a running server over
+//! real TCP sockets. The arrival process is seeded: session attributes
+//! (video, scheme, trace seed) are a pure function of the session id, and
+//! the order sessions hit the server is a seeded Fisher–Yates shuffle —
+//! same seed, same fleet, regardless of how many client connections carry
+//! it.
+//!
+//! Each session is the real simulator running with a remote-ABR adapter
+//! in the algorithm seat: every `choose_level` becomes a `Decide` frame on
+//! the wire. That makes the **decision parity** check exact — after the
+//! remote session completes, the same seed is replayed fully in-process
+//! and the two [`SessionResult`]s must compare equal, byte for byte. Any
+//! divergence between the serving layer and the simulator (history drift,
+//! float truncation, state reuse) fails the comparison.
+//!
+//! In **hold** mode the fleet opens every session before driving any of
+//! them (two [`Barrier`]s), so the server really holds `sessions`
+//! concurrent sessions — the soak acceptance criterion. Hold mode needs a
+//! server worker pool at least as large as `connections`, because each
+//! worker owns one connection for its lifetime.
+//!
+//! No wall clock is read here: latency measurement comes from the injected
+//! `now` closure (backed by the bench journal's `Stopwatch` in real use).
+
+use crate::protocol::{Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
+use crate::scheme;
+use crate::store::VideoProvider;
+use crate::{lock, protocol};
+use abr_sim::{
+    AbrAlgorithm, DecisionContext, DecisionRequest, PlayerConfig, SessionResult, Simulator,
+};
+use net_trace::lte::{lte_trace, LteConfig};
+use sim_report::stats::percentile;
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Barrier, Mutex};
+use std::thread;
+use vbr_video::quality::VmafModel;
+
+/// Fleet shape and behavior knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total sessions to run.
+    pub sessions: usize,
+    /// Client connections (threads) carrying them. In hold mode this must
+    /// not exceed the server's worker-pool size.
+    pub connections: usize,
+    /// Master seed: shuffles arrival order and derives per-session trace
+    /// seeds (`seed + session_index`).
+    pub seed: u64,
+    /// Videos assigned round-robin by session index.
+    pub videos: Vec<String>,
+    /// Schemes assigned round-robin by session index.
+    pub schemes: Vec<String>,
+    /// VMAF device model for quality-aware schemes.
+    pub vmaf_model: VmafModel,
+    /// Open every session before driving any (barrier-synchronized), so
+    /// the server holds the whole fleet concurrently.
+    pub hold: bool,
+    /// Replay each session in-process and require equality.
+    pub parity: bool,
+    /// Player configuration used by both the remote drive and the parity
+    /// replay.
+    pub player: PlayerConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            sessions: 50,
+            connections: 4,
+            seed: 42,
+            videos: vec!["ED-youtube-h264".to_string()],
+            schemes: vec!["cava".to_string(), "bola".to_string(), "rba".to_string()],
+            vmaf_model: VmafModel::Tv,
+            hold: true,
+            parity: true,
+            player: PlayerConfig::default(),
+        }
+    }
+}
+
+/// One session's identity: a pure function of `(config, session index)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionPlan {
+    /// Wire session id (`index + 1`).
+    pub session_id: u64,
+    /// Video streamed.
+    pub video: String,
+    /// Scheme serving the decisions.
+    pub scheme: String,
+    /// Seed of the LTE trace this session replays.
+    pub trace_seed: u64,
+}
+
+/// What one session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The plan that ran.
+    pub plan: SessionPlan,
+    /// True if the server admitted or served the session degraded.
+    pub degraded: bool,
+    /// The remotely-driven session record (absent if the session never
+    /// got off the ground).
+    pub result: Option<SessionResult>,
+    /// Per-decision round-trip latency, seconds, in request order.
+    pub latencies_s: Vec<f64>,
+    /// Parity verdict: `Some(true)` = byte-identical to the in-process
+    /// replay, `None` = check skipped (disabled, degraded, or errored).
+    pub parity: Option<bool>,
+    /// Lifetime decision count the server reported at close.
+    pub closed_decisions: Option<u64>,
+    /// First error this session hit, if any.
+    pub error: Option<String>,
+}
+
+impl SessionOutcome {
+    fn new(plan: SessionPlan) -> SessionOutcome {
+        SessionOutcome {
+            plan,
+            degraded: false,
+            result: None,
+            latencies_s: Vec::new(),
+            parity: None,
+            closed_decisions: None,
+            error: None,
+        }
+    }
+}
+
+/// The fleet's collected results, outcomes in session-id order.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// One entry per planned session, ordered by session id.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Wall time of the whole drive (connect through last close), from the
+    /// injected clock.
+    pub wall_time_s: f64,
+    /// Server counters sampled after the drive.
+    pub server_stats: Option<StatsSnapshot>,
+}
+
+impl LoadgenReport {
+    /// Total decisions served over the wire.
+    pub fn decisions(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.latencies_s.len() as u64)
+            .sum()
+    }
+
+    /// Session ids whose parity check failed.
+    pub fn parity_mismatches(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.parity == Some(false))
+            .map(|o| o.plan.session_id)
+            .collect()
+    }
+
+    /// Sessions that were served degraded at any point.
+    pub fn degraded_sessions(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.degraded).count()
+    }
+
+    /// `(session id, error)` for every errored session.
+    pub fn errors(&self) -> Vec<(u64, String)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.error.clone().map(|e| (o.plan.session_id, e)))
+            .collect()
+    }
+
+    /// All decision latencies, concatenated in session order.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| o.latencies_s.iter().copied())
+            .collect()
+    }
+
+    /// Percentile over all decision latencies (`None` if no decisions).
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.latencies(), p)
+    }
+}
+
+/// Load-generator failure (fleet-level; per-session failures live in
+/// [`SessionOutcome::error`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadgenError {
+    /// The configuration cannot describe a fleet.
+    BadConfig(String),
+    /// Socket-level failure.
+    Io(String),
+    /// Wire decode failure.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server(String),
+    /// The server answered with a frame the client did not expect.
+    Unexpected(String),
+}
+
+impl fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadgenError::BadConfig(msg) => write!(f, "bad loadgen config: {msg}"),
+            LoadgenError::Io(msg) => write!(f, "io: {msg}"),
+            LoadgenError::Wire(e) => write!(f, "wire: {e}"),
+            LoadgenError::Server(msg) => write!(f, "server error: {msg}"),
+            LoadgenError::Unexpected(msg) => write!(f, "unexpected reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {}
+
+/// Deterministic shuffle source (no ambient entropy — R3).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// Expand a config into the fleet's session plans, in seeded arrival
+/// order. Pure: same config, same plans.
+pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
+    if config.sessions == 0 {
+        return Err(LoadgenError::BadConfig(
+            "sessions must be at least 1".into(),
+        ));
+    }
+    if config.connections == 0 {
+        return Err(LoadgenError::BadConfig(
+            "connections must be at least 1".into(),
+        ));
+    }
+    if config.videos.is_empty() {
+        return Err(LoadgenError::BadConfig("no videos given".into()));
+    }
+    if config.schemes.is_empty() {
+        return Err(LoadgenError::BadConfig("no schemes given".into()));
+    }
+    for name in &config.videos {
+        if !scheme::is_known_video(name) {
+            return Err(LoadgenError::BadConfig(format!("unknown video {name:?}")));
+        }
+    }
+    for name in &config.schemes {
+        if !scheme::is_known_scheme(name) {
+            return Err(LoadgenError::BadConfig(format!("unknown scheme {name:?}")));
+        }
+    }
+    let mut order: Vec<usize> = (0..config.sessions).collect();
+    let mut rng = Lcg(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+    for i in (1..order.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    Ok(order
+        .into_iter()
+        .map(|idx| SessionPlan {
+            session_id: idx as u64 + 1,
+            video: config.videos[idx % config.videos.len()].clone(),
+            scheme: config.schemes[idx % config.schemes.len()].clone(),
+            trace_seed: config.seed.wrapping_add(idx as u64),
+        })
+        .collect())
+}
+
+/// Buffered frame transport over one TCP connection.
+struct FrameIo {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl FrameIo {
+    fn connect(addr: SocketAddr) -> Result<FrameIo, LoadgenError> {
+        let stream = TcpStream::connect(addr).map_err(|e| LoadgenError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let clone = stream
+            .try_clone()
+            .map_err(|e| LoadgenError::Io(e.to_string()))?;
+        Ok(FrameIo {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(clone),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), LoadgenError> {
+        protocol::write_frame(&mut self.writer, frame)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| LoadgenError::Io(e.to_string()))
+    }
+
+    fn recv(&mut self) -> Result<Frame, LoadgenError> {
+        protocol::read_frame(&mut self.reader).map_err(LoadgenError::Wire)
+    }
+
+    fn call(&mut self, frame: &Frame) -> Result<Frame, LoadgenError> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    fn handshake(&mut self) -> Result<(), LoadgenError> {
+        match self.call(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Frame::HelloOk { .. } => Ok(()),
+            Frame::Error { code, message } => {
+                Err(LoadgenError::Server(format!("{code:?}: {message}")))
+            }
+            other => Err(LoadgenError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}
+
+/// The algorithm-seat adapter: every `choose_level` is a round trip.
+struct RemoteAbr<'a> {
+    io: &'a mut FrameIo,
+    session_id: u64,
+    display_name: String,
+    now: &'a (dyn Fn() -> f64 + Sync),
+    latencies_s: Vec<f64>,
+    degraded: bool,
+    error: Option<String>,
+}
+
+impl AbrAlgorithm for RemoteAbr<'_> {
+    fn name(&self) -> &str {
+        // The local scheme's display name, so the remote SessionResult is
+        // comparable field-for-field with the parity replay.
+        &self.display_name
+    }
+
+    fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
+        if self.error.is_some() {
+            // The session already failed; finish the replay locally at the
+            // lowest level instead of hammering a broken connection.
+            return 0;
+        }
+        let request = DecisionRequest::from_context(ctx);
+        let t0 = (self.now)();
+        match self.io.call(&Frame::Decide {
+            session_id: self.session_id,
+            request,
+        }) {
+            Ok(Frame::Decision {
+                session_id,
+                response,
+            }) if session_id == self.session_id => {
+                self.latencies_s.push((self.now)() - t0);
+                self.degraded |= response.degraded;
+                if response.level < ctx.manifest.n_tracks() {
+                    response.level
+                } else {
+                    self.error = Some(format!(
+                        "server chose level {} outside 0..{}",
+                        response.level,
+                        ctx.manifest.n_tracks()
+                    ));
+                    0
+                }
+            }
+            Ok(Frame::Error { code, message }) => {
+                self.error = Some(format!("{code:?}: {message}"));
+                0
+            }
+            Ok(other) => {
+                self.error = Some(format!("unexpected reply {other:?}"));
+                0
+            }
+            Err(e) => {
+                self.error = Some(e.to_string());
+                0
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        // Server-side state was fresh at OpenSession; nothing to clear.
+    }
+}
+
+fn open_session(io: &mut FrameIo, plan: &SessionPlan, vmaf: u8) -> Result<bool, String> {
+    match io.call(&Frame::OpenSession {
+        session_id: plan.session_id,
+        video: plan.video.clone(),
+        scheme: plan.scheme.clone(),
+        vmaf_model: vmaf,
+    }) {
+        Ok(Frame::OpenOk {
+            session_id,
+            degraded,
+            ..
+        }) if session_id == plan.session_id => Ok(degraded),
+        Ok(Frame::Error { code, message }) => Err(format!("{code:?}: {message}")),
+        Ok(other) => Err(format!("unexpected reply {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn close_session(io: &mut FrameIo, plan: &SessionPlan) -> Result<u64, String> {
+    match io.call(&Frame::CloseSession {
+        session_id: plan.session_id,
+    }) {
+        Ok(Frame::Closed {
+            session_id,
+            decisions,
+        }) if session_id == plan.session_id => Ok(decisions),
+        Ok(Frame::Error { code, message }) => Err(format!("{code:?}: {message}")),
+        Ok(other) => Err(format!("unexpected reply {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Drive one opened session to completion and (optionally) replay it
+/// in-process for the parity verdict.
+fn drive_session(
+    io: &mut FrameIo,
+    out: &mut SessionOutcome,
+    config: &LoadgenConfig,
+    provider: &VideoProvider,
+    now: &(dyn Fn() -> f64 + Sync),
+) {
+    let Some(handle) = provider(&out.plan.video) else {
+        out.error = Some(format!("provider lost video {:?}", out.plan.video));
+        return;
+    };
+    let mut local = match scheme::build_scheme(&out.plan.scheme, &handle.video, config.vmaf_model) {
+        Ok(algo) => algo,
+        Err(e) => {
+            out.error = Some(e);
+            return;
+        }
+    };
+    let trace = lte_trace(out.plan.trace_seed, &LteConfig::default());
+    let sim = Simulator::new(config.player);
+    let mut remote = RemoteAbr {
+        io,
+        session_id: out.plan.session_id,
+        display_name: local.name().to_string(),
+        now,
+        latencies_s: Vec::new(),
+        degraded: false,
+        error: None,
+    };
+    let result = sim.run(&mut remote, &handle.manifest, &trace);
+    out.degraded |= remote.degraded;
+    out.latencies_s = remote.latencies_s;
+    out.error = remote.error;
+    if out.error.is_none() && config.parity && !out.degraded {
+        let replay = sim.run(local.as_mut(), &handle.manifest, &trace);
+        out.parity = Some(replay == result);
+    }
+    out.result = Some(result);
+}
+
+/// One client connection's whole lifetime. Always hits every barrier the
+/// other connections will, even after a fatal connect error — otherwise a
+/// failed client would deadlock the fleet.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: SocketAddr,
+    plans: &[SessionPlan],
+    config: &LoadgenConfig,
+    provider: &VideoProvider,
+    now: &(dyn Fn() -> f64 + Sync),
+    barrier: &Barrier,
+) -> (Vec<SessionOutcome>, Option<LoadgenError>) {
+    let mut outcomes: Vec<SessionOutcome> = plans
+        .iter()
+        .map(|p| SessionOutcome::new(p.clone()))
+        .collect();
+    let vmaf = scheme::vmaf_model_code(config.vmaf_model);
+    let mut fatal = None;
+    let mut io = match FrameIo::connect(addr).and_then(|mut io| io.handshake().map(|()| io)) {
+        Ok(io) => Some(io),
+        Err(e) => {
+            for out in &mut outcomes {
+                out.error = Some(format!("connection failed: {e}"));
+            }
+            fatal = Some(e);
+            None
+        }
+    };
+
+    if config.hold {
+        if let Some(io) = io.as_mut() {
+            for out in &mut outcomes {
+                match open_session(io, &out.plan, vmaf) {
+                    Ok(degraded) => out.degraded = degraded,
+                    Err(e) => out.error = Some(e),
+                }
+            }
+        }
+        barrier.wait();
+        if let Some(io) = io.as_mut() {
+            for out in &mut outcomes {
+                if out.error.is_none() {
+                    drive_session(io, out, config, provider, now);
+                }
+            }
+        }
+        barrier.wait();
+        if let Some(io) = io.as_mut() {
+            for out in &mut outcomes {
+                if out.error.is_none() {
+                    match close_session(io, &out.plan) {
+                        Ok(decisions) => out.closed_decisions = Some(decisions),
+                        Err(e) => out.error = Some(e),
+                    }
+                }
+            }
+        }
+    } else if let Some(io) = io.as_mut() {
+        for out in &mut outcomes {
+            match open_session(io, &out.plan, vmaf) {
+                Ok(degraded) => out.degraded = degraded,
+                Err(e) => {
+                    out.error = Some(e);
+                    continue;
+                }
+            }
+            drive_session(io, out, config, provider, now);
+            if out.error.is_none() {
+                match close_session(io, &out.plan) {
+                    Ok(decisions) => out.closed_decisions = Some(decisions),
+                    Err(e) => out.error = Some(e),
+                }
+            }
+        }
+    }
+    (outcomes, fatal)
+}
+
+/// Run the fleet against the server at `addr`. Latency and wall time come
+/// from the injected `now` closure (monotonic seconds).
+pub fn run(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    provider: &VideoProvider,
+    now: &(dyn Fn() -> f64 + Sync),
+) -> Result<LoadgenReport, LoadgenError> {
+    let plans = plan(config)?;
+    let t0 = now();
+    let n_threads = config.connections.min(plans.len()).max(1);
+    let barrier = Barrier::new(n_threads);
+    let collected: Mutex<Vec<Option<SessionOutcome>>> = Mutex::new(vec![None; plans.len()]);
+    let fatal: Mutex<Option<LoadgenError>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for t in 0..n_threads {
+            let my_plans: Vec<SessionPlan> =
+                plans.iter().skip(t).step_by(n_threads).cloned().collect();
+            let barrier = &barrier;
+            let collected = &collected;
+            let fatal = &fatal;
+            scope.spawn(move || {
+                let (outcomes, err) =
+                    drive_connection(addr, &my_plans, config, provider, now, barrier);
+                let mut slots = lock(collected);
+                for out in outcomes {
+                    let idx = (out.plan.session_id - 1) as usize;
+                    slots[idx] = Some(out);
+                }
+                if let Some(e) = err {
+                    let mut f = lock(fatal);
+                    if f.is_none() {
+                        *f = Some(e);
+                    }
+                }
+            });
+        }
+    });
+
+    let wall_time_s = now() - t0;
+    if let Some(e) = lock(&fatal).take() {
+        return Err(e);
+    }
+    let outcomes: Vec<SessionOutcome> = lock(&collected)
+        .drain(..)
+        .map(|slot| slot.ok_or(LoadgenError::BadConfig("session slot never filled".into())))
+        .collect::<Result<_, _>>()?;
+
+    let server_stats = fetch_stats(addr).ok();
+    Ok(LoadgenReport {
+        outcomes,
+        wall_time_s,
+        server_stats,
+    })
+}
+
+/// Sample the server's counters over a fresh connection.
+pub fn fetch_stats(addr: SocketAddr) -> Result<StatsSnapshot, LoadgenError> {
+    let mut io = FrameIo::connect(addr)?;
+    io.handshake()?;
+    match io.call(&Frame::StatsReq)? {
+        Frame::StatsReply(stats) => Ok(stats),
+        Frame::Error { code, message } => Err(LoadgenError::Server(format!("{code:?}: {message}"))),
+        other => Err(LoadgenError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+/// Ask the server at `addr` to shut down and wait for the acknowledgement.
+pub fn shutdown_server(addr: SocketAddr) -> Result<(), LoadgenError> {
+    let mut io = FrameIo::connect(addr)?;
+    io.handshake()?;
+    match io.call(&Frame::Shutdown)? {
+        Frame::ShutdownOk => Ok(()),
+        Frame::Error { code, message } => Err(LoadgenError::Server(format!("{code:?}: {message}"))),
+        other => Err(LoadgenError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_covers_every_session() {
+        let config = LoadgenConfig {
+            sessions: 20,
+            ..LoadgenConfig::default()
+        };
+        let a = plan(&config).unwrap();
+        let b = plan(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        let mut ids: Vec<u64> = a.iter().map(|p| p.session_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=20).collect::<Vec<u64>>());
+        // Attributes are keyed by session index, not arrival order.
+        for p in &a {
+            let idx = (p.session_id - 1) as usize;
+            assert_eq!(p.scheme, config.schemes[idx % config.schemes.len()]);
+            assert_eq!(p.trace_seed, config.seed.wrapping_add(idx as u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let base = LoadgenConfig {
+            sessions: 32,
+            ..LoadgenConfig::default()
+        };
+        let a = plan(&base).unwrap();
+        let b = plan(&LoadgenConfig { seed: 7, ..base }).unwrap();
+        assert_ne!(
+            a.iter().map(|p| p.session_id).collect::<Vec<_>>(),
+            b.iter().map(|p| p.session_id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let ok = LoadgenConfig::default();
+        for broken in [
+            LoadgenConfig {
+                sessions: 0,
+                ..ok.clone()
+            },
+            LoadgenConfig {
+                connections: 0,
+                ..ok.clone()
+            },
+            LoadgenConfig {
+                videos: vec![],
+                ..ok.clone()
+            },
+            LoadgenConfig {
+                schemes: vec!["nope".into()],
+                ..ok.clone()
+            },
+            LoadgenConfig {
+                videos: vec!["no-such-video".into()],
+                ..ok.clone()
+            },
+        ] {
+            assert!(matches!(plan(&broken), Err(LoadgenError::BadConfig(_))));
+        }
+    }
+}

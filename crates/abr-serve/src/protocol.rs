@@ -1,0 +1,656 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is `[u32 length][u8 frame-type][payload]`, all
+//! integers little-endian; the length covers the frame-type byte plus the
+//! payload. Encoding is written out field by field — no ambient
+//! serialization framework — so the wire format is exactly what this file
+//! says and nothing more. Floats travel as their IEEE-754 bit patterns
+//! ([`f64::to_bits`]), which is what makes **decision parity** possible:
+//! a buffer level survives the round trip bit-for-bit.
+//!
+//! Decoding is total: any byte sequence either parses into a [`Frame`] or
+//! yields a typed [`WireError`] — truncated frames, oversized length
+//! prefixes, unknown frame types, and trailing garbage are all distinct,
+//! and nothing panics (see the fuzz-ish round-trip tests in
+//! `tests/protocol.rs`).
+
+use abr_sim::{DecisionRequest, DecisionResponse};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. The `Hello`/`HelloOk` handshake
+/// pins it before any session traffic; a mismatch is rejected with
+/// [`ErrorCode::UnknownVersion`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard ceiling on the length prefix. Every legitimate frame is tiny
+/// (strings are capped at `u16` length); anything larger is a corrupt or
+/// hostile prefix and is rejected *before* allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024;
+
+/// Application-level error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake version not spoken by the server.
+    UnknownVersion,
+    /// `OpenSession` named a video the provider cannot resolve.
+    UnknownVideo,
+    /// `OpenSession` named a scheme outside [`crate::scheme::SCHEME_NAMES`].
+    UnknownScheme,
+    /// A frame referenced a session id the store does not hold.
+    UnknownSession,
+    /// `OpenSession` reused a live session id.
+    DuplicateSession,
+    /// The frame was well-formed but not valid at this point in the
+    /// conversation (e.g. a second `Hello`, or a malformed predecessor).
+    BadFrame,
+    /// A code minted by a newer peer; preserved verbatim.
+    Other(u16),
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ErrorCode::UnknownVersion => 1,
+            ErrorCode::UnknownVideo => 2,
+            ErrorCode::UnknownScheme => 3,
+            ErrorCode::UnknownSession => 4,
+            ErrorCode::DuplicateSession => 5,
+            ErrorCode::BadFrame => 6,
+            ErrorCode::Other(raw) => raw,
+        }
+    }
+
+    /// Total inverse of [`ErrorCode::to_u16`]: unknown codes round-trip
+    /// through [`ErrorCode::Other`] instead of failing the decode.
+    pub fn from_u16(raw: u16) -> ErrorCode {
+        match raw {
+            1 => ErrorCode::UnknownVersion,
+            2 => ErrorCode::UnknownVideo,
+            3 => ErrorCode::UnknownScheme,
+            4 => ErrorCode::UnknownSession,
+            5 => ErrorCode::DuplicateSession,
+            6 => ErrorCode::BadFrame,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+/// Server counters reported by [`Frame::StatsReply`]. Thirteen `u64`s on
+/// the wire, in declaration order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Sessions currently held by the store.
+    pub open_sessions: u64,
+    /// High-water mark of concurrently open sessions.
+    pub peak_sessions: u64,
+    /// Sessions ever admitted (full or degraded).
+    pub sessions_opened: u64,
+    /// Sessions closed by an explicit `CloseSession`.
+    pub sessions_closed: u64,
+    /// Sessions reaped because their connection dropped mid-stream.
+    pub sessions_aborted: u64,
+    /// Sessions reclaimed by idle eviction under capacity pressure.
+    pub sessions_evicted: u64,
+    /// Admissions that fell back to degraded (stateless) service.
+    pub degraded_opens: u64,
+    /// Decide frames answered.
+    pub decisions: u64,
+    /// Decide frames answered by the stateless fallback.
+    pub degraded_decisions: u64,
+    /// Frames successfully decoded from clients.
+    pub frames_in: u64,
+    /// Frames written to clients.
+    pub frames_out: u64,
+    /// Connections torn down by a wire-level decode error.
+    pub protocol_errors: u64,
+}
+
+/// One protocol frame. Client→server frames: `Hello`, `OpenSession`,
+/// `Decide`, `CloseSession`, `StatsReq`, `Shutdown`. Server→client frames:
+/// the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake; must be the first frame on every connection.
+    Hello {
+        /// Version the client speaks.
+        version: u16,
+    },
+    /// Server handshake acknowledgement.
+    HelloOk {
+        /// Version the server will speak on this connection.
+        version: u16,
+    },
+    /// Admit a session: bind an id to a (video, scheme) pair.
+    OpenSession {
+        /// Client-chosen id, unique among the client's live sessions.
+        session_id: u64,
+        /// Dataset video name (see `cava list-videos`).
+        video: String,
+        /// Scheme name from [`crate::scheme::SCHEME_NAMES`].
+        scheme: String,
+        /// VMAF device model: 0 = TV, 1 = phone.
+        vmaf_model: u8,
+    },
+    /// Session admitted.
+    OpenOk {
+        /// Echoed session id.
+        session_id: u64,
+        /// True when the store was over capacity and admitted the session
+        /// in stateless graceful-degradation mode.
+        degraded: bool,
+        /// Track count of the bound manifest.
+        n_tracks: u32,
+        /// Chunk count of the bound manifest.
+        n_chunks: u32,
+    },
+    /// Ask the session's algorithm for the next track level.
+    Decide {
+        /// Target session.
+        session_id: u64,
+        /// Per-step player state snapshot.
+        request: DecisionRequest,
+    },
+    /// Answer to [`Frame::Decide`].
+    Decision {
+        /// Echoed session id.
+        session_id: u64,
+        /// The chosen level and whether the fallback produced it.
+        response: DecisionResponse,
+    },
+    /// Retire a session and release its state.
+    CloseSession {
+        /// Target session.
+        session_id: u64,
+    },
+    /// Answer to [`Frame::CloseSession`].
+    Closed {
+        /// Echoed session id.
+        session_id: u64,
+        /// Decisions served over the session's lifetime.
+        decisions: u64,
+    },
+    /// Request a [`Frame::StatsReply`].
+    StatsReq,
+    /// Server counter snapshot.
+    StatsReply(StatsSnapshot),
+    /// Application-level error; the connection stays usable unless the
+    /// error was a wire-level decode failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Ask the server to stop accepting and drain.
+    Shutdown,
+    /// Acknowledges [`Frame::Shutdown`]; sent before the listener closes.
+    ShutdownOk,
+}
+
+const TY_HELLO: u8 = 0x01;
+const TY_HELLO_OK: u8 = 0x02;
+const TY_OPEN_SESSION: u8 = 0x03;
+const TY_OPEN_OK: u8 = 0x04;
+const TY_DECIDE: u8 = 0x05;
+const TY_DECISION: u8 = 0x06;
+const TY_CLOSE_SESSION: u8 = 0x07;
+const TY_CLOSED: u8 = 0x08;
+const TY_STATS_REQ: u8 = 0x09;
+const TY_STATS_REPLY: u8 = 0x0A;
+const TY_ERROR: u8 = 0x0B;
+const TY_SHUTDOWN: u8 = 0x0C;
+const TY_SHUTDOWN_OK: u8 = 0x0D;
+
+/// Typed decode/transport failure. Everything a hostile or broken peer can
+/// do maps onto one of these — the read path never panics and never hangs
+/// on a frame boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Clean EOF exactly between frames — the peer hung up politely.
+    Closed,
+    /// EOF in the middle of a frame (inside the prefix or the body).
+    Truncated,
+    /// Length prefix above [`MAX_FRAME_LEN`] (or zero).
+    Oversized {
+        /// The offending declared length.
+        len: u32,
+    },
+    /// Frame-type byte outside the protocol.
+    UnknownFrameType(u8),
+    /// Handshake version this build does not speak.
+    UnknownVersion(u16),
+    /// Payload too short, invalid UTF-8, bad bool/option tag, …
+    BadPayload(&'static str),
+    /// Payload decoded but bytes were left over.
+    Trailing {
+        /// How many undecoded bytes followed the frame.
+        extra: usize,
+    },
+    /// Transport-level I/O failure other than EOF.
+    Io(io::ErrorKind),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized { len } => {
+                write!(f, "length prefix {len} outside 1..={MAX_FRAME_LEN}")
+            }
+            WireError::UnknownFrameType(ty) => write!(f, "unknown frame type 0x{ty:02X}"),
+            WireError::UnknownVersion(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after frame"),
+            WireError::Io(kind) => write!(f, "io error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_f64(out, x);
+        }
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
+    put_u16(out, len);
+    out.extend_from_slice(&bytes[..usize::from(len)]);
+}
+
+fn put_request(out: &mut Vec<u8>, req: &DecisionRequest) {
+    put_u64(out, req.chunk_index as u64);
+    put_f64(out, req.buffer_s);
+    put_opt_f64(out, req.estimated_bandwidth_bps);
+    put_opt_u64(out, req.last_level.map(|l| l as u64));
+    put_opt_f64(out, req.latest_throughput_bps);
+    put_f64(out, req.wall_time_s);
+    put_bool(out, req.startup_complete);
+    put_u64(out, req.visible_chunks as u64);
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &StatsSnapshot) {
+    for v in [
+        s.connections,
+        s.open_sessions,
+        s.peak_sessions,
+        s.sessions_opened,
+        s.sessions_closed,
+        s.sessions_aborted,
+        s.sessions_evicted,
+        s.degraded_opens,
+        s.decisions,
+        s.degraded_decisions,
+        s.frames_in,
+        s.frames_out,
+        s.protocol_errors,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+/// Encode a frame to its full wire form: length prefix, type byte, payload.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.push(0); // frame type, patched below
+    let ty = match frame {
+        Frame::Hello { version } => {
+            put_u16(&mut body, *version);
+            TY_HELLO
+        }
+        Frame::HelloOk { version } => {
+            put_u16(&mut body, *version);
+            TY_HELLO_OK
+        }
+        Frame::OpenSession {
+            session_id,
+            video,
+            scheme,
+            vmaf_model,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_str(&mut body, video);
+            put_str(&mut body, scheme);
+            body.push(*vmaf_model);
+            TY_OPEN_SESSION
+        }
+        Frame::OpenOk {
+            session_id,
+            degraded,
+            n_tracks,
+            n_chunks,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_bool(&mut body, *degraded);
+            put_u32(&mut body, *n_tracks);
+            put_u32(&mut body, *n_chunks);
+            TY_OPEN_OK
+        }
+        Frame::Decide {
+            session_id,
+            request,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_request(&mut body, request);
+            TY_DECIDE
+        }
+        Frame::Decision {
+            session_id,
+            response,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_u64(&mut body, response.level as u64);
+            put_bool(&mut body, response.degraded);
+            TY_DECISION
+        }
+        Frame::CloseSession { session_id } => {
+            put_u64(&mut body, *session_id);
+            TY_CLOSE_SESSION
+        }
+        Frame::Closed {
+            session_id,
+            decisions,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_u64(&mut body, *decisions);
+            TY_CLOSED
+        }
+        Frame::StatsReq => TY_STATS_REQ,
+        Frame::StatsReply(stats) => {
+            put_stats(&mut body, stats);
+            TY_STATS_REPLY
+        }
+        Frame::Error { code, message } => {
+            put_u16(&mut body, code.to_u16());
+            put_str(&mut body, message);
+            TY_ERROR
+        }
+        Frame::Shutdown => TY_SHUTDOWN,
+        Frame::ShutdownOk => TY_SHUTDOWN_OK,
+    };
+    body[0] = ty;
+    let mut wire = Vec::with_capacity(4 + body.len());
+    put_u32(&mut wire, body.len() as u32);
+    wire.extend_from_slice(&body);
+    wire
+}
+
+/// Write one frame (length prefix included) to `w`. Does **not** flush —
+/// callers batching frames flush once.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over a frame body; every accessor fails with
+/// [`WireError::BadPayload`] instead of slicing out of range.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Cur<'a> {
+        Cur { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(WireError::BadPayload("payload shorter than declared"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::BadPayload("index exceeds usize"))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadPayload("bool tag outside {0,1}")),
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(WireError::BadPayload("option tag outside {0,1}")),
+        }
+    }
+
+    fn opt_usize(&mut self) -> Result<Option<usize>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            _ => Err(WireError::BadPayload("option tag outside {0,1}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = usize::from(self.u16()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("invalid UTF-8"))
+    }
+
+    fn request(&mut self) -> Result<DecisionRequest, WireError> {
+        Ok(DecisionRequest {
+            chunk_index: self.usize()?,
+            buffer_s: self.f64()?,
+            estimated_bandwidth_bps: self.opt_f64()?,
+            last_level: self.opt_usize()?,
+            latest_throughput_bps: self.opt_f64()?,
+            wall_time_s: self.f64()?,
+            startup_complete: self.bool()?,
+            visible_chunks: self.usize()?,
+        })
+    }
+
+    fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        Ok(StatsSnapshot {
+            connections: self.u64()?,
+            open_sessions: self.u64()?,
+            peak_sessions: self.u64()?,
+            sessions_opened: self.u64()?,
+            sessions_closed: self.u64()?,
+            sessions_aborted: self.u64()?,
+            sessions_evicted: self.u64()?,
+            degraded_opens: self.u64()?,
+            decisions: self.u64()?,
+            degraded_decisions: self.u64()?,
+            frames_in: self.u64()?,
+            frames_out: self.u64()?,
+            protocol_errors: self.u64()?,
+        })
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+/// Decode one frame body (type byte + payload, **without** the length
+/// prefix). Rejects trailing bytes so an encoder bug cannot hide.
+pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
+    let mut cur = Cur::new(body);
+    let ty = cur
+        .u8()
+        .map_err(|_| WireError::BadPayload("empty frame body"))?;
+    let frame = match ty {
+        TY_HELLO => Frame::Hello {
+            version: cur.u16()?,
+        },
+        TY_HELLO_OK => Frame::HelloOk {
+            version: cur.u16()?,
+        },
+        TY_OPEN_SESSION => Frame::OpenSession {
+            session_id: cur.u64()?,
+            video: cur.string()?,
+            scheme: cur.string()?,
+            vmaf_model: cur.u8()?,
+        },
+        TY_OPEN_OK => Frame::OpenOk {
+            session_id: cur.u64()?,
+            degraded: cur.bool()?,
+            n_tracks: cur.u32()?,
+            n_chunks: cur.u32()?,
+        },
+        TY_DECIDE => Frame::Decide {
+            session_id: cur.u64()?,
+            request: cur.request()?,
+        },
+        TY_DECISION => Frame::Decision {
+            session_id: cur.u64()?,
+            response: DecisionResponse {
+                level: cur.usize()?,
+                degraded: cur.bool()?,
+            },
+        },
+        TY_CLOSE_SESSION => Frame::CloseSession {
+            session_id: cur.u64()?,
+        },
+        TY_CLOSED => Frame::Closed {
+            session_id: cur.u64()?,
+            decisions: cur.u64()?,
+        },
+        TY_STATS_REQ => Frame::StatsReq,
+        TY_STATS_REPLY => Frame::StatsReply(cur.stats()?),
+        TY_ERROR => Frame::Error {
+            code: ErrorCode::from_u16(cur.u16()?),
+            message: cur.string()?,
+        },
+        TY_SHUTDOWN => Frame::Shutdown,
+        TY_SHUTDOWN_OK => Frame::ShutdownOk,
+        other => return Err(WireError::UnknownFrameType(other)),
+    };
+    if cur.remaining() != 0 {
+        return Err(WireError::Trailing {
+            extra: cur.remaining(),
+        });
+    }
+    Ok(frame)
+}
+
+/// Read one frame from `r`, enforcing [`MAX_FRAME_LEN`]. A clean EOF at a
+/// frame boundary is [`WireError::Closed`]; EOF anywhere inside a frame is
+/// [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::from(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_frame(&body)
+}

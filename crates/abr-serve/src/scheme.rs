@@ -1,0 +1,150 @@
+//! The scheme registry: one authoritative mapping from scheme names to
+//! boxed [`AbrAlgorithm`] instances, plus the dataset video loader.
+//!
+//! This used to live inside the CLI; the serving layer moved it here so the
+//! CLI, the session store, and the load generator all build schemes through
+//! the same constructor — a session opened over the wire is configured by
+//! exactly the code path a local `cava run` uses, which is half of the
+//! decision-parity guarantee.
+
+use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
+use abr_sim::AbrAlgorithm;
+use cava_core::Cava;
+use vbr_video::quality::VmafModel;
+use vbr_video::{Dataset, Video};
+
+/// Scheme names accepted by [`build_scheme`] (and by `cava run`).
+pub const SCHEME_NAMES: [&str; 15] = [
+    "cava",
+    "cava-p1",
+    "cava-p12",
+    "mpc",
+    "robustmpc",
+    "panda-max-sum",
+    "panda-max-min",
+    "rba",
+    "bba1",
+    "pia",
+    "festive",
+    "bola",
+    "bola-e-peak",
+    "bola-e-avg",
+    "bola-e-seg",
+];
+
+/// Whether `name` is a scheme this registry can build.
+pub fn is_known_scheme(name: &str) -> bool {
+    SCHEME_NAMES.contains(&name)
+}
+
+/// Build a fresh scheme instance by name. The boxed algorithm is `Send` so
+/// the session store can park it behind a per-session lock and worker
+/// threads can drive it.
+pub fn build_scheme(
+    name: &str,
+    video: &Video,
+    model: VmafModel,
+) -> Result<Box<dyn AbrAlgorithm + Send>, String> {
+    Ok(match name {
+        "cava" => Box::new(Cava::paper_default()),
+        "cava-p1" => Box::new(Cava::p1()),
+        "cava-p12" => Box::new(Cava::p12()),
+        "mpc" => Box::new(Mpc::mpc()),
+        "robustmpc" => Box::new(Mpc::robust()),
+        "panda-max-sum" => Box::new(PandaCq::max_sum(video, model)),
+        "panda-max-min" => Box::new(PandaCq::max_min(video, model)),
+        "rba" => Box::new(Rba::paper_default()),
+        "bba1" => Box::new(Bba1::paper_default()),
+        "pia" => Box::new(Pia::paper_default()),
+        "festive" => Box::new(Festive::paper_default()),
+        "bola" => Box::new(Bola::bola()),
+        "bola-e-peak" => Box::new(Bola::bola_e(BolaBitrateView::Peak)),
+        "bola-e-avg" => Box::new(Bola::bola_e(BolaBitrateView::Average)),
+        "bola-e-seg" => Box::new(Bola::bola_e(BolaBitrateView::Segment)),
+        other => {
+            return Err(format!(
+                "unknown scheme {other:?} (known: {})",
+                SCHEME_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+/// Whether `name` resolves through [`load_video`] — checked against the
+/// spec list without paying for synthesis.
+pub fn is_known_video(name: &str) -> bool {
+    name == "ED-ffmpeg-h264-cap4x"
+        || name == "ED-ffmpeg-h264-cbr"
+        || Dataset::specs().iter().any(|s| s.name == name)
+}
+
+/// Wire code for a [`VmafModel`] (0 = TV, 1 = phone).
+pub fn vmaf_model_code(model: VmafModel) -> u8 {
+    match model {
+        VmafModel::Tv => 0,
+        VmafModel::Phone => 1,
+    }
+}
+
+/// Inverse of [`vmaf_model_code`]; `None` for codes outside the protocol.
+pub fn vmaf_model_from_code(code: u8) -> Option<VmafModel> {
+    match code {
+        0 => Some(VmafModel::Tv),
+        1 => Some(VmafModel::Phone),
+        _ => None,
+    }
+}
+
+/// Resolve a dataset video by name, including the two encoder variants that
+/// live outside [`Dataset::specs`].
+pub fn load_video(name: &str) -> Result<Video, String> {
+    if name == "ED-ffmpeg-h264-cap4x" {
+        return Ok(Dataset::ed_ffmpeg_h264_cap4());
+    }
+    if name == "ED-ffmpeg-h264-cbr" {
+        return Ok(Dataset::ed_ffmpeg_h264_cbr());
+    }
+    Dataset::by_name(name).ok_or_else(|| {
+        let known: Vec<String> = Dataset::specs().iter().map(|s| s.name.clone()).collect();
+        format!(
+            "unknown video {name:?}; run `cava list-videos` (known: {})",
+            known.join(", ")
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::Manifest;
+
+    #[test]
+    fn every_registered_scheme_builds() {
+        let video = Dataset::ed_youtube_h264();
+        for name in SCHEME_NAMES {
+            let algo = build_scheme(name, &video, VmafModel::Tv).unwrap();
+            assert!(!algo.name().is_empty(), "{name} has an empty display name");
+            assert!(is_known_scheme(name));
+        }
+    }
+
+    #[test]
+    fn unknown_scheme_is_an_error() {
+        let video = Dataset::ed_youtube_h264();
+        let err = match build_scheme("nope", &video, VmafModel::Tv) {
+            Err(e) => e,
+            Ok(_) => panic!("scheme \"nope\" should not build"),
+        };
+        assert!(err.contains("unknown scheme"));
+        assert!(!is_known_scheme("nope"));
+    }
+
+    #[test]
+    fn encoder_variants_load() {
+        for name in ["ED-ffmpeg-h264-cap4x", "ED-ffmpeg-h264-cbr"] {
+            let video = load_video(name).unwrap();
+            assert!(Manifest::from_video(&video).n_chunks() > 0);
+        }
+        assert!(load_video("no-such-video").is_err());
+    }
+}

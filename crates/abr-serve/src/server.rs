@@ -1,0 +1,501 @@
+//! The threaded TCP front end.
+//!
+//! `std`-only: one acceptor plus a fixed worker pool spawned inside
+//! [`std::thread::scope`], joined before `serve` returns — no detached
+//! threads, no runtime. Accepted connections flow through a **bounded**
+//! queue; when every worker is busy and the queue is full, the acceptor
+//! itself blocks, which is the backpressure story: the kernel's listen
+//! backlog, not an unbounded buffer in this process, absorbs overload.
+//!
+//! Each worker owns a connection for its whole lifetime: handshake first
+//! (`Hello` → `HelloOk`, version-checked), then a frame loop. Application
+//! errors (unknown video, duplicate session, …) answer with a typed
+//! [`Frame::Error`] and keep the connection; wire-level decode errors
+//! answer with `Error` and drop it. Either way, a dropped connection reaps
+//! every session it opened ([`SessionStore::drop_connection`]).
+//!
+//! Shutdown is a protocol frame, not a signal: `Shutdown` is acknowledged
+//! with `ShutdownOk`, the acceptor is woken by a loopback dial, in-flight
+//! connections drain, and the scope joins. Deterministic teardown, clean
+//! enough to assert on in tests.
+
+use crate::lock;
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION,
+};
+use crate::store::{SessionStore, StoreConfig, VideoProvider};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "ABR_SERVE_THREADS";
+
+/// Default worker-pool size when [`THREADS_ENV`] is unset.
+pub const DEFAULT_THREADS: usize = 8;
+
+/// Worker-pool size: `ABR_SERVE_THREADS` if set and parseable, else 8,
+/// floored at 1.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_THREADS)
+        .max(1)
+}
+
+/// Front-end sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (each owns one connection at a time). A fleet of
+    /// concurrently-held client connections needs at least that many
+    /// workers — see the loadgen hold-mode docs.
+    pub threads: usize,
+    /// Accepted-connection queue bound; the acceptor blocks when full.
+    pub queue_depth: usize,
+    /// Session-store sizing.
+    pub store: StoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: threads_from_env(),
+            queue_depth: 64,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// Bounded MPMC queue of accepted connections: `Mutex<VecDeque>` plus two
+/// condvars. `push` blocks while full (backpressure), `pop` blocks while
+/// empty; `close` wakes everyone for shutdown.
+struct Bounded<T> {
+    state: Mutex<BoundedState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct BoundedState<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(BoundedState {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is full; returns `false` once closed.
+    fn push(&self, item: T) -> bool {
+        let mut state = lock(&self.state);
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.queue.len() < state.cap {
+                state.queue.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Blocks while empty; `None` once closed **and** drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    peak_sessions: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_aborted: AtomicU64,
+    degraded_opens: AtomicU64,
+    decisions: AtomicU64,
+    degraded_decisions: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// The service: session store + counters + shutdown latch. Shared by every
+/// worker; all methods are `&self`.
+pub struct Server {
+    config: ServerConfig,
+    store: SessionStore,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// A [`Server`] bound to a listening socket, ready to [`BoundServer::serve`].
+pub struct BoundServer {
+    server: Arc<Server>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and return
+    /// the bound front end.
+    pub fn bind(
+        addr: &str,
+        config: ServerConfig,
+        provider: VideoProvider,
+    ) -> io::Result<BoundServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(Server {
+            store: SessionStore::new(config.store, provider),
+            config,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(BoundServer {
+            server,
+            listener,
+            addr,
+        })
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            connections: c.connections.load(Ordering::Relaxed),
+            open_sessions: self.store.open_sessions() as u64,
+            peak_sessions: c.peak_sessions.load(Ordering::Relaxed),
+            sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
+            sessions_aborted: c.sessions_aborted.load(Ordering::Relaxed),
+            sessions_evicted: self.store.evicted_count(),
+            degraded_opens: c.degraded_opens.load(Ordering::Relaxed),
+            decisions: c.decisions.load(Ordering::Relaxed),
+            degraded_decisions: c.degraded_decisions.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            frames_out: c.frames_out.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a `Shutdown` frame has been honored.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn send(&self, w: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), WireError> {
+        write_frame(w, frame)?;
+        w.flush()?;
+        self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn handle_frame(
+        &self,
+        conn: u64,
+        frame: Frame,
+        w: &mut BufWriter<TcpStream>,
+    ) -> Result<bool, WireError> {
+        let c = &self.counters;
+        match frame {
+            Frame::OpenSession {
+                session_id,
+                video,
+                scheme,
+                vmaf_model,
+            } => match self
+                .store
+                .open(conn, session_id, &video, &scheme, vmaf_model)
+            {
+                Ok(out) => {
+                    c.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    if out.degraded {
+                        c.degraded_opens.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let open = self.store.open_sessions() as u64;
+                    c.peak_sessions.fetch_max(open, Ordering::Relaxed);
+                    self.send(
+                        w,
+                        &Frame::OpenOk {
+                            session_id,
+                            degraded: out.degraded,
+                            n_tracks: out.n_tracks as u32,
+                            n_chunks: out.n_chunks as u32,
+                        },
+                    )?;
+                }
+                Err(e) => self.send(
+                    w,
+                    &Frame::Error {
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?,
+            },
+            Frame::Decide {
+                session_id,
+                request,
+            } => match self.store.decide(session_id, &request) {
+                Ok(response) => {
+                    c.decisions.fetch_add(1, Ordering::Relaxed);
+                    if response.degraded {
+                        c.degraded_decisions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.send(
+                        w,
+                        &Frame::Decision {
+                            session_id,
+                            response,
+                        },
+                    )?;
+                }
+                Err(e) => self.send(
+                    w,
+                    &Frame::Error {
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?,
+            },
+            Frame::CloseSession { session_id } => match self.store.close(session_id) {
+                Ok(decisions) => {
+                    c.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    self.send(
+                        w,
+                        &Frame::Closed {
+                            session_id,
+                            decisions,
+                        },
+                    )?;
+                }
+                Err(e) => self.send(
+                    w,
+                    &Frame::Error {
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?,
+            },
+            Frame::StatsReq => self.send(w, &Frame::StatsReply(self.stats()))?,
+            Frame::Shutdown => {
+                self.send(w, &Frame::ShutdownOk)?;
+                self.shutdown.store(true, Ordering::SeqCst);
+                return Ok(false);
+            }
+            // A second Hello, or any server→client frame, is a protocol
+            // misuse but not a decode failure: answer and keep going.
+            other => {
+                self.send(
+                    w,
+                    &Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        message: format!("unexpected frame {other:?} after handshake"),
+                    },
+                )?;
+            }
+        }
+        Ok(true)
+    }
+
+    fn handle_connection(&self, conn: u64, stream: TcpStream) {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        let mut writer = match stream.try_clone() {
+            Ok(clone) => BufWriter::new(clone),
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(stream);
+
+        // Handshake: the first frame must be a Hello with our version.
+        match read_frame(&mut reader) {
+            Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {
+                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                if self
+                    .send(
+                        &mut writer,
+                        &Frame::HelloOk {
+                            version: PROTOCOL_VERSION,
+                        },
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Frame::Hello { version }) => {
+                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                let _ = self.send(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::UnknownVersion,
+                        message: WireError::UnknownVersion(version).to_string(),
+                    },
+                );
+                return;
+            }
+            Ok(_) => {
+                self.counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = self.send(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        message: "expected Hello as first frame".to_string(),
+                    },
+                );
+                return;
+            }
+            Err(WireError::Closed) => return,
+            Err(e) => {
+                self.counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = self.send(
+                    &mut writer,
+                    &Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+
+        loop {
+            match read_frame(&mut reader) {
+                Ok(frame) => {
+                    self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    match self.handle_frame(conn, frame, &mut writer) {
+                        Ok(true) => {}
+                        Ok(false) | Err(_) => break,
+                    }
+                }
+                Err(WireError::Closed) => break,
+                Err(e) => {
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = self.send(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::BadFrame,
+                            message: e.to_string(),
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+
+        let aborted = self.store.drop_connection(conn);
+        self.counters
+            .sessions_aborted
+            .fetch_add(aborted, Ordering::Relaxed);
+    }
+}
+
+impl BoundServer {
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shared handle to the service (stats, shutdown flag).
+    pub fn server(&self) -> Arc<Server> {
+        Arc::clone(&self.server)
+    }
+
+    /// Run the accept loop and worker pool until a `Shutdown` frame
+    /// arrives, then drain and return the final counter snapshot. Blocks
+    /// the calling thread; every worker is joined before returning.
+    pub fn serve(self) -> StatsSnapshot {
+        let BoundServer {
+            server,
+            listener,
+            addr,
+        } = self;
+        let queue: Bounded<TcpStream> = Bounded::new(server.config.queue_depth);
+        let conn_seq = AtomicU64::new(0);
+        thread::scope(|scope| {
+            for _ in 0..server.config.threads.max(1) {
+                scope.spawn(|| {
+                    while let Some(stream) = queue.pop() {
+                        let conn = conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                        server.handle_connection(conn, stream);
+                        // The connection that carried Shutdown latched the
+                        // flag; the acceptor is likely parked in accept(),
+                        // so dial it awake.
+                        if server.shutdown.load(Ordering::SeqCst) {
+                            wake_acceptor(addr);
+                        }
+                    }
+                });
+            }
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // The Shutdown handler dials a wake connection to
+                        // unblock this accept; drop it and stop.
+                        if server.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if !queue.push(stream) {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            queue.close();
+        });
+        server.stats()
+    }
+}
+
+/// Wake a server parked in `accept` after its shutdown latch is set.
+/// Best-effort: the listener may already be gone.
+fn wake_acceptor(addr: SocketAddr) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.flush();
+    }
+}

@@ -1,0 +1,445 @@
+//! The multi-tenant session store.
+//!
+//! Each open session owns a boxed [`AbrAlgorithm`] plus its accumulated
+//! throughput history; the manifest is shared through a [`VideoHandle`]
+//! handed out by a memoizing [`VideoProvider`], so a thousand sessions on
+//! the same title share one synthesized video. Admission is
+//! capacity-bounded: at capacity the store first evicts sessions idle for
+//! more than [`StoreConfig::idle_ticks`] logical ticks, and if that frees
+//! nothing it still admits the session — in **degraded** mode, where every
+//! decide is answered by a fresh stateless RBA instance instead of
+//! erroring. Graceful degradation over hard failure, per the roadmap's
+//! overload posture.
+//!
+//! Concurrency layout: a short-lived outer lock guards the session map;
+//! each session carries its own lock held only for the duration of one
+//! `choose_level`. Decisions on different sessions proceed in parallel;
+//! decisions on one session serialize, which is exactly the ordering the
+//! parity guarantee needs. Idle-ness is measured in logical ticks (one per
+//! store operation), not wall time — this crate reads no clock.
+
+use crate::scheme;
+use crate::{lock, protocol::ErrorCode};
+use abr_baselines::Rba;
+use abr_sim::{AbrAlgorithm, DecisionRequest, DecisionResponse};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vbr_video::quality::VmafModel;
+use vbr_video::{Manifest, Video};
+
+/// A shared, immutable (video, manifest) pair.
+#[derive(Clone)]
+pub struct VideoHandle {
+    /// The synthesized video (quality tables included).
+    pub video: Arc<Video>,
+    /// Its manifest, the view algorithms decide against.
+    pub manifest: Arc<Manifest>,
+}
+
+impl VideoHandle {
+    /// Build a handle by deriving the manifest from `video`.
+    pub fn new(video: Video) -> VideoHandle {
+        VideoHandle {
+            manifest: Arc::new(Manifest::from_video(&video)),
+            video: Arc::new(video),
+        }
+    }
+}
+
+/// Resolves a video name to a [`VideoHandle`], or `None` if unknown. The
+/// provider owns whatever caching it wants; [`dataset_provider`] memoizes,
+/// and `bench` plugs in its engine cache.
+pub type VideoProvider = Arc<dyn Fn(&str) -> Option<VideoHandle> + Send + Sync>;
+
+/// A [`VideoProvider`] over the built-in dataset (plus the two encoder
+/// variants), memoizing each synthesized video on first use.
+pub fn dataset_provider() -> VideoProvider {
+    let cache: Mutex<BTreeMap<String, VideoHandle>> = Mutex::new(BTreeMap::new());
+    Arc::new(move |name: &str| {
+        if let Some(hit) = lock(&cache).get(name) {
+            return Some(hit.clone());
+        }
+        // Synthesis happens outside the lock; a racing thread may do the
+        // same work once, but the first insert wins and both get one handle.
+        let handle = VideoHandle::new(scheme::load_video(name).ok()?);
+        let mut map = lock(&cache);
+        Some(map.entry(name.to_string()).or_insert(handle).clone())
+    })
+}
+
+/// Store sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum sessions admitted with full (stateful) service.
+    pub capacity: usize,
+    /// Logical-tick idle threshold beyond which a session is evictable
+    /// when the store is at capacity.
+    pub idle_ticks: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            capacity: 1024,
+            idle_ticks: 100_000,
+        }
+    }
+}
+
+/// Typed admission/lookup failure, mapped onto wire [`ErrorCode`]s by the
+/// server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The provider does not know the named video.
+    UnknownVideo(String),
+    /// The scheme registry does not know the named scheme.
+    UnknownScheme(String),
+    /// No live session has this id.
+    UnknownSession(u64),
+    /// A live session already has this id.
+    DuplicateSession(u64),
+    /// The VMAF model code is outside the protocol.
+    BadVmafModel(u8),
+}
+
+impl StoreError {
+    /// The wire code this error is reported as.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            StoreError::UnknownVideo(_) => ErrorCode::UnknownVideo,
+            StoreError::UnknownScheme(_) => ErrorCode::UnknownScheme,
+            StoreError::UnknownSession(_) => ErrorCode::UnknownSession,
+            StoreError::DuplicateSession(_) => ErrorCode::DuplicateSession,
+            StoreError::BadVmafModel(_) => ErrorCode::BadFrame,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownVideo(name) => write!(f, "unknown video {name:?}"),
+            StoreError::UnknownScheme(name) => write!(f, "unknown scheme {name:?}"),
+            StoreError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            StoreError::DuplicateSession(id) => write!(f, "session {id} already open"),
+            StoreError::BadVmafModel(code) => write!(f, "VMAF model code {code} outside {{0,1}}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What an admission produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenOutcome {
+    /// True when the session was admitted in stateless fallback mode.
+    pub degraded: bool,
+    /// Track count of the bound manifest.
+    pub n_tracks: usize,
+    /// Chunk count of the bound manifest.
+    pub n_chunks: usize,
+}
+
+struct SessionState {
+    video: VideoHandle,
+    /// `None` marks a degraded session: no per-session algorithm state,
+    /// every decide is served by a fresh stateless RBA.
+    algo: Option<Box<dyn AbrAlgorithm + Send>>,
+    history: Vec<f64>,
+    decisions: u64,
+}
+
+struct SessionSlot {
+    /// Connection that opened the session; its disconnect reaps the slot.
+    owner: u64,
+    /// Tick of the slot's last use, for idle eviction.
+    last_used: AtomicU64,
+    state: Mutex<SessionState>,
+}
+
+/// The session store. All methods are `&self` and thread-safe.
+pub struct SessionStore {
+    config: StoreConfig,
+    provider: VideoProvider,
+    sessions: Mutex<BTreeMap<u64, Arc<SessionSlot>>>,
+    tick: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionStore {
+    /// Create an empty store.
+    pub fn new(config: StoreConfig, provider: VideoProvider) -> SessionStore {
+        SessionStore {
+            config,
+            provider,
+            sessions: Mutex::new(BTreeMap::new()),
+            tick: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn bump_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Admit a session for connection `conn`. Over capacity, idle sessions
+    /// are evicted first; if the store is still full the session is
+    /// admitted **degraded** rather than rejected.
+    pub fn open(
+        &self,
+        conn: u64,
+        session_id: u64,
+        video_name: &str,
+        scheme_name: &str,
+        vmaf_code: u8,
+    ) -> Result<OpenOutcome, StoreError> {
+        let model: VmafModel =
+            scheme::vmaf_model_from_code(vmaf_code).ok_or(StoreError::BadVmafModel(vmaf_code))?;
+        if !scheme::is_known_scheme(scheme_name) {
+            return Err(StoreError::UnknownScheme(scheme_name.to_string()));
+        }
+        let handle = (self.provider)(video_name)
+            .ok_or_else(|| StoreError::UnknownVideo(video_name.to_string()))?;
+        // Scheme construction can be heavy (PANDA-CQ precomputes quality
+        // tables), so it happens before the map lock. A degraded admission
+        // throws the instance away — correctness first, the overload path
+        // is not the fast path.
+        let algo = scheme::build_scheme(scheme_name, &handle.video, model)
+            .map_err(StoreError::UnknownScheme)?;
+        let tick = self.bump_tick();
+        let n_tracks = handle.manifest.n_tracks();
+        let n_chunks = handle.manifest.n_chunks();
+
+        let mut map = lock(&self.sessions);
+        if map.contains_key(&session_id) {
+            return Err(StoreError::DuplicateSession(session_id));
+        }
+        if map.len() >= self.config.capacity {
+            let threshold = self.config.idle_ticks;
+            let before = map.len();
+            map.retain(|_, slot| {
+                tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= threshold
+            });
+            self.evicted
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        }
+        let degraded = map.len() >= self.config.capacity;
+        let slot = Arc::new(SessionSlot {
+            owner: conn,
+            last_used: AtomicU64::new(tick),
+            state: Mutex::new(SessionState {
+                video: handle,
+                algo: if degraded { None } else { Some(algo) },
+                history: Vec::new(),
+                decisions: 0,
+            }),
+        });
+        map.insert(session_id, slot);
+        Ok(OpenOutcome {
+            degraded,
+            n_tracks,
+            n_chunks,
+        })
+    }
+
+    /// Serve one decision. Full sessions accumulate the request's newest
+    /// throughput observation and run their own algorithm; degraded
+    /// sessions get a fresh stateless RBA every time.
+    pub fn decide(
+        &self,
+        session_id: u64,
+        request: &DecisionRequest,
+    ) -> Result<DecisionResponse, StoreError> {
+        let tick = self.bump_tick();
+        let slot = lock(&self.sessions)
+            .get(&session_id)
+            .cloned()
+            .ok_or(StoreError::UnknownSession(session_id))?;
+        slot.last_used.store(tick, Ordering::Relaxed);
+        let mut state = lock(&slot.state);
+        let SessionState {
+            video,
+            algo,
+            history,
+            decisions,
+        } = &mut *state;
+        *decisions += 1;
+        match algo {
+            Some(algo) => {
+                if let Some(tp) = request.latest_throughput_bps {
+                    history.push(tp);
+                }
+                let ctx = request.context(&video.manifest, history);
+                Ok(DecisionResponse {
+                    level: algo.choose_level(&ctx),
+                    degraded: false,
+                })
+            }
+            None => {
+                let mut fallback = Rba::paper_default();
+                let ctx = request.context(&video.manifest, &[]);
+                Ok(DecisionResponse {
+                    level: fallback.choose_level(&ctx),
+                    degraded: true,
+                })
+            }
+        }
+    }
+
+    /// Retire a session, returning its lifetime decision count.
+    pub fn close(&self, session_id: u64) -> Result<u64, StoreError> {
+        self.bump_tick();
+        let slot = lock(&self.sessions)
+            .remove(&session_id)
+            .ok_or(StoreError::UnknownSession(session_id))?;
+        let decisions = lock(&slot.state).decisions;
+        Ok(decisions)
+    }
+
+    /// Reap every session opened by connection `conn` (mid-session
+    /// disconnect cleanup). Returns how many were dropped.
+    pub fn drop_connection(&self, conn: u64) -> u64 {
+        let mut map = lock(&self.sessions);
+        let before = map.len();
+        map.retain(|_, slot| slot.owner != conn);
+        (before - map.len()) as u64
+    }
+
+    /// Sessions currently held.
+    pub fn open_sessions(&self) -> usize {
+        lock(&self.sessions).len()
+    }
+
+    /// Sessions reclaimed by idle eviction so far.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(capacity: usize, idle_ticks: u64) -> SessionStore {
+        SessionStore::new(
+            StoreConfig {
+                capacity,
+                idle_ticks,
+            },
+            dataset_provider(),
+        )
+    }
+
+    fn first_request() -> DecisionRequest {
+        let n_chunks = dataset_provider()("ED-youtube-h264")
+            .unwrap()
+            .manifest
+            .n_chunks();
+        DecisionRequest {
+            chunk_index: 0,
+            buffer_s: 0.0,
+            estimated_bandwidth_bps: None,
+            last_level: None,
+            latest_throughput_bps: None,
+            wall_time_s: 0.0,
+            startup_complete: false,
+            visible_chunks: n_chunks,
+        }
+    }
+
+    #[test]
+    fn open_decide_close_lifecycle() {
+        let s = store(8, 1_000);
+        let out = s.open(1, 7, "ED-youtube-h264", "cava", 0).unwrap();
+        assert!(!out.degraded);
+        assert!(out.n_tracks > 0 && out.n_chunks > 0);
+        let resp = s.decide(7, &first_request()).unwrap();
+        assert!(!resp.degraded);
+        assert!(resp.level < out.n_tracks);
+        assert_eq!(s.close(7).unwrap(), 1);
+        assert_eq!(s.open_sessions(), 0);
+        assert_eq!(s.close(7), Err(StoreError::UnknownSession(7)));
+    }
+
+    #[test]
+    fn admission_errors_are_typed() {
+        let s = store(8, 1_000);
+        assert!(matches!(
+            s.open(1, 1, "no-such-video", "cava", 0),
+            Err(StoreError::UnknownVideo(_))
+        ));
+        assert!(matches!(
+            s.open(1, 1, "ED-youtube-h264", "no-such-scheme", 0),
+            Err(StoreError::UnknownScheme(_))
+        ));
+        assert!(matches!(
+            s.open(1, 1, "ED-youtube-h264", "cava", 9),
+            Err(StoreError::BadVmafModel(9))
+        ));
+        s.open(1, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        assert_eq!(
+            s.open(1, 1, "ED-youtube-h264", "cava", 0),
+            Err(StoreError::DuplicateSession(1))
+        );
+        assert_eq!(
+            s.decide(99, &first_request()),
+            Err(StoreError::UnknownSession(99))
+        );
+    }
+
+    #[test]
+    fn over_capacity_admission_degrades_not_errors() {
+        let s = store(2, 1_000_000);
+        s.open(1, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        s.open(1, 2, "ED-youtube-h264", "bola", 0).unwrap();
+        let out = s.open(1, 3, "ED-youtube-h264", "rba", 0).unwrap();
+        assert!(out.degraded, "third session should degrade, not fail");
+        let resp = s.decide(3, &first_request()).unwrap();
+        assert!(resp.degraded);
+        // Degraded decisions match a fresh stateless RBA.
+        let mut rba = Rba::paper_default();
+        let handle = dataset_provider()("ED-youtube-h264").unwrap();
+        let req = first_request();
+        let expected = rba.choose_level(&req.context(&handle.manifest, &[]));
+        assert_eq!(s.decide(3, &req).unwrap().level, expected);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_under_pressure() {
+        // idle_ticks 0: any session not used on the current tick is
+        // evictable once the store is full.
+        let s = store(1, 0);
+        s.open(1, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        let out = s.open(1, 2, "ED-youtube-h264", "bola", 0).unwrap();
+        assert!(!out.degraded, "eviction should free a full slot");
+        assert_eq!(s.evicted_count(), 1);
+        assert_eq!(
+            s.decide(1, &first_request()),
+            Err(StoreError::UnknownSession(1))
+        );
+        assert!(s.decide(2, &first_request()).is_ok());
+    }
+
+    #[test]
+    fn drop_connection_reaps_only_that_connection() {
+        let s = store(8, 1_000);
+        s.open(10, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        s.open(10, 2, "ED-youtube-h264", "bola", 0).unwrap();
+        s.open(11, 3, "ED-youtube-h264", "rba", 0).unwrap();
+        assert_eq!(s.drop_connection(10), 2);
+        assert_eq!(s.open_sessions(), 1);
+        assert!(s.decide(3, &first_request()).is_ok());
+        assert_eq!(s.drop_connection(10), 0);
+    }
+
+    #[test]
+    fn provider_memoizes_handles() {
+        let provider = dataset_provider();
+        let a = provider("ED-youtube-h264").unwrap();
+        let b = provider("ED-youtube-h264").unwrap();
+        assert!(Arc::ptr_eq(&a.video, &b.video));
+        assert!(provider("no-such-video").is_none());
+    }
+}

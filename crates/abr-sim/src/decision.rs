@@ -1,0 +1,181 @@
+//! The serializable per-step decision exchange.
+//!
+//! [`DecisionRequest`] is the player-state snapshot an ABR decision needs
+//! beyond the (session-scoped) manifest, and [`DecisionResponse`] is what
+//! comes back. They exist so the in-process simulator and the `abr-serve`
+//! wire protocol share **one** definition of the decision inputs: the
+//! simulator builds every [`crate::abr::DecisionContext`] through
+//! [`DecisionRequest::context`], and the serving layer reconstructs the
+//! exact same context from the frames it receives — the two paths cannot
+//! drift without a type error.
+//!
+//! The request is deliberately **bounded**: instead of shipping the whole
+//! throughput history every step (which grows O(n) per request), it carries
+//! only the newest observation ([`DecisionRequest::latest_throughput_bps`]).
+//! Whoever owns the session — the simulator locally, the session store
+//! remotely — accumulates the history by appending that observation before
+//! building the context, so both sides hand algorithms an identical
+//! `past_throughputs_bps` slice.
+
+use crate::abr::DecisionContext;
+use serde::{Deserialize, Serialize};
+use vbr_video::Manifest;
+
+/// The per-chunk decision inputs, minus the manifest and the accumulated
+/// throughput history (both are session state, not per-step payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRequest {
+    /// Index of the chunk about to be downloaded.
+    pub chunk_index: usize,
+    /// Current playback buffer in seconds of content.
+    pub buffer_s: f64,
+    /// The client's bandwidth estimate in bps (`None` before the first
+    /// chunk completes).
+    pub estimated_bandwidth_bps: Option<f64>,
+    /// Track level of the previously downloaded chunk; `None` for the first.
+    pub last_level: Option<usize>,
+    /// Realized throughput (bps) of the most recently downloaded chunk;
+    /// `None` on the first request. The session owner appends this to its
+    /// history before building the [`DecisionContext`].
+    pub latest_throughput_bps: Option<f64>,
+    /// Wall-clock seconds since the session began (simulated time).
+    pub wall_time_s: f64,
+    /// Whether playback has started (startup threshold reached).
+    pub startup_complete: bool,
+    /// Number of chunks whose metadata is published (live-mode clamp; equals
+    /// `n_chunks` for VoD).
+    pub visible_chunks: usize,
+}
+
+impl DecisionRequest {
+    /// Snapshot a [`DecisionContext`] into a request (the client side of the
+    /// wire path). The context's full history collapses to its newest entry.
+    pub fn from_context(ctx: &DecisionContext) -> DecisionRequest {
+        DecisionRequest {
+            chunk_index: ctx.chunk_index,
+            buffer_s: ctx.buffer_s,
+            estimated_bandwidth_bps: ctx.estimated_bandwidth_bps,
+            last_level: ctx.last_level,
+            latest_throughput_bps: ctx.past_throughputs_bps.last().copied(),
+            wall_time_s: ctx.wall_time_s,
+            startup_complete: ctx.startup_complete,
+            visible_chunks: ctx.visible_chunks,
+        }
+    }
+
+    /// Materialize the [`DecisionContext`] this request describes, given the
+    /// session's manifest and its accumulated throughput history (which must
+    /// already include [`DecisionRequest::latest_throughput_bps`]).
+    ///
+    /// Both the simulator's hot loop and the serving layer's session store
+    /// call this — it is the single place a context is assembled from parts.
+    pub fn context<'a>(
+        &self,
+        manifest: &'a Manifest,
+        past_throughputs_bps: &'a [f64],
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            manifest,
+            chunk_index: self.chunk_index,
+            buffer_s: self.buffer_s,
+            estimated_bandwidth_bps: self.estimated_bandwidth_bps,
+            last_level: self.last_level,
+            past_throughputs_bps,
+            wall_time_s: self.wall_time_s,
+            startup_complete: self.startup_complete,
+            visible_chunks: self.visible_chunks,
+        }
+    }
+}
+
+/// The answer to a [`DecisionRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionResponse {
+    /// Track level to fetch, in `0..manifest.n_tracks()`.
+    pub level: usize,
+    /// True when the decision came from the serving layer's stateless
+    /// graceful-degradation fallback rather than the session's own
+    /// algorithm (over-capacity admission).
+    pub degraded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{Dataset, Manifest};
+
+    fn manifest() -> Manifest {
+        Manifest::from_video(&Dataset::ed_youtube_h264())
+    }
+
+    #[test]
+    fn context_round_trips_through_request() {
+        let m = manifest();
+        let history = [3.0e6, 4.0e6, 5.0e6];
+        let ctx = DecisionContext {
+            manifest: &m,
+            chunk_index: 17,
+            buffer_s: 42.5,
+            estimated_bandwidth_bps: Some(3.9e6),
+            last_level: Some(2),
+            past_throughputs_bps: &history,
+            wall_time_s: 88.25,
+            startup_complete: true,
+            visible_chunks: m.n_chunks(),
+        };
+        let req = DecisionRequest::from_context(&ctx);
+        assert_eq!(req.latest_throughput_bps, Some(5.0e6));
+        let rebuilt = req.context(&m, &history);
+        assert_eq!(rebuilt.chunk_index, ctx.chunk_index);
+        assert_eq!(rebuilt.buffer_s, ctx.buffer_s);
+        assert_eq!(rebuilt.estimated_bandwidth_bps, ctx.estimated_bandwidth_bps);
+        assert_eq!(rebuilt.last_level, ctx.last_level);
+        assert_eq!(rebuilt.past_throughputs_bps, ctx.past_throughputs_bps);
+        assert_eq!(rebuilt.wall_time_s, ctx.wall_time_s);
+        assert_eq!(rebuilt.startup_complete, ctx.startup_complete);
+        assert_eq!(rebuilt.visible_chunks, ctx.visible_chunks);
+    }
+
+    #[test]
+    fn first_request_has_no_history() {
+        let m = manifest();
+        let ctx = DecisionContext {
+            manifest: &m,
+            chunk_index: 0,
+            buffer_s: 0.0,
+            estimated_bandwidth_bps: None,
+            last_level: None,
+            past_throughputs_bps: &[],
+            wall_time_s: 0.0,
+            startup_complete: false,
+            visible_chunks: m.n_chunks(),
+        };
+        let req = DecisionRequest::from_context(&ctx);
+        assert_eq!(req.latest_throughput_bps, None);
+        assert_eq!(req.last_level, None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let req = DecisionRequest {
+            chunk_index: 5,
+            buffer_s: 12.0,
+            estimated_bandwidth_bps: Some(2.5e6),
+            last_level: Some(1),
+            latest_throughput_bps: Some(2.25e6),
+            wall_time_s: 30.5,
+            startup_complete: true,
+            visible_chunks: 120,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: DecisionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+        let resp = DecisionResponse {
+            level: 3,
+            degraded: false,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: DecisionResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+}

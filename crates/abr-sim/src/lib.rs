@@ -11,6 +11,9 @@
 //!   to it before each chunk: manifest, buffer level, bandwidth estimate,
 //!   past throughputs. The context carries *only* information a real DASH
 //!   client has — the paper's deployability boundary.
+//! * [`decision`] — the serializable [`DecisionRequest`]/[`DecisionResponse`]
+//!   pair: the per-step decision inputs/outputs shared by the simulator and
+//!   the `abr-serve` wire protocol, so the two paths cannot drift.
 //! * [`player`] — the [`Simulator`]: startup threshold (10 s default), max
 //!   buffer (100 s default), exact buffer drain/stall accounting, optional
 //!   per-request RTT, harmonic-mean bandwidth estimation (window 5), and the
@@ -25,12 +28,14 @@
 //!   only with the `strict-invariants` cargo feature.
 
 pub mod abr;
+pub mod decision;
 pub mod invariants;
 pub mod metrics;
 pub mod player;
 pub mod session;
 
 pub use abr::{AbrAlgorithm, DecisionContext};
+pub use decision::{DecisionRequest, DecisionResponse};
 pub use metrics::{QoeConfig, QoeMetrics};
 pub use player::{LiveConfig, PlayerConfig, Simulator, TcpConfig};
 pub use session::SessionResult;

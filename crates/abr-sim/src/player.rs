@@ -18,7 +18,8 @@
 //! convention, matching the paper's separation of startup latency from
 //! rebuffering).
 
-use crate::abr::{AbrAlgorithm, DecisionContext};
+use crate::abr::AbrAlgorithm;
+use crate::decision::DecisionRequest;
 use crate::session::{ChunkRecord, SessionResult};
 use net_trace::{BandwidthPredictor, ErrorInjected, HarmonicMean, Trace};
 use vbr_video::Manifest;
@@ -339,17 +340,20 @@ impl Simulator {
                 }
                 None => predictor.predict(),
             };
-            let ctx = DecisionContext {
-                manifest,
+            // Build the context through the serializable request so the
+            // in-process path and the abr-serve wire path assemble decision
+            // inputs identically (see `crate::decision`).
+            let request = DecisionRequest {
                 chunk_index: i,
                 buffer_s: buffer,
                 estimated_bandwidth_bps: estimate,
                 last_level,
-                past_throughputs_bps: &throughputs,
+                latest_throughput_bps: throughputs.last().copied(),
                 wall_time_s: t,
                 startup_complete: playing,
                 visible_chunks,
             };
+            let ctx = request.context(manifest, &throughputs);
             let level = algo.choose_level(&ctx);
             assert!(
                 level < manifest.n_tracks(),
@@ -451,7 +455,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::abr::FixedLevel;
+    use crate::abr::{DecisionContext, FixedLevel};
     use net_trace::Trace;
     use vbr_video::{Dataset, Manifest};
 
@@ -852,7 +856,7 @@ mod tcp_tests {
 #[cfg(test)]
 mod oracle_tests {
     use super::*;
-    use crate::abr::FixedLevel;
+    use crate::abr::{DecisionContext, FixedLevel};
     use net_trace::Trace;
     use vbr_video::{Dataset, Manifest};
 

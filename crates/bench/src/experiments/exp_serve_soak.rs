@@ -1,0 +1,321 @@
+//! Serving-layer soak (extension) — throughput and latency of the
+//! `abr-serve` decision service under a held fleet.
+//!
+//! Boots an in-process TCP server (worker pool ≥ 4 threads), then drives
+//! [`SOAK_SESSIONS`] simulated players at it in **hold** mode: every
+//! session opens before any decision is made, so the store really holds
+//! the whole fleet concurrently. Parity checking stays on — each served
+//! session is replayed in-process and must compare equal — so the numbers
+//! below are for *provably correct* service, not a fast-but-wrong path.
+//!
+//! Emits `BENCH_serve.json` at the repo top level (sessions/sec,
+//! decisions/sec, p50/p99 service latency from the journal's [`Stopwatch`]
+//! authority) so the serving-layer perf trajectory is tracked from this
+//! revision on, plus `results/exp_serve_soak.csv` with per-scheme rows.
+
+use crate::engine;
+use crate::experiments::banner;
+use crate::harness::TraceSet;
+use crate::journal::{self, Stopwatch};
+use crate::results_dir;
+use abr_serve::loadgen::{self, LoadgenConfig};
+use abr_serve::server::threads_from_env;
+use abr_serve::store::{StoreConfig, VideoHandle, VideoProvider};
+use abr_serve::{Server, ServerConfig};
+use abr_sim::metrics::evaluate;
+use serde::{Deserialize, Serialize};
+use sim_report::stats::percentile;
+use sim_report::{CsvWriter, TextTable};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Concurrent sessions the soak must sustain (acceptance floor: 200).
+pub const SOAK_SESSIONS: usize = 200;
+
+/// The summary document written to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Sessions driven (all held concurrently).
+    pub sessions: usize,
+    /// Client connections carrying the fleet.
+    pub connections: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Total decisions served.
+    pub decisions: u64,
+    /// Fleet wall time in seconds (open → close of every session).
+    pub wall_time_s: f64,
+    /// Sessions completed per second of wall time.
+    pub sessions_per_s: f64,
+    /// Decisions served per second of wall time.
+    pub decisions_per_s: f64,
+    /// Median per-decision service latency (request out → decision in),
+    /// milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile service latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Sessions whose decisions were replayed in-process and compared.
+    pub parity_checked: usize,
+    /// Sessions whose remote decisions diverged from the replay (must
+    /// be 0).
+    pub parity_mismatches: usize,
+    /// Sessions admitted in degraded (stateless RBA) mode (0 here — the
+    /// store is sized for the fleet).
+    pub degraded_sessions: usize,
+    /// Server-side peak concurrent sessions (must equal `sessions`).
+    pub peak_sessions: u64,
+    /// Server-side wire-level errors (must be 0).
+    pub protocol_errors: u64,
+}
+
+/// A [`VideoProvider`] backed by the engine's process-wide video cache, so
+/// the soak shares synthesized videos with every other experiment in the
+/// run instead of building its own copies.
+fn engine_provider() -> VideoProvider {
+    let handles: Mutex<BTreeMap<String, VideoHandle>> = Mutex::new(BTreeMap::new());
+    Arc::new(move |name: &str| {
+        if !abr_serve::scheme::is_known_video(name) {
+            return None;
+        }
+        let mut map = handles.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(name) {
+            return Some(hit.clone());
+        }
+        let prepared = engine::video(name);
+        let handle = VideoHandle {
+            video: Arc::new(prepared.video.clone()),
+            manifest: Arc::new(prepared.manifest.clone()),
+        };
+        map.insert(name.to_string(), handle.clone());
+        Some(handle)
+    })
+}
+
+/// Run this experiment (registry entry point).
+pub fn run() -> io::Result<()> {
+    banner("serve_soak", "abr-serve soak: held fleet with parity on");
+    let threads = threads_from_env().max(4);
+    let connections = threads.min(8);
+    let server_config = ServerConfig {
+        threads,
+        queue_depth: 64,
+        store: StoreConfig {
+            // Sized for the fleet: the soak measures full-service
+            // throughput, not the degraded path.
+            capacity: SOAK_SESSIONS.max(StoreConfig::default().capacity),
+            idle_ticks: u64::MAX,
+        },
+    };
+    let bound = Server::bind("127.0.0.1:0", server_config, engine_provider())?;
+    let addr = bound.addr();
+    let server = thread::spawn(move || bound.serve());
+
+    let config = LoadgenConfig {
+        sessions: SOAK_SESSIONS,
+        connections,
+        seed: 42,
+        schemes: vec!["cava".into(), "bola".into(), "rba".into()],
+        hold: true,
+        parity: true,
+        ..LoadgenConfig::default()
+    };
+    let provider = engine_provider();
+    let watch = Stopwatch::start();
+    let now = move || watch.seconds();
+    eprintln!(
+        "soaking {addr} with {SOAK_SESSIONS} held sessions over {connections} connections..."
+    );
+    let report = loadgen::run(addr, &config, &provider, &now).map_err(io::Error::other)?;
+    loadgen::shutdown_server(addr).map_err(io::Error::other)?;
+    let stats = server
+        .join()
+        .map_err(|_| io::Error::other("server thread panicked"))?;
+
+    let errors = report.errors();
+    if let Some((id, error)) = errors.first() {
+        return Err(io::Error::other(format!(
+            "{} soak sessions errored; first: session {id}: {error}",
+            errors.len()
+        )));
+    }
+    let mismatches = report.parity_mismatches();
+    if !mismatches.is_empty() {
+        return Err(io::Error::other(format!(
+            "decision parity broken for {} sessions",
+            mismatches.len()
+        )));
+    }
+
+    let wall = report.wall_time_s.max(f64::MIN_POSITIVE);
+    let latencies = report.latencies();
+    let bench = ServeBench {
+        sessions: report.outcomes.len(),
+        connections,
+        server_threads: threads,
+        decisions: report.decisions(),
+        wall_time_s: report.wall_time_s,
+        sessions_per_s: report.outcomes.len() as f64 / wall,
+        decisions_per_s: report.decisions() as f64 / wall,
+        latency_p50_ms: percentile(&latencies, 50.0).unwrap_or(0.0) * 1e3,
+        latency_p99_ms: percentile(&latencies, 99.0).unwrap_or(0.0) * 1e3,
+        parity_checked: report
+            .outcomes
+            .iter()
+            .filter(|o| o.parity.is_some())
+            .count(),
+        parity_mismatches: mismatches.len(),
+        degraded_sessions: report.degraded_sessions(),
+        peak_sessions: stats.peak_sessions,
+        protocol_errors: stats.protocol_errors,
+    };
+
+    // Per-scheme breakdown: service latency plus the QoE the served fleet
+    // actually delivered (journaled like every other experiment).
+    let qoe = TraceSet::Lte.qoe_config();
+    let mut by_scheme: BTreeMap<(String, String), Vec<&loadgen::SessionOutcome>> = BTreeMap::new();
+    for outcome in &report.outcomes {
+        by_scheme
+            .entry((outcome.plan.scheme.clone(), outcome.plan.video.clone()))
+            .or_default()
+            .push(outcome);
+    }
+    let path = results_dir().join("exp_serve_soak.csv");
+    let mut csv = CsvWriter::create(
+        &path,
+        &[
+            "scheme",
+            "sessions",
+            "decisions",
+            "latency_p50_ms",
+            "latency_p99_ms",
+            "mean_quality",
+            "mean_rebuf_s",
+        ],
+    )?;
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "sessions",
+        "decisions",
+        "p50 (ms)",
+        "p99 (ms)",
+        "quality",
+        "rebuf (s)",
+    ]);
+    for ((scheme_name, video_name), outcomes) in &by_scheme {
+        let video = engine::video(video_name);
+        let mut lat: Vec<f64> = Vec::new();
+        let mut decisions = 0u64;
+        let mut quality = 0.0;
+        let mut rebuf = 0.0;
+        for outcome in outcomes {
+            lat.extend_from_slice(&outcome.latencies_s);
+            decisions += outcome.latencies_s.len() as u64;
+            if let Some(session) = &outcome.result {
+                let m = evaluate(session, &video, &video.classification, &qoe);
+                quality += m.all_quality_mean;
+                rebuf += m.rebuffer_s;
+            }
+        }
+        let n = outcomes.len() as f64;
+        let p50 = percentile(&lat, 50.0).unwrap_or(0.0) * 1e3;
+        let p99 = percentile(&lat, 99.0).unwrap_or(0.0) * 1e3;
+        journal::note_scheme_run(
+            scheme_name,
+            video_name,
+            outcomes.len(),
+            quality / n,
+            rebuf / n,
+        );
+        table.add_row(vec![
+            scheme_name.clone(),
+            outcomes.len().to_string(),
+            decisions.to_string(),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            format!("{:.1}", quality / n),
+            format!("{:.2}", rebuf / n),
+        ]);
+        csv.write_str_row(&[
+            scheme_name,
+            &outcomes.len().to_string(),
+            &decisions.to_string(),
+            &format!("{p50:.4}"),
+            &format!("{p99:.4}"),
+            &format!("{:.2}", quality / n),
+            &format!("{:.2}", rebuf / n),
+        ])?;
+    }
+    csv.flush()?;
+    print!("{table}");
+
+    let bench_path = std::path::PathBuf::from("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&bench).map_err(io::Error::other)?;
+    std::fs::write(&bench_path, json)?;
+    println!(
+        "{} sessions held concurrently (peak {}), {} decisions in {:.2}s",
+        bench.sessions, bench.peak_sessions, bench.decisions, bench.wall_time_s
+    );
+    println!(
+        "{:.1} sessions/s, {:.0} decisions/s, latency p50 {:.3} ms / p99 {:.3} ms",
+        bench.sessions_per_s, bench.decisions_per_s, bench.latency_p50_ms, bench.latency_p99_ms
+    );
+    println!(
+        "parity: {} checked, {} mismatches; {} degraded; {} protocol errors",
+        bench.parity_checked,
+        bench.parity_mismatches,
+        bench.degraded_sessions,
+        bench.protocol_errors
+    );
+    println!("wrote {}", path.display());
+    println!("wrote {}", bench_path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_document_round_trips_through_json() {
+        let bench = ServeBench {
+            sessions: 200,
+            connections: 8,
+            server_threads: 8,
+            decisions: 24_000,
+            wall_time_s: 3.5,
+            sessions_per_s: 57.1,
+            decisions_per_s: 6857.1,
+            latency_p50_ms: 0.125,
+            latency_p99_ms: 1.25,
+            parity_checked: 200,
+            parity_mismatches: 0,
+            degraded_sessions: 0,
+            peak_sessions: 200,
+            protocol_errors: 0,
+        };
+        let json = serde_json::to_string_pretty(&bench).unwrap();
+        let back: ServeBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bench);
+        for key in [
+            "\"sessions_per_s\"",
+            "\"decisions_per_s\"",
+            "\"latency_p50_ms\"",
+            "\"latency_p99_ms\"",
+            "\"parity_mismatches\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn engine_provider_rejects_unknown_and_memoizes() {
+        let provider = engine_provider();
+        assert!(provider("no-such-video").is_none());
+        let a = provider("ED-youtube-h264").unwrap();
+        let b = provider("ED-youtube-h264").unwrap();
+        assert!(Arc::ptr_eq(&a.video, &b.video));
+        assert_eq!(a.manifest.n_chunks(), a.video.n_chunks());
+    }
+}

@@ -14,6 +14,7 @@ pub mod exp_oracle;
 pub mod exp_outer_window;
 pub mod exp_per_title;
 pub mod exp_pia_vs_cava;
+pub mod exp_serve_soak;
 pub mod exp_switch_penalty;
 pub mod exp_vbr_vs_cbr;
 pub mod fig01_bitrate_profile;
@@ -166,6 +167,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "Fixed vs per-title encoding ladders (§2 refs, extension)",
             exp_per_title::run,
         ),
+        (
+            "serve_soak",
+            "abr-serve soak: held fleet, decision parity, BENCH_serve.json (extension)",
+            exp_serve_soak::run,
+        ),
     ]
 }
 
@@ -198,11 +204,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 27);
+        assert_eq!(reg.len(), 28);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 27);
+        assert_eq!(ids.len(), 28);
     }
 
     #[test]

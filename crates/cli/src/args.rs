@@ -44,11 +44,6 @@ impl Args {
             .ok_or_else(|| format!("missing argument <{name}>"))
     }
 
-    /// Number of positionals.
-    pub fn n_positionals(&self) -> usize {
-        self.positionals.len()
-    }
-
     /// Raw flag value.
     pub fn flag(&self, key: &str) -> Option<&str> {
         self.flags
@@ -65,6 +60,19 @@ impl Args {
                 .parse::<T>()
                 .map_err(|_| format!("bad value for --{key}: {raw:?}")),
         }
+    }
+
+    /// Reject surplus positionals (silent-argument guard): every command
+    /// states how many it takes, and anything beyond that is a user error,
+    /// not noise to ignore.
+    pub fn expect_positionals(&self, n: usize, shape: &str) -> Result<(), String> {
+        if self.positionals.len() > n {
+            return Err(format!(
+                "unexpected argument {:?} — usage: {shape}",
+                self.positionals[n]
+            ));
+        }
+        Ok(())
     }
 
     /// Reject flags outside the allowed set (typo guard).
@@ -98,7 +106,6 @@ mod tests {
         let a = Args::parse(&argv(&["video", "scheme", "--traces", "10"])).unwrap();
         assert_eq!(a.positional(0, "video").unwrap(), "video");
         assert_eq!(a.positional(1, "scheme").unwrap(), "scheme");
-        assert_eq!(a.n_positionals(), 2);
         assert_eq!(a.flag("traces"), Some("10"));
         assert_eq!(a.flag_parsed::<usize>("traces", 200).unwrap(), 10);
         assert_eq!(a.flag_parsed::<usize>("seed", 42).unwrap(), 42);
@@ -125,6 +132,15 @@ mod tests {
         let a = Args::parse(&argv(&["--tracs", "10"])).unwrap();
         assert!(a.ensure_known_flags(&["traces"]).is_err());
         assert!(a.ensure_known_flags(&["tracs"]).is_ok());
+    }
+
+    #[test]
+    fn surplus_positionals_are_rejected() {
+        let a = Args::parse(&argv(&["video", "scheme", "extra"])).unwrap();
+        let err = a.expect_positionals(2, "run <video> <scheme>").unwrap_err();
+        assert!(err.contains("extra"));
+        assert!(err.contains("run <video> <scheme>"));
+        assert!(a.expect_positionals(3, "x").is_ok());
     }
 
     #[test]

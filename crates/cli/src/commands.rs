@@ -1,82 +1,21 @@
 //! Command implementations.
 
 use crate::args::Args;
-use abr_baselines::{Bba1, Bola, BolaBitrateView, Festive, Mpc, PandaCq, Pia, Rba};
+use abr_bench::journal::Stopwatch;
+use abr_serve::loadgen::{self, LoadgenConfig};
+use abr_serve::scheme::{build_scheme, load_video, SCHEME_NAMES};
+use abr_serve::store::{dataset_provider, StoreConfig};
+use abr_serve::{Server, ServerConfig};
 use abr_sim::metrics::{evaluate, QoeConfig};
-use abr_sim::{AbrAlgorithm, LiveConfig, PlayerConfig, Simulator};
-use cava_core::Cava;
+use abr_sim::{LiveConfig, PlayerConfig, Simulator};
 use net_trace::fcc::{fcc_traces, FccConfig};
 use net_trace::lte::{lte_traces, LteConfig};
 use net_trace::Trace;
 use sim_report::TextTable;
+use std::net::SocketAddr;
 use vbr_video::classify::cross_track_consistency;
 use vbr_video::quality::VmafModel;
-use vbr_video::{ChunkClass, Classification, Dataset, Manifest, Video};
-
-/// Scheme names accepted by `run`.
-pub const SCHEME_NAMES: [&str; 15] = [
-    "cava",
-    "cava-p1",
-    "cava-p12",
-    "mpc",
-    "robustmpc",
-    "panda-max-sum",
-    "panda-max-min",
-    "rba",
-    "bba1",
-    "pia",
-    "festive",
-    "bola",
-    "bola-e-peak",
-    "bola-e-avg",
-    "bola-e-seg",
-];
-
-fn build_scheme(
-    name: &str,
-    video: &Video,
-    model: VmafModel,
-) -> Result<Box<dyn AbrAlgorithm>, String> {
-    Ok(match name {
-        "cava" => Box::new(Cava::paper_default()),
-        "cava-p1" => Box::new(Cava::p1()),
-        "cava-p12" => Box::new(Cava::p12()),
-        "mpc" => Box::new(Mpc::mpc()),
-        "robustmpc" => Box::new(Mpc::robust()),
-        "panda-max-sum" => Box::new(PandaCq::max_sum(video, model)),
-        "panda-max-min" => Box::new(PandaCq::max_min(video, model)),
-        "rba" => Box::new(Rba::paper_default()),
-        "bba1" => Box::new(Bba1::paper_default()),
-        "pia" => Box::new(Pia::paper_default()),
-        "festive" => Box::new(Festive::paper_default()),
-        "bola" => Box::new(Bola::bola()),
-        "bola-e-peak" => Box::new(Bola::bola_e(BolaBitrateView::Peak)),
-        "bola-e-avg" => Box::new(Bola::bola_e(BolaBitrateView::Average)),
-        "bola-e-seg" => Box::new(Bola::bola_e(BolaBitrateView::Segment)),
-        other => {
-            return Err(format!(
-                "unknown scheme {other:?} (known: {})",
-                SCHEME_NAMES.join(", ")
-            ))
-        }
-    })
-}
-
-fn load_video(name: &str) -> Result<Video, String> {
-    if name == "ED-ffmpeg-h264-cap4x" {
-        return Ok(Dataset::ed_ffmpeg_h264_cap4());
-    }
-    if name == "ED-ffmpeg-h264-cbr" {
-        return Ok(Dataset::ed_ffmpeg_h264_cbr());
-    }
-    Dataset::by_name(name).ok_or_else(|| {
-        let known: Vec<String> = Dataset::specs().iter().map(|s| s.name.clone()).collect();
-        format!(
-            "unknown video {name:?}; run `cava list-videos` (known: {})",
-            known.join(", ")
-        )
-    })
-}
+use vbr_video::{ChunkClass, Classification, Dataset, Manifest};
 
 fn trace_set(args: &Args) -> Result<(Vec<Trace>, QoeConfig), String> {
     let count: usize = args.flag_parsed("traces", 50)?;
@@ -98,7 +37,10 @@ fn trace_set(args: &Args) -> Result<(Vec<Trace>, QoeConfig), String> {
 }
 
 /// `cava list-videos`
-pub fn list_videos() -> Result<(), String> {
+pub fn list_videos(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&[])?;
+    args.expect_positionals(0, "list-videos")?;
     let mut table = TextTable::new(vec![
         "name",
         "genre",
@@ -130,6 +72,7 @@ pub fn list_videos() -> Result<(), String> {
 pub fn characterize(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&[])?;
+    args.expect_positionals(1, "characterize <video>")?;
     let video = load_video(args.positional(0, "video")?)?;
     println!(
         "{}: genre {}, codec {}, {} chunks x {}s, {} tracks",
@@ -191,9 +134,7 @@ pub fn characterize(argv: &[String]) -> Result<(), String> {
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["traces", "set", "seed", "live", "err"])?;
-    if args.n_positionals() > 2 {
-        return Err("run takes exactly <video> <scheme>".to_string());
-    }
+    args.expect_positionals(2, "run <video> <scheme>")?;
     let video = load_video(args.positional(0, "video")?)?;
     let scheme_name = args.positional(1, "scheme")?.to_string();
     let (traces, qoe) = trace_set(&args)?;
@@ -269,6 +210,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 pub fn compare(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["traces", "set", "seed"])?;
+    args.expect_positionals(1, "compare <video>")?;
     let video = load_video(args.positional(0, "video")?)?;
     let (traces, qoe) = trace_set(&args)?;
     let manifest = Manifest::from_video(&video);
@@ -316,6 +258,7 @@ pub fn compare(argv: &[String]) -> Result<(), String> {
 pub fn export_mpd(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["out"])?;
+    args.expect_positionals(1, "export-mpd <video>")?;
     let video = load_video(args.positional(0, "video")?)?;
     let xml = vbr_video::mpd::to_mpd_xml(&Manifest::from_video(&video));
     match args.flag("out") {
@@ -332,11 +275,15 @@ pub fn export_mpd(argv: &[String]) -> Result<(), String> {
 pub fn gen_traces(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["format", "seed"])?;
+    args.expect_positionals(3, "gen-traces <lte|fcc> <count> <dir>")?;
     let kind = args.positional(0, "lte|fcc")?.to_string();
     let count: usize = args
         .positional(1, "count")?
         .parse()
         .map_err(|_| "count must be a number".to_string())?;
+    if count == 0 {
+        return Err("count must be at least 1".to_string());
+    }
     let dir = std::path::PathBuf::from(args.positional(2, "dir")?);
     let seed: u64 = args.flag_parsed("seed", 42)?;
     let traces = match kind.as_str() {
@@ -375,6 +322,7 @@ pub fn gen_traces(argv: &[String]) -> Result<(), String> {
 pub fn inspect(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["seed", "set", "json"])?;
+    args.expect_positionals(2, "inspect <video> <scheme>")?;
     let video = load_video(args.positional(0, "video")?)?;
     let scheme_name = args.positional(1, "scheme")?.to_string();
     let seed: u64 = args.flag_parsed("seed", 42)?;
@@ -457,8 +405,12 @@ pub fn inspect(argv: &[String]) -> Result<(), String> {
 pub fn trace_stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["traces", "seed"])?;
+    args.expect_positionals(1, "trace-stats <lte|fcc>")?;
     let kind = args.positional(0, "lte|fcc")?.to_string();
     let count: usize = args.flag_parsed("traces", 50)?;
+    if count == 0 {
+        return Err("--traces must be at least 1".to_string());
+    }
     let seed: u64 = args.flag_parsed("seed", 42)?;
     let traces = match kind.as_str() {
         "lte" => lte_traces(count, seed, &LteConfig::default()),
@@ -501,5 +453,176 @@ pub fn trace_stats(argv: &[String]) -> Result<(), String> {
         ]);
     }
     print!("{table}");
+    Ok(())
+}
+
+/// `cava serve [--addr A] [--threads N] [--capacity N] [--queue N] [--port-file PATH]`
+///
+/// Blocks until a client sends a `Shutdown` frame. Worker count defaults to
+/// the `ABR_SERVE_THREADS` environment variable (then 8).
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["addr", "threads", "capacity", "queue", "port-file"])?;
+    args.expect_positionals(0, "serve [--addr A] [--threads N] [--capacity N]")?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let threads: usize = args.flag_parsed("threads", abr_serve::server::threads_from_env())?;
+    let capacity: usize = args.flag_parsed("capacity", StoreConfig::default().capacity)?;
+    let queue_depth: usize = args.flag_parsed("queue", 64)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if capacity == 0 {
+        return Err("--capacity must be at least 1".to_string());
+    }
+    if queue_depth == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    let config = ServerConfig {
+        threads,
+        queue_depth,
+        store: StoreConfig {
+            capacity,
+            ..StoreConfig::default()
+        },
+    };
+    let bound = Server::bind(addr, config, dataset_provider())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "serving on {} ({} workers, session capacity {})",
+        bound.addr(),
+        threads,
+        capacity
+    );
+    if let Some(path) = args.flag("port-file") {
+        // Written after bind so a parent process can poll for the address.
+        std::fs::write(path, bound.addr().to_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let stats = bound.serve();
+    println!(
+        "shutdown: {} connections, {} sessions ({} aborted, {} evicted, {} degraded), {} decisions, {} protocol errors",
+        stats.connections,
+        stats.sessions_opened,
+        stats.sessions_aborted,
+        stats.sessions_evicted,
+        stats.degraded_opens,
+        stats.decisions,
+        stats.protocol_errors
+    );
+    Ok(())
+}
+
+fn csv_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// `cava loadgen <addr> [--sessions N] [--connections C] [--seed S]
+/// [--videos csv] [--schemes csv] [--vmaf tv|phone] [--hold BOOL]
+/// [--parity BOOL] [--stop-server BOOL]`
+///
+/// Exits nonzero on any session error or parity mismatch.
+pub fn loadgen(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&[
+        "sessions",
+        "connections",
+        "seed",
+        "videos",
+        "schemes",
+        "vmaf",
+        "hold",
+        "parity",
+        "stop-server",
+    ])?;
+    args.expect_positionals(1, "loadgen <addr>")?;
+    let addr: SocketAddr = args.positional(0, "addr")?.parse().map_err(|_| {
+        format!(
+            "bad server address {:?}",
+            args.positional(0, "addr").unwrap_or("")
+        )
+    })?;
+    let defaults = LoadgenConfig::default();
+    let config = LoadgenConfig {
+        sessions: args.flag_parsed("sessions", 200)?,
+        connections: args.flag_parsed("connections", defaults.connections)?,
+        seed: args.flag_parsed("seed", defaults.seed)?,
+        videos: args.flag("videos").map(csv_list).unwrap_or(defaults.videos),
+        schemes: args
+            .flag("schemes")
+            .map(csv_list)
+            .unwrap_or(defaults.schemes),
+        vmaf_model: match args.flag("vmaf").unwrap_or("tv") {
+            "tv" => VmafModel::Tv,
+            "phone" => VmafModel::Phone,
+            other => return Err(format!("unknown VMAF model {other:?} (tv or phone)")),
+        },
+        hold: args.flag_parsed("hold", defaults.hold)?,
+        parity: args.flag_parsed("parity", defaults.parity)?,
+        player: defaults.player,
+    };
+    let stop_server: bool = args.flag_parsed("stop-server", false)?;
+
+    let watch = Stopwatch::start();
+    let now = move || watch.seconds();
+    let report = loadgen::run(addr, &config, &dataset_provider(), &now)
+        .map_err(|e| format!("loadgen against {addr}: {e}"))?;
+
+    let decisions = report.decisions();
+    let wall = report.wall_time_s.max(f64::MIN_POSITIVE);
+    println!(
+        "{} sessions over {} connections in {:.2}s ({:.1} sessions/s, {:.0} decisions/s)",
+        report.outcomes.len(),
+        config.connections,
+        report.wall_time_s,
+        report.outcomes.len() as f64 / wall,
+        decisions as f64 / wall
+    );
+    let p50 = report.latency_percentile(50.0).unwrap_or(0.0);
+    let p99 = report.latency_percentile(99.0).unwrap_or(0.0);
+    println!(
+        "{decisions} decisions, service latency p50 {:.3} ms, p99 {:.3} ms",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+    if let Some(stats) = &report.server_stats {
+        println!(
+            "server: peak {} concurrent sessions, {} decisions ({} degraded), {} protocol errors",
+            stats.peak_sessions, stats.decisions, stats.degraded_decisions, stats.protocol_errors
+        );
+    }
+    println!(
+        "parity: {} checked, {} mismatches; {} degraded sessions",
+        report
+            .outcomes
+            .iter()
+            .filter(|o| o.parity.is_some())
+            .count(),
+        report.parity_mismatches().len(),
+        report.degraded_sessions()
+    );
+    if stop_server {
+        loadgen::shutdown_server(addr).map_err(|e| format!("stopping server: {e}"))?;
+        println!("server stopped");
+    }
+
+    let errors = report.errors();
+    if let Some((id, error)) = errors.first() {
+        return Err(format!(
+            "{} sessions errored; first: session {id}: {error}",
+            errors.len()
+        ));
+    }
+    let mismatches = report.parity_mismatches();
+    if !mismatches.is_empty() {
+        return Err(format!(
+            "decision parity broken for {} sessions (ids {:?}...)",
+            mismatches.len(),
+            &mismatches[..mismatches.len().min(8)]
+        ));
+    }
     Ok(())
 }

@@ -38,6 +38,15 @@ COMMANDS:
         [--traces N] [--set lte|fcc]
     export-mpd <video> [--out FILE]  write the DASH MPD (stdout by default)
     gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]
+    serve                            multi-session ABR decision service (TCP)
+        [--addr A] [--threads N] [--capacity N] [--queue N] [--port-file F]
+    loadgen <addr>                   drive a fleet of players at a server
+        [--sessions N] [--connections C] [--seed S] [--videos csv]
+        [--schemes csv] [--vmaf tv|phone] [--hold BOOL] [--parity BOOL]
+        [--stop-server BOOL]
+
+ENVIRONMENT:
+    ABR_SERVE_THREADS                default worker count for `serve`
 
 SCHEMES:
     cava, cava-p1, cava-p12, mpc, robustmpc, panda-max-sum, panda-max-min,
@@ -53,7 +62,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
-        "list-videos" => commands::list_videos(),
+        "list-videos" => commands::list_videos(&argv[1..]),
         "characterize" => commands::characterize(&argv[1..]),
         "run" => commands::run(&argv[1..]),
         "inspect" => commands::inspect(&argv[1..]),
@@ -61,6 +70,8 @@ fn main() -> ExitCode {
         "compare" => commands::compare(&argv[1..]),
         "export-mpd" => commands::export_mpd(&argv[1..]),
         "gen-traces" => commands::gen_traces(&argv[1..]),
+        "serve" => commands::serve(&argv[1..]),
+        "loadgen" => commands::loadgen(&argv[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -224,3 +224,121 @@ fn trace_stats_reports_percentiles() {
     let out = cava(&["trace-stats", "dsl"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn surplus_positionals_fail_with_usage_shape() {
+    for argv in [
+        vec!["list-videos", "extra"],
+        vec!["characterize", "ED-youtube-h264", "extra"],
+        vec!["run", "ED-youtube-h264", "cava", "extra"],
+        vec!["compare", "ED-youtube-h264", "extra"],
+        vec!["export-mpd", "ED-youtube-h264", "extra"],
+        vec!["inspect", "ED-youtube-h264", "cava", "extra"],
+        vec!["trace-stats", "lte", "extra"],
+        vec!["gen-traces", "lte", "2", "/tmp/x", "extra"],
+    ] {
+        let out = cava(&argv);
+        assert!(!out.status.success(), "{argv:?} should fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("unexpected argument") && err.contains("extra"),
+            "{argv:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn zero_counts_are_rejected_not_paniced() {
+    let out = cava(&["gen-traces", "lte", "0", "/tmp/cava_cli_zero"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("at least 1"), "{}", stderr(&out));
+    let out = cava(&["trace-stats", "lte", "--traces", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("at least 1"), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_rejects_bad_flag_values() {
+    for argv in [
+        vec!["serve", "--threads", "0"],
+        vec!["serve", "--capacity", "0"],
+        vec!["serve", "--queue", "0"],
+        vec!["serve", "--threads", "four"],
+        vec!["serve", "extra"],
+    ] {
+        let out = cava(&argv);
+        assert!(!out.status.success(), "{argv:?} should fail");
+    }
+}
+
+#[test]
+fn loadgen_rejects_bad_arguments() {
+    for argv in [
+        vec!["loadgen"],
+        vec!["loadgen", "not-an-addr"],
+        vec!["loadgen", "127.0.0.1:1", "--vmaf", "cinema"],
+        vec!["loadgen", "127.0.0.1:1", "--sessions", "many"],
+        vec!["loadgen", "127.0.0.1:1", "extra"],
+    ] {
+        let out = cava(&argv);
+        assert!(!out.status.success(), "{argv:?} should fail");
+    }
+}
+
+#[test]
+fn serve_and_loadgen_round_trip_over_loopback() {
+    let dir = std::env::temp_dir().join("cava_cli_serve");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("addr");
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_cava"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "4",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    // Poll for the port file the server writes after binding.
+    let mut addr = String::new();
+    for _ in 0..500 {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if !text.is_empty() {
+                addr = text;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!addr.is_empty(), "server never wrote its address");
+
+    let out = cava(&[
+        "loadgen",
+        &addr,
+        "--sessions",
+        "12",
+        "--connections",
+        "3",
+        "--schemes",
+        "cava,bola,rba",
+        "--stop-server",
+        "true",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("12 sessions over 3 connections"), "{text}");
+    assert!(text.contains("parity: 12 checked, 0 mismatches"), "{text}");
+    assert!(text.contains("server stopped"), "{text}");
+
+    // --stop-server shut the server down; it exits on its own.
+    let status = server.wait().expect("server exits");
+    assert!(status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

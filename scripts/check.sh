@@ -18,8 +18,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo doc -p abr-bench (-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abr-bench
+echo "==> cargo doc -p abr-bench -p abr-serve (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abr-bench -p abr-serve
 
 echo "==> abr-lint (determinism rules R1-R6)"
 cargo run -q -p abr-lint --
@@ -29,5 +29,29 @@ cargo test -q -p abr-sim --features strict-invariants
 
 echo "==> cargo test -p cava-core --features strict-invariants"
 cargo test -q -p cava-core --features strict-invariants
+
+echo "==> serve/loadgen loopback soak (200 held sessions, parity on)"
+cargo build -q --release -p cava-cli
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/cava serve --addr 127.0.0.1:0 --threads 8 --port-file "$PORT_FILE" &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "serve never wrote its address" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.05
+done
+# loadgen exits nonzero on any session error or parity mismatch (set -e);
+# --stop-server makes the background serve process exit on its own.
+./target/release/cava loadgen "$(cat "$PORT_FILE")" \
+    --sessions 200 --connections 8 --schemes cava,bola,rba \
+    --hold true --parity true --stop-server true
+wait "$SERVE_PID"
+rm -f "$PORT_FILE"
 
 echo "all checks passed"
