@@ -38,10 +38,15 @@ pub mod scheme;
 pub mod server;
 pub mod store;
 
-pub use loadgen::{LoadgenConfig, LoadgenError, LoadgenReport, SessionOutcome, SessionPlan};
+pub use loadgen::{
+    ClientStats, FaultConfig, LoadgenConfig, LoadgenError, LoadgenReport, SessionOutcome,
+    SessionPlan,
+};
 pub use protocol::{Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
 pub use server::{BoundServer, Server, ServerConfig};
-pub use store::{SessionStore, StoreConfig, StoreError, VideoHandle, VideoProvider};
+pub use store::{
+    DropOutcome, ResumeOutcome, SessionStore, StoreConfig, StoreError, VideoHandle, VideoProvider,
+};
 
 use std::sync::{Mutex, MutexGuard};
 

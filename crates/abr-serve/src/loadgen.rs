@@ -21,10 +21,23 @@
 //! server worker pool at least as large as `connections`, because each
 //! worker owns one connection for its lifetime.
 //!
+//! **Chaos mode**: an optional seeded [`FaultConfig`] turns the fleet into
+//! a deterministic adversary. Every `period`-th frame send on a connection
+//! draws a fault from the connection's own LCG stream — a mid-frame stall,
+//! a truncated write followed by a hard close, or a connection reset
+//! between frames. The client then does what a real player would: retries
+//! with capped exponential backoff, reconnects, and re-attaches its
+//! sessions with `ResumeSession` before resending the failed frame. The
+//! server's retransmission dedup makes the resend exactly-once, so the
+//! decision parity check must **still pass under every injected fault** —
+//! that is the point of the whole exercise.
+//!
 //! No wall clock is read here: latency measurement comes from the injected
 //! `now` closure (backed by the bench journal's `Stopwatch` in real use).
+//! Fault stalls and backoff use `thread::sleep`, which consumes time but
+//! never reads it.
 
-use crate::protocol::{Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
+use crate::protocol::{ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
 use crate::scheme;
 use crate::store::VideoProvider;
 use crate::{lock, protocol};
@@ -33,11 +46,13 @@ use abr_sim::{
 };
 use net_trace::lte::{lte_trace, LteConfig};
 use sim_report::stats::percentile;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Barrier, Mutex};
 use std::thread;
+use std::time::Duration;
 use vbr_video::quality::VmafModel;
 
 /// Fleet shape and behavior knobs.
@@ -62,6 +77,8 @@ pub struct LoadgenConfig {
     pub hold: bool,
     /// Replay each session in-process and require equality.
     pub parity: bool,
+    /// Deterministic fault injection; `None` runs the fleet clean.
+    pub faults: Option<FaultConfig>,
     /// Player configuration used by both the remote drive and the parity
     /// replay.
     pub player: PlayerConfig,
@@ -78,8 +95,96 @@ impl Default for LoadgenConfig {
             vmaf_model: VmafModel::Tv,
             hold: true,
             parity: true,
+            faults: None,
             player: PlayerConfig::default(),
         }
+    }
+}
+
+/// Seeded fault-injection plan. Faults fire at deterministic points: the
+/// `period`-th, `2·period`-th, … frame send on each connection draws its
+/// fault kind from an LCG stream derived from `seed` and the connection
+/// index — same seed, same chaos, run after run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the per-connection fault streams.
+    pub seed: u64,
+    /// Inject one fault every `period` frame sends (`0` = never; useful
+    /// for enabling the retry machinery without any injected faults).
+    pub period: u64,
+    /// How long a mid-frame stall holds the wire, in milliseconds. Keep it
+    /// under the server's read deadline to exercise survivable stalls, or
+    /// above it to force reaps.
+    pub stall_ms: u64,
+    /// Retries per logical operation after a transport failure (so up to
+    /// `max_retries + 1` attempts).
+    pub max_retries: u32,
+    /// First retry backoff, milliseconds; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 1,
+            period: 7,
+            stall_ms: 10,
+            max_retries: 4,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 100,
+        }
+    }
+}
+
+/// What a fault draw does to the next frame send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Write half the frame, hold the wire for `stall_ms`, write the rest.
+    /// The connection survives (unless the server's deadline is shorter).
+    Stall,
+    /// Write half the frame, then hard-close the socket mid-body.
+    Truncate,
+    /// Hard-close the socket between frames, before writing anything.
+    Reset,
+}
+
+/// Client-side fault/recovery counters, summed across the fleet's
+/// connections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Mid-frame stalls injected.
+    pub stalls: u64,
+    /// Truncated writes injected (each kills the connection).
+    pub truncated_writes: u64,
+    /// Connection resets injected between frames.
+    pub resets: u64,
+    /// Successful re-dials after a connection died.
+    pub reconnects: u64,
+    /// Sessions re-attached via `ResumeSession` after a reconnect.
+    pub resumes: u64,
+    /// Operation retries (resends after a transport failure).
+    pub retries: u64,
+    /// Client-side socket-option failures (`set_nodelay`).
+    pub sockopt_errors: u64,
+}
+
+impl ClientStats {
+    /// Fold another connection's counters into this one.
+    pub fn absorb(&mut self, other: &ClientStats) {
+        self.stalls += other.stalls;
+        self.truncated_writes += other.truncated_writes;
+        self.resets += other.resets;
+        self.reconnects += other.reconnects;
+        self.resumes += other.resumes;
+        self.retries += other.retries;
+        self.sockopt_errors += other.sockopt_errors;
+    }
+
+    /// Total faults injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.stalls + self.truncated_writes + self.resets
     }
 }
 
@@ -141,6 +246,8 @@ pub struct LoadgenReport {
     pub wall_time_s: f64,
     /// Server counters sampled after the drive.
     pub server_stats: Option<StatsSnapshot>,
+    /// Client-side fault/recovery counters summed across connections.
+    pub client_stats: ClientStats,
 }
 
 impl LoadgenReport {
@@ -281,23 +388,37 @@ pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
 struct FrameIo {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Socket-option failures hit while dialing (surfaced into
+    /// [`ClientStats::sockopt_errors`], not silently dropped).
+    sockopt_errors: u64,
 }
 
 impl FrameIo {
     fn connect(addr: SocketAddr) -> Result<FrameIo, LoadgenError> {
         let stream = TcpStream::connect(addr).map_err(|e| LoadgenError::Io(e.to_string()))?;
-        let _ = stream.set_nodelay(true);
+        let sockopt_errors = u64::from(stream.set_nodelay(true).is_err());
         let clone = stream
             .try_clone()
             .map_err(|e| LoadgenError::Io(e.to_string()))?;
         Ok(FrameIo {
             reader: BufReader::new(stream),
             writer: BufWriter::new(clone),
+            sockopt_errors,
         })
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), LoadgenError> {
-        protocol::write_frame(&mut self.writer, frame)
+        protocol::write_frame(&mut self.writer, frame).map_err(LoadgenError::Wire)?;
+        self.writer
+            .flush()
+            .map_err(|e| LoadgenError::Io(e.to_string()))
+    }
+
+    /// Write raw pre-encoded bytes and flush them onto the wire — the
+    /// fault injector's scalpel for splitting a frame mid-body.
+    fn send_raw(&mut self, bytes: &[u8]) -> Result<(), LoadgenError> {
+        self.writer
+            .write_all(bytes)
             .and_then(|()| self.writer.flush())
             .map_err(|e| LoadgenError::Io(e.to_string()))
     }
@@ -324,9 +445,277 @@ impl FrameIo {
     }
 }
 
+/// One client connection's stateful endpoint: the transport plus
+/// everything needed to survive its death — the fault stream, the list of
+/// sessions to re-attach on reconnect, and the recovery counters.
+struct Conn {
+    addr: SocketAddr,
+    io: Option<FrameIo>,
+    faults: Option<FaultConfig>,
+    rng: Lcg,
+    sends: u64,
+    ever_connected: bool,
+    /// Sessions this connection believes are open, in open order; every
+    /// reconnect re-attaches all of them with `ResumeSession` before any
+    /// frame is resent.
+    opened: Vec<u64>,
+    /// Degraded flags learned from `ResumeOk`, so an open retry that lands
+    /// on `DuplicateSession` still reports the right service mode.
+    degraded_hint: BTreeMap<u64, bool>,
+    /// Sessions a reconnect could not resume (`UnknownSession`): closed
+    /// server-side with the ack lost, or reaped. A close retry hitting one
+    /// of these is a success, not an error.
+    lost: BTreeSet<u64>,
+    /// Whether the last completed `call` needed more than one attempt.
+    last_call_retried: bool,
+    stats: ClientStats,
+}
+
+impl Conn {
+    fn new(addr: SocketAddr, index: usize, faults: Option<FaultConfig>) -> Conn {
+        let seed = faults.map_or(0, |f| f.seed);
+        Conn {
+            addr,
+            io: None,
+            faults,
+            rng: Lcg(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            sends: 0,
+            ever_connected: false,
+            opened: Vec::new(),
+            degraded_hint: BTreeMap::new(),
+            lost: BTreeSet::new(),
+            last_call_retried: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Dial, handshake, and re-attach every session this connection has
+    /// open. Resume answering `UnknownSession` is recorded, not fatal (the
+    /// session may simply have closed with its ack lost); `SessionBusy` is
+    /// an error so the caller's backoff gives the old worker time to
+    /// finish tearing the dead connection down.
+    fn dial(&mut self) -> Result<FrameIo, LoadgenError> {
+        let mut io = FrameIo::connect(self.addr)?;
+        self.stats.sockopt_errors += io.sockopt_errors;
+        io.handshake()?;
+        if self.ever_connected {
+            self.stats.reconnects += 1;
+        }
+        self.ever_connected = true;
+        for sid in self.opened.clone() {
+            match io.call(&Frame::ResumeSession { session_id: sid })? {
+                Frame::ResumeOk {
+                    session_id,
+                    degraded,
+                    ..
+                } if session_id == sid => {
+                    self.stats.resumes += 1;
+                    self.degraded_hint.insert(sid, degraded);
+                }
+                Frame::Error {
+                    code: ErrorCode::UnknownSession,
+                    ..
+                } => {
+                    self.lost.insert(sid);
+                }
+                Frame::Error { code, message } => {
+                    return Err(LoadgenError::Server(format!(
+                        "resume {sid}: {code:?}: {message}"
+                    )));
+                }
+                other => {
+                    return Err(LoadgenError::Unexpected(format!("resume {sid}: {other:?}")));
+                }
+            }
+        }
+        Ok(io)
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut FrameIo, LoadgenError> {
+        if self.io.is_none() {
+            let io = self.dial()?;
+            self.io = Some(io);
+        }
+        match self.io.as_mut() {
+            Some(io) => Ok(io),
+            None => Err(LoadgenError::Io("connection vanished".into())),
+        }
+    }
+
+    fn connect_now(&mut self) -> Result<(), LoadgenError> {
+        self.ensure_connected().map(|_| ())
+    }
+
+    /// Draw the fault (if any) scheduled for the next frame send.
+    fn next_fault(&mut self) -> Option<FaultKind> {
+        let f = self.faults?;
+        if f.period == 0 {
+            return None;
+        }
+        self.sends += 1;
+        if !self.sends.is_multiple_of(f.period) {
+            return None;
+        }
+        Some(match self.rng.next() % 3 {
+            0 => FaultKind::Stall,
+            1 => FaultKind::Truncate,
+            _ => FaultKind::Reset,
+        })
+    }
+
+    /// One request/response attempt, injecting the scheduled fault when
+    /// this is the operation's first try — retries always run clean, so a
+    /// faulted operation cannot starve itself.
+    fn try_call(&mut self, frame: &Frame, allow_fault: bool) -> Result<Frame, LoadgenError> {
+        let fault = if allow_fault { self.next_fault() } else { None };
+        let stall_ms = self.faults.map_or(0, |f| f.stall_ms);
+        match fault {
+            None => {
+                let io = self.ensure_connected()?;
+                io.send(frame)?;
+                io.recv()
+            }
+            Some(FaultKind::Stall) => {
+                let bytes = protocol::encode_frame(frame).map_err(LoadgenError::Wire)?;
+                let split = (bytes.len() / 2).max(1);
+                self.stats.stalls += 1;
+                let io = self.ensure_connected()?;
+                io.send_raw(&bytes[..split])?;
+                thread::sleep(Duration::from_millis(stall_ms));
+                io.send_raw(&bytes[split..])?;
+                io.recv()
+            }
+            Some(FaultKind::Truncate) => {
+                let bytes = protocol::encode_frame(frame).map_err(LoadgenError::Wire)?;
+                let split = (bytes.len() / 2).max(1);
+                self.stats.truncated_writes += 1;
+                let io = self.ensure_connected()?;
+                let _ = io.send_raw(&bytes[..split]);
+                self.io = None;
+                Err(LoadgenError::Io("injected truncated write".into()))
+            }
+            Some(FaultKind::Reset) => {
+                self.stats.resets += 1;
+                self.io = None;
+                Err(LoadgenError::Io("injected connection reset".into()))
+            }
+        }
+    }
+
+    /// Send `frame` and wait for its reply, retrying with capped
+    /// exponential backoff after transport failures (reconnecting and
+    /// resuming sessions in between). Application-level `Error` frames
+    /// come back as `Ok` for the caller to interpret — except
+    /// [`ErrorCode::Timeout`], which means the server reaped this
+    /// connection and is transport-level by nature.
+    fn call(&mut self, frame: &Frame) -> Result<Frame, String> {
+        let max_attempts = self.faults.map_or(0, |f| f.max_retries) + 1;
+        self.last_call_retried = false;
+        let mut last_err = String::new();
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.last_call_retried = true;
+                self.stats.retries += 1;
+                if let Some(f) = self.faults {
+                    let backoff = f
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << u32::min(attempt - 1, 16))
+                        .min(f.backoff_cap_ms);
+                    thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+            match self.try_call(frame, attempt == 0) {
+                Ok(Frame::Error {
+                    code: ErrorCode::Timeout,
+                    message,
+                }) => {
+                    self.io = None;
+                    last_err = format!("server reaped connection: {message}");
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.io = None;
+                    last_err = e.to_string();
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn forget(&mut self, sid: u64) {
+        self.opened.retain(|&s| s != sid);
+        self.lost.remove(&sid);
+    }
+
+    /// Open a session (with retries). The id goes on the resume list
+    /// *before* the first send, so a reconnect mid-open re-attaches a
+    /// half-acknowledged session instead of leaking it; a retry landing on
+    /// `DuplicateSession` after that resume is therefore a success.
+    fn open(&mut self, plan: &SessionPlan, vmaf: u8) -> Result<bool, String> {
+        let sid = plan.session_id;
+        if !self.opened.contains(&sid) {
+            self.opened.push(sid);
+        }
+        let result = self.call(&Frame::OpenSession {
+            session_id: sid,
+            video: plan.video.clone(),
+            scheme: plan.scheme.clone(),
+            vmaf_model: vmaf,
+        });
+        match result {
+            Ok(Frame::OpenOk {
+                session_id,
+                degraded,
+                ..
+            }) if session_id == sid => Ok(degraded),
+            Ok(Frame::Error {
+                code: ErrorCode::DuplicateSession,
+                ..
+            }) if self.last_call_retried => {
+                self.lost.remove(&sid);
+                Ok(self.degraded_hint.get(&sid).copied().unwrap_or(false))
+            }
+            Ok(Frame::Error { code, message }) => {
+                self.forget(sid);
+                Err(format!("{code:?}: {message}"))
+            }
+            Ok(other) => {
+                self.forget(sid);
+                Err(format!("unexpected reply {other:?}"))
+            }
+            Err(e) => {
+                self.forget(sid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Close a session (with retries). `None` decisions means the close
+    /// landed but its acknowledgement died with a connection — the
+    /// reconnect's resume pass already reported the session gone.
+    fn close(&mut self, sid: u64) -> Result<Option<u64>, String> {
+        let result = self.call(&Frame::CloseSession { session_id: sid });
+        let was_lost = self.lost.contains(&sid);
+        self.forget(sid);
+        match result {
+            Ok(Frame::Closed {
+                session_id,
+                decisions,
+            }) if session_id == sid => Ok(Some(decisions)),
+            Ok(Frame::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }) if was_lost => Ok(None),
+            Ok(Frame::Error { code, message }) => Err(format!("{code:?}: {message}")),
+            Ok(other) => Err(format!("unexpected reply {other:?}")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// The algorithm-seat adapter: every `choose_level` is a round trip.
 struct RemoteAbr<'a> {
-    io: &'a mut FrameIo,
+    conn: &'a mut Conn,
     session_id: u64,
     display_name: String,
     now: &'a (dyn Fn() -> f64 + Sync),
@@ -350,7 +739,7 @@ impl AbrAlgorithm for RemoteAbr<'_> {
         }
         let request = DecisionRequest::from_context(ctx);
         let t0 = (self.now)();
-        match self.io.call(&Frame::Decide {
+        match self.conn.call(&Frame::Decide {
             session_id: self.session_id,
             request,
         }) {
@@ -380,7 +769,7 @@ impl AbrAlgorithm for RemoteAbr<'_> {
                 0
             }
             Err(e) => {
-                self.error = Some(e.to_string());
+                self.error = Some(e);
                 0
             }
         }
@@ -391,42 +780,10 @@ impl AbrAlgorithm for RemoteAbr<'_> {
     }
 }
 
-fn open_session(io: &mut FrameIo, plan: &SessionPlan, vmaf: u8) -> Result<bool, String> {
-    match io.call(&Frame::OpenSession {
-        session_id: plan.session_id,
-        video: plan.video.clone(),
-        scheme: plan.scheme.clone(),
-        vmaf_model: vmaf,
-    }) {
-        Ok(Frame::OpenOk {
-            session_id,
-            degraded,
-            ..
-        }) if session_id == plan.session_id => Ok(degraded),
-        Ok(Frame::Error { code, message }) => Err(format!("{code:?}: {message}")),
-        Ok(other) => Err(format!("unexpected reply {other:?}")),
-        Err(e) => Err(e.to_string()),
-    }
-}
-
-fn close_session(io: &mut FrameIo, plan: &SessionPlan) -> Result<u64, String> {
-    match io.call(&Frame::CloseSession {
-        session_id: plan.session_id,
-    }) {
-        Ok(Frame::Closed {
-            session_id,
-            decisions,
-        }) if session_id == plan.session_id => Ok(decisions),
-        Ok(Frame::Error { code, message }) => Err(format!("{code:?}: {message}")),
-        Ok(other) => Err(format!("unexpected reply {other:?}")),
-        Err(e) => Err(e.to_string()),
-    }
-}
-
 /// Drive one opened session to completion and (optionally) replay it
 /// in-process for the parity verdict.
 fn drive_session(
-    io: &mut FrameIo,
+    conn: &mut Conn,
     out: &mut SessionOutcome,
     config: &LoadgenConfig,
     provider: &VideoProvider,
@@ -446,7 +803,7 @@ fn drive_session(
     let trace = lte_trace(out.plan.trace_seed, &LteConfig::default());
     let sim = Simulator::new(config.player);
     let mut remote = RemoteAbr {
-        io,
+        conn,
         session_id: out.plan.session_id,
         display_name: local.name().to_string(),
         now,
@@ -471,76 +828,75 @@ fn drive_session(
 #[allow(clippy::too_many_arguments)]
 fn drive_connection(
     addr: SocketAddr,
+    index: usize,
     plans: &[SessionPlan],
     config: &LoadgenConfig,
     provider: &VideoProvider,
     now: &(dyn Fn() -> f64 + Sync),
     barrier: &Barrier,
-) -> (Vec<SessionOutcome>, Option<LoadgenError>) {
+) -> (Vec<SessionOutcome>, Option<LoadgenError>, ClientStats) {
     let mut outcomes: Vec<SessionOutcome> = plans
         .iter()
         .map(|p| SessionOutcome::new(p.clone()))
         .collect();
     let vmaf = scheme::vmaf_model_code(config.vmaf_model);
+    let mut conn = Conn::new(addr, index, config.faults);
     let mut fatal = None;
-    let mut io = match FrameIo::connect(addr).and_then(|mut io| io.handshake().map(|()| io)) {
-        Ok(io) => Some(io),
-        Err(e) => {
-            for out in &mut outcomes {
-                out.error = Some(format!("connection failed: {e}"));
-            }
-            fatal = Some(e);
-            None
+    if let Err(e) = conn.connect_now() {
+        for out in &mut outcomes {
+            out.error = Some(format!("connection failed: {e}"));
         }
-    };
+        fatal = Some(e);
+    }
+    let alive = fatal.is_none();
 
     if config.hold {
-        if let Some(io) = io.as_mut() {
+        if alive {
             for out in &mut outcomes {
-                match open_session(io, &out.plan, vmaf) {
+                match conn.open(&out.plan, vmaf) {
                     Ok(degraded) => out.degraded = degraded,
                     Err(e) => out.error = Some(e),
                 }
             }
         }
         barrier.wait();
-        if let Some(io) = io.as_mut() {
+        if alive {
             for out in &mut outcomes {
                 if out.error.is_none() {
-                    drive_session(io, out, config, provider, now);
+                    drive_session(&mut conn, out, config, provider, now);
                 }
             }
         }
         barrier.wait();
-        if let Some(io) = io.as_mut() {
+        if alive {
             for out in &mut outcomes {
                 if out.error.is_none() {
-                    match close_session(io, &out.plan) {
-                        Ok(decisions) => out.closed_decisions = Some(decisions),
+                    match conn.close(out.plan.session_id) {
+                        Ok(decisions) => out.closed_decisions = decisions,
                         Err(e) => out.error = Some(e),
                     }
                 }
             }
         }
-    } else if let Some(io) = io.as_mut() {
+    } else if alive {
         for out in &mut outcomes {
-            match open_session(io, &out.plan, vmaf) {
+            match conn.open(&out.plan, vmaf) {
                 Ok(degraded) => out.degraded = degraded,
                 Err(e) => {
                     out.error = Some(e);
                     continue;
                 }
             }
-            drive_session(io, out, config, provider, now);
+            drive_session(&mut conn, out, config, provider, now);
             if out.error.is_none() {
-                match close_session(io, &out.plan) {
-                    Ok(decisions) => out.closed_decisions = Some(decisions),
+                match conn.close(out.plan.session_id) {
+                    Ok(decisions) => out.closed_decisions = decisions,
                     Err(e) => out.error = Some(e),
                 }
             }
         }
     }
-    (outcomes, fatal)
+    (outcomes, fatal, conn.stats)
 }
 
 /// Run the fleet against the server at `addr`. Latency and wall time come
@@ -557,6 +913,7 @@ pub fn run(
     let barrier = Barrier::new(n_threads);
     let collected: Mutex<Vec<Option<SessionOutcome>>> = Mutex::new(vec![None; plans.len()]);
     let fatal: Mutex<Option<LoadgenError>> = Mutex::new(None);
+    let client_stats: Mutex<ClientStats> = Mutex::new(ClientStats::default());
 
     thread::scope(|scope| {
         for t in 0..n_threads {
@@ -565,14 +922,16 @@ pub fn run(
             let barrier = &barrier;
             let collected = &collected;
             let fatal = &fatal;
+            let client_stats = &client_stats;
             scope.spawn(move || {
-                let (outcomes, err) =
-                    drive_connection(addr, &my_plans, config, provider, now, barrier);
+                let (outcomes, err, stats) =
+                    drive_connection(addr, t, &my_plans, config, provider, now, barrier);
                 let mut slots = lock(collected);
                 for out in outcomes {
                     let idx = (out.plan.session_id - 1) as usize;
                     slots[idx] = Some(out);
                 }
+                lock(client_stats).absorb(&stats);
                 if let Some(e) = err {
                     let mut f = lock(fatal);
                     if f.is_none() {
@@ -593,10 +952,12 @@ pub fn run(
         .collect::<Result<_, _>>()?;
 
     let server_stats = fetch_stats(addr).ok();
+    let client_stats = *lock(&client_stats);
     Ok(LoadgenReport {
         outcomes,
         wall_time_s,
         server_stats,
+        client_stats,
     })
 }
 

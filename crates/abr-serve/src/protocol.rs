@@ -21,7 +21,12 @@ use std::io::{self, Read, Write};
 /// Protocol version spoken by this build. The `Hello`/`HelloOk` handshake
 /// pins it before any session traffic; a mismatch is rejected with
 /// [`ErrorCode::UnknownVersion`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history: v1 was the original PR-3 wire format; v2 added the
+/// `ResumeSession`/`ResumeOk` frames, the deadline/fault counters in
+/// [`StatsSnapshot`], and the [`ErrorCode::Timeout`] /
+/// [`ErrorCode::SessionBusy`] codes.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard ceiling on the length prefix. Every legitimate frame is tiny
 /// (strings are capped at `u16` length); anything larger is a corrupt or
@@ -44,6 +49,10 @@ pub enum ErrorCode {
     /// The frame was well-formed but not valid at this point in the
     /// conversation (e.g. a second `Hello`, or a malformed predecessor).
     BadFrame,
+    /// The connection blew its read or write deadline and is being reaped.
+    Timeout,
+    /// `ResumeSession` named a session still owned by a live connection.
+    SessionBusy,
     /// A code minted by a newer peer; preserved verbatim.
     Other(u16),
 }
@@ -58,6 +67,8 @@ impl ErrorCode {
             ErrorCode::UnknownSession => 4,
             ErrorCode::DuplicateSession => 5,
             ErrorCode::BadFrame => 6,
+            ErrorCode::Timeout => 7,
+            ErrorCode::SessionBusy => 8,
             ErrorCode::Other(raw) => raw,
         }
     }
@@ -72,12 +83,14 @@ impl ErrorCode {
             4 => ErrorCode::UnknownSession,
             5 => ErrorCode::DuplicateSession,
             6 => ErrorCode::BadFrame,
+            7 => ErrorCode::Timeout,
+            8 => ErrorCode::SessionBusy,
             other => ErrorCode::Other(other),
         }
     }
 }
 
-/// Server counters reported by [`Frame::StatsReply`]. Thirteen `u64`s on
+/// Server counters reported by [`Frame::StatsReply`]. Seventeen `u64`s on
 /// the wire, in declaration order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -107,6 +120,17 @@ pub struct StatsSnapshot {
     pub frames_out: u64,
     /// Connections torn down by a wire-level decode error.
     pub protocol_errors: u64,
+    /// Connections closed by the slow-client reaper (read or write
+    /// deadline exceeded).
+    pub connections_reaped: u64,
+    /// Sessions parked ownerless when their connection died, awaiting a
+    /// `ResumeSession` within the orphan grace window.
+    pub sessions_orphaned: u64,
+    /// Sessions re-attached to a new connection by `ResumeSession`.
+    pub sessions_resumed: u64,
+    /// Socket-option failures (`set_nodelay`, timeout configuration) —
+    /// surfaced instead of silently dropped.
+    pub sockopt_errors: u64,
 }
 
 /// One protocol frame. Client→server frames: `Hello`, `OpenSession`,
@@ -189,6 +213,27 @@ pub enum Frame {
     Shutdown,
     /// Acknowledges [`Frame::Shutdown`]; sent before the listener closes.
     ShutdownOk,
+    /// Re-attach an orphaned session after a reconnect. The session must
+    /// have been opened on a connection that has since died; its algorithm
+    /// state survives untouched, so decisions continue exactly where they
+    /// left off.
+    ResumeSession {
+        /// The id the session was opened under.
+        session_id: u64,
+    },
+    /// Answer to [`Frame::ResumeSession`].
+    ResumeOk {
+        /// Echoed session id.
+        session_id: u64,
+        /// Whether the session is (still) in degraded stateless mode.
+        degraded: bool,
+        /// Decisions served before the reconnect.
+        decisions: u64,
+        /// Track count of the bound manifest.
+        n_tracks: u32,
+        /// Chunk count of the bound manifest.
+        n_chunks: u32,
+    },
 }
 
 const TY_HELLO: u8 = 0x01;
@@ -204,6 +249,8 @@ const TY_STATS_REPLY: u8 = 0x0A;
 const TY_ERROR: u8 = 0x0B;
 const TY_SHUTDOWN: u8 = 0x0C;
 const TY_SHUTDOWN_OK: u8 = 0x0D;
+const TY_RESUME_SESSION: u8 = 0x0E;
+const TY_RESUME_OK: u8 = 0x0F;
 
 /// Typed decode/transport failure. Everything a hostile or broken peer can
 /// do maps onto one of these — the read path never panics and never hangs
@@ -219,6 +266,17 @@ pub enum WireError {
         /// The offending declared length.
         len: u32,
     },
+    /// Encode-side twin of [`WireError::Oversized`]: the frame being
+    /// *written* would need a body longer than [`MAX_FRAME_LEN`], so it is
+    /// rejected before a single byte hits the wire (the peer would refuse
+    /// the prefix anyway).
+    TooLong {
+        /// Body length (type byte + payload) the frame would have needed.
+        len: usize,
+    },
+    /// A read blew its idle budget: the peer delivered no bytes for the
+    /// whole configured deadline (see [`read_frame_budgeted`]).
+    TimedOut,
     /// Frame-type byte outside the protocol.
     UnknownFrameType(u8),
     /// Handshake version this build does not speak.
@@ -242,6 +300,13 @@ impl fmt::Display for WireError {
             WireError::Oversized { len } => {
                 write!(f, "length prefix {len} outside 1..={MAX_FRAME_LEN}")
             }
+            WireError::TooLong { len } => {
+                write!(
+                    f,
+                    "frame body {len} bytes exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
+                )
+            }
+            WireError::TimedOut => write!(f, "read deadline exceeded (peer stalled)"),
             WireError::UnknownFrameType(ty) => write!(f, "unknown frame type 0x{ty:02X}"),
             WireError::UnknownVersion(v) => {
                 write!(
@@ -345,13 +410,23 @@ fn put_stats(out: &mut Vec<u8>, s: &StatsSnapshot) {
         s.frames_in,
         s.frames_out,
         s.protocol_errors,
+        s.connections_reaped,
+        s.sessions_orphaned,
+        s.sessions_resumed,
+        s.sockopt_errors,
     ] {
         put_u64(out, v);
     }
 }
 
 /// Encode a frame to its full wire form: length prefix, type byte, payload.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+///
+/// Rejects frames whose body would exceed [`MAX_FRAME_LEN`] with
+/// [`WireError::TooLong`] — the symmetric twin of the decode-side
+/// [`WireError::Oversized`] check, so an encoder can never emit a frame the
+/// decoder is guaranteed to refuse (reachable today: two maximum-length
+/// strings in one `OpenSession` overflow the cap).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
     let mut body = Vec::with_capacity(64);
     body.push(0); // frame type, patched below
     let ty = match frame {
@@ -428,18 +503,43 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::Shutdown => TY_SHUTDOWN,
         Frame::ShutdownOk => TY_SHUTDOWN_OK,
+        Frame::ResumeSession { session_id } => {
+            put_u64(&mut body, *session_id);
+            TY_RESUME_SESSION
+        }
+        Frame::ResumeOk {
+            session_id,
+            degraded,
+            decisions,
+            n_tracks,
+            n_chunks,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_bool(&mut body, *degraded);
+            put_u64(&mut body, *decisions);
+            put_u32(&mut body, *n_tracks);
+            put_u32(&mut body, *n_chunks);
+            TY_RESUME_OK
+        }
     };
     body[0] = ty;
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_LEN)
+        .ok_or(WireError::TooLong { len: body.len() })?;
     let mut wire = Vec::with_capacity(4 + body.len());
-    put_u32(&mut wire, body.len() as u32);
+    put_u32(&mut wire, len);
     wire.extend_from_slice(&body);
-    wire
+    Ok(wire)
 }
 
 /// Write one frame (length prefix included) to `w`. Does **not** flush —
-/// callers batching frames flush once.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(frame))
+/// callers batching frames flush once. Oversized frames are rejected
+/// before any byte is written, so a failed encode never corrupts the
+/// stream.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame)?)?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +656,10 @@ impl<'a> Cur<'a> {
             frames_in: self.u64()?,
             frames_out: self.u64()?,
             protocol_errors: self.u64()?,
+            connections_reaped: self.u64()?,
+            sessions_orphaned: self.u64()?,
+            sessions_resumed: self.u64()?,
+            sockopt_errors: self.u64()?,
         })
     }
 
@@ -616,6 +720,16 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
         },
         TY_SHUTDOWN => Frame::Shutdown,
         TY_SHUTDOWN_OK => Frame::ShutdownOk,
+        TY_RESUME_SESSION => Frame::ResumeSession {
+            session_id: cur.u64()?,
+        },
+        TY_RESUME_OK => Frame::ResumeOk {
+            session_id: cur.u64()?,
+            degraded: cur.bool()?,
+            decisions: cur.u64()?,
+            n_tracks: cur.u32()?,
+            n_chunks: cur.u32()?,
+        },
         other => return Err(WireError::UnknownFrameType(other)),
     };
     if cur.remaining() != 0 {
@@ -626,31 +740,99 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
     Ok(frame)
 }
 
-/// Read one frame from `r`, enforcing [`MAX_FRAME_LEN`]. A clean EOF at a
-/// frame boundary is [`WireError::Closed`]; EOF anywhere inside a frame is
+/// An idle budget measured in poll slots. One slot is consumed every time
+/// the underlying stream reports a *timed-out* read (`WouldBlock` /
+/// `TimedOut` — what a socket with `set_read_timeout` returns when no data
+/// arrives within the poll interval); any byte of progress refills the
+/// budget. The budget therefore bounds the longest *silent gap* the peer
+/// is allowed, without this crate ever reading a wall clock — the kernel's
+/// socket timeout is the only source of elapsed time.
+struct IdleBudget {
+    full: u64,
+    left: u64,
+}
+
+impl IdleBudget {
+    fn new(slots: u64) -> IdleBudget {
+        let full = slots.max(1);
+        IdleBudget { full, left: full }
+    }
+
+    fn on_progress(&mut self) {
+        self.left = self.full;
+    }
+
+    fn on_poll_timeout(&mut self) -> Result<(), WireError> {
+        self.left = self.left.saturating_sub(1);
+        if self.left == 0 {
+            Err(WireError::TimedOut)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Fill `buf` completely, spending the idle budget on poll timeouts.
+/// `at_boundary` selects the EOF flavor: a clean hangup before the first
+/// byte of a frame is [`WireError::Closed`], anywhere else it is
 /// [`WireError::Truncated`].
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
-    let mut prefix = [0u8; 4];
+fn read_full<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    budget: &mut IdleBudget,
+    at_boundary: bool,
+) -> Result<(), WireError> {
     let mut filled = 0;
-    while filled < prefix.len() {
-        match r.read(&mut prefix[filled..]) {
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Err(if filled == 0 {
+                return Err(if at_boundary && filled == 0 {
                     WireError::Closed
                 } else {
                     WireError::Truncated
                 })
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                budget.on_progress();
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                budget.on_poll_timeout()?;
+            }
             Err(e) => return Err(WireError::from(e)),
         }
     }
+    Ok(())
+}
+
+/// Read one frame from `r`, enforcing [`MAX_FRAME_LEN`]. A clean EOF at a
+/// frame boundary is [`WireError::Closed`]; EOF anywhere inside a frame is
+/// [`WireError::Truncated`]. Blocks indefinitely on a silent peer — the
+/// server side uses [`read_frame_budgeted`] instead.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    read_frame_budgeted(r, u64::MAX)
+}
+
+/// Deadline-aware twin of [`read_frame`]: tolerate at most `idle_slots`
+/// consecutive timed-out polls (reads failing with `WouldBlock`/`TimedOut`)
+/// without a single byte of progress, then fail with
+/// [`WireError::TimedOut`]. Callers arm the stream with a poll-interval
+/// `set_read_timeout`; `idle_slots × poll interval` is the effective
+/// deadline. Bytes trickling in — a slow but live peer — keep refilling
+/// the budget, so only genuine stalls (mid-frame or between frames) trip
+/// it.
+pub fn read_frame_budgeted<R: Read>(r: &mut R, idle_slots: u64) -> Result<Frame, WireError> {
+    let mut budget = IdleBudget::new(idle_slots);
+    let mut prefix = [0u8; 4];
+    read_full(r, &mut prefix, &mut budget, true)?;
     let len = u32::from_le_bytes(prefix);
     if len == 0 || len > MAX_FRAME_LEN {
         return Err(WireError::Oversized { len });
     }
     let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    read_full(r, &mut body, &mut budget, false)?;
     decode_frame(&body)
 }

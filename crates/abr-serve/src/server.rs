@@ -11,8 +11,22 @@
 //! (`Hello` → `HelloOk`, version-checked), then a frame loop. Application
 //! errors (unknown video, duplicate session, …) answer with a typed
 //! [`Frame::Error`] and keep the connection; wire-level decode errors
-//! answer with `Error` and drop it. Either way, a dropped connection reaps
-//! every session it opened ([`SessionStore::drop_connection`]).
+//! answer with `Error` and drop it. Either way, a dropped connection hands
+//! every session it opened back to the store
+//! ([`SessionStore::drop_connection`]) — orphaned for a grace window so a
+//! reconnecting client can [`Frame::ResumeSession`] them, or reaped
+//! outright when orphaning is disabled.
+//!
+//! **No worker blocks indefinitely on a peer.** Every connection gets a
+//! read deadline and a write deadline ([`ServerConfig::read_deadline_ms`],
+//! [`ServerConfig::write_deadline_ms`], env-tunable): the socket is armed
+//! with a short kernel poll timeout and reads go through
+//! [`read_frame_budgeted`], which counts consecutive empty polls instead
+//! of reading any clock — this crate stays wall-clock-free (lint R1), the
+//! kernel's timer is the only time source. A client that stays silent past
+//! the deadline is **reaped**: counted in
+//! [`StatsSnapshot::connections_reaped`], sent a best-effort
+//! [`ErrorCode::Timeout`], and dropped, freeing the worker for the queue.
 //!
 //! Shutdown is a protocol frame, not a signal: `Shutdown` is acknowledged
 //! with `ShutdownOk`, the acceptor is woken by a loopback dial, in-flight
@@ -21,7 +35,7 @@
 
 use crate::lock;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION,
+    read_frame_budgeted, write_frame, ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION,
 };
 use crate::store::{SessionStore, StoreConfig, VideoProvider};
 use std::collections::VecDeque;
@@ -30,12 +44,40 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "ABR_SERVE_THREADS";
 
 /// Default worker-pool size when [`THREADS_ENV`] is unset.
 pub const DEFAULT_THREADS: usize = 8;
+
+/// Environment variable overriding the per-connection read deadline (ms).
+pub const READ_DEADLINE_ENV: &str = "ABR_SERVE_READ_DEADLINE_MS";
+
+/// Environment variable overriding the per-connection write deadline (ms).
+pub const WRITE_DEADLINE_ENV: &str = "ABR_SERVE_WRITE_DEADLINE_MS";
+
+/// Environment variable overriding the read-deadline poll interval (ms).
+pub const POLL_ENV: &str = "ABR_SERVE_POLL_MS";
+
+/// Default read deadline when [`READ_DEADLINE_ENV`] is unset. Generous on
+/// purpose: a held loadgen fleet parks connections at barriers for however
+/// long the slowest session replay takes.
+pub const DEFAULT_READ_DEADLINE_MS: u64 = 120_000;
+
+/// Default write deadline when [`WRITE_DEADLINE_ENV`] is unset.
+pub const DEFAULT_WRITE_DEADLINE_MS: u64 = 30_000;
+
+/// Default poll interval when [`POLL_ENV`] is unset.
+pub const DEFAULT_POLL_MS: u64 = 20;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+}
 
 /// Worker-pool size: `ABR_SERVE_THREADS` if set and parseable, else 8,
 /// floored at 1.
@@ -47,6 +89,24 @@ pub fn threads_from_env() -> usize {
         .max(1)
 }
 
+/// Read deadline (ms): [`READ_DEADLINE_ENV`] if set and parseable, else
+/// [`DEFAULT_READ_DEADLINE_MS`]. `0` disables the deadline.
+pub fn read_deadline_from_env() -> u64 {
+    env_u64(READ_DEADLINE_ENV, DEFAULT_READ_DEADLINE_MS)
+}
+
+/// Write deadline (ms): [`WRITE_DEADLINE_ENV`] if set and parseable, else
+/// [`DEFAULT_WRITE_DEADLINE_MS`]. `0` disables the deadline.
+pub fn write_deadline_from_env() -> u64 {
+    env_u64(WRITE_DEADLINE_ENV, DEFAULT_WRITE_DEADLINE_MS)
+}
+
+/// Poll interval (ms): [`POLL_ENV`] if set and parseable, else
+/// [`DEFAULT_POLL_MS`], floored at 1.
+pub fn poll_ms_from_env() -> u64 {
+    env_u64(POLL_ENV, DEFAULT_POLL_MS).max(1)
+}
+
 /// Front-end sizing knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -56,6 +116,19 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Accepted-connection queue bound; the acceptor blocks when full.
     pub queue_depth: usize,
+    /// Per-connection read deadline in milliseconds: a connection that
+    /// delivers **no bytes** for this long is reaped. `0` disables the
+    /// deadline (reads may block forever — test use only). The deadline
+    /// bounds the longest silent gap, not total frame time: a peer that
+    /// keeps trickling bytes stays alive.
+    pub read_deadline_ms: u64,
+    /// Per-connection write deadline in milliseconds: a send that cannot
+    /// make progress for this long (peer stopped draining) fails and the
+    /// connection is reaped. `0` disables it.
+    pub write_deadline_ms: u64,
+    /// Kernel poll interval (ms) the read deadline is quantized to; the
+    /// only time source the deadline machinery uses. Floored at 1.
+    pub poll_ms: u64,
     /// Session-store sizing.
     pub store: StoreConfig,
 }
@@ -65,6 +138,9 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: threads_from_env(),
             queue_depth: 64,
+            read_deadline_ms: read_deadline_from_env(),
+            write_deadline_ms: write_deadline_from_env(),
+            poll_ms: poll_ms_from_env(),
             store: StoreConfig::default(),
         }
     }
@@ -155,6 +231,10 @@ struct Counters {
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     protocol_errors: AtomicU64,
+    connections_reaped: AtomicU64,
+    sessions_orphaned: AtomicU64,
+    sessions_resumed: AtomicU64,
+    sockopt_errors: AtomicU64,
 }
 
 /// The service: session store + counters + shutdown latch. Shared by every
@@ -205,7 +285,10 @@ impl Server {
             peak_sessions: c.peak_sessions.load(Ordering::Relaxed),
             sessions_opened: c.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: c.sessions_closed.load(Ordering::Relaxed),
-            sessions_aborted: c.sessions_aborted.load(Ordering::Relaxed),
+            // Orphans whose grace lapsed died without a close too — they
+            // fold into the aborted total.
+            sessions_aborted: c.sessions_aborted.load(Ordering::Relaxed)
+                + self.store.orphan_reaped_count(),
             sessions_evicted: self.store.evicted_count(),
             degraded_opens: c.degraded_opens.load(Ordering::Relaxed),
             decisions: c.decisions.load(Ordering::Relaxed),
@@ -213,6 +296,10 @@ impl Server {
             frames_in: c.frames_in.load(Ordering::Relaxed),
             frames_out: c.frames_out.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            connections_reaped: c.connections_reaped.load(Ordering::Relaxed),
+            sessions_orphaned: c.sessions_orphaned.load(Ordering::Relaxed),
+            sessions_resumed: c.sessions_resumed.load(Ordering::Relaxed),
+            sockopt_errors: c.sockopt_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -314,6 +401,28 @@ impl Server {
                     },
                 )?,
             },
+            Frame::ResumeSession { session_id } => match self.store.resume(conn, session_id) {
+                Ok(out) => {
+                    c.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                    self.send(
+                        w,
+                        &Frame::ResumeOk {
+                            session_id,
+                            degraded: out.degraded,
+                            decisions: out.decisions,
+                            n_tracks: out.n_tracks as u32,
+                            n_chunks: out.n_chunks as u32,
+                        },
+                    )?;
+                }
+                Err(e) => self.send(
+                    w,
+                    &Frame::Error {
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                )?,
+            },
             Frame::StatsReq => self.send(w, &Frame::StatsReply(self.stats()))?,
             Frame::Shutdown => {
                 self.send(w, &Frame::ShutdownOk)?;
@@ -335,9 +444,58 @@ impl Server {
         Ok(true)
     }
 
+    /// Whether a send failed because the peer stopped draining within the
+    /// write deadline (as opposed to hanging up): those connections count
+    /// as reaped, same as read-deadline victims.
+    fn is_deadline_error(e: &WireError) -> bool {
+        matches!(
+            e,
+            WireError::TimedOut
+                | WireError::Io(io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+
+    fn reap(&self, w: &mut BufWriter<TcpStream>) {
+        self.counters
+            .connections_reaped
+            .fetch_add(1, Ordering::Relaxed);
+        // Best-effort: the peer that just blew its deadline may well not
+        // read this either.
+        let _ = self.send(
+            w,
+            &Frame::Error {
+                code: ErrorCode::Timeout,
+                message: "connection deadline exceeded; reaped".to_string(),
+            },
+        );
+    }
+
     fn handle_connection(&self, conn: u64, stream: TcpStream) {
         self.counters.connections.fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_nodelay(true);
+        let note_sockopt = |r: io::Result<()>| {
+            if r.is_err() {
+                self.counters.sockopt_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        note_sockopt(stream.set_nodelay(true));
+        // Arm the kernel poll timer the read budget counts against, and
+        // the write deadline. Timeouts apply to the cloned writer half too
+        // (dup shares the open file description).
+        let poll = self.config.poll_ms.max(1);
+        let read_slots = if self.config.read_deadline_ms == 0 {
+            u64::MAX
+        } else {
+            self.config.read_deadline_ms.div_ceil(poll).max(1)
+        };
+        note_sockopt(stream.set_read_timeout(
+            (self.config.read_deadline_ms > 0).then(|| Duration::from_millis(poll)),
+        ));
+        note_sockopt(
+            stream.set_write_timeout(
+                (self.config.write_deadline_ms > 0)
+                    .then(|| Duration::from_millis(self.config.write_deadline_ms)),
+            ),
+        );
         let mut writer = match stream.try_clone() {
             Ok(clone) => BufWriter::new(clone),
             Err(_) => return,
@@ -345,7 +503,7 @@ impl Server {
         let mut reader = BufReader::new(stream);
 
         // Handshake: the first frame must be a Hello with our version.
-        match read_frame(&mut reader) {
+        match read_frame_budgeted(&mut reader, read_slots) {
             Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {
                 self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
                 if self
@@ -384,6 +542,10 @@ impl Server {
                 );
                 return;
             }
+            Err(WireError::TimedOut) => {
+                self.reap(&mut writer);
+                return;
+            }
             Err(WireError::Closed) => return,
             Err(e) => {
                 self.counters
@@ -401,13 +563,25 @@ impl Server {
         }
 
         loop {
-            match read_frame(&mut reader) {
+            match read_frame_budgeted(&mut reader, read_slots) {
                 Ok(frame) => {
                     self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
                     match self.handle_frame(conn, frame, &mut writer) {
                         Ok(true) => {}
-                        Ok(false) | Err(_) => break,
+                        Ok(false) => break,
+                        Err(e) => {
+                            if Server::is_deadline_error(&e) {
+                                self.counters
+                                    .connections_reaped
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
                     }
+                }
+                Err(WireError::TimedOut) => {
+                    self.reap(&mut writer);
+                    break;
                 }
                 Err(WireError::Closed) => break,
                 Err(e) => {
@@ -426,10 +600,13 @@ impl Server {
             }
         }
 
-        let aborted = self.store.drop_connection(conn);
+        let dropped = self.store.drop_connection(conn);
         self.counters
             .sessions_aborted
-            .fetch_add(aborted, Ordering::Relaxed);
+            .fetch_add(dropped.aborted, Ordering::Relaxed);
+        self.counters
+            .sessions_orphaned
+            .fetch_add(dropped.orphaned, Ordering::Relaxed);
     }
 }
 

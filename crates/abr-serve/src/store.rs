@@ -77,6 +77,11 @@ pub struct StoreConfig {
     /// Logical-tick idle threshold beyond which a session is evictable
     /// when the store is at capacity.
     pub idle_ticks: u64,
+    /// Logical-tick grace window an **orphaned** session (its connection
+    /// died without closing it) survives awaiting a `ResumeSession`. `0`
+    /// disables orphaning entirely: a dead connection reaps its sessions
+    /// immediately, the pre-resume behavior.
+    pub orphan_grace_ticks: u64,
 }
 
 impl Default for StoreConfig {
@@ -84,6 +89,7 @@ impl Default for StoreConfig {
         StoreConfig {
             capacity: 1024,
             idle_ticks: 100_000,
+            orphan_grace_ticks: 50_000,
         }
     }
 }
@@ -102,6 +108,8 @@ pub enum StoreError {
     DuplicateSession(u64),
     /// The VMAF model code is outside the protocol.
     BadVmafModel(u8),
+    /// `resume` targeted a session still attached to a live connection.
+    SessionBusy(u64),
 }
 
 impl StoreError {
@@ -113,6 +121,7 @@ impl StoreError {
             StoreError::UnknownSession(_) => ErrorCode::UnknownSession,
             StoreError::DuplicateSession(_) => ErrorCode::DuplicateSession,
             StoreError::BadVmafModel(_) => ErrorCode::BadFrame,
+            StoreError::SessionBusy(_) => ErrorCode::SessionBusy,
         }
     }
 }
@@ -125,6 +134,9 @@ impl fmt::Display for StoreError {
             StoreError::UnknownSession(id) => write!(f, "unknown session {id}"),
             StoreError::DuplicateSession(id) => write!(f, "session {id} already open"),
             StoreError::BadVmafModel(code) => write!(f, "VMAF model code {code} outside {{0,1}}"),
+            StoreError::SessionBusy(id) => {
+                write!(f, "session {id} is attached to a live connection")
+            }
         }
     }
 }
@@ -142,6 +154,28 @@ pub struct OpenOutcome {
     pub n_chunks: usize,
 }
 
+/// What a `resume` produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeOutcome {
+    /// True when the session runs in stateless fallback mode.
+    pub degraded: bool,
+    /// Decisions served before the reconnect.
+    pub decisions: u64,
+    /// Track count of the bound manifest.
+    pub n_tracks: usize,
+    /// Chunk count of the bound manifest.
+    pub n_chunks: usize,
+}
+
+/// What a connection teardown did to the sessions it owned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropOutcome {
+    /// Sessions removed outright (orphaning disabled).
+    pub aborted: u64,
+    /// Sessions parked ownerless, resumable within the grace window.
+    pub orphaned: u64,
+}
+
 struct SessionState {
     video: VideoHandle,
     /// `None` marks a degraded session: no per-session algorithm state,
@@ -149,12 +183,23 @@ struct SessionState {
     algo: Option<Box<dyn AbrAlgorithm + Send>>,
     history: Vec<f64>,
     decisions: u64,
+    /// The last *applied* request and its answer, for retransmission
+    /// dedup: a client resending the identical request after a reconnect
+    /// gets the cached response instead of advancing algorithm state twice
+    /// (see [`DecisionRequest::is_retransmit_of`]).
+    last_request: Option<DecisionRequest>,
+    last_response: Option<DecisionResponse>,
 }
 
+/// Owner sentinel for an orphaned slot. Real connection ids are minted
+/// from 1 by the server's connection sequence.
+const ORPHANED: u64 = 0;
+
 struct SessionSlot {
-    /// Connection that opened the session; its disconnect reaps the slot.
-    owner: u64,
-    /// Tick of the slot's last use, for idle eviction.
+    /// Connection currently attached to the session ([`ORPHANED`] when its
+    /// connection died and the slot awaits a `ResumeSession`).
+    owner: AtomicU64,
+    /// Tick of the slot's last use, for idle eviction and orphan grace.
     last_used: AtomicU64,
     state: Mutex<SessionState>,
 }
@@ -166,6 +211,7 @@ pub struct SessionStore {
     sessions: Mutex<BTreeMap<u64, Arc<SessionSlot>>>,
     tick: AtomicU64,
     evicted: AtomicU64,
+    orphan_reaped: AtomicU64,
 }
 
 impl SessionStore {
@@ -177,11 +223,26 @@ impl SessionStore {
             sessions: Mutex::new(BTreeMap::new()),
             tick: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            orphan_reaped: AtomicU64::new(0),
         }
     }
 
     fn bump_tick(&self) -> u64 {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Reap orphaned slots whose grace window has lapsed. Runs under the
+    /// map lock on every admission, so orphans cannot accumulate
+    /// unboundedly even without capacity pressure.
+    fn sweep_orphans(&self, map: &mut BTreeMap<u64, Arc<SessionSlot>>, tick: u64) {
+        let grace = self.config.orphan_grace_ticks;
+        let before = map.len();
+        map.retain(|_, slot| {
+            slot.owner.load(Ordering::Relaxed) != ORPHANED
+                || tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= grace
+        });
+        self.orphan_reaped
+            .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
     }
 
     /// Admit a session for connection `conn`. Over capacity, idle sessions
@@ -213,27 +274,47 @@ impl SessionStore {
         let n_chunks = handle.manifest.n_chunks();
 
         let mut map = lock(&self.sessions);
+        self.sweep_orphans(&mut map, tick);
         if map.contains_key(&session_id) {
             return Err(StoreError::DuplicateSession(session_id));
+        }
+        if map.len() >= self.config.capacity {
+            // Orphans are the cheapest reclaim under pressure: their
+            // connection is already dead, so resume-after-eviction is a
+            // clean typed UnknownSession, not lost live service.
+            let before = map.len();
+            map.retain(|_, slot| slot.owner.load(Ordering::Relaxed) != ORPHANED);
+            self.orphan_reaped
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
         }
         if map.len() >= self.config.capacity {
             let threshold = self.config.idle_ticks;
             let before = map.len();
             map.retain(|_, slot| {
-                tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= threshold
+                // A slot whose state lock is held has a decision in
+                // flight on another worker — never evict it mid-decide,
+                // whatever its idle age claims.
+                let in_flight = matches!(
+                    slot.state.try_lock(),
+                    Err(std::sync::TryLockError::WouldBlock)
+                );
+                in_flight
+                    || tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= threshold
             });
             self.evicted
                 .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
         }
         let degraded = map.len() >= self.config.capacity;
         let slot = Arc::new(SessionSlot {
-            owner: conn,
+            owner: AtomicU64::new(conn),
             last_used: AtomicU64::new(tick),
             state: Mutex::new(SessionState {
                 video: handle,
                 algo: if degraded { None } else { Some(algo) },
                 history: Vec::new(),
                 decisions: 0,
+                last_request: None,
+                last_response: None,
             }),
         });
         map.insert(session_id, slot);
@@ -244,9 +325,42 @@ impl SessionStore {
         })
     }
 
+    /// Re-attach an orphaned session to connection `conn`. The session's
+    /// algorithm state, throughput history, and retransmission cache are
+    /// untouched, so the decision stream continues exactly where the dead
+    /// connection left it. Sessions still attached to a live connection
+    /// answer [`StoreError::SessionBusy`] (the old worker has not finished
+    /// tearing the connection down yet — retryable); evicted or closed
+    /// ones answer [`StoreError::UnknownSession`].
+    pub fn resume(&self, conn: u64, session_id: u64) -> Result<ResumeOutcome, StoreError> {
+        let tick = self.bump_tick();
+        let map = lock(&self.sessions);
+        let slot = map
+            .get(&session_id)
+            .ok_or(StoreError::UnknownSession(session_id))?;
+        if slot.owner.load(Ordering::Relaxed) != ORPHANED {
+            return Err(StoreError::SessionBusy(session_id));
+        }
+        slot.owner.store(conn, Ordering::Relaxed);
+        slot.last_used.store(tick, Ordering::Relaxed);
+        let state = lock(&slot.state);
+        Ok(ResumeOutcome {
+            degraded: state.algo.is_none(),
+            decisions: state.decisions,
+            n_tracks: state.video.manifest.n_tracks(),
+            n_chunks: state.video.manifest.n_chunks(),
+        })
+    }
+
     /// Serve one decision. Full sessions accumulate the request's newest
     /// throughput observation and run their own algorithm; degraded
     /// sessions get a fresh stateless RBA every time.
+    ///
+    /// A request that is a bit-for-bit retransmission of the last applied
+    /// one (a client retrying after its connection died mid round-trip)
+    /// answers from cache without touching algorithm state — exactly-once
+    /// application, which is what keeps decision parity intact across
+    /// reconnects.
     pub fn decide(
         &self,
         session_id: u64,
@@ -259,33 +373,42 @@ impl SessionStore {
             .ok_or(StoreError::UnknownSession(session_id))?;
         slot.last_used.store(tick, Ordering::Relaxed);
         let mut state = lock(&slot.state);
+        if let (Some(prev), Some(cached)) = (&state.last_request, &state.last_response) {
+            if request.is_retransmit_of(prev) {
+                return Ok(*cached);
+            }
+        }
         let SessionState {
             video,
             algo,
             history,
             decisions,
+            ..
         } = &mut *state;
         *decisions += 1;
-        match algo {
+        let response = match algo {
             Some(algo) => {
                 if let Some(tp) = request.latest_throughput_bps {
                     history.push(tp);
                 }
                 let ctx = request.context(&video.manifest, history);
-                Ok(DecisionResponse {
+                DecisionResponse {
                     level: algo.choose_level(&ctx),
                     degraded: false,
-                })
+                }
             }
             None => {
                 let mut fallback = Rba::paper_default();
                 let ctx = request.context(&video.manifest, &[]);
-                Ok(DecisionResponse {
+                DecisionResponse {
                     level: fallback.choose_level(&ctx),
                     degraded: true,
-                })
+                }
             }
-        }
+        };
+        state.last_request = Some(*request);
+        state.last_response = Some(response);
+        Ok(response)
     }
 
     /// Retire a session, returning its lifetime decision count.
@@ -298,13 +421,29 @@ impl SessionStore {
         Ok(decisions)
     }
 
-    /// Reap every session opened by connection `conn` (mid-session
-    /// disconnect cleanup). Returns how many were dropped.
-    pub fn drop_connection(&self, conn: u64) -> u64 {
+    /// Handle the death of connection `conn`: its sessions are orphaned
+    /// (resumable within [`StoreConfig::orphan_grace_ticks`] logical
+    /// ticks) — or removed outright when the grace window is zero. Lapsed
+    /// orphans from earlier disconnects are swept on the same pass.
+    pub fn drop_connection(&self, conn: u64) -> DropOutcome {
+        let tick = self.bump_tick();
+        let mut out = DropOutcome::default();
         let mut map = lock(&self.sessions);
-        let before = map.len();
-        map.retain(|_, slot| slot.owner != conn);
-        (before - map.len()) as u64
+        if self.config.orphan_grace_ticks == 0 {
+            let before = map.len();
+            map.retain(|_, slot| slot.owner.load(Ordering::Relaxed) != conn);
+            out.aborted = (before - map.len()) as u64;
+            return out;
+        }
+        for slot in map.values() {
+            if slot.owner.load(Ordering::Relaxed) == conn {
+                slot.owner.store(ORPHANED, Ordering::Relaxed);
+                slot.last_used.store(tick, Ordering::Relaxed);
+                out.orphaned += 1;
+            }
+        }
+        self.sweep_orphans(&mut map, tick);
+        out
     }
 
     /// Sessions currently held.
@@ -316,6 +455,12 @@ impl SessionStore {
     pub fn evicted_count(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
     }
+
+    /// Orphaned sessions reaped (grace lapsed or reclaimed under
+    /// capacity pressure) so far.
+    pub fn orphan_reaped_count(&self) -> u64 {
+        self.orphan_reaped.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -323,13 +468,38 @@ mod tests {
     use super::*;
 
     fn store(capacity: usize, idle_ticks: u64) -> SessionStore {
+        store_grace(
+            capacity,
+            idle_ticks,
+            StoreConfig::default().orphan_grace_ticks,
+        )
+    }
+
+    fn store_grace(capacity: usize, idle_ticks: u64, orphan_grace_ticks: u64) -> SessionStore {
         SessionStore::new(
             StoreConfig {
                 capacity,
                 idle_ticks,
+                orphan_grace_ticks,
             },
             dataset_provider(),
         )
+    }
+
+    fn request_for_chunk(chunk: usize, throughput: Option<f64>) -> DecisionRequest {
+        DecisionRequest {
+            chunk_index: chunk,
+            buffer_s: chunk as f64 * 1.5,
+            estimated_bandwidth_bps: throughput,
+            last_level: if chunk == 0 { None } else { Some(0) },
+            latest_throughput_bps: throughput,
+            wall_time_s: chunk as f64 * 4.0,
+            startup_complete: chunk > 0,
+            visible_chunks: dataset_provider()("ED-youtube-h264")
+                .unwrap()
+                .manifest
+                .n_chunks(),
+        }
     }
 
     fn first_request() -> DecisionRequest {
@@ -423,15 +593,108 @@ mod tests {
     }
 
     #[test]
-    fn drop_connection_reaps_only_that_connection() {
-        let s = store(8, 1_000);
+    fn drop_connection_with_zero_grace_reaps_immediately() {
+        let s = store_grace(8, 1_000, 0);
         s.open(10, 1, "ED-youtube-h264", "cava", 0).unwrap();
         s.open(10, 2, "ED-youtube-h264", "bola", 0).unwrap();
         s.open(11, 3, "ED-youtube-h264", "rba", 0).unwrap();
-        assert_eq!(s.drop_connection(10), 2);
+        assert_eq!(
+            s.drop_connection(10),
+            DropOutcome {
+                aborted: 2,
+                orphaned: 0,
+            }
+        );
         assert_eq!(s.open_sessions(), 1);
         assert!(s.decide(3, &first_request()).is_ok());
-        assert_eq!(s.drop_connection(10), 0);
+        assert_eq!(s.drop_connection(10), DropOutcome::default());
+    }
+
+    #[test]
+    fn orphaned_session_resumes_with_state_intact() {
+        let s = store(8, 1_000_000);
+        // Two identical cava sessions: one survives a connection death at
+        // chunk 3, the control runs uninterrupted. Their decision streams
+        // must match step for step.
+        s.open(1, 100, "ED-youtube-h264", "cava", 0).unwrap();
+        s.open(1, 200, "ED-youtube-h264", "cava", 0).unwrap();
+        let mut interrupted = Vec::new();
+        let mut control = Vec::new();
+        for chunk in 0..3 {
+            let req = request_for_chunk(chunk, if chunk == 0 { None } else { Some(2.5e6) });
+            interrupted.push(s.decide(100, &req).unwrap().level);
+            control.push(s.decide(200, &req).unwrap().level);
+        }
+        let dropped = s.drop_connection(1);
+        assert_eq!(dropped.orphaned, 2);
+        assert_eq!(dropped.aborted, 0);
+        let resumed = s.resume(2, 100).unwrap();
+        assert!(!resumed.degraded);
+        assert_eq!(resumed.decisions, 3);
+        let resumed = s.resume(2, 200).unwrap();
+        assert_eq!(resumed.decisions, 3);
+        for chunk in 3..8 {
+            let req = request_for_chunk(chunk, Some(2.5e6));
+            interrupted.push(s.decide(100, &req).unwrap().level);
+            control.push(s.decide(200, &req).unwrap().level);
+        }
+        assert_eq!(interrupted, control);
+    }
+
+    #[test]
+    fn resume_errors_are_typed() {
+        let s = store(8, 1_000);
+        s.open(1, 5, "ED-youtube-h264", "cava", 0).unwrap();
+        // Still attached to a live connection: busy, not resumable.
+        assert_eq!(s.resume(2, 5), Err(StoreError::SessionBusy(5)));
+        assert_eq!(s.resume(2, 77), Err(StoreError::UnknownSession(77)));
+    }
+
+    #[test]
+    fn evicted_orphan_resume_is_clean_unknown_session() {
+        // Capacity 1 with orphaning on: the orphan is reclaimed the moment
+        // a new admission needs its slot, and a resume racing that
+        // eviction gets a typed UnknownSession — never stale state.
+        let s = store_grace(1, 0, 1_000_000);
+        s.open(1, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        assert_eq!(s.drop_connection(1).orphaned, 1);
+        let out = s.open(2, 2, "ED-youtube-h264", "bola", 0).unwrap();
+        assert!(!out.degraded, "orphan reclaim should free the slot");
+        assert_eq!(s.orphan_reaped_count(), 1);
+        assert_eq!(s.resume(3, 1), Err(StoreError::UnknownSession(1)));
+        assert!(s.decide(2, &first_request()).is_ok());
+    }
+
+    #[test]
+    fn lapsed_orphans_are_swept_on_admission() {
+        let s = store_grace(8, 1_000_000, 2);
+        s.open(1, 1, "ED-youtube-h264", "cava", 0).unwrap();
+        assert_eq!(s.drop_connection(1).orphaned, 1);
+        // Each store operation is one logical tick; after the grace window
+        // lapses the next admission sweeps the orphan.
+        for i in 0..4 {
+            s.open(2, 10 + i, "ED-youtube-h264", "rba", 0).unwrap();
+        }
+        assert_eq!(s.orphan_reaped_count(), 1);
+        assert_eq!(s.resume(3, 1), Err(StoreError::UnknownSession(1)));
+    }
+
+    #[test]
+    fn retransmitted_request_answers_from_cache() {
+        let s = store(8, 1_000);
+        s.open(1, 9, "ED-youtube-h264", "cava", 0).unwrap();
+        let req0 = first_request();
+        let fresh = s.decide(9, &req0).unwrap();
+        // The identical request replayed (client retry after a dead
+        // connection) answers from cache without advancing state.
+        assert_eq!(s.decide(9, &req0).unwrap(), fresh);
+        let req1 = request_for_chunk(1, Some(2.5e6));
+        s.decide(9, &req1).unwrap();
+        assert_eq!(
+            s.close(9).unwrap(),
+            2,
+            "replay must not count as a decision"
+        );
     }
 
     #[test]

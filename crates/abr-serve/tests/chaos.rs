@@ -1,0 +1,147 @@
+//! Chaos parity: a fleet driven through deterministic fault injection —
+//! mid-frame stalls, truncated writes, connection resets — against a server
+//! armed with read/write deadlines must still produce session records
+//! byte-identical to same-seed in-process replays. Retries, reconnects, and
+//! session resumes are allowed to happen; wrong decisions are not.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
+use abr_serve::store::{dataset_provider, StoreConfig};
+use abr_serve::{Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+fn tick_clock() -> impl Fn() -> f64 + Sync {
+    let ticks = AtomicU64::new(0);
+    move || ticks.fetch_add(1, Ordering::Relaxed) as f64 * 1e-6
+}
+
+/// A server hardened the way the chaos soak runs it: short-but-generous
+/// read deadline (injected stalls are far below it), fine poll, and a
+/// large orphan grace so dropped connections can reclaim their sessions.
+fn chaos_server_config() -> ServerConfig {
+    ServerConfig {
+        threads: 4,
+        queue_depth: 16,
+        read_deadline_ms: 5_000,
+        write_deadline_ms: 5_000,
+        poll_ms: 10,
+        store: StoreConfig {
+            capacity: 4096,
+            idle_ticks: u64::MAX,
+            orphan_grace_ticks: 1_000_000,
+        },
+    }
+}
+
+#[test]
+fn fleet_under_faults_keeps_full_parity() {
+    let bound = Server::bind("127.0.0.1:0", chaos_server_config(), dataset_provider()).unwrap();
+    let addr = bound.addr();
+    let server = thread::spawn(move || bound.serve());
+
+    let config = LoadgenConfig {
+        sessions: 36,
+        connections: 4,
+        seed: 1234,
+        schemes: vec!["cava".into(), "bola".into(), "rba".into()],
+        hold: true,
+        parity: true,
+        faults: Some(FaultConfig {
+            seed: 99,
+            period: 5,
+            stall_ms: 2,
+            ..FaultConfig::default()
+        }),
+        ..LoadgenConfig::default()
+    };
+    let provider = dataset_provider();
+    let now = tick_clock();
+    let report = loadgen::run(addr, &config, &provider, &now).unwrap();
+
+    loadgen::shutdown_server(addr).unwrap();
+    let stats = server.join().unwrap();
+
+    // The chaos actually happened…
+    let cs = report.client_stats;
+    assert!(cs.faults_injected() > 0, "no faults fired: {cs:?}");
+    assert!(cs.retries > 0, "faults never forced a retry: {cs:?}");
+    assert!(
+        cs.resets + cs.truncated_writes > 0,
+        "no connection-killing faults drawn: {cs:?}"
+    );
+    assert!(
+        cs.reconnects > 0,
+        "killed connections never redialed: {cs:?}"
+    );
+
+    // …and decisions stayed exactly right anyway.
+    assert_eq!(report.outcomes.len(), 36);
+    assert_eq!(report.errors(), vec![], "sessions hit errors");
+    assert_eq!(report.parity_mismatches(), vec![], "parity broken");
+    assert!(report.outcomes.iter().all(|o| o.parity == Some(true)));
+    for o in &report.outcomes {
+        assert_eq!(o.closed_decisions, Some(o.latencies_s.len() as u64));
+    }
+
+    // Server-side books balance: every session closed, nothing leaked.
+    // Retransmitted Decides after a retry may be answered from the dedup
+    // cache, so the served count can exceed the fleet's unique decisions.
+    assert!(stats.decisions >= report.decisions());
+    assert_eq!(stats.open_sessions, 0);
+    assert_eq!(stats.sessions_opened + stats.degraded_opens as u64, 36);
+    assert_eq!(stats.sessions_closed, 36);
+    assert_eq!(stats.degraded_opens, 0);
+    // Resets/truncations drop connections mid-session; the orphan grace
+    // window means those sessions were resumed, not aborted.
+    assert_eq!(stats.sessions_aborted, 0, "an orphaned session was lost");
+    assert_eq!(cs.resumes, stats.sessions_resumed);
+}
+
+#[test]
+fn chaos_is_deterministic_run_to_run() {
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        let bound = Server::bind("127.0.0.1:0", chaos_server_config(), dataset_provider()).unwrap();
+        let addr = bound.addr();
+        let server = thread::spawn(move || bound.serve());
+        let config = LoadgenConfig {
+            sessions: 12,
+            connections: 3,
+            seed: 7,
+            schemes: vec!["cava".into(), "bola".into(), "rba".into()],
+            hold: true,
+            parity: false,
+            faults: Some(FaultConfig {
+                seed: 5,
+                period: 4,
+                stall_ms: 1,
+                ..FaultConfig::default()
+            }),
+            ..LoadgenConfig::default()
+        };
+        let provider = dataset_provider();
+        let now = tick_clock();
+        let report = loadgen::run(addr, &config, &provider, &now).unwrap();
+        loadgen::shutdown_server(addr).unwrap();
+        server.join().unwrap();
+        assert_eq!(report.errors(), vec![]);
+        reports.push(report);
+    }
+    let (a, b) = (&reports[0], &reports[1]);
+    // Same seeds, same fault schedule, same decisions — run after run.
+    assert_eq!(a.client_stats.stalls, b.client_stats.stalls);
+    assert_eq!(
+        a.client_stats.truncated_writes,
+        b.client_stats.truncated_writes
+    );
+    assert_eq!(a.client_stats.resets, b.client_stats.resets);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa.plan, ob.plan);
+        assert_eq!(
+            oa.result, ob.result,
+            "session {} diverged across identical chaos runs",
+            oa.plan.session_id
+        );
+    }
+}

@@ -25,7 +25,9 @@ fn server_config(threads: usize) -> ServerConfig {
         store: StoreConfig {
             capacity: 4096,
             idle_ticks: u64::MAX,
+            ..StoreConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 

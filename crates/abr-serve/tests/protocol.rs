@@ -5,8 +5,8 @@
 #![allow(clippy::unwrap_used, clippy::float_cmp)]
 
 use abr_serve::protocol::{
-    decode_frame, encode_frame, read_frame, write_frame, ErrorCode, Frame, StatsSnapshot,
-    WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode_frame, encode_frame, read_frame, read_frame_budgeted, write_frame, ErrorCode, Frame,
+    StatsSnapshot, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use abr_sim::{DecisionRequest, DecisionResponse};
 use std::io::Cursor;
@@ -86,7 +86,19 @@ fn every_frame() -> Vec<Frame> {
             frames_in: 11,
             frames_out: 12,
             protocol_errors: 13,
+            connections_reaped: 14,
+            sessions_orphaned: 15,
+            sessions_resumed: 16,
+            sockopt_errors: 17,
         }),
+        Frame::ResumeSession { session_id: 9 },
+        Frame::ResumeOk {
+            session_id: 9,
+            degraded: false,
+            decisions: 21,
+            n_tracks: 5,
+            n_chunks: 633,
+        },
         Frame::Error {
             code: ErrorCode::UnknownVideo,
             message: "unknown video \"x\"".to_string(),
@@ -103,7 +115,7 @@ fn every_frame() -> Vec<Frame> {
 #[test]
 fn every_frame_round_trips() {
     for frame in every_frame() {
-        let wire = encode_frame(&frame);
+        let wire = encode_frame(&frame).unwrap();
         let body = &wire[4..];
         assert_eq!(
             decode_frame(body).unwrap(),
@@ -133,7 +145,7 @@ fn floats_survive_bit_exactly() {
                 ..sample_request()
             },
         };
-        let wire = encode_frame(&frame);
+        let wire = encode_frame(&frame).unwrap();
         let Frame::Decide { request, .. } = decode_frame(&wire[4..]).unwrap() else {
             panic!("wrong frame type back");
         };
@@ -161,7 +173,7 @@ fn clean_eof_is_closed_partial_is_truncated() {
         read_frame(&mut Cursor::new(Vec::<u8>::new())),
         Err(WireError::Closed)
     );
-    let wire = encode_frame(&Frame::StatsReq);
+    let wire = encode_frame(&Frame::StatsReq).unwrap();
     // Every strict prefix of a frame is a truncation, wherever it is cut.
     for cut in 1..wire.len() {
         let err = read_frame(&mut Cursor::new(wire[..cut].to_vec())).unwrap_err();
@@ -172,7 +184,7 @@ fn clean_eof_is_closed_partial_is_truncated() {
 #[test]
 fn every_truncation_of_every_frame_is_rejected() {
     for frame in every_frame() {
-        let wire = encode_frame(&frame);
+        let wire = encode_frame(&frame).unwrap();
         for cut in 1..wire.len() {
             let result = read_frame(&mut Cursor::new(wire[..cut].to_vec()));
             assert!(
@@ -198,10 +210,10 @@ fn oversized_and_zero_length_prefixes_are_rejected_before_allocation() {
 
 #[test]
 fn unknown_frame_types_and_trailing_bytes_are_typed_errors() {
-    for ty in [0x00u8, 0x0E, 0x7F, 0xFF] {
+    for ty in [0x00u8, 0x10, 0x7F, 0xFF] {
         assert_eq!(decode_frame(&[ty]), Err(WireError::UnknownFrameType(ty)));
     }
-    let mut body = encode_frame(&Frame::Shutdown)[4..].to_vec();
+    let mut body = encode_frame(&Frame::Shutdown).unwrap()[4..].to_vec();
     body.extend_from_slice(&[1, 2, 3]);
     assert_eq!(decode_frame(&body), Err(WireError::Trailing { extra: 3 }));
     assert_eq!(
@@ -218,7 +230,8 @@ fn bad_tags_and_bad_utf8_are_rejected() {
         degraded: false,
         n_tracks: 3,
         n_chunks: 10,
-    })[4..]
+    })
+    .unwrap()[4..]
         .to_vec();
     body[9] = 2; // the `degraded` byte (type + u64 session id precede it)
     assert!(matches!(decode_frame(&body), Err(WireError::BadPayload(_))));
@@ -271,7 +284,7 @@ fn fuzzed_bodies_never_panic() {
 fn fuzzed_mutations_of_valid_frames_never_panic_and_reencode_identically() {
     let mut rng = Lcg(0xBEEF);
     for frame in every_frame() {
-        let wire = encode_frame(&frame);
+        let wire = encode_frame(&frame).unwrap();
         for _ in 0..500 {
             let mut mutated = wire.clone();
             let at = (rng.next() as usize) % mutated.len();
@@ -279,9 +292,153 @@ fn fuzzed_mutations_of_valid_frames_never_panic_and_reencode_identically() {
             if let Ok(decoded) = read_frame(&mut Cursor::new(mutated)) {
                 // Whatever decodes must re-encode to a decodable frame —
                 // the codec is internally consistent even on mutants.
-                let rewire = encode_frame(&decoded);
+                let rewire = encode_frame(&decoded).unwrap();
                 assert_eq!(decode_frame(&rewire[4..]).unwrap(), decoded);
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Encode-side length guard (regression: the old encoder cast body.len()
+// straight to u32, so an over-long body shipped a wrapped/oversized prefix
+// the peer would choke on instead of failing at the source).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_bodies_are_rejected_at_encode_time() {
+    // type byte + u16 code + u16 string length + 65535 bytes of message =
+    // 65540 body bytes, just past MAX_FRAME_LEN (64 KiB).
+    let frame = Frame::Error {
+        code: ErrorCode::BadFrame,
+        message: "x".repeat(u16::MAX as usize),
+    };
+    assert_eq!(
+        encode_frame(&frame),
+        Err(WireError::TooLong { len: 65_540 }),
+        "encode must reject what decode would refuse"
+    );
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &frame),
+        Err(WireError::TooLong { .. })
+    ));
+    assert!(
+        sink.is_empty(),
+        "no bytes may hit the wire for a rejected frame"
+    );
+
+    // Symmetry: the biggest encodable Error frame still round-trips.
+    let frame = Frame::Error {
+        code: ErrorCode::BadFrame,
+        message: "x".repeat(u16::MAX as usize - 4),
+    };
+    let wire = encode_frame(&frame).unwrap();
+    assert_eq!(decode_frame(&wire[4..]).unwrap(), frame);
+}
+
+// ---------------------------------------------------------------------------
+// Partial-frame delivery: slow peers against the budgeted reader.
+// ---------------------------------------------------------------------------
+
+/// A reader that trickles its bytes out in tiny chunks with a fixed number
+/// of poll timeouts (`WouldBlock`) between them — a slow client as seen
+/// through a socket armed with a kernel read timeout.
+struct Trickle {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    stalls_between: usize,
+    pending_stalls: usize,
+}
+
+impl Trickle {
+    fn new(data: Vec<u8>, chunk: usize, stalls_between: usize) -> Trickle {
+        Trickle {
+            data,
+            pos: 0,
+            chunk,
+            stalls_between,
+            pending_stalls: 0,
+        }
+    }
+}
+
+impl std::io::Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending_stalls > 0 {
+            self.pending_stalls -= 1;
+            return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+        }
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        self.pending_stalls = self.stalls_between;
+        Ok(n)
+    }
+}
+
+#[test]
+fn trickled_frame_with_stalls_decodes_exactly_one_frame() {
+    let frame = Frame::Decide {
+        session_id: 7,
+        request: sample_request(),
+    };
+    let wire = encode_frame(&frame).unwrap();
+    // One byte per read, three empty polls between bytes: dozens of
+    // partial deliveries, but byte progress keeps refilling the budget, so
+    // a budget of 4 idle slots suffices for the whole frame.
+    let mut slow = Trickle::new(wire, 1, 3);
+    assert_eq!(read_frame_budgeted(&mut slow, 4).unwrap(), frame);
+    // No spurious second frame, no leftover error: the stream now ends.
+    assert_eq!(read_frame_budgeted(&mut slow, 4), Err(WireError::Closed));
+}
+
+#[test]
+fn mid_body_eof_is_truncation_not_a_hang() {
+    let wire = encode_frame(&Frame::Decide {
+        session_id: 7,
+        request: sample_request(),
+    })
+    .unwrap();
+    // Cut the stream in the middle of the body (after the prefix).
+    let cut = wire[..wire.len() / 2].to_vec();
+    let mut slow = Trickle::new(cut, 1, 2);
+    assert_eq!(read_frame_budgeted(&mut slow, 8), Err(WireError::Truncated));
+}
+
+#[test]
+fn a_silent_peer_exhausts_the_idle_budget() {
+    /// Delivers a fixed prefix, then times out on every poll forever.
+    struct Stalled {
+        head: Vec<u8>,
+        pos: usize,
+    }
+    impl std::io::Read for Stalled {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.head.len() {
+                let n = (self.head.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.head[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+        }
+    }
+    // Silent from the very first byte.
+    let mut mute = Stalled {
+        head: Vec::new(),
+        pos: 0,
+    };
+    assert_eq!(read_frame_budgeted(&mut mute, 5), Err(WireError::TimedOut));
+    // Silent after half a frame — the classic slow-loris shape.
+    let wire = encode_frame(&Frame::StatsReq).unwrap();
+    let mut loris = Stalled {
+        head: wire[..wire.len() - 1].to_vec(),
+        pos: 0,
+    };
+    assert_eq!(read_frame_budgeted(&mut loris, 5), Err(WireError::TimedOut));
 }

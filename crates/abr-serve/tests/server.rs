@@ -34,7 +34,11 @@ fn small_config() -> ServerConfig {
         store: StoreConfig {
             capacity: 16,
             idle_ticks: 1_000_000,
+            // Legacy semantics for the disconnect tests below: a dropped
+            // connection reaps its sessions immediately, no orphan grace.
+            orphan_grace_ticks: 0,
         },
+        ..ServerConfig::default()
     }
 }
 
@@ -322,4 +326,154 @@ fn shutdown_is_acknowledged_and_joins_cleanly() {
     let stats = server.handle.join().unwrap();
     assert_eq!(stats.open_sessions, 0);
     assert!(stats.frames_in >= 2);
+}
+
+#[test]
+fn a_stalled_client_is_reaped_while_others_progress() {
+    let mut config = small_config();
+    config.read_deadline_ms = 150;
+    config.poll_ms = 10;
+    let server = spawn(config);
+
+    // Client A completes the handshake, then wedges mid-frame: it ships a
+    // bare length prefix and never sends the body (slow-loris shape).
+    let mut stalled = Client::connect_and_hello(server.addr);
+    stalled.stream.write_all(&8u32.to_le_bytes()).unwrap();
+    stalled.stream.flush().unwrap();
+
+    // Client B, on the same worker pool, runs a full lifecycle while A is
+    // wedged — a stalled peer must not block other connections.
+    let mut live = Client::connect_and_hello(server.addr);
+    let Frame::OpenOk { n_chunks, .. } = live.open(1, "ED-youtube-h264", "cava") else {
+        panic!("live client blocked by the stalled one");
+    };
+    let reply = live.call(&Frame::Decide {
+        session_id: 1,
+        request: first_request(n_chunks as usize),
+    });
+    assert!(matches!(reply, Frame::Decision { session_id: 1, .. }));
+    assert_eq!(
+        live.call(&Frame::CloseSession { session_id: 1 }),
+        Frame::Closed {
+            session_id: 1,
+            decisions: 1
+        }
+    );
+
+    // Within the configured deadline the server reaps A: a courtesy
+    // timeout notice arrives, then the socket closes. This read blocks at
+    // most ~read_deadline_ms; a hang here means the reaper is broken.
+    let reply = read_frame(&mut stalled.stream);
+    assert!(
+        matches!(
+            reply,
+            Ok(Frame::Error {
+                code: ErrorCode::Timeout,
+                ..
+            })
+        ),
+        "expected a timeout notice, got {reply:?}"
+    );
+    assert!(read_frame(&mut stalled.stream).is_err());
+
+    drop(live);
+    drop(stalled);
+    let stats = server.stop();
+    assert!(
+        stats.connections_reaped >= 1,
+        "reaped {} connections",
+        stats.connections_reaped
+    );
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.open_sessions, 0);
+}
+
+#[test]
+fn an_orphaned_session_survives_reconnect_and_resumes() {
+    let mut config = small_config();
+    config.store.orphan_grace_ticks = 1_000_000;
+    let server = spawn(config);
+
+    let n_chunks;
+    {
+        let mut c = Client::connect_and_hello(server.addr);
+        let Frame::OpenOk { n_chunks: n, .. } = c.open(5, "ED-youtube-h264", "cava") else {
+            panic!("open failed");
+        };
+        n_chunks = n;
+        let reply = c.call(&Frame::Decide {
+            session_id: 5,
+            request: first_request(n_chunks as usize),
+        });
+        assert!(matches!(reply, Frame::Decision { session_id: 5, .. }));
+        // Vanish without closing: under a grace window the session is
+        // orphaned, not reaped.
+    }
+    let mut stats = loadgen::fetch_stats(server.addr).unwrap();
+    for _ in 0..200 {
+        if stats.sessions_orphaned == 1 {
+            break;
+        }
+        thread::sleep(std::time::Duration::from_millis(2));
+        stats = loadgen::fetch_stats(server.addr).unwrap();
+    }
+    assert_eq!(stats.sessions_orphaned, 1);
+    assert_eq!(stats.sessions_aborted, 0);
+    assert_eq!(stats.open_sessions, 1);
+
+    // A fresh connection adopts the orphan with its state intact...
+    let mut c = Client::connect_and_hello(server.addr);
+    let reply = c.call(&Frame::ResumeSession { session_id: 5 });
+    let Frame::ResumeOk {
+        session_id: 5,
+        degraded,
+        decisions,
+        n_chunks: resumed_chunks,
+        ..
+    } = reply
+    else {
+        panic!("resume failed: {reply:?}");
+    };
+    assert!(!degraded);
+    assert_eq!(decisions, 1);
+    assert_eq!(resumed_chunks, n_chunks);
+
+    // ...while resuming a session that never existed stays a clean error.
+    let reply = c.call(&Frame::ResumeSession { session_id: 99 });
+    assert!(matches!(
+        reply,
+        Frame::Error {
+            code: ErrorCode::UnknownSession,
+            ..
+        }
+    ));
+
+    // The adopted session keeps serving from where it left off.
+    let reply = c.call(&Frame::Decide {
+        session_id: 5,
+        request: DecisionRequest {
+            chunk_index: 1,
+            buffer_s: 4.0,
+            estimated_bandwidth_bps: Some(3.0e6),
+            last_level: Some(0),
+            latest_throughput_bps: Some(3.0e6),
+            wall_time_s: 4.0,
+            startup_complete: true,
+            visible_chunks: n_chunks as usize,
+        },
+    });
+    assert!(matches!(reply, Frame::Decision { session_id: 5, .. }));
+    assert_eq!(
+        c.call(&Frame::CloseSession { session_id: 5 }),
+        Frame::Closed {
+            session_id: 5,
+            decisions: 2
+        }
+    );
+    drop(c);
+    let stats = server.stop();
+    assert_eq!(stats.sessions_resumed, 1);
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.sessions_aborted, 0);
+    assert_eq!(stats.open_sessions, 0);
 }

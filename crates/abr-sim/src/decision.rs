@@ -63,6 +63,33 @@ impl DecisionRequest {
         }
     }
 
+    /// Whether `self` is a bit-for-bit retransmission of `prev`.
+    ///
+    /// This is the client-resume contract: when a connection dies mid
+    /// round-trip, the client cannot know whether the server applied the
+    /// decision before the line dropped, so after reconnecting it resends
+    /// the *identical* request. A session owner that remembers its last
+    /// applied request can detect the replay with this predicate and
+    /// answer from cache instead of advancing algorithm state twice —
+    /// exactly-once application over an at-least-once transport.
+    ///
+    /// Distinct consecutive decisions can never collide here: the player
+    /// issues exactly one request per chunk, so a genuine new request
+    /// always differs at least in [`DecisionRequest::chunk_index`]. Floats
+    /// are compared by bit pattern (the wire ships IEEE-754 bits), so even
+    /// NaN payloads retransmit detectably.
+    pub fn is_retransmit_of(&self, prev: &DecisionRequest) -> bool {
+        let opt_bits = |v: Option<f64>| v.map(f64::to_bits);
+        self.chunk_index == prev.chunk_index
+            && self.buffer_s.to_bits() == prev.buffer_s.to_bits()
+            && opt_bits(self.estimated_bandwidth_bps) == opt_bits(prev.estimated_bandwidth_bps)
+            && self.last_level == prev.last_level
+            && opt_bits(self.latest_throughput_bps) == opt_bits(prev.latest_throughput_bps)
+            && self.wall_time_s.to_bits() == prev.wall_time_s.to_bits()
+            && self.startup_complete == prev.startup_complete
+            && self.visible_chunks == prev.visible_chunks
+    }
+
     /// Materialize the [`DecisionContext`] this request describes, given the
     /// session's manifest and its accumulated throughput history (which must
     /// already include [`DecisionRequest::latest_throughput_bps`]).
@@ -153,6 +180,40 @@ mod tests {
         let req = DecisionRequest::from_context(&ctx);
         assert_eq!(req.latest_throughput_bps, None);
         assert_eq!(req.last_level, None);
+    }
+
+    #[test]
+    fn retransmit_detection_is_exact() {
+        let req = DecisionRequest {
+            chunk_index: 5,
+            buffer_s: 12.0,
+            estimated_bandwidth_bps: Some(2.5e6),
+            last_level: Some(1),
+            latest_throughput_bps: Some(2.25e6),
+            wall_time_s: 30.5,
+            startup_complete: true,
+            visible_chunks: 120,
+        };
+        assert!(req.is_retransmit_of(&req.clone()));
+        // Any field drift means it is a new decision, not a replay.
+        let next = DecisionRequest {
+            chunk_index: 6,
+            ..req
+        };
+        assert!(!next.is_retransmit_of(&req));
+        let drifted = DecisionRequest {
+            buffer_s: 12.0 + f64::EPSILON * 16.0,
+            ..req
+        };
+        assert!(!drifted.is_retransmit_of(&req));
+        // NaN payloads still compare as retransmissions (bit compare, not
+        // float compare).
+        let nan = DecisionRequest {
+            estimated_bandwidth_bps: Some(f64::NAN),
+            ..req
+        };
+        assert!(nan.is_retransmit_of(&nan.clone()));
+        assert!(!nan.is_retransmit_of(&req));
     }
 
     #[test]

@@ -176,6 +176,31 @@ pub fn video_with(name: &str, build: impl FnOnce() -> Video) -> Arc<PreparedVide
     }
 }
 
+/// A [`VideoProvider`](abr_serve::store::VideoProvider) backed by the
+/// process-wide video cache, so serving-layer experiments (soak, chaos)
+/// share synthesized videos with every other experiment in the run instead
+/// of building their own copies.
+pub fn serve_provider() -> abr_serve::store::VideoProvider {
+    let handles: Mutex<BTreeMap<String, abr_serve::store::VideoHandle>> =
+        Mutex::new(BTreeMap::new());
+    Arc::new(move |name: &str| {
+        if !abr_serve::scheme::is_known_video(name) {
+            return None;
+        }
+        let mut map = handles.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(name) {
+            return Some(hit.clone());
+        }
+        let prepared = video(name);
+        let handle = abr_serve::store::VideoHandle {
+            video: Arc::new(prepared.video.clone()),
+            manifest: Arc::new(prepared.manifest.clone()),
+        };
+        map.insert(name.to_string(), handle.clone());
+        Some(handle)
+    })
+}
+
 /// The trace corpus for `set` at the current [`harness::trace_count`],
 /// cached. Repeated calls return the same `Arc`.
 pub fn traces(set: TraceSet) -> Arc<Vec<Trace>> {

@@ -1,24 +1,25 @@
-//! Serving-layer soak (extension) — throughput and latency of the
-//! `abr-serve` decision service under a held fleet.
+//! Serving-layer chaos soak (extension) — decision correctness of the
+//! `abr-serve` service under deterministic fault injection.
 //!
-//! Boots an in-process TCP server (worker pool ≥ 4 threads), then drives
-//! [`SOAK_SESSIONS`] simulated players at it in **hold** mode: every
-//! session opens before any decision is made, so the store really holds
-//! the whole fleet concurrently. Parity checking stays on — each served
-//! session is replayed in-process and must compare equal — so the numbers
-//! below are for *provably correct* service, not a fast-but-wrong path.
+//! Boots a deadline-armed in-process TCP server, then drives a held fleet
+//! at it with the loadgen's seeded fault plan switched on: every few frame
+//! sends a connection draws a mid-frame stall, a truncated write, or a
+//! hard connection reset, and must recover via retry, reconnect, and
+//! session resume. Parity checking stays on — each served session is
+//! replayed in-process and must compare equal — so the run proves the
+//! lifecycle hardening (deadlines, reaper, orphan grace, retransmit
+//! dedup) preserves byte-exact decisions, not just liveness.
 //!
-//! Emits `BENCH_serve.json` at the repo top level (sessions/sec,
-//! decisions/sec, p50/p99 service latency from the journal's [`Stopwatch`]
-//! authority) so the serving-layer perf trajectory is tracked from this
-//! revision on, plus `results/exp_serve_soak.csv` with per-scheme rows.
+//! Emits `BENCH_serve_chaos.json` at the repo top level (fault/recovery
+//! counters plus p50/p99 service latency measured *through* the chaos)
+//! and `results/exp_serve_chaos.csv` with per-scheme rows.
 
 use crate::engine;
 use crate::experiments::banner;
 use crate::harness::TraceSet;
 use crate::journal::{self, Stopwatch};
 use crate::results_dir;
-use abr_serve::loadgen::{self, LoadgenConfig};
+use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
 use abr_serve::server::threads_from_env;
 use abr_serve::store::StoreConfig;
 use abr_serve::{Server, ServerConfig};
@@ -30,28 +31,48 @@ use std::collections::BTreeMap;
 use std::io;
 use std::thread;
 
-/// Concurrent sessions the soak must sustain (acceptance floor: 200).
-pub const SOAK_SESSIONS: usize = 200;
+/// Sessions the chaos fleet holds concurrently.
+pub const CHAOS_SESSIONS: usize = 120;
 
-/// The summary document written to `BENCH_serve.json`.
+/// Inject one fault every this many frame sends per connection.
+pub const FAULT_PERIOD: u64 = 5;
+
+/// The summary document written to `BENCH_serve_chaos.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ServeBench {
+pub struct ChaosBench {
     /// Sessions driven (all held concurrently).
     pub sessions: usize,
     /// Client connections carrying the fleet.
     pub connections: usize,
     /// Server worker threads.
     pub server_threads: usize,
-    /// Total decisions served.
+    /// Total unique decisions the fleet obtained.
     pub decisions: u64,
-    /// Fleet wall time in seconds (open → close of every session).
+    /// Fleet wall time in seconds.
     pub wall_time_s: f64,
-    /// Sessions completed per second of wall time.
-    pub sessions_per_s: f64,
-    /// Decisions served per second of wall time.
-    pub decisions_per_s: f64,
-    /// Median per-decision service latency (request out → decision in),
-    /// milliseconds.
+    /// Faults injected in total (stalls + truncations + resets).
+    pub faults_injected: u64,
+    /// Mid-frame stalls injected.
+    pub stalls: u64,
+    /// Truncated writes injected (connection then torn down).
+    pub truncated_writes: u64,
+    /// Hard connection resets injected.
+    pub resets: u64,
+    /// Times a client redialed after losing its connection.
+    pub reconnects: u64,
+    /// Sessions re-adopted via `ResumeSession` after a reconnect.
+    pub resumes: u64,
+    /// Operations that needed at least one retry.
+    pub retries: u64,
+    /// Connections the server reaped for blowing a deadline.
+    pub connections_reaped: u64,
+    /// Server-side count of successful resumes (must equal `resumes`).
+    pub sessions_resumed: u64,
+    /// Sessions the server lost outright (must be 0: orphan grace covers
+    /// every injected disconnect).
+    pub sessions_aborted: u64,
+    /// Median per-decision service latency, milliseconds, measured through
+    /// the chaos (stall/backoff sleeps land in the tail).
     pub latency_p50_ms: f64,
     /// 99th-percentile service latency, milliseconds.
     pub latency_p99_ms: f64,
@@ -60,50 +81,57 @@ pub struct ServeBench {
     /// Sessions whose remote decisions diverged from the replay (must
     /// be 0).
     pub parity_mismatches: usize,
-    /// Sessions admitted in degraded (stateless RBA) mode (0 here — the
-    /// store is sized for the fleet).
+    /// Sessions admitted in degraded (stateless RBA) mode (0 here).
     pub degraded_sessions: usize,
-    /// Server-side peak concurrent sessions (must equal `sessions`).
-    pub peak_sessions: u64,
-    /// Server-side wire-level errors (must be 0).
-    pub protocol_errors: u64,
 }
 
 /// Run this experiment (registry entry point).
 pub fn run() -> io::Result<()> {
-    banner("serve_soak", "abr-serve soak: held fleet with parity on");
+    banner(
+        "serve_chaos",
+        "abr-serve chaos soak: faults injected, parity must hold",
+    );
     let threads = threads_from_env().max(4);
-    let connections = threads.min(8);
+    let connections = threads.min(6);
     let server_config = ServerConfig {
         threads,
         queue_depth: 64,
+        // Deadlines armed for real: injected stalls (~20 ms) sit far below
+        // the read deadline, so reaps only fire on genuinely wedged peers.
+        read_deadline_ms: 3_000,
+        write_deadline_ms: 3_000,
+        poll_ms: 10,
         store: StoreConfig {
-            // Sized for the fleet: the soak measures full-service
-            // throughput, not the degraded path.
-            capacity: SOAK_SESSIONS.max(StoreConfig::default().capacity),
+            capacity: CHAOS_SESSIONS.max(StoreConfig::default().capacity),
             idle_ticks: u64::MAX,
-            ..StoreConfig::default()
+            // Every injected disconnect must be resumable.
+            orphan_grace_ticks: u64::MAX,
         },
-        ..ServerConfig::default()
     };
     let bound = Server::bind("127.0.0.1:0", server_config, engine::serve_provider())?;
     let addr = bound.addr();
     let server = thread::spawn(move || bound.serve());
 
     let config = LoadgenConfig {
-        sessions: SOAK_SESSIONS,
+        sessions: CHAOS_SESSIONS,
         connections,
         seed: 42,
         schemes: vec!["cava".into(), "bola".into(), "rba".into()],
         hold: true,
         parity: true,
+        faults: Some(FaultConfig {
+            seed: 1337,
+            period: FAULT_PERIOD,
+            stall_ms: 20,
+            ..FaultConfig::default()
+        }),
         ..LoadgenConfig::default()
     };
     let provider = engine::serve_provider();
     let watch = Stopwatch::start();
     let now = move || watch.seconds();
     eprintln!(
-        "soaking {addr} with {SOAK_SESSIONS} held sessions over {connections} connections..."
+        "soaking {addr} with {CHAOS_SESSIONS} held sessions, one fault per {FAULT_PERIOD} sends..."
     );
     let report = loadgen::run(addr, &config, &provider, &now).map_err(io::Error::other)?;
     loadgen::shutdown_server(addr).map_err(io::Error::other)?;
@@ -114,28 +142,39 @@ pub fn run() -> io::Result<()> {
     let errors = report.errors();
     if let Some((id, error)) = errors.first() {
         return Err(io::Error::other(format!(
-            "{} soak sessions errored; first: session {id}: {error}",
+            "{} chaos sessions errored; first: session {id}: {error}",
             errors.len()
         )));
     }
     let mismatches = report.parity_mismatches();
     if !mismatches.is_empty() {
         return Err(io::Error::other(format!(
-            "decision parity broken for {} sessions",
+            "decision parity broken under faults for {} sessions",
             mismatches.len()
         )));
     }
+    let cs = report.client_stats;
+    if cs.faults_injected() == 0 {
+        return Err(io::Error::other("chaos soak injected no faults"));
+    }
 
-    let wall = report.wall_time_s.max(f64::MIN_POSITIVE);
     let latencies = report.latencies();
-    let bench = ServeBench {
+    let bench = ChaosBench {
         sessions: report.outcomes.len(),
         connections,
         server_threads: threads,
         decisions: report.decisions(),
         wall_time_s: report.wall_time_s,
-        sessions_per_s: report.outcomes.len() as f64 / wall,
-        decisions_per_s: report.decisions() as f64 / wall,
+        faults_injected: cs.faults_injected(),
+        stalls: cs.stalls,
+        truncated_writes: cs.truncated_writes,
+        resets: cs.resets,
+        reconnects: cs.reconnects,
+        resumes: cs.resumes,
+        retries: cs.retries,
+        connections_reaped: stats.connections_reaped,
+        sessions_resumed: stats.sessions_resumed,
+        sessions_aborted: stats.sessions_aborted,
         latency_p50_ms: percentile(&latencies, 50.0).unwrap_or(0.0) * 1e3,
         latency_p99_ms: percentile(&latencies, 99.0).unwrap_or(0.0) * 1e3,
         parity_checked: report
@@ -145,12 +184,10 @@ pub fn run() -> io::Result<()> {
             .count(),
         parity_mismatches: mismatches.len(),
         degraded_sessions: report.degraded_sessions(),
-        peak_sessions: stats.peak_sessions,
-        protocol_errors: stats.protocol_errors,
     };
 
-    // Per-scheme breakdown: service latency plus the QoE the served fleet
-    // actually delivered (journaled like every other experiment).
+    // Per-scheme breakdown, journaled like every other experiment: the QoE
+    // a faulted-but-recovered fleet delivers must match the clean soak.
     let qoe = TraceSet::Lte.qoe_config();
     let mut by_scheme: BTreeMap<(String, String), Vec<&loadgen::SessionOutcome>> = BTreeMap::new();
     for outcome in &report.outcomes {
@@ -159,7 +196,7 @@ pub fn run() -> io::Result<()> {
             .or_default()
             .push(outcome);
     }
-    let path = results_dir().join("exp_serve_soak.csv");
+    let path = results_dir().join("exp_serve_chaos.csv");
     let mut csv = CsvWriter::create(
         &path,
         &[
@@ -228,23 +265,29 @@ pub fn run() -> io::Result<()> {
     csv.flush()?;
     print!("{table}");
 
-    let bench_path = std::path::PathBuf::from("BENCH_serve.json");
+    let bench_path = std::path::PathBuf::from("BENCH_serve_chaos.json");
     let json = serde_json::to_string_pretty(&bench).map_err(io::Error::other)?;
     std::fs::write(&bench_path, json)?;
     println!(
-        "{} sessions held concurrently (peak {}), {} decisions in {:.2}s",
-        bench.sessions, bench.peak_sessions, bench.decisions, bench.wall_time_s
+        "{} faults survived ({} stalls, {} truncated writes, {} resets)",
+        bench.faults_injected, bench.stalls, bench.truncated_writes, bench.resets
     );
     println!(
-        "{:.1} sessions/s, {:.0} decisions/s, latency p50 {:.3} ms / p99 {:.3} ms",
-        bench.sessions_per_s, bench.decisions_per_s, bench.latency_p50_ms, bench.latency_p99_ms
+        "{} retries, {} reconnects, {} resumes ({} server-side), {} reaped, {} aborted",
+        bench.retries,
+        bench.reconnects,
+        bench.resumes,
+        bench.sessions_resumed,
+        bench.connections_reaped,
+        bench.sessions_aborted
     );
     println!(
-        "parity: {} checked, {} mismatches; {} degraded; {} protocol errors",
-        bench.parity_checked,
-        bench.parity_mismatches,
-        bench.degraded_sessions,
-        bench.protocol_errors
+        "{} decisions in {:.2}s; latency p50 {:.3} ms / p99 {:.3} ms",
+        bench.decisions, bench.wall_time_s, bench.latency_p50_ms, bench.latency_p99_ms
+    );
+    println!(
+        "parity: {} checked, {} mismatches; {} degraded sessions",
+        bench.parity_checked, bench.parity_mismatches, bench.degraded_sessions
     );
     println!("wrote {}", path.display());
     println!("wrote {}", bench_path.display());
@@ -254,47 +297,42 @@ pub fn run() -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn bench_document_round_trips_through_json() {
-        let bench = ServeBench {
-            sessions: 200,
-            connections: 8,
+        let bench = ChaosBench {
+            sessions: 120,
+            connections: 6,
             server_threads: 8,
-            decisions: 24_000,
-            wall_time_s: 3.5,
-            sessions_per_s: 57.1,
-            decisions_per_s: 6857.1,
-            latency_p50_ms: 0.125,
-            latency_p99_ms: 1.25,
-            parity_checked: 200,
+            decisions: 14_400,
+            wall_time_s: 9.5,
+            faults_injected: 300,
+            stalls: 100,
+            truncated_writes: 100,
+            resets: 100,
+            reconnects: 200,
+            resumes: 180,
+            retries: 250,
+            connections_reaped: 0,
+            sessions_resumed: 180,
+            sessions_aborted: 0,
+            latency_p50_ms: 0.2,
+            latency_p99_ms: 25.0,
+            parity_checked: 120,
             parity_mismatches: 0,
             degraded_sessions: 0,
-            peak_sessions: 200,
-            protocol_errors: 0,
         };
         let json = serde_json::to_string_pretty(&bench).unwrap();
-        let back: ServeBench = serde_json::from_str(&json).unwrap();
+        let back: ChaosBench = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bench);
         for key in [
-            "\"sessions_per_s\"",
-            "\"decisions_per_s\"",
-            "\"latency_p50_ms\"",
-            "\"latency_p99_ms\"",
+            "\"faults_injected\"",
+            "\"reconnects\"",
+            "\"resumes\"",
+            "\"connections_reaped\"",
             "\"parity_mismatches\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
-    }
-
-    #[test]
-    fn engine_provider_rejects_unknown_and_memoizes() {
-        let provider = engine::serve_provider();
-        assert!(provider("no-such-video").is_none());
-        let a = provider("ED-youtube-h264").unwrap();
-        let b = provider("ED-youtube-h264").unwrap();
-        assert!(Arc::ptr_eq(&a.video, &b.video));
-        assert_eq!(a.manifest.n_chunks(), a.video.n_chunks());
     }
 }

@@ -14,6 +14,7 @@ pub mod exp_oracle;
 pub mod exp_outer_window;
 pub mod exp_per_title;
 pub mod exp_pia_vs_cava;
+pub mod exp_serve_chaos;
 pub mod exp_serve_soak;
 pub mod exp_switch_penalty;
 pub mod exp_vbr_vs_cbr;
@@ -172,6 +173,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "abr-serve soak: held fleet, decision parity, BENCH_serve.json (extension)",
             exp_serve_soak::run,
         ),
+        (
+            "serve_chaos",
+            "abr-serve chaos soak: fault injection, parity must hold, BENCH_serve_chaos.json (extension)",
+            exp_serve_chaos::run,
+        ),
     ]
 }
 
@@ -204,11 +210,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 28);
+        assert_eq!(reg.len(), 29);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 28);
+        assert_eq!(ids.len(), 29);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use abr_bench::journal::Stopwatch;
-use abr_serve::loadgen::{self, LoadgenConfig};
+use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
 use abr_serve::scheme::{build_scheme, load_video, SCHEME_NAMES};
 use abr_serve::store::{dataset_provider, StoreConfig};
 use abr_serve::{Server, ServerConfig};
@@ -456,18 +456,41 @@ pub fn trace_stats(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cava serve [--addr A] [--threads N] [--capacity N] [--queue N] [--port-file PATH]`
+/// `cava serve [--addr A] [--threads N] [--capacity N] [--queue N]
+/// [--read-deadline-ms MS] [--write-deadline-ms MS] [--poll-ms MS]
+/// [--port-file PATH]`
 ///
 /// Blocks until a client sends a `Shutdown` frame. Worker count defaults to
-/// the `ABR_SERVE_THREADS` environment variable (then 8).
+/// the `ABR_SERVE_THREADS` environment variable (then 8); the deadlines
+/// default to `ABR_SERVE_READ_DEADLINE_MS` / `ABR_SERVE_WRITE_DEADLINE_MS`
+/// / `ABR_SERVE_POLL_MS` (then 120000 / 30000 / 20). A deadline of 0
+/// disables it.
 pub fn serve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
-    args.ensure_known_flags(&["addr", "threads", "capacity", "queue", "port-file"])?;
+    args.ensure_known_flags(&[
+        "addr",
+        "threads",
+        "capacity",
+        "queue",
+        "read-deadline-ms",
+        "write-deadline-ms",
+        "poll-ms",
+        "port-file",
+    ])?;
     args.expect_positionals(0, "serve [--addr A] [--threads N] [--capacity N]")?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
     let threads: usize = args.flag_parsed("threads", abr_serve::server::threads_from_env())?;
     let capacity: usize = args.flag_parsed("capacity", StoreConfig::default().capacity)?;
     let queue_depth: usize = args.flag_parsed("queue", 64)?;
+    let read_deadline_ms: u64 = args.flag_parsed(
+        "read-deadline-ms",
+        abr_serve::server::read_deadline_from_env(),
+    )?;
+    let write_deadline_ms: u64 = args.flag_parsed(
+        "write-deadline-ms",
+        abr_serve::server::write_deadline_from_env(),
+    )?;
+    let poll_ms: u64 = args.flag_parsed("poll-ms", abr_serve::server::poll_ms_from_env())?;
     if threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
@@ -477,9 +500,15 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     if queue_depth == 0 {
         return Err("--queue must be at least 1".to_string());
     }
+    if poll_ms == 0 {
+        return Err("--poll-ms must be at least 1".to_string());
+    }
     let config = ServerConfig {
         threads,
         queue_depth,
+        read_deadline_ms,
+        write_deadline_ms,
+        poll_ms,
         store: StoreConfig {
             capacity,
             ..StoreConfig::default()
@@ -500,14 +529,18 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     }
     let stats = bound.serve();
     println!(
-        "shutdown: {} connections, {} sessions ({} aborted, {} evicted, {} degraded), {} decisions, {} protocol errors",
+        "shutdown: {} connections ({} reaped), {} sessions ({} aborted, {} evicted, {} orphaned, {} resumed, {} degraded), {} decisions, {} protocol errors, {} sockopt errors",
         stats.connections,
+        stats.connections_reaped,
         stats.sessions_opened,
         stats.sessions_aborted,
         stats.sessions_evicted,
+        stats.sessions_orphaned,
+        stats.sessions_resumed,
         stats.degraded_opens,
         stats.decisions,
-        stats.protocol_errors
+        stats.protocol_errors,
+        stats.sockopt_errors
     );
     Ok(())
 }
@@ -522,9 +555,14 @@ fn csv_list(raw: &str) -> Vec<String> {
 
 /// `cava loadgen <addr> [--sessions N] [--connections C] [--seed S]
 /// [--videos csv] [--schemes csv] [--vmaf tv|phone] [--hold BOOL]
-/// [--parity BOOL] [--stop-server BOOL]`
+/// [--parity BOOL] [--faults BOOL] [--fault-period N] [--fault-stall-ms MS]
+/// [--fault-seed S] [--retries N] [--stop-server BOOL]`
 ///
-/// Exits nonzero on any session error or parity mismatch.
+/// With `--faults true` the fleet injects deterministic mid-frame stalls,
+/// truncated writes, and connection resets (every `--fault-period` sends,
+/// streamed from `--fault-seed`), recovering via retry + reconnect +
+/// session resume. Exits nonzero on any session error or parity mismatch —
+/// parity must hold even under faults.
 pub fn loadgen(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&[
@@ -536,6 +574,11 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         "vmaf",
         "hold",
         "parity",
+        "faults",
+        "fault-period",
+        "fault-stall-ms",
+        "fault-seed",
+        "retries",
         "stop-server",
     ])?;
     args.expect_positionals(1, "loadgen <addr>")?;
@@ -562,6 +605,21 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         },
         hold: args.flag_parsed("hold", defaults.hold)?,
         parity: args.flag_parsed("parity", defaults.parity)?,
+        faults: {
+            let fault_defaults = FaultConfig::default();
+            let enabled: bool = args.flag_parsed("faults", false)?;
+            let period: u64 = args.flag_parsed("fault-period", fault_defaults.period)?;
+            let stall_ms: u64 = args.flag_parsed("fault-stall-ms", fault_defaults.stall_ms)?;
+            let fault_seed: u64 = args.flag_parsed("fault-seed", fault_defaults.seed)?;
+            let max_retries: u32 = args.flag_parsed("retries", fault_defaults.max_retries)?;
+            enabled.then_some(FaultConfig {
+                seed: fault_seed,
+                period,
+                stall_ms,
+                max_retries,
+                ..fault_defaults
+            })
+        },
         player: defaults.player,
     };
     let stop_server: bool = args.flag_parsed("stop-server", false)?;
@@ -590,8 +648,26 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
     );
     if let Some(stats) = &report.server_stats {
         println!(
-            "server: peak {} concurrent sessions, {} decisions ({} degraded), {} protocol errors",
-            stats.peak_sessions, stats.decisions, stats.degraded_decisions, stats.protocol_errors
+            "server: peak {} concurrent sessions, {} decisions ({} degraded), {} protocol errors, {} reaped, {} resumed",
+            stats.peak_sessions,
+            stats.decisions,
+            stats.degraded_decisions,
+            stats.protocol_errors,
+            stats.connections_reaped,
+            stats.sessions_resumed
+        );
+    }
+    if config.faults.is_some() {
+        let cs = &report.client_stats;
+        println!(
+            "faults: {} injected ({} stalls, {} truncated writes, {} resets); {} retries, {} reconnects, {} resumes",
+            cs.faults_injected(),
+            cs.stalls,
+            cs.truncated_writes,
+            cs.resets,
+            cs.retries,
+            cs.reconnects,
+            cs.resumes
         );
     }
     println!(

@@ -264,6 +264,9 @@ fn serve_rejects_bad_flag_values() {
         vec!["serve", "--capacity", "0"],
         vec!["serve", "--queue", "0"],
         vec!["serve", "--threads", "four"],
+        vec!["serve", "--poll-ms", "0"],
+        vec!["serve", "--read-deadline-ms", "soon"],
+        vec!["serve", "--write-deadline-ms", "-1"],
         vec!["serve", "extra"],
     ] {
         let out = cava(&argv);
@@ -278,6 +281,9 @@ fn loadgen_rejects_bad_arguments() {
         vec!["loadgen", "not-an-addr"],
         vec!["loadgen", "127.0.0.1:1", "--vmaf", "cinema"],
         vec!["loadgen", "127.0.0.1:1", "--sessions", "many"],
+        vec!["loadgen", "127.0.0.1:1", "--faults", "maybe"],
+        vec!["loadgen", "127.0.0.1:1", "--retries", "many"],
+        vec!["loadgen", "127.0.0.1:1", "--fault-period", "-3"],
         vec!["loadgen", "127.0.0.1:1", "extra"],
     ] {
         let out = cava(&argv);
@@ -328,12 +334,19 @@ fn serve_and_loadgen_round_trip_over_loopback() {
         "3",
         "--schemes",
         "cava,bola,rba",
+        "--faults",
+        "true",
+        "--fault-period",
+        "6",
+        "--fault-stall-ms",
+        "2",
         "--stop-server",
         "true",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("12 sessions over 3 connections"), "{text}");
+    assert!(text.contains("faults:"), "{text}");
     assert!(text.contains("parity: 12 checked, 0 mismatches"), "{text}");
     assert!(text.contains("server stopped"), "{text}");
 

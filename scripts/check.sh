@@ -54,4 +54,31 @@ done
 wait "$SERVE_PID"
 rm -f "$PORT_FILE"
 
+echo "==> chaos smoke (deadlines armed, faults injected, parity on)"
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/cava serve --addr 127.0.0.1:0 --threads 4 \
+    --read-deadline-ms 3000 --write-deadline-ms 3000 --poll-ms 10 \
+    --port-file "$PORT_FILE" &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "serve never wrote its address" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.05
+done
+# Deterministic stalls, truncated writes, and connection resets; the
+# fleet must recover (retry + reconnect + resume) with parity intact.
+./target/release/cava loadgen "$(cat "$PORT_FILE")" \
+    --sessions 36 --connections 4 --schemes cava,bola,rba \
+    --hold true --parity true \
+    --faults true --fault-period 5 --fault-stall-ms 2 \
+    --stop-server true
+wait "$SERVE_PID"
+rm -f "$PORT_FILE"
+
 echo "all checks passed"
