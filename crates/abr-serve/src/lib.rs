@@ -26,6 +26,10 @@
 //! * [`loadgen`] — the deterministic fleet load generator: N simulated
 //!   players from `abr-sim` driven over real sockets with a seeded arrival
 //!   process, checking **decision parity** against same-seed in-process runs.
+//! * [`replay`] — deterministic record/replay: a versioned, length-prefixed
+//!   event log of every frame, store transition, and fault injection, plus a
+//!   [`replay::ReplayPlayer`] that re-executes recorded runs tick-for-tick
+//!   (`step_forward` / `seek_to_tick` / `diff`). Spec in `docs/REPLAY.md`.
 //!
 //! The crate reads no wall clock (it is in `abr-lint`'s simulation scope);
 //! latency measurement is injected by the caller as a monotonic
@@ -34,6 +38,7 @@
 
 pub mod loadgen;
 pub mod protocol;
+pub mod replay;
 pub mod scheme;
 pub mod server;
 pub mod store;
@@ -43,6 +48,10 @@ pub use loadgen::{
     SessionPlan,
 };
 pub use protocol::{Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
+pub use replay::{
+    decode_log, diff_logs, read_log, Event, EventLog, MemoryLog, Recorder, ReplayError,
+    ReplayPlayer, REPLAY_VERSION,
+};
 pub use server::{BoundServer, Server, ServerConfig};
 pub use store::{
     DropOutcome, ResumeOutcome, SessionStore, StoreConfig, StoreError, VideoHandle, VideoProvider,

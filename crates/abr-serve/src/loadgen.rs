@@ -38,6 +38,7 @@
 //! never reads it.
 
 use crate::protocol::{ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
+use crate::replay::{Event, Recorder};
 use crate::scheme;
 use crate::store::VideoProvider;
 use crate::{lock, protocol};
@@ -50,7 +51,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 use std::time::Duration;
 use vbr_video::quality::VmafModel;
@@ -469,10 +470,22 @@ struct Conn {
     /// Whether the last completed `call` needed more than one attempt.
     last_call_retried: bool,
     stats: ClientStats,
+    /// This connection's 0-based fleet index, stamped into recorded
+    /// fault-injection events.
+    index: u64,
+    /// Optional event recorder (see [`crate::replay`]): every fault drawn
+    /// by [`Conn::next_fault`] lands in the log as
+    /// [`Event::FaultInjected`].
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Conn {
-    fn new(addr: SocketAddr, index: usize, faults: Option<FaultConfig>) -> Conn {
+    fn new(
+        addr: SocketAddr,
+        index: usize,
+        faults: Option<FaultConfig>,
+        recorder: Option<Arc<Recorder>>,
+    ) -> Conn {
         let seed = faults.map_or(0, |f| f.seed);
         Conn {
             addr,
@@ -486,6 +499,8 @@ impl Conn {
             lost: BTreeSet::new(),
             last_call_retried: false,
             stats: ClientStats::default(),
+            index: index as u64,
+            recorder,
         }
     }
 
@@ -556,11 +571,23 @@ impl Conn {
         if !self.sends.is_multiple_of(f.period) {
             return None;
         }
-        Some(match self.rng.next() % 3 {
+        let kind = match self.rng.next() % 3 {
             0 => FaultKind::Stall,
             1 => FaultKind::Truncate,
             _ => FaultKind::Reset,
-        })
+        };
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&Event::FaultInjected {
+                conn_index: self.index,
+                kind: match kind {
+                    FaultKind::Stall => 0,
+                    FaultKind::Truncate => 1,
+                    FaultKind::Reset => 2,
+                },
+                send_seq: self.sends,
+            });
+        }
+        Some(kind)
     }
 
     /// One request/response attempt, injecting the scheduled fault when
@@ -834,13 +861,14 @@ fn drive_connection(
     provider: &VideoProvider,
     now: &(dyn Fn() -> f64 + Sync),
     barrier: &Barrier,
+    recorder: Option<Arc<Recorder>>,
 ) -> (Vec<SessionOutcome>, Option<LoadgenError>, ClientStats) {
     let mut outcomes: Vec<SessionOutcome> = plans
         .iter()
         .map(|p| SessionOutcome::new(p.clone()))
         .collect();
     let vmaf = scheme::vmaf_model_code(config.vmaf_model);
-    let mut conn = Conn::new(addr, index, config.faults);
+    let mut conn = Conn::new(addr, index, config.faults, recorder);
     let mut fatal = None;
     if let Err(e) = conn.connect_now() {
         for out in &mut outcomes {
@@ -907,6 +935,20 @@ pub fn run(
     provider: &VideoProvider,
     now: &(dyn Fn() -> f64 + Sync),
 ) -> Result<LoadgenReport, LoadgenError> {
+    run_recorded(addr, config, provider, now, None)
+}
+
+/// [`run`] with an event recorder attached: every fault the fleet injects
+/// is logged as an [`Event::FaultInjected`] (see [`crate::replay`]). Pass
+/// the same recorder the server was bound with to interleave client-side
+/// fault events with the server's own frame and store events.
+pub fn run_recorded(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    provider: &VideoProvider,
+    now: &(dyn Fn() -> f64 + Sync),
+    recorder: Option<Arc<Recorder>>,
+) -> Result<LoadgenReport, LoadgenError> {
     let plans = plan(config)?;
     let t0 = now();
     let n_threads = config.connections.min(plans.len()).max(1);
@@ -923,9 +965,10 @@ pub fn run(
             let collected = &collected;
             let fatal = &fatal;
             let client_stats = &client_stats;
+            let recorder = recorder.clone();
             scope.spawn(move || {
                 let (outcomes, err, stats) =
-                    drive_connection(addr, t, &my_plans, config, provider, now, barrier);
+                    drive_connection(addr, t, &my_plans, config, provider, now, barrier, recorder);
                 let mut slots = lock(collected);
                 for out in outcomes {
                     let idx = (out.plan.session_id - 1) as usize;

@@ -337,27 +337,27 @@ impl From<io::Error> for WireError {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, v: bool) {
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(u8::from(v));
 }
 
-fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+pub(crate) fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
     match v {
         None => out.push(0),
         Some(x) => {
@@ -367,7 +367,7 @@ fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
     }
 }
 
-fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
         None => out.push(0),
         Some(x) => {
@@ -377,14 +377,14 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
     put_u16(out, len);
     out.extend_from_slice(&bytes[..usize::from(len)]);
 }
 
-fn put_request(out: &mut Vec<u8>, req: &DecisionRequest) {
+pub(crate) fn put_request(out: &mut Vec<u8>, req: &DecisionRequest) {
     put_u64(out, req.chunk_index as u64);
     put_f64(out, req.buffer_s);
     put_opt_f64(out, req.estimated_bandwidth_bps);
@@ -547,14 +547,16 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> 
 // ---------------------------------------------------------------------------
 
 /// Bounds-checked cursor over a frame body; every accessor fails with
-/// [`WireError::BadPayload`] instead of slicing out of range.
-struct Cur<'a> {
+/// [`WireError::BadPayload`] instead of slicing out of range. Shared with
+/// the [`crate::replay`] event-log decoder, which speaks the same
+/// little-endian field grammar.
+pub(crate) struct Cur<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(bytes: &'a [u8]) -> Cur<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Cur<'a> {
         Cur { bytes, pos: 0 }
     }
 
@@ -569,36 +571,36 @@ impl<'a> Cur<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(b);
         Ok(u64::from_le_bytes(raw))
     }
 
-    fn f64(&mut self) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn usize(&mut self) -> Result<usize, WireError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, WireError> {
         usize::try_from(self.u64()?).map_err(|_| WireError::BadPayload("index exceeds usize"))
     }
 
-    fn bool(&mut self) -> Result<bool, WireError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -606,7 +608,7 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.f64()?)),
@@ -614,7 +616,7 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn opt_usize(&mut self) -> Result<Option<usize>, WireError> {
+    pub(crate) fn opt_usize(&mut self) -> Result<Option<usize>, WireError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.usize()?)),
@@ -622,13 +624,13 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
         let len = usize::from(self.u16()?);
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("invalid UTF-8"))
     }
 
-    fn request(&mut self) -> Result<DecisionRequest, WireError> {
+    pub(crate) fn request(&mut self) -> Result<DecisionRequest, WireError> {
         Ok(DecisionRequest {
             chunk_index: self.usize()?,
             buffer_s: self.f64()?,
@@ -641,7 +643,7 @@ impl<'a> Cur<'a> {
         })
     }
 
-    fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+    pub(crate) fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
         Ok(StatsSnapshot {
             connections: self.u64()?,
             open_sessions: self.u64()?,
@@ -663,7 +665,7 @@ impl<'a> Cur<'a> {
         })
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 }
@@ -825,6 +827,17 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
 /// the budget, so only genuine stalls (mid-frame or between frames) trip
 /// it.
 pub fn read_frame_budgeted<R: Read>(r: &mut R, idle_slots: u64) -> Result<Frame, WireError> {
+    read_frame_budgeted_traced(r, idle_slots).map(|(frame, _, _)| frame)
+}
+
+/// [`read_frame_budgeted`] plus the trace facts a recorder wants: the
+/// frame's full wire length (length prefix included) and its type byte.
+/// The replay event log records both for every frame in/out without
+/// re-encoding the frame (see [`crate::replay`]).
+pub fn read_frame_budgeted_traced<R: Read>(
+    r: &mut R,
+    idle_slots: u64,
+) -> Result<(Frame, u32, u8), WireError> {
     let mut budget = IdleBudget::new(idle_slots);
     let mut prefix = [0u8; 4];
     read_full(r, &mut prefix, &mut budget, true)?;
@@ -834,5 +847,6 @@ pub fn read_frame_budgeted<R: Read>(r: &mut R, idle_slots: u64) -> Result<Frame,
     }
     let mut body = vec![0u8; len as usize];
     read_full(r, &mut body, &mut budget, false)?;
-    decode_frame(&body)
+    let ty = body[0];
+    Ok((decode_frame(&body)?, 4 + len, ty))
 }

@@ -21,7 +21,7 @@
 //! read deadline and a write deadline ([`ServerConfig::read_deadline_ms`],
 //! [`ServerConfig::write_deadline_ms`], env-tunable): the socket is armed
 //! with a short kernel poll timeout and reads go through
-//! [`read_frame_budgeted`], which counts consecutive empty polls instead
+//! [`read_frame_budgeted_traced`], which counts consecutive empty polls instead
 //! of reading any clock — this crate stays wall-clock-free (lint R1), the
 //! kernel's timer is the only time source. A client that stays silent past
 //! the deadline is **reaped**: counted in
@@ -35,8 +35,10 @@
 
 use crate::lock;
 use crate::protocol::{
-    read_frame_budgeted, write_frame, ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION,
+    encode_frame, read_frame_budgeted_traced, ErrorCode, Frame, StatsSnapshot, WireError,
+    PROTOCOL_VERSION,
 };
+use crate::replay::{Event, Recorder};
 use crate::store::{SessionStore, StoreConfig, VideoProvider};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -244,6 +246,10 @@ pub struct Server {
     store: SessionStore,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Optional event recorder shared with the store (see
+    /// [`crate::replay`]): the server contributes frame-level events, the
+    /// store the session transitions.
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// A [`Server`] bound to a listening socket, ready to [`BoundServer::serve`].
@@ -261,13 +267,26 @@ impl Server {
         config: ServerConfig,
         provider: VideoProvider,
     ) -> io::Result<BoundServer> {
+        Server::bind_recorded(addr, config, provider, None)
+    }
+
+    /// [`Server::bind`] with an event recorder attached: every frame
+    /// in/out and every store transition of the run lands in the log (see
+    /// [`crate::replay`]).
+    pub fn bind_recorded(
+        addr: &str,
+        config: ServerConfig,
+        provider: VideoProvider,
+        recorder: Option<Arc<Recorder>>,
+    ) -> io::Result<BoundServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let server = Arc::new(Server {
-            store: SessionStore::new(config.store, provider),
+            store: SessionStore::recorded(config.store, provider, recorder.clone()),
             config,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            recorder,
         });
         Ok(BoundServer {
             server,
@@ -308,11 +327,37 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    fn send(&self, w: &mut BufWriter<TcpStream>, frame: &Frame) -> Result<(), WireError> {
-        write_frame(w, frame)?;
+    fn send(
+        &self,
+        conn: u64,
+        w: &mut BufWriter<TcpStream>,
+        frame: &Frame,
+    ) -> Result<(), WireError> {
+        // Encode once: the recorder needs the frame's wire length and type
+        // byte, and the writer needs the same bytes.
+        let bytes = encode_frame(frame)?;
+        w.write_all(&bytes)?;
         w.flush()?;
         self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&Event::FrameOut {
+                conn,
+                frame_type: bytes[4],
+                wire_len: bytes.len() as u32,
+            });
+        }
         Ok(())
+    }
+
+    fn note_frame_in(&self, conn: u64, wire_len: u32, frame_type: u8) {
+        self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&Event::FrameIn {
+                conn,
+                frame_type,
+                wire_len,
+            });
+        }
     }
 
     fn handle_frame(
@@ -340,6 +385,7 @@ impl Server {
                     let open = self.store.open_sessions() as u64;
                     c.peak_sessions.fetch_max(open, Ordering::Relaxed);
                     self.send(
+                        conn,
                         w,
                         &Frame::OpenOk {
                             session_id,
@@ -350,6 +396,7 @@ impl Server {
                     )?;
                 }
                 Err(e) => self.send(
+                    conn,
                     w,
                     &Frame::Error {
                         code: e.code(),
@@ -367,6 +414,7 @@ impl Server {
                         c.degraded_decisions.fetch_add(1, Ordering::Relaxed);
                     }
                     self.send(
+                        conn,
                         w,
                         &Frame::Decision {
                             session_id,
@@ -375,6 +423,7 @@ impl Server {
                     )?;
                 }
                 Err(e) => self.send(
+                    conn,
                     w,
                     &Frame::Error {
                         code: e.code(),
@@ -386,6 +435,7 @@ impl Server {
                 Ok(decisions) => {
                     c.sessions_closed.fetch_add(1, Ordering::Relaxed);
                     self.send(
+                        conn,
                         w,
                         &Frame::Closed {
                             session_id,
@@ -394,6 +444,7 @@ impl Server {
                     )?;
                 }
                 Err(e) => self.send(
+                    conn,
                     w,
                     &Frame::Error {
                         code: e.code(),
@@ -405,6 +456,7 @@ impl Server {
                 Ok(out) => {
                     c.sessions_resumed.fetch_add(1, Ordering::Relaxed);
                     self.send(
+                        conn,
                         w,
                         &Frame::ResumeOk {
                             session_id,
@@ -416,6 +468,7 @@ impl Server {
                     )?;
                 }
                 Err(e) => self.send(
+                    conn,
                     w,
                     &Frame::Error {
                         code: e.code(),
@@ -423,9 +476,9 @@ impl Server {
                     },
                 )?,
             },
-            Frame::StatsReq => self.send(w, &Frame::StatsReply(self.stats()))?,
+            Frame::StatsReq => self.send(conn, w, &Frame::StatsReply(self.stats()))?,
             Frame::Shutdown => {
-                self.send(w, &Frame::ShutdownOk)?;
+                self.send(conn, w, &Frame::ShutdownOk)?;
                 self.shutdown.store(true, Ordering::SeqCst);
                 return Ok(false);
             }
@@ -433,6 +486,7 @@ impl Server {
             // misuse but not a decode failure: answer and keep going.
             other => {
                 self.send(
+                    conn,
                     w,
                     &Frame::Error {
                         code: ErrorCode::BadFrame,
@@ -455,13 +509,14 @@ impl Server {
         )
     }
 
-    fn reap(&self, w: &mut BufWriter<TcpStream>) {
+    fn reap(&self, conn: u64, w: &mut BufWriter<TcpStream>) {
         self.counters
             .connections_reaped
             .fetch_add(1, Ordering::Relaxed);
         // Best-effort: the peer that just blew its deadline may well not
         // read this either.
         let _ = self.send(
+            conn,
             w,
             &Frame::Error {
                 code: ErrorCode::Timeout,
@@ -503,11 +558,12 @@ impl Server {
         let mut reader = BufReader::new(stream);
 
         // Handshake: the first frame must be a Hello with our version.
-        match read_frame_budgeted(&mut reader, read_slots) {
-            Ok(Frame::Hello { version }) if version == PROTOCOL_VERSION => {
-                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        match read_frame_budgeted_traced(&mut reader, read_slots) {
+            Ok((Frame::Hello { version }, wire_len, ty)) if version == PROTOCOL_VERSION => {
+                self.note_frame_in(conn, wire_len, ty);
                 if self
                     .send(
+                        conn,
                         &mut writer,
                         &Frame::HelloOk {
                             version: PROTOCOL_VERSION,
@@ -518,9 +574,10 @@ impl Server {
                     return;
                 }
             }
-            Ok(Frame::Hello { version }) => {
-                self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+            Ok((Frame::Hello { version }, wire_len, ty)) => {
+                self.note_frame_in(conn, wire_len, ty);
                 let _ = self.send(
+                    conn,
                     &mut writer,
                     &Frame::Error {
                         code: ErrorCode::UnknownVersion,
@@ -529,11 +586,13 @@ impl Server {
                 );
                 return;
             }
-            Ok(_) => {
+            Ok((_, wire_len, ty)) => {
+                self.note_frame_in(conn, wire_len, ty);
                 self.counters
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
                 let _ = self.send(
+                    conn,
                     &mut writer,
                     &Frame::Error {
                         code: ErrorCode::BadFrame,
@@ -543,7 +602,7 @@ impl Server {
                 return;
             }
             Err(WireError::TimedOut) => {
-                self.reap(&mut writer);
+                self.reap(conn, &mut writer);
                 return;
             }
             Err(WireError::Closed) => return,
@@ -552,6 +611,7 @@ impl Server {
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
                 let _ = self.send(
+                    conn,
                     &mut writer,
                     &Frame::Error {
                         code: ErrorCode::BadFrame,
@@ -563,9 +623,9 @@ impl Server {
         }
 
         loop {
-            match read_frame_budgeted(&mut reader, read_slots) {
-                Ok(frame) => {
-                    self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+            match read_frame_budgeted_traced(&mut reader, read_slots) {
+                Ok((frame, wire_len, ty)) => {
+                    self.note_frame_in(conn, wire_len, ty);
                     match self.handle_frame(conn, frame, &mut writer) {
                         Ok(true) => {}
                         Ok(false) => break,
@@ -580,7 +640,7 @@ impl Server {
                     }
                 }
                 Err(WireError::TimedOut) => {
-                    self.reap(&mut writer);
+                    self.reap(conn, &mut writer);
                     break;
                 }
                 Err(WireError::Closed) => break,
@@ -589,6 +649,7 @@ impl Server {
                         .protocol_errors
                         .fetch_add(1, Ordering::Relaxed);
                     let _ = self.send(
+                        conn,
                         &mut writer,
                         &Frame::Error {
                             code: ErrorCode::BadFrame,

@@ -18,6 +18,7 @@
 //! parity guarantee needs. Idle-ness is measured in logical ticks (one per
 //! store operation), not wall time — this crate reads no clock.
 
+use crate::replay::{Event, Recorder};
 use crate::scheme;
 use crate::{lock, protocol::ErrorCode};
 use abr_baselines::Rba;
@@ -212,11 +213,27 @@ pub struct SessionStore {
     tick: AtomicU64,
     evicted: AtomicU64,
     orphan_reaped: AtomicU64,
+    /// Optional event recorder (see [`crate::replay`]). Transition events
+    /// are recorded while the relevant lock is held, so the recorded order
+    /// matches the order mutations were applied in; the recorder's own
+    /// lock is a leaf.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl SessionStore {
     /// Create an empty store.
     pub fn new(config: StoreConfig, provider: VideoProvider) -> SessionStore {
+        SessionStore::recorded(config, provider, None)
+    }
+
+    /// Create an empty store that records every session transition to
+    /// `recorder` (when given). [`SessionStore::new`] delegates here with
+    /// recording off.
+    pub fn recorded(
+        config: StoreConfig,
+        provider: VideoProvider,
+        recorder: Option<Arc<Recorder>>,
+    ) -> SessionStore {
         SessionStore {
             config,
             provider,
@@ -224,6 +241,13 @@ impl SessionStore {
             tick: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             orphan_reaped: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    fn note(&self, event: Event) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(&event);
         }
     }
 
@@ -236,13 +260,19 @@ impl SessionStore {
     /// unboundedly even without capacity pressure.
     fn sweep_orphans(&self, map: &mut BTreeMap<u64, Arc<SessionSlot>>, tick: u64) {
         let grace = self.config.orphan_grace_ticks;
-        let before = map.len();
-        map.retain(|_, slot| {
-            slot.owner.load(Ordering::Relaxed) != ORPHANED
-                || tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= grace
-        });
-        self.orphan_reaped
-            .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        let lapsed: Vec<u64> = map
+            .iter()
+            .filter(|(_, slot)| {
+                slot.owner.load(Ordering::Relaxed) == ORPHANED
+                    && tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) > grace
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in lapsed {
+            map.remove(&id);
+            self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
+            self.note(Event::OrphanReaped { session_id: id });
+        }
     }
 
     /// Admit a session for connection `conn`. Over capacity, idle sessions
@@ -282,27 +312,39 @@ impl SessionStore {
             // Orphans are the cheapest reclaim under pressure: their
             // connection is already dead, so resume-after-eviction is a
             // clean typed UnknownSession, not lost live service.
-            let before = map.len();
-            map.retain(|_, slot| slot.owner.load(Ordering::Relaxed) != ORPHANED);
-            self.orphan_reaped
-                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+            let orphans: Vec<u64> = map
+                .iter()
+                .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == ORPHANED)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in orphans {
+                map.remove(&id);
+                self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
+                self.note(Event::OrphanReaped { session_id: id });
+            }
         }
         if map.len() >= self.config.capacity {
             let threshold = self.config.idle_ticks;
-            let before = map.len();
-            map.retain(|_, slot| {
-                // A slot whose state lock is held has a decision in
-                // flight on another worker — never evict it mid-decide,
-                // whatever its idle age claims.
-                let in_flight = matches!(
-                    slot.state.try_lock(),
-                    Err(std::sync::TryLockError::WouldBlock)
-                );
-                in_flight
-                    || tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) <= threshold
-            });
-            self.evicted
-                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+            let evictable: Vec<u64> = map
+                .iter()
+                .filter(|(_, slot)| {
+                    // A slot whose state lock is held has a decision in
+                    // flight on another worker — never evict it mid-decide,
+                    // whatever its idle age claims.
+                    let in_flight = matches!(
+                        slot.state.try_lock(),
+                        Err(std::sync::TryLockError::WouldBlock)
+                    );
+                    !in_flight
+                        && tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) > threshold
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in evictable {
+                map.remove(&id);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.note(Event::SessionEvicted { session_id: id });
+            }
         }
         let degraded = map.len() >= self.config.capacity;
         let slot = Arc::new(SessionSlot {
@@ -318,6 +360,16 @@ impl SessionStore {
             }),
         });
         map.insert(session_id, slot);
+        self.note(Event::SessionOpened {
+            conn,
+            session_id,
+            video: video_name.to_string(),
+            scheme: scheme_name.to_string(),
+            vmaf_model: vmaf_code,
+            degraded,
+            n_tracks: n_tracks as u32,
+            n_chunks: n_chunks as u32,
+        });
         Ok(OpenOutcome {
             degraded,
             n_tracks,
@@ -344,6 +396,11 @@ impl SessionStore {
         slot.owner.store(conn, Ordering::Relaxed);
         slot.last_used.store(tick, Ordering::Relaxed);
         let state = lock(&slot.state);
+        self.note(Event::SessionResumed {
+            session_id,
+            conn,
+            decisions: state.decisions,
+        });
         Ok(ResumeOutcome {
             degraded: state.algo.is_none(),
             decisions: state.decisions,
@@ -375,7 +432,14 @@ impl SessionStore {
         let mut state = lock(&slot.state);
         if let (Some(prev), Some(cached)) = (&state.last_request, &state.last_response) {
             if request.is_retransmit_of(prev) {
-                return Ok(*cached);
+                let cached = *cached;
+                self.note(Event::Decision {
+                    session_id,
+                    retransmit: true,
+                    request: *request,
+                    response: cached,
+                });
+                return Ok(cached);
             }
         }
         let SessionState {
@@ -408,6 +472,14 @@ impl SessionStore {
         };
         state.last_request = Some(*request);
         state.last_response = Some(response);
+        // Recorded under the session's state lock: the log's per-session
+        // decision order is exactly the order state advanced in.
+        self.note(Event::Decision {
+            session_id,
+            retransmit: false,
+            request: *request,
+            response,
+        });
         Ok(response)
     }
 
@@ -418,6 +490,10 @@ impl SessionStore {
             .remove(&session_id)
             .ok_or(StoreError::UnknownSession(session_id))?;
         let decisions = lock(&slot.state).decisions;
+        self.note(Event::SessionClosed {
+            session_id,
+            decisions,
+        });
         Ok(decisions)
     }
 
@@ -430,16 +506,30 @@ impl SessionStore {
         let mut out = DropOutcome::default();
         let mut map = lock(&self.sessions);
         if self.config.orphan_grace_ticks == 0 {
-            let before = map.len();
-            map.retain(|_, slot| slot.owner.load(Ordering::Relaxed) != conn);
-            out.aborted = (before - map.len()) as u64;
+            let owned: Vec<u64> = map
+                .iter()
+                .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == conn)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in owned {
+                map.remove(&id);
+                out.aborted += 1;
+                self.note(Event::SessionAborted {
+                    session_id: id,
+                    conn,
+                });
+            }
             return out;
         }
-        for slot in map.values() {
+        for (id, slot) in map.iter() {
             if slot.owner.load(Ordering::Relaxed) == conn {
                 slot.owner.store(ORPHANED, Ordering::Relaxed);
                 slot.last_used.store(tick, Ordering::Relaxed);
                 out.orphaned += 1;
+                self.note(Event::SessionOrphaned {
+                    session_id: *id,
+                    conn,
+                });
             }
         }
         self.sweep_orphans(&mut map, tick);

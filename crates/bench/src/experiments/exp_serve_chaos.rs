@@ -13,6 +13,12 @@
 //! Emits `BENCH_serve_chaos.json` at the repo top level (fault/recovery
 //! counters plus p50/p99 service latency measured *through* the chaos)
 //! and `results/exp_serve_chaos.csv` with per-scheme rows.
+//!
+//! The whole run is recorded to `results/serve_chaos.replay` (see
+//! docs/REPLAY.md) and **replayed before the bench is accepted**: every
+//! recorded decision is re-executed through fresh algorithm instances and
+//! must come back bit-identical. A chaos failure is therefore never an
+//! anecdote — the artifact that failed ships with the run.
 
 use crate::engine;
 use crate::experiments::banner;
@@ -20,6 +26,7 @@ use crate::harness::TraceSet;
 use crate::journal::{self, Stopwatch};
 use crate::results_dir;
 use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
+use abr_serve::replay::{self, Event, Recorder, ReplayPlayer};
 use abr_serve::server::threads_from_env;
 use abr_serve::store::StoreConfig;
 use abr_serve::{Server, ServerConfig};
@@ -29,6 +36,7 @@ use sim_report::stats::percentile;
 use sim_report::{CsvWriter, TextTable};
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::Arc;
 use std::thread;
 
 /// Sessions the chaos fleet holds concurrently.
@@ -83,6 +91,11 @@ pub struct ChaosBench {
     pub parity_mismatches: usize,
     /// Sessions admitted in degraded (stateless RBA) mode (0 here).
     pub degraded_sessions: usize,
+    /// Events recorded to `results/serve_chaos.replay` (RunEnd included).
+    pub replay_events: u64,
+    /// Whether the recorded log replayed to bit-identical decisions (must
+    /// be true — the run fails otherwise).
+    pub replay_verified: bool,
 }
 
 /// Run this experiment (registry entry point).
@@ -108,7 +121,20 @@ pub fn run() -> io::Result<()> {
             orphan_grace_ticks: u64::MAX,
         },
     };
-    let bound = Server::bind("127.0.0.1:0", server_config, engine::serve_provider())?;
+    // One shared recorder: server frame/store events and client fault-plan
+    // events interleave into a single canonical log under results/.
+    let replay_path = results_dir().join("serve_chaos.replay");
+    let recorder = Arc::new(Recorder::to_file(&replay_path)?);
+    recorder.record(&Event::RunMeta {
+        label: "bench serve_chaos".into(),
+        seed: 42,
+    });
+    let bound = Server::bind_recorded(
+        "127.0.0.1:0",
+        server_config,
+        engine::serve_provider(),
+        Some(recorder.clone()),
+    )?;
     let addr = bound.addr();
     let server = thread::spawn(move || bound.serve());
 
@@ -133,11 +159,30 @@ pub fn run() -> io::Result<()> {
     eprintln!(
         "soaking {addr} with {CHAOS_SESSIONS} held sessions, one fault per {FAULT_PERIOD} sends..."
     );
-    let report = loadgen::run(addr, &config, &provider, &now).map_err(io::Error::other)?;
+    let report = loadgen::run_recorded(addr, &config, &provider, &now, Some(recorder.clone()))
+        .map_err(io::Error::other)?;
     loadgen::shutdown_server(addr).map_err(io::Error::other)?;
     let stats = server
         .join()
         .map_err(|_| io::Error::other("server thread panicked"))?;
+    let replay_events = recorder.finish().map_err(io::Error::other)?;
+
+    // Replay the artifact before accepting the run: every recorded decision
+    // must re-execute to bit-identical bytes through fresh algorithm state.
+    let log = replay::read_log(&replay_path).map_err(io::Error::other)?;
+    let mut player = ReplayPlayer::new(log, engine::serve_provider());
+    player.run_to_end();
+    if let Some(divergence) = player.divergences().first() {
+        return Err(io::Error::other(format!(
+            "chaos replay diverged ({} total): {divergence}",
+            player.divergences().len()
+        )));
+    }
+    let summary = player.summary();
+    eprintln!(
+        "replay verified: {} events, {} decisions re-executed bit-identically",
+        summary.events, summary.decisions
+    );
 
     let errors = report.errors();
     if let Some((id, error)) = errors.first() {
@@ -184,6 +229,8 @@ pub fn run() -> io::Result<()> {
             .count(),
         parity_mismatches: mismatches.len(),
         degraded_sessions: report.degraded_sessions(),
+        replay_events,
+        replay_verified: true,
     };
 
     // Per-scheme breakdown, journaled like every other experiment: the QoE
@@ -291,6 +338,11 @@ pub fn run() -> io::Result<()> {
     );
     println!("wrote {}", path.display());
     println!("wrote {}", bench_path.display());
+    println!(
+        "wrote {} ({} events; verify with `cava replay`)",
+        replay_path.display(),
+        bench.replay_events
+    );
     Ok(())
 }
 
@@ -321,6 +373,8 @@ mod tests {
             parity_checked: 120,
             parity_mismatches: 0,
             degraded_sessions: 0,
+            replay_events: 7_000,
+            replay_verified: true,
         };
         let json = serde_json::to_string_pretty(&bench).unwrap();
         let back: ChaosBench = serde_json::from_str(&json).unwrap();
@@ -331,6 +385,8 @@ mod tests {
             "\"resumes\"",
             "\"connections_reaped\"",
             "\"parity_mismatches\"",
+            "\"replay_events\"",
+            "\"replay_verified\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -12,6 +12,10 @@
 //! decisions/sec, p50/p99 service latency from the journal's [`Stopwatch`]
 //! authority) so the serving-layer perf trajectory is tracked from this
 //! revision on, plus `results/exp_serve_soak.csv` with per-scheme rows.
+//!
+//! The run is also recorded to `results/serve_soak.replay` (docs/REPLAY.md)
+//! and replayed before the bench is accepted: every recorded decision must
+//! re-execute bit-identically.
 
 use crate::engine;
 use crate::experiments::banner;
@@ -19,6 +23,7 @@ use crate::harness::TraceSet;
 use crate::journal::{self, Stopwatch};
 use crate::results_dir;
 use abr_serve::loadgen::{self, LoadgenConfig};
+use abr_serve::replay::{self, Event, Recorder, ReplayPlayer};
 use abr_serve::server::threads_from_env;
 use abr_serve::store::StoreConfig;
 use abr_serve::{Server, ServerConfig};
@@ -28,6 +33,7 @@ use sim_report::stats::percentile;
 use sim_report::{CsvWriter, TextTable};
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::Arc;
 use std::thread;
 
 /// Concurrent sessions the soak must sustain (acceptance floor: 200).
@@ -67,6 +73,11 @@ pub struct ServeBench {
     pub peak_sessions: u64,
     /// Server-side wire-level errors (must be 0).
     pub protocol_errors: u64,
+    /// Events recorded to `results/serve_soak.replay` (RunEnd included).
+    pub replay_events: u64,
+    /// Whether the recorded log replayed to bit-identical decisions (must
+    /// be true — the run fails otherwise).
+    pub replay_verified: bool,
 }
 
 /// Run this experiment (registry entry point).
@@ -86,7 +97,20 @@ pub fn run() -> io::Result<()> {
         },
         ..ServerConfig::default()
     };
-    let bound = Server::bind("127.0.0.1:0", server_config, engine::serve_provider())?;
+    // Shared recorder: server and client events interleave into one
+    // canonical log under results/.
+    let replay_path = results_dir().join("serve_soak.replay");
+    let recorder = Arc::new(Recorder::to_file(&replay_path)?);
+    recorder.record(&Event::RunMeta {
+        label: "bench serve_soak".into(),
+        seed: 42,
+    });
+    let bound = Server::bind_recorded(
+        "127.0.0.1:0",
+        server_config,
+        engine::serve_provider(),
+        Some(recorder.clone()),
+    )?;
     let addr = bound.addr();
     let server = thread::spawn(move || bound.serve());
 
@@ -105,11 +129,29 @@ pub fn run() -> io::Result<()> {
     eprintln!(
         "soaking {addr} with {SOAK_SESSIONS} held sessions over {connections} connections..."
     );
-    let report = loadgen::run(addr, &config, &provider, &now).map_err(io::Error::other)?;
+    let report = loadgen::run_recorded(addr, &config, &provider, &now, Some(recorder.clone()))
+        .map_err(io::Error::other)?;
     loadgen::shutdown_server(addr).map_err(io::Error::other)?;
     let stats = server
         .join()
         .map_err(|_| io::Error::other("server thread panicked"))?;
+    let replay_events = recorder.finish().map_err(io::Error::other)?;
+
+    // Replay the artifact before accepting the run.
+    let log = replay::read_log(&replay_path).map_err(io::Error::other)?;
+    let mut player = ReplayPlayer::new(log, engine::serve_provider());
+    player.run_to_end();
+    if let Some(divergence) = player.divergences().first() {
+        return Err(io::Error::other(format!(
+            "soak replay diverged ({} total): {divergence}",
+            player.divergences().len()
+        )));
+    }
+    let summary = player.summary();
+    eprintln!(
+        "replay verified: {} events, {} decisions re-executed bit-identically",
+        summary.events, summary.decisions
+    );
 
     let errors = report.errors();
     if let Some((id, error)) = errors.first() {
@@ -147,6 +189,8 @@ pub fn run() -> io::Result<()> {
         degraded_sessions: report.degraded_sessions(),
         peak_sessions: stats.peak_sessions,
         protocol_errors: stats.protocol_errors,
+        replay_events,
+        replay_verified: true,
     };
 
     // Per-scheme breakdown: service latency plus the QoE the served fleet
@@ -248,6 +292,11 @@ pub fn run() -> io::Result<()> {
     );
     println!("wrote {}", path.display());
     println!("wrote {}", bench_path.display());
+    println!(
+        "wrote {} ({} events; verify with `cava replay`)",
+        replay_path.display(),
+        bench.replay_events
+    );
     Ok(())
 }
 
@@ -273,6 +322,8 @@ mod tests {
             degraded_sessions: 0,
             peak_sessions: 200,
             protocol_errors: 0,
+            replay_events: 20_000,
+            replay_verified: true,
         };
         let json = serde_json::to_string_pretty(&bench).unwrap();
         let back: ServeBench = serde_json::from_str(&json).unwrap();
@@ -283,6 +334,8 @@ mod tests {
             "\"latency_p50_ms\"",
             "\"latency_p99_ms\"",
             "\"parity_mismatches\"",
+            "\"replay_events\"",
+            "\"replay_verified\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

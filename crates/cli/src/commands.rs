@@ -3,6 +3,7 @@
 use crate::args::Args;
 use abr_bench::journal::Stopwatch;
 use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
+use abr_serve::replay::{self, Event, Recorder, ReplayPlayer};
 use abr_serve::scheme::{build_scheme, load_video, SCHEME_NAMES};
 use abr_serve::store::{dataset_provider, StoreConfig};
 use abr_serve::{Server, ServerConfig};
@@ -13,6 +14,8 @@ use net_trace::lte::{lte_traces, LteConfig};
 use net_trace::Trace;
 use sim_report::TextTable;
 use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
 use vbr_video::classify::cross_track_consistency;
 use vbr_video::quality::VmafModel;
 use vbr_video::{ChunkClass, Classification, Dataset, Manifest};
@@ -476,6 +479,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         "write-deadline-ms",
         "poll-ms",
         "port-file",
+        "record",
     ])?;
     args.expect_positionals(0, "serve [--addr A] [--threads N] [--capacity N]")?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
@@ -514,7 +518,26 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             ..StoreConfig::default()
         },
     };
-    let bound = Server::bind(addr, config, dataset_provider())
+    // --record wins over the ABR_SERVE_RECORD env default; either names
+    // the replay-log path, see docs/REPLAY.md.
+    let record_path = args
+        .flag("record")
+        .map(str::to_string)
+        .or_else(replay::record_path_from_env);
+    let recorder = match &record_path {
+        Some(path) => {
+            let recorder = Arc::new(
+                Recorder::to_file(Path::new(path)).map_err(|e| format!("recording {path}: {e}"))?,
+            );
+            recorder.record(&Event::RunMeta {
+                label: "cava serve".to_string(),
+                seed: 0,
+            });
+            Some(recorder)
+        }
+        None => None,
+    };
+    let bound = Server::bind_recorded(addr, config, dataset_provider(), recorder.clone())
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "serving on {} ({} workers, session capacity {})",
@@ -522,6 +545,9 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         threads,
         capacity
     );
+    if let Some(path) = &record_path {
+        println!("recording event log to {path}");
+    }
     if let Some(path) = args.flag("port-file") {
         // Written after bind so a parent process can poll for the address.
         std::fs::write(path, bound.addr().to_string())
@@ -542,6 +568,14 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         stats.protocol_errors,
         stats.sockopt_errors
     );
+    if let Some(recorder) = recorder {
+        let events = recorder
+            .finish()
+            .map_err(|e| format!("finishing event log: {e}"))?;
+        if let Some(path) = &record_path {
+            println!("event log: {events} events in {path}");
+        }
+    }
     Ok(())
 }
 
@@ -580,6 +614,7 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         "fault-seed",
         "retries",
         "stop-server",
+        "record",
     ])?;
     args.expect_positionals(1, "loadgen <addr>")?;
     let addr: SocketAddr = args.positional(0, "addr")?.parse().map_err(|_| {
@@ -623,10 +658,27 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         player: defaults.player,
     };
     let stop_server: bool = args.flag_parsed("stop-server", false)?;
+    // Client-side event log: the fleet's fault-injection plan. The
+    // server's own log (its --record) carries the decisions; this one
+    // records when and what the adversary injected.
+    let record_path = args.flag("record").map(str::to_string);
+    let recorder = match &record_path {
+        Some(path) => {
+            let recorder = Arc::new(
+                Recorder::to_file(Path::new(path)).map_err(|e| format!("recording {path}: {e}"))?,
+            );
+            recorder.record(&Event::RunMeta {
+                label: format!("cava loadgen {addr}"),
+                seed: config.seed,
+            });
+            Some(recorder)
+        }
+        None => None,
+    };
 
     let watch = Stopwatch::start();
     let now = move || watch.seconds();
-    let report = loadgen::run(addr, &config, &dataset_provider(), &now)
+    let report = loadgen::run_recorded(addr, &config, &dataset_provider(), &now, recorder.clone())
         .map_err(|e| format!("loadgen against {addr}: {e}"))?;
 
     let decisions = report.decisions();
@@ -684,6 +736,14 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         loadgen::shutdown_server(addr).map_err(|e| format!("stopping server: {e}"))?;
         println!("server stopped");
     }
+    if let Some(recorder) = recorder {
+        let events = recorder
+            .finish()
+            .map_err(|e| format!("finishing event log: {e}"))?;
+        if let Some(path) = &record_path {
+            println!("event log: {events} events in {path}");
+        }
+    }
 
     let errors = report.errors();
     if let Some((id, error)) = errors.first() {
@@ -700,5 +760,86 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
             &mismatches[..mismatches.len().min(8)]
         ));
     }
+    Ok(())
+}
+
+/// `cava replay <log> [--seek TICK] [--diff OTHER]`
+///
+/// Default mode re-executes every recorded decision through freshly built
+/// algorithm instances and verifies bit-identical answers; any divergence
+/// is printed (first one in full) and the exit code is nonzero. `--seek`
+/// stops the replay at a logical tick and prints the state summary there
+/// (seeking rebuilds from the initial state, so it always agrees with
+/// stepping). `--diff` skips re-execution and instead bisects the first
+/// record at which two logs disagree, byte for byte. Spec and walkthrough:
+/// docs/REPLAY.md.
+pub fn replay(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&["seek", "diff"])?;
+    args.expect_positionals(1, "replay <log> [--seek TICK] [--diff OTHER]")?;
+    let path = args.positional(0, "log")?;
+    let log = replay::read_log(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    println!(
+        "{path}: format v{}, {} events, last tick {}{}{}",
+        log.version,
+        log.len(),
+        log.last_tick(),
+        if log.truncated {
+            " (truncated mid-record)"
+        } else {
+            ""
+        },
+        if log.ended() {
+            ""
+        } else {
+            " (no RunEnd marker)"
+        },
+    );
+
+    if let Some(other) = args.flag("diff") {
+        let rhs =
+            replay::read_log(Path::new(other)).map_err(|e| format!("reading {other}: {e}"))?;
+        return match replay::diff_logs(&log, &rhs) {
+            None => {
+                println!("logs identical: {} events match byte for byte", log.len());
+                Ok(())
+            }
+            Some(d) => Err(format!("{d}")),
+        };
+    }
+
+    let mut player = ReplayPlayer::new(log, dataset_provider());
+    match args.flag("seek") {
+        None => {
+            player.run_to_end();
+        }
+        Some(raw) => {
+            let tick: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad --seek tick {raw:?}"))?;
+            player.seek_to_tick(tick);
+        }
+    }
+    let s = player.summary();
+    println!(
+        "replayed {}/{} events to tick {}: {} decisions re-executed ({} retransmits verified), \
+         {} faults, {} frames in / {} out, {} sessions live",
+        s.applied,
+        s.events,
+        s.current_tick,
+        s.decisions,
+        s.retransmits,
+        s.faults,
+        s.frames_in,
+        s.frames_out,
+        s.open_sessions,
+    );
+    if let Some(first) = player.first_divergence() {
+        for d in player.divergences().iter().skip(1) {
+            eprintln!("also diverged: {d}");
+        }
+        return Err(format!("replay diverged from the recording at {first}"));
+    }
+    println!("replay matches the recording tick for tick");
     Ok(())
 }

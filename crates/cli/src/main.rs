@@ -40,13 +40,19 @@ COMMANDS:
     gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]
     serve                            multi-session ABR decision service (TCP)
         [--addr A] [--threads N] [--capacity N] [--queue N] [--port-file F]
+        [--record FILE]
     loadgen <addr>                   drive a fleet of players at a server
         [--sessions N] [--connections C] [--seed S] [--videos csv]
         [--schemes csv] [--vmaf tv|phone] [--hold BOOL] [--parity BOOL]
-        [--stop-server BOOL]
+        [--stop-server BOOL] [--record FILE]
+    replay <log>                     re-execute a recorded serving run
+        [--seek TICK] [--diff OTHER]  (record with `serve --record FILE`;
+                                      exits nonzero on any divergence)
 
 ENVIRONMENT:
     ABR_SERVE_THREADS                default worker count for `serve`
+    ABR_SERVE_RECORD                 default `serve` event-log path
+                                     (`--record` wins; see docs/REPLAY.md)
 
 SCHEMES:
     cava, cava-p1, cava-p12, mpc, robustmpc, panda-max-sum, panda-max-min,
@@ -72,6 +78,7 @@ fn main() -> ExitCode {
         "gen-traces" => commands::gen_traces(&argv[1..]),
         "serve" => commands::serve(&argv[1..]),
         "loadgen" => commands::loadgen(&argv[1..]),
+        "replay" => commands::replay(&argv[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

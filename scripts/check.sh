@@ -54,11 +54,15 @@ done
 wait "$SERVE_PID"
 rm -f "$PORT_FILE"
 
-echo "==> chaos smoke (deadlines armed, faults injected, parity on)"
+echo "==> chaos smoke (deadlines armed, faults injected, parity on, recorded)"
+REPLAY_LOG="results/check_chaos.replay"
+mkdir -p results
+rm -f "$REPLAY_LOG"
 PORT_FILE="$(mktemp)"
 rm -f "$PORT_FILE"
 ./target/release/cava serve --addr 127.0.0.1:0 --threads 4 \
     --read-deadline-ms 3000 --write-deadline-ms 3000 --poll-ms 10 \
+    --record "$REPLAY_LOG" \
     --port-file "$PORT_FILE" &
 SERVE_PID=$!
 tries=0
@@ -80,5 +84,13 @@ done
     --stop-server true
 wait "$SERVE_PID"
 rm -f "$PORT_FILE"
+
+echo "==> record -> replay -> diff smoke (docs/REPLAY.md)"
+# Replaying the recorded chaos run re-executes every decision through
+# fresh algorithm instances; any divergence exits nonzero. Diffing the
+# log against itself proves the diff path reads the artifact cleanly.
+./target/release/cava replay "$REPLAY_LOG"
+./target/release/cava replay "$REPLAY_LOG" --seek 1000
+./target/release/cava replay "$REPLAY_LOG" --diff "$REPLAY_LOG"
 
 echo "all checks passed"
