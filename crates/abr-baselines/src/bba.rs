@@ -76,6 +76,7 @@ impl AbrAlgorithm for Bba1 {
         "BBA-1"
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let allowed = self.allowed_bytes(ctx);
         let i = ctx.chunk_index;

@@ -165,6 +165,7 @@ impl AbrAlgorithm for Bola {
         &self.name
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let m = ctx.manifest;
         let delta = m.chunk_duration();

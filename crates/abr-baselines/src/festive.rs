@@ -80,6 +80,7 @@ impl AbrAlgorithm for Festive {
         "FESTIVE"
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let target = self.target_level(ctx);
         let current = match ctx.last_level {

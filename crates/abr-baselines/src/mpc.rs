@@ -109,6 +109,7 @@ impl AbrAlgorithm for Mpc {
         self.name
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         // Feed the error tracker with (previous prediction, realized
         // throughput of the chunk it predicted).

@@ -227,6 +227,7 @@ impl AbrAlgorithm for OfflineOptimal {
         "OPT (offline)"
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         self.plan[ctx.chunk_index].min(ctx.manifest.top_level())
     }

@@ -115,6 +115,7 @@ impl AbrAlgorithm for PandaCq {
         self.name
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let m = ctx.manifest;
         assert_eq!(

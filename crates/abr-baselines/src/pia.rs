@@ -82,6 +82,7 @@ impl AbrAlgorithm for Pia {
         "PIA"
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let cfg = &self.config;
         let dt = (ctx.wall_time_s - self.last_wall_time_s).clamp(0.0, 30.0);

@@ -49,6 +49,7 @@ impl AbrAlgorithm for Rba {
         "RBA"
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let bw = ctx.bandwidth_or_conservative();
         let delta = ctx.manifest.chunk_duration();

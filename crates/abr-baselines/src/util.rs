@@ -2,16 +2,23 @@
 //! buffer simulation over a candidate plan. Public so downstream users can
 //! build their own horizon-based ABR variants on the same primitives.
 
+/// Longest horizon [`for_each_sequence`] supports. Horizon-based schemes
+/// use single-digit lookahead (the paper's MPC runs N = 5); the cap lets
+/// enumeration run on a stack buffer, keeping the decision hot path
+/// allocation-free (lint rule R7).
+pub const MAX_HORIZON: usize = 16;
+
 /// Iterate every level assignment of length `horizon` over `n_levels`
 /// tracks, invoking `f` with each candidate sequence. Enumeration is
 /// `n_levels^horizon`; with the paper's N = 5 and 6 tracks that is 7776
 /// candidates per decision — cheap in release builds (see the
-/// `decision_overhead` bench).
+/// `decision_overhead` bench). `horizon` must be at most [`MAX_HORIZON`].
 pub fn for_each_sequence(n_levels: usize, horizon: usize, mut f: impl FnMut(&[usize])) {
-    assert!(n_levels > 0 && horizon > 0);
-    let mut seq = vec![0usize; horizon];
+    assert!(n_levels > 0 && horizon > 0 && horizon <= MAX_HORIZON);
+    let mut buf = [0usize; MAX_HORIZON];
+    let seq = &mut buf[..horizon];
     loop {
-        f(&seq);
+        f(seq);
         // Increment the mixed-radix counter.
         let mut pos = horizon;
         loop {

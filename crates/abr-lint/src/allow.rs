@@ -7,7 +7,7 @@
 //! R5 crates/net-trace/src/io.rs expect("non-empty") -- max() of a vec checked non-empty above
 //! ```
 //!
-//! * field 1 — the rule id (`R1`..`R6`);
+//! * field 1 — the rule id (any id in [`crate::rules::RULES`]);
 //! * field 2 — the workspace-relative path the exemption applies to;
 //! * field 3 (optional) — a snippet that must appear on the violating line,
 //!   so the exemption does not silently cover future, unrelated violations
@@ -23,7 +23,7 @@ use std::fmt;
 /// One parsed allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id this entry exempts (`"R1"`..`"R6"`).
+    /// Rule id this entry exempts (validated against the rule registry).
     pub rule: String,
     /// Workspace-relative path (forward slashes).
     pub path: String,
@@ -79,10 +79,20 @@ pub fn parse(text: &str) -> (Vec<AllowEntry>, Vec<AllowFormatError>) {
         let rule = fields.next().unwrap_or("").to_string();
         let path = fields.next().unwrap_or("").trim().to_string();
         let snippet = fields.next().unwrap_or("").trim().to_string();
-        if !rule.starts_with('R') || rule.len() != 2 || path.is_empty() {
+        if path.is_empty() {
             errors.push(AllowFormatError {
                 line: line_no,
                 message: format!("malformed entry `{spec}`: want `R<n> <path> [snippet]`"),
+            });
+            continue;
+        }
+        // Rule ids come from the registry — adding a rule there is the
+        // only change needed for the allowlist to accept it.
+        if crate::rules::rule_by_id(&rule).is_none() {
+            let known: Vec<&str> = crate::rules::RULES.iter().map(|r| r.id).collect();
+            errors.push(AllowFormatError {
+                line: line_no,
+                message: format!("unknown rule id `{rule}` (known: {})", known.join(", ")),
             });
             continue;
         }
@@ -128,6 +138,21 @@ R3 crates/y/src/b.rs
         assert_eq!(entries[1].snippet, "");
         assert_eq!(errors.len(), 1, "missing justification is an error");
         assert_eq!(errors[0].line, 5);
+    }
+
+    #[test]
+    fn rule_ids_come_from_the_registry() {
+        // Three-character ids like R10 are valid because the registry says
+        // so — no parser edit was needed to add them.
+        let (entries, errors) = parse("R10 docs/REPLAY.md -- spec row pending\n");
+        assert_eq!(entries.len(), 1);
+        assert!(errors.is_empty(), "{errors:?}");
+        let (entries, errors) = parse("R11 crates/x/src/a.rs -- no such rule\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("unknown rule id `R11`"));
+        let (_, errors) = parse("X1 crates/x/src/a.rs -- bogus\n");
+        assert_eq!(errors.len(), 1);
     }
 
     #[test]

@@ -18,17 +18,38 @@
 //! * **R5** — no `.unwrap()`/`.expect(` in library crates outside tests;
 //!   provably-infallible cases are catalogued in the allowlist.
 //! * **R6** — `#![forbid(unsafe_code)]` in every crate root.
+//! * **R7** — no heap allocation (`Vec::new`, `vec![`, `Box::new`,
+//!   `format!`, `.to_vec(`, `.collect(`, `String::from`) in any function
+//!   reachable from a `// abr-lint: hot-path` root — the enforcement arm
+//!   of the zero-allocation decision hot path (ROADMAP item 5).
+//! * **R8** — no `lock()`/`try_lock()` guard whose lexical scope contains
+//!   socket/stream I/O or `thread::sleep`.
+//! * **R9** — no narrowing `as` cast in the wire encode/decode paths
+//!   (`protocol.rs`, `replay.rs`) without an adjacent bounds guard.
+//! * **R10** — the record-type table in `docs/REPLAY.md` must match the
+//!   constants, `Event` variants, and match arms in `replay.rs` — drift in
+//!   either direction fails the lint.
 //!
-//! Run it with `cargo run -p abr-lint` from anywhere in the workspace; see
-//! `CONTRIBUTING.md` ("Determinism rules") for the allowlist format. The
-//! scanner is token/line-level ([`scan`]) — comments and string contents
-//! are stripped before matching, and `#[cfg(test)]` regions are exempt.
+//! R1–R6 are token/line-level over the [`scan`] code view (comments and
+//! string contents stripped, `#[cfg(test)]` regions exempt). R7–R10 are
+//! the semantic tier: [`syntax`] recovers function extents, `impl` blocks,
+//! and hot/cold markers; [`graph`] builds a conservative intra-crate
+//! call-graph whose hot set R7 scans; R10 cross-checks two artifacts.
+//!
+//! Run it with `cargo run -p abr-lint` (add `-- --format json` for the
+//! machine-readable report CI consumes); see `CONTRIBUTING.md`
+//! ("Determinism rules") for the allowlist format and hot-path markers.
 
 pub mod allow;
+pub mod graph;
 pub mod rules;
 pub mod scan;
+pub mod syntax;
 
-pub use rules::{check_crate_root, check_file, lint_workspace, LintReport, Violation};
+pub use rules::{
+    check_crate_hot_paths, check_crate_root, check_file, check_spec_drift, lint_workspace,
+    rule_by_id, LintReport, RuleInfo, Violation, RULES,
+};
 
 use std::path::{Path, PathBuf};
 

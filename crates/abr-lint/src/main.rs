@@ -1,5 +1,13 @@
 #![forbid(unsafe_code)]
-//! Command-line entry point: `cargo run -p abr-lint [-- <workspace-root>]`.
+//! Command-line entry point:
+//! `cargo run -p abr-lint [-- [--format text|json|github] [workspace-root]]`.
+//!
+//! Formats:
+//! * `text` (default) — human-readable diagnostics plus a summary line;
+//! * `json` — the schema-stable machine report ([`abr_lint::LintReport::to_json`]),
+//!   written to stdout for CI to capture;
+//! * `github` — one `::error file=…,line=…::…` workflow annotation per
+//!   violation, so findings land on the PR diff.
 //!
 //! Exit status: 0 when clean, 1 on violations or allowlist format errors,
 //! 2 on usage/I/O problems.
@@ -7,10 +15,44 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: abr-lint [--format text|json|github] [workspace-root]");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => {
+    let mut format = Format::Text;
+    let mut root_arg: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("github") => Format::Github,
+                    _ => return usage(),
+                };
+            }
+            "--help" | "-h" => {
+                return usage();
+            }
+            _ if root_arg.is_none() && !arg.starts_with('-') => root_arg = Some(arg),
+            _ => return usage(),
+        }
+    }
+
+    let root = match root_arg {
+        Some(path) => PathBuf::from(path),
+        None => {
             let cwd = match std::env::current_dir() {
                 Ok(d) => d,
                 Err(e) => {
@@ -26,11 +68,6 @@ fn main() -> ExitCode {
                 }
             }
         }
-        [path] => PathBuf::from(path),
-        _ => {
-            eprintln!("usage: abr-lint [workspace-root]");
-            return ExitCode::from(2);
-        }
     };
 
     let report = match abr_lint::lint_workspace(&root) {
@@ -41,24 +78,54 @@ fn main() -> ExitCode {
         }
     };
 
-    for err in &report.allow_errors {
-        println!("abr-lint.allow:{}: {}", err.line, err.message);
+    match format {
+        Format::Text => {
+            for err in &report.allow_errors {
+                println!("abr-lint.allow:{}: {}", err.line, err.message);
+            }
+            for v in &report.violations {
+                println!("{v}");
+            }
+            for a in &report.unused_allows {
+                eprintln!(
+                    "abr-lint.allow:{}: warning: unused allowlist entry `{a}`",
+                    a.line
+                );
+            }
+            println!(
+                "abr-lint: {} file(s), {} violation(s), {} allowlisted",
+                report.files_scanned,
+                report.violations.len(),
+                report.suppressed
+            );
+        }
+        Format::Json => {
+            print!("{}", report.to_json());
+        }
+        Format::Github => {
+            for err in &report.allow_errors {
+                println!(
+                    "::error file=abr-lint.allow,line={},title=abr-lint::{}",
+                    err.line, err.message
+                );
+            }
+            for v in &report.violations {
+                println!(
+                    "::error file={},line={},title={}::{}",
+                    v.path,
+                    v.line.max(1),
+                    v.rule,
+                    v.message
+                );
+            }
+            for a in &report.unused_allows {
+                println!(
+                    "::warning file=abr-lint.allow,line={},title=abr-lint::unused allowlist entry `{a}`",
+                    a.line
+                );
+            }
+        }
     }
-    for v in &report.violations {
-        println!("{v}");
-    }
-    for a in &report.unused_allows {
-        eprintln!(
-            "abr-lint.allow:{}: warning: unused allowlist entry `{a}`",
-            a.line
-        );
-    }
-    println!(
-        "abr-lint: {} file(s), {} violation(s), {} allowlisted",
-        report.files_scanned,
-        report.violations.len(),
-        report.suppressed
-    );
     if report.violations.is_empty() && report.allow_errors.is_empty() {
         ExitCode::SUCCESS
     } else {

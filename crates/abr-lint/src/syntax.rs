@@ -1,0 +1,507 @@
+//! Lightweight Rust item parsing on top of the [`crate::scan`] code view:
+//! function extents, enclosing `impl` blocks, call-site extraction, and the
+//! `// abr-lint: hot-path` / `// abr-lint: cold` marker comments.
+//!
+//! This is *not* a Rust parser — it is the smallest amount of structure the
+//! semantic rules (R7/R8) need, recovered from the stripped text where
+//! comments and string contents are already blanked:
+//!
+//! * every `fn` item: its name, 1-based start/end lines, and the byte span
+//!   of its body in the stripped text;
+//! * the `impl` block (self type + optional trait) each function sits in,
+//!   so diagnostics can say `SessionStore::decide` instead of `decide`;
+//! * the identifiers that appear in call position inside each body
+//!   (`foo(..)`, `x.foo(..)`, `Path::foo(..)`), which is what the
+//!   conservative call-graph approximation in [`crate::graph`] consumes;
+//! * marker comments read from the **raw** lines immediately above the
+//!   `fn` (markers are comments, so the code view cannot see them):
+//!   `// abr-lint: hot-path` declares a hot-path root,
+//!   `// abr-lint: cold` cuts the function out of hot-path reachability
+//!   (for opt-in diagnostic paths a hot function calls by name).
+//!
+//! The parser is intentionally conservative: a construct it does not
+//! understand yields *more* reachability (extra call edges, wider spans),
+//! never less, so rule R7 over-reports rather than under-reports and the
+//! allowlist absorbs the difference.
+
+use crate::scan::strip;
+
+/// Words that look like calls (`if (x)`) or constructors (`Some(x)`) but
+/// never name a function defined in this workspace.
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "move", "in", "as",
+    "ref", "mut", "pub", "use", "where", "impl", "dyn", "box", "Some", "None", "Ok", "Err",
+];
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`decide`).
+    pub name: String,
+    /// Qualified name for diagnostics (`SessionStore::decide` inside an
+    /// impl block, else the bare name).
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Byte range of the body (including both braces) in the stripped text.
+    pub body: (usize, usize),
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// `// abr-lint: hot-path` appeared immediately above (or on) the
+    /// `fn` line: this function roots hot-path reachability (rule R7).
+    pub hot_marker: bool,
+    /// `// abr-lint: cold` appeared immediately above (or on) the `fn`
+    /// line: reachability does not propagate into this function.
+    pub cold_marker: bool,
+    /// Identifiers in call position inside the body, deduplicated,
+    /// lexicographic.
+    pub calls: Vec<String>,
+}
+
+/// A file parsed into items, retaining the stripped text the spans index.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// The stripped code view ([`crate::scan::strip`]) the spans index.
+    pub stripped: String,
+    /// Every `fn` item found, in source order.
+    pub fns: Vec<FnItem>,
+    /// Byte offset of the first character of each line in `stripped`.
+    line_starts: Vec<usize>,
+}
+
+impl ParsedFile {
+    /// Parse `source` (raw text; stripping happens internally).
+    pub fn parse(source: &str) -> ParsedFile {
+        let stripped = strip(source);
+        let line_starts = line_starts(&stripped);
+        let raw_lines: Vec<&str> = source.lines().collect();
+        let test_mask = test_mask(&stripped);
+        let impls = impl_spans(&stripped);
+        let mut fns = Vec::new();
+        for at in word_occurrences(&stripped, "fn") {
+            let Some(item) = parse_fn(&stripped, at, &line_starts, &raw_lines, &test_mask, &impls)
+            else {
+                continue;
+            };
+            fns.push(item);
+        }
+        ParsedFile {
+            stripped,
+            fns,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of byte `offset` in the stripped text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx.max(1),
+        }
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of word-boundary occurrences of `word` in `text`.
+fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// Per-line `#[cfg(test)]` mask, same algorithm as the scanner's.
+fn test_mask(stripped: &str) -> Vec<bool> {
+    let n_lines = stripped.lines().count();
+    let mut mask = vec![false; n_lines.max(1)];
+    let bytes = stripped.as_bytes();
+    let mut line_of = Vec::with_capacity(bytes.len());
+    let mut line = 0usize;
+    for &b in bytes {
+        line_of.push(line);
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+    let needle = "#[cfg(test)]";
+    let mut search_from = 0usize;
+    while let Some(pos) = stripped[search_from..].find(needle) {
+        let start = search_from + pos + needle.len();
+        let Some(open_rel) = stripped[start..].find('{') else {
+            break;
+        };
+        let open = start + open_rel;
+        let close = matching_brace(bytes, open).unwrap_or(bytes.len().saturating_sub(1));
+        let first = line_of.get(start - needle.len()).copied().unwrap_or(0);
+        let last = line_of
+            .get(close)
+            .copied()
+            .unwrap_or(n_lines.saturating_sub(1));
+        for m in mask.iter_mut().take(last + 1).skip(first) {
+            *m = true;
+        }
+        search_from = close.max(start);
+    }
+    mask
+}
+
+/// Byte offset of the `}` matching the `{` at `open`, or `None` if the
+/// text ends first.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `(self_type, trait_name, body_span)` for every `impl` block.
+fn impl_spans(stripped: &str) -> Vec<(String, Option<String>, (usize, usize))> {
+    let bytes = stripped.as_bytes();
+    let mut out = Vec::new();
+    for at in word_occurrences(stripped, "impl") {
+        let Some(open_rel) = stripped[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        // `impl` headers never contain `{` or `;`; a `;` first means this
+        // was something else (e.g. a type alias mentioning impl Trait).
+        if stripped[at..open].contains(';') {
+            continue;
+        }
+        let Some(close) = matching_brace(bytes, open) else {
+            continue;
+        };
+        let header = &stripped[at + "impl".len()..open];
+        let header = strip_generics(header);
+        let (trait_name, self_type) = match header.split_once(" for ") {
+            Some((t, s)) => (Some(last_segment(t)), last_segment(s)),
+            None => (None, last_segment(&header)),
+        };
+        out.push((self_type, trait_name, (open, close)));
+    }
+    out
+}
+
+/// Drop `<...>` generic argument lists (depth-tracked) from a type path.
+fn strip_generics(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut depth = 0i64;
+    for c in s.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = (depth - 1).max(0),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out.trim().to_string()
+}
+
+/// Final path segment of a (possibly `::`-qualified) type name.
+fn last_segment(s: &str) -> String {
+    s.trim()
+        .rsplit("::")
+        .next()
+        .unwrap_or("")
+        .trim()
+        .trim_start_matches('&')
+        .trim()
+        .to_string()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    stripped: &str,
+    fn_at: usize,
+    line_starts: &[usize],
+    raw_lines: &[&str],
+    test_mask: &[bool],
+    impls: &[(String, Option<String>, (usize, usize))],
+) -> Option<FnItem> {
+    let bytes = stripped.as_bytes();
+    // Name: the next identifier after `fn`.
+    let after = &stripped[fn_at + 2..];
+    let name_rel = after.find(|c: char| c.is_ascii_alphabetic() || c == '_')?;
+    // Only whitespace may sit between `fn` and its name.
+    if !after[..name_rel].trim().is_empty() {
+        return None;
+    }
+    let name_start = fn_at + 2 + name_rel;
+    let name_end = stripped[name_start..]
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| name_start + i)
+        .unwrap_or(stripped.len());
+    let name = stripped[name_start..name_end].to_string();
+    // Body: the first `{` after the signature — unless a `;` at signature
+    // level arrives first (trait method declaration, extern fn).
+    let mut i = name_end;
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    let open = loop {
+        let b = *bytes.get(i)?;
+        match b {
+            b'<' => angle += 1,
+            b'>' => angle = (angle - 1).max(0), // `->` also lands here; harmless
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b';' if paren == 0 && angle == 0 => return None,
+            b'{' if paren == 0 => break i,
+            _ => {}
+        }
+        i += 1;
+    };
+    let close = matching_brace(bytes, open).unwrap_or(bytes.len() - 1);
+    let line_of = |off: usize| match line_starts.binary_search(&off) {
+        Ok(idx) => idx + 1,
+        Err(idx) => idx.max(1),
+    };
+    let start_line = line_of(fn_at);
+    let end_line = line_of(close);
+    let is_test = test_mask.get(start_line - 1).copied().unwrap_or(false);
+    let (hot_marker, cold_marker) = markers_for(raw_lines, start_line);
+    let qualified = impls
+        .iter()
+        .find(|(_, _, (a, b))| fn_at > *a && fn_at < *b)
+        .map(|(self_type, _, _)| format!("{self_type}::{name}"))
+        .unwrap_or_else(|| name.clone());
+    let calls = extract_calls(&stripped[open..=close]);
+    Some(FnItem {
+        name,
+        qualified,
+        start_line,
+        end_line,
+        body: (open, close),
+        is_test,
+        hot_marker,
+        cold_marker,
+        calls,
+    })
+}
+
+/// Look for marker comments in the run of comment/attribute lines directly
+/// above the `fn` line. A marker only counts as a *standalone* plain
+/// comment whose trimmed text starts with `// abr-lint:` — doc-comment
+/// prose that merely mentions the marker syntax (like this paragraph)
+/// never creates a root.
+fn markers_for(raw_lines: &[&str], start_line: usize) -> (bool, bool) {
+    let mut hot = false;
+    let mut cold = false;
+    let mut check = |line: &str| {
+        if let Some(directive) = line.strip_prefix("// abr-lint:") {
+            let directive = directive.trim();
+            if directive.starts_with("hot-path") {
+                hot = true;
+            }
+            if directive.starts_with("cold") {
+                cold = true;
+            }
+        }
+    };
+    let mut idx = start_line - 1; // 0-based index of the fn line
+    while idx > 0 {
+        idx -= 1;
+        let line = raw_lines[idx].trim();
+        if line.starts_with("//") || line.starts_with("#[") || line.starts_with("#!") {
+            check(line);
+        } else {
+            break;
+        }
+    }
+    (hot, cold)
+}
+
+/// Identifiers in call position inside `body` (stripped text): `name(`,
+/// `.name(`, `Path::name(`, and `name!(`. For path calls the last *two*
+/// segments are kept (`Cur::new(` → `"Cur::new"`) so the call graph can
+/// resolve them against qualified function names before falling back to
+/// the bare-name over-approximation; a `Self::` prefix is dropped (it
+/// resolves like a bare name). Deduplicated, sorted.
+fn extract_calls(body: &str) -> Vec<String> {
+    let bytes = body.as_bytes();
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) || bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let ident = &body[start..i];
+        // Skip whitespace and at most one `!` (macro) before the paren.
+        let mut j = i;
+        while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\n') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'!' {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'(' && !NON_CALL_WORDS.contains(&ident) {
+            let key = match path_prefix(body, start) {
+                Some(prefix) if prefix != "Self" => format!("{prefix}::{ident}"),
+                _ => ident.to_string(),
+            };
+            if let Err(pos) = out.binary_search(&key) {
+                out.insert(pos, key);
+            }
+        }
+    }
+    out
+}
+
+/// If the identifier starting at `start` is preceded by `::`, the path
+/// segment before it (`Cur::new` → `Some("Cur")`).
+fn path_prefix(body: &str, start: usize) -> Option<&str> {
+    let head = body.get(..start)?;
+    let head = head.strip_suffix("::")?;
+    let seg_start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let seg = &head[seg_start..];
+    (!seg.is_empty() && !seg.starts_with(|c: char| c.is_ascii_digit())).then_some(seg)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+struct Store;
+
+impl Store {
+    // abr-lint: hot-path
+    fn decide(&self, x: usize) -> usize {
+        self.helper(x)
+    }
+
+    fn helper(&self, x: usize) -> usize {
+        other(x) + 1
+    }
+}
+
+// abr-lint: cold
+fn other(x: usize) -> usize { x }
+
+trait T {
+    fn declared_only(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests() { decide(); }
+}
+"#;
+
+    #[test]
+    fn finds_functions_and_extents() {
+        let p = ParsedFile::parse(SRC);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["decide", "helper", "other", "in_tests"]);
+        let decide = &p.fns[0];
+        assert_eq!(decide.qualified, "Store::decide");
+        assert!(decide.start_line < decide.end_line);
+        assert!(p.stripped[decide.body.0..=decide.body.1].contains("helper"));
+    }
+
+    #[test]
+    fn markers_are_read_from_raw_comments() {
+        let p = ParsedFile::parse(SRC);
+        assert!(p.fns[0].hot_marker);
+        assert!(!p.fns[0].cold_marker);
+        assert!(!p.fns[1].hot_marker);
+        assert!(p.fns[2].cold_marker);
+    }
+
+    #[test]
+    fn trait_declarations_without_body_are_skipped() {
+        let p = ParsedFile::parse(SRC);
+        assert!(p.fns.iter().all(|f| f.name != "declared_only"));
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let p = ParsedFile::parse(SRC);
+        let t = p.fns.iter().find(|f| f.name == "in_tests").unwrap();
+        assert!(t.is_test);
+        assert!(!p.fns[0].is_test);
+    }
+
+    #[test]
+    fn calls_cover_method_and_free_forms() {
+        let p = ParsedFile::parse(SRC);
+        assert_eq!(p.fns[0].calls, ["helper"]);
+        assert_eq!(p.fns[1].calls, ["other"]);
+    }
+
+    #[test]
+    fn impl_trait_for_type_qualifies_by_self_type() {
+        let src = "impl AbrAlgorithm for Rba<'_> {\n    fn choose_level(&mut self) -> usize { pick() }\n}\n";
+        let p = ParsedFile::parse(src);
+        assert_eq!(p.fns[0].qualified, "Rba::choose_level");
+    }
+
+    #[test]
+    fn marker_on_attribute_run_is_found() {
+        let src = "// abr-lint: hot-path\n#[inline]\nfn fast() -> usize { 1 }\n";
+        let p = ParsedFile::parse(src);
+        assert!(p.fns[0].hot_marker, "marker above an attribute run");
+    }
+
+    #[test]
+    fn doc_comment_prose_mentioning_the_marker_is_not_a_marker() {
+        let src = "/// Roots are declared with `// abr-lint: hot-path` comments.\nfn document_markers() -> usize { 1 }\n";
+        let p = ParsedFile::parse(src);
+        assert!(!p.fns[0].hot_marker, "doc prose must not create a root");
+        // A marker with a trailing explanation still counts.
+        let src = "// abr-lint: cold — diagnostics only\nfn slow() -> usize { 1 }\n";
+        let p = ParsedFile::parse(src);
+        assert!(p.fns[0].cold_marker);
+    }
+
+    #[test]
+    fn generic_fn_with_where_clause_parses() {
+        let src = "fn f<T: Ord>(x: T) -> T\nwhere\n    T: Clone,\n{\n    helper(x)\n}\n";
+        let p = ParsedFile::parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].calls, ["helper"]);
+    }
+}

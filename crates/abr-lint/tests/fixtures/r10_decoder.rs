@@ -1,0 +1,22 @@
+//! R10 fixture decoder: three record types, in sync with
+//! `r10_spec.md`. Tests introduce drift by appending lines to copies of
+//! these fixtures.
+
+const EV_RUN_META: u8 = 0x01;
+const EV_DECISION: u8 = 0x02;
+const EV_RUN_END: u8 = 0x03;
+
+pub enum Event {
+    RunMeta { label: String, seed: u64 },
+    Decision { tick: u64, level: u64 },
+    RunEnd { events: u64 },
+}
+
+pub fn decode(ty: u8) -> Result<&'static str, u8> {
+    match ty {
+        EV_RUN_META => Ok("run-meta"),
+        EV_DECISION => Ok("decision"),
+        EV_RUN_END => Ok("run-end"),
+        other => Err(other),
+    }
+}

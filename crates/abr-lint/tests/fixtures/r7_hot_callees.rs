@@ -1,0 +1,25 @@
+//! R7 fixture, file B: callees of the root in file A. `deep_helper`
+//! allocates two levels down the chain (must be flagged with the chain in
+//! the message); `unreachable_alloc` allocates but nothing hot calls it
+//! (must NOT be flagged); `Telemetry::emit` is marked cold, so its
+//! allocation is exempt too.
+
+pub fn deep_helper(x: usize) -> usize {
+    let v = vec![0usize; x];
+    v.len()
+}
+
+pub fn unreachable_alloc() -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(1);
+    out
+}
+
+pub struct Telemetry;
+
+impl Telemetry {
+    // abr-lint: cold — diagnostics formatting, off the decision path
+    pub fn emit(y: usize) {
+        let _ = format!("emit {y}");
+    }
+}

@@ -1,0 +1,17 @@
+//! R7 fixture, file A: the hot-path root. `decide` is marked, calls into
+//! file B (`r7_hot_callees.rs`) both by bare name and by qualified path.
+
+pub struct Store;
+
+impl Store {
+    // abr-lint: hot-path
+    pub fn decide(&self, x: usize) -> usize {
+        let y = prepare(x);
+        Telemetry::emit(y);
+        y
+    }
+}
+
+fn prepare(x: usize) -> usize {
+    deep_helper(x)
+}

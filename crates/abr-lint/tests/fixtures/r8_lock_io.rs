@@ -1,0 +1,26 @@
+//! R8 fixture: lock guards vs blocking I/O. `held_across_write` must be
+//! flagged; `dropped_before_write` and `scoped_before_write` must not.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn held_across_write(m: &Mutex<u64>, w: &mut impl Write) {
+    let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    *guard += 1;
+    let _ = w.write_all(b"frame");
+}
+
+pub fn dropped_before_write(m: &Mutex<u64>, w: &mut impl Write) {
+    let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    *guard += 1;
+    drop(guard);
+    let _ = w.write_all(b"frame");
+}
+
+pub fn scoped_before_write(m: &Mutex<u64>, w: &mut impl Write) {
+    {
+        let mut guard = m.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += 1;
+    }
+    let _ = w.flush();
+}

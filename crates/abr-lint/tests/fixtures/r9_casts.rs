@@ -1,0 +1,21 @@
+//! R9 fixture: narrowing casts in an encode path. The unguarded `as u32`
+//! must be flagged; the `try_from`- and `MAX`-guarded casts and the
+//! widening `as u64` must not.
+
+pub fn unguarded(len: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+pub fn guarded_by_try_from(len: usize, out: &mut Vec<u8>) {
+    let len = u32::try_from(len).unwrap_or(u32::MAX);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+}
+
+pub fn guarded_by_bound_check(len: u64, max_len: u64) -> usize {
+    assert!(len <= max_len);
+    len as usize
+}
+
+pub fn widening_is_fine(x: u16) -> u64 {
+    x as u64
+}

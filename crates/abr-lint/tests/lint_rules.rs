@@ -1,9 +1,12 @@
-//! Fixture-driven rule tests (one per rule R1–R6) plus the clean-tree test:
-//! the linter run over the real workspace must report zero violations.
+//! Fixture-driven rule tests (one per rule R1–R10) plus the clean-tree
+//! test: the linter run over the real workspace must report zero
+//! violations with every rule armed.
 
 #![allow(clippy::unwrap_used)]
 
-use abr_lint::{check_crate_root, check_file, lint_workspace};
+use abr_lint::{
+    check_crate_hot_paths, check_crate_root, check_file, check_spec_drift, lint_workspace,
+};
 use std::path::Path;
 
 fn rules_hit(rel_path: &str, source: &str) -> Vec<&'static str> {
@@ -94,6 +97,135 @@ fn r6_detects_missing_forbid_unsafe_code() {
         "#![forbid(unsafe_code)]\npub fn f() {}\n"
     )
     .is_empty());
+}
+
+#[test]
+fn r7_flags_allocations_reachable_from_hot_roots_across_files() {
+    let files = vec![
+        (
+            "crates/x/src/root.rs".to_string(),
+            include_str!("fixtures/r7_hot_root.rs").to_string(),
+        ),
+        (
+            "crates/x/src/callees.rs".to_string(),
+            include_str!("fixtures/r7_hot_callees.rs").to_string(),
+        ),
+    ];
+    let hits = check_crate_hot_paths(&files);
+    // Only deep_helper's allocation is hot: unreachable_alloc has no hot
+    // caller and Telemetry::emit is marked cold.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "R7");
+    assert_eq!(hits[0].path, "crates/x/src/callees.rs");
+    assert!(
+        hits[0]
+            .message
+            .contains("Store::decide -> prepare -> deep_helper"),
+        "witness chain in the message: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn r7_without_markers_finds_nothing() {
+    let files = vec![(
+        "crates/x/src/a.rs".to_string(),
+        "fn alloc_freely() -> Vec<u8> { vec![1, 2, 3] }\n".to_string(),
+    )];
+    assert!(check_crate_hot_paths(&files).is_empty());
+}
+
+#[test]
+fn r8_flags_guard_held_across_io_but_not_released_guards() {
+    let src = include_str!("fixtures/r8_lock_io.rs");
+    let hits = check_file("crates/abr-serve/src/fixture.rs", src);
+    let r8: Vec<_> = hits.iter().filter(|v| v.rule == "R8").collect();
+    assert_eq!(r8.len(), 1, "{hits:?}");
+    assert!(r8[0].message.contains(".write_all("), "{}", r8[0].message);
+    // The flagged site is in held_across_write, not the clean functions.
+    let lock_line = src
+        .lines()
+        .position(|l| l.contains("pub fn held_across_write"))
+        .unwrap();
+    assert!(r8[0].line > lock_line && r8[0].line < lock_line + 4);
+}
+
+#[test]
+fn r9_flags_only_unguarded_narrowing_casts_in_watched_files() {
+    let src = include_str!("fixtures/r9_casts.rs");
+    let hits = check_file("crates/abr-serve/src/protocol.rs", src);
+    let r9: Vec<_> = hits.iter().filter(|v| v.rule == "R9").collect();
+    assert_eq!(r9.len(), 1, "{hits:?}");
+    assert!(r9[0].snippet.contains("len as u32"), "{}", r9[0].snippet);
+    // The same source is out of scope elsewhere.
+    assert!(check_file("crates/abr-serve/src/server.rs", src).is_empty());
+}
+
+const R10_SPEC: &str = include_str!("fixtures/r10_spec.md");
+const R10_DECODER: &str = include_str!("fixtures/r10_decoder.rs");
+
+#[test]
+fn r10_in_sync_pair_is_clean() {
+    let hits = check_spec_drift(
+        "docs/spec.md",
+        R10_SPEC,
+        "crates/x/src/replay.rs",
+        R10_DECODER,
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn r10_record_type_added_to_decoder_without_spec_row_fails() {
+    // The acceptance-criteria direction: a new record type in the decoder
+    // with no documentation row must fail the lint.
+    let decoder = format!("{R10_DECODER}const EV_FAULT_INJECTED: u8 = 0x04;\n");
+    let hits = check_spec_drift("docs/spec.md", R10_SPEC, "crates/x/src/replay.rs", &decoder);
+    assert!(
+        hits.iter()
+            .any(|v| v.rule == "R10" && v.message.contains("has no row")),
+        "undocumented record type must be reported: {hits:?}"
+    );
+    // The drift anchors on the decoder line that introduced it.
+    assert!(hits
+        .iter()
+        .any(|v| v.path == "crates/x/src/replay.rs" && v.snippet.contains("EV_FAULT_INJECTED")));
+}
+
+#[test]
+fn r10_spec_row_without_decoder_constant_fails() {
+    let spec = format!("{R10_SPEC}| 0x04 | FaultInjected | `kind u8` |\n");
+    let hits = check_spec_drift("docs/spec.md", &spec, "crates/x/src/replay.rs", R10_DECODER);
+    assert!(
+        hits.iter().any(|v| v.rule == "R10"
+            && v.path == "docs/spec.md"
+            && v.message.contains("no constant with that value")),
+        "spec-only record type must be reported: {hits:?}"
+    );
+}
+
+#[test]
+fn r10_name_drift_between_spec_and_decoder_fails() {
+    let spec = R10_SPEC.replace("| 0x02 | Decision |", "| 0x02 | Choice |");
+    let hits = check_spec_drift("docs/spec.md", &spec, "crates/x/src/replay.rs", R10_DECODER);
+    assert!(
+        hits.iter()
+            .any(|v| v.rule == "R10" && v.message.contains("`Choice`")),
+        "name drift must be reported: {hits:?}"
+    );
+}
+
+#[test]
+fn r10_constant_without_match_arm_fails() {
+    // Decode arm removed: the constant exists and is documented, but the
+    // decoder never handles it.
+    let decoder = R10_DECODER.replace("EV_RUN_END => Ok(\"run-end\"),", "");
+    let hits = check_spec_drift("docs/spec.md", R10_SPEC, "crates/x/src/replay.rs", &decoder);
+    assert!(
+        hits.iter()
+            .any(|v| v.rule == "R10" && v.message.contains("never matched")),
+        "unhandled record type must be reported: {hits:?}"
+    );
 }
 
 #[test]

@@ -758,6 +758,7 @@ impl AbrAlgorithm for RemoteAbr<'_> {
         &self.display_name
     }
 
+    // abr-lint: cold — performs a real network round-trip by design
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         if self.error.is_some() {
             // The session already failed; finish the replay locally at the

@@ -426,6 +426,7 @@ fn put_stats(out: &mut Vec<u8>, s: &StatsSnapshot) {
 /// [`WireError::Oversized`] check, so an encoder can never emit a frame the
 /// decoder is guaranteed to refuse (reachable today: two maximum-length
 /// strings in one `OpenSession` overflow the cap).
+// abr-lint: hot-path
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
     let mut body = Vec::with_capacity(64);
     body.push(0); // frame type, patched below
@@ -537,6 +538,7 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
 /// callers batching frames flush once. Oversized frames are rejected
 /// before any byte is written, so a failed encode never corrupts the
 /// stream.
+// abr-lint: hot-path
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
     w.write_all(&encode_frame(frame)?)?;
     Ok(())
@@ -672,6 +674,7 @@ impl<'a> Cur<'a> {
 
 /// Decode one frame body (type byte + payload, **without** the length
 /// prefix). Rejects trailing bytes so an encoder bug cannot hide.
+// abr-lint: hot-path
 pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
     let mut cur = Cur::new(body);
     let ty = cur
@@ -814,6 +817,7 @@ fn read_full<R: Read>(
 /// frame boundary is [`WireError::Closed`]; EOF anywhere inside a frame is
 /// [`WireError::Truncated`]. Blocks indefinitely on a silent peer — the
 /// server side uses [`read_frame_budgeted`] instead.
+// abr-lint: hot-path
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     read_frame_budgeted(r, u64::MAX)
 }
@@ -826,6 +830,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
 /// deadline. Bytes trickling in — a slow but live peer — keep refilling
 /// the budget, so only genuine stalls (mid-frame or between frames) trip
 /// it.
+// abr-lint: hot-path
 pub fn read_frame_budgeted<R: Read>(r: &mut R, idle_slots: u64) -> Result<Frame, WireError> {
     read_frame_budgeted_traced(r, idle_slots).map(|(frame, _, _)| frame)
 }
@@ -834,6 +839,7 @@ pub fn read_frame_budgeted<R: Read>(r: &mut R, idle_slots: u64) -> Result<Frame,
 /// frame's full wire length (length prefix included) and its type byte.
 /// The replay event log records both for every frame in/out without
 /// re-encoding the frame (see [`crate::replay`]).
+// abr-lint: hot-path
 pub fn read_frame_budgeted_traced<R: Read>(
     r: &mut R,
     idle_slots: u64,

@@ -616,12 +616,13 @@ pub fn decode_log(bytes: &[u8]) -> Result<EventLog, ReplayError> {
         if len == 0 || len > MAX_EVENT_LEN {
             return Err(ReplayError::Oversized { index, len });
         }
-        let Some(body) = bytes.get(pos + 4..pos + 4 + len as usize) else {
+        let len = len as usize; // bounded by MAX_EVENT_LEN above
+        let Some(body) = bytes.get(pos + 4..pos + 4 + len) else {
             truncated = true;
             break;
         };
         events.push(decode_record(index, body)?);
-        pos += 4 + len as usize;
+        pos += 4 + len;
     }
     Ok(EventLog {
         version,

@@ -418,6 +418,7 @@ impl SessionStore {
     /// answers from cache without touching algorithm state — exactly-once
     /// application, which is what keeps decision parity intact across
     /// reconnects.
+    // abr-lint: hot-path
     pub fn decide(
         &self,
         session_id: u64,

@@ -95,6 +95,7 @@ impl AbrAlgorithm for FixedLevel {
         &self.name
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         self.level.min(ctx.manifest.top_level())
     }

@@ -143,6 +143,7 @@ impl AbrAlgorithm for Cava {
         &self.name
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         // Client-side classification from manifest chunk sizes (§3.2):
         // `n_classes` equal-frequency size classes on the reference (middle)
@@ -158,7 +159,13 @@ impl AbrAlgorithm for Cava {
                 self.config.n_classes,
             );
             let top = self.config.n_classes - 1;
-            self.is_complex = Some(classes.into_iter().map(|c| c == top).collect());
+            // Reuse the cached buffer: live manifests grow every chunk, so
+            // a fresh collect() here would reallocate per decision at the
+            // live edge; clear + extend keeps the capacity (lint rule R7).
+            let mut cache = self.is_complex.take().unwrap_or_default();
+            cache.clear();
+            cache.extend(classes.into_iter().map(|c| c == top));
+            self.is_complex = Some(cache);
         }
         let is_complex = self.is_complex.as_ref().expect("set above");
 

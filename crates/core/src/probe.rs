@@ -53,6 +53,7 @@ impl AbrAlgorithm for InstrumentedCava {
         self.cava.name()
     }
 
+    // abr-lint: hot-path
     fn choose_level(&mut self, ctx: &DecisionContext) -> usize {
         let level = self.cava.choose_level(ctx);
         self.decisions.push(DecisionTrace {

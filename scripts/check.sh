@@ -5,7 +5,8 @@
 #
 # The doc step holds abr-bench to `#![deny(missing_docs)]` plus
 # rustdoc's own lints (broken intra-doc links, etc.). The abr-lint step
-# enforces the determinism rules R1-R6 (see CONTRIBUTING.md); the final
+# enforces the determinism rules R1-R10 (see CONTRIBUTING.md), writing
+# the machine-readable report to results/abr-lint.json; the final
 # steps re-run the simulator and controller suites with the runtime
 # invariant layer armed.
 set -eu
@@ -21,8 +22,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc -p abr-bench -p abr-serve (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p abr-bench -p abr-serve
 
-echo "==> abr-lint (determinism rules R1-R6)"
-cargo run -q -p abr-lint --
+echo "==> abr-lint (determinism rules R1-R10, JSON report)"
+mkdir -p results
+# The JSON run is the gate; the report survives for CI to upload. On
+# failure, re-run in human-readable form so the violations land in the
+# log with snippets and witness chains.
+if ! cargo run -q -p abr-lint -- --format json > results/abr-lint.json; then
+    cargo run -q -p abr-lint -- || true
+    echo "abr-lint failed; report: results/abr-lint.json" >&2
+    exit 1
+fi
 
 echo "==> cargo test -p abr-sim --features strict-invariants"
 cargo test -q -p abr-sim --features strict-invariants
