@@ -107,6 +107,7 @@ const SIM_CRATES: &[&str] = &[
     "core",
     "abr-sim",
     "abr-baselines",
+    "abr-pop",
     "abr-serve",
     "vbr-video",
     "net-trace",
@@ -115,10 +116,12 @@ const SIM_CRATES: &[&str] = &[
 
 /// Crates that produce journal/report/CSV output (R2): iteration order must
 /// be deterministic, so unordered hash collections are banned outright.
-const OUTPUT_CRATES: &[&str] = &["bench", "sim-report", "abr-serve"];
+const OUTPUT_CRATES: &[&str] = &["bench", "sim-report", "abr-serve", "abr-pop"];
 
-/// Crates holding ABR decision logic (R4).
-const ALGO_CRATES: &[&str] = &["core", "abr-sim", "abr-baselines", "abr-serve"];
+/// Crates holding ABR decision logic (R4). `abr-pop` is in scope: its
+/// arrival-placement and lifecycle draws are decision logic in the same
+/// sense — an exact float compare there silently skews the population.
+const ALGO_CRATES: &[&str] = &["core", "abr-sim", "abr-baselines", "abr-serve", "abr-pop"];
 
 /// Library crates (R5): panicking on I/O or parse results is banned; the
 /// provably-infallible cases are catalogued in the allowlist.
@@ -126,6 +129,7 @@ const LIBRARY_CRATES: &[&str] = &[
     "core",
     "abr-sim",
     "abr-baselines",
+    "abr-pop",
     "abr-serve",
     "vbr-video",
     "net-trace",

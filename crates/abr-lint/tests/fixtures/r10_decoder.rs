@@ -1,15 +1,19 @@
-//! R10 fixture decoder: three record types, in sync with
+//! R10 fixture decoder: five record types, in sync with
 //! `r10_spec.md`. Tests introduce drift by appending lines to copies of
 //! these fixtures.
 
 const EV_RUN_META: u8 = 0x01;
 const EV_DECISION: u8 = 0x02;
 const EV_RUN_END: u8 = 0x03;
+const EV_SESSION_ABANDON: u8 = 0x04;
+const EV_SEEK: u8 = 0x05;
 
 pub enum Event {
     RunMeta { label: String, seed: u64 },
     Decision { tick: u64, level: u64 },
     RunEnd { events: u64 },
+    SessionAbandon { session_id: u64, watched_s: f64 },
+    Seek { session_id: u64, to_chunk: u64 },
 }
 
 pub fn decode(ty: u8) -> Result<&'static str, u8> {
@@ -17,6 +21,8 @@ pub fn decode(ty: u8) -> Result<&'static str, u8> {
         EV_RUN_META => Ok("run-meta"),
         EV_DECISION => Ok("decision"),
         EV_RUN_END => Ok("run-end"),
+        EV_SESSION_ABANDON => Ok("session-abandon"),
+        EV_SEEK => Ok("seek"),
         other => Err(other),
     }
 }

@@ -179,7 +179,7 @@ fn r10_in_sync_pair_is_clean() {
 fn r10_record_type_added_to_decoder_without_spec_row_fails() {
     // The acceptance-criteria direction: a new record type in the decoder
     // with no documentation row must fail the lint.
-    let decoder = format!("{R10_DECODER}const EV_FAULT_INJECTED: u8 = 0x04;\n");
+    let decoder = format!("{R10_DECODER}const EV_FAULT_INJECTED: u8 = 0x06;\n");
     let hits = check_spec_drift("docs/spec.md", R10_SPEC, "crates/x/src/replay.rs", &decoder);
     assert!(
         hits.iter()
@@ -194,7 +194,7 @@ fn r10_record_type_added_to_decoder_without_spec_row_fails() {
 
 #[test]
 fn r10_spec_row_without_decoder_constant_fails() {
-    let spec = format!("{R10_SPEC}| 0x04 | FaultInjected | `kind u8` |\n");
+    let spec = format!("{R10_SPEC}| 0x06 | FaultInjected | `kind u8` |\n");
     let hits = check_spec_drift("docs/spec.md", &spec, "crates/x/src/replay.rs", R10_DECODER);
     assert!(
         hits.iter().any(|v| v.rule == "R10"
@@ -212,6 +212,43 @@ fn r10_name_drift_between_spec_and_decoder_fails() {
         hits.iter()
             .any(|v| v.rule == "R10" && v.message.contains("`Choice`")),
         "name drift must be reported: {hits:?}"
+    );
+}
+
+#[test]
+fn r10_abandon_constant_without_spec_row_fails() {
+    // Both drift directions for the population-workload rows. Direction
+    // one: the decoder knows SessionAbandon but the spec row is gone.
+    let spec = R10_SPEC.replace(
+        "| 0x04 | SessionAbandon | `session_id u64`, `watched_s f64` |\n",
+        "",
+    );
+    let hits = check_spec_drift("docs/spec.md", &spec, "crates/x/src/replay.rs", R10_DECODER);
+    assert!(
+        hits.iter().any(|v| v.rule == "R10"
+            && v.snippet.contains("EV_SESSION_ABANDON")
+            && v.message.contains("has no row")),
+        "undocumented SessionAbandon must be reported: {hits:?}"
+    );
+}
+
+#[test]
+fn r10_seek_spec_row_without_decoder_fails() {
+    // Direction two: the spec documents Seek but the decoder lost it.
+    let decoder = R10_DECODER
+        .replace("const EV_SEEK: u8 = 0x05;\n", "")
+        .replace("    Seek { session_id: u64, to_chunk: u64 },\n", "")
+        .replace("        EV_SEEK => Ok(\"seek\"),\n", "");
+    assert!(
+        decoder.len() < R10_DECODER.len(),
+        "fixture edit took effect"
+    );
+    let hits = check_spec_drift("docs/spec.md", R10_SPEC, "crates/x/src/replay.rs", &decoder);
+    assert!(
+        hits.iter().any(|v| v.rule == "R10"
+            && v.path == "docs/spec.md"
+            && v.message.contains("no constant with that value")),
+        "spec-only Seek row must be reported: {hits:?}"
     );
 }
 

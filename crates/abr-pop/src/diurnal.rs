@@ -1,0 +1,187 @@
+//! Diurnal non-homogeneous arrival process.
+//!
+//! Video demand follows a pronounced daily cycle: a trough in the early
+//! morning and a prime-time evening peak several times higher. We model
+//! the arrival intensity as the raised-cosine curve
+//!
+//! ```text
+//! λ(t) = 1 + a · (1 − cos(2π (t − φ) / P)) / 2
+//! ```
+//!
+//! with period `P` (one day), amplitude `a` (peak-to-trough ≈ `1 + a`),
+//! and phase `φ` chosen so the peak lands at `peak_hour`. The absolute
+//! scale of λ is irrelevant here: populations are generated *conditioned
+//! on their size* `N`, and a standard property of the non-homogeneous
+//! Poisson process is that, given `N` arrivals in `[0, T]`, the arrival
+//! times are i.i.d. with density `λ(t) / Λ(T)`. Each viewer's arrival is
+//! therefore `Λ⁻¹(u · Λ(T))` for an independent uniform `u` — a pure
+//! per-viewer computation, which is what makes the population sweep
+//! embarrassingly parallel yet exactly reproducible.
+
+use std::f64::consts::TAU;
+
+/// Parameters of the diurnal rate curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalConfig {
+    /// Period of the cycle in seconds (default: one day).
+    pub period_s: f64,
+    /// Amplitude `a` of the raised cosine: the peak rate is `1 + a` times
+    /// the trough rate (default 3 — prime time is 4× the 4 a.m. trough).
+    pub amplitude: f64,
+    /// Hour of the day (0–24) at which the peak lands (default 20:00).
+    pub peak_hour: f64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> DiurnalConfig {
+        DiurnalConfig {
+            period_s: 86_400.0,
+            amplitude: 3.0,
+            peak_hour: 20.0,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on a non-positive period, negative amplitude, or a peak hour
+    /// outside `[0, 24]`.
+    pub fn validate(&self) {
+        assert!(self.period_s > 0.0, "period must be positive");
+        assert!(self.amplitude >= 0.0, "amplitude cannot be negative");
+        assert!(
+            (0.0..=24.0).contains(&self.peak_hour),
+            "peak hour must be in [0, 24]"
+        );
+    }
+
+    /// Phase offset φ in seconds so that λ peaks at `peak_hour`.
+    fn phase_s(&self) -> f64 {
+        // The raised cosine 1 − cos(2π(t − φ)/P) peaks at t = φ + P/2.
+        self.peak_hour / 24.0 * 86_400.0 - self.period_s / 2.0
+    }
+
+    /// Instantaneous (relative) arrival rate at time `t` seconds.
+    pub fn rate(&self, t: f64) -> f64 {
+        let x = TAU * (t - self.phase_s()) / self.period_s;
+        1.0 + self.amplitude * (1.0 - x.cos()) / 2.0
+    }
+
+    /// Cumulative rate `Λ(t) = ∫₀ᵗ λ(s) ds`, in closed form.
+    pub fn cumulative(&self, t: f64) -> f64 {
+        let phi = self.phase_s();
+        let integral = |u: f64| -> f64 {
+            // ∫ 1 + a(1 − cos(2π(u−φ)/P))/2 du
+            //   = (1 + a/2)·u − (aP / 4π)·sin(2π(u−φ)/P)
+            (1.0 + self.amplitude / 2.0) * u
+                - self.amplitude * self.period_s / (2.0 * TAU)
+                    * (TAU * (u - phi) / self.period_s).sin()
+        };
+        integral(t) - integral(0.0)
+    }
+
+    /// Invert the cumulative rate over `[0, horizon_s]`: the unique `t`
+    /// with `Λ(t) = target`, found by bisection (Λ is strictly
+    /// increasing; 64 iterations pin the result to one ULP of the
+    /// interval, making the inversion bit-stable across platforms).
+    pub fn inverse_cumulative(&self, target: f64, horizon_s: f64) -> f64 {
+        let total = self.cumulative(horizon_s);
+        let clamped = target.clamp(0.0, total);
+        let mut lo = 0.0f64;
+        let mut hi = horizon_s;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.cumulative(mid) < clamped {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Map a uniform draw `u ∈ [0, 1)` to an arrival time in
+    /// `[0, horizon_s]` with density `λ(t)/Λ(horizon_s)` — the
+    /// conditional-NHPP arrival placement described in the module docs.
+    pub fn arrival_from_uniform(&self, u: f64, horizon_s: f64) -> f64 {
+        self.inverse_cumulative(u * self.cumulative(horizon_s), horizon_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_peaks_at_peak_hour_and_troughs_opposite() {
+        let d = DiurnalConfig::default();
+        let peak = d.rate(20.0 / 24.0 * 86_400.0);
+        let trough = d.rate(8.0 / 24.0 * 86_400.0);
+        assert!((peak - 4.0).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 1.0).abs() < 1e-9, "trough {trough}");
+    }
+
+    #[test]
+    fn cumulative_matches_numeric_integral() {
+        let d = DiurnalConfig::default();
+        let t = 50_000.0;
+        let steps = 200_000;
+        let dt = t / steps as f64;
+        let numeric: f64 = (0..steps).map(|i| d.rate((i as f64 + 0.5) * dt) * dt).sum();
+        let closed = d.cumulative(t);
+        assert!(
+            (numeric - closed).abs() / closed < 1e-6,
+            "numeric {numeric} vs closed {closed}"
+        );
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let d = DiurnalConfig::default();
+        let horizon = 86_400.0;
+        for k in 0..20 {
+            let t = horizon * k as f64 / 20.0;
+            let back = d.inverse_cumulative(d.cumulative(t), horizon);
+            assert!((back - t).abs() < 1e-6, "t {t} round-tripped to {back}");
+        }
+    }
+
+    #[test]
+    fn uniform_mapping_is_monotone_and_spans_horizon() {
+        let d = DiurnalConfig::default();
+        let horizon = 3_600.0;
+        let mut prev = -1.0;
+        for k in 0..=100 {
+            let u = k as f64 / 100.0;
+            let t = d.arrival_from_uniform(u, horizon);
+            assert!(t >= prev, "monotone");
+            assert!((0.0..=horizon).contains(&t));
+            prev = t;
+        }
+        assert!(d.arrival_from_uniform(0.0, horizon) < 1e-6);
+        assert!((d.arrival_from_uniform(1.0, horizon) - horizon).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_curve_when_amplitude_zero() {
+        let d = DiurnalConfig {
+            amplitude: 0.0,
+            ..DiurnalConfig::default()
+        };
+        // λ ≡ 1: arrivals are uniform.
+        let t = d.arrival_from_uniform(0.25, 1000.0);
+        assert!((t - 250.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_peak_hour_rejected() {
+        DiurnalConfig {
+            peak_hour: 25.0,
+            ..DiurnalConfig::default()
+        }
+        .validate();
+    }
+}

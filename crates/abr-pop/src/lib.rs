@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+//! # abr-pop — population-scale workload engine
+//!
+//! The paper evaluates ABR schemes one session at a time over fixed trace
+//! sets. Real deployments serve a *population*: viewers arrive on a diurnal
+//! curve, watch on phones and TVs over wildly different access networks,
+//! seek around, and abandon mid-stream. This crate models that population
+//! as a **seeded, deterministic** generative process over logical time —
+//! the layer between trace generation (`net-trace`) and execution
+//! (`bench`'s in-process sweep or `abr-serve`'s socket loadgen).
+//!
+//! * [`diurnal`] — a non-homogeneous arrival process: an explicit rate
+//!   curve λ(t) with a closed-form integral, inverted to place arrivals.
+//! * [`cohort`] — the device/network mix: phone vs TV, LTE / FCC
+//!   broadband / 5G / GEO satellite, and a live-viewer fraction; maps each
+//!   cohort to its player configuration, QoE model, and trace generator.
+//! * [`lifecycle`] — per-viewer behaviour draws: session length /
+//!   abandonment and seek events, emitted as an
+//!   [`abr_sim::SessionControl`].
+//! * [`population`] — ties the three together: [`population::Population`]
+//!   derives viewer `i` of a seeded population as a *pure function of
+//!   `(seed, i)`*, so million-session sweeps parallelize with no
+//!   cross-thread state and stay byte-identical at any thread count.
+//!
+//! Everything is reachable from one seed. There is no wall-clock, no OS
+//! entropy, and no hash-order dependence anywhere in this crate (abr-lint
+//! rules R1–R5 are enforced on it).
+
+pub mod cohort;
+pub mod diurnal;
+pub mod lifecycle;
+pub mod population;
+
+pub use cohort::{Cohort, Device, MixConfig, NetworkRegime};
+pub use diurnal::DiurnalConfig;
+pub use lifecycle::LifecycleConfig;
+pub use population::{PopConfig, Population, ViewerSession};

@@ -1,0 +1,198 @@
+//! Per-viewer behaviour draws: session length, abandonment, and seeks.
+//!
+//! Deployment studies consistently report (a) a large fraction of
+//! sessions abandoned well before the content ends, with roughly
+//! exponential watch times, and (b) a minority of sessions containing one
+//! or more seeks. The draws here reproduce those shapes and emit an
+//! [`abr_sim::SessionControl`] the simulator executes directly.
+//!
+//! Draw order from the per-viewer RNG is fixed and documented (part of
+//! the determinism contract): completion coin, watch-time draw, seek
+//! coin, seek count, then `(time, target)` per seek.
+
+use abr_sim::{SeekEvent, SessionControl};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the viewer-behaviour draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecycleConfig {
+    /// Probability a viewer watches to the end (no abandonment draw).
+    pub complete_fraction: f64,
+    /// Mean of the exponential watch-time draw for abandoning viewers,
+    /// seconds.
+    pub mean_watch_s: f64,
+    /// Floor on the abandonment time, seconds (nobody leaves mid-startup
+    /// in under this).
+    pub min_watch_s: f64,
+    /// Probability a (VoD) session contains any seeks.
+    pub seek_prob: f64,
+    /// Maximum seeks per session (uniform 1..=max when the seek coin
+    /// lands).
+    pub max_seeks: usize,
+    /// Nominal video length in chunks used to place seek targets; the
+    /// player clamps targets to the actual video, so a hint longer than
+    /// the content just biases seeks toward the end.
+    pub video_chunks_hint: usize,
+    /// Latest seek time as a fraction of the mean watch time.
+    pub seek_window_s: f64,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> LifecycleConfig {
+        LifecycleConfig {
+            complete_fraction: 0.45,
+            mean_watch_s: 300.0,
+            min_watch_s: 5.0,
+            seek_prob: 0.25,
+            max_seeks: 3,
+            video_chunks_hint: 120,
+            seek_window_s: 420.0,
+        }
+    }
+}
+
+impl LifecycleConfig {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on out-of-range probabilities or non-positive times/counts.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.complete_fraction),
+            "complete fraction must be in [0, 1]"
+        );
+        assert!(self.mean_watch_s > 0.0, "mean watch time must be positive");
+        assert!(self.min_watch_s > 0.0, "min watch time must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.seek_prob),
+            "seek probability must be in [0, 1]"
+        );
+        assert!(self.max_seeks >= 1, "max seeks must be at least 1");
+        assert!(self.video_chunks_hint >= 1, "chunk hint must be positive");
+        assert!(self.seek_window_s > 0.0, "seek window must be positive");
+    }
+
+    /// Draw one viewer's session control. Live viewers never seek (they
+    /// are pinned to the live edge) but abandon like everyone else.
+    pub fn draw(&self, rng: &mut StdRng, live: bool) -> SessionControl {
+        // 1. Completion coin + watch time. The watch-time uniform is
+        //    always consumed so the downstream draw positions don't
+        //    depend on the coin (keeps per-field tweaks local).
+        let completes = rng.gen::<f64>() < self.complete_fraction;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let watch_s = (-self.mean_watch_s * (1.0 - u).ln()).max(self.min_watch_s);
+        let abandon_at_s = if completes { None } else { Some(watch_s) };
+
+        // 2. Seeks.
+        let mut seeks = Vec::new();
+        let seek_coin = rng.gen::<f64>();
+        if !live && seek_coin < self.seek_prob {
+            let count = rng.gen_range(1..=self.max_seeks);
+            for _ in 0..count {
+                let at_s = self.min_watch_s + rng.gen::<f64>() * self.seek_window_s;
+                let to_chunk = rng.gen_range(0..self.video_chunks_hint);
+                // Seeks after the viewer has left never fire; skip them so
+                // the control reflects what can actually happen.
+                if abandon_at_s.is_none_or(|a| at_s < a) {
+                    seeks.push(SeekEvent { at_s, to_chunk });
+                }
+            }
+        }
+        SessionControl {
+            abandon_at_s,
+            seeks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_are_deterministic() {
+        let cfg = LifecycleConfig::default();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(cfg.draw(&mut a, false), cfg.draw(&mut b, false));
+        }
+    }
+
+    #[test]
+    fn completion_fraction_is_respected() {
+        let cfg = LifecycleConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let completed = (0..n)
+            .filter(|_| cfg.draw(&mut rng, false).abandon_at_s.is_none())
+            .count();
+        let frac = completed as f64 / n as f64;
+        assert!(
+            (frac - cfg.complete_fraction).abs() < 0.03,
+            "completed fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn abandonment_times_are_exponential_ish() {
+        let cfg = LifecycleConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let times: Vec<f64> = (0..8000)
+            .filter_map(|_| cfg.draw(&mut rng, false).abandon_at_s)
+            .collect();
+        assert!(times.len() > 3000);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!(
+            (mean - cfg.mean_watch_s).abs() / cfg.mean_watch_s < 0.1,
+            "mean watch {mean}"
+        );
+        assert!(times.iter().all(|&t| t >= cfg.min_watch_s));
+    }
+
+    #[test]
+    fn live_viewers_never_seek() {
+        let cfg = LifecycleConfig {
+            seek_prob: 1.0,
+            ..LifecycleConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            assert!(cfg.draw(&mut rng, true).seeks.is_empty());
+        }
+    }
+
+    #[test]
+    fn seeks_precede_abandonment() {
+        let cfg = LifecycleConfig {
+            seek_prob: 1.0,
+            complete_fraction: 0.0,
+            ..LifecycleConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..500 {
+            let control = cfg.draw(&mut rng, false);
+            let abandon = control.abandon_at_s.expect("all sessions abandon");
+            for s in &control.seeks {
+                assert!(s.at_s < abandon);
+            }
+        }
+    }
+
+    #[test]
+    fn seek_fraction_is_respected() {
+        let cfg = LifecycleConfig {
+            complete_fraction: 1.0,
+            ..LifecycleConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 4000;
+        let with_seeks = (0..n)
+            .filter(|_| !cfg.draw(&mut rng, false).seeks.is_empty())
+            .count();
+        let frac = with_seeks as f64 / n as f64;
+        assert!((frac - cfg.seek_prob).abs() < 0.03, "seek fraction {frac}");
+    }
+}

@@ -32,18 +32,33 @@
 //! decision parity check must **still pass under every injected fault** —
 //! that is the point of the whole exercise.
 //!
+//! **Population mode**: setting [`LoadgenConfig::population`] replaces the
+//! round-robin fleet with a seeded `abr-pop` population. Sessions hit the
+//! server in *arrival order* (the diurnal schedule), each one streams its
+//! cohort's network regime with its cohort's player configuration, and the
+//! viewer's behaviour overlay — mid-session seeks and abandonment — is
+//! executed by the real simulator driving real sockets, so an abandoning
+//! viewer closes its session early exactly as it would in production. The
+//! parity replay runs the same controlled session in-process, so decision
+//! parity holds for truncated and seek-torn sessions too. Seeks and
+//! abandons are recorded as [`Event::Seek`]/[`Event::SessionAbandon`]
+//! annotations when a recorder is attached.
+//!
 //! No wall clock is read here: latency measurement comes from the injected
 //! `now` closure (backed by the bench journal's `Stopwatch` in real use).
 //! Fault stalls and backoff use `thread::sleep`, which consumes time but
-//! never reads it.
+//! never reads it. Population arrival times order the fleet; they are not
+//! slept out — the drive runs as fast as the server allows.
 
 use crate::protocol::{ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
 use crate::replay::{Event, Recorder};
 use crate::scheme;
 use crate::store::VideoProvider;
 use crate::{lock, protocol};
+use abr_pop::{Cohort, PopConfig, Population};
 use abr_sim::{
-    AbrAlgorithm, DecisionContext, DecisionRequest, PlayerConfig, SessionResult, Simulator,
+    AbrAlgorithm, DecisionContext, DecisionRequest, PlayerConfig, SessionControl, SessionResult,
+    Simulator,
 };
 use net_trace::lte::{lte_trace, LteConfig};
 use sim_report::stats::percentile;
@@ -81,8 +96,14 @@ pub struct LoadgenConfig {
     /// Deterministic fault injection; `None` runs the fleet clean.
     pub faults: Option<FaultConfig>,
     /// Player configuration used by both the remote drive and the parity
-    /// replay.
+    /// replay (population cohorts override it per session).
     pub player: PlayerConfig,
+    /// Population mode: derive the fleet from a seeded `abr-pop`
+    /// population instead of the round-robin plan. Overrides `sessions`
+    /// (the population's size wins) and per-session trace seeds, network
+    /// regimes, player configs, and VMAF models; `videos` and `schemes`
+    /// are still assigned round-robin by population index.
+    pub population: Option<PopConfig>,
 }
 
 impl Default for LoadgenConfig {
@@ -98,6 +119,7 @@ impl Default for LoadgenConfig {
             parity: true,
             faults: None,
             player: PlayerConfig::default(),
+            population: None,
         }
     }
 }
@@ -190,7 +212,7 @@ impl ClientStats {
 }
 
 /// One session's identity: a pure function of `(config, session index)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionPlan {
     /// Wire session id (`index + 1`).
     pub session_id: u64,
@@ -198,8 +220,37 @@ pub struct SessionPlan {
     pub video: String,
     /// Scheme serving the decisions.
     pub scheme: String,
-    /// Seed of the LTE trace this session replays.
+    /// Seed of the session's network trace (LTE in the classic fleet; the
+    /// cohort's regime in population mode).
     pub trace_seed: u64,
+    /// Population cohort (`None` in the classic round-robin fleet).
+    pub cohort: Option<Cohort>,
+    /// Viewer behaviour overlay: seeks and abandonment (passive in the
+    /// classic fleet).
+    pub control: SessionControl,
+}
+
+impl SessionPlan {
+    /// The network trace this session streams over: the cohort's regime in
+    /// population mode, the classic LTE generator otherwise.
+    fn trace(&self) -> net_trace::Trace {
+        match &self.cohort {
+            Some(c) => c.network.trace(self.trace_seed),
+            None => lte_trace(self.trace_seed, &LteConfig::default()),
+        }
+    }
+
+    /// The player configuration for this session (cohort override or the
+    /// fleet default).
+    fn player(&self, default: PlayerConfig) -> PlayerConfig {
+        self.cohort.map_or(default, |c| c.player_config())
+    }
+
+    /// The VMAF viewing model for this session (cohort device or the
+    /// fleet default).
+    fn vmaf(&self, default: VmafModel) -> VmafModel {
+        self.cohort.map_or(default, |c| c.qoe_config().vmaf_model)
+    }
 }
 
 /// What one session produced.
@@ -342,7 +393,7 @@ impl Lcg {
 /// Expand a config into the fleet's session plans, in seeded arrival
 /// order. Pure: same config, same plans.
 pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
-    if config.sessions == 0 {
+    if config.sessions == 0 && config.population.is_none() {
         return Err(LoadgenError::BadConfig(
             "sessions must be at least 1".into(),
         ));
@@ -368,6 +419,24 @@ pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
             return Err(LoadgenError::BadConfig(format!("unknown scheme {name:?}")));
         }
     }
+    if let Some(pop_config) = config.population {
+        // Population mode: the seeded diurnal schedule is the arrival
+        // order, and every per-session attribute comes from the viewer's
+        // derivation — same seed, same fleet, same order.
+        let population = Population::new(pop_config);
+        return Ok(population
+            .schedule()
+            .into_iter()
+            .map(|viewer| SessionPlan {
+                session_id: viewer.index as u64 + 1,
+                video: config.videos[viewer.index % config.videos.len()].clone(),
+                scheme: config.schemes[viewer.index % config.schemes.len()].clone(),
+                trace_seed: viewer.trace_seed,
+                cohort: Some(viewer.cohort),
+                control: viewer.control,
+            })
+            .collect());
+    }
     let mut order: Vec<usize> = (0..config.sessions).collect();
     let mut rng = Lcg(config.seed ^ 0x9E37_79B9_7F4A_7C15);
     for i in (1..order.len()).rev() {
@@ -381,6 +450,8 @@ pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
             video: config.videos[idx % config.videos.len()].clone(),
             scheme: config.schemes[idx % config.schemes.len()].clone(),
             trace_seed: config.seed.wrapping_add(idx as u64),
+            cohort: None,
+            control: SessionControl::default(),
         })
         .collect())
 }
@@ -821,15 +892,17 @@ fn drive_session(
         out.error = Some(format!("provider lost video {:?}", out.plan.video));
         return;
     };
-    let mut local = match scheme::build_scheme(&out.plan.scheme, &handle.video, config.vmaf_model) {
+    let vmaf = out.plan.vmaf(config.vmaf_model);
+    let mut local = match scheme::build_scheme(&out.plan.scheme, &handle.video, vmaf) {
         Ok(algo) => algo,
         Err(e) => {
             out.error = Some(e);
             return;
         }
     };
-    let trace = lte_trace(out.plan.trace_seed, &LteConfig::default());
-    let sim = Simulator::new(config.player);
+    let trace = out.plan.trace();
+    let control = out.plan.control.clone();
+    let sim = Simulator::new(out.plan.player(config.player));
     let mut remote = RemoteAbr {
         conn,
         session_id: out.plan.session_id,
@@ -839,13 +912,36 @@ fn drive_session(
         degraded: false,
         error: None,
     };
-    let result = sim.run(&mut remote, &handle.manifest, &trace);
+    let result = sim.run_controlled(&mut remote, &handle.manifest, &trace, &control);
     out.degraded |= remote.degraded;
     out.latencies_s = remote.latencies_s;
     out.error = remote.error;
     if out.error.is_none() && config.parity && !out.degraded {
-        let replay = sim.run(local.as_mut(), &handle.manifest, &trace);
+        let replay = sim.run_controlled(local.as_mut(), &handle.manifest, &trace, &control);
         out.parity = Some(replay == result);
+    }
+    // Population annotations: the seeks that actually fired (the first
+    // `n_seeks` in time order) and the abandonment, if any, land in the
+    // event log next to the session's decisions.
+    if let Some(recorder) = &conn.recorder {
+        if result.n_seeks > 0 {
+            let mut fired: Vec<&abr_sim::SeekEvent> = control.seeks.iter().collect();
+            fired.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+            for seek in fired.into_iter().take(result.n_seeks) {
+                recorder.record(&Event::Seek {
+                    session_id: out.plan.session_id,
+                    to_chunk: seek.to_chunk as u64,
+                    at_s: seek.at_s,
+                });
+            }
+        }
+        if result.abandoned {
+            recorder.record(&Event::SessionAbandon {
+                session_id: out.plan.session_id,
+                watched_s: result.wall_time_s,
+                chunks: result.records.len() as u64,
+            });
+        }
     }
     out.result = Some(result);
 }
@@ -868,7 +964,7 @@ fn drive_connection(
         .iter()
         .map(|p| SessionOutcome::new(p.clone()))
         .collect();
-    let vmaf = scheme::vmaf_model_code(config.vmaf_model);
+    let vmaf = |out: &SessionOutcome| scheme::vmaf_model_code(out.plan.vmaf(config.vmaf_model));
     let mut conn = Conn::new(addr, index, config.faults, recorder);
     let mut fatal = None;
     if let Err(e) = conn.connect_now() {
@@ -882,7 +978,7 @@ fn drive_connection(
     if config.hold {
         if alive {
             for out in &mut outcomes {
-                match conn.open(&out.plan, vmaf) {
+                match conn.open(&out.plan, vmaf(out)) {
                     Ok(degraded) => out.degraded = degraded,
                     Err(e) => out.error = Some(e),
                 }
@@ -909,7 +1005,7 @@ fn drive_connection(
         }
     } else if alive {
         for out in &mut outcomes {
-            match conn.open(&out.plan, vmaf) {
+            match conn.open(&out.plan, vmaf(out)) {
                 Ok(degraded) => out.degraded = degraded,
                 Err(e) => {
                     out.error = Some(e);
@@ -1064,6 +1160,39 @@ mod tests {
             a.iter().map(|p| p.session_id).collect::<Vec<_>>(),
             b.iter().map(|p| p.session_id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn population_plan_is_deterministic_and_arrival_ordered() {
+        let config = LoadgenConfig {
+            population: Some(PopConfig {
+                sessions: 64,
+                ..PopConfig::default()
+            }),
+            sessions: 0, // ignored in population mode
+            ..LoadgenConfig::default()
+        };
+        let a = plan(&config).unwrap();
+        let b = plan(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        // Every session appears once, with cohort and control attached.
+        let mut ids: Vec<u64> = a.iter().map(|p| p.session_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=64).collect::<Vec<u64>>());
+        assert!(a.iter().all(|p| p.cohort.is_some()));
+        // Arrival order matches the population's own schedule.
+        let pop = Population::new(config.population.unwrap());
+        let sched = pop.schedule();
+        for (p, v) in a.iter().zip(&sched) {
+            assert_eq!(p.session_id, v.index as u64 + 1);
+            assert_eq!(p.trace_seed, v.trace_seed);
+            assert_eq!(p.control, v.control);
+        }
+        // Some viewers abandon and some seek — the behaviour overlay made
+        // it into the plans.
+        assert!(a.iter().any(|p| p.control.abandon_at_s.is_some()));
+        assert!(a.iter().any(|p| !p.control.seeks.is_empty()));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 
 use crate::lock;
 use crate::protocol::{
-    put_bool, put_request, put_str, put_u32, put_u64, Cur, WireError, MAX_FRAME_LEN,
+    put_bool, put_f64, put_request, put_str, put_u32, put_u64, Cur, WireError, MAX_FRAME_LEN,
 };
 use crate::scheme;
 use crate::store::{VideoHandle, VideoProvider};
@@ -60,8 +60,10 @@ pub fn record_path_from_env() -> Option<String> {
 pub const REPLAY_MAGIC: [u8; 4] = *b"CAVR";
 
 /// Event-log format version written by this build (one byte, fifth in the
-/// file). Decoders reject versions they do not speak.
-pub const REPLAY_VERSION: u8 = 1;
+/// file). Decoders reject versions they do not speak. Version 2 added the
+/// population-workload records `SessionAbandon` (0x0E) and `Seek` (0x0F);
+/// see docs/REPLAY.md §7.
+pub const REPLAY_VERSION: u8 = 2;
 
 /// Hard ceiling on a record's length prefix, shared with the wire
 /// protocol's [`MAX_FRAME_LEN`]: every legitimate event is small (strings
@@ -82,6 +84,8 @@ const EV_FRAME_IN: u8 = 0x0A;
 const EV_FRAME_OUT: u8 = 0x0B;
 const EV_FAULT_INJECTED: u8 = 0x0C;
 const EV_RUN_END: u8 = 0x0D;
+const EV_SESSION_ABANDON: u8 = 0x0E;
+const EV_SEEK: u8 = 0x0F;
 
 /// One recorded event. Field layouts (little-endian, in declaration
 /// order) are normative in `docs/REPLAY.md`; the enum is the in-memory
@@ -202,6 +206,25 @@ pub enum Event {
         /// Events recorded before this one.
         events: u64,
     },
+    /// A population-mode viewer abandoned its session mid-stream (the
+    /// client walked away; the session still closes normally afterward).
+    SessionAbandon {
+        /// The session id.
+        session_id: u64,
+        /// Wall time watched before abandoning, seconds.
+        watched_s: f64,
+        /// Chunks downloaded before abandoning.
+        chunks: u64,
+    },
+    /// A population-mode viewer seeked: buffer flushed, playhead jumped.
+    Seek {
+        /// The session id.
+        session_id: u64,
+        /// Target chunk index of the seek.
+        to_chunk: u64,
+        /// Wall time (session-relative) at which the seek fired, seconds.
+        at_s: f64,
+    },
 }
 
 impl Event {
@@ -221,6 +244,8 @@ impl Event {
             Event::FrameOut { .. } => "FrameOut",
             Event::FaultInjected { .. } => "FaultInjected",
             Event::RunEnd { .. } => "RunEnd",
+            Event::SessionAbandon { .. } => "SessionAbandon",
+            Event::Seek { .. } => "Seek",
         }
     }
 }
@@ -435,6 +460,26 @@ pub fn encode_event(tick: u64, event: &Event) -> Result<Vec<u8>, ReplayError> {
             put_u64(&mut body, *events);
             EV_RUN_END
         }
+        Event::SessionAbandon {
+            session_id,
+            watched_s,
+            chunks,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_f64(&mut body, *watched_s);
+            put_u64(&mut body, *chunks);
+            EV_SESSION_ABANDON
+        }
+        Event::Seek {
+            session_id,
+            to_chunk,
+            at_s,
+        } => {
+            put_u64(&mut body, *session_id);
+            put_u64(&mut body, *to_chunk);
+            put_f64(&mut body, *at_s);
+            EV_SEEK
+        }
     };
     body[0] = ty;
     let len = u32::try_from(body.len())
@@ -571,6 +616,16 @@ fn decode_record(index: usize, body: &[u8]) -> Result<Recorded, ReplayError> {
         },
         EV_RUN_END => Event::RunEnd {
             events: cur.u64().map_err(bad)?,
+        },
+        EV_SESSION_ABANDON => Event::SessionAbandon {
+            session_id: cur.u64().map_err(bad)?,
+            watched_s: cur.f64().map_err(bad)?,
+            chunks: cur.u64().map_err(bad)?,
+        },
+        EV_SEEK => Event::Seek {
+            session_id: cur.u64().map_err(bad)?,
+            to_chunk: cur.u64().map_err(bad)?,
+            at_s: cur.f64().map_err(bad)?,
         },
         other => return Err(ReplayError::UnknownEventType { index, ty: other }),
     };
@@ -805,6 +860,10 @@ pub struct ReplaySummary {
     pub retransmits: u64,
     /// Fault injections seen.
     pub faults: u64,
+    /// Session abandonments seen (population workloads).
+    pub abandons: u64,
+    /// Mid-session seeks seen (population workloads).
+    pub seeks: u64,
     /// Server-side frames in.
     pub frames_in: u64,
     /// Server-side frames out.
@@ -854,6 +913,8 @@ pub struct ReplayPlayer {
     decisions: u64,
     retransmits: u64,
     faults: u64,
+    abandons: u64,
+    seeks: u64,
     frames_in: u64,
     frames_out: u64,
     divergences: Vec<Divergence>,
@@ -873,6 +934,8 @@ impl ReplayPlayer {
             decisions: 0,
             retransmits: 0,
             faults: 0,
+            abandons: 0,
+            seeks: 0,
             frames_in: 0,
             frames_out: 0,
             divergences: Vec::new(),
@@ -908,6 +971,8 @@ impl ReplayPlayer {
         self.decisions = 0;
         self.retransmits = 0;
         self.faults = 0;
+        self.abandons = 0;
+        self.seeks = 0;
         self.frames_in = 0;
         self.frames_out = 0;
         self.divergences.clear();
@@ -951,6 +1016,8 @@ impl ReplayPlayer {
             decisions: self.decisions,
             retransmits: self.retransmits,
             faults: self.faults,
+            abandons: self.abandons,
+            seeks: self.seeks,
             frames_in: self.frames_in,
             frames_out: self.frames_out,
             open_sessions: self.sessions.len(),
@@ -968,6 +1035,8 @@ impl ReplayPlayer {
         h.mix(self.decisions);
         h.mix(self.retransmits);
         h.mix(self.faults);
+        h.mix(self.abandons);
+        h.mix(self.seeks);
         h.mix(self.frames_in);
         h.mix(self.frames_out);
         h.mix(self.divergences.len() as u64);
@@ -1014,6 +1083,10 @@ impl ReplayPlayer {
             Event::FrameIn { .. } => self.frames_in += 1,
             Event::FrameOut { .. } => self.frames_out += 1,
             Event::FaultInjected { .. } => self.faults += 1,
+            // Viewer-behaviour annotations: the decisions they imply are
+            // themselves recorded, so replay only counts them.
+            Event::SessionAbandon { .. } => self.abandons += 1,
+            Event::Seek { .. } => self.seeks += 1,
             Event::SessionOpened {
                 session_id,
                 video,
@@ -1403,7 +1476,17 @@ mod tests {
                 kind: 2,
                 send_seq: 15,
             },
-            Event::RunEnd { events: 12 },
+            Event::SessionAbandon {
+                session_id: 7,
+                watched_s: 123.5,
+                chunks: 41,
+            },
+            Event::Seek {
+                session_id: 7,
+                to_chunk: 80,
+                at_s: 40.25,
+            },
+            Event::RunEnd { events: 14 },
         ]
     }
 

@@ -224,6 +224,50 @@ impl PlayerConfig {
     }
 }
 
+/// A mid-session seek: at wall time `at_s` the viewer jumps to
+/// `to_chunk`, the buffer is flushed, and playback re-enters startup
+/// (the re-buffering after a seek is accounted as a fresh startup wait,
+/// not as a rebuffering stall — matching how deployed players report it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekEvent {
+    /// Wall time (seconds from session start) at which the seek fires.
+    /// Checked between chunk requests: the seek takes effect before the
+    /// first request issued at or after this time.
+    pub at_s: f64,
+    /// Target chunk index (clamped to the last chunk).
+    pub to_chunk: usize,
+}
+
+/// Viewer-behaviour overlay for one session: optional abandonment and a
+/// list of seeks. [`SessionControl::default`] is a plain
+/// watch-to-the-end session and leaves [`Simulator::run`] byte-identical
+/// to the uncontrolled path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionControl {
+    /// Wall time at which the viewer abandons the session, if ever.
+    /// Checked between chunk requests; on abandonment the remaining
+    /// buffer is discarded and `wall_time_s` is the abandonment point.
+    pub abandon_at_s: Option<f64>,
+    /// Seeks, fired in `at_s` order. An abandonment scheduled earlier
+    /// than a seek wins.
+    pub seeks: Vec<SeekEvent>,
+}
+
+impl SessionControl {
+    /// A session that abandons at `at_s` and never seeks.
+    pub fn abandon_at(at_s: f64) -> SessionControl {
+        SessionControl {
+            abandon_at_s: Some(at_s),
+            seeks: Vec::new(),
+        }
+    }
+
+    /// True when this control changes nothing (watch-to-the-end VoD).
+    pub fn is_passive(&self) -> bool {
+        self.abandon_at_s.is_none() && self.seeks.is_empty()
+    }
+}
+
 /// The trace-driven session simulator.
 ///
 /// ```
@@ -271,9 +315,35 @@ impl Simulator {
         manifest: &Manifest,
         trace: &Trace,
     ) -> SessionResult {
+        self.run_controlled(algo, manifest, trace, &SessionControl::default())
+    }
+
+    /// [`Simulator::run`] with a viewer-behaviour overlay: mid-session
+    /// seeks (buffer flush + startup re-entry) and abandonment (session
+    /// ends, remaining buffer discarded). With the default control this is
+    /// exactly `run` — the control checks never fire.
+    pub fn run_controlled(
+        &self,
+        algo: &mut dyn AbrAlgorithm,
+        manifest: &Manifest,
+        trace: &Trace,
+        control: &SessionControl,
+    ) -> SessionResult {
         algo.reset();
         let delta = manifest.chunk_duration();
         let n = manifest.n_chunks();
+        // Seeks fire in time order regardless of how the caller listed them.
+        let mut seek_order: Vec<usize> = (0..control.seeks.len()).collect();
+        seek_order.sort_by(|&a, &b| {
+            control.seeks[a]
+                .at_s
+                .total_cmp(&control.seeks[b].at_s)
+                .then(a.cmp(&b))
+        });
+        let mut next_seek = 0usize;
+        let mut n_seeks = 0usize;
+        let mut abandoned = false;
+        let mut started_once = false;
         let mut predictor: Box<dyn BandwidthPredictor> = match self.config.bandwidth_error {
             Some((err, seed)) => Box::new(ErrorInjected::new(
                 HarmonicMean::new(self.config.predictor_window),
@@ -293,7 +363,29 @@ impl Simulator {
         let mut throughputs: Vec<f64> = Vec::with_capacity(n);
         let mut records: Vec<ChunkRecord> = Vec::with_capacity(n);
 
-        for i in 0..n {
+        let mut i = 0usize;
+        while i < n {
+            // Viewer behaviour, checked between chunk requests. An
+            // abandonment scheduled at or before the current wall time
+            // wins over any pending seek.
+            if let Some(at) = control.abandon_at_s {
+                if t >= at {
+                    abandoned = true;
+                    break;
+                }
+            }
+            while next_seek < seek_order.len() && t >= control.seeks[seek_order[next_seek]].at_s {
+                let ev = control.seeks[seek_order[next_seek]];
+                next_seek += 1;
+                n_seeks += 1;
+                // Flush the buffer and re-enter startup at the target
+                // chunk; the predictor and algorithm state carry over (the
+                // network did not change, only the playhead).
+                buffer = 0.0;
+                playing = false;
+                i = ev.to_chunk.min(n - 1);
+            }
+
             let t_chunk_start = t;
             // Respect the buffer cap: wait (while playing) until another
             // chunk fits.
@@ -409,7 +501,12 @@ impl Simulator {
 
             if !playing && buffer >= self.config.startup_threshold_s {
                 playing = true;
-                startup_delay = t;
+                // Only the first startup sets the reported delay; the
+                // re-buffering wait after a seek is not a session startup.
+                if !started_once {
+                    started_once = true;
+                    startup_delay = t;
+                }
             }
 
             records.push(ChunkRecord {
@@ -424,11 +521,12 @@ impl Simulator {
                 pause_before_s: pause,
             });
             last_level = Some(level);
+            i += 1;
         }
 
         // A short video may end before the startup threshold is reached;
         // playback then starts when the download completes.
-        if !playing {
+        if !started_once {
             startup_delay = t;
         }
 
@@ -445,7 +543,11 @@ impl Simulator {
             startup_delay_s: startup_delay,
             total_stall_s: total_stall,
             n_stall_events,
-            wall_time_s: t + buffer,
+            // An abandoning viewer walks away at t and the remaining
+            // buffer is discarded; otherwise it drains to end the session.
+            wall_time_s: if abandoned { t } else { t + buffer },
+            n_seeks,
+            abandoned,
         };
         debug_assert!(result.validate().is_ok(), "{:?}", result.validate());
         result
@@ -749,6 +851,205 @@ mod tests {
             sim.run(&mut Bad, &m, &flat_trace(5.0))
         }));
         assert!(result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+    use crate::abr::FixedLevel;
+    use net_trace::Trace;
+    use vbr_video::{Dataset, Manifest};
+
+    fn manifest() -> Manifest {
+        Manifest::from_video(&Dataset::ed_youtube_h264())
+    }
+
+    fn flat_trace(mbps: f64) -> Trace {
+        Trace::new(format!("flat-{mbps}"), 1.0, vec![mbps * 1e6; 1500])
+    }
+
+    #[test]
+    fn passive_control_matches_plain_run_exactly() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let trace = flat_trace(4.0);
+        let mut a = FixedLevel::new(3);
+        let mut b = FixedLevel::new(3);
+        let plain = sim.run(&mut a, &m, &trace);
+        let controlled = sim.run_controlled(&mut b, &m, &trace, &SessionControl::default());
+        assert_eq!(plain, controlled);
+        assert_eq!(plain.n_seeks, 0);
+        assert!(!plain.abandoned);
+    }
+
+    #[test]
+    fn abandonment_truncates_the_session() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let trace = flat_trace(4.0);
+        let full = sim.run(&mut FixedLevel::new(3), &m, &trace);
+        let control = SessionControl::abandon_at(60.0);
+        let r = sim.run_controlled(&mut FixedLevel::new(3), &m, &trace, &control);
+        assert!(r.abandoned);
+        assert!(r.n_chunks() < full.n_chunks(), "{} chunks", r.n_chunks());
+        assert!(r.n_chunks() > 0);
+        // The viewer left at (just past) 60 s; no final buffer drain.
+        assert!(r.wall_time_s >= 60.0);
+        assert!(r.wall_time_s < full.wall_time_s);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+        // The prefix watched matches the full session chunk-for-chunk.
+        assert_eq!(&full.records[..r.n_chunks()], &r.records[..]);
+    }
+
+    #[test]
+    fn immediate_abandonment_yields_empty_session() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let r = sim.run_controlled(
+            &mut FixedLevel::new(0),
+            &m,
+            &flat_trace(4.0),
+            &SessionControl::abandon_at(0.0),
+        );
+        assert!(r.abandoned);
+        assert_eq!(r.n_chunks(), 0);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn seek_flushes_buffer_and_jumps_the_playhead() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let trace = flat_trace(8.0);
+        let control = SessionControl {
+            abandon_at_s: None,
+            seeks: vec![SeekEvent {
+                at_s: 40.0,
+                to_chunk: 80,
+            }],
+        };
+        let r = sim.run_controlled(&mut FixedLevel::new(2), &m, &trace, &control);
+        assert_eq!(r.n_seeks, 1);
+        assert!(!r.abandoned);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+        // Find the discontinuity: the record right after the seek starts
+        // at chunk 80 with a freshly flushed buffer.
+        let jump = r
+            .records
+            .windows(2)
+            .position(|w| w[1].index != w[0].index + 1)
+            .expect("seek produces an index jump");
+        assert_eq!(r.records[jump + 1].index, 80);
+        assert!(
+            r.records[jump + 1].buffer_after_s <= m.chunk_duration() + 1e-9,
+            "buffer was flushed at the seek"
+        );
+        // The session then plays out to the end from the target.
+        assert_eq!(r.records.last().expect("records").index, m.n_chunks() - 1);
+        // Startup delay is the *first* startup, identical to the plain run.
+        let plain = sim.run(&mut FixedLevel::new(2), &m, &trace);
+        assert!((r.startup_delay_s - plain.startup_delay_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_seek_replays_earlier_chunks() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let control = SessionControl {
+            abandon_at_s: None,
+            seeks: vec![SeekEvent {
+                at_s: 100.0,
+                to_chunk: 0,
+            }],
+        };
+        let r = sim.run_controlled(&mut FixedLevel::new(1), &m, &flat_trace(6.0), &control);
+        assert_eq!(r.n_seeks, 1);
+        // Chunk 0 appears twice: once at session start, once post-seek.
+        let zeros = r.records.iter().filter(|rec| rec.index == 0).count();
+        assert_eq!(zeros, 2);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+    }
+
+    #[test]
+    fn seek_target_clamped_to_last_chunk() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let control = SessionControl {
+            abandon_at_s: None,
+            seeks: vec![SeekEvent {
+                at_s: 30.0,
+                to_chunk: usize::MAX,
+            }],
+        };
+        let r = sim.run_controlled(&mut FixedLevel::new(0), &m, &flat_trace(6.0), &control);
+        assert_eq!(r.n_seeks, 1);
+        assert_eq!(r.records.last().expect("records").index, m.n_chunks() - 1);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn abandonment_beats_a_later_seek() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let control = SessionControl {
+            abandon_at_s: Some(50.0),
+            seeks: vec![SeekEvent {
+                at_s: 60.0,
+                to_chunk: 10,
+            }],
+        };
+        let r = sim.run_controlled(&mut FixedLevel::new(2), &m, &flat_trace(6.0), &control);
+        assert!(r.abandoned);
+        assert_eq!(r.n_seeks, 0);
+    }
+
+    #[test]
+    fn unsorted_seeks_fire_in_time_order() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let control = SessionControl {
+            abandon_at_s: None,
+            seeks: vec![
+                SeekEvent {
+                    at_s: 200.0,
+                    to_chunk: 5,
+                },
+                SeekEvent {
+                    at_s: 50.0,
+                    to_chunk: 60,
+                },
+            ],
+        };
+        let r = sim.run_controlled(&mut FixedLevel::new(1), &m, &flat_trace(8.0), &control);
+        assert_eq!(r.n_seeks, 2);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+        // The 50 s seek (→60) fires before the 200 s seek (→5): the first
+        // discontinuity lands on chunk 60, a later one on chunk 5.
+        let jumps: Vec<usize> = r
+            .records
+            .windows(2)
+            .filter(|w| w[1].index != w[0].index + 1)
+            .map(|w| w[1].index)
+            .collect();
+        assert_eq!(jumps, vec![60, 5]);
+    }
+
+    #[test]
+    fn controlled_run_is_deterministic() {
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let trace = flat_trace(5.0);
+        let control = SessionControl {
+            abandon_at_s: Some(300.0),
+            seeks: vec![SeekEvent {
+                at_s: 90.0,
+                to_chunk: 40,
+            }],
+        };
+        let r1 = sim.run_controlled(&mut FixedLevel::new(2), &m, &trace, &control);
+        let r2 = sim.run_controlled(&mut FixedLevel::new(2), &m, &trace, &control);
+        assert_eq!(r1, r2);
     }
 }
 

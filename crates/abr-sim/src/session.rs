@@ -45,8 +45,13 @@ pub struct SessionResult {
     /// Number of distinct stall events.
     pub n_stall_events: usize,
     /// Wall-clock length of the whole session (download + drain of the final
-    /// buffer), seconds.
+    /// buffer), seconds. For an abandoned session this is the abandonment
+    /// time — the viewer walks away and the remaining buffer is discarded.
     pub wall_time_s: f64,
+    /// Number of mid-session seeks that fired (0 for a plain VoD run).
+    pub n_seeks: usize,
+    /// True when the viewer abandoned the session before the last chunk.
+    pub abandoned: bool,
 }
 
 impl SessionResult {
@@ -135,10 +140,19 @@ impl SessionResult {
     /// records are in order, stalls are non-negative, buffer levels are
     /// non-negative.
     pub fn validate(&self) -> Result<(), String> {
+        // With mid-session seeks the chunk index may jump (forward or
+        // backward) at most once per seek; without seeks it must be the
+        // exact sequence 0, 1, 2, ...
+        let mut jumps = 0usize;
+        let mut expected = 0usize;
         for (i, r) in self.records.iter().enumerate() {
-            if r.index != i {
-                return Err(format!("record {i} has index {}", r.index));
+            if r.index != expected {
+                jumps += 1;
+                if self.n_seeks == 0 {
+                    return Err(format!("record {i} has index {}", r.index));
+                }
             }
+            expected = r.index + 1;
             if r.stall_s < 0.0 || r.buffer_after_s < 0.0 || r.download_secs < 0.0 {
                 return Err(format!("record {i} has negative time field: {r:?}"));
             }
@@ -148,6 +162,12 @@ impl SessionResult {
                     r.throughput_bps
                 ));
             }
+        }
+        if jumps > self.n_seeks {
+            return Err(format!(
+                "{jumps} index discontinuities but only {} seeks",
+                self.n_seeks
+            ));
         }
         let stall_sum: f64 = self.records.iter().map(|r| r.stall_s).sum();
         if (stall_sum - self.total_stall_s).abs() > 1e-6 {
@@ -196,6 +216,8 @@ mod tests {
             total_stall_s: 1.5,
             n_stall_events: 1,
             wall_time_s: 20.0,
+            n_seeks: 0,
+            abandoned: false,
         }
     }
 
@@ -224,6 +246,20 @@ mod tests {
     }
 
     #[test]
+    fn validate_allows_index_jumps_covered_by_seeks() {
+        let mut s = session();
+        // One backward jump: 0, 1, then a seek back to chunk 0.
+        s.records[2].index = 0;
+        s.n_seeks = 1;
+        assert!(s.validate().is_ok());
+        // A second discontinuity with only one seek declared must fail.
+        s.records[1].index = 4;
+        assert!(s.validate().is_err());
+        s.n_seeks = 2;
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
     fn validate_catches_stall_mismatch() {
         let mut s = session();
         s.total_stall_s = 99.0;
@@ -249,6 +285,8 @@ mod tests {
             total_stall_s: 0.0,
             n_stall_events: 0,
             wall_time_s: 0.0,
+            n_seeks: 0,
+            abandoned: false,
         };
         assert_eq!(s.total_bytes(), 0);
         assert_eq!(s.mean_level(), 0.0);

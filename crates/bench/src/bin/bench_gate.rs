@@ -1,0 +1,149 @@
+//! `bench_gate` — compare a freshly produced `BENCH_*.json` against the
+//! committed trajectory and fail on perf regressions.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--tolerance PCT]
+//! ```
+//!
+//! Walks both documents and gates every numeric field named
+//! `decisions_per_s`, `sessions_per_s` (higher is better) or
+//! `latency_p99_ms` (lower is better), wherever it appears in the tree.
+//! A field regressing by more than `--tolerance` percent (default 15)
+//! exits non-zero with a diagnostic per offending field. Fields present in
+//! only one document are reported and skipped, so adding metrics to a
+//! bench document never breaks the gate against an older baseline.
+//!
+//! `scripts/check.sh` recovers the baseline from `git show HEAD:...` and
+//! forwards its `--bench-tolerance` flag here (see CONTRIBUTING.md).
+
+use serde_json::{parse_value, Value};
+use std::process::ExitCode;
+
+/// Fields where larger values are better.
+const HIGHER_BETTER: [&str; 2] = ["decisions_per_s", "sessions_per_s"];
+/// Fields where smaller values are better.
+const LOWER_BETTER: [&str; 1] = ["latency_p99_ms"];
+
+fn collect_gated(prefix: &str, value: &Value, out: &mut Vec<(String, String, f64)>) {
+    match value {
+        Value::Object(fields) => {
+            for (key, child) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                if let Some(number) = child.as_f64() {
+                    if HIGHER_BETTER.contains(&key.as_str()) || LOWER_BETTER.contains(&key.as_str())
+                    {
+                        out.push((path, key.clone(), number));
+                    }
+                } else {
+                    collect_gated(&path, child, out);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect_gated(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn regression_pct(field: &str, baseline: f64, fresh: f64) -> f64 {
+    if baseline.abs() < f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    if HIGHER_BETTER.contains(&field) {
+        100.0 * (baseline - fresh) / baseline
+    } else {
+        100.0 * (fresh - baseline) / baseline
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let value = args.next().ok_or("--tolerance needs a value")?;
+            tolerance = value
+                .parse()
+                .map_err(|_| format!("bad --tolerance value: {value}"))?;
+        } else if let Some(value) = arg.strip_prefix("--tolerance=") {
+            tolerance = value
+                .parse()
+                .map_err(|_| format!("bad --tolerance value: {value}"))?;
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() != 2 {
+        return Err("usage: bench_gate <baseline.json> <fresh.json> [--tolerance PCT]".into());
+    }
+    if !(0.0..=1_000.0).contains(&tolerance) {
+        return Err(format!("--tolerance {tolerance} out of range [0, 1000]"));
+    }
+
+    let read = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_value(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let baseline = read(&paths[0])?;
+    let fresh = read(&paths[1])?;
+
+    let mut base_fields = Vec::new();
+    let mut fresh_fields = Vec::new();
+    collect_gated("", &baseline, &mut base_fields);
+    collect_gated("", &fresh, &mut fresh_fields);
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for (path, field, base_value) in &base_fields {
+        let Some((_, _, fresh_value)) = fresh_fields.iter().find(|(p, _, _)| p == path) else {
+            println!("bench_gate: {path} only in baseline — skipped");
+            continue;
+        };
+        compared += 1;
+        let pct = regression_pct(field, *base_value, *fresh_value);
+        let verdict = if pct > tolerance { "FAIL" } else { "ok" };
+        println!(
+            "bench_gate: {path}: {base_value:.3} -> {fresh_value:.3} ({pct:+.1}% regression, tolerance {tolerance:.0}%) {verdict}"
+        );
+        if pct > tolerance {
+            failures.push(path.clone());
+        }
+    }
+    for (path, _, _) in &fresh_fields {
+        if !base_fields.iter().any(|(p, _, _)| p == path) {
+            println!("bench_gate: {path} only in fresh — skipped");
+        }
+    }
+    if compared == 0 {
+        return Err("no gated perf fields found in both documents".into());
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_gate: {compared} field(s) within {tolerance:.0}% of the committed trajectory"
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression beyond {tolerance:.0}% in: {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Thin wrapper: drive the `population` experiment through the engine (with
+//! progress lines and a run journal — see `abr_bench::engine`).
+
+fn main() -> std::io::Result<()> {
+    abr_bench::engine::run_ids(&["population"])
+}

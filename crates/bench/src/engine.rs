@@ -177,28 +177,36 @@ pub fn video_with(name: &str, build: impl FnOnce() -> Video) -> Arc<PreparedVide
 }
 
 /// A [`VideoProvider`](abr_serve::store::VideoProvider) backed by the
-/// process-wide video cache, so serving-layer experiments (soak, chaos)
-/// share synthesized videos with every other experiment in the run instead
-/// of building their own copies.
+/// process-wide video cache, so serving-layer experiments (soak, chaos,
+/// population) share synthesized videos with every other experiment in the
+/// run instead of building their own copies. There is exactly **one**
+/// provider per process: every call returns a clone of the same `Arc`, so
+/// the handle cache behind it is shared too — the third serving experiment
+/// does not get a third copy of every video it touches.
 pub fn serve_provider() -> abr_serve::store::VideoProvider {
-    let handles: Mutex<BTreeMap<String, abr_serve::store::VideoHandle>> =
-        Mutex::new(BTreeMap::new());
-    Arc::new(move |name: &str| {
-        if !abr_serve::scheme::is_known_video(name) {
-            return None;
-        }
-        let mut map = handles.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(hit) = map.get(name) {
-            return Some(hit.clone());
-        }
-        let prepared = video(name);
-        let handle = abr_serve::store::VideoHandle {
-            video: Arc::new(prepared.video.clone()),
-            manifest: Arc::new(prepared.manifest.clone()),
-        };
-        map.insert(name.to_string(), handle.clone());
-        Some(handle)
-    })
+    static PROVIDER: OnceLock<abr_serve::store::VideoProvider> = OnceLock::new();
+    PROVIDER
+        .get_or_init(|| {
+            let handles: Mutex<BTreeMap<String, abr_serve::store::VideoHandle>> =
+                Mutex::new(BTreeMap::new());
+            Arc::new(move |name: &str| {
+                if !abr_serve::scheme::is_known_video(name) {
+                    return None;
+                }
+                let mut map = handles.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(hit) = map.get(name) {
+                    return Some(hit.clone());
+                }
+                let prepared = video(name);
+                let handle = abr_serve::store::VideoHandle {
+                    video: Arc::new(prepared.video.clone()),
+                    manifest: Arc::new(prepared.manifest.clone()),
+                };
+                map.insert(name.to_string(), handle.clone());
+                Some(handle)
+            })
+        })
+        .clone()
 }
 
 /// The trace corpus for `set` at the current [`harness::trace_count`],
@@ -228,13 +236,18 @@ pub fn traces_n(set: TraceSet, count: usize) -> Arc<Vec<Trace>> {
 }
 
 /// Warm every cache the full evaluation needs — all 16 dataset videos, the
-/// two off-ladder variants, and both trace corpora — through the shared
+/// two off-ladder variants, and all four trace corpora — through the shared
 /// scheduler, so [`run_all`]'s experiments only ever hit warm caches.
 pub fn prefetch() {
     let mut names: Vec<String> = Dataset::specs().into_iter().map(|s| s.name).collect();
     names.push("ED-ffmpeg-h264-cap4x".to_string());
     names.push("ED-ffmpeg-h264-cbr".to_string());
-    let sets = [TraceSet::Lte, TraceSet::Fcc];
+    let sets = [
+        TraceSet::Lte,
+        TraceSet::Fcc,
+        TraceSet::FiveG,
+        TraceSet::Satellite,
+    ];
     let total = names.len() + sets.len();
     run_indexed(total, |i| {
         if i < names.len() {
@@ -484,6 +497,13 @@ mod tests {
             ed.video.track(0).chunk_bytes(0),
             bbb.video.track(0).chunk_bytes(0)
         );
+    }
+
+    #[test]
+    fn serve_provider_is_one_shared_instance() {
+        let a = serve_provider();
+        let b = serve_provider();
+        assert!(Arc::ptr_eq(&a, &b), "all callers share one provider");
     }
 
     #[test]

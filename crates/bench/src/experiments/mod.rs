@@ -14,6 +14,7 @@ pub mod exp_oracle;
 pub mod exp_outer_window;
 pub mod exp_per_title;
 pub mod exp_pia_vs_cava;
+pub mod exp_population;
 pub mod exp_serve_chaos;
 pub mod exp_serve_soak;
 pub mod exp_switch_penalty;
@@ -178,6 +179,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "abr-serve chaos soak: fault injection, parity must hold, BENCH_serve_chaos.json (extension)",
             exp_serve_chaos::run,
         ),
+        (
+            "population",
+            "abr-pop population sweep: per-cohort QoE at scale, BENCH_population.json (extension)",
+            exp_population::run,
+        ),
     ]
 }
 
@@ -210,11 +216,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 29);
+        assert_eq!(reg.len(), 30);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 29);
+        assert_eq!(ids.len(), 30);
     }
 
     #[test]

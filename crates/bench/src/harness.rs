@@ -15,7 +15,9 @@ use abr_sim::metrics::{evaluate, QoeConfig, QoeMetrics};
 use abr_sim::{AbrAlgorithm, PlayerConfig, SessionResult, Simulator};
 use cava_core::{Cava, CavaConfig};
 use net_trace::fcc::{fcc_traces, FccConfig};
+use net_trace::fiveg::{fiveg_traces, FiveGConfig};
 use net_trace::lte::{lte_traces, LteConfig};
+use net_trace::satellite::{satellite_traces, SatelliteConfig};
 use net_trace::Trace;
 use sim_report::Cdf;
 use vbr_video::quality::VmafModel;
@@ -145,13 +147,18 @@ impl SchemeKind {
     }
 }
 
-/// The two trace corpora of §6.1.
+/// The two trace corpora of §6.1 plus the two extension regimes the
+/// population workload mixes in (5G and GEO satellite).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TraceSet {
     /// The LTE corpus (base seed 42).
     Lte,
     /// The FCC broadband corpus (base seed 4242).
     Fcc,
+    /// The high-variance 5G corpus (base seed 424242).
+    FiveG,
+    /// The GEO-satellite corpus (base seed 42424242).
+    Satellite,
 }
 
 impl TraceSet {
@@ -160,6 +167,8 @@ impl TraceSet {
         match self {
             TraceSet::Lte => 42,
             TraceSet::Fcc => 4242,
+            TraceSet::FiveG => 424_242,
+            TraceSet::Satellite => 42_424_242,
         }
     }
 
@@ -170,14 +179,20 @@ impl TraceSet {
         match self {
             TraceSet::Lte => lte_traces(count, self.seed(), &LteConfig::default()),
             TraceSet::Fcc => fcc_traces(count, self.seed(), &FccConfig::default()),
+            TraceSet::FiveG => fiveg_traces(count, self.seed(), &FiveGConfig::default()),
+            TraceSet::Satellite => {
+                satellite_traces(count, self.seed(), &SatelliteConfig::default())
+            }
         }
     }
 
-    /// The VMAF viewing model the paper pairs with this corpus (§6.1).
+    /// The VMAF viewing model paired with this corpus: the cellular
+    /// regimes (LTE, 5G) score with the phone model as in §6.1; the
+    /// fixed-line regimes (FCC, satellite) with the TV model.
     pub fn qoe_config(self) -> QoeConfig {
         match self {
-            TraceSet::Lte => QoeConfig::lte(),
-            TraceSet::Fcc => QoeConfig::fcc(),
+            TraceSet::Lte | TraceSet::FiveG => QoeConfig::lte(),
+            TraceSet::Fcc | TraceSet::Satellite => QoeConfig::fcc(),
         }
     }
 
@@ -186,6 +201,8 @@ impl TraceSet {
         match self {
             TraceSet::Lte => "LTE",
             TraceSet::Fcc => "FCC",
+            TraceSet::FiveG => "5G",
+            TraceSet::Satellite => "SAT",
         }
     }
 }
@@ -425,6 +442,26 @@ mod tests {
     fn trace_sets_generate_requested_count() {
         assert_eq!(TraceSet::Lte.generate(7).len(), 7);
         assert_eq!(TraceSet::Fcc.generate(3).len(), 3);
+        assert_eq!(TraceSet::FiveG.generate(3).len(), 3);
+        assert_eq!(TraceSet::Satellite.generate(2).len(), 2);
+    }
+
+    #[test]
+    fn trace_set_seeds_and_names_are_distinct() {
+        let all = [
+            TraceSet::Lte,
+            TraceSet::Fcc,
+            TraceSet::FiveG,
+            TraceSet::Satellite,
+        ];
+        let mut seeds: Vec<u64> = all.iter().map(|s| s.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod engine;
 pub mod experiments;
 pub mod harness;
 pub mod journal;
+pub mod population;
 
 pub use harness::{
     mean_of, metric_cdf, run_scheme, run_sessions, trace_count, Metric, SchemeKind, TraceSet,

@@ -1,0 +1,258 @@
+//! Population-scale sweep: reduce a seeded `abr-pop` viewer population to
+//! per-cohort QoE through the in-process simulator.
+//!
+//! Each viewer session is **pure in its index**: [`abr_pop::Population`]
+//! derives arrival, cohort, trace seed, and behaviour overlay from
+//! `(seed, index)` alone, so the sweep fans out over the engine's dynamic
+//! scheduler ([`crate::engine::run_indexed_on`]) and reduces in index
+//! order. The per-cohort summaries — and their canonical CSV rendering
+//! ([`csv_bytes`]) — are therefore **byte-identical for any worker count**,
+//! which `tests/population_determinism.rs` and the `scripts/check.sh`
+//! population smoke both assert.
+//!
+//! Sessions that abandon before fetching a single chunk carry no QoE
+//! sample (there is nothing to score) but still count toward their
+//! cohort's session/abandon totals.
+
+use crate::engine::{self, PreparedVideo};
+use crate::harness::SchemeKind;
+use abr_pop::{Cohort, PopConfig, Population};
+use abr_sim::metrics::evaluate;
+use abr_sim::Simulator;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything the aggregation needs from one viewer session. Kept small on
+/// purpose: a million-session sweep holds one of these per session.
+#[derive(Debug, Clone)]
+struct SessionReduced {
+    cohort: Cohort,
+    watched_s: f64,
+    chunks: usize,
+    n_seeks: usize,
+    abandoned: bool,
+    startup_delay_s: f64,
+    rebuffer_s: f64,
+    /// `all_quality_mean` / `low_quality_pct`; `None` for zero-chunk
+    /// sessions (immediate abandons), which have no quality to score.
+    quality: Option<(f64, f64)>,
+}
+
+/// One cohort's aggregate over the sweep: a row of
+/// `results/exp_population.csv` and an entry of the `cohorts` array in
+/// `BENCH_population.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortSummary {
+    /// Stable cohort label (`phone-5g`, `tv-fcc-live`, ...).
+    pub cohort: String,
+    /// Sessions the population assigned to this cohort.
+    pub sessions: usize,
+    /// Sessions that abandoned before the video ended.
+    pub abandoned: usize,
+    /// Total mid-session seeks across the cohort.
+    pub seeks: usize,
+    /// Total chunks streamed by the cohort.
+    pub chunks: u64,
+    /// Sessions with at least one chunk (the QoE denominators below).
+    pub scored: usize,
+    /// Mean per-session VMAF quality over scored sessions.
+    pub mean_quality: f64,
+    /// Mean per-session low-quality time share (%) over scored sessions.
+    pub low_quality_pct: f64,
+    /// Mean rebuffering seconds per session (all sessions).
+    pub mean_rebuffer_s: f64,
+    /// Mean startup delay seconds per session (all sessions).
+    pub mean_startup_s: f64,
+    /// Mean watched wall-clock seconds per session (all sessions).
+    pub mean_watched_s: f64,
+}
+
+/// Header of the canonical per-cohort CSV, aligned with
+/// [`CohortSummary`]'s fields.
+pub const CSV_HEADER: [&str; 11] = [
+    "cohort",
+    "sessions",
+    "abandoned",
+    "seeks",
+    "chunks",
+    "scored",
+    "mean_quality",
+    "low_quality_pct",
+    "mean_rebuffer_s",
+    "mean_startup_s",
+    "mean_watched_s",
+];
+
+fn reduce_session(pop: &Population, video: &PreparedVideo, index: usize) -> SessionReduced {
+    let viewer = pop.session(index);
+    let qoe = viewer.cohort.qoe_config();
+    let trace = viewer.cohort.network.trace(viewer.trace_seed);
+    let mut algo = SchemeKind::Cava.build(video, qoe.vmaf_model);
+    let sim = Simulator::new(viewer.cohort.player_config());
+    let result = sim.run_controlled(algo.as_mut(), &video.manifest, &trace, &viewer.control);
+    let quality = if result.records.is_empty() {
+        None
+    } else {
+        let m = evaluate(&result, video, &video.classification, &qoe);
+        Some((m.all_quality_mean, m.low_quality_pct))
+    };
+    SessionReduced {
+        cohort: viewer.cohort,
+        watched_s: result.wall_time_s,
+        chunks: result.records.len(),
+        n_seeks: result.n_seeks,
+        abandoned: result.abandoned,
+        startup_delay_s: result.startup_delay_s,
+        rebuffer_s: result.total_stall_s,
+        quality,
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Acc {
+    sessions: usize,
+    abandoned: usize,
+    seeks: usize,
+    chunks: u64,
+    scored: usize,
+    quality_sum: f64,
+    low_pct_sum: f64,
+    rebuffer_sum: f64,
+    startup_sum: f64,
+    watched_sum: f64,
+}
+
+/// Run the whole population against `video` (every viewer streams with the
+/// paper's CAVA scheme) on `threads` workers and aggregate per cohort.
+///
+/// Cohorts appear in [`Cohort::all`] report order; cohorts the mix never
+/// sampled are omitted. Aggregation walks sessions in index order, so the
+/// result is independent of `threads`.
+pub fn sweep(config: PopConfig, video: &PreparedVideo, threads: usize) -> Vec<CohortSummary> {
+    let pop = Population::new(config);
+    let reduced = engine::run_indexed_on(threads, pop.len(), |i| reduce_session(&pop, video, i));
+    // Ordered map (abr-lint R2): accumulation and report order are stable.
+    let mut by_cohort: BTreeMap<Cohort, Acc> = BTreeMap::new();
+    for r in &reduced {
+        let acc = by_cohort.entry(r.cohort).or_default();
+        acc.sessions += 1;
+        acc.abandoned += usize::from(r.abandoned);
+        acc.seeks += r.n_seeks;
+        acc.chunks += r.chunks as u64;
+        if let Some((quality, low_pct)) = r.quality {
+            acc.scored += 1;
+            acc.quality_sum += quality;
+            acc.low_pct_sum += low_pct;
+        }
+        acc.rebuffer_sum += r.rebuffer_s;
+        acc.startup_sum += r.startup_delay_s;
+        acc.watched_sum += r.watched_s;
+    }
+    Cohort::all()
+        .into_iter()
+        .filter_map(|cohort| {
+            let acc = by_cohort.get(&cohort)?;
+            let n = acc.sessions as f64;
+            let scored = acc.scored.max(1) as f64;
+            Some(CohortSummary {
+                cohort: cohort.label(),
+                sessions: acc.sessions,
+                abandoned: acc.abandoned,
+                seeks: acc.seeks,
+                chunks: acc.chunks,
+                scored: acc.scored,
+                mean_quality: acc.quality_sum / scored,
+                low_quality_pct: acc.low_pct_sum / scored,
+                mean_rebuffer_s: acc.rebuffer_sum / n,
+                mean_startup_s: acc.startup_sum / n,
+                mean_watched_s: acc.watched_sum / n,
+            })
+        })
+        .collect()
+}
+
+/// Render one summary as the canonical CSV cell strings (fixed-precision
+/// floats — the byte-stability contract of the determinism tests).
+pub fn csv_row(s: &CohortSummary) -> Vec<String> {
+    vec![
+        s.cohort.clone(),
+        s.sessions.to_string(),
+        s.abandoned.to_string(),
+        s.seeks.to_string(),
+        s.chunks.to_string(),
+        s.scored.to_string(),
+        format!("{:.4}", s.mean_quality),
+        format!("{:.4}", s.low_quality_pct),
+        format!("{:.4}", s.mean_rebuffer_s),
+        format!("{:.4}", s.mean_startup_s),
+        format!("{:.4}", s.mean_watched_s),
+    ]
+}
+
+/// The full canonical CSV document (header + one row per cohort). This is
+/// the byte-identity witness: equal across worker counts and repeat runs
+/// of the same seeded population.
+pub fn csv_bytes(summaries: &[CohortSummary]) -> String {
+    let mut out = CSV_HEADER.join(",");
+    out.push('\n');
+    for s in summaries {
+        out.push_str(&csv_row(s).join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pop(sessions: usize) -> PopConfig {
+        PopConfig {
+            seed: 7,
+            sessions,
+            ..PopConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_sessions_and_behaviours() {
+        let video = engine::video("ED-youtube-h264");
+        let summaries = sweep(small_pop(64), &video, 4);
+        assert!(!summaries.is_empty());
+        let total: usize = summaries.iter().map(|s| s.sessions).sum();
+        assert_eq!(total, 64);
+        let abandoned: usize = summaries.iter().map(|s| s.abandoned).sum();
+        assert!(abandoned > 0, "default lifecycle should abandon some");
+        let labels: Vec<&str> = summaries.iter().map(|s| s.cohort.as_str()).collect();
+        let all: Vec<String> = Cohort::all().iter().map(Cohort::label).collect();
+        // Report order is Cohort::all() order.
+        let mut last = 0usize;
+        for label in &labels {
+            let pos = all.iter().position(|l| l == label).unwrap();
+            assert!(pos >= last);
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_independent() {
+        let video = engine::video("ED-youtube-h264");
+        let serial = sweep(small_pop(48), &video, 1);
+        let wide = sweep(small_pop(48), &video, 8);
+        assert_eq!(serial, wide);
+        assert_eq!(csv_bytes(&serial), csv_bytes(&wide));
+    }
+
+    #[test]
+    fn csv_document_is_canonical() {
+        let video = engine::video("ED-youtube-h264");
+        let summaries = sweep(small_pop(16), &video, 2);
+        let doc = csv_bytes(&summaries);
+        let mut lines = doc.lines();
+        assert_eq!(lines.next().unwrap(), CSV_HEADER.join(","));
+        assert_eq!(doc.lines().count(), summaries.len() + 1);
+        for line in lines {
+            assert_eq!(line.split(',').count(), CSV_HEADER.len());
+        }
+    }
+}

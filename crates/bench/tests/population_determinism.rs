@@ -1,0 +1,74 @@
+//! Population-sweep determinism regression (mirrors `grid_determinism.rs`).
+//!
+//! `population::sweep(config, video, 1)` is a plain serial loop; higher
+//! worker counts pull viewer indices off the engine's atomic queue. Because
+//! every viewer session is pure in its index — arrival, cohort, trace seed,
+//! and lifecycle all derive from `(seed, index)` — and aggregation walks
+//! sessions in index order, the per-cohort summaries and their canonical
+//! CSV rendering must be **byte-identical** for any worker count and across
+//! repeat runs of the same seed. This is the witness `scripts/check.sh`'s
+//! population smoke relies on, and what makes the 1,000,000-session
+//! acceptance sweep reproducible.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use abr_bench::engine;
+use abr_bench::population::{self, csv_bytes, CSV_HEADER};
+use abr_pop::{LifecycleConfig, PopConfig};
+
+fn pop(sessions: usize) -> PopConfig {
+    PopConfig {
+        seed: 42,
+        sessions,
+        lifecycle: LifecycleConfig {
+            // Bias behaviour high so the determinism check exercises the
+            // seek/abandon paths, not just straight-through playback.
+            complete_fraction: 0.3,
+            seek_prob: 0.6,
+            ..LifecycleConfig::default()
+        },
+        ..PopConfig::default()
+    }
+}
+
+#[test]
+fn one_thread_and_eight_threads_render_identical_cohorts() {
+    let video = engine::video("ED-youtube-h264");
+    let serial = population::sweep(pop(240), &video, 1);
+    let parallel = population::sweep(pop(240), &video, 8);
+
+    assert_eq!(serial, parallel, "cohort summaries differ across threads");
+    let a = csv_bytes(&serial);
+    let b = csv_bytes(&parallel);
+    assert_eq!(a, b, "canonical CSV is not byte-identical across threads");
+
+    // The sweep really expressed population behaviour.
+    let total: usize = serial.iter().map(|s| s.sessions).sum();
+    assert_eq!(total, 240);
+    assert!(serial.iter().map(|s| s.abandoned).sum::<usize>() > 0);
+    assert!(serial.iter().map(|s| s.seeks).sum::<usize>() > 0);
+    assert!(serial.len() > 4, "population should spread across cohorts");
+    assert!(a.starts_with(&CSV_HEADER.join(",")));
+}
+
+#[test]
+fn repeat_runs_of_the_same_seed_are_byte_identical() {
+    let video = engine::video("ED-youtube-h264");
+    let first = csv_bytes(&population::sweep(pop(120), &video, 4));
+    let second = csv_bytes(&population::sweep(pop(120), &video, 4));
+    assert_eq!(first, second, "same seed, same bytes");
+}
+
+#[test]
+fn different_seeds_change_the_population() {
+    let video = engine::video("ED-youtube-h264");
+    let a = population::sweep(pop(120), &video, 4);
+    let b = population::sweep(
+        PopConfig {
+            seed: 43,
+            ..pop(120)
+        },
+        &video,
+        4,
+    );
+    assert_ne!(csv_bytes(&a), csv_bytes(&b), "seed must matter");
+}

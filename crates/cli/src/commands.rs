@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use abr_bench::journal::Stopwatch;
+use abr_pop::{MixConfig, PopConfig};
 use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
 use abr_serve::replay::{self, Event, Recorder, ReplayPlayer};
 use abr_serve::scheme::{build_scheme, load_video, SCHEME_NAMES};
@@ -10,7 +11,9 @@ use abr_serve::{Server, ServerConfig};
 use abr_sim::metrics::{evaluate, QoeConfig};
 use abr_sim::{LiveConfig, PlayerConfig, Simulator};
 use net_trace::fcc::{fcc_traces, FccConfig};
+use net_trace::fiveg::{fiveg_traces, FiveGConfig};
 use net_trace::lte::{lte_traces, LteConfig};
+use net_trace::satellite::{satellite_traces, SatelliteConfig};
 use net_trace::Trace;
 use sim_report::TextTable;
 use std::net::SocketAddr;
@@ -20,23 +23,43 @@ use vbr_video::classify::cross_track_consistency;
 use vbr_video::quality::VmafModel;
 use vbr_video::{ChunkClass, Classification, Dataset, Manifest};
 
+/// Generate `count` traces of `kind`. The four kinds are the seeded
+/// generators in `net-trace`: the paper's `lte`/`fcc` corpora plus the
+/// extension regimes `5g` (mmWave peaks, blockage collapses) and
+/// `satellite` (GEO: smooth rates, long rain fades, ~550 ms RTT).
+fn traces_of_kind(kind: &str, count: usize, seed: u64) -> Result<Vec<Trace>, String> {
+    match kind {
+        "lte" => Ok(lte_traces(count, seed, &LteConfig::default())),
+        "fcc" => Ok(fcc_traces(count, seed, &FccConfig::default())),
+        "5g" => Ok(fiveg_traces(count, seed, &FiveGConfig::default())),
+        "satellite" => Ok(satellite_traces(count, seed, &SatelliteConfig::default())),
+        other => Err(format!(
+            "unknown trace kind {other:?} (lte, fcc, 5g, satellite)"
+        )),
+    }
+}
+
+/// QoE config paired with a trace kind: mobile regimes score with the
+/// phone viewing model, fixed-link regimes with the TV model (mirrors the
+/// bench harness pairing).
+fn qoe_of_kind(kind: &str) -> Result<QoeConfig, String> {
+    match kind {
+        "lte" | "5g" => Ok(QoeConfig::lte()),
+        "fcc" | "satellite" => Ok(QoeConfig::fcc()),
+        other => Err(format!(
+            "unknown trace kind {other:?} (lte, fcc, 5g, satellite)"
+        )),
+    }
+}
+
 fn trace_set(args: &Args) -> Result<(Vec<Trace>, QoeConfig), String> {
     let count: usize = args.flag_parsed("traces", 50)?;
     let seed: u64 = args.flag_parsed("seed", 42)?;
     if count == 0 {
         return Err("--traces must be at least 1".to_string());
     }
-    match args.flag("set").unwrap_or("lte") {
-        "lte" => Ok((
-            lte_traces(count, seed, &LteConfig::default()),
-            QoeConfig::lte(),
-        )),
-        "fcc" => Ok((
-            fcc_traces(count, seed, &FccConfig::default()),
-            QoeConfig::fcc(),
-        )),
-        other => Err(format!("unknown trace set {other:?} (lte or fcc)")),
-    }
+    let kind = args.flag("set").unwrap_or("lte");
+    Ok((traces_of_kind(kind, count, seed)?, qoe_of_kind(kind)?))
 }
 
 /// `cava list-videos`
@@ -274,12 +297,13 @@ pub fn export_mpd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cava gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]`
+/// `cava gen-traces <kind> <count> <dir> [--format csv|json|mahimahi] [--seed S]`
+/// where `<kind>` is `lte`, `fcc`, `5g`, or `satellite`.
 pub fn gen_traces(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["format", "seed"])?;
-    args.expect_positionals(3, "gen-traces <lte|fcc> <count> <dir>")?;
-    let kind = args.positional(0, "lte|fcc")?.to_string();
+    args.expect_positionals(3, "gen-traces <lte|fcc|5g|satellite> <count> <dir>")?;
+    let kind = args.positional(0, "lte|fcc|5g|satellite")?.to_string();
     let count: usize = args
         .positional(1, "count")?
         .parse()
@@ -289,11 +313,7 @@ pub fn gen_traces(argv: &[String]) -> Result<(), String> {
     }
     let dir = std::path::PathBuf::from(args.positional(2, "dir")?);
     let seed: u64 = args.flag_parsed("seed", 42)?;
-    let traces = match kind.as_str() {
-        "lte" => lte_traces(count, seed, &LteConfig::default()),
-        "fcc" => fcc_traces(count, seed, &FccConfig::default()),
-        other => return Err(format!("unknown trace kind {other:?} (lte or fcc)")),
-    };
+    let traces = traces_of_kind(&kind, count, seed)?;
     let format = args.flag("format").unwrap_or("csv");
     match format {
         "csv" => {
@@ -329,17 +349,13 @@ pub fn inspect(argv: &[String]) -> Result<(), String> {
     let video = load_video(args.positional(0, "video")?)?;
     let scheme_name = args.positional(1, "scheme")?.to_string();
     let seed: u64 = args.flag_parsed("seed", 42)?;
-    let (trace, qoe) = match args.flag("set").unwrap_or("lte") {
-        "lte" => (
-            net_trace::lte::lte_trace(seed, &LteConfig::default()),
-            QoeConfig::lte(),
-        ),
-        "fcc" => (
-            net_trace::fcc::fcc_trace(seed, &FccConfig::default()),
-            QoeConfig::fcc(),
-        ),
-        other => return Err(format!("unknown trace set {other:?}")),
-    };
+    let kind = args.flag("set").unwrap_or("lte");
+    let (trace, qoe) = (
+        traces_of_kind(kind, 1, seed)?
+            .pop()
+            .ok_or("trace generation produced nothing")?,
+        qoe_of_kind(kind)?,
+    );
     let manifest = Manifest::from_video(&video);
     let classification = Classification::from_video(&video);
     let mut algo = build_scheme(&scheme_name, &video, qoe.vmaf_model)?;
@@ -404,22 +420,19 @@ pub fn inspect(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cava trace-stats <lte|fcc> [--traces N] [--seed S]`
+/// `cava trace-stats <kind> [--traces N] [--seed S]`
+/// where `<kind>` is `lte`, `fcc`, `5g`, or `satellite`.
 pub fn trace_stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&["traces", "seed"])?;
-    args.expect_positionals(1, "trace-stats <lte|fcc>")?;
-    let kind = args.positional(0, "lte|fcc")?.to_string();
+    args.expect_positionals(1, "trace-stats <lte|fcc|5g|satellite>")?;
+    let kind = args.positional(0, "lte|fcc|5g|satellite")?.to_string();
     let count: usize = args.flag_parsed("traces", 50)?;
     if count == 0 {
         return Err("--traces must be at least 1".to_string());
     }
     let seed: u64 = args.flag_parsed("seed", 42)?;
-    let traces = match kind.as_str() {
-        "lte" => lte_traces(count, seed, &LteConfig::default()),
-        "fcc" => fcc_traces(count, seed, &FccConfig::default()),
-        other => return Err(format!("unknown trace kind {other:?} (lte or fcc)")),
-    };
+    let traces = traces_of_kind(&kind, count, seed)?;
     let means: Vec<f64> = traces.iter().map(|t| t.mean_bps() / 1e6).collect();
     let covs: Vec<f64> = traces
         .iter()
@@ -590,7 +603,7 @@ fn csv_list(raw: &str) -> Vec<String> {
 /// `cava loadgen <addr> [--sessions N] [--connections C] [--seed S]
 /// [--videos csv] [--schemes csv] [--vmaf tv|phone] [--hold BOOL]
 /// [--parity BOOL] [--faults BOOL] [--fault-period N] [--fault-stall-ms MS]
-/// [--fault-seed S] [--retries N] [--stop-server BOOL]`
+/// [--fault-seed S] [--retries N] [--stop-server BOOL] [--population N]`
 ///
 /// With `--faults true` the fleet injects deterministic mid-frame stalls,
 /// truncated writes, and connection resets (every `--fault-period` sends,
@@ -615,6 +628,7 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         "retries",
         "stop-server",
         "record",
+        "population",
     ])?;
     args.expect_positionals(1, "loadgen <addr>")?;
     let addr: SocketAddr = args.positional(0, "addr")?.parse().map_err(|_| {
@@ -656,6 +670,18 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
             })
         },
         player: defaults.player,
+        // --population N switches the fleet to population mode: N seeded
+        // viewers (diurnal arrival order, cohort network regimes and player
+        // configs, mid-session seeks, abandonment) instead of the classic
+        // shuffled full-session plan. The population seed is --seed.
+        population: {
+            let viewers: usize = args.flag_parsed("population", 0)?;
+            (viewers > 0).then(|| PopConfig {
+                seed: args.flag_parsed("seed", defaults.seed).unwrap_or(42),
+                sessions: viewers,
+                ..PopConfig::default()
+            })
+        },
     };
     let stop_server: bool = args.flag_parsed("stop-server", false)?;
     // Client-side event log: the fleet's fault-injection plan. The
@@ -759,6 +785,125 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
             mismatches.len(),
             &mismatches[..mismatches.len().min(8)]
         ));
+    }
+    Ok(())
+}
+
+/// `cava population [--seed S] [--sessions N] [--duration SECS] [--threads N]
+/// [--phone W] [--tv W] [--network W,W,W,W] [--live FRAC] [--video NAME]
+/// [--csv FILE]`
+///
+/// Sweep a seeded viewer population (diurnal arrivals, device/network/live
+/// cohort mix, per-viewer seeks and abandonment) through the in-process
+/// simulator and print per-cohort QoE. `--network` takes four weights in
+/// LTE, FCC, 5G, satellite order. The sweep is byte-identical for any
+/// `--threads` value; `--csv` writes the canonical per-cohort document.
+pub fn population(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    args.ensure_known_flags(&[
+        "seed", "sessions", "duration", "threads", "phone", "tv", "network", "live", "video", "csv",
+    ])?;
+    args.expect_positionals(0, "population [--sessions N] [--seed S]")?;
+    let defaults = PopConfig::default();
+    let seed: u64 = args.flag_parsed("seed", defaults.seed)?;
+    let sessions: usize = args.flag_parsed("sessions", defaults.sessions)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    let duration_s: f64 = args.flag_parsed("duration", defaults.duration_s)?;
+    if duration_s <= 0.0 || !duration_s.is_finite() {
+        return Err("--duration must be positive seconds".to_string());
+    }
+    let threads: usize = args.flag_parsed("threads", 0)?;
+    let phone: f64 = args.flag_parsed("phone", defaults.mix.phone)?;
+    let tv: f64 = args.flag_parsed("tv", defaults.mix.tv)?;
+    let live_fraction: f64 = args.flag_parsed("live", defaults.mix.live_fraction)?;
+    let network: [f64; 4] = match args.flag("network") {
+        None => defaults.mix.network,
+        Some(raw) => {
+            let weights: Vec<f64> = raw
+                .split(',')
+                .map(|w| w.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| format!("bad --network weights {raw:?}"))?;
+            let [lte, fcc, fiveg, satellite] = weights[..] else {
+                return Err("--network needs exactly 4 weights (lte,fcc,5g,satellite)".to_string());
+            };
+            [lte, fcc, fiveg, satellite]
+        }
+    };
+    if phone < 0.0 || tv < 0.0 || phone + tv <= 0.0 {
+        return Err("--phone/--tv weights must be non-negative, not both zero".to_string());
+    }
+    if network.iter().any(|&w| w < 0.0) || network.iter().sum::<f64>() <= 0.0 {
+        return Err("--network weights must be non-negative, not all zero".to_string());
+    }
+    if !(0.0..=1.0).contains(&live_fraction) {
+        return Err("--live must be a fraction in [0, 1]".to_string());
+    }
+    let config = PopConfig {
+        seed,
+        sessions,
+        duration_s,
+        mix: MixConfig {
+            phone,
+            tv,
+            network,
+            live_fraction,
+        },
+        ..defaults
+    };
+
+    let video_name = args.flag("video").unwrap_or("ED-youtube-h264");
+    let video = abr_bench::engine::PreparedVideo::new(load_video(video_name)?);
+    let threads = if threads == 0 {
+        abr_bench::engine::default_threads(sessions)
+    } else {
+        threads
+    };
+    let watch = Stopwatch::start();
+    let summaries = abr_bench::population::sweep(config, &video, threads);
+    let wall = watch.seconds().max(f64::MIN_POSITIVE);
+
+    println!(
+        "{sessions} viewers (seed {seed}) over {:.1} h of arrivals, {threads} threads",
+        duration_s / 3600.0
+    );
+    let mut breakdown = sim_report::CohortBreakdown::new(&[
+        ("abandoned", 0),
+        ("seeks", 0),
+        ("quality", 1),
+        ("low-q (%)", 1),
+        ("rebuf (s)", 2),
+        ("startup (s)", 2),
+        ("watched (s)", 1),
+    ]);
+    for c in &summaries {
+        breakdown.add(
+            &c.cohort,
+            c.sessions,
+            &[
+                c.abandoned as f64,
+                c.seeks as f64,
+                c.mean_quality,
+                c.low_quality_pct,
+                c.mean_rebuffer_s,
+                c.mean_startup_s,
+                c.mean_watched_s,
+            ],
+        );
+    }
+    print!("{}", breakdown.to_table().render());
+    let abandoned: usize = summaries.iter().map(|c| c.abandoned).sum();
+    let seeks: usize = summaries.iter().map(|c| c.seeks).sum();
+    println!(
+        "{abandoned} abandoned, {seeks} seeks; swept in {wall:.2}s ({:.0} sessions/s)",
+        sessions as f64 / wall
+    );
+    if let Some(path) = args.flag("csv") {
+        std::fs::write(path, abr_bench::population::csv_bytes(&summaries))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }

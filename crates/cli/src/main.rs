@@ -9,7 +9,8 @@
 //!                           [--live HEAD_CHUNKS] [--err FRACTION]
 //! cava compare <video> [--traces N] [--set lte|fcc]
 //! cava export-mpd <video> [--out FILE]
-//! cava gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi]
+//! cava gen-traces <lte|fcc|5g|satellite> <count> <dir> [--format csv|json|mahimahi]
+//! cava population [--sessions N] [--seed S] [--threads N] ...
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): positional
@@ -33,18 +34,22 @@ COMMANDS:
         [--traces N] [--set lte|fcc] [--seed S] [--live HEAD] [--err FRAC]
     inspect <video> <scheme>         one session in detail (per-chunk table,
         [--seed S] [--set lte|fcc]    buffer timeline, optional --json FILE)
-    trace-stats <lte|fcc> [--traces N] [--seed S]   corpus statistics
+    trace-stats <kind> [--traces N] [--seed S]      corpus statistics
     compare <video>                  all schemes side by side
         [--traces N] [--set lte|fcc]
     export-mpd <video> [--out FILE]  write the DASH MPD (stdout by default)
-    gen-traces <lte|fcc> <count> <dir> [--format csv|json|mahimahi] [--seed S]
+    gen-traces <kind> <count> <dir> [--format csv|json|mahimahi] [--seed S]
+    population                       seeded viewer-population sweep with
+        [--sessions N] [--seed S]     per-cohort QoE (diurnal arrivals,
+        [--duration SECS] [--threads N] [--phone W] [--tv W]
+        [--network W,W,W,W] [--live FRAC] [--video NAME] [--csv FILE]
     serve                            multi-session ABR decision service (TCP)
         [--addr A] [--threads N] [--capacity N] [--queue N] [--port-file F]
         [--record FILE]
     loadgen <addr>                   drive a fleet of players at a server
         [--sessions N] [--connections C] [--seed S] [--videos csv]
         [--schemes csv] [--vmaf tv|phone] [--hold BOOL] [--parity BOOL]
-        [--stop-server BOOL] [--record FILE]
+        [--stop-server BOOL] [--record FILE] [--population N]
     replay <log>                     re-execute a recorded serving run
         [--seek TICK] [--diff OTHER]  (record with `serve --record FILE`;
                                       exits nonzero on any divergence)
@@ -57,6 +62,11 @@ ENVIRONMENT:
 SCHEMES:
     cava, cava-p1, cava-p12, mpc, robustmpc, panda-max-sum, panda-max-min,
     rba, bba1, pia, festive, bola, bola-e-peak, bola-e-avg, bola-e-seg
+
+TRACE KINDS (for --set, trace-stats, gen-traces):
+    lte, fcc                         the paper's §6.1 corpora
+    5g, satellite                    extension regimes: high-variance mmWave,
+                                     GEO link (smooth, rain fades, ~550ms RTT)
 
 Video names come from `cava list-videos` (e.g. ED-ffmpeg-h264).
 ";
@@ -76,6 +86,7 @@ fn main() -> ExitCode {
         "compare" => commands::compare(&argv[1..]),
         "export-mpd" => commands::export_mpd(&argv[1..]),
         "gen-traces" => commands::gen_traces(&argv[1..]),
+        "population" => commands::population(&argv[1..]),
         "serve" => commands::serve(&argv[1..]),
         "loadgen" => commands::loadgen(&argv[1..]),
         "replay" => commands::replay(&argv[1..]),

@@ -1,0 +1,203 @@
+//! Synthetic 5G (NR) trace generator: a high-variance cellular regime.
+//!
+//! 5G links alternate between mmWave line-of-sight bursts — an order of
+//! magnitude above LTE — and sub-6 GHz fallback when the beam is blocked
+//! by a hand, a body, or a building corner. Measurement studies report
+//! exactly this bimodality: enormous peak rates, abrupt collapses within
+//! a second, and much higher short-term variance than LTE. We model it
+//! with the same Markov regime machinery as [`crate::lte`] but with
+//!
+//! * a wider regime span (0.3 Mbps blockage fallback → 60 Mbps mmWave),
+//! * fast regime switching (blockage events fire several times a minute),
+//! * heavier log-normal fast fading, and
+//! * short beam-loss outages.
+//!
+//! The seeded API mirrors `lte_trace(seed, config)`.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the 5G generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveGConfig {
+    /// Trace length in seconds (default 20 min, matching the other sets).
+    pub duration_s: f64,
+    /// Probability per second of leaving the current regime. Much higher
+    /// than LTE: beam blockage is a per-second event, not a per-minute one.
+    pub regime_switch_prob: f64,
+    /// Probability per second of a short beam-loss outage beginning.
+    pub outage_prob: f64,
+    /// σ of the log-normal fast fading (heavier than LTE).
+    pub fading_sigma: f64,
+}
+
+impl Default for FiveGConfig {
+    fn default() -> FiveGConfig {
+        FiveGConfig {
+            duration_s: 1200.0,
+            regime_switch_prob: 0.12,
+            outage_prob: 0.01,
+            fading_sigma: 0.45,
+        }
+    }
+}
+
+/// Regime mean throughputs in bps: blockage fallback → sub-6 → low-band
+/// mmWave → mid mmWave → line-of-sight mmWave.
+const REGIME_MEANS: [f64; 5] = [0.3e6, 2.0e6, 8.0e6, 25.0e6, 60.0e6];
+
+/// Regime transition preferences. Unlike the LTE drive chain, blockage
+/// makes *non-adjacent* jumps common: a line-of-sight beam collapses
+/// straight to the fallback tier when blocked, and recovers straight back
+/// when the obstruction passes.
+const REGIME_WEIGHTS: [[f64; 5]; 5] = [
+    [0.0, 4.0, 2.0, 1.5, 1.5],
+    [3.0, 0.0, 3.5, 2.0, 1.5],
+    [2.0, 2.5, 0.0, 3.0, 2.5],
+    [2.5, 1.5, 2.5, 0.0, 3.5],
+    [3.0, 1.0, 1.5, 4.0, 0.0],
+];
+
+/// Generate one 5G trace with the given seed.
+pub fn fiveg_trace(seed: u64, config: &FiveGConfig) -> Trace {
+    // Distinct scrambling constant so seed N's 5G trace shares nothing
+    // with seed N's LTE or FCC trace.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xd6e8_feb8_6659_fd93).wrapping_add(3));
+    let n = (config.duration_s / 1.0).round() as usize;
+    assert!(n > 0, "duration too short");
+
+    // Cell bias: distance to the gNB scales everything, log-uniform in
+    // [0.25, 1.3] — a wider spread than the LTE route bias.
+    let bias = 0.25 * (1.3f64 / 0.25).powf(rng.gen::<f64>());
+    // Starting regime: anywhere but weighted toward the middle tiers.
+    let start_states = [1usize, 2, 2, 3, 3, 4];
+    let mut regime: usize = start_states[rng.gen_range(0..start_states.len())];
+
+    let mut samples = Vec::with_capacity(n);
+    let mut outage_left = 0u32;
+    for _ in 0..n {
+        if outage_left > 0 {
+            outage_left -= 1;
+            samples.push(0.0);
+            continue;
+        }
+        if rng.gen::<f64>() < config.outage_prob {
+            outage_left = rng.gen_range(1..=2);
+            samples.push(0.0);
+            continue;
+        }
+        if rng.gen::<f64>() < config.regime_switch_prob {
+            regime = pick_weighted(&mut rng, &REGIME_WEIGHTS[regime]);
+        }
+        let fading = (gaussian(&mut rng) * config.fading_sigma
+            - config.fading_sigma * config.fading_sigma / 2.0)
+            .exp();
+        samples.push(REGIME_MEANS[regime] * bias * fading);
+    }
+    // Keep the trace usable in the pathological all-outage case. Outage
+    // samples are exact 0.0 by construction.
+    #[allow(clippy::float_cmp)]
+    let all_outage = samples.iter().all(|&s| s == 0.0);
+    if all_outage {
+        samples[0] = REGIME_MEANS[1] * bias;
+    }
+    Trace::new(format!("5g-{seed}"), 1.0, samples)
+}
+
+/// Generate a seeded 5G trace set.
+pub fn fiveg_traces(count: usize, base_seed: u64, config: &FiveGConfig) -> Vec<Trace> {
+    (0..count)
+        .map(|i| fiveg_trace(base_seed.wrapping_add(i as u64), config))
+        .collect()
+}
+
+fn pick_weighted(rng: &mut StdRng, weights: &[f64; 5]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cov(t: &Trace) -> f64 {
+        let mean = t.mean_bps();
+        let var = t
+            .samples()
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / t.n_samples() as f64;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = FiveGConfig::default();
+        assert_eq!(fiveg_trace(7, &cfg), fiveg_trace(7, &cfg));
+        assert_ne!(fiveg_trace(7, &cfg), fiveg_trace(8, &cfg));
+    }
+
+    #[test]
+    fn distinct_from_lte_at_same_seed() {
+        let t5 = fiveg_trace(42, &FiveGConfig::default());
+        let tl = crate::lte::lte_trace(42, &crate::lte::LteConfig::default());
+        assert_ne!(t5.samples(), tl.samples());
+    }
+
+    #[test]
+    fn shape_matches_other_sets() {
+        let t = fiveg_trace(1, &FiveGConfig::default());
+        assert_eq!(t.interval_s(), 1.0);
+        assert!(t.duration_s() >= 18.0 * 60.0);
+    }
+
+    #[test]
+    fn higher_variance_than_lte() {
+        // The defining property of the regime: median per-trace CoV well
+        // above the LTE set's.
+        let fg = fiveg_traces(50, 11, &FiveGConfig::default());
+        let lte = crate::lte::lte_traces(50, 11, &crate::lte::LteConfig::default());
+        let median = |mut xs: Vec<f64>| {
+            xs.sort_by(f64::total_cmp);
+            xs[xs.len() / 2]
+        };
+        let fg_cov = median(fg.iter().map(cov).collect());
+        let lte_cov = median(lte.iter().map(cov).collect());
+        assert!(
+            fg_cov > lte_cov * 1.2,
+            "5G CoV {fg_cov} should exceed LTE CoV {lte_cov}"
+        );
+    }
+
+    #[test]
+    fn peaks_far_above_lte() {
+        let fg = fiveg_traces(50, 5, &FiveGConfig::default());
+        let peak = fg
+            .iter()
+            .flat_map(|t| t.samples().iter().copied())
+            .fold(0.0, f64::max);
+        assert!(peak > 30.0e6, "mmWave peaks should appear: {peak}");
+    }
+
+    #[test]
+    fn blockage_outages_exist() {
+        let fg = fiveg_traces(50, 9, &FiveGConfig::default());
+        let any_outage = fg.iter().any(|t| t.samples().contains(&0.0));
+        assert!(any_outage, "beam-loss outages should appear");
+    }
+}

@@ -16,6 +16,11 @@
 //! * [`fcc`] — a generator for fixed-broadband traces: stable plan-limited
 //!   rates with congestion dips — much smoother than LTE, which is exactly
 //!   the contrast §6.3 observes between the two trace sets.
+//! * [`fiveg`] — a 5G regime beyond the paper's two sets: mmWave peaks,
+//!   beam-blockage collapses, and much higher variance than LTE.
+//! * [`satellite`] — a GEO-satellite regime: smooth provisioned rates with
+//!   long rain fades; pair with a large request RTT (see
+//!   [`satellite::GEO_RTT_S`]).
 //! * [`predictor`] — bandwidth predictors: the harmonic mean of the past 5
 //!   chunks (the paper's default for every scheme), EWMA and last-sample
 //!   alternatives, a controlled uniform error injector (§6.7), and the
@@ -24,9 +29,11 @@
 //!   or swapped for real captures.
 
 pub mod fcc;
+pub mod fiveg;
 pub mod io;
 pub mod lte;
 pub mod predictor;
+pub mod satellite;
 pub mod trace;
 
 pub use predictor::{

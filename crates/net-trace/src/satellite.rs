@@ -1,0 +1,197 @@
+//! Synthetic geostationary-satellite trace generator: a high-RTT regime.
+//!
+//! GEO broadband (ViaSat/HughesNet class) is the opposite corner of the
+//! access space from 5G: capacity is decent and *slowly* varying, but
+//! every request pays a ~550 ms propagation round trip. The throughput
+//! process is a provisioned beam rate modulated by
+//!
+//! * long **rain-fade** episodes (minutes, not seconds) that attenuate
+//!   the Ka-band link to a fraction of clear-sky rate,
+//! * slow diurnal **beam congestion** (shared spot beams), and
+//! * mild per-sample noise; total outages are rare (deep fade only).
+//!
+//! The latency itself is not in the trace — traces carry throughput only
+//! (see [`crate::trace`]); pair this regime with a large
+//! `request_rtt_s` in the player config (`abr-pop` does this when it
+//! samples a satellite cohort). Seeded API mirrors `lte_trace`.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the satellite generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatelliteConfig {
+    /// Trace length in seconds (default 20 min, matching the other sets).
+    pub duration_s: f64,
+    /// Probability per sample that a rain-fade episode begins.
+    pub fade_prob: f64,
+    /// Mean fade episode length in samples (long: minutes of rain).
+    pub fade_len: f64,
+    /// σ of the log-normal per-sample noise (small: the link is smooth).
+    pub noise_sigma: f64,
+}
+
+impl Default for SatelliteConfig {
+    fn default() -> SatelliteConfig {
+        SatelliteConfig {
+            duration_s: 1200.0,
+            fade_prob: 0.004,
+            fade_len: 90.0,
+            noise_sigma: 0.08,
+        }
+    }
+}
+
+/// Provisioned service-tier rates in bps (consumer GEO plans).
+const PLAN_RATES: [f64; 5] = [5.0e6, 12.0e6, 25.0e6, 50.0e6, 100.0e6];
+const PLAN_WEIGHTS: [f64; 5] = [2.0, 4.0, 4.0, 2.0, 1.0];
+
+/// Generate one satellite trace with the given seed.
+pub fn satellite_trace(seed: u64, config: &SatelliteConfig) -> Trace {
+    // Distinct scrambling constant from the LTE/FCC/5G generators.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f).wrapping_add(7));
+    let n = (config.duration_s / 1.0).round() as usize;
+    assert!(n > 0, "duration too short");
+
+    let plan = pick_weighted(&mut rng, &PLAN_RATES, &PLAN_WEIGHTS);
+    // Beam loading: shared spot beams deliver 55–95% of plan.
+    let loading = 0.55 + 0.4 * rng.gen::<f64>();
+
+    let mut samples = Vec::with_capacity(n);
+    let mut fade_left = 0usize;
+    let mut fade_depth = 1.0;
+    for _ in 0..n {
+        if fade_left == 0 && rng.gen::<f64>() < config.fade_prob {
+            fade_left = (1.0 + rng.gen::<f64>() * 2.0 * config.fade_len).round() as usize;
+            // Rain attenuates the Ka-band link to 10–50% of clear sky.
+            fade_depth = 0.1 + 0.4 * rng.gen::<f64>();
+        }
+        let fade = if fade_left > 0 {
+            fade_left -= 1;
+            fade_depth
+        } else {
+            1.0
+        };
+        let noise = (gaussian(&mut rng) * config.noise_sigma
+            - config.noise_sigma * config.noise_sigma / 2.0)
+            .exp();
+        samples.push(plan * loading * fade * noise);
+    }
+    Trace::new(format!("sat-{seed}"), 1.0, samples)
+}
+
+/// Generate a seeded satellite trace set.
+pub fn satellite_traces(count: usize, base_seed: u64, config: &SatelliteConfig) -> Vec<Trace> {
+    (0..count)
+        .map(|i| satellite_trace(base_seed.wrapping_add(i as u64), config))
+        .collect()
+}
+
+/// A representative GEO request round-trip time in seconds: two ~36 000 km
+/// hops plus gateway processing. Consumers pair this with
+/// [`crate::Trace`]s from this module via `PlayerConfig::request_rtt_s`.
+pub const GEO_RTT_S: f64 = 0.55;
+
+fn pick_weighted(rng: &mut StdRng, values: &[f64], weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (v, &w) in values.iter().zip(weights) {
+        if x < w {
+            return *v;
+        }
+        x -= w;
+    }
+    values[values.len() - 1]
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cov(t: &Trace) -> f64 {
+        let mean = t.mean_bps();
+        let var = t
+            .samples()
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / t.n_samples() as f64;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SatelliteConfig::default();
+        assert_eq!(satellite_trace(5, &cfg), satellite_trace(5, &cfg));
+        assert_ne!(satellite_trace(5, &cfg), satellite_trace(6, &cfg));
+    }
+
+    #[test]
+    fn shape_matches_other_sets() {
+        let t = satellite_trace(1, &SatelliteConfig::default());
+        assert_eq!(t.interval_s(), 1.0);
+        assert!(t.duration_s() >= 18.0 * 60.0);
+    }
+
+    #[test]
+    fn smoother_than_fiveg_outside_fades() {
+        let sat = satellite_traces(50, 13, &SatelliteConfig::default());
+        let fg = crate::fiveg::fiveg_traces(50, 13, &crate::fiveg::FiveGConfig::default());
+        let median = |mut xs: Vec<f64>| {
+            xs.sort_by(f64::total_cmp);
+            xs[xs.len() / 2]
+        };
+        let sat_cov = median(sat.iter().map(cov).collect());
+        let fg_cov = median(fg.iter().map(cov).collect());
+        assert!(
+            sat_cov < fg_cov,
+            "satellite CoV {sat_cov} should be below 5G CoV {fg_cov}"
+        );
+    }
+
+    #[test]
+    fn rain_fades_are_long_and_deep() {
+        // At least one trace in the set carries a fade: a contiguous run
+        // of ≥ 30 samples all below half the trace mean.
+        let traces = satellite_traces(50, 21, &SatelliteConfig::default());
+        let mut found = 0;
+        for t in &traces {
+            let mean = t.mean_bps();
+            let mut run = 0usize;
+            let mut longest = 0usize;
+            for &s in t.samples() {
+                if s < 0.5 * mean {
+                    run += 1;
+                    longest = longest.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            if longest >= 30 {
+                found += 1;
+            }
+        }
+        assert!(found > 5, "long rain fades should appear: {found}/50");
+    }
+
+    #[test]
+    fn no_total_outages() {
+        for t in satellite_traces(50, 8, &SatelliteConfig::default()) {
+            assert!(t.min_bps() > 0.0, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn distinct_from_other_regimes_at_same_seed() {
+        let sat = satellite_trace(42, &SatelliteConfig::default());
+        let fg = crate::fiveg::fiveg_trace(42, &crate::fiveg::FiveGConfig::default());
+        assert_ne!(sat.samples(), fg.samples());
+    }
+}

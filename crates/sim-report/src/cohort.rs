@@ -1,0 +1,129 @@
+//! Per-cohort report rendering.
+//!
+//! Population-scale runs (the `abr-pop` workload engine) reduce to one row
+//! per viewer cohort — `phone-5g`, `tv-fcc-live`, ... — each carrying a
+//! session count and a fixed set of metric means. [`CohortBreakdown`]
+//! collects those rows and renders them as a [`TextTable`] with a computed
+//! population-share column, so every consumer (the bench experiment, the
+//! `cava population` subcommand) prints the same shape.
+
+use crate::table::TextTable;
+
+/// A per-cohort metric breakdown: rows keyed by cohort label, each with a
+/// session count and one value per metric column.
+#[derive(Debug, Clone)]
+pub struct CohortBreakdown {
+    metrics: Vec<String>,
+    /// Decimal places used to render each metric column.
+    decimals: Vec<usize>,
+    rows: Vec<(String, usize, Vec<f64>)>,
+}
+
+impl CohortBreakdown {
+    /// Create a breakdown with the given `(metric name, decimal places)`
+    /// columns.
+    pub fn new(columns: &[(&str, usize)]) -> CohortBreakdown {
+        CohortBreakdown {
+            metrics: columns.iter().map(|(name, _)| name.to_string()).collect(),
+            decimals: columns.iter().map(|&(_, d)| d).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one cohort row. `values` must match the metric columns.
+    ///
+    /// # Panics
+    /// Panics if `values` has a different length than the column set.
+    pub fn add(&mut self, label: &str, sessions: usize, values: &[f64]) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.metrics.len(),
+            "cohort row has {} values, breakdown has {} metric columns",
+            values.len(),
+            self.metrics.len()
+        );
+        self.rows
+            .push((label.to_string(), sessions, values.to_vec()));
+        self
+    }
+
+    /// Total sessions across all cohorts (the share denominator).
+    pub fn total_sessions(&self) -> usize {
+        self.rows.iter().map(|(_, n, _)| n).sum()
+    }
+
+    /// Number of cohort rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no cohorts have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a [`TextTable`]: cohort, sessions, population share (%),
+    /// then one column per metric in declaration order.
+    pub fn to_table(&self) -> TextTable {
+        let mut header: Vec<String> = vec!["cohort".into(), "sessions".into(), "share (%)".into()];
+        header.extend(self.metrics.iter().cloned());
+        let mut table = TextTable::new(header);
+        let total = self.total_sessions().max(1) as f64;
+        for (label, sessions, values) in &self.rows {
+            let mut cells = vec![
+                label.clone(),
+                sessions.to_string(),
+                format!("{:.1}", 100.0 * *sessions as f64 / total),
+            ];
+            for (value, decimals) in values.iter().zip(&self.decimals) {
+                cells.push(format!("{value:.decimals$}"));
+            }
+            table.add_row(cells);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CohortBreakdown {
+        let mut b = CohortBreakdown::new(&[("quality", 1), ("rebuf (s)", 2)]);
+        b.add("phone-lte", 75, &[70.25, 1.234]);
+        b.add("tv-satellite-live", 25, &[83.0, 0.0]);
+        b
+    }
+
+    #[test]
+    fn share_column_sums_from_session_counts() {
+        let b = sample();
+        assert_eq!(b.total_sessions(), 100);
+        assert_eq!(b.len(), 2);
+        let rendered = b.to_table().render();
+        assert!(rendered.contains("75.0"), "{rendered}");
+        assert!(rendered.contains("25.0"), "{rendered}");
+    }
+
+    #[test]
+    fn metric_columns_respect_decimals() {
+        let rendered = sample().to_table().render();
+        assert!(rendered.contains("70.2"), "{rendered}");
+        assert!(rendered.contains("1.23"), "{rendered}");
+        assert!(rendered.contains("share (%)"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_breakdown_renders_header_only() {
+        let b = CohortBreakdown::new(&[("quality", 1)]);
+        assert!(b.is_empty());
+        let table = b.to_table();
+        assert_eq!(table.data_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        CohortBreakdown::new(&[("quality", 1)]).add("x", 1, &[1.0, 2.0]);
+    }
+}

@@ -24,12 +24,14 @@
 
 pub mod cdf;
 pub mod chart;
+pub mod cohort;
 pub mod csvout;
 pub mod stats;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use chart::{AsciiChart, Series};
+pub use cohort::CohortBreakdown;
 pub use csvout::CsvWriter;
 pub use stats::{mean, percentile, std_dev, Summary};
 pub use table::TextTable;

@@ -1,17 +1,40 @@
 #!/usr/bin/env sh
 # Repo-wide lint gate. Run before sending a PR; CI runs the same steps.
 #
-#   scripts/check.sh          # fmt + clippy + docs + abr-lint + invariants
+#   scripts/check.sh                      # fmt + clippy + docs + abr-lint + invariants
+#   scripts/check.sh --bench-tolerance 40 # loosen the perf-trajectory gate to 40%
 #
 # The doc step holds abr-bench to `#![deny(missing_docs)]` plus
 # rustdoc's own lints (broken intra-doc links, etc.). The abr-lint step
 # enforces the determinism rules R1-R10 (see CONTRIBUTING.md), writing
-# the machine-readable report to results/abr-lint.json; the final
+# the machine-readable report to results/abr-lint.json; the later
 # steps re-run the simulator and controller suites with the runtime
-# invariant layer armed.
+# invariant layer armed, then gate the freshly produced BENCH_*.json
+# perf documents against the committed trajectory (bench_gate; >15%
+# regression in decisions/sec or p99 latency fails — override with
+# --bench-tolerance, see CONTRIBUTING.md).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+BENCH_TOLERANCE=15
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --bench-tolerance)
+            [ "$#" -ge 2 ] || { echo "--bench-tolerance needs a value" >&2; exit 2; }
+            BENCH_TOLERANCE="$2"
+            shift 2
+            ;;
+        --bench-tolerance=*)
+            BENCH_TOLERANCE="${1#--bench-tolerance=}"
+            shift
+            ;;
+        *)
+            echo "unknown argument: $1 (supported: --bench-tolerance PCT)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -101,5 +124,46 @@ echo "==> record -> replay -> diff smoke (docs/REPLAY.md)"
 ./target/release/cava replay "$REPLAY_LOG"
 ./target/release/cava replay "$REPLAY_LOG" --seek 1000
 ./target/release/cava replay "$REPLAY_LOG" --diff "$REPLAY_LOG"
+
+echo "==> population determinism smoke (1 vs 8 threads, byte-identical)"
+# The abr-pop sweep derives every viewer from (seed, index) alone, so the
+# per-cohort CSV must not depend on the worker count. cmp is the gate.
+POP_DIR="$(mktemp -d)"
+./target/release/cava population --sessions 2000 --threads 1 \
+    --csv "$POP_DIR/pop-t1.csv" > /dev/null
+./target/release/cava population --sessions 2000 --threads 8 \
+    --csv "$POP_DIR/pop-t8.csv" > /dev/null
+cmp "$POP_DIR/pop-t1.csv" "$POP_DIR/pop-t8.csv"
+rm -rf "$POP_DIR"
+
+echo "==> bench perf gate (fresh BENCH_*.json vs committed, tolerance ${BENCH_TOLERANCE}%)"
+# Re-run the perf-tracked experiments into a scratch directory and diff
+# the fresh documents against the committed trajectory with bench_gate
+# (>BENCH_TOLERANCE% regression in decisions/sec or p99 latency fails).
+# Documents not committed yet (first revision on a branch) are skipped.
+cargo build -q --release -p abr-bench --bin exp_serve_soak --bin exp_serve_chaos \
+    --bin exp_population --bin bench_gate
+REPO_ROOT="$(pwd)"
+GATE_BASE="$(mktemp -d)"
+GATE_FRESH="$(mktemp -d)"
+for doc in BENCH_serve.json BENCH_serve_chaos.json BENCH_population.json; do
+    if ! git show "HEAD:$doc" > "$GATE_BASE/$doc" 2>/dev/null; then
+        echo "  $doc not in HEAD yet - gate skipped for it"
+        rm -f "$GATE_BASE/$doc"
+    fi
+done
+(cd "$GATE_FRESH" && RESULTS_DIR="$GATE_FRESH/results" \
+    "$REPO_ROOT/target/release/exp_serve_soak" > /dev/null)
+(cd "$GATE_FRESH" && RESULTS_DIR="$GATE_FRESH/results" \
+    "$REPO_ROOT/target/release/exp_serve_chaos" > /dev/null)
+(cd "$GATE_FRESH" && RESULTS_DIR="$GATE_FRESH/results" POP_SCALE=20000 \
+    "$REPO_ROOT/target/release/exp_population" > /dev/null)
+for doc in BENCH_serve.json BENCH_serve_chaos.json BENCH_population.json; do
+    if [ -f "$GATE_BASE/$doc" ] && [ -f "$GATE_FRESH/$doc" ]; then
+        ./target/release/bench_gate "$GATE_BASE/$doc" "$GATE_FRESH/$doc" \
+            --tolerance "$BENCH_TOLERANCE"
+    fi
+done
+rm -rf "$GATE_BASE" "$GATE_FRESH"
 
 echo "all checks passed"
