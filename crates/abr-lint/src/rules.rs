@@ -442,6 +442,13 @@ const LOCKED_IO_PATTERNS: &[&str] = &[
     "thread::sleep",
     "sleep(",
     ".accept(",
+    // Reactor sweep helpers (crates/abr-serve/src/reactor.rs): each of
+    // these performs socket reads/writes/flushes internally, so a guard
+    // held across a call is a guard held across I/O even though no bare
+    // `.read(`/`.write(` appears at the call site.
+    ".pump(",
+    ".fill(",
+    ".drain_frames(",
 ];
 
 /// R8: find `lock(`/`.lock()`/`.try_lock()` call sites whose guard's
@@ -1259,6 +1266,20 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "R8");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn r8_lock_guard_across_reactor_sweep_helper_is_flagged() {
+        // The reactor's pump/fill/drain_frames do socket I/O internally;
+        // holding a shard or session guard across a sweep call is the
+        // same bug as holding it across a bare read/write.
+        let src = "fn f(m: &std::sync::Mutex<i32>, c: &mut Conn) {\n    let g = m.lock();\n    c.pump(server, scratch);\n}\n";
+        let v = check_file("crates/abr-serve/src/reactor.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R8");
+        assert_eq!(v[0].line, 2);
+        let src = "fn f(m: &std::sync::Mutex<i32>, c: &mut Conn) {\n    let g = m.lock();\n    drop(g);\n    c.fill(scratch, progress);\n    c.drain_frames(server, progress);\n}\n";
+        assert!(check_file("crates/abr-serve/src/reactor.rs", src).is_empty());
     }
 
     #[test]

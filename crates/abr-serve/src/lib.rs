@@ -20,9 +20,14 @@
 //!   [`abr_sim::AbrAlgorithm`] state, shared manifest handles,
 //!   capacity-bounded admission with idle eviction and a stateless RBA
 //!   graceful-degradation fallback.
-//! * [`server`] — the threaded TCP front end: `std`-only listener plus a
-//!   worker pool over [`std::thread::scope`], a bounded accept queue for
-//!   backpressure, and clean shutdown.
+//! * [`server`] — the TCP front end: the backend-agnostic frame core plus
+//!   two selectable backends — the default poll-based non-blocking
+//!   [`reactor`] (a few threads multiplexing whole fleets of nonblocking
+//!   connections) and the deprecated legacy thread-per-connection pool —
+//!   with clean frame-level shutdown either way.
+//! * [`reactor`] — the readiness-sweep event loop behind
+//!   [`server::Backend::Reactor`]: per-connection read/write buffers,
+//!   incremental frame decode, batched responses, doze-tick deadlines.
 //! * [`loadgen`] — the deterministic fleet load generator: N simulated
 //!   players from `abr-sim` driven over real sockets with a seeded arrival
 //!   process, checking **decision parity** against same-seed in-process runs.
@@ -38,6 +43,7 @@
 
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 pub mod replay;
 pub mod scheme;
 pub mod server;
@@ -52,7 +58,7 @@ pub use replay::{
     decode_log, diff_logs, read_log, Event, EventLog, MemoryLog, Recorder, ReplayError,
     ReplayPlayer, REPLAY_VERSION,
 };
-pub use server::{BoundServer, Server, ServerConfig};
+pub use server::{Backend, BoundServer, Server, ServerConfig};
 pub use store::{
     DropOutcome, ResumeOutcome, SessionStore, StoreConfig, StoreError, VideoHandle, VideoProvider,
 };

@@ -44,6 +44,20 @@
 //! abandons are recorded as [`Event::Seek`]/[`Event::SessionAbandon`]
 //! annotations when a recorder is attached.
 //!
+//! **Pipeline mode**: setting [`LoadgenConfig::pipeline`] above 1 switches
+//! each connection from one round trip per decision to a batched wave
+//! drive built on [`abr_sim::SessionStepper`]. The connection opens all of
+//! its sessions (in batched waves), then repeatedly collects the next
+//! `DecisionRequest` from up to `pipeline` live sessions, writes them as
+//! one flush, and reads the responses back in order — turning `pipeline`
+//! decisions into a single syscall pair instead of `pipeline` round trips.
+//! The in-flight window is bounded by `pipeline` so client and server
+//! buffers can never mutually fill (no write–write deadlock). Sessions are
+//! independent, so wave results are byte-identical to the serial drive;
+//! per-decision latency is the wave's round-trip time. Pipeline mode is
+//! clean-path only (fault injection requires `pipeline == 1`) and always
+//! holds its sessions open for the whole drive.
+//!
 //! No wall clock is read here: latency measurement comes from the injected
 //! `now` closure (backed by the bench journal's `Stopwatch` in real use).
 //! Fault stalls and backoff use `thread::sleep`, which consumes time but
@@ -53,12 +67,12 @@
 use crate::protocol::{ErrorCode, Frame, StatsSnapshot, WireError, PROTOCOL_VERSION};
 use crate::replay::{Event, Recorder};
 use crate::scheme;
-use crate::store::VideoProvider;
+use crate::store::{VideoHandle, VideoProvider};
 use crate::{lock, protocol};
 use abr_pop::{Cohort, PopConfig, Population};
 use abr_sim::{
     AbrAlgorithm, DecisionContext, DecisionRequest, PlayerConfig, SessionControl, SessionResult,
-    Simulator,
+    SessionStepper, Simulator,
 };
 use net_trace::lte::{lte_trace, LteConfig};
 use sim_report::stats::percentile;
@@ -104,6 +118,19 @@ pub struct LoadgenConfig {
     /// regimes, player configs, and VMAF models; `videos` and `schemes`
     /// are still assigned round-robin by population index.
     pub population: Option<PopConfig>,
+    /// Decisions batched per flush on each connection. `1` (the default)
+    /// drives sessions serially, one round trip per decision, and is the
+    /// only setting chaos mode accepts. Above 1 the connection switches to
+    /// the batched wave drive; keep `pipeline × ~100 B` under the socket
+    /// buffer (≤ 512 is always safe).
+    pub pipeline: usize,
+    /// Check decision parity on every `parity_every`-th session id
+    /// (`session_id % parity_every == 0`). `1` checks every session
+    /// (classic behavior); larger values sample, so 100k-session soaks
+    /// don't pay a full in-process replay per session; `0` disables the
+    /// check outright. Only consulted when [`LoadgenConfig::parity`] is
+    /// set.
+    pub parity_every: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -120,6 +147,8 @@ impl Default for LoadgenConfig {
             faults: None,
             player: PlayerConfig::default(),
             population: None,
+            pipeline: 1,
+            parity_every: 1,
         }
     }
 }
@@ -265,6 +294,11 @@ pub struct SessionOutcome {
     pub result: Option<SessionResult>,
     /// Per-decision round-trip latency, seconds, in request order.
     pub latencies_s: Vec<f64>,
+    /// Parallel to `latencies_s`: `true` where the decision's round trip
+    /// absorbed an injected fault (a stall inflating it in place, or a
+    /// retry after a kill). Clean decisions — the ones a latency gate may
+    /// judge — are the `false` entries.
+    pub latency_faulted: Vec<bool>,
     /// Parity verdict: `Some(true)` = byte-identical to the in-process
     /// replay, `None` = check skipped (disabled, degraded, or errored).
     pub parity: Option<bool>,
@@ -281,6 +315,7 @@ impl SessionOutcome {
             degraded: false,
             result: None,
             latencies_s: Vec::new(),
+            latency_faulted: Vec::new(),
             parity: None,
             closed_decisions: None,
             error: None,
@@ -296,6 +331,13 @@ pub struct LoadgenReport {
     /// Wall time of the whole drive (connect through last close), from the
     /// injected clock.
     pub wall_time_s: f64,
+    /// Wall time of the *decision-serving* phase alone — the widest
+    /// barrier-to-barrier drive window across connections, excluding
+    /// opens, closes, and parity replays. Throughput rates divide by this.
+    pub drive_wall_s: f64,
+    /// Sessions the server held concurrently, sampled at the hold point
+    /// (pipeline mode only; `None` in the serial drive).
+    pub held_sessions: Option<u64>,
     /// Server counters sampled after the drive.
     pub server_stats: Option<StatsSnapshot>,
     /// Client-side fault/recovery counters summed across connections.
@@ -341,9 +383,44 @@ impl LoadgenReport {
             .collect()
     }
 
+    /// Latencies of decisions whose round trip did **not** absorb an
+    /// injected fault. Together with [`LoadgenReport::faulted_latencies`]
+    /// this partitions [`LoadgenReport::latencies`] exactly:
+    /// `decisions() == clean.len() + faulted.len()`.
+    pub fn clean_latencies(&self) -> Vec<f64> {
+        self.split_latencies(false)
+    }
+
+    /// Latencies of decisions that rode through an injected fault (stall,
+    /// kill + retry). These carry the fault's self-inflicted delay and are
+    /// excluded from clean-path latency gates.
+    pub fn faulted_latencies(&self) -> Vec<f64> {
+        self.split_latencies(true)
+    }
+
+    fn split_latencies(&self, faulted: bool) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| {
+                o.latencies_s
+                    .iter()
+                    .zip(&o.latency_faulted)
+                    .filter(move |(_, &f)| f == faulted)
+                    .map(|(&l, _)| l)
+            })
+            .collect()
+    }
+
     /// Percentile over all decision latencies (`None` if no decisions).
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
         percentile(&self.latencies(), p)
+    }
+
+    /// Percentile over clean (unfaulted) decision latencies only — the
+    /// number a chaos run's latency gate judges, since faulted round trips
+    /// carry injected stalls and backoff by design.
+    pub fn clean_latency_percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.clean_latencies(), p)
     }
 }
 
@@ -408,6 +485,18 @@ pub fn plan(config: &LoadgenConfig) -> Result<Vec<SessionPlan>, LoadgenError> {
     }
     if config.schemes.is_empty() {
         return Err(LoadgenError::BadConfig("no schemes given".into()));
+    }
+    if config.pipeline == 0 {
+        return Err(LoadgenError::BadConfig(
+            "pipeline must be at least 1".into(),
+        ));
+    }
+    if config.pipeline > 1 && config.faults.is_some() {
+        // Chaos needs the serial drive: the retry/resume machinery owns
+        // the wire one operation at a time.
+        return Err(LoadgenError::BadConfig(
+            "fault injection requires pipeline 1".into(),
+        ));
     }
     for name in &config.videos {
         if !scheme::is_known_video(name) {
@@ -479,11 +568,21 @@ impl FrameIo {
         })
     }
 
-    fn send(&mut self, frame: &Frame) -> Result<(), LoadgenError> {
-        protocol::write_frame(&mut self.writer, frame).map_err(LoadgenError::Wire)?;
+    /// Queue a frame without flushing — the pipeline drive's batcher.
+    /// Callers pair it with [`FrameIo::flush`] once the wave is written.
+    fn send_buffered(&mut self, frame: &Frame) -> Result<(), LoadgenError> {
+        protocol::write_frame(&mut self.writer, frame).map_err(LoadgenError::Wire)
+    }
+
+    fn flush(&mut self) -> Result<(), LoadgenError> {
         self.writer
             .flush()
             .map_err(|e| LoadgenError::Io(e.to_string()))
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), LoadgenError> {
+        self.send_buffered(frame)?;
+        self.flush()
     }
 
     /// Write raw pre-encoded bytes and flush them onto the wire — the
@@ -540,6 +639,10 @@ struct Conn {
     lost: BTreeSet<u64>,
     /// Whether the last completed `call` needed more than one attempt.
     last_call_retried: bool,
+    /// Whether the last completed `call` absorbed an injected fault —
+    /// retried after a kill, or stalled in place. Feeds the per-decision
+    /// clean/faulted latency split.
+    last_call_faulted: bool,
     stats: ClientStats,
     /// This connection's 0-based fleet index, stamped into recorded
     /// fault-injection events.
@@ -569,6 +672,7 @@ impl Conn {
             degraded_hint: BTreeMap::new(),
             lost: BTreeSet::new(),
             last_call_retried: false,
+            last_call_faulted: false,
             stats: ClientStats::default(),
             index: index as u64,
             recorder,
@@ -666,6 +770,7 @@ impl Conn {
     /// faulted operation cannot starve itself.
     fn try_call(&mut self, frame: &Frame, allow_fault: bool) -> Result<Frame, LoadgenError> {
         let fault = if allow_fault { self.next_fault() } else { None };
+        self.last_call_faulted |= fault.is_some();
         let stall_ms = self.faults.map_or(0, |f| f.stall_ms);
         match fault {
             None => {
@@ -709,6 +814,7 @@ impl Conn {
     fn call(&mut self, frame: &Frame) -> Result<Frame, String> {
         let max_attempts = self.faults.map_or(0, |f| f.max_retries) + 1;
         self.last_call_retried = false;
+        self.last_call_faulted = false;
         let mut last_err = String::new();
         for attempt in 0..max_attempts {
             if attempt > 0 {
@@ -818,6 +924,7 @@ struct RemoteAbr<'a> {
     display_name: String,
     now: &'a (dyn Fn() -> f64 + Sync),
     latencies_s: Vec<f64>,
+    latency_faulted: Vec<bool>,
     degraded: bool,
     error: Option<String>,
 }
@@ -847,6 +954,8 @@ impl AbrAlgorithm for RemoteAbr<'_> {
                 response,
             }) if session_id == self.session_id => {
                 self.latencies_s.push((self.now)() - t0);
+                self.latency_faulted
+                    .push(self.conn.last_call_faulted || self.conn.last_call_retried);
                 self.degraded |= response.degraded;
                 if response.level < ctx.manifest.n_tracks() {
                     response.level
@@ -909,41 +1018,88 @@ fn drive_session(
         display_name: local.name().to_string(),
         now,
         latencies_s: Vec::new(),
+        latency_faulted: Vec::new(),
         degraded: false,
         error: None,
     };
     let result = sim.run_controlled(&mut remote, &handle.manifest, &trace, &control);
     out.degraded |= remote.degraded;
     out.latencies_s = remote.latencies_s;
+    out.latency_faulted = remote.latency_faulted;
     out.error = remote.error;
-    if out.error.is_none() && config.parity && !out.degraded {
+    if out.error.is_none() && parity_selected(config, out.plan.session_id) && !out.degraded {
         let replay = sim.run_controlled(local.as_mut(), &handle.manifest, &trace, &control);
         out.parity = Some(replay == result);
     }
-    // Population annotations: the seeks that actually fired (the first
-    // `n_seeks` in time order) and the abandonment, if any, land in the
-    // event log next to the session's decisions.
     if let Some(recorder) = &conn.recorder {
-        if result.n_seeks > 0 {
-            let mut fired: Vec<&abr_sim::SeekEvent> = control.seeks.iter().collect();
-            fired.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
-            for seek in fired.into_iter().take(result.n_seeks) {
-                recorder.record(&Event::Seek {
-                    session_id: out.plan.session_id,
-                    to_chunk: seek.to_chunk as u64,
-                    at_s: seek.at_s,
-                });
-            }
-        }
-        if result.abandoned {
-            recorder.record(&Event::SessionAbandon {
-                session_id: out.plan.session_id,
-                watched_s: result.wall_time_s,
-                chunks: result.records.len() as u64,
+        record_behaviour(recorder, out.plan.session_id, &control, &result);
+    }
+    out.result = Some(result);
+}
+
+/// Should this session's decisions be parity-replayed in-process? Sampled
+/// by session id so the verdict set is identical however the fleet is
+/// striped across connections.
+fn parity_selected(config: &LoadgenConfig, session_id: u64) -> bool {
+    config.parity && config.parity_every > 0 && session_id.is_multiple_of(config.parity_every)
+}
+
+/// Population annotations: the seeks that actually fired (the first
+/// `n_seeks` in time order) and the abandonment, if any, land in the
+/// event log next to the session's decisions.
+fn record_behaviour(
+    recorder: &Recorder,
+    session_id: u64,
+    control: &SessionControl,
+    result: &SessionResult,
+) {
+    if result.n_seeks > 0 {
+        let mut fired: Vec<&abr_sim::SeekEvent> = control.seeks.iter().collect();
+        fired.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        for seek in fired.into_iter().take(result.n_seeks) {
+            recorder.record(&Event::Seek {
+                session_id,
+                to_chunk: seek.to_chunk as u64,
+                at_s: seek.at_s,
             });
         }
     }
-    out.result = Some(result);
+    if result.abandoned {
+        recorder.record(&Event::SessionAbandon {
+            session_id,
+            watched_s: result.wall_time_s,
+            chunks: result.records.len() as u64,
+        });
+    }
+}
+
+/// Cross-connection shared state for one fleet run: the hold barriers,
+/// the widest drive window seen, and the held-session sample.
+struct FleetShared {
+    barrier: Barrier,
+    /// Widest first-barrier-to-second-barrier window across connections —
+    /// the denominator for decision throughput.
+    drive_wall_s: Mutex<f64>,
+    /// `open_sessions` sampled at the hold point (pipeline mode only).
+    held_sessions: Mutex<Option<u64>>,
+}
+
+impl FleetShared {
+    fn new(n_threads: usize) -> FleetShared {
+        FleetShared {
+            barrier: Barrier::new(n_threads),
+            drive_wall_s: Mutex::new(0.0),
+            held_sessions: Mutex::new(None),
+        }
+    }
+
+    /// Fold one connection's drive window into the fleet-wide maximum.
+    fn note_drive(&self, window_s: f64) {
+        let mut widest = lock(&self.drive_wall_s);
+        if window_s > *widest {
+            *widest = window_s;
+        }
+    }
 }
 
 /// One client connection's whole lifetime. Always hits every barrier the
@@ -957,7 +1113,7 @@ fn drive_connection(
     config: &LoadgenConfig,
     provider: &VideoProvider,
     now: &(dyn Fn() -> f64 + Sync),
-    barrier: &Barrier,
+    shared: &FleetShared,
     recorder: Option<Arc<Recorder>>,
 ) -> (Vec<SessionOutcome>, Option<LoadgenError>, ClientStats) {
     let mut outcomes: Vec<SessionOutcome> = plans
@@ -984,7 +1140,8 @@ fn drive_connection(
                 }
             }
         }
-        barrier.wait();
+        shared.barrier.wait();
+        let t_drive = now();
         if alive {
             for out in &mut outcomes {
                 if out.error.is_none() {
@@ -992,7 +1149,8 @@ fn drive_connection(
                 }
             }
         }
-        barrier.wait();
+        shared.note_drive(now() - t_drive);
+        shared.barrier.wait();
         if alive {
             for out in &mut outcomes {
                 if out.error.is_none() {
@@ -1004,6 +1162,9 @@ fn drive_connection(
             }
         }
     } else if alive {
+        // Arrival mode has no hold phase: the drive window spans the whole
+        // open→drive→close loop.
+        let t_drive = now();
         for out in &mut outcomes {
             match conn.open(&out.plan, vmaf(out)) {
                 Ok(degraded) => out.degraded = degraded,
@@ -1020,8 +1181,351 @@ fn drive_connection(
                 }
             }
         }
+        shared.note_drive(now() - t_drive);
     }
     (outcomes, fatal, conn.stats)
+}
+
+/// Per-session owned state the pipeline steppers borrow: the video, the
+/// network trace, the behaviour overlay, and the resolved player/VMAF
+/// configuration.
+struct PipeCtx {
+    handle: VideoHandle,
+    trace: net_trace::Trace,
+    control: SessionControl,
+    player: PlayerConfig,
+    vmaf: VmafModel,
+    /// The local scheme's display name, stamped into the remote result so
+    /// it compares field-for-field with the parity replay.
+    name: String,
+}
+
+/// One connection's lifetime in pipeline mode: batched opens, the wave
+/// drive, batched closes, then parity replays. Clean-path only — `plan()`
+/// rejects fault injection above pipeline 1 — so transport errors are
+/// fatal to the connection rather than retried, exactly like a serial
+/// no-fault run.
+fn drive_connection_pipeline(
+    addr: SocketAddr,
+    plans: &[SessionPlan],
+    config: &LoadgenConfig,
+    provider: &VideoProvider,
+    now: &(dyn Fn() -> f64 + Sync),
+    shared: &FleetShared,
+    recorder: Option<Arc<Recorder>>,
+) -> (Vec<SessionOutcome>, Option<LoadgenError>, ClientStats) {
+    let mut outcomes: Vec<SessionOutcome> = plans
+        .iter()
+        .map(|p| SessionOutcome::new(p.clone()))
+        .collect();
+    let mut stats = ClientStats::default();
+    let mut fatal: Option<LoadgenError> = None;
+
+    let mut io = match FrameIo::connect(addr).and_then(|mut io| {
+        io.handshake()?;
+        Ok(io)
+    }) {
+        Ok(io) => {
+            stats.sockopt_errors += io.sockopt_errors;
+            Some(io)
+        }
+        Err(e) => {
+            fatal = Some(e);
+            None
+        }
+    };
+
+    // Resolve every session's context up front; failures stay per-session.
+    let ctxs: Vec<Option<PipeCtx>> = outcomes
+        .iter_mut()
+        .map(|out| {
+            io.as_ref()?;
+            let Some(handle) = provider(&out.plan.video) else {
+                out.error = Some(format!("provider lost video {:?}", out.plan.video));
+                return None;
+            };
+            let vmaf = out.plan.vmaf(config.vmaf_model);
+            let name = match scheme::build_scheme(&out.plan.scheme, &handle.video, vmaf) {
+                Ok(algo) => algo.name().to_string(),
+                Err(e) => {
+                    out.error = Some(e);
+                    return None;
+                }
+            };
+            Some(PipeCtx {
+                trace: out.plan.trace(),
+                control: out.plan.control.clone(),
+                player: out.plan.player(config.player),
+                vmaf,
+                name,
+                handle,
+            })
+        })
+        .collect();
+
+    // Batched opens: `pipeline` OpenSession frames per flush, replies read
+    // back in request order.
+    if let Some(io) = io.as_mut() {
+        let openable: Vec<usize> = (0..outcomes.len())
+            .filter(|&i| ctxs[i].is_some() && outcomes[i].error.is_none())
+            .collect();
+        'open: for batch in openable.chunks(config.pipeline) {
+            for &i in batch {
+                let out = &outcomes[i];
+                let frame = Frame::OpenSession {
+                    session_id: out.plan.session_id,
+                    video: out.plan.video.clone(),
+                    scheme: out.plan.scheme.clone(),
+                    vmaf_model: scheme::vmaf_model_code(
+                        ctxs[i].as_ref().expect("openable ctx").vmaf,
+                    ),
+                };
+                if let Err(e) = io.send_buffered(&frame) {
+                    fatal = Some(e);
+                    break 'open;
+                }
+            }
+            if let Err(e) = io.flush() {
+                fatal = Some(e);
+                break 'open;
+            }
+            for &i in batch {
+                let sid = outcomes[i].plan.session_id;
+                match io.recv() {
+                    Ok(Frame::OpenOk {
+                        session_id,
+                        degraded,
+                        ..
+                    }) if session_id == sid => outcomes[i].degraded = degraded,
+                    Ok(Frame::Error { code, message }) => {
+                        outcomes[i].error = Some(format!("{code:?}: {message}"));
+                    }
+                    Ok(other) => {
+                        outcomes[i].error = Some(format!("unexpected reply {other:?}"));
+                    }
+                    Err(e) => {
+                        fatal = Some(e);
+                        break 'open;
+                    }
+                }
+            }
+        }
+    }
+
+    // The fleet now holds every session; the leader samples the server's
+    // count over its own connection (a fresh dial would need a free server
+    // worker, which a fully-held threaded backend does not have).
+    let leader = shared.barrier.wait().is_leader();
+    if leader && fatal.is_none() {
+        if let Some(io) = io.as_mut() {
+            if let Ok(Frame::StatsReply(s)) = io.call(&Frame::StatsReq) {
+                *lock(&shared.held_sessions) = Some(s.open_sessions);
+            }
+        }
+    }
+    let t_drive = now();
+
+    if fatal.is_none() {
+        if let Some(io) = io.as_mut() {
+            // Steppers borrow the contexts built above; one per session
+            // that opened cleanly.
+            let mut steppers: Vec<Option<SessionStepper<'_>>> = ctxs
+                .iter()
+                .zip(&outcomes)
+                .map(|(ctx, out)| {
+                    let ctx = ctx.as_ref()?;
+                    if out.error.is_some() {
+                        return None;
+                    }
+                    Some(SessionStepper::new(
+                        &Simulator::new(ctx.player),
+                        &ctx.handle.manifest,
+                        &ctx.trace,
+                        &ctx.control,
+                    ))
+                })
+                .collect();
+            let mut active: Vec<usize> = (0..steppers.len())
+                .filter(|&i| steppers[i].is_some())
+                .collect();
+            let mut wave: Vec<usize> = Vec::with_capacity(config.pipeline);
+            let mut survivors: Vec<usize> = Vec::with_capacity(config.pipeline);
+            'drive: while !active.is_empty() {
+                let mut next_active = Vec::with_capacity(active.len());
+                let mut cursor = 0;
+                while cursor < active.len() {
+                    // Fill one wave: the next `pipeline` live sessions'
+                    // requests, written as a single flush. Steppers that
+                    // report the session over fold into their result here.
+                    wave.clear();
+                    while cursor < active.len() && wave.len() < config.pipeline {
+                        let i = active[cursor];
+                        cursor += 1;
+                        let stepper = steppers[i].as_mut().expect("active stepper");
+                        match stepper.next_request() {
+                            Some(request) => {
+                                let frame = Frame::Decide {
+                                    session_id: outcomes[i].plan.session_id,
+                                    request,
+                                };
+                                if let Err(e) = io.send_buffered(&frame) {
+                                    fatal = Some(e);
+                                    break 'drive;
+                                }
+                                wave.push(i);
+                            }
+                            None => {
+                                let stepper = steppers[i].take().expect("finished stepper");
+                                let name = &ctxs[i].as_ref().expect("ctx for stepper").name;
+                                outcomes[i].result = Some(stepper.into_result(name));
+                            }
+                        }
+                    }
+                    if wave.is_empty() {
+                        continue;
+                    }
+                    let t0 = now();
+                    if let Err(e) = io.flush() {
+                        fatal = Some(e);
+                        break 'drive;
+                    }
+                    survivors.clear();
+                    for &i in &wave {
+                        let sid = outcomes[i].plan.session_id;
+                        match io.recv() {
+                            Ok(Frame::Decision {
+                                session_id,
+                                response,
+                            }) if session_id == sid => {
+                                let n_tracks =
+                                    ctxs[i].as_ref().expect("ctx").handle.manifest.n_tracks();
+                                if response.level < n_tracks {
+                                    outcomes[i].degraded |= response.degraded;
+                                    steppers[i]
+                                        .as_mut()
+                                        .expect("pending stepper")
+                                        .apply_level(response.level);
+                                    survivors.push(i);
+                                } else {
+                                    outcomes[i].error = Some(format!(
+                                        "server chose level {} outside 0..{n_tracks}",
+                                        response.level
+                                    ));
+                                    steppers[i] = None;
+                                }
+                            }
+                            Ok(Frame::Error { code, message }) => {
+                                outcomes[i].error = Some(format!("{code:?}: {message}"));
+                                steppers[i] = None;
+                            }
+                            Ok(other) => {
+                                outcomes[i].error = Some(format!("unexpected reply {other:?}"));
+                                steppers[i] = None;
+                            }
+                            Err(e) => {
+                                fatal = Some(e);
+                                break 'drive;
+                            }
+                        }
+                    }
+                    // Every decision in the wave shares its round trip.
+                    let rtt = now() - t0;
+                    for &i in &survivors {
+                        outcomes[i].latencies_s.push(rtt);
+                        outcomes[i].latency_faulted.push(false);
+                        next_active.push(i);
+                    }
+                }
+                active = next_active;
+            }
+        }
+    }
+    shared.note_drive(now() - t_drive);
+    shared.barrier.wait();
+
+    // Batched closes, same wave shape as the opens.
+    if fatal.is_none() {
+        if let Some(io) = io.as_mut() {
+            let closable: Vec<usize> = (0..outcomes.len())
+                .filter(|&i| outcomes[i].error.is_none() && ctxs[i].is_some())
+                .collect();
+            'close: for batch in closable.chunks(config.pipeline) {
+                for &i in batch {
+                    let frame = Frame::CloseSession {
+                        session_id: outcomes[i].plan.session_id,
+                    };
+                    if let Err(e) = io.send_buffered(&frame) {
+                        fatal = Some(e);
+                        break 'close;
+                    }
+                }
+                if let Err(e) = io.flush() {
+                    fatal = Some(e);
+                    break 'close;
+                }
+                for &i in batch {
+                    let sid = outcomes[i].plan.session_id;
+                    match io.recv() {
+                        Ok(Frame::Closed {
+                            session_id,
+                            decisions,
+                        }) if session_id == sid => {
+                            outcomes[i].closed_decisions = Some(decisions);
+                        }
+                        Ok(Frame::Error { code, message }) => {
+                            outcomes[i].error = Some(format!("{code:?}: {message}"));
+                        }
+                        Ok(other) => {
+                            outcomes[i].error = Some(format!("unexpected reply {other:?}"));
+                        }
+                        Err(e) => {
+                            fatal = Some(e);
+                            break 'close;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A dead connection fails every session it had not fully finished.
+    if let Some(e) = &fatal {
+        for out in &mut outcomes {
+            if out.error.is_none() && out.closed_decisions.is_none() {
+                out.error = Some(format!("connection failed: {e}"));
+            }
+        }
+    }
+
+    // Parity replays and behaviour annotations run outside the drive
+    // window — they are local work, not serving load.
+    for (ctx, out) in ctxs.iter().zip(&mut outcomes) {
+        let Some(ctx) = ctx.as_ref() else { continue };
+        let Some(result) = out.result.take() else {
+            continue;
+        };
+        if let Some(recorder) = &recorder {
+            record_behaviour(recorder, out.plan.session_id, &ctx.control, &result);
+        }
+        if out.error.is_none() && parity_selected(config, out.plan.session_id) && !out.degraded {
+            match scheme::build_scheme(&out.plan.scheme, &ctx.handle.video, ctx.vmaf) {
+                Ok(mut local) => {
+                    let sim = Simulator::new(ctx.player);
+                    let replay = sim.run_controlled(
+                        local.as_mut(),
+                        &ctx.handle.manifest,
+                        &ctx.trace,
+                        &ctx.control,
+                    );
+                    out.parity = Some(replay == result);
+                }
+                Err(e) => out.error = Some(e),
+            }
+        }
+        out.result = Some(result);
+    }
+
+    (outcomes, fatal, stats)
 }
 
 /// Run the fleet against the server at `addr`. Latency and wall time come
@@ -1049,7 +1553,7 @@ pub fn run_recorded(
     let plans = plan(config)?;
     let t0 = now();
     let n_threads = config.connections.min(plans.len()).max(1);
-    let barrier = Barrier::new(n_threads);
+    let shared = FleetShared::new(n_threads);
     let collected: Mutex<Vec<Option<SessionOutcome>>> = Mutex::new(vec![None; plans.len()]);
     let fatal: Mutex<Option<LoadgenError>> = Mutex::new(None);
     let client_stats: Mutex<ClientStats> = Mutex::new(ClientStats::default());
@@ -1058,14 +1562,19 @@ pub fn run_recorded(
         for t in 0..n_threads {
             let my_plans: Vec<SessionPlan> =
                 plans.iter().skip(t).step_by(n_threads).cloned().collect();
-            let barrier = &barrier;
+            let shared = &shared;
             let collected = &collected;
             let fatal = &fatal;
             let client_stats = &client_stats;
             let recorder = recorder.clone();
             scope.spawn(move || {
-                let (outcomes, err, stats) =
-                    drive_connection(addr, t, &my_plans, config, provider, now, barrier, recorder);
+                let (outcomes, err, stats) = if config.pipeline > 1 {
+                    drive_connection_pipeline(
+                        addr, &my_plans, config, provider, now, shared, recorder,
+                    )
+                } else {
+                    drive_connection(addr, t, &my_plans, config, provider, now, shared, recorder)
+                };
                 let mut slots = lock(collected);
                 for out in outcomes {
                     let idx = (out.plan.session_id - 1) as usize;
@@ -1093,9 +1602,13 @@ pub fn run_recorded(
 
     let server_stats = fetch_stats(addr).ok();
     let client_stats = *lock(&client_stats);
+    let drive_wall_s = *lock(&shared.drive_wall_s);
+    let held_sessions = *lock(&shared.held_sessions);
     Ok(LoadgenReport {
         outcomes,
         wall_time_s,
+        drive_wall_s,
+        held_sessions,
         server_stats,
         client_stats,
     })

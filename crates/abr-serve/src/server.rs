@@ -1,37 +1,52 @@
-//! The threaded TCP front end.
+//! The TCP front end: service core plus two interchangeable backends.
 //!
-//! `std`-only: one acceptor plus a fixed worker pool spawned inside
-//! [`std::thread::scope`], joined before `serve` returns — no detached
-//! threads, no runtime. Accepted connections flow through a **bounded**
-//! queue; when every worker is busy and the queue is full, the acceptor
-//! itself blocks, which is the backpressure story: the kernel's listen
-//! backlog, not an unbounded buffer in this process, absorbs overload.
+//! `std`-only, no runtime, no detached threads. The [`Server`] owns the
+//! session store, the counters, and a **backend-agnostic frame core**:
+//! `Server::handle_frame` consumes one decoded [`Frame`] and appends the
+//! encoded response(s) to an out-buffer — it performs **no socket I/O**
+//! and holds no lock across any, so both backends share one behavior and
+//! the replay log they produce is byte-identical for the same workload.
 //!
-//! Each worker owns a connection for its whole lifetime: handshake first
-//! (`Hello` → `HelloOk`, version-checked), then a frame loop. Application
-//! errors (unknown video, duplicate session, …) answer with a typed
-//! [`Frame::Error`] and keep the connection; wire-level decode errors
-//! answer with `Error` and drop it. Either way, a dropped connection hands
-//! every session it opened back to the store
-//! ([`SessionStore::drop_connection`]) — orphaned for a grace window so a
-//! reconnecting client can [`Frame::ResumeSession`] them, or reaped
+//! Two backends implement [`BoundServer::serve`] (selected by
+//! [`ServerConfig::backend`] / [`BACKEND_ENV`]):
+//!
+//! * [`Backend::Reactor`] (default) — the poll-based non-blocking reactor
+//!   in [`crate::reactor`]: each reactor thread multiplexes many
+//!   connections over `set_nonblocking` sockets with per-connection
+//!   read/write buffers, incremental frame decode, write-interest-driven
+//!   flushing, and doze-tick deadline accounting replacing the per-thread
+//!   reaper. One wakeup batches every decision that is ready before
+//!   flushing responses.
+//! * [`Backend::Threaded`] — the legacy thread-per-connection worker pool:
+//!   one acceptor plus a fixed pool inside [`std::thread::scope`], a
+//!   **bounded** accept queue for backpressure. **Deprecated**: kept for
+//!   one release as a flag-selectable fallback while the reactor soaks,
+//!   then removed.
+//!
+//! Shared behavior, whichever backend runs: handshake first (`Hello` →
+//! `HelloOk`, version-checked), then frames. Application errors (unknown
+//! video, duplicate session, …) answer with a typed [`Frame::Error`] and
+//! keep the connection; wire-level decode errors answer with `Error` and
+//! drop it. A dropped connection hands every session it opened back to the
+//! store ([`SessionStore::drop_connection`]) — orphaned for a grace window
+//! so a reconnecting client can [`Frame::ResumeSession`] them, or reaped
 //! outright when orphaning is disabled.
 //!
-//! **No worker blocks indefinitely on a peer.** Every connection gets a
+//! **No thread blocks indefinitely on a peer.** Every connection gets a
 //! read deadline and a write deadline ([`ServerConfig::read_deadline_ms`],
-//! [`ServerConfig::write_deadline_ms`], env-tunable): the socket is armed
-//! with a short kernel poll timeout and reads go through
-//! [`read_frame_budgeted_traced`], which counts consecutive empty polls instead
-//! of reading any clock — this crate stays wall-clock-free (lint R1), the
-//! kernel's timer is the only time source. A client that stays silent past
-//! the deadline is **reaped**: counted in
+//! [`ServerConfig::write_deadline_ms`], env-tunable), quantized to
+//! [`ServerConfig::poll_ms`]: the threaded backend counts consecutive
+//! timed-out kernel polls ([`read_frame_budgeted_traced`]), the reactor
+//! counts idle doze ticks — neither reads a wall clock (lint R1), the
+//! kernel's timer/sleep is the only time source. A client silent past the
+//! deadline is **reaped**: counted in
 //! [`StatsSnapshot::connections_reaped`], sent a best-effort
-//! [`ErrorCode::Timeout`], and dropped, freeing the worker for the queue.
+//! [`ErrorCode::Timeout`], and dropped.
 //!
 //! Shutdown is a protocol frame, not a signal: `Shutdown` is acknowledged
-//! with `ShutdownOk`, the acceptor is woken by a loopback dial, in-flight
-//! connections drain, and the scope joins. Deterministic teardown, clean
-//! enough to assert on in tests.
+//! with `ShutdownOk`, accepting stops, in-flight connections drain, and
+//! every thread is joined before `serve` returns. Deterministic teardown,
+//! clean enough to assert on in tests.
 
 use crate::lock;
 use crate::protocol::{
@@ -41,7 +56,7 @@ use crate::protocol::{
 use crate::replay::{Event, Recorder};
 use crate::store::{SessionStore, StoreConfig, VideoProvider};
 use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -50,6 +65,10 @@ use std::time::Duration;
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "ABR_SERVE_THREADS";
+
+/// Environment variable selecting the serving backend (`reactor` or
+/// `threaded`).
+pub const BACKEND_ENV: &str = "ABR_SERVE_BACKEND";
 
 /// Default worker-pool size when [`THREADS_ENV`] is unset.
 pub const DEFAULT_THREADS: usize = 8;
@@ -109,10 +128,39 @@ pub fn poll_ms_from_env() -> u64 {
     env_u64(POLL_ENV, DEFAULT_POLL_MS).max(1)
 }
 
+/// Which connection-handling core [`BoundServer::serve`] runs. Both
+/// backends share `Server::handle_frame`, so their observable behavior —
+/// wire traffic, counters, replay events — is identical for the same
+/// workload; they differ only in how sockets are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The poll-based non-blocking reactor (default): a few threads each
+    /// multiplexing many nonblocking connections, batching every decision
+    /// ready in a wakeup before flushing. See [`crate::reactor`].
+    Reactor,
+    /// The legacy thread-per-connection worker pool. **Deprecated** — kept
+    /// for one release as a fallback while the reactor soaks, then
+    /// removed. Needs one worker thread per concurrently-held connection.
+    Threaded,
+}
+
+/// Backend: [`BACKEND_ENV`] if set to `threaded`, else
+/// [`Backend::Reactor`].
+pub fn backend_from_env() -> Backend {
+    match std::env::var(BACKEND_ENV).ok().as_deref() {
+        Some("threaded") => Backend::Threaded,
+        _ => Backend::Reactor,
+    }
+}
+
 /// Front-end sizing knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads (each owns one connection at a time). A fleet of
+    /// Connection-handling core; see [`Backend`].
+    pub backend: Backend,
+    /// Serving threads. Reactor: each thread multiplexes any number of
+    /// connections, so 1–2 threads carry whole fleets. Threaded: each
+    /// worker owns one connection at a time, so a fleet of
     /// concurrently-held client connections needs at least that many
     /// workers — see the loadgen hold-mode docs.
     pub threads: usize,
@@ -138,6 +186,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            backend: backend_from_env(),
             threads: threads_from_env(),
             queue_depth: 64,
             read_deadline_ms: read_deadline_from_env(),
@@ -221,31 +270,31 @@ impl<T> Bounded<T> {
 }
 
 #[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    peak_sessions: AtomicU64,
-    sessions_opened: AtomicU64,
-    sessions_closed: AtomicU64,
-    sessions_aborted: AtomicU64,
-    degraded_opens: AtomicU64,
-    decisions: AtomicU64,
-    degraded_decisions: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    protocol_errors: AtomicU64,
-    connections_reaped: AtomicU64,
-    sessions_orphaned: AtomicU64,
-    sessions_resumed: AtomicU64,
-    sockopt_errors: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) peak_sessions: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+    pub(crate) sessions_closed: AtomicU64,
+    pub(crate) sessions_aborted: AtomicU64,
+    pub(crate) degraded_opens: AtomicU64,
+    pub(crate) decisions: AtomicU64,
+    pub(crate) degraded_decisions: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) connections_reaped: AtomicU64,
+    pub(crate) sessions_orphaned: AtomicU64,
+    pub(crate) sessions_resumed: AtomicU64,
+    pub(crate) sockopt_errors: AtomicU64,
 }
 
 /// The service: session store + counters + shutdown latch. Shared by every
-/// worker; all methods are `&self`.
+/// serving thread of either backend; all methods are `&self`.
 pub struct Server {
-    config: ServerConfig,
-    store: SessionStore,
-    counters: Counters,
-    shutdown: AtomicBool,
+    pub(crate) config: ServerConfig,
+    pub(crate) store: SessionStore,
+    pub(crate) counters: Counters,
+    pub(crate) shutdown: AtomicBool,
     /// Optional event recorder shared with the store (see
     /// [`crate::replay`]): the server contributes frame-level events, the
     /// store the session transitions.
@@ -327,17 +376,20 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    fn send(
+    /// Encode `frame` and append it to `out` — the backend flushes `out`
+    /// to the socket on its own schedule, so no lock anywhere up the stack
+    /// is ever held across socket I/O. Counters and the replay `FrameOut`
+    /// event are taken at **encode** time, identically in both backends,
+    /// which is what keeps their logs byte-for-byte comparable.
+    pub(crate) fn send(
         &self,
         conn: u64,
-        w: &mut BufWriter<TcpStream>,
+        out: &mut Vec<u8>,
         frame: &Frame,
     ) -> Result<(), WireError> {
         // Encode once: the recorder needs the frame's wire length and type
-        // byte, and the writer needs the same bytes.
+        // byte, and the out-buffer needs the same bytes.
         let bytes = encode_frame(frame)?;
-        w.write_all(&bytes)?;
-        w.flush()?;
         self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
         if let Some(recorder) = &self.recorder {
             recorder.record(&Event::FrameOut {
@@ -346,10 +398,20 @@ impl Server {
                 wire_len: bytes.len() as u32,
             });
         }
+        out.extend_from_slice(&bytes);
         Ok(())
     }
 
-    fn note_frame_in(&self, conn: u64, wire_len: u32, frame_type: u8) {
+    /// [`Server::send`] followed by an immediate unbuffered write: the
+    /// threaded backend's per-frame flush.
+    fn send_now(&self, conn: u64, stream: &mut TcpStream, frame: &Frame) -> Result<(), WireError> {
+        let mut out = Vec::with_capacity(64);
+        self.send(conn, &mut out, frame)?;
+        stream.write_all(&out)?;
+        Ok(())
+    }
+
+    pub(crate) fn note_frame_in(&self, conn: u64, wire_len: u32, frame_type: u8) {
         self.counters.frames_in.fetch_add(1, Ordering::Relaxed);
         if let Some(recorder) = &self.recorder {
             recorder.record(&Event::FrameIn {
@@ -360,11 +422,15 @@ impl Server {
         }
     }
 
-    fn handle_frame(
+    /// Handle one post-handshake frame, appending every response to `out`
+    /// (see [`Server::send`]). Returns `Ok(false)` when the connection
+    /// should close (a `Shutdown` was honored). Pure state + buffer work:
+    /// both backends drive their sockets around this one function.
+    pub(crate) fn handle_frame(
         &self,
         conn: u64,
         frame: Frame,
-        w: &mut BufWriter<TcpStream>,
+        out: &mut Vec<u8>,
     ) -> Result<bool, WireError> {
         let c = &self.counters;
         match frame {
@@ -377,27 +443,27 @@ impl Server {
                 .store
                 .open(conn, session_id, &video, &scheme, vmaf_model)
             {
-                Ok(out) => {
+                Ok(opened) => {
                     c.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                    if out.degraded {
+                    if opened.degraded {
                         c.degraded_opens.fetch_add(1, Ordering::Relaxed);
                     }
                     let open = self.store.open_sessions() as u64;
                     c.peak_sessions.fetch_max(open, Ordering::Relaxed);
                     self.send(
                         conn,
-                        w,
+                        out,
                         &Frame::OpenOk {
                             session_id,
-                            degraded: out.degraded,
-                            n_tracks: out.n_tracks as u32,
-                            n_chunks: out.n_chunks as u32,
+                            degraded: opened.degraded,
+                            n_tracks: opened.n_tracks as u32,
+                            n_chunks: opened.n_chunks as u32,
                         },
                     )?;
                 }
                 Err(e) => self.send(
                     conn,
-                    w,
+                    out,
                     &Frame::Error {
                         code: e.code(),
                         message: e.to_string(),
@@ -415,7 +481,7 @@ impl Server {
                     }
                     self.send(
                         conn,
-                        w,
+                        out,
                         &Frame::Decision {
                             session_id,
                             response,
@@ -424,7 +490,7 @@ impl Server {
                 }
                 Err(e) => self.send(
                     conn,
-                    w,
+                    out,
                     &Frame::Error {
                         code: e.code(),
                         message: e.to_string(),
@@ -436,7 +502,7 @@ impl Server {
                     c.sessions_closed.fetch_add(1, Ordering::Relaxed);
                     self.send(
                         conn,
-                        w,
+                        out,
                         &Frame::Closed {
                             session_id,
                             decisions,
@@ -445,7 +511,7 @@ impl Server {
                 }
                 Err(e) => self.send(
                     conn,
-                    w,
+                    out,
                     &Frame::Error {
                         code: e.code(),
                         message: e.to_string(),
@@ -453,32 +519,32 @@ impl Server {
                 )?,
             },
             Frame::ResumeSession { session_id } => match self.store.resume(conn, session_id) {
-                Ok(out) => {
+                Ok(resumed) => {
                     c.sessions_resumed.fetch_add(1, Ordering::Relaxed);
                     self.send(
                         conn,
-                        w,
+                        out,
                         &Frame::ResumeOk {
                             session_id,
-                            degraded: out.degraded,
-                            decisions: out.decisions,
-                            n_tracks: out.n_tracks as u32,
-                            n_chunks: out.n_chunks as u32,
+                            degraded: resumed.degraded,
+                            decisions: resumed.decisions,
+                            n_tracks: resumed.n_tracks as u32,
+                            n_chunks: resumed.n_chunks as u32,
                         },
                     )?;
                 }
                 Err(e) => self.send(
                     conn,
-                    w,
+                    out,
                     &Frame::Error {
                         code: e.code(),
                         message: e.to_string(),
                     },
                 )?,
             },
-            Frame::StatsReq => self.send(conn, w, &Frame::StatsReply(self.stats()))?,
+            Frame::StatsReq => self.send(conn, out, &Frame::StatsReply(self.stats()))?,
             Frame::Shutdown => {
-                self.send(conn, w, &Frame::ShutdownOk)?;
+                self.send(conn, out, &Frame::ShutdownOk)?;
                 self.shutdown.store(true, Ordering::SeqCst);
                 return Ok(false);
             }
@@ -487,7 +553,7 @@ impl Server {
             other => {
                 self.send(
                     conn,
-                    w,
+                    out,
                     &Frame::Error {
                         code: ErrorCode::BadFrame,
                         message: format!("unexpected frame {other:?} after handshake"),
@@ -500,7 +566,9 @@ impl Server {
 
     /// Whether a send failed because the peer stopped draining within the
     /// write deadline (as opposed to hanging up): those connections count
-    /// as reaped, same as read-deadline victims.
+    /// as reaped, same as read-deadline victims. Threaded-backend only —
+    /// the reactor's sockets are nonblocking, where `WouldBlock` is
+    /// ordinary backpressure, not a deadline.
     fn is_deadline_error(e: &WireError) -> bool {
         matches!(
             e,
@@ -509,20 +577,22 @@ impl Server {
         )
     }
 
-    fn reap(&self, conn: u64, w: &mut BufWriter<TcpStream>) {
+    /// The text of the best-effort courtesy frame a reaped connection is
+    /// sent before it is dropped.
+    pub(crate) fn reap_frame() -> Frame {
+        Frame::Error {
+            code: ErrorCode::Timeout,
+            message: "connection deadline exceeded; reaped".to_string(),
+        }
+    }
+
+    fn reap(&self, conn: u64, stream: &mut TcpStream) {
         self.counters
             .connections_reaped
             .fetch_add(1, Ordering::Relaxed);
         // Best-effort: the peer that just blew its deadline may well not
         // read this either.
-        let _ = self.send(
-            conn,
-            w,
-            &Frame::Error {
-                code: ErrorCode::Timeout,
-                message: "connection deadline exceeded; reaped".to_string(),
-            },
-        );
+        let _ = self.send_now(conn, stream, &Server::reap_frame());
     }
 
     fn handle_connection(&self, conn: u64, stream: TcpStream) {
@@ -552,7 +622,7 @@ impl Server {
             ),
         );
         let mut writer = match stream.try_clone() {
-            Ok(clone) => BufWriter::new(clone),
+            Ok(clone) => clone,
             Err(_) => return,
         };
         let mut reader = BufReader::new(stream);
@@ -562,7 +632,7 @@ impl Server {
             Ok((Frame::Hello { version }, wire_len, ty)) if version == PROTOCOL_VERSION => {
                 self.note_frame_in(conn, wire_len, ty);
                 if self
-                    .send(
+                    .send_now(
                         conn,
                         &mut writer,
                         &Frame::HelloOk {
@@ -576,7 +646,7 @@ impl Server {
             }
             Ok((Frame::Hello { version }, wire_len, ty)) => {
                 self.note_frame_in(conn, wire_len, ty);
-                let _ = self.send(
+                let _ = self.send_now(
                     conn,
                     &mut writer,
                     &Frame::Error {
@@ -591,7 +661,7 @@ impl Server {
                 self.counters
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = self.send(
+                let _ = self.send_now(
                     conn,
                     &mut writer,
                     &Frame::Error {
@@ -610,7 +680,7 @@ impl Server {
                 self.counters
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = self.send(
+                let _ = self.send_now(
                     conn,
                     &mut writer,
                     &Frame::Error {
@@ -622,11 +692,17 @@ impl Server {
             }
         }
 
+        let mut out = Vec::with_capacity(256);
         loop {
             match read_frame_budgeted_traced(&mut reader, read_slots) {
                 Ok((frame, wire_len, ty)) => {
                     self.note_frame_in(conn, wire_len, ty);
-                    match self.handle_frame(conn, frame, &mut writer) {
+                    out.clear();
+                    let handled = self.handle_frame(conn, frame, &mut out).and_then(|keep| {
+                        writer.write_all(&out)?;
+                        Ok(keep)
+                    });
+                    match handled {
                         Ok(true) => {}
                         Ok(false) => break,
                         Err(e) => {
@@ -648,7 +724,7 @@ impl Server {
                     self.counters
                         .protocol_errors
                         .fetch_add(1, Ordering::Relaxed);
-                    let _ = self.send(
+                    let _ = self.send_now(
                         conn,
                         &mut writer,
                         &Frame::Error {
@@ -661,6 +737,13 @@ impl Server {
             }
         }
 
+        self.drop_connection(conn);
+    }
+
+    /// Hand connection `conn`'s sessions back to the store and fold the
+    /// outcome into the counters. Both backends call this exactly once per
+    /// dead connection.
+    pub(crate) fn drop_connection(&self, conn: u64) {
         let dropped = self.store.drop_connection(conn);
         self.counters
             .sessions_aborted
@@ -682,10 +765,19 @@ impl BoundServer {
         Arc::clone(&self.server)
     }
 
-    /// Run the accept loop and worker pool until a `Shutdown` frame
-    /// arrives, then drain and return the final counter snapshot. Blocks
-    /// the calling thread; every worker is joined before returning.
+    /// Run the configured backend until a `Shutdown` frame arrives, then
+    /// drain and return the final counter snapshot. Blocks the calling
+    /// thread; every serving thread is joined before returning.
     pub fn serve(self) -> StatsSnapshot {
+        match self.server.config.backend {
+            Backend::Reactor => crate::reactor::serve(self.server, self.listener),
+            Backend::Threaded => self.serve_threaded(),
+        }
+    }
+
+    /// The legacy thread-per-connection accept loop (see
+    /// [`Backend::Threaded`]).
+    fn serve_threaded(self) -> StatsSnapshot {
         let BoundServer {
             server,
             listener,

@@ -11,11 +11,18 @@
 //! erroring. Graceful degradation over hard failure, per the roadmap's
 //! overload posture.
 //!
-//! Concurrency layout: a short-lived outer lock guards the session map;
-//! each session carries its own lock held only for the duration of one
-//! `choose_level`. Decisions on different sessions proceed in parallel;
-//! decisions on one session serialize, which is exactly the ordering the
-//! parity guarantee needs. Idle-ness is measured in logical ticks (one per
+//! Concurrency layout: the session map is **sharded** by
+//! `session_id % StoreConfig::shards`, each shard behind its own
+//! short-lived lock, so admission, resume, sweeps, and eviction on one
+//! session never contend with decisions on the rest of the fleet. Each
+//! session additionally carries its own lock held only for the duration of
+//! one `choose_level`. Decisions on different sessions proceed in
+//! parallel; decisions on one session serialize, which is exactly the
+//! ordering the parity guarantee needs. Cross-shard bookkeeping (open
+//! count, parked-orphan count) lives in atomics: `open_sessions` is O(1)
+//! and orphan sweeps are skipped entirely while no orphan exists, so
+//! admission stays O(1) at 100k+ held sessions. No two shard locks are
+//! ever held at once. Idle-ness is measured in logical ticks (one per
 //! store operation), not wall time — this crate reads no clock.
 
 use crate::replay::{Event, Recorder};
@@ -83,6 +90,10 @@ pub struct StoreConfig {
     /// disables orphaning entirely: a dead connection reaps its sessions
     /// immediately, the pre-resume behavior.
     pub orphan_grace_ticks: u64,
+    /// Session-map shards; ids land on shard `session_id % shards`. More
+    /// shards mean less lock contention between sessions; `0` is treated
+    /// as `1`.
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -91,6 +102,7 @@ impl Default for StoreConfig {
             capacity: 1024,
             idle_ticks: 100_000,
             orphan_grace_ticks: 50_000,
+            shards: 8,
         }
     }
 }
@@ -209,7 +221,16 @@ struct SessionSlot {
 pub struct SessionStore {
     config: StoreConfig,
     provider: VideoProvider,
-    sessions: Mutex<BTreeMap<u64, Arc<SessionSlot>>>,
+    /// Session slots, sharded by `session_id % shards.len()`. No method
+    /// ever holds two shard locks at once.
+    shards: Vec<Mutex<BTreeMap<u64, Arc<SessionSlot>>>>,
+    /// Live sessions across all shards: `open_sessions` and the capacity
+    /// check read this instead of walking the shards.
+    open_count: AtomicU64,
+    /// Slots currently parked ownerless. Orphan sweeps are skipped
+    /// entirely while this is zero, which keeps admission O(1) on the
+    /// clean path however many sessions are held.
+    orphan_count: AtomicU64,
     tick: AtomicU64,
     evicted: AtomicU64,
     orphan_reaped: AtomicU64,
@@ -234,10 +255,13 @@ impl SessionStore {
         provider: VideoProvider,
         recorder: Option<Arc<Recorder>>,
     ) -> SessionStore {
+        let n_shards = config.shards.max(1);
         SessionStore {
             config,
             provider,
-            sessions: Mutex::new(BTreeMap::new()),
+            shards: (0..n_shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            open_count: AtomicU64::new(0),
+            orphan_count: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             orphan_reaped: AtomicU64::new(0),
@@ -255,10 +279,21 @@ impl SessionStore {
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Reap orphaned slots whose grace window has lapsed. Runs under the
-    /// map lock on every admission, so orphans cannot accumulate
-    /// unboundedly even without capacity pressure.
-    fn sweep_orphans(&self, map: &mut BTreeMap<u64, Arc<SessionSlot>>, tick: u64) {
+    /// The shard holding `session_id`.
+    fn shard(&self, session_id: u64) -> &Mutex<BTreeMap<u64, Arc<SessionSlot>>> {
+        &self.shards[(session_id % self.shards.len() as u64) as usize]
+    }
+
+    /// Bookkeeping for a slot leaving its shard map, whatever removed it.
+    fn forget(&self, slot: &SessionSlot) {
+        self.open_count.fetch_sub(1, Ordering::Relaxed);
+        if slot.owner.load(Ordering::Relaxed) == ORPHANED {
+            self.orphan_count.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reap orphaned slots in one shard whose grace window has lapsed.
+    fn sweep_shard_orphans(&self, map: &mut BTreeMap<u64, Arc<SessionSlot>>, tick: u64) {
         let grace = self.config.orphan_grace_ticks;
         let lapsed: Vec<u64> = map
             .iter()
@@ -269,9 +304,25 @@ impl SessionStore {
             .map(|(id, _)| *id)
             .collect();
         for id in lapsed {
-            map.remove(&id);
-            self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
-            self.note(Event::OrphanReaped { session_id: id });
+            if let Some(slot) = map.remove(&id) {
+                self.forget(&slot);
+                self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
+                self.note(Event::OrphanReaped { session_id: id });
+            }
+        }
+    }
+
+    /// Reap lapsed orphans across all shards, one lock at a time. Runs on
+    /// every admission so orphans cannot accumulate unboundedly even
+    /// without capacity pressure — but exits immediately (no locks) while
+    /// no orphan exists.
+    fn sweep_orphans(&self, tick: u64) {
+        if self.orphan_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for shard in &self.shards {
+            let mut map = lock(shard);
+            self.sweep_shard_orphans(&mut map, tick);
         }
     }
 
@@ -303,50 +354,65 @@ impl SessionStore {
         let n_tracks = handle.manifest.n_tracks();
         let n_chunks = handle.manifest.n_chunks();
 
-        let mut map = lock(&self.sessions);
-        self.sweep_orphans(&mut map, tick);
-        if map.contains_key(&session_id) {
+        self.sweep_orphans(tick);
+        // The reclaim passes below lock other shards, so the home-shard
+        // lock cannot be held across them (no two shard locks at once);
+        // the insert re-checks for a duplicate under the same lock.
+        if lock(self.shard(session_id)).contains_key(&session_id) {
             return Err(StoreError::DuplicateSession(session_id));
         }
-        if map.len() >= self.config.capacity {
+        let at_capacity =
+            |s: &SessionStore| s.open_count.load(Ordering::Relaxed) >= s.config.capacity as u64;
+        if at_capacity(self) && self.orphan_count.load(Ordering::Relaxed) > 0 {
             // Orphans are the cheapest reclaim under pressure: their
             // connection is already dead, so resume-after-eviction is a
             // clean typed UnknownSession, not lost live service.
-            let orphans: Vec<u64> = map
-                .iter()
-                .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == ORPHANED)
-                .map(|(id, _)| *id)
-                .collect();
-            for id in orphans {
-                map.remove(&id);
-                self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
-                self.note(Event::OrphanReaped { session_id: id });
+            for shard in &self.shards {
+                let mut map = lock(shard);
+                let orphans: Vec<u64> = map
+                    .iter()
+                    .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == ORPHANED)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in orphans {
+                    if let Some(slot) = map.remove(&id) {
+                        self.forget(&slot);
+                        self.orphan_reaped.fetch_add(1, Ordering::Relaxed);
+                        self.note(Event::OrphanReaped { session_id: id });
+                    }
+                }
             }
         }
-        if map.len() >= self.config.capacity {
+        if at_capacity(self) {
             let threshold = self.config.idle_ticks;
-            let evictable: Vec<u64> = map
-                .iter()
-                .filter(|(_, slot)| {
-                    // A slot whose state lock is held has a decision in
-                    // flight on another worker — never evict it mid-decide,
-                    // whatever its idle age claims.
-                    let in_flight = matches!(
-                        slot.state.try_lock(),
-                        Err(std::sync::TryLockError::WouldBlock)
-                    );
-                    !in_flight
-                        && tick.saturating_sub(slot.last_used.load(Ordering::Relaxed)) > threshold
-                })
-                .map(|(id, _)| *id)
-                .collect();
-            for id in evictable {
-                map.remove(&id);
-                self.evicted.fetch_add(1, Ordering::Relaxed);
-                self.note(Event::SessionEvicted { session_id: id });
+            for shard in &self.shards {
+                let mut map = lock(shard);
+                let evictable: Vec<u64> = map
+                    .iter()
+                    .filter(|(_, slot)| {
+                        // A slot whose state lock is held has a decision in
+                        // flight on another worker — never evict it mid-decide,
+                        // whatever its idle age claims.
+                        let in_flight = matches!(
+                            slot.state.try_lock(),
+                            Err(std::sync::TryLockError::WouldBlock)
+                        );
+                        !in_flight
+                            && tick.saturating_sub(slot.last_used.load(Ordering::Relaxed))
+                                > threshold
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in evictable {
+                    if let Some(slot) = map.remove(&id) {
+                        self.forget(&slot);
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                        self.note(Event::SessionEvicted { session_id: id });
+                    }
+                }
             }
         }
-        let degraded = map.len() >= self.config.capacity;
+        let degraded = at_capacity(self);
         let slot = Arc::new(SessionSlot {
             owner: AtomicU64::new(conn),
             last_used: AtomicU64::new(tick),
@@ -359,7 +425,12 @@ impl SessionStore {
                 last_response: None,
             }),
         });
+        let mut map = lock(self.shard(session_id));
+        if map.contains_key(&session_id) {
+            return Err(StoreError::DuplicateSession(session_id));
+        }
         map.insert(session_id, slot);
+        self.open_count.fetch_add(1, Ordering::Relaxed);
         self.note(Event::SessionOpened {
             conn,
             session_id,
@@ -386,7 +457,7 @@ impl SessionStore {
     /// ones answer [`StoreError::UnknownSession`].
     pub fn resume(&self, conn: u64, session_id: u64) -> Result<ResumeOutcome, StoreError> {
         let tick = self.bump_tick();
-        let map = lock(&self.sessions);
+        let map = lock(self.shard(session_id));
         let slot = map
             .get(&session_id)
             .ok_or(StoreError::UnknownSession(session_id))?;
@@ -395,6 +466,7 @@ impl SessionStore {
         }
         slot.owner.store(conn, Ordering::Relaxed);
         slot.last_used.store(tick, Ordering::Relaxed);
+        self.orphan_count.fetch_sub(1, Ordering::Relaxed);
         let state = lock(&slot.state);
         self.note(Event::SessionResumed {
             session_id,
@@ -425,7 +497,7 @@ impl SessionStore {
         request: &DecisionRequest,
     ) -> Result<DecisionResponse, StoreError> {
         let tick = self.bump_tick();
-        let slot = lock(&self.sessions)
+        let slot = lock(self.shard(session_id))
             .get(&session_id)
             .cloned()
             .ok_or(StoreError::UnknownSession(session_id))?;
@@ -487,9 +559,10 @@ impl SessionStore {
     /// Retire a session, returning its lifetime decision count.
     pub fn close(&self, session_id: u64) -> Result<u64, StoreError> {
         self.bump_tick();
-        let slot = lock(&self.sessions)
+        let slot = lock(self.shard(session_id))
             .remove(&session_id)
             .ok_or(StoreError::UnknownSession(session_id))?;
+        self.forget(&slot);
         let decisions = lock(&slot.state).decisions;
         self.note(Event::SessionClosed {
             session_id,
@@ -505,41 +578,50 @@ impl SessionStore {
     pub fn drop_connection(&self, conn: u64) -> DropOutcome {
         let tick = self.bump_tick();
         let mut out = DropOutcome::default();
-        let mut map = lock(&self.sessions);
         if self.config.orphan_grace_ticks == 0 {
-            let owned: Vec<u64> = map
-                .iter()
-                .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == conn)
-                .map(|(id, _)| *id)
-                .collect();
-            for id in owned {
-                map.remove(&id);
-                out.aborted += 1;
-                self.note(Event::SessionAborted {
-                    session_id: id,
-                    conn,
-                });
+            for shard in &self.shards {
+                let mut map = lock(shard);
+                let owned: Vec<u64> = map
+                    .iter()
+                    .filter(|(_, slot)| slot.owner.load(Ordering::Relaxed) == conn)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in owned {
+                    if let Some(slot) = map.remove(&id) {
+                        self.forget(&slot);
+                        out.aborted += 1;
+                        self.note(Event::SessionAborted {
+                            session_id: id,
+                            conn,
+                        });
+                    }
+                }
             }
             return out;
         }
-        for (id, slot) in map.iter() {
-            if slot.owner.load(Ordering::Relaxed) == conn {
-                slot.owner.store(ORPHANED, Ordering::Relaxed);
-                slot.last_used.store(tick, Ordering::Relaxed);
-                out.orphaned += 1;
-                self.note(Event::SessionOrphaned {
-                    session_id: *id,
-                    conn,
-                });
+        for shard in &self.shards {
+            let map = lock(shard);
+            for (id, slot) in map.iter() {
+                if slot.owner.load(Ordering::Relaxed) == conn {
+                    slot.owner.store(ORPHANED, Ordering::Relaxed);
+                    slot.last_used.store(tick, Ordering::Relaxed);
+                    self.orphan_count.fetch_add(1, Ordering::Relaxed);
+                    out.orphaned += 1;
+                    self.note(Event::SessionOrphaned {
+                        session_id: *id,
+                        conn,
+                    });
+                }
             }
         }
-        self.sweep_orphans(&mut map, tick);
+        self.sweep_orphans(tick);
         out
     }
 
-    /// Sessions currently held.
+    /// Sessions currently held. O(1): reads the cross-shard atomic count
+    /// instead of walking the shards.
     pub fn open_sessions(&self) -> usize {
-        lock(&self.sessions).len()
+        self.open_count.load(Ordering::Relaxed) as usize
     }
 
     /// Sessions reclaimed by idle eviction so far.
@@ -572,6 +654,7 @@ mod tests {
                 capacity,
                 idle_ticks,
                 orphan_grace_ticks,
+                ..StoreConfig::default()
             },
             dataset_provider(),
         )
@@ -786,6 +869,83 @@ mod tests {
             2,
             "replay must not count as a decision"
         );
+    }
+
+    /// Colliding (same shard) and adjacent (neighbor shard) session ids
+    /// admitted, decided, orphaned, resumed, and closed concurrently must
+    /// leave the books exact: the cross-shard atomic counts can never
+    /// drift from the per-shard maps.
+    #[test]
+    fn concurrent_shard_boundary_lifecycle_keeps_counts_exact() {
+        let shards = StoreConfig::default().shards as u64;
+        let s = Arc::new(store(1024, 1_000_000));
+        // Warm the provider cache once so threads don't race synthesis.
+        dataset_provider()("ED-youtube-h264").unwrap();
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..8u64 {
+                    // Same home shard for every worker (collide), plus the
+                    // two neighbors of that shard (adjacent).
+                    let base = (worker * 8 + round) * shards * 4;
+                    for id in [base, base + 1, base + shards - 1] {
+                        let conn = worker + 1;
+                        s.open(conn, id, "ED-youtube-h264", "rba", 0).unwrap();
+                        s.decide(id, &first_request()).unwrap();
+                    }
+                    // Orphan all three, resume one, close it, leave the
+                    // other two for the lapsed-orphan sweep.
+                    let dropped = s.drop_connection(worker + 1);
+                    assert_eq!(dropped.orphaned, 3);
+                    s.resume(100 + worker, base).unwrap();
+                    assert_eq!(s.close(base).unwrap(), 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 workers x 8 rounds x 2 orphans left behind; none reaped yet
+        // (grace window far away), every resumed one closed.
+        assert_eq!(s.open_sessions(), 4 * 8 * 2);
+        assert_eq!(s.orphan_count.load(Ordering::Relaxed), 4 * 8 * 2);
+        assert_eq!(s.evicted_count(), 0);
+        assert_eq!(s.orphan_reaped_count(), 0);
+    }
+
+    /// Capacity-pressure reclaim racing admissions across shards: however
+    /// the races land, the store never loses a session (open_count always
+    /// matches the union of shard maps at quiescence) and never serves a
+    /// decision for a reclaimed slot.
+    #[test]
+    fn concurrent_reclaim_and_admission_balance_books() {
+        let s = Arc::new(store_grace(8, 0, 0));
+        dataset_provider()("ED-youtube-h264").unwrap();
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    let id = worker * 1000 + i;
+                    s.open(worker + 1, id, "ED-youtube-h264", "rba", 0).unwrap();
+                    match s.decide(id, &first_request()) {
+                        Ok(_) => {}
+                        // Racing eviction may have reclaimed the slot.
+                        Err(StoreError::UnknownSession(_)) => {}
+                        Err(other) => panic!("unexpected decide error {other}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let held: usize = (0..4 * 1000 + 16)
+            .filter(|id| lock(s.shard(*id)).contains_key(id))
+            .count();
+        assert_eq!(s.open_sessions(), held, "atomic count drifted from maps");
+        assert_eq!(s.orphan_count.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -6,10 +6,15 @@
 #![allow(clippy::unwrap_used, clippy::float_cmp)]
 
 use abr_serve::loadgen::{self, FaultConfig, LoadgenConfig};
+use abr_serve::protocol::{encode_frame, Frame, PROTOCOL_VERSION};
 use abr_serve::store::{dataset_provider, StoreConfig};
-use abr_serve::{Server, ServerConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
+use abr_serve::{Backend, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 fn tick_clock() -> impl Fn() -> f64 + Sync {
     let ticks = AtomicU64::new(0);
@@ -30,7 +35,9 @@ fn chaos_server_config() -> ServerConfig {
             capacity: 4096,
             idle_ticks: u64::MAX,
             orphan_grace_ticks: 1_000_000,
+            ..StoreConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 
@@ -96,6 +103,110 @@ fn fleet_under_faults_keeps_full_parity() {
     // window means those sessions were resumed, not aborted.
     assert_eq!(stats.sessions_aborted, 0, "an orphaned session was lost");
     assert_eq!(cs.resumes, stats.sessions_resumed);
+}
+
+/// Regression test for the chaos-path latency collapse: one connection
+/// that dribbles its handshake a byte at a time must not head-of-line
+/// block anyone else. On the old blocking core a peer like this pinned a
+/// worker for its whole read deadline and queued connections stalled
+/// behind it for seconds; the reactor just parks the incomplete frame in
+/// the connection's read buffer and keeps sweeping the healthy fleet.
+#[test]
+fn trickling_connection_does_not_stall_healthy_sessions() {
+    let config = ServerConfig {
+        // Pinned to the reactor: this is precisely the scenario where the
+        // threaded core deadlocks (the trickler pins a worker and queued
+        // connections starve), so the env-var backend override must not
+        // apply here.
+        backend: Backend::Reactor,
+        threads: 2,
+        queue_depth: 4,
+        // Long deadline: the trickler must stay held (not reaped) for the
+        // whole healthy run for this test to mean anything.
+        read_deadline_ms: 120_000,
+        write_deadline_ms: 120_000,
+        poll_ms: 5,
+        store: StoreConfig {
+            capacity: 4096,
+            idle_ticks: u64::MAX,
+            orphan_grace_ticks: 1_000_000,
+            ..StoreConfig::default()
+        },
+    };
+    let bound = Server::bind("127.0.0.1:0", config, dataset_provider()).unwrap();
+    let addr = bound.addr();
+    let server = thread::spawn(move || bound.serve());
+
+    // The trickler: a valid Hello frame fed one byte every 20 ms. The
+    // frame never completes while the healthy fleet runs, so the server
+    // holds an open connection that is perpetually mid-read.
+    let stop = Arc::new(AtomicBool::new(false));
+    let trickler = {
+        let stop = stop.clone();
+        thread::spawn(move || -> std::io::Result<()> {
+            let mut socket = TcpStream::connect(addr)?;
+            let hello = encode_frame(&Frame::Hello {
+                version: PROTOCOL_VERSION,
+            })
+            .unwrap();
+            for byte in &hello[..hello.len() - 1] {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                socket.write_all(std::slice::from_ref(byte))?;
+                socket.flush()?;
+                thread::sleep(Duration::from_millis(20));
+            }
+            // Park until told to stop, holding the connection open.
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Ok(())
+        })
+    };
+
+    // 50 healthy held sessions on other connections, timed with a real
+    // clock: their latency is the number under regression.
+    let fleet = LoadgenConfig {
+        sessions: 50,
+        connections: 2,
+        seed: 99,
+        schemes: vec!["cava".into(), "bola".into(), "rba".into()],
+        hold: true,
+        parity: false,
+        ..LoadgenConfig::default()
+    };
+    let provider = dataset_provider();
+    let t0 = Instant::now();
+    let now = move || t0.elapsed().as_secs_f64();
+    let report = loadgen::run(addr, &fleet, &provider, &now).unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    trickler
+        .join()
+        .unwrap()
+        .expect("trickler connection must stay alive (not reaped) through the run");
+    loadgen::shutdown_server(addr).unwrap();
+    let stats = server.join().unwrap();
+
+    assert_eq!(report.errors(), vec![], "healthy sessions hit errors");
+    assert_eq!(report.outcomes.len(), 50);
+    assert_eq!(
+        stats.connections_reaped, 0,
+        "trickler was reaped instead of held"
+    );
+    // No faults injected: every decision is clean and the split is total.
+    let clean = report.clean_latencies();
+    assert_eq!(clean.len() as u64, report.decisions());
+    assert!(report.faulted_latencies().is_empty());
+    // The collapse this guards against parked healthy decisions behind the
+    // trickler's read deadline (whole seconds). Sub-100ms p99 means no
+    // healthy decision ever waited on the trickling peer.
+    let p99 = report.clean_latency_percentile(99.0).unwrap();
+    assert!(
+        p99 < 0.1,
+        "healthy p99 {p99:.4}s collapsed behind a trickling connection"
+    );
 }
 
 #[test]

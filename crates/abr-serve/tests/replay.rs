@@ -28,7 +28,9 @@ fn chaos_server_config() -> ServerConfig {
             capacity: 4096,
             idle_ticks: u64::MAX,
             orphan_grace_ticks: 1_000_000,
+            ..StoreConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 

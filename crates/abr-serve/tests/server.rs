@@ -37,6 +37,7 @@ fn small_config() -> ServerConfig {
             // Legacy semantics for the disconnect tests below: a dropped
             // connection reaps its sessions immediately, no orphan grace.
             orphan_grace_ticks: 0,
+            ..StoreConfig::default()
         },
         ..ServerConfig::default()
     }

@@ -37,5 +37,7 @@ pub mod session;
 pub use abr::{AbrAlgorithm, DecisionContext};
 pub use decision::{DecisionRequest, DecisionResponse};
 pub use metrics::{QoeConfig, QoeMetrics};
-pub use player::{LiveConfig, PlayerConfig, SeekEvent, SessionControl, Simulator, TcpConfig};
+pub use player::{
+    LiveConfig, PlayerConfig, SeekEvent, SessionControl, SessionStepper, Simulator, TcpConfig,
+};
 pub use session::SessionResult;

@@ -322,6 +322,10 @@ impl Simulator {
     /// seeks (buffer flush + startup re-entry) and abandonment (session
     /// ends, remaining buffer discarded). With the default control this is
     /// exactly `run` — the control checks never fire.
+    ///
+    /// The loop itself lives in [`SessionStepper`]; this drives it to
+    /// completion with an in-process algorithm, so the resumable path and
+    /// this one cannot diverge.
     pub fn run_controlled(
         &self,
         algo: &mut dyn AbrAlgorithm,
@@ -330,9 +334,90 @@ impl Simulator {
         control: &SessionControl,
     ) -> SessionResult {
         algo.reset();
-        let delta = manifest.chunk_duration();
+        let mut stepper = SessionStepper::new(self, manifest, trace, control);
+        while let Some(request) = stepper.next_request() {
+            // Build the context through the serializable request so the
+            // in-process path and the abr-serve wire path assemble decision
+            // inputs identically (see `crate::decision`).
+            let ctx = request.context(manifest, stepper.throughputs());
+            let level = algo.choose_level(&ctx);
+            assert!(
+                level < manifest.n_tracks(),
+                "{} returned invalid level {level}",
+                algo.name()
+            );
+            stepper.apply_level(level);
+        }
+        stepper.into_result(algo.name())
+    }
+}
+
+/// Values computed by [`SessionStepper::next_request`] that the matching
+/// [`SessionStepper::apply_level`] consumes.
+#[derive(Debug, Clone, Copy)]
+struct PendingStep {
+    pause: f64,
+    edge_stall: f64,
+    t_chunk_start: f64,
+}
+
+/// A [`Simulator::run_controlled`] session as a resumable state machine.
+///
+/// Where `run_controlled` asks an in-process [`AbrAlgorithm`] for each
+/// level inline, a stepper *suspends* between emitting a
+/// [`DecisionRequest`] and receiving the chosen level — so a caller can
+/// hold thousands of concurrent sessions and answer their requests in
+/// batches (the `abr-serve` load generator multiplexes whole fleets over
+/// one socket this way). The two paths cannot drift: `run_controlled` is
+/// implemented on top of this type, and every clock/buffer/predictor
+/// update happens here.
+///
+/// Protocol: call [`next_request`](SessionStepper::next_request); if it
+/// returns a request, answer it with
+/// [`apply_level`](SessionStepper::apply_level); repeat until it returns
+/// `None`; then take the [`SessionResult`] with
+/// [`into_result`](SessionStepper::into_result). The caller is responsible
+/// for calling `reset()` on any algorithm it consults (as
+/// `run_controlled` does).
+pub struct SessionStepper<'a> {
+    config: PlayerConfig,
+    manifest: &'a Manifest,
+    trace: &'a Trace,
+    control: &'a SessionControl,
+    delta: f64,
+    n: usize,
+    /// Seeks fire in time order regardless of how the caller listed them.
+    seek_order: Vec<usize>,
+    next_seek: usize,
+    n_seeks: usize,
+    abandoned: bool,
+    started_once: bool,
+    predictor: Box<dyn BandwidthPredictor>,
+    t: f64,
+    buffer: f64,
+    playing: bool,
+    startup_delay: f64,
+    total_stall: f64,
+    n_stall_events: usize,
+    last_level: Option<usize>,
+    throughputs: Vec<f64>,
+    records: Vec<ChunkRecord>,
+    i: usize,
+    pending: Option<PendingStep>,
+    done: bool,
+}
+
+impl<'a> SessionStepper<'a> {
+    /// Start a session under `sim`'s player configuration. No work happens
+    /// until the first [`next_request`](SessionStepper::next_request).
+    pub fn new(
+        sim: &Simulator,
+        manifest: &'a Manifest,
+        trace: &'a Trace,
+        control: &'a SessionControl,
+    ) -> SessionStepper<'a> {
+        let config = sim.config;
         let n = manifest.n_chunks();
-        // Seeks fire in time order regardless of how the caller listed them.
         let mut seek_order: Vec<usize> = (0..control.seeks.len()).collect();
         seek_order.sort_by(|&a, &b| {
             control.seeks[a]
@@ -340,214 +425,289 @@ impl Simulator {
                 .total_cmp(&control.seeks[b].at_s)
                 .then(a.cmp(&b))
         });
-        let mut next_seek = 0usize;
-        let mut n_seeks = 0usize;
-        let mut abandoned = false;
-        let mut started_once = false;
-        let mut predictor: Box<dyn BandwidthPredictor> = match self.config.bandwidth_error {
+        let predictor: Box<dyn BandwidthPredictor> = match config.bandwidth_error {
             Some((err, seed)) => Box::new(ErrorInjected::new(
-                HarmonicMean::new(self.config.predictor_window),
+                HarmonicMean::new(config.predictor_window),
                 err,
                 seed,
             )),
-            None => Box::new(HarmonicMean::new(self.config.predictor_window)),
+            None => Box::new(HarmonicMean::new(config.predictor_window)),
         };
+        SessionStepper {
+            config,
+            manifest,
+            trace,
+            control,
+            delta: manifest.chunk_duration(),
+            n,
+            seek_order,
+            next_seek: 0,
+            n_seeks: 0,
+            abandoned: false,
+            started_once: false,
+            predictor,
+            t: 0.0,
+            buffer: 0.0,
+            playing: false,
+            startup_delay: 0.0,
+            total_stall: 0.0,
+            n_stall_events: 0,
+            last_level: None,
+            throughputs: Vec::with_capacity(n),
+            records: Vec::with_capacity(n),
+            i: 0,
+            pending: None,
+            done: false,
+        }
+    }
 
-        let mut t = 0.0f64; // wall clock
-        let mut buffer = 0.0f64; // seconds of content buffered
-        let mut playing = false;
-        let mut startup_delay = 0.0f64;
-        let mut total_stall = 0.0f64;
-        let mut n_stall_events = 0usize;
-        let mut last_level: Option<usize> = None;
-        let mut throughputs: Vec<f64> = Vec::with_capacity(n);
-        let mut records: Vec<ChunkRecord> = Vec::with_capacity(n);
+    /// Realized per-chunk throughputs so far (the history a
+    /// [`crate::abr::DecisionContext`] carries).
+    pub fn throughputs(&self) -> &[f64] {
+        &self.throughputs
+    }
 
-        let mut i = 0usize;
-        while i < n {
-            // Viewer behaviour, checked between chunk requests. An
-            // abandonment scheduled at or before the current wall time
-            // wins over any pending seek.
-            if let Some(at) = control.abandon_at_s {
-                if t >= at {
-                    abandoned = true;
-                    break;
-                }
+    /// True once the session has ended (last chunk applied, or abandoned).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Advance to the next decision point and return the request for it,
+    /// or `None` when the session is over.
+    ///
+    /// # Panics
+    /// Panics if the previous request was never answered with
+    /// [`apply_level`](SessionStepper::apply_level).
+    pub fn next_request(&mut self) -> Option<DecisionRequest> {
+        assert!(
+            self.pending.is_none(),
+            "next_request called with an unanswered request pending"
+        );
+        if self.done || self.i >= self.n {
+            self.done = true;
+            return None;
+        }
+        // Viewer behaviour, checked between chunk requests. An
+        // abandonment scheduled at or before the current wall time
+        // wins over any pending seek.
+        if let Some(at) = self.control.abandon_at_s {
+            if self.t >= at {
+                self.abandoned = true;
+                self.done = true;
+                return None;
             }
-            while next_seek < seek_order.len() && t >= control.seeks[seek_order[next_seek]].at_s {
-                let ev = control.seeks[seek_order[next_seek]];
-                next_seek += 1;
-                n_seeks += 1;
-                // Flush the buffer and re-enter startup at the target
-                // chunk; the predictor and algorithm state carry over (the
-                // network did not change, only the playhead).
-                buffer = 0.0;
-                playing = false;
-                i = ev.to_chunk.min(n - 1);
-            }
+        }
+        while self.next_seek < self.seek_order.len()
+            && self.t >= self.control.seeks[self.seek_order[self.next_seek]].at_s
+        {
+            let ev = self.control.seeks[self.seek_order[self.next_seek]];
+            self.next_seek += 1;
+            self.n_seeks += 1;
+            // Flush the buffer and re-enter startup at the target
+            // chunk; the predictor and algorithm state carry over (the
+            // network did not change, only the playhead).
+            self.buffer = 0.0;
+            self.playing = false;
+            self.i = ev.to_chunk.min(self.n - 1);
+        }
 
-            let t_chunk_start = t;
-            // Respect the buffer cap: wait (while playing) until another
-            // chunk fits.
-            let mut pause = 0.0;
-            if buffer + delta > self.config.max_buffer_s {
-                // Playback must have started: buffer > startup threshold.
-                debug_assert!(playing, "buffer above cap before playback started");
-                pause = buffer + delta - self.config.max_buffer_s;
-                t += pause;
-                buffer -= pause;
-            }
+        let t_chunk_start = self.t;
+        // Respect the buffer cap: wait (while playing) until another
+        // chunk fits.
+        let mut pause = 0.0;
+        if self.buffer + self.delta > self.config.max_buffer_s {
+            // Playback must have started: buffer > startup threshold.
+            debug_assert!(self.playing, "buffer above cap before playback started");
+            pause = self.buffer + self.delta - self.config.max_buffer_s;
+            self.t += pause;
+            self.buffer -= pause;
+        }
 
-            // Live: wait at the live edge until the chunk exists. The
-            // buffer drains while waiting and may stall.
-            let mut edge_stall = 0.0;
-            if let Some(live) = self.config.live {
-                let available_at = live.available_at(i, delta);
-                if t < available_at {
-                    let wait = available_at - t;
-                    pause += wait;
-                    t = available_at;
-                    if playing {
-                        let drained = buffer.min(wait);
-                        buffer -= drained;
-                        edge_stall = wait - drained;
-                        if edge_stall > 1e-12 {
-                            total_stall += edge_stall;
-                            n_stall_events += 1;
-                        } else {
-                            edge_stall = 0.0;
-                        }
+        // Live: wait at the live edge until the chunk exists. The
+        // buffer drains while waiting and may stall.
+        let mut edge_stall = 0.0;
+        if let Some(live) = self.config.live {
+            let available_at = live.available_at(self.i, self.delta);
+            if self.t < available_at {
+                let wait = available_at - self.t;
+                pause += wait;
+                self.t = available_at;
+                if self.playing {
+                    let drained = self.buffer.min(wait);
+                    self.buffer -= drained;
+                    edge_stall = wait - drained;
+                    if edge_stall > 1e-12 {
+                        self.total_stall += edge_stall;
+                        self.n_stall_events += 1;
+                    } else {
+                        edge_stall = 0.0;
                     }
                 }
             }
-            let visible_chunks = match self.config.live {
-                Some(live) => live.visible_chunks(t, delta, n).max(i + 1),
-                None => n,
-            };
+        }
+        let visible_chunks = match self.config.live {
+            Some(live) => live
+                .visible_chunks(self.t, self.delta, self.n)
+                .max(self.i + 1),
+            None => self.n,
+        };
 
-            let estimate = match self.config.oracle_horizon_s {
-                Some(h) => {
-                    let bits = trace.bits_in_window(t, h);
-                    Some((bits / h).max(1.0))
-                }
-                None => predictor.predict(),
-            };
-            // Build the context through the serializable request so the
-            // in-process path and the abr-serve wire path assemble decision
-            // inputs identically (see `crate::decision`).
-            let request = DecisionRequest {
-                chunk_index: i,
-                buffer_s: buffer,
-                estimated_bandwidth_bps: estimate,
-                last_level,
-                latest_throughput_bps: throughputs.last().copied(),
-                wall_time_s: t,
-                startup_complete: playing,
-                visible_chunks,
-            };
-            let ctx = request.context(manifest, &throughputs);
-            let level = algo.choose_level(&ctx);
-            assert!(
-                level < manifest.n_tracks(),
-                "{} returned invalid level {level}",
-                algo.name()
-            );
-            if cfg!(feature = "strict-invariants") {
-                crate::invariants::indices_in_manifest(manifest, level, i);
+        let estimate = match self.config.oracle_horizon_s {
+            Some(h) => {
+                let bits = self.trace.bits_in_window(self.t, h);
+                Some((bits / h).max(1.0))
             }
+            None => self.predictor.predict(),
+        };
+        let request = DecisionRequest {
+            chunk_index: self.i,
+            buffer_s: self.buffer,
+            estimated_bandwidth_bps: estimate,
+            last_level: self.last_level,
+            latest_throughput_bps: self.throughputs.last().copied(),
+            wall_time_s: self.t,
+            startup_complete: self.playing,
+            visible_chunks,
+        };
+        self.pending = Some(PendingStep {
+            pause,
+            edge_stall,
+            t_chunk_start,
+        });
+        Some(request)
+    }
 
-            let bytes = manifest.chunk_bytes(level, i);
-            let request_start = t + self.config.request_rtt_s;
-            let download_secs = match self.config.tcp {
-                Some(tcp) => {
-                    let (ss_bytes, ss_secs) =
-                        tcp.slow_start_over_trace(bytes, trace, request_start);
-                    self.config.request_rtt_s
-                        + ss_secs
-                        + trace.download_time(bytes - ss_bytes, request_start + ss_secs)
-                }
-                None => self.config.request_rtt_s + trace.download_time(bytes, request_start),
-            };
-            debug_assert!(download_secs > 0.0 || bytes == 0);
-
-            // Drain the buffer while downloading.
-            let mut stall = 0.0;
-            if playing {
-                let drained = buffer.min(download_secs);
-                buffer -= drained;
-                stall = download_secs - drained;
-                if stall > 1e-12 {
-                    total_stall += stall;
-                    n_stall_events += 1;
-                } else {
-                    stall = 0.0;
-                }
-            }
-            t += download_secs;
-            buffer += delta;
-            if cfg!(feature = "strict-invariants") {
-                crate::invariants::buffer_in_range(buffer, self.config.max_buffer_s, delta);
-                crate::invariants::clock_monotone(t_chunk_start, t);
-                crate::invariants::bytes_match_manifest(manifest, level, i, bytes);
-            }
-
-            let throughput = if download_secs > 0.0 {
-                bytes as f64 * 8.0 / download_secs
-            } else {
-                f64::MAX / 1e6 // degenerate zero-size chunk; never happens for real encodes
-            };
-            predictor.observe(throughput);
-            throughputs.push(throughput);
-
-            if !playing && buffer >= self.config.startup_threshold_s {
-                playing = true;
-                // Only the first startup sets the reported delay; the
-                // re-buffering wait after a seek is not a session startup.
-                if !started_once {
-                    started_once = true;
-                    startup_delay = t;
-                }
-            }
-
-            records.push(ChunkRecord {
-                index: i,
-                level,
-                bytes,
-                request_time_s: t - download_secs,
-                download_secs,
-                throughput_bps: throughput,
-                stall_s: stall + edge_stall,
-                buffer_after_s: buffer,
-                pause_before_s: pause,
-            });
-            last_level = Some(level);
-            i += 1;
+    /// Answer the pending request: download the chunk at `level`, advance
+    /// the clock, drain/stall the buffer, feed the predictor, and record
+    /// the chunk.
+    ///
+    /// # Panics
+    /// Panics when no request is pending or `level` is out of range.
+    pub fn apply_level(&mut self, level: usize) {
+        let PendingStep {
+            pause,
+            edge_stall,
+            t_chunk_start,
+        } = self
+            .pending
+            .take()
+            .expect("apply_level without a pending request");
+        assert!(
+            level < self.manifest.n_tracks(),
+            "invalid level {level} applied to session stepper"
+        );
+        let i = self.i;
+        if cfg!(feature = "strict-invariants") {
+            crate::invariants::indices_in_manifest(self.manifest, level, i);
         }
 
+        let bytes = self.manifest.chunk_bytes(level, i);
+        let request_start = self.t + self.config.request_rtt_s;
+        let download_secs = match self.config.tcp {
+            Some(tcp) => {
+                let (ss_bytes, ss_secs) =
+                    tcp.slow_start_over_trace(bytes, self.trace, request_start);
+                self.config.request_rtt_s
+                    + ss_secs
+                    + self
+                        .trace
+                        .download_time(bytes - ss_bytes, request_start + ss_secs)
+            }
+            None => self.config.request_rtt_s + self.trace.download_time(bytes, request_start),
+        };
+        debug_assert!(download_secs > 0.0 || bytes == 0);
+
+        // Drain the buffer while downloading.
+        let mut stall = 0.0;
+        if self.playing {
+            let drained = self.buffer.min(download_secs);
+            self.buffer -= drained;
+            stall = download_secs - drained;
+            if stall > 1e-12 {
+                self.total_stall += stall;
+                self.n_stall_events += 1;
+            } else {
+                stall = 0.0;
+            }
+        }
+        self.t += download_secs;
+        self.buffer += self.delta;
+        if cfg!(feature = "strict-invariants") {
+            crate::invariants::buffer_in_range(self.buffer, self.config.max_buffer_s, self.delta);
+            crate::invariants::clock_monotone(t_chunk_start, self.t);
+            crate::invariants::bytes_match_manifest(self.manifest, level, i, bytes);
+        }
+
+        let throughput = if download_secs > 0.0 {
+            bytes as f64 * 8.0 / download_secs
+        } else {
+            f64::MAX / 1e6 // degenerate zero-size chunk; never happens for real encodes
+        };
+        self.predictor.observe(throughput);
+        self.throughputs.push(throughput);
+
+        if !self.playing && self.buffer >= self.config.startup_threshold_s {
+            self.playing = true;
+            // Only the first startup sets the reported delay; the
+            // re-buffering wait after a seek is not a session startup.
+            if !self.started_once {
+                self.started_once = true;
+                self.startup_delay = self.t;
+            }
+        }
+
+        self.records.push(ChunkRecord {
+            index: i,
+            level,
+            bytes,
+            request_time_s: self.t - download_secs,
+            download_secs,
+            throughput_bps: throughput,
+            stall_s: stall + edge_stall,
+            buffer_after_s: self.buffer,
+            pause_before_s: pause,
+        });
+        self.last_level = Some(level);
+        self.i += 1;
+    }
+
+    /// Finish the session and take its record. Only valid once
+    /// [`next_request`](SessionStepper::next_request) has returned `None`;
+    /// `algorithm` names the deciding scheme in the result.
+    ///
+    /// # Panics
+    /// Panics if the session is still in flight.
+    pub fn into_result(mut self, algorithm: &str) -> SessionResult {
+        assert!(self.done, "into_result before the session ended");
+        assert!(self.pending.is_none(), "into_result with a pending request");
         // A short video may end before the startup threshold is reached;
         // playback then starts when the download completes.
-        if !started_once {
-            startup_delay = t;
+        if !self.started_once {
+            self.startup_delay = self.t;
         }
 
         if cfg!(feature = "strict-invariants") {
-            let stalls: Vec<f64> = records.iter().map(|r| r.stall_s).collect();
-            crate::invariants::stall_additive(&stalls, total_stall);
+            let stalls: Vec<f64> = self.records.iter().map(|r| r.stall_s).collect();
+            crate::invariants::stall_additive(&stalls, self.total_stall);
         }
         let result = SessionResult {
-            video_name: manifest.video_name().to_string(),
-            trace_name: trace.name().to_string(),
-            algorithm: algo.name().to_string(),
-            chunk_duration_s: delta,
-            records,
-            startup_delay_s: startup_delay,
-            total_stall_s: total_stall,
-            n_stall_events,
+            video_name: self.manifest.video_name().to_string(),
+            trace_name: self.trace.name().to_string(),
+            algorithm: algorithm.to_string(),
+            chunk_duration_s: self.delta,
+            records: self.records,
+            startup_delay_s: self.startup_delay,
+            total_stall_s: self.total_stall,
+            n_stall_events: self.n_stall_events,
             // An abandoning viewer walks away at t and the remaining
             // buffer is discarded; otherwise it drains to end the session.
-            wall_time_s: if abandoned { t } else { t + buffer },
-            n_seeks,
-            abandoned,
+            wall_time_s: if self.abandoned {
+                self.t
+            } else {
+                self.t + self.buffer
+            },
+            n_seeks: self.n_seeks,
+            abandoned: self.abandoned,
         };
         debug_assert!(result.validate().is_ok(), "{:?}", result.validate());
         result
@@ -1033,6 +1193,35 @@ mod control_tests {
             .map(|w| w[1].index)
             .collect();
         assert_eq!(jumps, vec![60, 5]);
+    }
+
+    #[test]
+    fn manual_stepper_drive_matches_run_controlled() {
+        // Drive the stepper the way a remote multiplexer would — request,
+        // answer, repeat — and the result must equal the inline path.
+        let sim = Simulator::paper_default();
+        let m = manifest();
+        let trace = flat_trace(5.0);
+        let control = SessionControl {
+            abandon_at_s: Some(400.0),
+            seeks: vec![SeekEvent {
+                at_s: 70.0,
+                to_chunk: 30,
+            }],
+        };
+        let inline = sim.run_controlled(&mut FixedLevel::new(2), &m, &trace, &control);
+
+        let mut algo = FixedLevel::new(2);
+        crate::abr::AbrAlgorithm::reset(&mut algo);
+        let mut stepper = SessionStepper::new(&sim, &m, &trace, &control);
+        while let Some(request) = stepper.next_request() {
+            let ctx = request.context(&m, stepper.throughputs());
+            let level = crate::abr::AbrAlgorithm::choose_level(&mut algo, &ctx);
+            stepper.apply_level(level);
+        }
+        assert!(stepper.is_done());
+        let stepped = stepper.into_result("fixed-2");
+        assert_eq!(stepped, inline);
     }
 
     #[test]

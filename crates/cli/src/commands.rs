@@ -472,20 +472,24 @@ pub fn trace_stats(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cava serve [--addr A] [--threads N] [--capacity N] [--queue N]
-/// [--read-deadline-ms MS] [--write-deadline-ms MS] [--poll-ms MS]
-/// [--port-file PATH]`
+/// `cava serve [--addr A] [--backend reactor|threaded] [--threads N]
+/// [--shards N] [--capacity N] [--queue N] [--read-deadline-ms MS]
+/// [--write-deadline-ms MS] [--poll-ms MS] [--port-file PATH]`
 ///
-/// Blocks until a client sends a `Shutdown` frame. Worker count defaults to
-/// the `ABR_SERVE_THREADS` environment variable (then 8); the deadlines
-/// default to `ABR_SERVE_READ_DEADLINE_MS` / `ABR_SERVE_WRITE_DEADLINE_MS`
-/// / `ABR_SERVE_POLL_MS` (then 120000 / 30000 / 20). A deadline of 0
-/// disables it.
+/// Blocks until a client sends a `Shutdown` frame. The backend defaults to
+/// the `ABR_SERVE_BACKEND` environment variable (then `reactor`; `threaded`
+/// selects the deprecated thread-per-connection pool). Thread count
+/// defaults to `ABR_SERVE_THREADS` (then 8); the deadlines default to
+/// `ABR_SERVE_READ_DEADLINE_MS` / `ABR_SERVE_WRITE_DEADLINE_MS` /
+/// `ABR_SERVE_POLL_MS` (then 120000 / 30000 / 20). A deadline of 0
+/// disables it. `--shards` sets the session-store shard count (default 8).
 pub fn serve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&[
         "addr",
+        "backend",
         "threads",
+        "shards",
         "capacity",
         "queue",
         "read-deadline-ms",
@@ -496,7 +500,18 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     ])?;
     args.expect_positionals(0, "serve [--addr A] [--threads N] [--capacity N]")?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let backend = match args.flag("backend") {
+        None => abr_serve::server::backend_from_env(),
+        Some("reactor") => abr_serve::Backend::Reactor,
+        Some("threaded") => abr_serve::Backend::Threaded,
+        Some(other) => {
+            return Err(format!(
+                "--backend must be reactor or threaded, got {other}"
+            ))
+        }
+    };
     let threads: usize = args.flag_parsed("threads", abr_serve::server::threads_from_env())?;
+    let shards: usize = args.flag_parsed("shards", StoreConfig::default().shards)?;
     let capacity: usize = args.flag_parsed("capacity", StoreConfig::default().capacity)?;
     let queue_depth: usize = args.flag_parsed("queue", 64)?;
     let read_deadline_ms: u64 = args.flag_parsed(
@@ -511,6 +526,9 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".to_string());
     }
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
     if capacity == 0 {
         return Err("--capacity must be at least 1".to_string());
     }
@@ -521,6 +539,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         return Err("--poll-ms must be at least 1".to_string());
     }
     let config = ServerConfig {
+        backend,
         threads,
         queue_depth,
         read_deadline_ms,
@@ -528,6 +547,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         poll_ms,
         store: StoreConfig {
             capacity,
+            shards,
             ..StoreConfig::default()
         },
     };
@@ -553,10 +573,15 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     let bound = Server::bind_recorded(addr, config, dataset_provider(), recorder.clone())
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving on {} ({} workers, session capacity {})",
+        "serving on {} ({} backend, {} threads, session capacity {}, {} shards)",
         bound.addr(),
+        match backend {
+            abr_serve::Backend::Reactor => "reactor",
+            abr_serve::Backend::Threaded => "threaded",
+        },
         threads,
-        capacity
+        capacity,
+        shards
     );
     if let Some(path) = &record_path {
         println!("recording event log to {path}");
@@ -602,14 +627,20 @@ fn csv_list(raw: &str) -> Vec<String> {
 
 /// `cava loadgen <addr> [--sessions N] [--connections C] [--seed S]
 /// [--videos csv] [--schemes csv] [--vmaf tv|phone] [--hold BOOL]
-/// [--parity BOOL] [--faults BOOL] [--fault-period N] [--fault-stall-ms MS]
-/// [--fault-seed S] [--retries N] [--stop-server BOOL] [--population N]`
+/// [--parity BOOL] [--parity-every N] [--pipeline N] [--faults BOOL]
+/// [--fault-period N] [--fault-stall-ms MS] [--fault-seed S] [--retries N]
+/// [--stop-server BOOL] [--population N]`
 ///
 /// With `--faults true` the fleet injects deterministic mid-frame stalls,
 /// truncated writes, and connection resets (every `--fault-period` sends,
 /// streamed from `--fault-seed`), recovering via retry + reconnect +
 /// session resume. Exits nonzero on any session error or parity mismatch —
 /// parity must hold even under faults.
+///
+/// `--pipeline N` (default 1) batches N decisions per flush on each
+/// connection — the soak-scale drive. Results are byte-identical to the
+/// serial drive; faults require `--pipeline 1`. `--parity-every N` samples
+/// the in-process parity replay to every Nth session id.
 pub fn loadgen(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     args.ensure_known_flags(&[
@@ -621,6 +652,8 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         "vmaf",
         "hold",
         "parity",
+        "parity-every",
+        "pipeline",
         "faults",
         "fault-period",
         "fault-stall-ms",
@@ -682,6 +715,8 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
                 ..PopConfig::default()
             })
         },
+        pipeline: args.flag_parsed("pipeline", defaults.pipeline)?,
+        parity_every: args.flag_parsed("parity-every", defaults.parity_every)?,
     };
     let stop_server: bool = args.flag_parsed("stop-server", false)?;
     // Client-side event log: the fleet's fault-injection plan. The
@@ -724,6 +759,13 @@ pub fn loadgen(argv: &[String]) -> Result<(), String> {
         p50 * 1e3,
         p99 * 1e3
     );
+    if let Some(held) = report.held_sessions {
+        println!(
+            "hold: {held} sessions held concurrently; drive window {:.2}s ({:.0} decisions/s served)",
+            report.drive_wall_s,
+            decisions as f64 / report.drive_wall_s.max(f64::MIN_POSITIVE)
+        );
+    }
     if let Some(stats) = &report.server_stats {
         println!(
             "server: peak {} concurrent sessions, {} decisions ({} degraded), {} protocol errors, {} reaped, {} resumed",

@@ -62,6 +62,13 @@ cargo test -q -p abr-sim --features strict-invariants
 echo "==> cargo test -p cava-core --features strict-invariants"
 cargo test -q -p cava-core --features strict-invariants
 
+echo "==> abr-serve suite on the deprecated threaded backend"
+# Until the threaded core is removed (deprecation window: one release,
+# see CONTRIBUTING.md) the whole abr-serve suite must stay green on it.
+# Tests that exist to pin reactor-only behaviour set the backend
+# explicitly and ignore this override.
+ABR_SERVE_BACKEND=threaded cargo test -q -p abr-serve
+
 echo "==> serve/loadgen loopback soak (200 held sessions, parity on)"
 cargo build -q --release -p cava-cli
 PORT_FILE="$(mktemp)"
@@ -124,6 +131,59 @@ echo "==> record -> replay -> diff smoke (docs/REPLAY.md)"
 ./target/release/cava replay "$REPLAY_LOG"
 ./target/release/cava replay "$REPLAY_LOG" --seek 1000
 ./target/release/cava replay "$REPLAY_LOG" --diff "$REPLAY_LOG"
+
+echo "==> cross-backend equivalence (threaded vs reactor, same CAVR log)"
+# The deprecated thread-per-connection core and the reactor must be
+# behaviourally indistinguishable: a same-seed serial fleet recorded on
+# each backend yields byte-identical event logs, and the threaded log
+# replays through in-process re-execution with zero divergence. The two
+# logs stay under results/ so CI can upload them as artifacts when the
+# diff pins a divergent event.
+OLD_LOG="results/check_backend_threaded.replay"
+NEW_LOG="results/check_backend_reactor.replay"
+rm -f "$OLD_LOG" "$NEW_LOG"
+for BACKEND in threaded reactor; do
+    PORT_FILE="$(mktemp)"
+    rm -f "$PORT_FILE"
+    ./target/release/cava serve --addr 127.0.0.1:0 --backend "$BACKEND" \
+        --threads 4 --record "results/check_backend_$BACKEND.replay" \
+        --port-file "$PORT_FILE" &
+    SERVE_PID=$!
+    tries=0
+    while [ ! -s "$PORT_FILE" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 200 ]; then
+            echo "serve ($BACKEND) never wrote its address" >&2
+            kill "$SERVE_PID" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.05
+    done
+    # One connection keeps the event order deterministic across backends.
+    ./target/release/cava loadgen "$(cat "$PORT_FILE")" \
+        --sessions 12 --connections 1 --schemes cava,bola,rba \
+        --hold true --parity true --stop-server true > /dev/null
+    wait "$SERVE_PID"
+    rm -f "$PORT_FILE"
+done
+./target/release/cava replay "$OLD_LOG"
+./target/release/cava replay "$OLD_LOG" --diff "$NEW_LOG"
+
+echo "==> README throughput number matches committed BENCH_serve.json"
+# The README quotes the headline decisions/s; a re-baseline that forgets
+# the prose fails here. Compare on the integer part of the top-level
+# (scale-phase) field — the nested smoke figure is indented deeper.
+BENCH_DPS="$(sed -n 's/^  "decisions_per_s": \([0-9]*\).*/\1/p' BENCH_serve.json | head -n 1)"
+SMOKE_DPS="$(sed -n 's/^    "decisions_per_s": \([0-9]*\).*/\1/p' BENCH_serve.json | head -n 1)"
+[ -n "$BENCH_DPS" ] || { echo "no decisions_per_s in BENCH_serve.json" >&2; exit 1; }
+if ! tr -d ',' < README.md | grep -q "~${BENCH_DPS} decisions/s"; then
+    echo "README.md does not quote ~${BENCH_DPS} decisions/s from BENCH_serve.json" >&2
+    exit 1
+fi
+if [ -n "$SMOKE_DPS" ] && ! tr -d ',' < README.md | grep -q "~${SMOKE_DPS} decisions/s"; then
+    echo "README.md does not quote the smoke-phase ~${SMOKE_DPS} decisions/s" >&2
+    exit 1
+fi
 
 echo "==> population determinism smoke (1 vs 8 threads, byte-identical)"
 # The abr-pop sweep derives every viewer from (seed, index) alone, so the
