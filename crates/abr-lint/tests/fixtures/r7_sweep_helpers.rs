@@ -1,0 +1,40 @@
+// R7 fixture: reactor-style sweep helpers as hot-path roots (mirrors
+// abr-serve's reactor.rs, where `pump`/`fill`/`drain_frames` are marked).
+// The sweep methods reuse preallocated buffers — `.resize(` and
+// `.extend_from_slice(` are not allocation patterns — while a formatter
+// they reach heap-allocates and must be flagged with a witness chain
+// through the sweep helper.
+
+pub struct Conn {
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+impl Conn {
+    // abr-lint: hot-path
+    fn pump(&mut self) {
+        self.fill();
+        self.drain_frames();
+    }
+
+    // abr-lint: hot-path
+    fn fill(&mut self) {
+        self.rbuf.resize(4096, 0);
+    }
+
+    // abr-lint: hot-path
+    fn drain_frames(&mut self) {
+        encode_reply(&mut self.wbuf);
+    }
+}
+
+fn encode_reply(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"ok");
+    let tag = format!("frame");
+    let _ = tag;
+}
+
+// abr-lint: cold
+fn teardown_report() -> Vec<String> {
+    vec![String::from("closed")]
+}

@@ -127,6 +127,31 @@ fn r7_flags_allocations_reachable_from_hot_roots_across_files() {
 }
 
 #[test]
+fn r7_seeds_from_reactor_sweep_helpers() {
+    let files = vec![(
+        "crates/x/src/reactor.rs".to_string(),
+        include_str!("fixtures/r7_sweep_helpers.rs").to_string(),
+    )];
+    let hits = check_crate_hot_paths(&files);
+    // The sweep helpers reuse preallocated buffers (`.resize(`,
+    // `.extend_from_slice(` are reuse, not allocation) and the cold
+    // teardown report never enters the hot set; only the formatter
+    // reached from `drain_frames` allocates.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "R7");
+    assert!(
+        hits[0].message.contains("format!"),
+        "pattern in the message: {}",
+        hits[0].message
+    );
+    assert!(
+        hits[0].message.contains("drain_frames"),
+        "witness chain through the sweep helper: {}",
+        hits[0].message
+    );
+}
+
+#[test]
 fn r7_without_markers_finds_nothing() {
     let files = vec![(
         "crates/x/src/a.rs".to_string(),

@@ -855,6 +855,7 @@ impl Conn {
     /// *before* the first send, so a reconnect mid-open re-attaches a
     /// half-acknowledged session instead of leaking it; a retry landing on
     /// `DuplicateSession` after that resume is therefore a success.
+    // abr-lint: cold — once-per-session control traffic, not the decision loop
     fn open(&mut self, plan: &SessionPlan, vmaf: u8) -> Result<bool, String> {
         let sid = plan.session_id;
         if !self.opened.contains(&sid) {
@@ -897,6 +898,7 @@ impl Conn {
     /// Close a session (with retries). `None` decisions means the close
     /// landed but its acknowledgement died with a connection — the
     /// reconnect's resume pass already reported the session gone.
+    // abr-lint: cold — once-per-session control traffic, not the decision loop
     fn close(&mut self, sid: u64) -> Result<Option<u64>, String> {
         let result = self.call(&Frame::CloseSession { session_id: sid });
         let was_lost = self.lost.contains(&sid);

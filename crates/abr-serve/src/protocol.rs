@@ -428,15 +428,31 @@ fn put_stats(out: &mut Vec<u8>, s: &StatsSnapshot) {
 /// strings in one `OpenSession` overflow the cap).
 // abr-lint: hot-path
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
-    let mut body = Vec::with_capacity(64);
-    body.push(0); // frame type, patched below
+    let mut wire = Vec::with_capacity(64);
+    encode_frame_into(&mut wire, frame)?;
+    Ok(wire)
+}
+
+/// Append one frame's full wire form (length prefix, type byte, payload) to
+/// `out`, returning `(wire_len, type_byte)` — the two trace facts the
+/// recorder wants. The steady-state twin of [`encode_frame`]: with a reused
+/// buffer this encodes without touching the allocator (once the buffer has
+/// grown past the largest frame it carries). On error `out` is truncated
+/// back to its original length, so a failed encode never leaves partial
+/// bytes in a batching buffer.
+// abr-lint: hot-path
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) -> Result<(u32, u8), WireError> {
+    let start = out.len();
+    // Length prefix + type byte, both patched below once the payload length
+    // is known.
+    out.extend_from_slice(&[0u8; 5]);
     let ty = match frame {
         Frame::Hello { version } => {
-            put_u16(&mut body, *version);
+            put_u16(out, *version);
             TY_HELLO
         }
         Frame::HelloOk { version } => {
-            put_u16(&mut body, *version);
+            put_u16(out, *version);
             TY_HELLO_OK
         }
         Frame::OpenSession {
@@ -445,10 +461,10 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             scheme,
             vmaf_model,
         } => {
-            put_u64(&mut body, *session_id);
-            put_str(&mut body, video);
-            put_str(&mut body, scheme);
-            body.push(*vmaf_model);
+            put_u64(out, *session_id);
+            put_str(out, video);
+            put_str(out, scheme);
+            out.push(*vmaf_model);
             TY_OPEN_SESSION
         }
         Frame::OpenOk {
@@ -457,55 +473,55 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             n_tracks,
             n_chunks,
         } => {
-            put_u64(&mut body, *session_id);
-            put_bool(&mut body, *degraded);
-            put_u32(&mut body, *n_tracks);
-            put_u32(&mut body, *n_chunks);
+            put_u64(out, *session_id);
+            put_bool(out, *degraded);
+            put_u32(out, *n_tracks);
+            put_u32(out, *n_chunks);
             TY_OPEN_OK
         }
         Frame::Decide {
             session_id,
             request,
         } => {
-            put_u64(&mut body, *session_id);
-            put_request(&mut body, request);
+            put_u64(out, *session_id);
+            put_request(out, request);
             TY_DECIDE
         }
         Frame::Decision {
             session_id,
             response,
         } => {
-            put_u64(&mut body, *session_id);
-            put_u64(&mut body, response.level as u64);
-            put_bool(&mut body, response.degraded);
+            put_u64(out, *session_id);
+            put_u64(out, response.level as u64);
+            put_bool(out, response.degraded);
             TY_DECISION
         }
         Frame::CloseSession { session_id } => {
-            put_u64(&mut body, *session_id);
+            put_u64(out, *session_id);
             TY_CLOSE_SESSION
         }
         Frame::Closed {
             session_id,
             decisions,
         } => {
-            put_u64(&mut body, *session_id);
-            put_u64(&mut body, *decisions);
+            put_u64(out, *session_id);
+            put_u64(out, *decisions);
             TY_CLOSED
         }
         Frame::StatsReq => TY_STATS_REQ,
         Frame::StatsReply(stats) => {
-            put_stats(&mut body, stats);
+            put_stats(out, stats);
             TY_STATS_REPLY
         }
         Frame::Error { code, message } => {
-            put_u16(&mut body, code.to_u16());
-            put_str(&mut body, message);
+            put_u16(out, code.to_u16());
+            put_str(out, message);
             TY_ERROR
         }
         Frame::Shutdown => TY_SHUTDOWN,
         Frame::ShutdownOk => TY_SHUTDOWN_OK,
         Frame::ResumeSession { session_id } => {
-            put_u64(&mut body, *session_id);
+            put_u64(out, *session_id);
             TY_RESUME_SESSION
         }
         Frame::ResumeOk {
@@ -515,23 +531,27 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             n_tracks,
             n_chunks,
         } => {
-            put_u64(&mut body, *session_id);
-            put_bool(&mut body, *degraded);
-            put_u64(&mut body, *decisions);
-            put_u32(&mut body, *n_tracks);
-            put_u32(&mut body, *n_chunks);
+            put_u64(out, *session_id);
+            put_bool(out, *degraded);
+            put_u64(out, *decisions);
+            put_u32(out, *n_tracks);
+            put_u32(out, *n_chunks);
             TY_RESUME_OK
         }
     };
-    body[0] = ty;
-    let len = u32::try_from(body.len())
+    // The declared length covers the type byte plus payload, mirroring the
+    // decode-side convention.
+    let body_len = out.len() - start - 4;
+    let Some(len) = u32::try_from(body_len)
         .ok()
         .filter(|&len| len <= MAX_FRAME_LEN)
-        .ok_or(WireError::TooLong { len: body.len() })?;
-    let mut wire = Vec::with_capacity(4 + body.len());
-    put_u32(&mut wire, len);
-    wire.extend_from_slice(&body);
-    Ok(wire)
+    else {
+        out.truncate(start);
+        return Err(WireError::TooLong { len: body_len });
+    };
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    out[start + 4] = ty;
+    Ok((4 + len, ty))
 }
 
 /// Write one frame (length prefix included) to `w`. Does **not** flush —
@@ -629,7 +649,12 @@ impl<'a> Cur<'a> {
     pub(crate) fn string(&mut self) -> Result<String, WireError> {
         let len = usize::from(self.u16()?);
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("invalid UTF-8"))
+        // Validate in place, then make exactly one right-sized copy — only
+        // string-bearing frames (OpenSession/Error) ever reach here; the
+        // steady-state Decide/Decision grammar is string-free.
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadPayload("invalid UTF-8"))
     }
 
     pub(crate) fn request(&mut self) -> Result<DecisionRequest, WireError> {
@@ -844,6 +869,21 @@ pub fn read_frame_budgeted_traced<R: Read>(
     r: &mut R,
     idle_slots: u64,
 ) -> Result<(Frame, u32, u8), WireError> {
+    let mut body = Vec::with_capacity(64);
+    read_frame_budgeted_traced_into(r, idle_slots, &mut body)
+}
+
+/// [`read_frame_budgeted_traced`] with a caller-owned body buffer, so a
+/// connection loop reading many frames reuses one allocation instead of
+/// paying a bounded (`<= MAX_FRAME_LEN`) buffer per frame. The buffer is
+/// cleared and resized to the incoming frame's length; its capacity only
+/// grows, so steady-state reads of same-shaped frames are allocation-free.
+// abr-lint: hot-path
+pub fn read_frame_budgeted_traced_into<R: Read>(
+    r: &mut R,
+    idle_slots: u64,
+    body: &mut Vec<u8>,
+) -> Result<(Frame, u32, u8), WireError> {
     let mut budget = IdleBudget::new(idle_slots);
     let mut prefix = [0u8; 4];
     read_full(r, &mut prefix, &mut budget, true)?;
@@ -851,8 +891,9 @@ pub fn read_frame_budgeted_traced<R: Read>(
     if len == 0 || len > MAX_FRAME_LEN {
         return Err(WireError::Oversized { len });
     }
-    let mut body = vec![0u8; len as usize];
-    read_full(r, &mut body, &mut budget, false)?;
+    body.clear();
+    body.resize(len as usize, 0);
+    read_full(r, body, &mut budget, false)?;
     let ty = body[0];
-    Ok((decode_frame(&body)?, 4 + len, ty))
+    Ok((decode_frame(body)?, 4 + len, ty))
 }

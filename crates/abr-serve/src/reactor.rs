@@ -127,6 +127,7 @@ impl Conn {
     /// Push buffered response bytes into the kernel until it refuses.
     /// `Err(())` is a fatal transport error (peer reset): the connection
     /// is unusable, counters untouched — a hangup is not a protocol error.
+    // abr-lint: hot-path
     fn flush(&mut self, progress: &mut bool) -> Result<(), ()> {
         while self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
@@ -152,6 +153,7 @@ impl Conn {
     /// error to be reported like a wire error (mirroring the threaded
     /// backend's catch-all); EOF sets `saw_eof` instead of erroring so
     /// already-buffered frames still run.
+    // abr-lint: hot-path
     fn fill(&mut self, scratch: &mut [u8], progress: &mut bool) -> Result<(), WireError> {
         loop {
             match self.stream.read(scratch) {
@@ -201,6 +203,7 @@ impl Conn {
 
     /// Run every complete frame in the read buffer through the shared
     /// core, appending responses to the write buffer.
+    // abr-lint: hot-path
     fn drain_frames(&mut self, server: &Server, progress: &mut bool) {
         loop {
             if matches!(self.phase, Phase::Draining) {
@@ -300,6 +303,7 @@ impl Conn {
     }
 
     /// One full service pass: flush, read, decode+handle, flush.
+    // abr-lint: hot-path
     fn pump(&mut self, server: &Server, scratch: &mut [u8]) -> Pump {
         let mut progress = false;
         if self.flush(&mut progress).is_err() {

@@ -36,7 +36,7 @@
 //! read deadline and a write deadline ([`ServerConfig::read_deadline_ms`],
 //! [`ServerConfig::write_deadline_ms`], env-tunable), quantized to
 //! [`ServerConfig::poll_ms`]: the threaded backend counts consecutive
-//! timed-out kernel polls ([`read_frame_budgeted_traced`]), the reactor
+//! timed-out kernel polls ([`read_frame_budgeted_traced_into`]), the reactor
 //! counts idle doze ticks — neither reads a wall clock (lint R1), the
 //! kernel's timer/sleep is the only time source. A client silent past the
 //! deadline is **reaped**: counted in
@@ -50,7 +50,7 @@
 
 use crate::lock;
 use crate::protocol::{
-    encode_frame, read_frame_budgeted_traced, ErrorCode, Frame, StatsSnapshot, WireError,
+    encode_frame_into, read_frame_budgeted_traced_into, ErrorCode, Frame, StatsSnapshot, WireError,
     PROTOCOL_VERSION,
 };
 use crate::replay::{Event, Recorder};
@@ -387,18 +387,18 @@ impl Server {
         out: &mut Vec<u8>,
         frame: &Frame,
     ) -> Result<(), WireError> {
-        // Encode once: the recorder needs the frame's wire length and type
-        // byte, and the out-buffer needs the same bytes.
-        let bytes = encode_frame(frame)?;
+        // Encode straight into the caller's out-buffer: the recorder needs
+        // the frame's wire length and type byte, and `encode_frame_into`
+        // reports both without a scratch allocation.
+        let (wire_len, frame_type) = encode_frame_into(out, frame)?;
         self.counters.frames_out.fetch_add(1, Ordering::Relaxed);
         if let Some(recorder) = &self.recorder {
             recorder.record(&Event::FrameOut {
                 conn,
-                frame_type: bytes[4],
-                wire_len: bytes.len() as u32,
+                frame_type,
+                wire_len,
             });
         }
-        out.extend_from_slice(&bytes);
         Ok(())
     }
 
@@ -551,14 +551,7 @@ impl Server {
             // A second Hello, or any server→client frame, is a protocol
             // misuse but not a decode failure: answer and keep going.
             other => {
-                self.send(
-                    conn,
-                    out,
-                    &Frame::Error {
-                        code: ErrorCode::BadFrame,
-                        message: format!("unexpected frame {other:?} after handshake"),
-                    },
-                )?;
+                self.send(conn, out, &unexpected_frame_error(&other))?;
             }
         }
         Ok(true)
@@ -626,9 +619,15 @@ impl Server {
             Err(_) => return,
         };
         let mut reader = BufReader::new(stream);
+        // One body buffer for the whole connection: every frame read reuses
+        // it, so steady-state decision traffic never touches the allocator.
+        // 256 covers every fixed-size frame in the grammar (the largest,
+        // StatsReply, is 137 bytes) — only string-bearing frames
+        // (OpenSession/Error) can grow it past the initial capacity.
+        let mut body = Vec::with_capacity(256);
 
         // Handshake: the first frame must be a Hello with our version.
-        match read_frame_budgeted_traced(&mut reader, read_slots) {
+        match read_frame_budgeted_traced_into(&mut reader, read_slots, &mut body) {
             Ok((Frame::Hello { version }, wire_len, ty)) if version == PROTOCOL_VERSION => {
                 self.note_frame_in(conn, wire_len, ty);
                 if self
@@ -694,7 +693,7 @@ impl Server {
 
         let mut out = Vec::with_capacity(256);
         loop {
-            match read_frame_budgeted_traced(&mut reader, read_slots) {
+            match read_frame_budgeted_traced_into(&mut reader, read_slots, &mut body) {
                 Ok((frame, wire_len, ty)) => {
                     self.note_frame_in(conn, wire_len, ty);
                     out.clear();
@@ -751,6 +750,18 @@ impl Server {
         self.counters
             .sessions_orphaned
             .fetch_add(dropped.orphaned, Ordering::Relaxed);
+    }
+}
+
+/// Build the error reply for a post-handshake frame the server never
+/// expects. Kept out of [`Server::handle_frame`] so the formatting
+/// allocation lives on a path only misbehaving peers reach — well-formed
+/// decision traffic never gets here.
+// abr-lint: cold — error formatting for protocol misuse, off the decision path
+fn unexpected_frame_error(other: &Frame) -> Frame {
+    Frame::Error {
+        code: ErrorCode::BadFrame,
+        message: format!("unexpected frame {other:?} after handshake"),
     }
 }
 

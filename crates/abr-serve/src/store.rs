@@ -329,6 +329,10 @@ impl SessionStore {
     /// Admit a session for connection `conn`. Over capacity, idle sessions
     /// are evicted first; if the store is still full the session is
     /// admitted **degraded** rather than rejected.
+    ///
+    /// Admission allocates by design (scheme construction, the session
+    /// slot, reclaim scans) — it runs once per session, not per decision.
+    // abr-lint: cold — admission/reclaim path; the per-decision path is `decide`
     pub fn open(
         &self,
         conn: u64,
@@ -419,7 +423,10 @@ impl SessionStore {
             state: Mutex::new(SessionState {
                 video: handle,
                 algo: if degraded { None } else { Some(algo) },
-                history: Vec::new(),
+                // Sized for the whole playback up front: `decide` pushes
+                // one throughput sample per chunk, and a session serves at
+                // most `n_chunks` chunks, so the hot path never regrows it.
+                history: Vec::with_capacity(n_chunks),
                 decisions: 0,
                 last_request: None,
                 last_response: None,

@@ -1,0 +1,56 @@
+//! The stepper's per-step path is allocation-free, proven with a counting
+//! global allocator (the `counted-alloc` feature builds this suite; see
+//! CONTRIBUTING.md "The allocation gate").
+//!
+//! [`SessionStepper`] preallocates its throughput window and chunk records
+//! for the whole session at construction; after a short warm-up (the
+//! predictor's window fills during the first steps) every
+//! `next_request` → `choose_level` → `apply_level` cycle must perform zero
+//! allocations.
+#![cfg(feature = "counted-alloc")]
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use abr_sim::abr::{AbrAlgorithm, FixedLevel};
+use abr_sim::{SessionControl, SessionStepper, Simulator};
+use counted_alloc::AllocScope;
+use net_trace::Trace;
+use vbr_video::{Dataset, Manifest};
+
+#[global_allocator]
+static ALLOC: counted_alloc::CountingAlloc = counted_alloc::CountingAlloc::new();
+
+const WARMUP_STEPS: usize = 10;
+
+#[test]
+fn stepper_steps_are_allocation_free_after_warmup() {
+    assert!(counted_alloc::counting_enabled());
+    let manifest = Manifest::from_video(&Dataset::ed_youtube_h264());
+    let trace = Trace::new("steady", 1.0, vec![6.0e6; 20_000]);
+    let control = SessionControl::default();
+    let sim = Simulator::paper_default();
+    let mut algo = FixedLevel::new(1);
+
+    let mut stepper = SessionStepper::new(&sim, &manifest, &trace, &control);
+    for _ in 0..WARMUP_STEPS {
+        let request = stepper.next_request().expect("session too short");
+        let ctx = request.context(&manifest, stepper.throughputs());
+        let level = algo.choose_level(&ctx);
+        stepper.apply_level(level);
+    }
+
+    let scope = AllocScope::thread();
+    let mut steps = 0usize;
+    while let Some(request) = stepper.next_request() {
+        let ctx = request.context(&manifest, stepper.throughputs());
+        let level = algo.choose_level(&ctx);
+        stepper.apply_level(level);
+        steps += 1;
+    }
+    let delta = scope.delta();
+    assert!(steps > 0, "warm-up consumed the whole session");
+    assert_eq!(
+        delta.allocs, 0,
+        "{steps} steady-state steps allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+}

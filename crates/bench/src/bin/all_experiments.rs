@@ -3,6 +3,12 @@
 //! a progress line, and the whole run is journaled under
 //! `results/journal/` (see `abr_bench::engine` and `abr_bench::journal`).
 
+// With the `counted-alloc` feature the full sweep can also measure the
+// alloc_gate experiment; without it that experiment skips itself.
+#[cfg(feature = "counted-alloc")]
+#[global_allocator]
+static ALLOC: counted_alloc::CountingAlloc = counted_alloc::CountingAlloc::new();
+
 fn main() -> std::io::Result<()> {
     abr_bench::engine::run_all()
 }

@@ -13,6 +13,12 @@
 //! only one document are reported and skipped, so adding metrics to a
 //! bench document never breaks the gate against an older baseline.
 //!
+//! `allocs_per_decision` and `bytes_per_decision` are gated **exactly**:
+//! any increase over the baseline fails, whatever the tolerance.
+//! Allocation counts are deterministic — there is no machine variance to
+//! absorb — and a percentage gate would be vacuous against the committed
+//! all-zero baseline (a relative regression from 0 is undefined).
+//!
 //! `scripts/check.sh` recovers the baseline from `git show HEAD:...` and
 //! forwards its `--bench-tolerance` flag here (see CONTRIBUTING.md).
 
@@ -23,6 +29,11 @@ use std::process::ExitCode;
 const HIGHER_BETTER: [&str; 2] = ["decisions_per_s", "sessions_per_s"];
 /// Fields where smaller values are better.
 const LOWER_BETTER: [&str; 1] = ["latency_p99_ms"];
+/// Fields gated exactly: smaller is better and *any* increase over the
+/// baseline fails, independent of `--tolerance`. Deterministic counters
+/// belong here — their committed baseline is typically zero, where a
+/// percentage gate cannot bite.
+const EXACT_LOWER: [&str; 2] = ["allocs_per_decision", "bytes_per_decision"];
 
 fn collect_gated(prefix: &str, value: &Value, out: &mut Vec<(String, String, f64)>) {
     match value {
@@ -34,7 +45,9 @@ fn collect_gated(prefix: &str, value: &Value, out: &mut Vec<(String, String, f64
                     format!("{prefix}.{key}")
                 };
                 if let Some(number) = child.as_f64() {
-                    if HIGHER_BETTER.contains(&key.as_str()) || LOWER_BETTER.contains(&key.as_str())
+                    if HIGHER_BETTER.contains(&key.as_str())
+                        || LOWER_BETTER.contains(&key.as_str())
+                        || EXACT_LOWER.contains(&key.as_str())
                     {
                         out.push((path, key.clone(), number));
                     }
@@ -108,6 +121,17 @@ fn run() -> Result<(), String> {
             continue;
         };
         compared += 1;
+        if EXACT_LOWER.contains(&field.as_str()) {
+            let exceeded = *fresh_value > *base_value;
+            let verdict = if exceeded { "FAIL" } else { "ok" };
+            println!(
+                "bench_gate: {path}: {base_value:.3} -> {fresh_value:.3} (exact gate: any increase fails) {verdict}"
+            );
+            if exceeded {
+                failures.push(path.clone());
+            }
+            continue;
+        }
         let pct = regression_pct(field, *base_value, *fresh_value);
         let verdict = if pct > tolerance { "FAIL" } else { "ok" };
         println!(
@@ -132,7 +156,7 @@ fn run() -> Result<(), String> {
         Ok(())
     } else {
         Err(format!(
-            "perf regression beyond {tolerance:.0}% in: {}",
+            "perf regression (beyond {tolerance:.0}% or past an exact gate) in: {}",
             failures.join(", ")
         ))
     }

@@ -1,0 +1,22 @@
+//! Run the `alloc_gate` experiment (see
+//! `abr_bench::experiments::exp_alloc_gate`). This is the only binary that
+//! installs the counting global allocator, and it refuses to build a
+//! measurement without the `counted-alloc` feature — a default build would
+//! report vacuous zeros.
+
+#[cfg(feature = "counted-alloc")]
+#[global_allocator]
+static ALLOC: counted_alloc::CountingAlloc = counted_alloc::CountingAlloc::new();
+
+#[cfg(feature = "counted-alloc")]
+fn main() -> std::io::Result<()> {
+    abr_bench::engine::run_ids(&["alloc_gate"])
+}
+
+#[cfg(not(feature = "counted-alloc"))]
+fn main() -> std::io::Result<()> {
+    Err(std::io::Error::other(
+        "exp_alloc_gate measures allocator traffic and needs the counting allocator; \
+         rebuild with `cargo run -p abr-bench --features counted-alloc --bin exp_alloc_gate`",
+    ))
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Each `run()` prints the experiment's
 //! rows/series and writes CSV under [`crate::results_dir`].
 
+pub mod exp_alloc_gate;
 pub mod exp_bw_error;
 pub mod exp_cap4x;
 pub mod exp_chunk_duration;
@@ -184,6 +185,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, fn() -> io::Result<()>)> {
             "abr-pop population sweep: per-cohort QoE at scale, BENCH_population.json (extension)",
             exp_population::run,
         ),
+        (
+            "alloc_gate",
+            "allocations per steady-state decision, exact-gated, BENCH_alloc.json (extension)",
+            exp_alloc_gate::run,
+        ),
     ]
 }
 
@@ -216,11 +222,11 @@ mod tests {
     #[test]
     fn registry_ids_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 30);
+        assert_eq!(reg.len(), 31);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 30);
+        assert_eq!(ids.len(), 31);
     }
 
     #[test]

@@ -69,6 +69,18 @@ echo "==> abr-serve suite on the deprecated threaded backend"
 # explicitly and ignore this override.
 ABR_SERVE_BACKEND=threaded cargo test -q -p abr-serve
 
+echo "==> allocation discipline (counted-alloc: allocator + hot-path tests)"
+# The decision hot path must stay allocation-free (see ARCHITECTURE.md
+# "Hot-path memory discipline"). The counted-alloc feature builds the
+# counting global allocator into these test binaries; they prove zero
+# steady-state allocations for SessionStore::decide, for decide round
+# trips over a real socket on both backends, and for the simulator's
+# per-step path. The BENCH_alloc.json exact gate below holds the same
+# numbers against the committed baseline.
+cargo test -q -p counted-alloc
+cargo test -q -p abr-serve --features counted-alloc --test alloc_discipline
+cargo test -q -p abr-sim --features counted-alloc --test alloc_discipline
+
 echo "==> serve/loadgen loopback soak (200 held sessions, parity on)"
 cargo build -q --release -p cava-cli
 PORT_FILE="$(mktemp)"
@@ -203,10 +215,15 @@ echo "==> bench perf gate (fresh BENCH_*.json vs committed, tolerance ${BENCH_TO
 # Documents not committed yet (first revision on a branch) are skipped.
 cargo build -q --release -p abr-bench --bin exp_serve_soak --bin exp_serve_chaos \
     --bin exp_population --bin bench_gate
+# exp_alloc_gate needs its own invocation: only this binary installs the
+# counting global allocator, and the measuring implementation only builds
+# with the counted-alloc feature.
+cargo build -q --release -p abr-bench --features counted-alloc --bin exp_alloc_gate
 REPO_ROOT="$(pwd)"
 GATE_BASE="$(mktemp -d)"
 GATE_FRESH="$(mktemp -d)"
-for doc in BENCH_serve.json BENCH_serve_chaos.json BENCH_population.json; do
+for doc in BENCH_serve.json BENCH_serve_chaos.json BENCH_population.json \
+    BENCH_alloc.json; do
     if ! git show "HEAD:$doc" > "$GATE_BASE/$doc" 2>/dev/null; then
         echo "  $doc not in HEAD yet - gate skipped for it"
         rm -f "$GATE_BASE/$doc"
@@ -218,12 +235,24 @@ done
     "$REPO_ROOT/target/release/exp_serve_chaos" > /dev/null)
 (cd "$GATE_FRESH" && RESULTS_DIR="$GATE_FRESH/results" POP_SCALE=20000 \
     "$REPO_ROOT/target/release/exp_population" > /dev/null)
+(cd "$GATE_FRESH" && RESULTS_DIR="$GATE_FRESH/results" \
+    "$REPO_ROOT/target/release/exp_alloc_gate" > /dev/null)
+# Keep the fresh alloc document under results/ so CI can upload it as an
+# artifact even when a gate fails (the workflow step uses `if: always()`).
+cp "$GATE_FRESH/BENCH_alloc.json" results/BENCH_alloc_fresh.json
 for doc in BENCH_serve.json BENCH_serve_chaos.json BENCH_population.json; do
     if [ -f "$GATE_BASE/$doc" ] && [ -f "$GATE_FRESH/$doc" ]; then
         ./target/release/bench_gate "$GATE_BASE/$doc" "$GATE_FRESH/$doc" \
             --tolerance "$BENCH_TOLERANCE"
     fi
 done
+# The alloc document is held to 0% — allocs_per_decision/bytes_per_decision
+# are exact-gated inside bench_gate (any increase fails), and the committed
+# baseline is all zeros, so this gate never loosens with --bench-tolerance.
+if [ -f "$GATE_BASE/BENCH_alloc.json" ]; then
+    ./target/release/bench_gate "$GATE_BASE/BENCH_alloc.json" \
+        "$GATE_FRESH/BENCH_alloc.json" --tolerance 0
+fi
 rm -rf "$GATE_BASE" "$GATE_FRESH"
 
 echo "all checks passed"
